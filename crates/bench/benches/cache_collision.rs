@@ -1,0 +1,58 @@
+//! Regenerates the unnumbered **cache collision experiment** of §3.2.4.
+//!
+//! "We ran a number of small programs in a simulator of a direct mapped
+//! cache with two different initialisations; In the first run the
+//! top-of-stack pointers were initialised to values such that they used
+//! different cache locations. For the second run the top-of-stack pointers
+//! were initialised such that they all pointed to the same cache cell. The
+//! hit ratios were very good in the first run and dropped quite
+//! dramatically in the second."
+//!
+//! Three configurations are measured: KCM's zone-sectioned cache, a plain
+//! direct-mapped cache with spread stack bases (run 1), and a plain
+//! direct-mapped cache with aligned bases (run 2 — the pathological case
+//! the sectioned design eliminates).
+
+use kcm_mem::MemConfig;
+use kcm_suite::programs;
+use kcm_suite::runner::{run_kcm, Variant};
+use kcm_suite::table::Table;
+use kcm_system::MachineConfig;
+
+fn config(sectioned: bool, spread: bool) -> MachineConfig {
+    MachineConfig {
+        mem: MemConfig { sectioned_data_cache: sectioned, ..MemConfig::default() },
+        spread_stack_bases: spread,
+        ..MachineConfig::default()
+    }
+}
+
+fn main() {
+    bench::banner(
+        "Section 3.2.4 experiment: direct-mapped cache stack collisions",
+        "data cache hit ratio under three top-of-stack initialisations",
+    );
+    let mut t = Table::new(vec![
+        "Program", "sectioned (KCM)", "plain, spread bases", "plain, aligned bases",
+        "cycles sect.", "cycles aligned",
+    ]);
+    for name in ["nrev1", "qs4", "palin25", "queens", "mutest"] {
+        let p = programs::program(name).expect("suite program");
+        let sect = run_kcm(&p, Variant::Starred, &config(true, true)).expect("run");
+        let spread = run_kcm(&p, Variant::Starred, &config(false, true)).expect("run");
+        let aligned = run_kcm(&p, Variant::Starred, &config(false, false)).expect("run");
+        t.row(vec![
+            name.to_owned(),
+            format!("{:.4}", sect.outcome.stats.mem.dcache_hit_ratio()),
+            format!("{:.4}", spread.outcome.stats.mem.dcache_hit_ratio()),
+            format!("{:.4}", aligned.outcome.stats.mem.dcache_hit_ratio()),
+            sect.outcome.stats.cycles.to_string(),
+            aligned.outcome.stats.cycles.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Expected shape: the aligned plain cache collides (hit ratio drops,");
+    println!("cycles rise); spreading the bases recovers most of it; the sectioned");
+    println!("cache is immune by construction — which is why KCM selects the cache");
+    println!("section with the zone bits of the address word.");
+}

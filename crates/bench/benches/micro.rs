@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the simulator itself (host-side speed,
+//! not KCM cycles): reader, compiler, and machine-stepping throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcm_suite::programs;
+use kcm_suite::runner::{run_kcm, Variant};
+use kcm_system::Kcm;
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let src = programs::program("query").expect("query").source;
+    c.bench_function("parse_query_program", |b| {
+        b.iter(|| kcm_prolog::read_program(black_box(src)).expect("parse"))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let src = programs::program("qs4").expect("qs4").source;
+    let clauses = kcm_prolog::read_program(src).expect("parse");
+    c.bench_function("compile_qs4", |b| {
+        b.iter(|| {
+            let mut symbols = kcm_arch::SymbolTable::new();
+            kcm_compiler::compile_program(black_box(&clauses), &mut symbols).expect("compile")
+        })
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let p = programs::program("nrev1").expect("nrev1");
+    c.bench_function("simulate_nrev1", |b| {
+        b.iter(|| run_kcm(black_box(&p), Variant::Starred, &Default::default()).expect("run"))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    c.bench_function("consult_and_query", |b| {
+        b.iter(|| {
+            let mut kcm = Kcm::new();
+            kcm.consult(black_box("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R)."))
+                .expect("consult");
+            kcm.run("app([1,2,3],[4],X)", false).expect("query")
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_compile, bench_simulate, bench_end_to_end);
+criterion_main!(benches);

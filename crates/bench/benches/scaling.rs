@@ -1,0 +1,60 @@
+//! A scaling study beyond the paper's fixed-size suite: sustained Klips
+//! and data cache behaviour as the working set grows past the 1K-word
+//! cache sections — the regime where §3.2.4's "collisions are bound to
+//! occur at some stage" warning applies even to the sectioned design
+//! (capacity, not conflict).
+
+use kcm_suite::table::Table;
+use kcm_suite::workloads;
+use kcm_system::Kcm;
+
+fn measure(source: &str, query: &str) -> (u64, f64, f64) {
+    let mut kcm = Kcm::new();
+    kcm.consult(source).expect("consult");
+    let o = kcm.run(query, false).expect("run");
+    assert!(o.success);
+    (o.stats.cycles, o.stats.klips(), o.stats.mem.dcache_hit_ratio())
+}
+
+fn main() {
+    bench::banner(
+        "Scaling study: sustained Klips and cache behaviour vs working set",
+        "nrev / qsort / queens at growing sizes on the default KCM configuration",
+    );
+    let mut t = Table::new(vec!["Workload", "cycles", "Klips", "dcache hit"]);
+    for n in [10usize, 30, 100, 300, 600] {
+        let (src, q) = workloads::nrev(n);
+        let (cycles, klips, hit) = measure(&src, &q);
+        t.row(vec![
+            format!("nrev({n})"),
+            cycles.to_string(),
+            format!("{klips:.0}"),
+            format!("{hit:.4}"),
+        ]);
+    }
+    for n in [20usize, 50, 200, 500] {
+        let (src, q) = workloads::qsort(n, 42);
+        let (cycles, klips, hit) = measure(&src, &q);
+        t.row(vec![
+            format!("qsort({n})"),
+            cycles.to_string(),
+            format!("{klips:.0}"),
+            format!("{hit:.4}"),
+        ]);
+    }
+    for n in [5usize, 6, 7, 8] {
+        let (src, q) = workloads::queens(n);
+        let (cycles, klips, hit) = measure(&src, &q);
+        t.row(vec![
+            format!("queens({n})"),
+            cycles.to_string(),
+            format!("{klips:.0}"),
+            format!("{hit:.4}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Expected shape: nrev Klips peak near the paper's 770 at suite sizes,");
+    println!("then sag as the global stack outgrows its 1K-word cache section and");
+    println!("capacity misses appear — locality 'near the top' (§3.2.4) only");
+    println!("protects stack-like access patterns.");
+}

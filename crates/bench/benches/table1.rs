@@ -1,0 +1,74 @@
+//! Regenerates **Table 1** of the paper: static code size comparison
+//! between the PLM (byte-coded, cdr-coded), SPUR (macro-expanded RISC) and
+//! KCM (fixed 64-bit words).
+//!
+//! Every column is produced by this repository's own models: the KCM
+//! column by the real compiler/linker, the PLM column by the byte-encoding
+//! model in the `plm` crate, the SPUR column by the macro-expansion model
+//! in the `spur` crate. The paper's published values are shown in
+//! parentheses for comparison. Sizes exclude the runtime library and
+//! compiler auxiliaries, like the paper's.
+
+use kcm_suite::table::{f2, mean, Table};
+use kcm_suite::{paper, programs, runner};
+
+fn main() {
+    bench::banner(
+        "Table 1: Static code size comparison",
+        "measured (paper's value in parentheses); KCM bytes = words x 8",
+    );
+    let mut t = Table::new(vec![
+        "Program", "PLM instr", "PLM bytes", "SPUR instr", "SPUR bytes", "KCM instr",
+        "KCM words", "KCM/PLM i", "KCM/PLM B", "SPUR/KCM i", "SPUR/KCM B",
+    ]);
+    let mut r_kp_i = Vec::new();
+    let mut r_kp_b = Vec::new();
+    let mut r_sk_i = Vec::new();
+    let mut r_sk_b = Vec::new();
+    for p in programs::suite() {
+        let (kcm_i, kcm_w) = runner::kcm_static_size(&p).expect("kcm size");
+        let plm_size = plm::static_size(p.source).expect("plm size");
+        let spur_size = spur::static_size(p.source).expect("spur size");
+        let row = paper::TABLE1
+            .iter()
+            .find(|r| r.program == p.name)
+            .expect("paper row");
+        let kcm_bytes = kcm_w * 8;
+        let kp_i = kcm_i as f64 / plm_size.instrs as f64;
+        let kp_b = kcm_bytes as f64 / plm_size.bytes as f64;
+        let sk_i = spur_size.instrs as f64 / kcm_i as f64;
+        let sk_b = spur_size.bytes as f64 / kcm_bytes as f64;
+        r_kp_i.push(kp_i);
+        r_kp_b.push(kp_b);
+        r_sk_i.push(sk_i);
+        r_sk_b.push(sk_b);
+        t.row(vec![
+            p.name.to_owned(),
+            format!("{} ({})", plm_size.instrs, row.plm_instr),
+            format!("{} ({})", plm_size.bytes, row.plm_bytes),
+            format!("{} ({})", spur_size.instrs, row.spur_instr),
+            format!("{} ({})", spur_size.bytes, row.spur_bytes),
+            format!("{} ({})", kcm_i, row.kcm_instr),
+            format!("{} ({})", kcm_w, row.kcm_words),
+            f2(kp_i),
+            f2(kp_b),
+            f2(sk_i),
+            f2(sk_b),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "average   KCM/PLM instr {}  (paper {})   KCM/PLM bytes {}  (paper {})",
+        f2(mean(&r_kp_i)),
+        paper::averages::T1_KCM_PLM_INSTR,
+        f2(mean(&r_kp_b)),
+        paper::averages::T1_KCM_PLM_BYTES,
+    );
+    println!(
+        "average   SPUR/KCM instr {} (paper {})   SPUR/KCM bytes {} (paper {})",
+        f2(mean(&r_sk_i)),
+        paper::averages::T1_SPUR_KCM_INSTR,
+        f2(mean(&r_sk_b)),
+        paper::averages::T1_SPUR_KCM_BYTES,
+    );
+}

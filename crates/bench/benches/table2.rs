@@ -1,0 +1,49 @@
+//! Regenerates **Table 2** of the paper: benchmark execution times of the
+//! PLM against KCM.
+//!
+//! Both columns are simulated here, like the original: the paper's PLM
+//! figures came from the Berkeley simulator, ours from the PLM machine
+//! model (standard WAM, byte decoding, eager choice points, 100 ns). I/O
+//! built-ins are costed as unit clauses exactly as §4.2 assumes.
+
+use bench::measure_program;
+use kcm_suite::table::{f2, f3, klips, mean, Table};
+use kcm_suite::{paper, programs};
+
+fn main() {
+    bench::banner(
+        "Table 2: Comparison with PLM (timed drivers)",
+        "measured (paper's value in parentheses); ms at each machine's clock",
+    );
+    let mut t = Table::new(vec![
+        "Program", "Inferences", "PLM ms", "PLM Klips", "KCM ms", "KCM Klips", "PLM/KCM",
+    ]);
+    let mut ratios = Vec::new();
+    for p in programs::suite() {
+        let m = measure_program(&p);
+        let row = paper::TABLE2
+            .iter()
+            .find(|r| r.program == p.name)
+            .expect("paper row");
+        let kcm_ms = m.kcm_timed.ms();
+        let ratio = m.plm_ms / kcm_ms;
+        ratios.push(ratio);
+        let inferences = m.kcm_timed.outcome.stats.inferences;
+        let plm_klips = m.plm_inferences as f64 / m.plm_ms;
+        t.row(vec![
+            p.name.to_owned(),
+            format!("{} ({})", inferences, row.inferences),
+            format!("{} ({})", f3(m.plm_ms), f3(row.plm_ms)),
+            klips(plm_klips),
+            format!("{} ({})", f3(kcm_ms), f3(row.kcm_ms)),
+            klips(m.kcm_timed.klips()),
+            format!("{} ({})", f2(ratio), f2(row.ratio)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "average PLM/KCM ratio: {}   (paper: {})",
+        f2(mean(&ratios)),
+        paper::averages::T2_PLM_KCM
+    );
+}

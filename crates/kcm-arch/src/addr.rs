@@ -1,0 +1,213 @@
+//! Word addresses in KCM's two virtual address spaces (paper §3.2.1–§3.2.5).
+//!
+//! "All addresses in KCM are word addresses, i.e. they address a 64-bit
+//! entity. In the current implementation of the KCM architecture only the 28
+//! least significant bits of the value part of the address are used." Code
+//! and data live in two *separate* 28-bit spaces, so the total virtual
+//! memory equals that of a 32-bit byte-addressed processor.
+
+/// Number of significant bits in a virtual word address.
+pub const VADDR_BITS: u32 = 28;
+
+/// Mask selecting the significant address bits.
+pub const VADDR_MASK: u32 = (1 << VADDR_BITS) - 1;
+
+/// Page size: "the bits 27 to 14 of an address give the virtual page number
+/// and the bits 13 to 0 the offset into one page, i.e. the page size is 16K
+/// words" (§3.2.5).
+pub const PAGE_SIZE_WORDS: u32 = 1 << 14;
+
+/// Number of virtual pages per address space (16K pages for code and for
+/// data each; the translation RAM holds 32K entries total).
+pub const PAGES_PER_SPACE: u32 = 1 << (VADDR_BITS - 14);
+
+/// A word address in the *data* virtual address space.
+///
+/// # Examples
+///
+/// ```
+/// use kcm_arch::{VAddr, PAGE_SIZE_WORDS};
+/// let a = VAddr::new(PAGE_SIZE_WORDS * 3 + 17);
+/// assert_eq!(a.page().index(), 3);
+/// assert_eq!(a.page_offset(), 17);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(u32);
+
+impl VAddr {
+    /// Creates an address from its significant bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` exceeds the 28-bit address range — the zone check
+    /// hardware "verifies that the most significant 4 address bits not used
+    /// in the current implementation are zero" (§3.2.3); constructing such
+    /// an address host-side is a bug.
+    #[inline]
+    pub const fn new(raw: u32) -> VAddr {
+        assert!(raw <= VADDR_MASK, "virtual address exceeds 28 bits");
+        VAddr(raw)
+    }
+
+    /// The raw 28-bit word address.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The virtual page number (address bits 27..=14).
+    #[inline]
+    pub const fn page(self) -> PageNumber {
+        PageNumber((self.0 >> 14) as u16)
+    }
+
+    /// The offset within the page (address bits 13..=0).
+    #[inline]
+    pub const fn page_offset(self) -> u32 {
+        self.0 & (PAGE_SIZE_WORDS - 1)
+    }
+
+    /// The address `offset` words further on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the 28-bit space.
+    #[inline]
+    pub fn offset(self, offset: i64) -> VAddr {
+        let v = self.0 as i64 + offset;
+        assert!(
+            (0..=VADDR_MASK as i64).contains(&v),
+            "address arithmetic left the 28-bit space"
+        );
+        VAddr(v as u32)
+    }
+}
+
+impl std::fmt::Display for VAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:07x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for VAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A word address in the *code* virtual address space.
+///
+/// KCM keeps code and data in different address spaces with two sets of
+/// access instructions (§3.2.1); mixing them up is a type error here.
+///
+/// ```
+/// use kcm_arch::CodeAddr;
+/// let entry = CodeAddr::new(0x400);
+/// assert_eq!(entry.offset(2).value(), 0x402);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CodeAddr(u32);
+
+impl CodeAddr {
+    /// Creates a code address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` exceeds the 28-bit range.
+    #[inline]
+    pub const fn new(raw: u32) -> CodeAddr {
+        assert!(raw <= VADDR_MASK, "code address exceeds 28 bits");
+        CodeAddr(raw)
+    }
+
+    /// The raw 28-bit word address.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The virtual page number.
+    #[inline]
+    pub const fn page(self) -> PageNumber {
+        PageNumber((self.0 >> 14) as u16)
+    }
+
+    /// The address `offset` instructions/words further on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the 28-bit space.
+    #[inline]
+    pub fn offset(self, offset: i64) -> CodeAddr {
+        let v = self.0 as i64 + offset;
+        assert!(
+            (0..=VADDR_MASK as i64).contains(&v),
+            "code address arithmetic left the 28-bit space"
+        );
+        CodeAddr(v as u32)
+    }
+}
+
+impl std::fmt::Display for CodeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c:{:06x}", self.0)
+    }
+}
+
+/// A 14-bit virtual page number, the index into the translation RAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNumber(u16);
+
+impl PageNumber {
+    /// The page index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_split_is_consistent() {
+        let a = VAddr::new(0x0ABCDEF);
+        assert_eq!(
+            a.page().index() as u32 * PAGE_SIZE_WORDS + a.page_offset(),
+            a.value()
+        );
+    }
+
+    #[test]
+    fn pages_per_space_matches_paper() {
+        // 16K virtual pages for code and data each (§3.2.5).
+        assert_eq!(PAGES_PER_SPACE, 16 * 1024);
+        assert_eq!(PAGE_SIZE_WORDS, 16 * 1024);
+    }
+
+    #[test]
+    fn offsets_move_in_both_directions() {
+        let a = VAddr::new(100);
+        assert_eq!(a.offset(5).value(), 105);
+        assert_eq!(a.offset(-100).value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "left the 28-bit space")]
+    fn negative_overflow_panics() {
+        let _ = VAddr::new(0).offset(-1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 28 bits")]
+    fn oversized_address_panics() {
+        let _ = VAddr::new(1 << 28);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VAddr::new(0x123).to_string(), "0x0000123");
+        assert_eq!(CodeAddr::new(0x123).to_string(), "c:000123");
+    }
+}

@@ -1,0 +1,187 @@
+//! Symbol tables: atom and functor interning.
+//!
+//! On the real KCM the symbol tables live in the static data zone and are
+//! managed by the language subsystem; the simulator keeps them host-side
+//! (only their *indices* circulate in tagged words), which changes nothing
+//! observable — a word's value part is an opaque table index either way.
+
+use std::collections::HashMap;
+
+/// An interned atom (index into the atom table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomId(u32);
+
+impl AtomId {
+    /// Builds an id from a raw table index.
+    #[inline]
+    pub const fn new(index: usize) -> AtomId {
+        AtomId(index as u32)
+    }
+
+    /// The table index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interned functor: a (name, arity) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FunctorId(u32);
+
+impl FunctorId {
+    /// Builds an id from a raw table index.
+    #[inline]
+    pub const fn new(index: usize) -> FunctorId {
+        FunctorId(index as u32)
+    }
+
+    /// The table index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interning table for atoms and functors.
+///
+/// # Examples
+///
+/// ```
+/// use kcm_arch::SymbolTable;
+/// let mut syms = SymbolTable::new();
+/// let foo = syms.atom("foo");
+/// assert_eq!(syms.atom("foo"), foo);
+/// let f2 = syms.functor("f", 2);
+/// assert_eq!(syms.functor_name(f2), "f");
+/// assert_eq!(syms.functor_arity(f2), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    atoms: Vec<String>,
+    atom_index: HashMap<String, AtomId>,
+    functors: Vec<(AtomId, u8)>,
+    functor_index: HashMap<(AtomId, u8), FunctorId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Interns an atom, returning its stable id.
+    pub fn atom(&mut self, name: &str) -> AtomId {
+        if let Some(&id) = self.atom_index.get(name) {
+            return id;
+        }
+        let id = AtomId::new(self.atoms.len());
+        self.atoms.push(name.to_owned());
+        self.atom_index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an atom without interning it.
+    pub fn find_atom(&self, name: &str) -> Option<AtomId> {
+        self.atom_index.get(name).copied()
+    }
+
+    /// The print name of an atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not come from this table.
+    pub fn atom_name(&self, id: AtomId) -> &str {
+        &self.atoms[id.index()]
+    }
+
+    /// Interns a functor (name/arity pair).
+    pub fn functor(&mut self, name: &str, arity: u8) -> FunctorId {
+        let atom = self.atom(name);
+        self.functor_of(atom, arity)
+    }
+
+    /// Interns a functor from an already-interned atom.
+    pub fn functor_of(&mut self, atom: AtomId, arity: u8) -> FunctorId {
+        if let Some(&id) = self.functor_index.get(&(atom, arity)) {
+            return id;
+        }
+        let id = FunctorId::new(self.functors.len());
+        self.functors.push((atom, arity));
+        self.functor_index.insert((atom, arity), id);
+        id
+    }
+
+    /// The functor's name atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not come from this table.
+    pub fn functor_atom(&self, id: FunctorId) -> AtomId {
+        self.functors[id.index()].0
+    }
+
+    /// The functor's print name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not come from this table.
+    pub fn functor_name(&self, id: FunctorId) -> &str {
+        self.atom_name(self.functor_atom(id))
+    }
+
+    /// The functor's arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not come from this table.
+    pub fn functor_arity(&self, id: FunctorId) -> u8 {
+        self.functors[id.index()].1
+    }
+
+    /// Number of interned atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of interned functors.
+    pub fn functor_count(&self) -> usize {
+        self.functors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_are_interned_once() {
+        let mut t = SymbolTable::new();
+        let a = t.atom("hello");
+        let b = t.atom("hello");
+        let c = t.atom("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.atom_count(), 2);
+        assert_eq!(t.atom_name(a), "hello");
+    }
+
+    #[test]
+    fn functors_distinguish_arity() {
+        let mut t = SymbolTable::new();
+        let f1 = t.functor("f", 1);
+        let f2 = t.functor("f", 2);
+        assert_ne!(f1, f2);
+        assert_eq!(t.functor_name(f1), "f");
+        assert_eq!(t.functor_arity(f2), 2);
+        assert_eq!(t.functor_atom(f1), t.functor_atom(f2));
+    }
+
+    #[test]
+    fn find_atom_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.find_atom("x"), None);
+        let id = t.atom("x");
+        assert_eq!(t.find_atom("x"), Some(id));
+    }
+}

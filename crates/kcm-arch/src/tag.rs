@@ -1,0 +1,200 @@
+//! The 4-bit type field of a KCM data word (paper §3.2.2).
+//!
+//! Bits 51..=48 of a data word encode one of 16 possible types. KCM uses the
+//! type field both for Prolog term dispatch (through the MWAC multi-way
+//! address calculator) and for the zone check: "Any number type like integer
+//! or floating point is not allowed as address pointing into any zone."
+
+/// The type field of a [`Word`](crate::Word).
+///
+/// Ten of the sixteen encodings are populated, matching the types the paper
+/// names explicitly (integer, floating point, variable, list, data pointer,
+/// code pointer) plus the types any WAM implementation needs (structure,
+/// functor, atom, nil).
+///
+/// # Examples
+///
+/// ```
+/// use kcm_arch::Tag;
+/// assert!(Tag::List.is_pointer());
+/// assert!(!Tag::Int.is_pointer());
+/// assert_eq!(Tag::from_bits(Tag::Atom.bits()), Some(Tag::Atom));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Tag {
+    /// A reference to another data word; an unbound variable is a
+    /// self-referencing `Ref` (the standard WAM convention).
+    Ref = 0,
+    /// Pointer to a cons pair (two consecutive words) on the global stack.
+    List = 1,
+    /// Pointer to a functor word followed by the argument words.
+    Struct = 2,
+    /// A functor descriptor: the value part indexes the functor table
+    /// (name/arity). Appears as the first word of a structure frame.
+    Functor = 3,
+    /// An atom: the value part indexes the atom table.
+    Atom = 4,
+    /// The empty list `[]`. KCM gives nil its own type so list unification
+    /// dispatches in one MWAC step.
+    Nil = 5,
+    /// A 32-bit two's-complement integer.
+    Int = 6,
+    /// A 32-bit IEEE-754 float (the ALU/FPU "only treat the data part of a
+    /// word; 32 bit IEEE data format is used", §3.1.1).
+    Float = 7,
+    /// An untyped data pointer (machine-level pointer used inside
+    /// environments, choice points and the trail).
+    DataPtr = 8,
+    /// A pointer into the code address space (continuation pointers).
+    CodePtr = 9,
+}
+
+impl Tag {
+    /// All populated tag encodings, in encoding order.
+    pub const ALL: [Tag; 10] = [
+        Tag::Ref,
+        Tag::List,
+        Tag::Struct,
+        Tag::Functor,
+        Tag::Atom,
+        Tag::Nil,
+        Tag::Int,
+        Tag::Float,
+        Tag::DataPtr,
+        Tag::CodePtr,
+    ];
+
+    /// Returns the 4-bit encoding of this tag.
+    ///
+    /// ```
+    /// # use kcm_arch::Tag;
+    /// assert_eq!(Tag::Ref.bits(), 0);
+    /// assert_eq!(Tag::CodePtr.bits(), 9);
+    /// ```
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a 4-bit type field. Returns `None` for the six unpopulated
+    /// encodings (10..=15).
+    ///
+    /// ```
+    /// # use kcm_arch::Tag;
+    /// assert_eq!(Tag::from_bits(1), Some(Tag::List));
+    /// assert_eq!(Tag::from_bits(12), None);
+    /// ```
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Option<Tag> {
+        match bits {
+            0 => Some(Tag::Ref),
+            1 => Some(Tag::List),
+            2 => Some(Tag::Struct),
+            3 => Some(Tag::Functor),
+            4 => Some(Tag::Atom),
+            5 => Some(Tag::Nil),
+            6 => Some(Tag::Int),
+            7 => Some(Tag::Float),
+            8 => Some(Tag::DataPtr),
+            9 => Some(Tag::CodePtr),
+            _ => None,
+        }
+    }
+
+    /// Whether the value part of a word with this tag is a data-space
+    /// address. This is the predicate the data cache's dereference
+    /// hardware applies: "It is possible to start a dereferencing operation
+    /// in the data cache even if the object sent to the data cache is not an
+    /// address. If it is an address, then the data cache will perform a
+    /// read, if it is not then it will abort the read" (§3.1.4).
+    ///
+    /// ```
+    /// # use kcm_arch::Tag;
+    /// assert!(Tag::Ref.is_pointer());
+    /// assert!(Tag::DataPtr.is_pointer());
+    /// assert!(!Tag::Float.is_pointer());
+    /// ```
+    #[inline]
+    pub const fn is_pointer(self) -> bool {
+        matches!(self, Tag::Ref | Tag::List | Tag::Struct | Tag::DataPtr)
+    }
+
+    /// Whether a word with this tag is an atomic constant (unifies by
+    /// equality of tag and value).
+    #[inline]
+    pub const fn is_constant(self) -> bool {
+        matches!(self, Tag::Atom | Tag::Nil | Tag::Int | Tag::Float)
+    }
+
+    /// Whether this is a number type. Number types are never allowed as
+    /// addresses into any zone (§3.2.3).
+    #[inline]
+    pub const fn is_number(self) -> bool {
+        matches!(self, Tag::Int | Tag::Float)
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Tag::Ref => "ref",
+            Tag::List => "lst",
+            Tag::Struct => "str",
+            Tag::Functor => "fun",
+            Tag::Atom => "atm",
+            Tag::Nil => "nil",
+            Tag::Int => "int",
+            Tag::Float => "flt",
+            Tag::DataPtr => "dpt",
+            Tag::CodePtr => "cpt",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_tags() {
+        for tag in Tag::ALL {
+            assert_eq!(Tag::from_bits(tag.bits()), Some(tag));
+        }
+    }
+
+    #[test]
+    fn unpopulated_encodings_decode_to_none() {
+        for bits in 10u8..=15 {
+            assert_eq!(Tag::from_bits(bits), None);
+        }
+    }
+
+    #[test]
+    fn pointer_classification_matches_paper() {
+        // Lists and structures are constructed on the global stack and are
+        // legal addresses; numbers never are.
+        assert!(Tag::List.is_pointer());
+        assert!(Tag::Struct.is_pointer());
+        assert!(!Tag::Int.is_pointer());
+        assert!(!Tag::Float.is_pointer());
+        assert!(!Tag::Atom.is_pointer());
+    }
+
+    #[test]
+    fn constants_are_not_pointers() {
+        for tag in Tag::ALL {
+            if tag.is_constant() {
+                assert!(!tag.is_pointer(), "{tag} is both constant and pointer");
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_three_letters() {
+        for tag in Tag::ALL {
+            assert_eq!(tag.to_string().len(), 3);
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The KCM 64-bit tagged data word (paper figure 2 and §3.2.2).
+//!
+//! A word is "32 bits for the value part and 32 bits for the tag part".
+//! Within the tag part, bits 51..=48 carry the 4-bit type, bits 55..=52 the
+//! 4-bit zone, and (in this reproduction) bits 57..=56 the two garbage
+//! collection bits the TVM can manipulate (§3.1.1).
+
+use crate::addr::{VAddr, VADDR_MASK};
+use crate::symbol::{AtomId, FunctorId};
+use crate::tag::Tag;
+use crate::zone::Zone;
+
+const TAG_SHIFT: u32 = 48;
+const ZONE_SHIFT: u32 = 52;
+const GC_SHIFT: u32 = 56;
+const VALUE_MASK: u64 = 0xFFFF_FFFF;
+
+/// A 64-bit tagged machine word.
+///
+/// `Word` is a plain bit pattern: constructors guarantee well-formedness,
+/// accessors decode the fields. Malformed patterns (e.g. loaded from
+/// simulated memory that was never initialised) decode to `None` through the
+/// checked accessors.
+///
+/// # Examples
+///
+/// ```
+/// use kcm_arch::{Word, Tag, Zone, VAddr};
+///
+/// let n = Word::int(-7);
+/// assert_eq!(n.as_int(), Some(-7));
+///
+/// let cell = VAddr::new(Zone::Global.base().value() + 4);
+/// let r = Word::unbound(cell);
+/// assert!(r.is_unbound_at(cell));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Word(u64);
+
+impl Word {
+    /// The all-zero word: an integer 0 in zone `Static`. Used as the reset
+    /// pattern of simulated RAM.
+    pub const ZERO: Word = Word((Tag::Int.bits() as u64) << TAG_SHIFT);
+
+    /// Builds a word from raw bits. No validation: this is the path memory
+    /// reads take.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Word {
+        Word(bits)
+    }
+
+    /// The raw 64 bits.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a word from tag, zone and 32-bit value.
+    #[inline]
+    pub const fn pack(tag: Tag, zone: Zone, value: u32) -> Word {
+        Word(
+            ((zone.bits() as u64) << ZONE_SHIFT)
+                | ((tag.bits() as u64) << TAG_SHIFT)
+                | value as u64,
+        )
+    }
+
+    /// A tagged integer.
+    #[inline]
+    pub const fn int(v: i32) -> Word {
+        Word::pack(Tag::Int, Zone::Static, v as u32)
+    }
+
+    /// A tagged 32-bit IEEE float.
+    #[inline]
+    pub fn float(v: f32) -> Word {
+        Word::pack(Tag::Float, Zone::Static, v.to_bits())
+    }
+
+    /// A tagged atom.
+    #[inline]
+    pub const fn atom(id: AtomId) -> Word {
+        Word::pack(Tag::Atom, Zone::Static, id.index() as u32)
+    }
+
+    /// The empty list.
+    #[inline]
+    pub const fn nil() -> Word {
+        Word::pack(Tag::Nil, Zone::Static, 0)
+    }
+
+    /// A functor descriptor word (first word of a structure frame).
+    #[inline]
+    pub const fn functor(id: FunctorId) -> Word {
+        Word::pack(Tag::Functor, Zone::Static, id.index() as u32)
+    }
+
+    /// A pointer of the given type into the data space. The zone field is
+    /// derived from the address' region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is not a pointer type or the address lies in no
+    /// populated zone.
+    #[inline]
+    pub fn ptr(tag: Tag, addr: VAddr) -> Word {
+        assert!(tag.is_pointer(), "tag {tag} is not a pointer type");
+        let zone = Zone::of_addr(addr).expect("address outside every populated zone");
+        Word::pack(tag, zone, addr.value())
+    }
+
+    /// An unbound variable: a self-referencing `Ref` cell at `addr`.
+    #[inline]
+    pub fn unbound(addr: VAddr) -> Word {
+        Word::ptr(Tag::Ref, addr)
+    }
+
+    /// A reference to another cell.
+    #[inline]
+    pub fn reference(addr: VAddr) -> Word {
+        Word::ptr(Tag::Ref, addr)
+    }
+
+    /// A code pointer (continuation).
+    #[inline]
+    pub fn code_ptr(addr: crate::addr::CodeAddr) -> Word {
+        Word::pack(Tag::CodePtr, Zone::Code, addr.value())
+    }
+
+    /// The 32-bit value part.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        (self.0 & VALUE_MASK) as u32
+    }
+
+    /// The decoded type field, if populated.
+    #[inline]
+    pub const fn tag_checked(self) -> Option<Tag> {
+        Tag::from_bits(((self.0 >> TAG_SHIFT) & 0xF) as u8)
+    }
+
+    /// The decoded type field.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unpopulated type encoding. Words written by this crate
+    /// always carry a valid type; memory the program never wrote decodes as
+    /// the reset pattern (integer zero).
+    #[inline]
+    pub fn tag(self) -> Tag {
+        self.tag_checked().expect("word carries unpopulated type field")
+    }
+
+    /// The decoded zone field.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unpopulated zone encoding.
+    #[inline]
+    pub fn zone(self) -> Zone {
+        Zone::from_bits(((self.0 >> ZONE_SHIFT) & 0xF) as u8)
+            .expect("word carries unpopulated zone field")
+    }
+
+    /// The two GC bits (bits 57..=56).
+    #[inline]
+    pub const fn gc_bits(self) -> u8 {
+        ((self.0 >> GC_SHIFT) & 0x3) as u8
+    }
+
+    /// Returns the word with its GC bits replaced — one of the TVM's 64-bit
+    /// operations (§3.1.1).
+    #[inline]
+    pub const fn with_gc_bits(self, bits: u8) -> Word {
+        Word((self.0 & !(0x3 << GC_SHIFT)) | (((bits & 0x3) as u64) << GC_SHIFT))
+    }
+
+    /// Returns the word with value and tag parts swapped — the TVM "can
+    /// [...] swap value and tag parts of a word" (§3.1.1).
+    #[inline]
+    pub const fn swapped(self) -> Word {
+        Word(self.0.rotate_right(32))
+    }
+
+    /// The integer payload, if this is an `Int`.
+    #[inline]
+    pub fn as_int(self) -> Option<i32> {
+        match self.tag_checked() {
+            Some(Tag::Int) => Some(self.value() as i32),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a `Float`.
+    #[inline]
+    pub fn as_float(self) -> Option<f32> {
+        match self.tag_checked() {
+            Some(Tag::Float) => Some(f32::from_bits(self.value())),
+            _ => None,
+        }
+    }
+
+    /// The atom id, if this is an `Atom`.
+    #[inline]
+    pub fn as_atom(self) -> Option<AtomId> {
+        match self.tag_checked() {
+            Some(Tag::Atom) => Some(AtomId::new(self.value() as usize)),
+            _ => None,
+        }
+    }
+
+    /// The functor id, if this is a `Functor` descriptor.
+    #[inline]
+    pub fn as_functor(self) -> Option<FunctorId> {
+        match self.tag_checked() {
+            Some(Tag::Functor) => Some(FunctorId::new(self.value() as usize)),
+            _ => None,
+        }
+    }
+
+    /// The data-space address, if this word is a pointer type.
+    #[inline]
+    pub fn as_addr(self) -> Option<VAddr> {
+        match self.tag_checked() {
+            Some(t) if t.is_pointer() => Some(VAddr::new(self.value() & VADDR_MASK)),
+            _ => None,
+        }
+    }
+
+    /// The code-space address, if this is a `CodePtr`.
+    #[inline]
+    pub fn as_code_addr(self) -> Option<crate::addr::CodeAddr> {
+        match self.tag_checked() {
+            Some(Tag::CodePtr) => Some(crate::addr::CodeAddr::new(self.value() & VADDR_MASK)),
+            _ => None,
+        }
+    }
+
+    /// Whether this word is an unbound variable stored at `addr`
+    /// (self-reference convention).
+    #[inline]
+    pub fn is_unbound_at(self, addr: VAddr) -> bool {
+        self.tag_checked() == Some(Tag::Ref) && self.value() == addr.value()
+    }
+
+    /// Whether two words are identical constants (used by `get_constant`
+    /// and friends: constants unify iff tag and value match).
+    #[inline]
+    pub fn same_constant(self, other: Word) -> bool {
+        self.tag_checked() == other.tag_checked() && self.value() == other.value()
+    }
+}
+
+impl std::fmt::Debug for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.tag_checked() {
+            Some(t) => write!(f, "Word({t}:{}:{:#x})", self.zone(), self.value()),
+            None => write!(f, "Word(raw:{:#018x})", self.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.tag_checked() {
+            Some(Tag::Int) => write!(f, "{}", self.value() as i32),
+            Some(Tag::Float) => write!(f, "{:?}", f32::from_bits(self.value())),
+            Some(Tag::Nil) => write!(f, "[]"),
+            Some(Tag::Atom) => write!(f, "atom#{}", self.value()),
+            Some(Tag::Functor) => write!(f, "functor#{}", self.value()),
+            Some(t) => write!(f, "{t}@{:#x}", self.value()),
+            None => write!(f, "raw:{:#018x}", self.0),
+        }
+    }
+}
+
+impl std::fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::CodeAddr;
+
+    #[test]
+    fn int_roundtrip_extremes() {
+        for v in [0, 1, -1, i32::MAX, i32::MIN] {
+            assert_eq!(Word::int(v).as_int(), Some(v));
+        }
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        for v in [0.0f32, -1.5, f32::MAX, f32::MIN_POSITIVE] {
+            assert_eq!(Word::float(v).as_float(), Some(v));
+        }
+    }
+
+    #[test]
+    fn nan_float_roundtrips_bitwise() {
+        let w = Word::float(f32::NAN);
+        assert!(w.as_float().unwrap().is_nan());
+    }
+
+    #[test]
+    fn pointer_derives_zone_from_address() {
+        let a = VAddr::new(Zone::Local.base().value() + 3);
+        let w = Word::ptr(Tag::Ref, a);
+        assert_eq!(w.zone(), Zone::Local);
+        assert_eq!(w.as_addr(), Some(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a pointer type")]
+    fn non_pointer_tag_rejected_by_ptr() {
+        let _ = Word::ptr(Tag::Int, VAddr::new(0));
+    }
+
+    #[test]
+    fn unbound_is_self_reference() {
+        let a = VAddr::new(Zone::Global.base().value() + 77);
+        let w = Word::unbound(a);
+        assert!(w.is_unbound_at(a));
+        assert!(!w.is_unbound_at(a.offset(1)));
+    }
+
+    #[test]
+    fn code_pointer_roundtrip() {
+        let c = CodeAddr::new(0x1234);
+        assert_eq!(Word::code_ptr(c).as_code_addr(), Some(c));
+        assert_eq!(Word::code_ptr(c).zone(), Zone::Code);
+    }
+
+    #[test]
+    fn swap_is_involutive() {
+        let w = Word::pack(Tag::List, Zone::Global, 0xDEAD);
+        assert_eq!(w.swapped().swapped(), w);
+    }
+
+    #[test]
+    fn gc_bits_do_not_disturb_payload() {
+        let w = Word::int(99).with_gc_bits(0b11);
+        assert_eq!(w.gc_bits(), 0b11);
+        assert_eq!(w.as_int(), Some(99));
+        assert_eq!(w.with_gc_bits(0).gc_bits(), 0);
+    }
+
+    #[test]
+    fn same_constant_ignores_gc_bits() {
+        let a = Word::int(5).with_gc_bits(0b01);
+        let b = Word::int(5);
+        assert!(a.same_constant(b));
+        assert!(!a.same_constant(Word::int(6)));
+        assert!(!Word::int(0).same_constant(Word::nil()));
+    }
+
+    #[test]
+    fn accessors_reject_wrong_tags() {
+        assert_eq!(Word::int(1).as_float(), None);
+        assert_eq!(Word::nil().as_int(), None);
+        assert_eq!(Word::int(1).as_addr(), None);
+        assert_eq!(Word::nil().as_code_addr(), None);
+    }
+
+    #[test]
+    fn zero_pattern_is_integer_zero() {
+        assert_eq!(Word::ZERO.as_int(), Some(0));
+    }
+}

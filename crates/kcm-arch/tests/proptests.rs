@@ -1,0 +1,134 @@
+//! Property-based tests on the architectural data types: every word and
+//! every instruction must survive its binary encoding round trip.
+
+use kcm_arch::isa::{AluOp, Builtin, Cond};
+use kcm_arch::{CodeAddr, FunctorId, Instr, Reg, Tag, VAddr, Word, Zone};
+use proptest::prelude::*;
+
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    proptest::sample::select(Tag::ALL.to_vec())
+}
+
+fn arb_zone() -> impl Strategy<Value = Zone> {
+    proptest::sample::select(Zone::DATA_ZONES.to_vec())
+}
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..64).prop_map(Reg::new)
+}
+
+fn arb_addr() -> impl Strategy<Value = CodeAddr> {
+    (0u32..0x0FFF_FFF0).prop_map(CodeAddr::new)
+}
+
+fn arb_const() -> impl Strategy<Value = Word> {
+    prop_oneof![
+        any::<i32>().prop_map(Word::int),
+        any::<u32>().prop_map(|b| Word::float(f32::from_bits(b))),
+        (0u32..1_000_000).prop_map(|i| Word::atom(kcm_arch::AtomId::new(i as usize))),
+        Just(Word::nil()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn word_fields_roundtrip(tag in arb_tag(), zone in arb_zone(), value in any::<u32>()) {
+        let w = Word::pack(tag, zone, value);
+        prop_assert_eq!(w.tag(), tag);
+        prop_assert_eq!(w.zone(), zone);
+        prop_assert_eq!(w.value(), value);
+        // Raw bits survive too.
+        prop_assert_eq!(Word::from_bits(w.bits()), w);
+    }
+
+    #[test]
+    fn gc_bits_are_orthogonal(tag in arb_tag(), zone in arb_zone(), value in any::<u32>(), bits in 0u8..4) {
+        let w = Word::pack(tag, zone, value).with_gc_bits(bits);
+        prop_assert_eq!(w.gc_bits(), bits);
+        prop_assert_eq!(w.tag(), tag);
+        prop_assert_eq!(w.value(), value);
+    }
+
+    #[test]
+    fn swap_is_involutive(tag in arb_tag(), zone in arb_zone(), value in any::<u32>()) {
+        let w = Word::pack(tag, zone, value);
+        prop_assert_eq!(w.swapped().swapped(), w);
+    }
+
+    #[test]
+    fn single_word_instrs_roundtrip(i in arb_instr()) {
+        let mut words = Vec::new();
+        i.encode(&mut words);
+        prop_assert_eq!(words.len(), i.size_words());
+        let (decoded, used) = Instr::decode(&words).expect("decodes");
+        prop_assert_eq!(used, words.len());
+        prop_assert_eq!(decoded, i);
+    }
+
+    #[test]
+    fn switch_tables_roundtrip(
+        default in proptest::option::of(arb_addr()),
+        keys in proptest::collection::vec((arb_const(), arb_addr()), 0..12),
+    ) {
+        let i = Instr::SwitchOnConstant { default, table: keys };
+        let mut words = Vec::new();
+        i.encode(&mut words);
+        let (decoded, used) = Instr::decode(&words).expect("decodes");
+        prop_assert_eq!(used, words.len());
+        prop_assert_eq!(decoded, i);
+    }
+
+    #[test]
+    fn vaddr_page_split_is_lossless(raw in 0u32..(1 << 28)) {
+        let a = VAddr::new(raw);
+        let back = a.page().index() as u32 * kcm_arch::PAGE_SIZE_WORDS + a.page_offset();
+        prop_assert_eq!(back, raw);
+    }
+
+    #[test]
+    fn zone_of_addr_matches_base(zone in arb_zone(), off in 0u32..(1 << 24)) {
+        let a = VAddr::new(zone.base().value() + off);
+        prop_assert_eq!(Zone::of_addr(a), Some(zone));
+    }
+}
+
+/// Single-word instructions with arbitrary operands.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_addr(), any::<u8>()).prop_map(|(addr, arity)| Instr::Call { addr, arity }),
+        (arb_addr(), any::<u8>()).prop_map(|(addr, arity)| Instr::Execute { addr, arity }),
+        Just(Instr::Proceed),
+        any::<u8>().prop_map(|n| Instr::Allocate { n }),
+        Just(Instr::Deallocate),
+        arb_addr().prop_map(|alt| Instr::TryMeElse { alt }),
+        arb_addr().prop_map(|alt| Instr::RetryMeElse { alt }),
+        Just(Instr::TrustMe),
+        Just(Instr::Neck),
+        Just(Instr::Cut),
+        Just(Instr::Fail),
+        Just(Instr::Mark),
+        Just(Instr::UnifyTailList),
+        proptest::sample::select(Builtin::ALL.to_vec()).prop_map(|builtin| Instr::Escape { builtin }),
+        (arb_reg(), arb_reg()).prop_map(|(x, a)| Instr::GetVariable { x, a }),
+        (any::<u8>(), arb_reg()).prop_map(|(y, a)| Instr::GetValueY { y, a }),
+        (arb_const(), arb_reg()).prop_map(|(c, a)| Instr::GetConstant { c, a }),
+        (arb_const(), arb_reg()).prop_map(|(c, a)| Instr::PutConstant { c, a }),
+        (0u32..1_000_000, arb_reg()).prop_map(|(f, a)| Instr::GetStructure {
+            f: FunctorId::new(f as usize),
+            a
+        }),
+        arb_const().prop_map(|c| Instr::UnifyConstant { c }),
+        any::<u8>().prop_map(|n| Instr::UnifyVoid { n }),
+        (
+            proptest::sample::select(AluOp::ALL.to_vec()),
+            arb_reg(),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, d, s1, s2)| Instr::Alu { op, d, s1, s2 }),
+        (proptest::sample::select(Cond::ALL.to_vec()), arb_addr())
+            .prop_map(|(cond, to)| Instr::Branch { cond, to }),
+        (arb_reg(), arb_reg(), arb_reg(), any::<i16>(), any::<bool>())
+            .prop_map(|(dd, ras, rad, off, pre)| Instr::Load { dd, ras, rad, off, pre }),
+    ]
+}

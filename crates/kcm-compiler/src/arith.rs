@@ -1,0 +1,153 @@
+//! Inline arithmetic expressions.
+//!
+//! The benchmark configuration compiles arithmetic natively ("integer
+//! arithmetic", §4): expressions over numbers and variables become ALU/FPU
+//! instructions instead of escapes. The machine's ALU is *generic*: two
+//! `Int` operands stay on the integer ALU; any `Float` routes to the FPU
+//! (§4.2's "multi-way branching for generic arithmetic").
+
+use kcm_arch::isa::AluOp;
+use kcm_prolog::Term;
+
+/// A natively compilable arithmetic expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An integer literal.
+    Int(i32),
+    /// A float literal.
+    Float(f32),
+    /// A Prolog variable (must be bound to a number at run time).
+    Var(String),
+    /// A binary operation.
+    Bin(AluOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Variables of the expression, left-to-right with duplicates.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
+            match e {
+                Expr::Var(v) => out.push(v),
+                Expr::Bin(_, a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Expr::Neg(a) => walk(a, out),
+                _ => {}
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Number of ALU operations in the expression (for cost estimates).
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Bin(_, a, b) => 1 + a.op_count() + b.op_count(),
+            Expr::Neg(a) => 1 + a.op_count(),
+            _ => 0,
+        }
+    }
+}
+
+fn binop(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "+" => AluOp::Add,
+        "-" => AluOp::Sub,
+        "*" => AluOp::Mul,
+        "/" | "//" => AluOp::Div,
+        "mod" | "rem" => AluOp::Mod,
+        "/\\" => AluOp::And,
+        "\\/" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "<<" => AluOp::Shl,
+        ">>" => AluOp::Shr,
+        "min" => AluOp::Min,
+        "max" => AluOp::Max,
+        _ => return None,
+    })
+}
+
+/// Parses a term as a native arithmetic expression; `None` if any part is
+/// not natively compilable (then the generic `is/2` escape takes over).
+pub fn parse_expr(t: &Term) -> Option<Expr> {
+    match t {
+        Term::Int(v) => Some(Expr::Int(*v)),
+        Term::Float(v) => Some(Expr::Float(*v)),
+        Term::Var(v) => Some(Expr::Var(v.clone())),
+        Term::Struct(n, args) if args.len() == 2 => {
+            let op = binop(n)?;
+            let a = parse_expr(&args[0])?;
+            let b = parse_expr(&args[1])?;
+            Some(Expr::Bin(op, Box::new(a), Box::new(b)))
+        }
+        Term::Struct(n, args) if args.len() == 1 && n == "-" => {
+            Some(Expr::Neg(Box::new(parse_expr(&args[0])?)))
+        }
+        Term::Struct(n, args) if args.len() == 1 && n == "+" => parse_expr(&args[0]),
+        Term::Struct(n, args) if args.len() == 1 && n == "abs" => {
+            // abs(X) = max(X, -X): compiled with existing ALU ops.
+            let x = parse_expr(&args[0])?;
+            Some(Expr::Bin(
+                AluOp::Max,
+                Box::new(x.clone()),
+                Box::new(Expr::Neg(Box::new(x))),
+            ))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcm_prolog::read_term;
+
+    fn e(src: &str) -> Option<Expr> {
+        parse_expr(&read_term(src).unwrap())
+    }
+
+    #[test]
+    fn literals_and_vars() {
+        assert_eq!(e("42"), Some(Expr::Int(42)));
+        assert_eq!(e("-3"), Some(Expr::Int(-3)));
+        assert_eq!(e("X"), Some(Expr::Var("X".into())));
+        assert_eq!(e("2.5"), Some(Expr::Float(2.5)));
+    }
+
+    #[test]
+    fn nested_operations() {
+        let expr = e("X + Y * 2").unwrap();
+        assert_eq!(expr.op_count(), 2);
+        assert_eq!(expr.variables(), vec!["X", "Y"]);
+    }
+
+    #[test]
+    fn unary_minus_and_plus() {
+        assert!(matches!(e("-(X)"), Some(Expr::Neg(_))));
+        assert_eq!(e("+(X)"), Some(Expr::Var("X".into())));
+    }
+
+    #[test]
+    fn abs_desugars() {
+        let expr = e("abs(X)").unwrap();
+        assert!(matches!(expr, Expr::Bin(AluOp::Max, _, _)));
+    }
+
+    #[test]
+    fn non_native_terms_rejected() {
+        assert_eq!(e("foo(X)"), None);
+        assert_eq!(e("X + foo"), None);
+        assert_eq!(e("atom"), None);
+        assert_eq!(e("sin(X)"), None);
+    }
+
+    #[test]
+    fn integer_division_forms() {
+        assert!(matches!(e("X // 2"), Some(Expr::Bin(AluOp::Div, _, _))));
+        assert!(matches!(e("X mod 2"), Some(Expr::Bin(AluOp::Mod, _, _))));
+    }
+}

@@ -1,0 +1,377 @@
+//! First-argument indexing.
+//!
+//! KCM dispatches on the dereferenced type of A1 through the MWAC
+//! (`switch_on_term`) and on constants/functors through table switches —
+//! the multi-word instructions of §4.1. Indexing both avoids choice points
+//! entirely when a single clause can match (the deterministic case §3.1.5
+//! aims at) and narrows try/retry/trust chains otherwise. The paper
+//! attributes `query`'s best-in-table 10.17× ratio over Quintus to "the
+//! efficiency of KCM indexing" (§4.2).
+
+use crate::asm::AsmItem;
+use crate::clause::compile_clause;
+use crate::ir::Predicate;
+use crate::CompileError;
+use kcm_arch::{FunctorId, SymbolTable, Word};
+use kcm_prolog::Term;
+use std::collections::HashMap;
+
+/// The indexing key of a clause: the shape of its first head argument.
+#[derive(Debug, Clone, PartialEq)]
+enum Key {
+    Var,
+    Const(Word),
+    List,
+    Struct(FunctorId),
+}
+
+fn key_of(first_arg: Option<&Term>, symbols: &mut SymbolTable) -> Key {
+    match first_arg {
+        None | Some(Term::Var(_)) => Key::Var,
+        Some(Term::Int(v)) => Key::Const(Word::int(*v)),
+        Some(Term::Float(v)) => Key::Const(Word::float(*v)),
+        Some(Term::Atom(n)) if n == "[]" => Key::Const(Word::nil()),
+        Some(Term::Atom(n)) => Key::Const(Word::atom(symbols.atom(n))),
+        Some(Term::Struct(n, args)) if n == "." && args.len() == 2 => Key::List,
+        Some(Term::Struct(n, args)) => {
+            Key::Struct(symbols.functor(n, args.len() as u8))
+        }
+    }
+}
+
+/// Label allocator shared across one predicate's code.
+struct Labels {
+    next: usize,
+}
+
+impl Labels {
+    fn fresh(&mut self) -> usize {
+        let l = self.next;
+        self.next += 1;
+        l
+    }
+}
+
+/// Compiles a whole predicate: indexing prelude plus clause code.
+///
+/// Layout for a multi-clause predicate with useful first-argument keys:
+///
+/// ```text
+/// entry:  switch_on_term Lvar, Lconst, Llist, Lstruct
+///         <chain blocks: try/retry/trust over clause labels>
+/// Lvar:   try_me_else La2
+/// Lc1:    <clause 1>
+/// La2:    retry_me_else La3
+/// Lc2:    <clause 2>
+/// La3:    trust_me
+/// Lc3:    <clause 3>
+/// ```
+///
+/// A bucket with a single candidate jumps straight to the clause code —
+/// the deterministic entry that never creates a choice point.
+///
+/// # Errors
+///
+/// Propagates clause-compilation errors.
+pub fn compile_predicate(
+    pred: &Predicate,
+    symbols: &mut SymbolTable,
+    statics: &mut crate::link::StaticImage,
+    options: &crate::CompileOptions,
+) -> Result<Vec<AsmItem>, CompileError> {
+    let n = pred.clauses.len();
+    if n == 1 {
+        return compile_clause(&pred.id, &pred.clauses[0], false, symbols, statics, options);
+    }
+    let mut labels = Labels { next: 0 };
+    let clause_label: Vec<usize> = (0..n).map(|_| labels.fresh()).collect();
+    let var_chain_label = labels.fresh();
+
+    let keys: Vec<Key> = pred
+        .clauses
+        .iter()
+        .map(|c| key_of(c.head_args().first(), symbols))
+        .collect();
+    let indexable = pred.id.arity >= 1 && keys.iter().any(|k| *k != Key::Var);
+
+    let mut items: Vec<AsmItem> = Vec::new();
+    // Chain cache: candidate list → label (deduplicates identical chains).
+    let mut chain_blocks: Vec<AsmItem> = Vec::new();
+    let mut chain_cache: HashMap<Vec<usize>, usize> = HashMap::new();
+    let all: Vec<usize> = (0..n).collect();
+
+    let chain_target = |cands: &[usize],
+                            labels: &mut Labels,
+                            chain_blocks: &mut Vec<AsmItem>,
+                            chain_cache: &mut HashMap<Vec<usize>, usize>|
+     -> Option<usize> {
+        if cands.is_empty() {
+            return None;
+        }
+        if cands.len() == 1 {
+            return Some(clause_label[cands[0]]);
+        }
+        if cands == all.as_slice() {
+            return Some(var_chain_label);
+        }
+        if let Some(&l) = chain_cache.get(cands) {
+            return Some(l);
+        }
+        let l = labels.fresh();
+        chain_cache.insert(cands.to_vec(), l);
+        chain_blocks.push(AsmItem::Label(l));
+        for (pos, &ci) in cands.iter().enumerate() {
+            let target = clause_label[ci];
+            chain_blocks.push(if pos == 0 {
+                AsmItem::TryL(target)
+            } else if pos + 1 == cands.len() {
+                AsmItem::TrustL(target)
+            } else {
+                AsmItem::RetryL(target)
+            });
+        }
+        Some(l)
+    };
+
+    if indexable {
+        let bucket = |pred_match: &dyn Fn(&Key) -> bool| -> Vec<usize> {
+            (0..n)
+                .filter(|&i| matches!(keys[i], Key::Var) || pred_match(&keys[i]))
+                .collect()
+        };
+        let const_bucket = bucket(&|k| matches!(k, Key::Const(_)));
+        let list_bucket = bucket(&|k| matches!(k, Key::List));
+        let struct_bucket = bucket(&|k| matches!(k, Key::Struct(_)));
+        let var_only: Vec<usize> = (0..n).filter(|&i| keys[i] == Key::Var).collect();
+
+        // Constant bucket: a key table when several distinct constants
+        // exist, a plain chain otherwise.
+        let distinct_consts: Vec<Word> = {
+            let mut seen: Vec<Word> = Vec::new();
+            for k in &keys {
+                if let Key::Const(w) = k {
+                    if !seen.iter().any(|x| x.bits() == w.bits()) {
+                        seen.push(*w);
+                    }
+                }
+            }
+            seen
+        };
+        let on_const = if distinct_consts.len() >= 2 {
+            let table_label = labels.fresh();
+            let mut table = Vec::new();
+            for w in &distinct_consts {
+                let cands: Vec<usize> = (0..n)
+                    .filter(|&i| {
+                        keys[i] == Key::Var
+                            || matches!(keys[i], Key::Const(x) if x.bits() == w.bits())
+                    })
+                    .collect();
+                let t = chain_target(&cands, &mut labels, &mut chain_blocks, &mut chain_cache)
+                    .expect("non-empty const bucket");
+                table.push((*w, t));
+            }
+            let default =
+                chain_target(&var_only, &mut labels, &mut chain_blocks, &mut chain_cache);
+            chain_blocks.push(AsmItem::Label(table_label));
+            chain_blocks.push(AsmItem::SwitchOnConstantL { default, table });
+            Some(table_label)
+        } else {
+            chain_target(&const_bucket, &mut labels, &mut chain_blocks, &mut chain_cache)
+        };
+
+        // Structure bucket: same treatment by functor.
+        let distinct_functors: Vec<FunctorId> = {
+            let mut seen: Vec<FunctorId> = Vec::new();
+            for k in &keys {
+                if let Key::Struct(f) = k {
+                    if !seen.contains(f) {
+                        seen.push(*f);
+                    }
+                }
+            }
+            seen
+        };
+        let on_struct = if distinct_functors.len() >= 2 {
+            let table_label = labels.fresh();
+            let mut table = Vec::new();
+            for f in &distinct_functors {
+                let cands: Vec<usize> = (0..n)
+                    .filter(|&i| keys[i] == Key::Var || keys[i] == Key::Struct(*f))
+                    .collect();
+                let t = chain_target(&cands, &mut labels, &mut chain_blocks, &mut chain_cache)
+                    .expect("non-empty struct bucket");
+                table.push((*f, t));
+            }
+            let default =
+                chain_target(&var_only, &mut labels, &mut chain_blocks, &mut chain_cache);
+            chain_blocks.push(AsmItem::Label(table_label));
+            chain_blocks.push(AsmItem::SwitchOnStructureL { default, table });
+            Some(table_label)
+        } else {
+            chain_target(&struct_bucket, &mut labels, &mut chain_blocks, &mut chain_cache)
+        };
+
+        let on_list =
+            chain_target(&list_bucket, &mut labels, &mut chain_blocks, &mut chain_cache);
+
+        items.push(AsmItem::SwitchOnTermL {
+            on_var: Some(var_chain_label),
+            on_const,
+            on_list,
+            on_struct,
+        });
+        items.append(&mut chain_blocks);
+    }
+
+    // The var chain: try_me_else-threaded clause code.
+    let alt_labels: Vec<usize> = (0..n).map(|_| labels.fresh()).collect();
+    items.push(AsmItem::Label(var_chain_label));
+    for (i, clause) in pred.clauses.iter().enumerate() {
+        if i == 0 {
+            items.push(AsmItem::TryMeElse(alt_labels[1]));
+        } else {
+            items.push(AsmItem::Label(alt_labels[i]));
+            if i + 1 == n {
+                items.push(AsmItem::Plain(kcm_arch::Instr::TrustMe));
+            } else {
+                items.push(AsmItem::RetryMeElse(alt_labels[i + 1]));
+            }
+        }
+        items.push(AsmItem::Label(clause_label[i]));
+        let mut code = compile_clause(&pred.id, clause, true, symbols, statics, options)?;
+        items.append(&mut code);
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Program;
+    use kcm_prolog::read_program;
+
+    fn compile(src: &str) -> (Vec<AsmItem>, SymbolTable) {
+        let prog = Program::from_clauses(&read_program(src).unwrap()).unwrap();
+        let mut symbols = SymbolTable::new();
+        let mut statics = crate::link::StaticImage::new(crate::link::STATIC_DATA_BASE);
+        let items =
+            compile_predicate(&prog.predicates[0], &mut symbols, &mut statics, &Default::default())
+                .unwrap();
+        (items, symbols)
+    }
+
+    fn count_matching(items: &[AsmItem], f: impl Fn(&AsmItem) -> bool) -> usize {
+        items.iter().filter(|i| f(i)).count()
+    }
+
+    #[test]
+    fn single_clause_has_no_prelude() {
+        let (items, _) = compile("p(X) :- q(X).");
+        assert_eq!(
+            count_matching(&items, |i| matches!(i, AsmItem::SwitchOnTermL { .. })),
+            0
+        );
+        assert_eq!(count_matching(&items, |i| matches!(i, AsmItem::TryMeElse(_))), 0);
+    }
+
+    #[test]
+    fn append_like_predicate_switches() {
+        let (items, _) = compile("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).");
+        let sw = items
+            .iter()
+            .find_map(|i| match i {
+                AsmItem::SwitchOnTermL { on_var, on_const, on_list, on_struct } => {
+                    Some((*on_var, *on_const, *on_list, *on_struct))
+                }
+                _ => None,
+            })
+            .expect("switch_on_term emitted");
+        // const bucket: only clause 1; list bucket: only clause 2; both
+        // deterministic (direct clause labels, no chain).
+        assert!(sw.1.is_some());
+        assert!(sw.2.is_some());
+        assert!(sw.3.is_none(), "no structure clauses → fail");
+        assert_eq!(count_matching(&items, |i| matches!(i, AsmItem::TryL(_))), 0);
+    }
+
+    #[test]
+    fn all_var_heads_skip_the_switch() {
+        let (items, _) = compile("p(X) :- q(X). p(X) :- r(X).");
+        assert_eq!(
+            count_matching(&items, |i| matches!(i, AsmItem::SwitchOnTermL { .. })),
+            0
+        );
+        assert_eq!(count_matching(&items, |i| matches!(i, AsmItem::TryMeElse(_))), 1);
+        assert_eq!(
+            count_matching(&items, |i| matches!(i, AsmItem::Plain(kcm_arch::Instr::TrustMe))),
+            1
+        );
+    }
+
+    #[test]
+    fn constant_table_for_multiple_keys() {
+        let (items, _) = compile("c(red, 1). c(green, 2). c(blue, 3).");
+        let table = items
+            .iter()
+            .find_map(|i| match i {
+                AsmItem::SwitchOnConstantL { table, default } => Some((table.clone(), *default)),
+                _ => None,
+            })
+            .expect("constant table emitted");
+        assert_eq!(table.0.len(), 3);
+        assert_eq!(table.1, None, "no var clauses → default fails");
+    }
+
+    #[test]
+    fn structure_table_with_var_default() {
+        let (items, _) = compile(
+            "d(x+y, a). d(x*y, b). d(x-y, c). d(V, V).",
+        );
+        let (table, default) = items
+            .iter()
+            .find_map(|i| match i {
+                AsmItem::SwitchOnStructureL { table, default } => {
+                    Some((table.clone(), *default))
+                }
+                _ => None,
+            })
+            .expect("structure table emitted");
+        assert_eq!(table.len(), 3);
+        assert!(default.is_some(), "var clause is the default");
+    }
+
+    #[test]
+    fn shared_key_clauses_form_a_chain() {
+        let (items, _) = compile("p(a, 1). p(a, 2). p(b, 3).");
+        // Two clauses for key 'a' → one try/trust chain.
+        assert_eq!(count_matching(&items, |i| matches!(i, AsmItem::TryL(_))), 1);
+        assert_eq!(count_matching(&items, |i| matches!(i, AsmItem::TrustL(_))), 1);
+    }
+
+    #[test]
+    fn every_clause_gets_neck() {
+        let (items, _) = compile("p(a). p(b).");
+        assert_eq!(
+            count_matching(&items, |i| matches!(i, AsmItem::Plain(kcm_arch::Instr::Neck))),
+            2
+        );
+    }
+
+    #[test]
+    fn var_clauses_participate_in_typed_buckets() {
+        let (items, _) = compile("p([]). p(V) :- q(V).");
+        let sw = items
+            .iter()
+            .find_map(|i| match i {
+                AsmItem::SwitchOnTermL { on_const, on_list, .. } => Some((*on_const, *on_list)),
+                _ => None,
+            })
+            .unwrap();
+        // const bucket: both clauses — identical to the full set, so it
+        // reuses the try_me_else chain; list bucket: just the var clause.
+        assert!(sw.0.is_some());
+        assert!(sw.1.is_some());
+        assert_eq!(count_matching(&items, |i| matches!(i, AsmItem::TryL(_))), 0);
+    }
+}

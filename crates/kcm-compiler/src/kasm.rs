@@ -1,0 +1,684 @@
+//! The textual macro assembler.
+//!
+//! The paper's tool set includes "code generation tools (Prolog compiler,
+//! macro assembler, linker)" (§4). The compiler emits symbolic code
+//! directly; this module adds the human-facing assembler so KCM programs —
+//! including native tagged-RISC code, since KCM "can be seen as a tagged
+//! general purpose machine" (§2) — can be written by hand.
+//!
+//! # Syntax
+//!
+//! One instruction per line; `%` starts a comment. Labels are
+//! `name:` on their own line or before an instruction. Operands:
+//!
+//! * registers `r0`..`r63`, permanent slots `y0`..`y255`;
+//! * constants: integers, floats, `'atom'` or bare lowercase atoms, `[]`;
+//! * predicate references `name/arity` (resolved by the linker);
+//! * label references by name; `fail` as a switch target means failure.
+//!
+//! ```text
+//! main:
+//!     load_const   r1, 0          % accumulator
+//!     load_const   r2, 5          % counter
+//! loop:
+//!     alu add      r1, r1, r2
+//!     load_const   r3, 1
+//!     alu sub      r2, r2, r3
+//!     load_const   r4, 0
+//!     cmp          r2, r4
+//!     branch gt    loop
+//!     halt         true
+//! ```
+
+use crate::asm::AsmItem;
+use crate::ir::PredId;
+use kcm_arch::isa::{AluOp, Builtin, Cond, Instr, Reg};
+use kcm_arch::Word;
+use std::collections::HashMap;
+
+/// An assembly syntax error with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KasmError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl std::fmt::Display for KasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kasm error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for KasmError {}
+
+struct Parser<'a> {
+    symbols: &'a mut kcm_arch::SymbolTable,
+    labels: HashMap<String, usize>,
+    next_label: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn label_id(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.labels.get(name) {
+            return id;
+        }
+        let id = self.next_label;
+        self.next_label += 1;
+        self.labels.insert(name.to_owned(), id);
+        id
+    }
+
+    fn reg(op: &str) -> Result<Reg, String> {
+        let n: u8 = op
+            .strip_prefix('r')
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("expected a register, found {op:?}"))?;
+        if n >= 64 {
+            return Err(format!("register {op} out of range"));
+        }
+        Ok(Reg::new(n))
+    }
+
+    fn yslot(op: &str) -> Result<u8, String> {
+        op.strip_prefix('y')
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("expected a Y slot, found {op:?}"))
+    }
+
+    fn constant(&mut self, op: &str) -> Result<Word, String> {
+        if op == "[]" {
+            return Ok(Word::nil());
+        }
+        // ptr(zone, offset): a data pointer into a zone — for native code
+        // that addresses memory directly.
+        if let Some(inner) = op.strip_prefix("ptr(").and_then(|s| s.strip_suffix(')')) {
+            let (zname, off) = inner
+                .split_once(',')
+                .ok_or_else(|| format!("expected ptr(zone, offset), found {op:?}"))?;
+            let zone = match zname.trim() {
+                "static" => kcm_arch::Zone::Static,
+                "global" => kcm_arch::Zone::Global,
+                "local" => kcm_arch::Zone::Local,
+                "control" => kcm_arch::Zone::Control,
+                "trail" => kcm_arch::Zone::Trail,
+                other => return Err(format!("unknown zone {other:?}")),
+            };
+            let off: u32 = off
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad offset in {op:?}"))?;
+            return Ok(Word::ptr(
+                kcm_arch::Tag::DataPtr,
+                kcm_arch::VAddr::new(zone.base().value() + off),
+            ));
+        }
+        if let Ok(i) = op.parse::<i32>() {
+            return Ok(Word::int(i));
+        }
+        if let Ok(x) = op.parse::<f32>() {
+            if op.contains('.') {
+                return Ok(Word::float(x));
+            }
+        }
+        if let Some(q) = op.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
+            return Ok(Word::atom(self.symbols.atom(q)));
+        }
+        if op.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+            && op.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Ok(Word::atom(self.symbols.atom(op)));
+        }
+        Err(format!("expected a constant, found {op:?}"))
+    }
+
+    fn pred(op: &str) -> Result<PredId, String> {
+        let (name, arity) = op
+            .rsplit_once('/')
+            .ok_or_else(|| format!("expected name/arity, found {op:?}"))?;
+        let arity: u8 = arity
+            .parse()
+            .map_err(|_| format!("bad arity in {op:?}"))?;
+        Ok(PredId { name: name.to_owned(), arity })
+    }
+
+    fn functor(&mut self, op: &str) -> Result<kcm_arch::FunctorId, String> {
+        let p = Self::pred(op)?;
+        Ok(self.symbols.functor(&p.name, p.arity))
+    }
+
+    fn opt_target(&mut self, op: &str) -> Option<usize> {
+        if op == "fail" {
+            None
+        } else {
+            Some(self.label_id(op))
+        }
+    }
+
+    fn alu_op(op: &str) -> Result<AluOp, String> {
+        Ok(match op {
+            "add" => AluOp::Add,
+            "sub" => AluOp::Sub,
+            "mul" => AluOp::Mul,
+            "div" => AluOp::Div,
+            "mod" => AluOp::Mod,
+            "and" => AluOp::And,
+            "or" => AluOp::Or,
+            "xor" => AluOp::Xor,
+            "shl" => AluOp::Shl,
+            "shr" => AluOp::Shr,
+            "neg" => AluOp::Neg,
+            "min" => AluOp::Min,
+            "max" => AluOp::Max,
+            other => return Err(format!("unknown ALU operation {other:?}")),
+        })
+    }
+
+    fn cond(op: &str) -> Result<Cond, String> {
+        Ok(match op {
+            "eq" => Cond::Eq,
+            "ne" => Cond::Ne,
+            "lt" => Cond::Lt,
+            "le" => Cond::Le,
+            "gt" => Cond::Gt,
+            "ge" => Cond::Ge,
+            other => return Err(format!("unknown condition {other:?}")),
+        })
+    }
+
+    fn builtin(op: &str) -> Result<Builtin, String> {
+        for b in Builtin::ALL {
+            if format!("{b:?}").eq_ignore_ascii_case(op) {
+                return Ok(b);
+            }
+        }
+        Err(format!("unknown builtin {op:?}"))
+    }
+}
+
+/// Splits an operand list on commas outside parentheses.
+fn split_operands(text: &str) -> Vec<&str> {
+    if text.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(text[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(text[start..].trim());
+    out
+}
+
+/// Assembles `src` into symbolic items ready for
+/// [`crate::asm::assemble`].
+///
+/// # Errors
+///
+/// Returns a [`KasmError`] for unknown mnemonics or malformed operands.
+pub fn parse_kasm(
+    src: &str,
+    symbols: &mut kcm_arch::SymbolTable,
+) -> Result<Vec<AsmItem>, KasmError> {
+    let mut p = Parser { symbols, labels: HashMap::new(), next_label: 0 };
+    let mut items = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split('%').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        // Leading labels.
+        while let Some((label, tail)) = rest.split_once(':') {
+            if label.contains(char::is_whitespace) || label.is_empty() {
+                break;
+            }
+            let id = p.label_id(label.trim());
+            items.push(AsmItem::Label(id));
+            rest = tail.trim();
+            if rest.is_empty() {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let err = |message: String| KasmError { message, line: lineno + 1 };
+        let (mnemonic, operand_text) = match rest.split_once(char::is_whitespace) {
+            Some((m, o)) => (m, o.trim()),
+            None => (rest, ""),
+        };
+        // Split operands on top-level commas only (ptr(zone, off) nests one).
+        let ops: Vec<&str> = split_operands(operand_text);
+        let need = |n: usize| -> Result<(), KasmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(format!("{mnemonic} expects {n} operands, found {}", ops.len())))
+            }
+        };
+        let item = match mnemonic {
+            "proceed" => AsmItem::Plain(Instr::Proceed),
+            "deallocate" => AsmItem::Plain(Instr::Deallocate),
+            "trust_me" => AsmItem::Plain(Instr::TrustMe),
+            "neck" => AsmItem::Plain(Instr::Neck),
+            "cut" => AsmItem::Plain(Instr::Cut),
+            "cut_env" => AsmItem::Plain(Instr::CutEnv),
+            "fail" => AsmItem::Plain(Instr::Fail),
+            "mark" => AsmItem::Plain(Instr::Mark),
+            "unify_nil" => AsmItem::Plain(Instr::UnifyNil),
+            "unify_tail_list" => AsmItem::Plain(Instr::UnifyTailList),
+            "allocate" => {
+                need(1)?;
+                AsmItem::Plain(Instr::Allocate {
+                    n: ops[0].parse().map_err(|_| err("bad allocate count".into()))?,
+                })
+            }
+            "unify_void" => {
+                need(1)?;
+                AsmItem::Plain(Instr::UnifyVoid {
+                    n: ops[0].parse().map_err(|_| err("bad void count".into()))?,
+                })
+            }
+            "halt" => {
+                need(1)?;
+                AsmItem::Plain(Instr::Halt { success: ops[0] == "true" })
+            }
+            "call" => {
+                need(1)?;
+                AsmItem::CallPred(Parser::pred(ops[0]).map_err(err)?)
+            }
+            "execute" => {
+                need(1)?;
+                AsmItem::ExecutePred(Parser::pred(ops[0]).map_err(err)?)
+            }
+            "jump" => {
+                need(1)?;
+                AsmItem::JumpL(p.label_id(ops[0]))
+            }
+            "try_me_else" => {
+                need(1)?;
+                AsmItem::TryMeElse(p.label_id(ops[0]))
+            }
+            "retry_me_else" => {
+                need(1)?;
+                AsmItem::RetryMeElse(p.label_id(ops[0]))
+            }
+            "try" => {
+                need(1)?;
+                AsmItem::TryL(p.label_id(ops[0]))
+            }
+            "retry" => {
+                need(1)?;
+                AsmItem::RetryL(p.label_id(ops[0]))
+            }
+            "trust" => {
+                need(1)?;
+                AsmItem::TrustL(p.label_id(ops[0]))
+            }
+            "switch_on_term" => {
+                need(4)?;
+                AsmItem::SwitchOnTermL {
+                    on_var: p.opt_target(ops[0]),
+                    on_const: p.opt_target(ops[1]),
+                    on_list: p.opt_target(ops[2]),
+                    on_struct: p.opt_target(ops[3]),
+                }
+            }
+            "escape" => {
+                need(1)?;
+                AsmItem::Plain(Instr::Escape { builtin: Parser::builtin(ops[0]).map_err(err)? })
+            }
+            "get_variable" => {
+                need(2)?;
+                if ops[0].starts_with('y') {
+                    AsmItem::Plain(Instr::GetVariableY {
+                        y: Parser::yslot(ops[0]).map_err(err)?,
+                        a: Parser::reg(ops[1]).map_err(err)?,
+                    })
+                } else {
+                    AsmItem::Plain(Instr::GetVariable {
+                        x: Parser::reg(ops[0]).map_err(err)?,
+                        a: Parser::reg(ops[1]).map_err(err)?,
+                    })
+                }
+            }
+            "get_value" => {
+                need(2)?;
+                if ops[0].starts_with('y') {
+                    AsmItem::Plain(Instr::GetValueY {
+                        y: Parser::yslot(ops[0]).map_err(err)?,
+                        a: Parser::reg(ops[1]).map_err(err)?,
+                    })
+                } else {
+                    AsmItem::Plain(Instr::GetValue {
+                        x: Parser::reg(ops[0]).map_err(err)?,
+                        a: Parser::reg(ops[1]).map_err(err)?,
+                    })
+                }
+            }
+            "get_constant" => {
+                need(2)?;
+                AsmItem::Plain(Instr::GetConstant {
+                    c: p.constant(ops[0]).map_err(err)?,
+                    a: Parser::reg(ops[1]).map_err(err)?,
+                })
+            }
+            "get_nil" => {
+                need(1)?;
+                AsmItem::Plain(Instr::GetNil { a: Parser::reg(ops[0]).map_err(err)? })
+            }
+            "get_list" => {
+                need(1)?;
+                AsmItem::Plain(Instr::GetList { a: Parser::reg(ops[0]).map_err(err)? })
+            }
+            "get_structure" => {
+                need(2)?;
+                AsmItem::Plain(Instr::GetStructure {
+                    f: p.functor(ops[0]).map_err(err)?,
+                    a: Parser::reg(ops[1]).map_err(err)?,
+                })
+            }
+            "put_variable" => {
+                need(2)?;
+                if ops[0].starts_with('y') {
+                    AsmItem::Plain(Instr::PutVariableY {
+                        y: Parser::yslot(ops[0]).map_err(err)?,
+                        a: Parser::reg(ops[1]).map_err(err)?,
+                    })
+                } else {
+                    AsmItem::Plain(Instr::PutVariable {
+                        x: Parser::reg(ops[0]).map_err(err)?,
+                        a: Parser::reg(ops[1]).map_err(err)?,
+                    })
+                }
+            }
+            "put_value" => {
+                need(2)?;
+                if ops[0].starts_with('y') {
+                    AsmItem::Plain(Instr::PutValueY {
+                        y: Parser::yslot(ops[0]).map_err(err)?,
+                        a: Parser::reg(ops[1]).map_err(err)?,
+                    })
+                } else {
+                    AsmItem::Plain(Instr::PutValue {
+                        x: Parser::reg(ops[0]).map_err(err)?,
+                        a: Parser::reg(ops[1]).map_err(err)?,
+                    })
+                }
+            }
+            "put_unsafe_value" => {
+                need(2)?;
+                AsmItem::Plain(Instr::PutUnsafeValue {
+                    y: Parser::yslot(ops[0]).map_err(err)?,
+                    a: Parser::reg(ops[1]).map_err(err)?,
+                })
+            }
+            "put_constant" => {
+                need(2)?;
+                AsmItem::Plain(Instr::PutConstant {
+                    c: p.constant(ops[0]).map_err(err)?,
+                    a: Parser::reg(ops[1]).map_err(err)?,
+                })
+            }
+            "put_nil" => {
+                need(1)?;
+                AsmItem::Plain(Instr::PutNil { a: Parser::reg(ops[0]).map_err(err)? })
+            }
+            "put_list" => {
+                need(1)?;
+                AsmItem::Plain(Instr::PutList { a: Parser::reg(ops[0]).map_err(err)? })
+            }
+            "put_structure" => {
+                need(2)?;
+                AsmItem::Plain(Instr::PutStructure {
+                    f: p.functor(ops[0]).map_err(err)?,
+                    a: Parser::reg(ops[1]).map_err(err)?,
+                })
+            }
+            "unify_variable" => {
+                need(1)?;
+                if ops[0].starts_with('y') {
+                    AsmItem::Plain(Instr::UnifyVariableY { y: Parser::yslot(ops[0]).map_err(err)? })
+                } else {
+                    AsmItem::Plain(Instr::UnifyVariable { x: Parser::reg(ops[0]).map_err(err)? })
+                }
+            }
+            "unify_value" => {
+                need(1)?;
+                if ops[0].starts_with('y') {
+                    AsmItem::Plain(Instr::UnifyValueY { y: Parser::yslot(ops[0]).map_err(err)? })
+                } else {
+                    AsmItem::Plain(Instr::UnifyValue { x: Parser::reg(ops[0]).map_err(err)? })
+                }
+            }
+            "unify_local_value" => {
+                need(1)?;
+                if ops[0].starts_with('y') {
+                    AsmItem::Plain(Instr::UnifyLocalValueY {
+                        y: Parser::yslot(ops[0]).map_err(err)?,
+                    })
+                } else {
+                    AsmItem::Plain(Instr::UnifyLocalValue {
+                        x: Parser::reg(ops[0]).map_err(err)?,
+                    })
+                }
+            }
+            "unify_constant" => {
+                need(1)?;
+                AsmItem::Plain(Instr::UnifyConstant { c: p.constant(ops[0]).map_err(err)? })
+            }
+            "move2" => {
+                need(4)?;
+                AsmItem::Plain(Instr::Move2 {
+                    s1: Parser::reg(ops[0]).map_err(err)?,
+                    d1: Parser::reg(ops[1]).map_err(err)?,
+                    s2: Parser::reg(ops[2]).map_err(err)?,
+                    d2: Parser::reg(ops[3]).map_err(err)?,
+                })
+            }
+            "load_const" => {
+                need(2)?;
+                AsmItem::Plain(Instr::LoadConst {
+                    d: Parser::reg(ops[0]).map_err(err)?,
+                    c: p.constant(ops[1]).map_err(err)?,
+                })
+            }
+            "alu" => {
+                // alu <op> d, s1, s2  — the op rides with the mnemonic.
+                let (op_name, regs) = operand_text
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("alu expects: alu <op> d, s1, s2".into()))?;
+                let regs: Vec<&str> = regs.split(',').map(str::trim).collect();
+                if regs.len() != 3 {
+                    return Err(err("alu expects three registers".into()));
+                }
+                AsmItem::Plain(Instr::Alu {
+                    op: Parser::alu_op(op_name).map_err(err)?,
+                    d: Parser::reg(regs[0]).map_err(err)?,
+                    s1: Parser::reg(regs[1]).map_err(err)?,
+                    s2: Parser::reg(regs[2]).map_err(err)?,
+                })
+            }
+            "cmp" => {
+                need(2)?;
+                AsmItem::Plain(Instr::CmpRegs {
+                    s1: Parser::reg(ops[0]).map_err(err)?,
+                    s2: Parser::reg(ops[1]).map_err(err)?,
+                })
+            }
+            "branch" => {
+                let (cond_name, target) = operand_text
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("branch expects: branch <cond> <label>".into()))?;
+                AsmItem::BranchCond(
+                    Parser::cond(cond_name).map_err(err)?,
+                    p.label_id(target.trim()),
+                )
+            }
+            "load" | "store" => {
+                // load rD, rAS, rAD, off, pre|post / store rS, rAS, rAD, off, pre|post
+                need(5)?;
+                let pre = match ops[4] {
+                    "pre" => true,
+                    "post" => false,
+                    other => return Err(err(format!("expected pre/post, found {other:?}"))),
+                };
+                let off: i16 = ops[3].parse().map_err(|_| err("bad offset".into()))?;
+                if mnemonic == "load" {
+                    AsmItem::Plain(Instr::Load {
+                        dd: Parser::reg(ops[0]).map_err(err)?,
+                        ras: Parser::reg(ops[1]).map_err(err)?,
+                        rad: Parser::reg(ops[2]).map_err(err)?,
+                        off,
+                        pre,
+                    })
+                } else {
+                    AsmItem::Plain(Instr::Store {
+                        ds: Parser::reg(ops[0]).map_err(err)?,
+                        ras: Parser::reg(ops[1]).map_err(err)?,
+                        rad: Parser::reg(ops[2]).map_err(err)?,
+                        off,
+                        pre,
+                    })
+                }
+            }
+            "load_direct" | "store_direct" => {
+                need(2)?;
+                let (reg_op, addr_op) = (ops[0], ops[1]);
+                let w = p.constant(addr_op).map_err(err)?;
+                let addr = w
+                    .as_addr()
+                    .ok_or_else(|| err(format!("expected ptr(zone, off), found {addr_op:?}")))?;
+                if mnemonic == "load_direct" {
+                    AsmItem::Plain(Instr::LoadDirect { d: Parser::reg(reg_op).map_err(err)?, addr })
+                } else {
+                    AsmItem::Plain(Instr::StoreDirect { s: Parser::reg(reg_op).map_err(err)?, addr })
+                }
+            }
+            "deref" => {
+                need(2)?;
+                AsmItem::Plain(Instr::Deref {
+                    d: Parser::reg(ops[0]).map_err(err)?,
+                    s: Parser::reg(ops[1]).map_err(err)?,
+                })
+            }
+            "tvm_swap" => {
+                need(2)?;
+                AsmItem::Plain(Instr::TvmSwap {
+                    d: Parser::reg(ops[0]).map_err(err)?,
+                    s: Parser::reg(ops[1]).map_err(err)?,
+                })
+            }
+            other => return Err(err(format!("unknown mnemonic {other:?}"))),
+        };
+        items.push(item);
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcm_arch::SymbolTable;
+
+    fn parse(src: &str) -> Vec<AsmItem> {
+        let mut symbols = SymbolTable::new();
+        parse_kasm(src, &mut symbols).expect("kasm parses")
+    }
+
+    #[test]
+    fn wam_instructions_parse() {
+        let items = parse(
+            "entry:
+                get_list r0
+                unify_variable r3
+                unify_variable r4     % tail
+                get_value y1, r1
+                put_constant 'ok', r0
+                call helper/1
+                proceed",
+        );
+        assert_eq!(items.len(), 8); // label + 7 instructions
+        assert!(matches!(items[0], AsmItem::Label(_)));
+        assert!(matches!(items[1], AsmItem::Plain(Instr::GetList { .. })));
+        assert!(matches!(items[6], AsmItem::CallPred(_)));
+    }
+
+    #[test]
+    fn native_instructions_parse() {
+        let items = parse(
+            "loop: alu add r1, r1, r2
+                   cmp r2, r4
+                   branch gt loop
+                   halt true",
+        );
+        assert!(matches!(items[1], AsmItem::Plain(Instr::Alu { op: AluOp::Add, .. })));
+        assert!(matches!(items[3], AsmItem::BranchCond(Cond::Gt, _)));
+        assert!(matches!(items[4], AsmItem::Plain(Instr::Halt { success: true })));
+    }
+
+    #[test]
+    fn switch_with_fail_targets() {
+        let items = parse("switch_on_term v, fail, l, fail\n v: proceed\n l: proceed");
+        match &items[0] {
+            AsmItem::SwitchOnTermL { on_var, on_const, on_list, on_struct } => {
+                assert!(on_var.is_some());
+                assert!(on_const.is_none());
+                assert!(on_list.is_some());
+                assert!(on_struct.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constants_of_every_kind() {
+        let items = parse(
+            "put_constant 42, r0
+             put_constant -7, r1
+             put_constant 2.5, r2
+             put_constant foo, r3
+             put_constant 'hello world', r4
+             put_constant [], r5",
+        );
+        assert_eq!(items.len(), 6);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut symbols = SymbolTable::new();
+        let e = parse_kasm("proceed\nbogus_op r1", &mut symbols).expect_err("must fail");
+        assert_eq!(e.line, 2);
+        let e = parse_kasm("alu add r1, r2", &mut symbols).expect_err("must fail");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn assembles_and_resolves_labels() {
+        let mut symbols = SymbolTable::new();
+        let items = parse_kasm(
+            "start: load_const r1, 3\n jump start\n",
+            &mut symbols,
+        )
+        .expect("parses");
+        let out = crate::asm::assemble(
+            &items,
+            kcm_arch::CodeAddr::new(100),
+            &mut |_| kcm_arch::CodeAddr::new(0),
+            kcm_arch::CodeAddr::new(0),
+        )
+        .expect("assembles");
+        assert_eq!(out[1].1, Instr::Jump { to: kcm_arch::CodeAddr::new(100) });
+    }
+}

@@ -1,0 +1,640 @@
+//! Static linker and loader.
+//!
+//! The benchmark configuration uses "static linking" (§4): every call site
+//! is resolved to an absolute entry address at link time. The linker lays
+//! predicates out in the code space, resolves inter-predicate calls,
+//! encodes the final instruction words (the image the loader downloads to
+//! the machine) and records per-predicate sizes for the static code-size
+//! evaluation (Table 1).
+
+use crate::asm::{assemble, AsmItem};
+use crate::clause::compile_clause;
+use crate::index::compile_predicate;
+use crate::ir::{Clause, Goal, PredId, Program};
+use crate::CompileError;
+use kcm_arch::isa::Instr;
+use kcm_arch::{CodeAddr, SymbolTable, Tag, VAddr, Word, Zone};
+use kcm_prolog::Term;
+use std::collections::HashMap;
+
+/// Static code size of one predicate (a Table 1 row contribution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredSize {
+    /// The predicate.
+    pub id: PredId,
+    /// Number of instructions.
+    pub instrs: usize,
+    /// Number of 64-bit code words (≥ instrs; switches are multi-word).
+    pub words: usize,
+    /// Whether this is a compiler-generated auxiliary.
+    pub auxiliary: bool,
+    /// First code word of the predicate.
+    pub start: u32,
+    /// One past the last code word of the predicate.
+    pub end: u32,
+}
+
+/// The static data area being assembled: ground compound literals live
+/// here, as tagged words in the static zone, and the code refers to them
+/// with a single constant operand.
+#[derive(Debug, Clone)]
+pub struct StaticImage {
+    base: VAddr,
+    words: Vec<Word>,
+    interned: std::collections::HashMap<String, Word>,
+}
+
+impl StaticImage {
+    /// An empty static area starting at `base`.
+    pub fn new(base: VAddr) -> StaticImage {
+        StaticImage { base, words: Vec::new(), interned: std::collections::HashMap::new() }
+    }
+
+    /// Resumes an area already holding `words` (query linking extends the
+    /// base image's data).
+    pub fn resume(base: VAddr, words: Vec<Word>) -> StaticImage {
+        StaticImage { base, words, interned: std::collections::HashMap::new() }
+    }
+
+    /// The assembled words.
+    pub fn into_words(self) -> Vec<Word> {
+        self.words
+    }
+
+    fn next_addr(&self) -> VAddr {
+        self.base.offset(self.words.len() as i64)
+    }
+
+    /// Interns a ground term, returning the tagged word that denotes it.
+    /// Identical subterms are shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is not ground (the compiler checks first).
+    pub fn intern(&mut self, t: &Term, symbols: &mut SymbolTable) -> Word {
+        match t {
+            Term::Int(v) => Word::int(*v),
+            Term::Float(v) => Word::float(*v),
+            Term::Atom(n) if n == "[]" => Word::nil(),
+            Term::Atom(n) => Word::atom(symbols.atom(n)),
+            Term::Var(_) => panic!("interning a non-ground term"),
+            Term::Struct(..) => {
+                let key = t.to_string();
+                if let Some(w) = self.interned.get(&key) {
+                    return *w;
+                }
+                let w = self.build_compound(t, symbols);
+                self.interned.insert(key, w);
+                w
+            }
+        }
+    }
+
+    fn build_compound(&mut self, t: &Term, symbols: &mut SymbolTable) -> Word {
+        match t {
+            Term::Struct(n, args) if n == "." && args.len() == 2 => {
+                let head = self.intern(&args[0], symbols);
+                let tail = self.intern(&args[1], symbols);
+                let addr = self.next_addr();
+                self.words.push(head);
+                self.words.push(tail);
+                Word::ptr(Tag::List, addr)
+            }
+            Term::Struct(n, args) => {
+                let built: Vec<Word> = args.iter().map(|a| self.intern(a, symbols)).collect();
+                let f = symbols.functor(n, args.len() as u8);
+                let addr = self.next_addr();
+                self.words.push(Word::functor(f));
+                self.words.extend(built);
+                Word::ptr(Tag::Struct, addr)
+            }
+            _ => unreachable!("compound expected"),
+        }
+    }
+}
+
+/// A linked, loaded code image.
+///
+/// Holds both representations of the code: the encoded 64-bit words (what
+/// the code cache and the size accounting see) and the decoded
+/// instructions at their word addresses (what the simulator executes).
+#[derive(Debug, Clone)]
+pub struct CodeImage {
+    instrs: Vec<Instr>,
+    /// Word address of each instruction in `instrs` (sorted).
+    addrs: Vec<u32>,
+    /// Dense map word address → index into `instrs` (`u32::MAX` = not an
+    /// instruction start). Dense because the machine consults it on every
+    /// fetch.
+    addr_index: Vec<u32>,
+    words: Vec<u64>,
+    entries: HashMap<(String, u8), CodeAddr>,
+    sizes: Vec<PredSize>,
+    warnings: Vec<String>,
+    query_vars: Vec<String>,
+    aux_round: u32,
+    options: crate::CompileOptions,
+    static_data: Vec<Word>,
+    static_base: VAddr,
+}
+
+/// Address of the global fail stub.
+pub const FAIL_STUB: CodeAddr = CodeAddr::new(0);
+/// Address of the halt-success stub (initial continuation of a query).
+pub const HALT_STUB: CodeAddr = CodeAddr::new(1);
+/// Address of the unknown-predicate stub (fails, with a link warning).
+pub const UNKNOWN_STUB: CodeAddr = CodeAddr::new(2);
+/// Entry of the `$call/1` meta-call trampoline: an escape that dispatches
+/// the goal term in A1 (execute-style for user predicates, inline for
+/// built-ins) followed by a `proceed` for the inline case.
+pub const CALL_STUB: CodeAddr = CodeAddr::new(4);
+/// First address available for program code.
+const CODE_BASE: u32 = 8;
+/// Base of the ground-literal area in the static data zone (leaving the
+/// low words for system use).
+pub const STATIC_DATA_BASE: VAddr = VAddr::new(Zone::Static.base().value() + 0x100);
+
+impl CodeImage {
+    /// The entry address of a predicate, if linked.
+    pub fn entry(&self, name: &str, arity: u8) -> Option<CodeAddr> {
+        self.entries.get(&(name.to_owned(), arity)).copied()
+    }
+
+    /// The decoded instruction starting at `addr`, if any.
+    #[inline]
+    pub fn instr_at(&self, addr: CodeAddr) -> Option<&Instr> {
+        match self.addr_index.get(addr.value() as usize) {
+            Some(&i) if i != u32::MAX => Some(&self.instrs[i as usize]),
+            _ => None,
+        }
+    }
+
+    /// The encoded code words (loader image).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Total code length in words.
+    pub fn len_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Per-predicate static sizes, in layout order.
+    pub fn sizes(&self) -> &[PredSize] {
+        &self.sizes
+    }
+
+    /// Link warnings (calls to undefined predicates, resolved to a stub
+    /// that fails).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// For query images: the reported variable names, in A1..An order.
+    pub fn query_vars(&self) -> &[String] {
+        &self.query_vars
+    }
+
+    /// The `$query/0` entry of a query image.
+    pub fn query_entry(&self) -> Option<CodeAddr> {
+        self.entry("$query", 0)
+    }
+
+    /// The target options this image was compiled with.
+    pub fn options(&self) -> &crate::CompileOptions {
+        &self.options
+    }
+
+    /// The assembled static data area (ground literals) and its base
+    /// address: the loader installs these words before running.
+    pub fn static_data(&self) -> (VAddr, &[Word]) {
+        (self.static_base, &self.static_data)
+    }
+
+    /// The decoded instructions of one predicate (by its size record).
+    pub fn instructions_of(&self, size: &PredSize) -> Vec<Instr> {
+        let mut out = Vec::new();
+        let mut addr = size.start;
+        while addr < size.end {
+            match self.instr_at(CodeAddr::new(addr)) {
+                Some(i) => {
+                    out.push(i.clone());
+                    addr += i.size_words() as u32;
+                }
+                None => addr += 1,
+            }
+        }
+        out
+    }
+
+    /// Disassembles the whole image.
+    pub fn disassemble(&self, symbols: &SymbolTable) -> String {
+        use std::fmt::Write;
+        let mut rev: HashMap<u32, &(String, u8)> = HashMap::new();
+        for (k, v) in &self.entries {
+            rev.insert(v.value(), k);
+        }
+        let mut out = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let addr = self.addrs[i];
+            if let Some((name, arity)) = rev.get(&addr) {
+                let _ = writeln!(out, "{name}/{arity}:");
+            }
+            let text = match instr {
+                Instr::GetStructure { f, a } => format!(
+                    "get_structure {}/{}, {a}",
+                    symbols.functor_name(*f),
+                    symbols.functor_arity(*f)
+                ),
+                Instr::PutStructure { f, a } => format!(
+                    "put_structure {}/{}, {a}",
+                    symbols.functor_name(*f),
+                    symbols.functor_arity(*f)
+                ),
+                other => other.to_string(),
+            };
+            let _ = writeln!(out, "  {addr:6}  {text}");
+        }
+        out
+    }
+}
+
+/// The static linker.
+#[derive(Debug, Default)]
+pub struct Linker;
+
+impl Linker {
+    /// Creates a linker.
+    pub fn new() -> Linker {
+        Linker
+    }
+
+    /// Compiles and links a normalised program into a fresh image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn link(&self, program: &Program, symbols: &mut SymbolTable) -> Result<CodeImage, CompileError> {
+        self.link_with(program, symbols, &crate::CompileOptions::default())
+    }
+
+    /// Like [`Linker::link`] with explicit target options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn link_with(
+        &self,
+        program: &Program,
+        symbols: &mut SymbolTable,
+        options: &crate::CompileOptions,
+    ) -> Result<CodeImage, CompileError> {
+        let mut image = CodeImage {
+            instrs: Vec::new(),
+            addrs: Vec::new(),
+            addr_index: Vec::new(),
+            words: Vec::new(),
+            entries: HashMap::new(),
+            sizes: Vec::new(),
+            warnings: Vec::new(),
+            query_vars: Vec::new(),
+            aux_round: 0,
+            options: options.clone(),
+            static_data: Vec::new(),
+            static_base: STATIC_DATA_BASE,
+        };
+        // Stubs.
+        Self::place(&mut image, FAIL_STUB, Instr::Fail);
+        Self::place(&mut image, HALT_STUB, Instr::Halt { success: true });
+        Self::place(&mut image, UNKNOWN_STUB, Instr::Fail);
+        Self::place(
+            &mut image,
+            CALL_STUB,
+            Instr::Escape { builtin: kcm_arch::isa::Builtin::CallGoal },
+        );
+        Self::place(&mut image, CALL_STUB.offset(1), Instr::Proceed);
+        for n in 1..=8u8 {
+            image.entries.insert(("$call".to_owned(), n), CALL_STUB);
+        }
+        image.words.resize(CODE_BASE as usize, 0);
+        Self::link_into(&mut image, program, symbols)?;
+        Ok(image)
+    }
+
+    /// Extends `base` with a `$query/0` predicate for `goal`; returns the
+    /// extended image and the reported variable names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors; rejects queries with more than 16
+    /// variables ([`CompileError::TooManyQueryVars`]).
+    pub fn link_query(
+        base: &CodeImage,
+        goal: &Term,
+        symbols: &mut SymbolTable,
+    ) -> Result<(CodeImage, Vec<String>), CompileError> {
+        let vars: Vec<String> = goal.variables().iter().map(|s| s.to_string()).collect();
+        if vars.len() > crate::clause::MAX_ARITY {
+            return Err(CompileError::TooManyQueryVars(vars.len()));
+        }
+        let mut image = base.clone();
+        image.aux_round += 1;
+        // Remove any previous query linkage so re-querying the same image
+        // works (entries are replaced; dead code words stay, as in a real
+        // incremental loader).
+        image.entries.retain(|(name, _), _| name != "$query");
+
+        let report = if vars.is_empty() {
+            Term::Atom("$report".into())
+        } else {
+            Term::Struct("$report".into(), vars.iter().cloned().map(Term::Var).collect())
+        };
+        let query_clause = Term::Struct(
+            ":-".into(),
+            vec![Term::Atom("$query".into()), Term::Struct(",".into(), vec![goal.clone(), report])],
+        );
+        let prefix = format!("$q{}aux", image.aux_round);
+        let program = Program::from_clauses_named(&[query_clause], &prefix)?;
+        Self::link_into(&mut image, &program, symbols)?;
+        image.query_vars = vars.clone();
+        Ok((image, vars))
+    }
+
+    fn place(image: &mut CodeImage, addr: CodeAddr, instr: Instr) {
+        let at = addr.value() as usize;
+        if image.addr_index.len() <= at {
+            image.addr_index.resize(at + 1, u32::MAX);
+        }
+        image.addr_index[at] = image.instrs.len() as u32;
+        image.addrs.push(addr.value());
+        image.instrs.push(instr);
+    }
+
+    fn link_into(
+        image: &mut CodeImage,
+        program: &Program,
+        symbols: &mut SymbolTable,
+    ) -> Result<(), CompileError> {
+        // Pass 1: compile each predicate to symbolic code and lay it out.
+        let mut start = image.words.len() as u32;
+        let mut compiled: Vec<(&crate::ir::Predicate, Vec<AsmItem>, CodeAddr)> = Vec::new();
+        let options = image.options.clone();
+        let mut statics = StaticImage::resume(image.static_base, std::mem::take(&mut image.static_data));
+        for pred in &program.predicates {
+            let items = compile_predicate(pred, symbols, &mut statics, &options)?;
+            let size: usize = items.iter().map(AsmItem::size_words).sum();
+            let entry = CodeAddr::new(start);
+            image
+                .entries
+                .insert((pred.id.name.clone(), pred.id.arity), entry);
+            compiled.push((pred, items, entry));
+            start += size as u32;
+        }
+
+        // Pass 2: assemble with full symbol knowledge.
+        for (pred, items, entry) in compiled {
+            let mut warnings = Vec::new();
+            let entries = &image.entries;
+            let mut resolve = |p: &PredId| -> CodeAddr {
+                match entries.get(&(p.name.clone(), p.arity)) {
+                    Some(a) => *a,
+                    None => {
+                        warnings.push(format!(
+                            "undefined predicate {p} called from {} (will fail)",
+                            pred.id
+                        ));
+                        UNKNOWN_STUB
+                    }
+                }
+            };
+            let resolved = assemble(&items, entry, &mut resolve, FAIL_STUB)
+                .expect("compiler emits well-labelled code");
+            image.warnings.extend(warnings);
+            let mut instr_count = 0usize;
+            let mut word_count = 0usize;
+            for (addr, instr) in resolved {
+                // The Mark accounting pseudo-instruction is a simulator
+                // artifact: excluded from Table 1 static sizes.
+                if !matches!(instr, Instr::Mark) {
+                    instr_count += 1;
+                    word_count += instr.size_words();
+                }
+                // Encode into the words image.
+                let at = addr.value() as usize;
+                if image.words.len() < at {
+                    image.words.resize(at, 0);
+                }
+                let mut enc = Vec::new();
+                instr.encode(&mut enc);
+                debug_assert_eq!(image.words.len(), at, "layout must be dense");
+                image.words.extend(enc);
+                Self::place(image, addr, instr);
+            }
+            image.sizes.push(PredSize {
+                id: pred.id.clone(),
+                instrs: instr_count,
+                words: word_count,
+                auxiliary: pred.auxiliary,
+                start: entry.value(),
+                end: image.words.len() as u32,
+            });
+        }
+        image.static_data = statics.into_words();
+        Ok(())
+    }
+}
+
+impl Linker {
+    /// Links hand-written assembly (from [`crate::kasm::parse_kasm`]) into
+    /// an image whose `main/0` entry is the first instruction. Predicate
+    /// references resolve against nothing (unknown → fail stub), so the
+    /// items should be self-contained or purely native code.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError::UnsupportedDirective`] wrapping label
+    /// errors from the assembler.
+    pub fn link_items(
+        items: &[AsmItem],
+        _symbols: &mut SymbolTable,
+    ) -> Result<CodeImage, CompileError> {
+        let mut image = CodeImage {
+            instrs: Vec::new(),
+            addrs: Vec::new(),
+            addr_index: Vec::new(),
+            words: Vec::new(),
+            entries: HashMap::new(),
+            sizes: Vec::new(),
+            warnings: Vec::new(),
+            query_vars: Vec::new(),
+            aux_round: 0,
+            options: crate::CompileOptions::default(),
+            static_data: Vec::new(),
+            static_base: STATIC_DATA_BASE,
+        };
+        Self::place(&mut image, FAIL_STUB, Instr::Fail);
+        Self::place(&mut image, HALT_STUB, Instr::Halt { success: true });
+        Self::place(&mut image, UNKNOWN_STUB, Instr::Fail);
+        image.words.resize(CODE_BASE as usize, 0);
+        let entry = CodeAddr::new(CODE_BASE);
+        let mut warnings = Vec::new();
+        let resolved = assemble(items, entry, &mut |p: &PredId| {
+            warnings.push(format!("unresolved predicate {p} in hand assembly"));
+            UNKNOWN_STUB
+        }, FAIL_STUB)
+        .map_err(|e| CompileError::UnsupportedDirective(e.to_string()))?;
+        image.warnings = warnings;
+        for (addr, instr) in resolved {
+            let mut enc = Vec::new();
+            instr.encode(&mut enc);
+            debug_assert_eq!(image.words.len(), addr.value() as usize);
+            image.words.extend(enc);
+            Self::place(&mut image, addr, instr);
+        }
+        image.entries.insert(("main".to_owned(), 0), entry);
+        Ok(image)
+    }
+}
+
+/// Compiles a single standalone clause (used by tests and by baseline
+/// crates that want KCM clause code without indexing).
+///
+/// # Errors
+///
+/// Propagates clause-compilation errors.
+pub fn compile_single_clause(
+    pred: &PredId,
+    clause: &Clause,
+    symbols: &mut SymbolTable,
+) -> Result<Vec<AsmItem>, CompileError> {
+    let mut statics = StaticImage::new(STATIC_DATA_BASE);
+    compile_clause(
+        pred,
+        clause,
+        false,
+        symbols,
+        &mut statics,
+        &crate::CompileOptions::default(),
+    )
+}
+
+/// Convenience: builds a [`Clause`] from already-parsed head and body
+/// goals (used by baseline code generators).
+pub fn make_clause(head: Term, goals: Vec<Goal>) -> Clause {
+    Clause { head, goals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcm_prolog::{read_program, read_term};
+
+    fn link(src: &str) -> (CodeImage, SymbolTable) {
+        let prog = Program::from_clauses(&read_program(src).unwrap()).unwrap();
+        let mut symbols = SymbolTable::new();
+        let image = Linker::new().link(&prog, &mut symbols).unwrap();
+        (image, symbols)
+    }
+
+    #[test]
+    fn stubs_are_at_fixed_addresses() {
+        let (image, _) = link("a.");
+        assert_eq!(image.instr_at(FAIL_STUB), Some(&Instr::Fail));
+        assert_eq!(image.instr_at(HALT_STUB), Some(&Instr::Halt { success: true }));
+        assert_eq!(image.instr_at(UNKNOWN_STUB), Some(&Instr::Fail));
+    }
+
+    #[test]
+    fn entries_resolve_and_calls_link() {
+        let (image, _) = link("p :- q. q.");
+        let p = image.entry("p", 0).unwrap();
+        let q = image.entry("q", 0).unwrap();
+        match image.instr_at(p) {
+            Some(Instr::Execute { addr, arity: 0 }) => assert_eq!(*addr, q),
+            other => panic!("expected execute, got {other:?}"),
+        }
+        assert!(image.warnings().is_empty());
+    }
+
+    #[test]
+    fn forward_references_link() {
+        // p calls q which is defined later in the file.
+        let (image, _) = link("p :- q, r. q. r.");
+        assert!(image.warnings().is_empty());
+    }
+
+    #[test]
+    fn undefined_predicates_warn_and_stub() {
+        let (image, _) = link("p :- missing.");
+        assert_eq!(image.warnings().len(), 1);
+        let p = image.entry("p", 0).unwrap();
+        match image.instr_at(p) {
+            Some(Instr::Execute { addr, .. }) => assert_eq!(*addr, UNKNOWN_STUB),
+            other => panic!("expected execute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn words_match_instructions() {
+        let (image, _) = link("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).");
+        // Every decoded instruction must re-decode from the words image at
+        // its address.
+        for (addr, &idx) in image.addr_index.iter().enumerate() {
+            if idx == u32::MAX || addr < 8 {
+                continue;
+            }
+            let got = Instr::decode(&image.words()[addr..]).map(|(i, _)| i);
+            assert_eq!(got.as_ref(), Some(&image.instrs[idx as usize]), "at {addr}");
+        }
+    }
+
+    #[test]
+    fn sizes_are_recorded() {
+        let (image, _) = link("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).");
+        let s = &image.sizes()[0];
+        assert_eq!(s.id.name, "app");
+        assert!(s.instrs > 5);
+        assert!(s.words > s.instrs, "switch makes words exceed instrs");
+    }
+
+    #[test]
+    fn query_linking_reports_vars() {
+        let (image, mut symbols) = link("p(1). p(2).");
+        let goal = read_term("p(X)").unwrap();
+        let (qimage, vars) = Linker::link_query(&image, &goal, &mut symbols).unwrap();
+        assert_eq!(vars, vec!["X".to_owned()]);
+        assert!(qimage.query_entry().is_some());
+        assert!(qimage.entry("p", 1).is_some(), "base entries survive");
+    }
+
+    #[test]
+    fn relinking_a_query_replaces_it() {
+        let (image, mut symbols) = link("p(1).");
+        let g1 = read_term("p(X)").unwrap();
+        let (q1, _) = Linker::link_query(&image, &g1, &mut symbols).unwrap();
+        let e1 = q1.query_entry().unwrap();
+        let g2 = read_term("p(Y)").unwrap();
+        let (q2, vars) = Linker::link_query(&q1, &g2, &mut symbols).unwrap();
+        assert_ne!(q2.query_entry().unwrap(), e1);
+        assert_eq!(vars, vec!["Y".to_owned()]);
+    }
+
+    #[test]
+    fn too_many_query_vars_rejected() {
+        let (image, mut symbols) = link("p(1).");
+        let args: Vec<String> = (0..17).map(|i| format!("X{i}")).collect();
+        let goal = read_term(&format!("f({})", args.join(","))).unwrap();
+        assert!(matches!(
+            Linker::link_query(&image, &goal, &mut symbols),
+            Err(CompileError::TooManyQueryVars(17))
+        ));
+    }
+
+    #[test]
+    fn disassembly_names_predicates() {
+        let (image, symbols) = link("p(f(X)) :- q(X). q(a).");
+        let dis = image.disassemble(&symbols);
+        assert!(dis.contains("p/1:"), "{dis}");
+        assert!(dis.contains("get_structure f/1"), "{dis}");
+    }
+}

@@ -1,0 +1,839 @@
+//! The escape mechanism: built-in predicates serviced with host help.
+//!
+//! KCM "uses the host with its operating system (UNIX) as server for I/O"
+//! (§2.1); built-ins are "implemented via the escape mechanism, i.e.
+//! resorting to the host" (§4.2). The paper's benchmark configuration
+//! costs `write/1` and `nl/0` as 5-cycle unit clauses; the machine charges
+//! [`kcm_arch::CostModel::escape_base`] before entering this module, so
+//! simple escapes add nothing further. Structural built-ins (`functor/3`,
+//! `=../2`, term comparison) charge per term node walked.
+
+use crate::machine::{Machine, MachineError, Solution};
+use kcm_arch::isa::{AluOp, Builtin, Cond};
+use kcm_arch::{Tag, Word};
+use kcm_prolog::Term;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// What the escape asks the machine to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinOutcome {
+    /// Continue with the next instruction.
+    Succeed,
+    /// Backtrack.
+    Fail,
+    /// Stop the machine.
+    Halt(bool),
+    /// Transfer control to a predicate, execute-style (the meta-call).
+    Execute {
+        /// Entry address.
+        addr: kcm_arch::CodeAddr,
+        /// Arity of the entered predicate.
+        arity: u8,
+    },
+}
+
+/// Executes builtin `b` against the argument registers.
+///
+/// # Errors
+///
+/// Returns a [`MachineError`] for type/instantiation faults — Prolog-level
+/// *failure* is reported through [`BuiltinOutcome::Fail`], not an error.
+pub fn execute(m: &mut Machine, b: Builtin) -> Result<BuiltinOutcome, MachineError> {
+    use BuiltinOutcome::{Fail, Halt, Succeed};
+    let ok = |c: bool| if c { Succeed } else { Fail };
+    match b {
+        Builtin::Write => {
+            let w = m.arg_word(0);
+            let text = m.with_host_access(|m| m.format_term(w))?;
+            m.output.push_str(&text);
+            Ok(Succeed)
+        }
+        Builtin::Nl => {
+            m.output.push('\n');
+            Ok(Succeed)
+        }
+        Builtin::Tab => {
+            let w = m.arg_word(0);
+            let n = m.deref(w)?.as_int().unwrap_or(0).max(0);
+            for _ in 0..n {
+                m.output.push(' ');
+            }
+            Ok(Succeed)
+        }
+        Builtin::Var => {
+            let t = deref_tag(m, 0)?;
+            Ok(ok(t == Tag::Ref))
+        }
+        Builtin::Nonvar => {
+            let t = deref_tag(m, 0)?;
+            Ok(ok(t != Tag::Ref))
+        }
+        Builtin::Atom => {
+            let t = deref_tag(m, 0)?;
+            Ok(ok(t == Tag::Atom || t == Tag::Nil))
+        }
+        Builtin::Atomic => {
+            let t = deref_tag(m, 0)?;
+            Ok(ok(matches!(t, Tag::Atom | Tag::Nil | Tag::Int | Tag::Float)))
+        }
+        Builtin::Integer => Ok(ok(deref_tag(m, 0)? == Tag::Int)),
+        Builtin::Float => Ok(ok(deref_tag(m, 0)? == Tag::Float)),
+        Builtin::Number => {
+            let t = deref_tag(m, 0)?;
+            Ok(ok(t == Tag::Int || t == Tag::Float))
+        }
+        Builtin::Callable => {
+            let t = deref_tag(m, 0)?;
+            Ok(ok(matches!(t, Tag::Atom | Tag::Nil | Tag::Struct | Tag::List)))
+        }
+        Builtin::IsList => {
+            let mut w = m.deref(m.arg_word(0))?;
+            loop {
+                m.charge_cycles(1);
+                match w.tag() {
+                    Tag::Nil => return Ok(Succeed),
+                    Tag::List => {
+                        let p = w.as_addr().expect("list");
+                        let tail = m.read_cell(p.offset(1))?;
+                        w = m.deref(tail)?;
+                    }
+                    _ => return Ok(Fail),
+                }
+            }
+        }
+        Builtin::Is => {
+            let rhs = m.arg_word(1);
+            let value = eval_arith(m, rhs)?;
+            let lhs = m.arg_word(0);
+            Ok(ok(m.unify(lhs, value)?))
+        }
+        Builtin::ArithEq
+        | Builtin::ArithNe
+        | Builtin::ArithLt
+        | Builtin::ArithLe
+        | Builtin::ArithGt
+        | Builtin::ArithGe => {
+            let cond = match b {
+                Builtin::ArithEq => Cond::Eq,
+                Builtin::ArithNe => Cond::Ne,
+                Builtin::ArithLt => Cond::Lt,
+                Builtin::ArithLe => Cond::Le,
+                Builtin::ArithGt => Cond::Gt,
+                _ => Cond::Ge,
+            };
+            let a = eval_arith(m, m.arg_word(0))?;
+            let c = eval_arith(m, m.arg_word(1))?;
+            Ok(ok(m.numeric_holds(cond, a, c)?))
+        }
+        Builtin::TermEq => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? == Ordering::Equal)),
+        Builtin::TermNe => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? != Ordering::Equal)),
+        Builtin::TermLt => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? == Ordering::Less)),
+        Builtin::TermGt => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? == Ordering::Greater)),
+        Builtin::TermLe => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? != Ordering::Greater)),
+        Builtin::TermGe => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? != Ordering::Less)),
+        Builtin::Compare => {
+            let order = term_compare(m, m.arg_word(1), m.arg_word(2))?;
+            let atom = match order {
+                Ordering::Less => "<",
+                Ordering::Equal => "=",
+                Ordering::Greater => ">",
+            };
+            let id = m.symbols.atom(atom);
+            let lhs = m.arg_word(0);
+            Ok(ok(m.unify(lhs, Word::atom(id))?))
+        }
+        Builtin::Functor => builtin_functor(m),
+        Builtin::Arg => builtin_arg(m),
+        Builtin::Univ => builtin_univ(m),
+        Builtin::Length => builtin_length(m),
+        Builtin::Name => builtin_name(m),
+        Builtin::Halt => Ok(Halt(true)),
+        Builtin::ReportSolution => {
+            let names = m.query_var_names();
+            let mut solution: Solution = Vec::with_capacity(names.len());
+            for (i, name) in names.iter().enumerate() {
+                let w = m.arg_word(i);
+                let t = m.with_host_access(|m| m.decode_term(w))?;
+                solution.push((name.clone(), t));
+            }
+            m.push_solution(solution);
+            Ok(if m.enumerating() { Fail } else { Succeed })
+        }
+        Builtin::UnifyOccurs => {
+            let (a, c) = (m.arg_word(0), m.arg_word(1));
+            Ok(ok(m.unify_occurs(a, c)?))
+        }
+        Builtin::CallGoal => builtin_call_goal(m),
+        Builtin::CopyTerm => {
+            let src = m.arg_word(0);
+            let t = m.with_host_access(|m| m.decode_term(src))?;
+            let mut vars = HashMap::new();
+            let copy = m.build_term(&t, &mut vars)?;
+            Ok(ok(m.unify(m.arg_word(1), copy)?))
+        }
+        Builtin::Ground => {
+            let src = m.arg_word(0);
+            let t = m.with_host_access(|m| m.decode_term(src))?;
+            // Charge the walk the hardware would do.
+            m.charge_cycles(1);
+            Ok(ok(t.is_ground()))
+        }
+        Builtin::AtomCodes | Builtin::NumberCodes => {
+            // Shares name/2's machinery; number_codes insists on numbers.
+            let numeric = b == Builtin::NumberCodes;
+            let a = m.deref(m.arg_word(0))?;
+            match a.tag() {
+                Tag::Ref => {
+                    let codes = m.with_host_access(|m| m.decode_term(m.arg_word(1)))?;
+                    let items = codes.list_elements().ok_or_else(|| {
+                        MachineError::Instantiation("codes list required".into())
+                    })?;
+                    let mut text = String::new();
+                    for item in items {
+                        match item {
+                            Term::Int(c) => text.push(char::from_u32(*c as u32).unwrap_or('?')),
+                            _ => return Err(MachineError::TypeFault("codes list".into())),
+                        }
+                    }
+                    let w = if numeric {
+                        if let Ok(v) = text.parse::<i32>() {
+                            Word::int(v)
+                        } else if let Ok(v) = text.parse::<f32>() {
+                            Word::float(v)
+                        } else {
+                            return Err(MachineError::TypeFault(format!(
+                                "number_codes: {text:?} is not a number"
+                            )));
+                        }
+                    } else {
+                        // atom_codes always yields an atom, even for
+                        // digit-only text (ISO semantics).
+                        Word::atom(m.symbols.atom(&text))
+                    };
+                    Ok(ok(m.unify(a, w)?))
+                }
+                _ => {
+                    let text = match a.tag() {
+                        Tag::Atom => m.symbols.atom_name(a.as_atom().expect("atom")).to_owned(),
+                        Tag::Nil => "[]".to_owned(),
+                        Tag::Int => (a.value() as i32).to_string(),
+                        Tag::Float => format!("{:?}", f32::from_bits(a.value())),
+                        other => {
+                            return Err(MachineError::TypeFault(format!(
+                                "atom_codes/number_codes on a {other} term"
+                            )))
+                        }
+                    };
+                    if numeric && !matches!(a.tag(), Tag::Int | Tag::Float) {
+                        return Err(MachineError::TypeFault("number_codes needs a number".into()));
+                    }
+                    let codes =
+                        Term::list(text.chars().map(|c| Term::Int(c as i32)).collect(), None);
+                    let mut vars = HashMap::new();
+                    let w = m.build_term(&codes, &mut vars)?;
+                    Ok(ok(m.unify(m.arg_word(1), w)?))
+                }
+            }
+        }
+        Builtin::AtomLength => {
+            let a = m.deref(m.arg_word(0))?;
+            let len = match a.tag() {
+                Tag::Atom => m.symbols.atom_name(a.as_atom().expect("atom")).chars().count(),
+                Tag::Nil => 2,
+                _ => return Err(MachineError::TypeFault("atom_length needs an atom".into())),
+            };
+            Ok(ok(m.unify(m.arg_word(1), Word::int(len as i32))?))
+        }
+        Builtin::Statistics => {
+            let key = m.deref(m.arg_word(0))?;
+            let name = match key.as_atom() {
+                Some(id) => m.symbols.atom_name(id).to_owned(),
+                None => return Err(MachineError::TypeFault("statistics key".into())),
+            };
+            let value = match name.as_str() {
+                "cycles" => (m.cycles_now() & 0x3FFF_FFFF) as i32,
+                "runtime" => m.cost().cycles_to_ms(m.cycles_now()) as i32,
+                "inferences" => (m.inferences_now() & 0x3FFF_FFFF) as i32,
+                "global_stack" | "heap" => m.heap_words_used() as i32,
+                "trail" => m.trail_words_used() as i32,
+                _ => return Err(MachineError::TypeFault(format!("statistics key {name}"))),
+            };
+            let lhs = m.arg_word(1);
+            Ok(ok(m.unify(lhs, Word::int(value))?))
+        }
+    }
+}
+
+/// The meta-call: dispatches the goal term in A1. User predicates are
+/// entered execute-style; recognised built-in goals run inline; control
+/// constructs are rejected (compile them, or wrap them in a predicate).
+fn builtin_call_goal(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+    // call/N: A2..AN are extra arguments appended to the goal in A1.
+    let extra: Vec<Word> = (1..m.current_arity() as usize).map(|i| m.arg_word(i)).collect();
+    let g = m.deref(m.arg_word(0))?;
+    let (name, arity, args_at) = match g.tag() {
+        Tag::Ref => {
+            return Err(MachineError::Instantiation("call/1 on an unbound goal".into()))
+        }
+        Tag::Atom => {
+            let id = g.as_atom().expect("atom");
+            (m.symbols.atom_name(id).to_owned(), 0u8, None)
+        }
+        Tag::Struct => {
+            let p = g.as_addr().expect("struct");
+            let fw = m.read_cell(p)?;
+            let f = fw
+                .as_functor()
+                .ok_or_else(|| MachineError::TypeFault("corrupt goal structure".into()))?;
+            (
+                m.symbols.functor_name(f).to_owned(),
+                m.symbols.functor_arity(f),
+                Some(p),
+            )
+        }
+        other => {
+            return Err(MachineError::TypeFault(format!("call/1 on a {other} term")))
+        }
+    };
+    match (name.as_str(), arity) {
+        ("true", 0) | ("!", 0) => {
+            m.count_inference();
+            return Ok(BuiltinOutcome::Succeed);
+        }
+        ("fail", 0) | ("false", 0) => {
+            m.count_inference();
+            return Ok(BuiltinOutcome::Fail);
+        }
+        (",", 2) | (";", 2) | ("->", 2) | ("\\+", 1) => {
+            return Err(MachineError::TypeFault(format!(
+                "call/1 of the control construct {name}/{arity} is not supported \
+                 by the static runtime; wrap it in a predicate"
+            )))
+        }
+        _ => {}
+    }
+    let total = arity as usize + extra.len();
+    if total > kcm_compiler::MAX_ARITY {
+        return Err(MachineError::TypeFault(format!(
+            "call goal arity {total} exceeds A1..A16"
+        )));
+    }
+    // Load the goal arguments into A1..An (unbound cells as references),
+    // then append the call/N extras.
+    let mut loaded = Vec::with_capacity(total);
+    if let Some(p) = args_at {
+        for i in 1..=arity as i64 {
+            let cell_addr = p.offset(i);
+            let w = m.read_cell(cell_addr)?;
+            loaded.push(if w.is_unbound_at(cell_addr) {
+                Word::reference(cell_addr)
+            } else {
+                w
+            });
+        }
+    }
+    loaded.extend(extra);
+    let arity = total as u8;
+    for (i, w) in loaded.into_iter().enumerate() {
+        m.set_arg(i, w);
+    }
+    // Built-in goal?
+    if let Some(b) = kcm_compiler::builtins::escape_builtin(&name, arity as usize) {
+        m.count_inference();
+        m.charge_cycles(m.cost().escape_base);
+        return execute(m, b);
+    }
+    // User predicate (enter_predicate counts the inference).
+    match m.image_entry(&name, arity) {
+        Some(addr) => Ok(BuiltinOutcome::Execute { addr, arity }),
+        None => Ok(BuiltinOutcome::Fail), // unknown predicate fails
+    }
+}
+
+fn deref_tag(m: &mut Machine, i: usize) -> Result<Tag, MachineError> {
+    Ok(m.deref(m.arg_word(i))?.tag())
+}
+
+/// Generic arithmetic over a term (the `is/2` escape — used when the
+/// compiler could not inline the expression natively). Charges per
+/// operator like the native path.
+fn eval_arith(m: &mut Machine, w: Word) -> Result<Word, MachineError> {
+    let w = m.deref(w)?;
+    match w.tag() {
+        Tag::Int | Tag::Float => Ok(w),
+        Tag::Ref => Err(MachineError::Instantiation("is/2 on an unbound variable".into())),
+        Tag::Struct => {
+            let p = w.as_addr().expect("struct");
+            let fw = m.read_cell(p)?;
+            let f = fw
+                .as_functor()
+                .ok_or_else(|| MachineError::TypeFault("corrupt structure".into()))?;
+            let name = m.symbols.functor_name(f).to_owned();
+            let arity = m.symbols.functor_arity(f);
+            match (name.as_str(), arity) {
+                ("+", 2) | ("-", 2) | ("*", 2) | ("/", 2) | ("//", 2) | ("mod", 2)
+                | ("rem", 2) | ("min", 2) | ("max", 2) | ("/\\", 2) | ("\\/", 2)
+                | ("xor", 2) | ("<<", 2) | (">>", 2) => {
+                    let a = m.read_cell(p.offset(1))?;
+                    let b = m.read_cell(p.offset(2))?;
+                    let a = eval_arith(m, a)?;
+                    let b = eval_arith(m, b)?;
+                    let op = match name.as_str() {
+                        "+" => AluOp::Add,
+                        "-" => AluOp::Sub,
+                        "*" => AluOp::Mul,
+                        "/" | "//" => AluOp::Div,
+                        "mod" | "rem" => AluOp::Mod,
+                        "min" => AluOp::Min,
+                        "max" => AluOp::Max,
+                        "/\\" => AluOp::And,
+                        "\\/" => AluOp::Or,
+                        "xor" => AluOp::Xor,
+                        "<<" => AluOp::Shl,
+                        _ => AluOp::Shr,
+                    };
+                    m.alu(op, a, b)
+                }
+                ("-", 1) => {
+                    let a = m.read_cell(p.offset(1))?;
+                    let a = eval_arith(m, a)?;
+                    m.alu(AluOp::Neg, a, a)
+                }
+                ("+", 1) => {
+                    let a = m.read_cell(p.offset(1))?;
+                    eval_arith(m, a)
+                }
+                ("abs", 1) => {
+                    let a = m.read_cell(p.offset(1))?;
+                    let a = eval_arith(m, a)?;
+                    let n = m.alu(AluOp::Neg, a, a)?;
+                    m.alu(AluOp::Max, a, n)
+                }
+                _ => Err(MachineError::TypeFault(format!(
+                    "unknown evaluable functor {name}/{arity}"
+                ))),
+            }
+        }
+        other => Err(MachineError::TypeFault(format!("is/2 on a {other} term"))),
+    }
+}
+
+/// Standard order of terms: Var < Number < Atom < Compound; compounds by
+/// arity, then functor name, then arguments left to right.
+fn term_compare(m: &mut Machine, a: Word, b: Word) -> Result<Ordering, MachineError> {
+    m.charge_cycles(1);
+    let a = m.deref(a)?;
+    let b = m.deref(b)?;
+    let rank = |t: Tag| match t {
+        Tag::Ref => 0u8,
+        Tag::Int | Tag::Float => 1,
+        Tag::Atom | Tag::Nil => 2,
+        _ => 3,
+    };
+    let (ra, rb) = (rank(a.tag()), rank(b.tag()));
+    if ra != rb {
+        return Ok(ra.cmp(&rb));
+    }
+    match a.tag() {
+        Tag::Ref => Ok(a.value().cmp(&b.value())),
+        Tag::Int | Tag::Float => {
+            let x = if a.tag() == Tag::Int { a.value() as i32 as f64 } else { f64::from(f32::from_bits(a.value())) };
+            let y = if b.tag() == Tag::Int { b.value() as i32 as f64 } else { f64::from(f32::from_bits(b.value())) };
+            Ok(x.partial_cmp(&y).unwrap_or(Ordering::Equal))
+        }
+        Tag::Atom | Tag::Nil => {
+            let name = |m: &Machine, w: Word| -> String {
+                match w.as_atom() {
+                    Some(id) => m.symbols.atom_name(id).to_owned(),
+                    None => "[]".to_owned(),
+                }
+            };
+            Ok(name(m, a).cmp(&name(m, b)))
+        }
+        _ => {
+            // Compounds: lists are './2'.
+            let (fa_name, fa_arity, pa) = functor_of(m, a)?;
+            let (fb_name, fb_arity, pb) = functor_of(m, b)?;
+            match fa_arity.cmp(&fb_arity).then_with(|| fa_name.cmp(&fb_name)) {
+                Ordering::Equal => {
+                    for i in 0..fa_arity as i64 {
+                        let (off_a, off_b) = if a.tag() == Tag::List {
+                            (i, i)
+                        } else {
+                            (i + 1, i + 1)
+                        };
+                        let wa = m.read_cell(pa.offset(off_a))?;
+                        let wb = m.read_cell(pb.offset(off_b))?;
+                        let c = term_compare(m, wa, wb)?;
+                        if c != Ordering::Equal {
+                            return Ok(c);
+                        }
+                    }
+                    Ok(Ordering::Equal)
+                }
+                other => Ok(other),
+            }
+        }
+    }
+}
+
+/// Functor name/arity and argument base pointer of a compound word.
+fn functor_of(
+    m: &mut Machine,
+    w: Word,
+) -> Result<(String, u8, kcm_arch::VAddr), MachineError> {
+    let p = w.as_addr().expect("compound");
+    match w.tag() {
+        Tag::List => Ok((".".to_owned(), 2, p)),
+        Tag::Struct => {
+            let fw = m.read_cell(p)?;
+            let f = fw
+                .as_functor()
+                .ok_or_else(|| MachineError::TypeFault("corrupt structure".into()))?;
+            Ok((
+                m.symbols.functor_name(f).to_owned(),
+                m.symbols.functor_arity(f),
+                p,
+            ))
+        }
+        other => Err(MachineError::TypeFault(format!("{other} is not compound"))),
+    }
+}
+
+fn builtin_functor(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+    let t = m.deref(m.arg_word(0))?;
+    match t.tag() {
+        Tag::Ref => {
+            // Construct: functor(T, Name, Arity).
+            let name = m.deref(m.arg_word(1))?;
+            let arity = m.deref(m.arg_word(2))?;
+            let n = arity
+                .as_int()
+                .ok_or_else(|| MachineError::TypeFault("functor/3 arity".into()))?;
+            if n == 0 {
+                return Ok(if m.unify(t, name)? {
+                    BuiltinOutcome::Succeed
+                } else {
+                    BuiltinOutcome::Fail
+                });
+            }
+            if !(0..=255).contains(&n) {
+                return Err(MachineError::TypeFault("functor/3 arity out of range".into()));
+            }
+            let built = match name.tag() {
+                Tag::Atom => {
+                    let atom = name.as_atom().expect("atom");
+                    let atom_name = m.symbols.atom_name(atom).to_owned();
+                    if atom_name == "." && n == 2 {
+                        // A cons pair of two fresh unbound cells.
+                        let base = m.h;
+                        m.heap_push(Word::unbound(base))?;
+                        m.heap_push(Word::unbound(base.offset(1)))?;
+                        Word::ptr(Tag::List, base)
+                    } else {
+                        let f = m.symbols.functor_of(atom, n as u8);
+                        let base = m.heap_push(Word::functor(f))?;
+                        for i in 1..=n {
+                            let cell = base.offset(i as i64);
+                            m.heap_push(Word::unbound(cell))?;
+                        }
+                        Word::ptr(Tag::Struct, base)
+                    }
+                }
+                _ => return Err(MachineError::TypeFault("functor/3 name must be an atom".into())),
+            };
+            Ok(if m.unify(t, built)? {
+                BuiltinOutcome::Succeed
+            } else {
+                BuiltinOutcome::Fail
+            })
+        }
+        Tag::List => {
+            let dot = m.symbols.atom(".");
+            let n1 = m.unify(m.arg_word(1), Word::atom(dot))?;
+            let n2 = m.unify(m.arg_word(2), Word::int(2))?;
+            Ok(if n1 && n2 { BuiltinOutcome::Succeed } else { BuiltinOutcome::Fail })
+        }
+        Tag::Struct => {
+            let (name, arity, _) = functor_of(m, t)?;
+            let id = m.symbols.atom(&name);
+            let n1 = m.unify(m.arg_word(1), Word::atom(id))?;
+            let n2 = m.unify(m.arg_word(2), Word::int(arity as i32))?;
+            Ok(if n1 && n2 { BuiltinOutcome::Succeed } else { BuiltinOutcome::Fail })
+        }
+        _ => {
+            // Atomic: functor is the term itself, arity 0.
+            let n1 = m.unify(m.arg_word(1), t)?;
+            let n2 = m.unify(m.arg_word(2), Word::int(0))?;
+            Ok(if n1 && n2 { BuiltinOutcome::Succeed } else { BuiltinOutcome::Fail })
+        }
+    }
+}
+
+fn builtin_arg(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+    let n = m
+        .deref(m.arg_word(0))?
+        .as_int()
+        .ok_or_else(|| MachineError::TypeFault("arg/3 index".into()))?;
+    let t = m.deref(m.arg_word(1))?;
+    let (_, arity, p) = functor_of(m, t)?;
+    if n < 1 || n > arity as i32 {
+        return Ok(BuiltinOutcome::Fail);
+    }
+    let off = if t.tag() == Tag::List { n as i64 - 1 } else { n as i64 };
+    let w = m.read_cell(p.offset(off))?;
+    Ok(if m.unify(m.arg_word(2), w)? {
+        BuiltinOutcome::Succeed
+    } else {
+        BuiltinOutcome::Fail
+    })
+}
+
+fn builtin_univ(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+    let t = m.deref(m.arg_word(0))?;
+    match t.tag() {
+        Tag::Ref => {
+            // Construct from the list in A2, preserving variable identity:
+            // the argument *cells* of the list become the argument cells
+            // of the structure (as references where unbound).
+            let mut items: Vec<Word> = Vec::new();
+            let mut w = m.deref(m.arg_word(1))?;
+            loop {
+                match w.tag() {
+                    Tag::Nil => break,
+                    Tag::List => {
+                        let p = w.as_addr().expect("list");
+                        let head = m.read_cell(p)?;
+                        items.push(if head.is_unbound_at(p) { Word::reference(p) } else { head });
+                        let tp = p.offset(1);
+                        let tail = m.read_cell(tp)?;
+                        w = m.deref(if tail.is_unbound_at(tp) {
+                            Word::reference(tp)
+                        } else {
+                            tail
+                        })?;
+                    }
+                    Tag::Ref => {
+                        return Err(MachineError::Instantiation(
+                            "=../2 needs a proper list".into(),
+                        ))
+                    }
+                    _ => return Err(MachineError::TypeFault("=../2 needs a list".into())),
+                }
+            }
+            let Some((&head_w, args)) = items.split_first() else {
+                return Err(MachineError::TypeFault("=../2 on an empty list".into()));
+            };
+            let head = m.deref(head_w)?;
+            if args.is_empty() {
+                if !head.tag().is_constant() {
+                    return Err(MachineError::TypeFault("=../2 bad functor".into()));
+                }
+                return Ok(if m.unify(t, head)? {
+                    BuiltinOutcome::Succeed
+                } else {
+                    BuiltinOutcome::Fail
+                });
+            }
+            let built = match head.tag() {
+                Tag::Atom => {
+                    let atom = head.as_atom().expect("atom");
+                    let name = m.symbols.atom_name(atom).to_owned();
+                    if name == "." && args.len() == 2 {
+                        let base = m.heap_push(args[0])?;
+                        m.heap_push(args[1])?;
+                        Word::ptr(Tag::List, base)
+                    } else {
+                        if args.len() > 255 {
+                            return Err(MachineError::TypeFault("=../2 arity too large".into()));
+                        }
+                        let f = m.symbols.functor_of(atom, args.len() as u8);
+                        let base = m.heap_push(Word::functor(f))?;
+                        for &a in args {
+                            m.heap_push(a)?;
+                        }
+                        Word::ptr(Tag::Struct, base)
+                    }
+                }
+                _ => return Err(MachineError::TypeFault("=../2 bad functor".into())),
+            };
+            Ok(if m.unify(t, built)? { BuiltinOutcome::Succeed } else { BuiltinOutcome::Fail })
+        }
+        _ => {
+            let decoded = m.decode_term(t)?;
+            let listed = match decoded {
+                Term::Struct(name, args) => {
+                    let mut items = vec![Term::Atom(name)];
+                    items.extend(args);
+                    Term::list(items, None)
+                }
+                atomic => Term::list(vec![atomic], None),
+            };
+            let mut vars = HashMap::new();
+            let w = m.build_term(&listed, &mut vars)?;
+            Ok(if m.unify(m.arg_word(1), w)? {
+                BuiltinOutcome::Succeed
+            } else {
+                BuiltinOutcome::Fail
+            })
+        }
+    }
+}
+
+fn builtin_length(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+    let list = m.deref(m.arg_word(0))?;
+    match list.tag() {
+        Tag::Nil | Tag::List => {
+            let mut w = list;
+            let mut n: i32 = 0;
+            loop {
+                m.charge_cycles(1);
+                match w.tag() {
+                    Tag::Nil => break,
+                    Tag::List => {
+                        n += 1;
+                        let p = w.as_addr().expect("list");
+                        let tail = m.read_cell(p.offset(1))?;
+                        w = m.deref(tail)?;
+                    }
+                    Tag::Ref => {
+                        return Err(MachineError::Instantiation("length/2 on a partial list".into()))
+                    }
+                    _ => return Ok(BuiltinOutcome::Fail),
+                }
+            }
+            Ok(if m.unify(m.arg_word(1), Word::int(n))? {
+                BuiltinOutcome::Succeed
+            } else {
+                BuiltinOutcome::Fail
+            })
+        }
+        Tag::Ref => {
+            let n = m
+                .deref(m.arg_word(1))?
+                .as_int()
+                .ok_or_else(|| MachineError::Instantiation("length/2 needs a bound length".into()))?;
+            if n < 0 {
+                return Ok(BuiltinOutcome::Fail);
+            }
+            // Build a list of n fresh variables.
+            let mut tail = Word::nil();
+            for _ in 0..n {
+                let v = m.new_heap_var()?;
+                let p = m.heap_push(v)?;
+                m.heap_push(tail)?;
+                tail = Word::ptr(Tag::List, p);
+            }
+            Ok(if m.unify(list, tail)? {
+                BuiltinOutcome::Succeed
+            } else {
+                BuiltinOutcome::Fail
+            })
+        }
+        _ => Ok(BuiltinOutcome::Fail),
+    }
+}
+
+fn builtin_name(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+    let a = m.deref(m.arg_word(0))?;
+    match a.tag() {
+        Tag::Atom | Tag::Int | Tag::Nil => {
+            let text = match a.tag() {
+                Tag::Atom => m.symbols.atom_name(a.as_atom().expect("atom")).to_owned(),
+                Tag::Nil => "[]".to_owned(),
+                _ => (a.value() as i32).to_string(),
+            };
+            let codes = Term::list(text.chars().map(|c| Term::Int(c as i32)).collect(), None);
+            let mut vars = HashMap::new();
+            let w = m.build_term(&codes, &mut vars)?;
+            Ok(if m.unify(m.arg_word(1), w)? {
+                BuiltinOutcome::Succeed
+            } else {
+                BuiltinOutcome::Fail
+            })
+        }
+        Tag::Ref => {
+            let codes = m.decode_term(m.arg_word(1))?;
+            let items = codes
+                .list_elements()
+                .ok_or_else(|| MachineError::Instantiation("name/2 needs a code list".into()))?;
+            let mut text = String::new();
+            for item in items {
+                match item {
+                    Term::Int(c) => {
+                        text.push(char::from_u32(*c as u32).unwrap_or('?'));
+                    }
+                    _ => return Err(MachineError::TypeFault("name/2 code list".into())),
+                }
+            }
+            let w = if let Ok(v) = text.parse::<i32>() {
+                Word::int(v)
+            } else {
+                let id = m.symbols.atom(&text);
+                Word::atom(id)
+            };
+            Ok(if m.unify(a, w)? { BuiltinOutcome::Succeed } else { BuiltinOutcome::Fail })
+        }
+        _ => Ok(BuiltinOutcome::Fail),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, MachineConfig};
+    use kcm_arch::SymbolTable;
+
+    fn machine() -> Machine {
+        let clauses = kcm_prolog::read_program("t.").expect("parse");
+        let mut symbols = SymbolTable::new();
+        let image = kcm_compiler::compile_program(&clauses, &mut symbols).expect("compile");
+        Machine::new(image, symbols, MachineConfig::default())
+    }
+
+    #[test]
+    fn eval_arith_handles_nesting_and_floats() {
+        let mut m = machine();
+        let mut vars = std::collections::HashMap::new();
+        let e = kcm_prolog::read_term("2 * (3 + 4) - 1").expect("parse");
+        let w = m.build_term(&e, &mut vars).expect("build");
+        assert_eq!(eval_arith(&mut m, w).expect("eval").as_int(), Some(13));
+        let e = kcm_prolog::read_term("1 + 0.5").expect("parse");
+        let w = m.build_term(&e, &mut vars).expect("build");
+        assert_eq!(eval_arith(&mut m, w).expect("eval").as_float(), Some(1.5));
+    }
+
+    #[test]
+    fn eval_arith_rejects_non_arithmetic() {
+        let mut m = machine();
+        let mut vars = std::collections::HashMap::new();
+        let e = kcm_prolog::read_term("foo(1)").expect("parse");
+        let w = m.build_term(&e, &mut vars).expect("build");
+        assert!(matches!(eval_arith(&mut m, w), Err(MachineError::TypeFault(_))));
+        let e = kcm_prolog::read_term("1 + X").expect("parse");
+        let w = m.build_term(&e, &mut vars).expect("build");
+        assert!(matches!(eval_arith(&mut m, w), Err(MachineError::Instantiation(_))));
+    }
+
+    #[test]
+    fn term_compare_follows_standard_order() {
+        let mut m = machine();
+        let mut vars = std::collections::HashMap::new();
+        let pairs = [
+            ("1", "a", Ordering::Less),        // numbers < atoms
+            ("a", "f(x)", Ordering::Less),     // atoms < compounds
+            ("f(1)", "f(2)", Ordering::Less),  // args left to right
+            ("g(1)", "f(1, 2)", Ordering::Less), // arity first
+            ("f(a)", "f(a)", Ordering::Equal),
+            ("2.5", "3", Ordering::Less),      // numeric comparison
+        ];
+        for (a, b, want) in pairs {
+            let ta = kcm_prolog::read_term(a).expect("parse");
+            let tb = kcm_prolog::read_term(b).expect("parse");
+            let wa = m.build_term(&ta, &mut vars).expect("build");
+            let wb = m.build_term(&tb, &mut vars).expect("build");
+            assert_eq!(term_compare(&mut m, wa, wb).expect("cmp"), want, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Frame layouts on the split stacks (paper §2.4, §3.1.5).
+//!
+//! KCM uses "the split-stack model, i.e. there are two separate stacks for
+//! environments and choice points". Environments live in the local zone,
+//! choice points in the control zone.
+//!
+//! Environment frame (base = E):
+//!
+//! | offset | content |
+//! |--------|---------|
+//! | 0      | CE — caller's environment (or none) |
+//! | 1      | CP — continuation code pointer |
+//! | 2      | B0 — cut barrier at clause entry |
+//! | 3      | N — number of permanent variables |
+//! | 4..4+N | Y1..YN |
+//!
+//! Choice-point frame (base = B, arity n — "its typical size is about 10
+//! words", §3.1.5):
+//!
+//! | offset  | content |
+//! |---------|---------|
+//! | 0       | n — saved arity |
+//! | 1..1+n  | A1..An |
+//! | 1+n     | CE |
+//! | 2+n     | CP |
+//! | 3+n     | previous B |
+//! | 4+n     | FA — next alternative |
+//! | 5+n     | TR — trail mark |
+//! | 6+n     | H — heap mark |
+//! | 7+n     | LT — local allocation mark |
+//! | 8+n     | B0 — cut barrier |
+
+/// Fixed slots of an environment frame before the Y variables.
+pub const ENV_FIXED: u32 = 4;
+
+/// Offset of CE in an environment.
+pub const ENV_CE: u32 = 0;
+/// Offset of CP in an environment.
+pub const ENV_CP: u32 = 1;
+/// Offset of B0 in an environment.
+pub const ENV_B0: u32 = 2;
+/// Offset of the Y-count in an environment.
+pub const ENV_N: u32 = 3;
+
+/// Offset of Y variable `y` in an environment.
+#[inline]
+pub const fn env_y(y: u8) -> u32 {
+    ENV_FIXED + y as u32
+}
+
+/// Total size of an environment with `n` permanent variables.
+#[inline]
+pub const fn env_size(n: u8) -> u32 {
+    ENV_FIXED + n as u32
+}
+
+/// Offset of the saved arity in a choice point.
+pub const CP_ARITY: u32 = 0;
+
+/// Offset of saved argument register `i` (0-based).
+#[inline]
+pub const fn cp_arg(i: u8) -> u32 {
+    1 + i as u32
+}
+
+/// Offset of CE in a choice point of arity `n`.
+#[inline]
+pub const fn cp_ce(n: u8) -> u32 {
+    1 + n as u32
+}
+
+/// Offset of CP.
+#[inline]
+pub const fn cp_cp(n: u8) -> u32 {
+    2 + n as u32
+}
+
+/// Offset of the previous B.
+#[inline]
+pub const fn cp_prev_b(n: u8) -> u32 {
+    3 + n as u32
+}
+
+/// Offset of the next-alternative address.
+#[inline]
+pub const fn cp_fa(n: u8) -> u32 {
+    4 + n as u32
+}
+
+/// Offset of the trail mark.
+#[inline]
+pub const fn cp_tr(n: u8) -> u32 {
+    5 + n as u32
+}
+
+/// Offset of the heap mark.
+#[inline]
+pub const fn cp_h(n: u8) -> u32 {
+    6 + n as u32
+}
+
+/// Offset of the local allocation mark.
+#[inline]
+pub const fn cp_lt(n: u8) -> u32 {
+    7 + n as u32
+}
+
+/// Offset of the cut barrier.
+#[inline]
+pub const fn cp_b0(n: u8) -> u32 {
+    8 + n as u32
+}
+
+/// Total size of a choice point of arity `n`.
+#[inline]
+pub const fn cp_size(n: u8) -> u32 {
+    9 + n as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_layout_is_contiguous() {
+        assert_eq!(env_y(0), ENV_FIXED);
+        assert_eq!(env_y(3), ENV_FIXED + 3);
+        assert_eq!(env_size(5), ENV_FIXED + 5);
+    }
+
+    #[test]
+    fn choice_point_layout_is_contiguous() {
+        let n = 3u8;
+        assert_eq!(cp_arg(0), 1);
+        assert_eq!(cp_arg(2), 3);
+        assert_eq!(cp_ce(n), 4);
+        assert_eq!(cp_cp(n), 5);
+        assert_eq!(cp_prev_b(n), 6);
+        assert_eq!(cp_fa(n), 7);
+        assert_eq!(cp_tr(n), 8);
+        assert_eq!(cp_h(n), 9);
+        assert_eq!(cp_lt(n), 10);
+        assert_eq!(cp_b0(n), 11);
+        assert_eq!(cp_size(n), 12);
+    }
+
+    #[test]
+    fn typical_choice_point_is_about_ten_words() {
+        // §3.1.5: "its typical size is about 10 words" — arity 2 here.
+        assert_eq!(cp_size(2), 11);
+        assert_eq!(cp_size(1), 10);
+    }
+}

@@ -1,0 +1,1874 @@
+//! The KCM machine simulator.
+//!
+//! Executes linked KCM code at the instruction level while charging cycles
+//! according to the documented micro-step model ([`kcm_arch::timing`]),
+//! with the full memory system (logical caches, MMU, zone check) in the
+//! loop. The distinctive KCM mechanisms are all here:
+//!
+//! * **Shallow backtracking** (§3.1.5): `try` saves three shadow registers
+//!   instead of pushing a choice point; the choice point materialises only
+//!   at `neck`, and a failure in the head or guard restores the shadows
+//!   and jumps to the alternative with the argument registers untouched.
+//! * **Trail hardware** (§3.1.5): the trail condition is evaluated in
+//!   parallel with dereferencing — zero cycles on the default model.
+//! * **Dereference assist** (§3.1.4): reference chains are followed at one
+//!   data-cache access per link; non-pointer words abort the read.
+//! * **MWAC dispatch** (§3.1.4): unification instructions branch 16 ways
+//!   on the pair of operand types in one µcode step.
+
+use crate::builtins::{self, BuiltinOutcome};
+use crate::frames;
+use crate::mwac::{Mwac, UnifyCase};
+use crate::prefetch::{Prefetch, PrefetchStats};
+use crate::regfile::RegisterFile;
+use kcm_arch::isa::{AluOp, Cond, Instr, Reg};
+use kcm_arch::timing::Cycles;
+use kcm_arch::{CodeAddr, CostModel, SymbolTable, Tag, VAddr, Word, Zone, ZoneLimits};
+use kcm_compiler::CodeImage;
+use kcm_mem::{MemConfig, MemFault, MemStats, MemorySystem, ZoneFault};
+use kcm_prolog::Term;
+use std::rc::Rc;
+
+/// Read/write mode of the unification instructions (§3.1.4: the mode flag
+/// is "directly used for the decoding of the unification instructions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Read,
+    Write,
+}
+
+/// Configuration of a machine instance.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// The cycle model.
+    pub cost: CostModel,
+    /// The memory system configuration.
+    pub mem: MemConfig,
+    /// Shallow backtracking enabled (§3.1.5). Disabling reproduces the
+    /// eager choice points of the standard WAM (ablation).
+    pub shallow_backtracking: bool,
+    /// Spread the initial stack tops across cache sections (§3.2.4
+    /// experiment). Irrelevant when the cache is sectioned.
+    pub spread_stack_bases: bool,
+    /// Cycle budget for one `run` (guards against non-termination).
+    pub max_cycles: u64,
+    /// Macrocode monitor: keep the last `trace_depth` executed
+    /// instructions (0 = off). One of the paper's monitor levels — "code
+    /// generation tools […] monitors (at microcode, macrocode, and Prolog
+    /// levels)" (§4).
+    pub trace_depth: usize,
+    /// Prolog-level monitor: attribute cycles to code addresses so
+    /// [`Machine::profile`] can report per-predicate costs.
+    pub profile: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            cost: CostModel::default(),
+            mem: MemConfig::default(),
+            shallow_backtracking: true,
+            spread_stack_bases: true,
+            max_cycles: 20_000_000_000,
+            trace_depth: 0,
+            profile: false,
+        }
+    }
+}
+
+/// Counters gathered during a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Nanoseconds per cycle of the model that produced these counters.
+    pub cycle_ns: f64,
+    /// Total machine cycles (the paper's timings are cycles × 80 ns).
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Logical inferences (§4.2 definition: every source-level goal
+    /// invocation including built-ins; cut not counted).
+    pub inferences: u64,
+    /// Choice points actually pushed.
+    pub choice_points: u64,
+    /// Shallow (try) entries that saved only shadow registers.
+    pub shallow_entries: u64,
+    /// Failures resolved shallowly (shadow restore, no choice point).
+    pub shallow_fails: u64,
+    /// Failures resolved from a choice point.
+    pub deep_fails: u64,
+    /// Trail entries pushed.
+    pub trail_pushes: u64,
+    /// Dereference chain links followed.
+    pub deref_links: u64,
+    /// Zone-limit traps serviced by growing the zone (stack growth).
+    pub zone_growths: u64,
+    /// Memory system counters.
+    pub mem: MemStats,
+    /// Prefetch pipeline counters.
+    pub prefetch: PrefetchStats,
+}
+
+impl Default for RunStats {
+    fn default() -> RunStats {
+        RunStats {
+            cycle_ns: kcm_arch::timing::CYCLE_NS,
+            cycles: 0,
+            instructions: 0,
+            inferences: 0,
+            choice_points: 0,
+            shallow_entries: 0,
+            shallow_fails: 0,
+            deep_fails: 0,
+            trail_pushes: 0,
+            deref_links: 0,
+            zone_growths: 0,
+            mem: MemStats::default(),
+            prefetch: PrefetchStats::default(),
+        }
+    }
+}
+
+impl RunStats {
+    /// Milliseconds at the producing model's clock.
+    pub fn ms(&self) -> f64 {
+        self.cycles as f64 * self.cycle_ns / 1.0e6
+    }
+
+    /// Klips for this run (§4.2 definition of inference).
+    pub fn klips(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.inferences as f64 / (self.cycles as f64 * self.cycle_ns * 1.0e-9) / 1000.0
+    }
+}
+
+/// One solution: the query variables with their binding terms.
+pub type Solution = Vec<(String, Term)>;
+
+/// The result of running a query.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Whether at least one solution was found.
+    pub success: bool,
+    /// The collected solutions (one for a first-solution run; all of them
+    /// for an enumerating run).
+    pub solutions: Vec<Solution>,
+    /// Execution counters.
+    pub stats: RunStats,
+    /// Host output captured from `write/1`, `nl/0`, `tab/1`.
+    pub output: String,
+}
+
+/// A machine-level error (on the real machine: a trap to the monitor).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// Memory system fault (zone trap that could not be serviced, etc.).
+    Mem(MemFault),
+    /// P left the loaded code (or landed mid-instruction).
+    BadCodeAddress(CodeAddr),
+    /// The cycle budget was exhausted.
+    Fuel {
+        /// Cycles consumed when the budget ran out.
+        cycles: u64,
+    },
+    /// Arithmetic on a non-number or similar type fault.
+    TypeFault(String),
+    /// Arithmetic on an unbound variable.
+    Instantiation(String),
+    /// A term too deep to decode (likely a cyclic term).
+    TermDepth,
+    /// Division by zero.
+    ZeroDivisor,
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::Mem(e) => write!(f, "memory fault: {e}"),
+            MachineError::BadCodeAddress(a) => write!(f, "bad code address {a}"),
+            MachineError::Fuel { cycles } => write!(f, "cycle budget exhausted after {cycles}"),
+            MachineError::TypeFault(m) => write!(f, "type fault: {m}"),
+            MachineError::Instantiation(m) => {
+                write!(f, "arguments insufficiently instantiated: {m}")
+            }
+            MachineError::TermDepth => write!(f, "term too deep to decode"),
+            MachineError::ZeroDivisor => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<MemFault> for MachineError {
+    fn from(e: MemFault) -> MachineError {
+        MachineError::Mem(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Psw {
+    lt: bool,
+    eq: bool,
+    gt: bool,
+}
+
+impl Psw {
+    fn holds(self, c: Cond) -> bool {
+        match c {
+            Cond::Eq => self.eq,
+            Cond::Ne => !self.eq,
+            Cond::Lt => self.lt,
+            Cond::Le => self.lt || self.eq,
+            Cond::Gt => self.gt,
+            Cond::Ge => self.gt || self.eq,
+        }
+    }
+}
+
+/// The KCM processor plus its private memory, loaded with a code image.
+#[derive(Debug)]
+pub struct Machine {
+    pub(crate) regs: RegisterFile,
+    pub(crate) mem: MemorySystem,
+    image: Rc<CodeImage>,
+    pub(crate) symbols: SymbolTable,
+    cfg: MachineConfig,
+    mwac: Mwac,
+    prefetch: Prefetch,
+
+    // --- state registers (held in the register file on real KCM) ---
+    p: CodeAddr,
+    cp: CodeAddr,
+    e: Option<VAddr>,
+    b: Option<VAddr>,
+    b0: Option<VAddr>,
+    pub(crate) h: VAddr,
+    hb: VAddr,
+    s: VAddr,
+    tr: VAddr,
+    mode: Mode,
+    shallow: bool,
+    cpflag: bool,
+    fa: Option<CodeAddr>,
+    shadow_h: VAddr,
+    shadow_tr: VAddr,
+    arity: u8,
+    psw: Psw,
+
+    // caches of fields of the current B frame (valid while b.is_some())
+    b_arity: u8,
+    b_lt: VAddr,
+
+    // --- bookkeeping ---
+    /// Host/monitor access mode: reads bypass the cache and cost nothing
+    /// (the paper's benchmarks cost `write/1` as a flat 5-cycle escape —
+    /// the host walks the term over the interface, off the machine clock).
+    untimed: bool,
+    cycles: u64,
+    budget: u64,
+    stats: RunStats,
+    pub(crate) output: String,
+    solutions: Vec<Solution>,
+    trace: std::collections::VecDeque<String>,
+    profile: std::collections::HashMap<u32, u64>,
+    query_vars: Vec<String>,
+    enumerate_all: bool,
+    halted: Option<bool>,
+
+    heap_base: VAddr,
+    local_base: VAddr,
+    control_base: VAddr,
+}
+
+impl Machine {
+    /// Creates a machine loaded with `image`: the loader installs the
+    /// static data area (ground literals) and write-protects the static
+    /// zone before execution.
+    pub fn new(image: CodeImage, symbols: SymbolTable, cfg: MachineConfig) -> Machine {
+        let spread = cfg.spread_stack_bases;
+        let mem = MemorySystem::new(cfg.mem.clone());
+        let heap_base = MemorySystem::stack_base(Zone::Global, spread);
+        let local_base = MemorySystem::stack_base(Zone::Local, spread);
+        let control_base = MemorySystem::stack_base(Zone::Control, spread);
+        let trail_base = MemorySystem::stack_base(Zone::Trail, spread);
+        let mut m = Machine {
+            regs: RegisterFile::new(),
+            mem,
+            image: Rc::new(image),
+            symbols,
+            cfg,
+            mwac: Mwac::new(),
+            prefetch: Prefetch::new(),
+            p: CodeAddr::new(0),
+            cp: kcm_compiler::link::HALT_STUB,
+            e: None,
+            b: None,
+            b0: None,
+            h: heap_base,
+            hb: heap_base,
+            s: heap_base,
+            tr: trail_base,
+            mode: Mode::Read,
+            shallow: false,
+            cpflag: false,
+            fa: None,
+            shadow_h: heap_base,
+            shadow_tr: trail_base,
+            arity: 0,
+            psw: Psw::default(),
+            b_arity: 0,
+            b_lt: local_base,
+            untimed: false,
+            cycles: 0,
+            budget: 0,
+            stats: RunStats::default(),
+            output: String::new(),
+            solutions: Vec::new(),
+            trace: std::collections::VecDeque::new(),
+            profile: std::collections::HashMap::new(),
+            query_vars: Vec::new(),
+            enumerate_all: false,
+            halted: None,
+            heap_base,
+            local_base,
+            control_base,
+        };
+        m.install_static_data();
+        m
+    }
+
+    /// Loader step: copies the image's static data area into machine
+    /// memory and write-protects the static zone (§3.2.3: "each zone may
+    /// be write-protected").
+    fn install_static_data(&mut self) {
+        let (base, words) = {
+            let (b, w) = self.image.static_data();
+            (b, w.to_vec())
+        };
+        for (i, w) in words.iter().enumerate() {
+            self.mem
+                .poke(base.offset(i as i64), *w)
+                .expect("static area fits in the zone");
+        }
+        let limits = self.mem.zones().limits(Zone::Static).write_protected();
+        self.mem.zones_mut().set_limits(Zone::Static, limits);
+    }
+
+    /// The symbol table the image was compiled with.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The loaded code image.
+    pub fn image(&self) -> &CodeImage {
+        &self.image
+    }
+
+    /// Replaces the loaded image (consulting more code) without resetting
+    /// machine memory.
+    pub fn load_image(&mut self, image: CodeImage) {
+        self.image = Rc::new(image);
+        // New code may overwrite addresses already cached.
+        self.mem.invalidate_code_cache();
+    }
+
+    /// Runs the image's `$query/0` entry. `enumerate_all` makes the
+    /// solution reporter fail so the machine backtracks through every
+    /// solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] on machine faults; plain failure of the
+    /// query is *not* an error (it is an [`Outcome`] with
+    /// `success == false`).
+    pub fn run_query(
+        &mut self,
+        query_vars: &[String],
+        enumerate_all: bool,
+    ) -> Result<Outcome, MachineError> {
+        let entry = self
+            .image
+            .query_entry()
+            .ok_or(MachineError::BadCodeAddress(CodeAddr::new(0)))?;
+        self.query_vars = query_vars.to_vec();
+        self.enumerate_all = enumerate_all;
+        self.run(entry)
+    }
+
+    /// Runs from an arbitrary entry address until halt or final failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] on machine faults.
+    pub fn run(&mut self, entry: CodeAddr) -> Result<Outcome, MachineError> {
+        self.halted = None;
+        self.solutions.clear();
+        self.output.clear();
+        self.p = entry;
+        self.cp = kcm_compiler::link::HALT_STUB;
+        self.budget = self.cfg.max_cycles;
+        let start_cycles = self.cycles;
+        let start_inferences = self.stats.inferences;
+        while self.halted.is_none() {
+            self.step()?;
+            if self.cycles - start_cycles > self.budget {
+                return Err(MachineError::Fuel { cycles: self.cycles - start_cycles });
+            }
+        }
+        let mut stats = self.stats;
+        stats.cycle_ns = self.cfg.cost.cycle_ns;
+        stats.cycles = self.cycles - start_cycles;
+        stats.inferences = self.stats.inferences - start_inferences;
+        stats.mem = self.mem.stats();
+        stats.prefetch = self.prefetch.stats();
+        let success = self.halted == Some(true) || !self.solutions.is_empty();
+        Ok(Outcome {
+            success,
+            solutions: std::mem::take(&mut self.solutions),
+            stats,
+            output: std::mem::take(&mut self.output),
+        })
+    }
+
+    /// The macrocode monitor's window: the last `trace_depth` executed
+    /// instructions (empty when tracing is off).
+    pub fn trace(&self) -> Vec<String> {
+        self.trace.iter().cloned().collect()
+    }
+
+    /// The Prolog-level monitor: cycles attributed to each predicate,
+    /// sorted by cost (descending). Cycles spent in the linker stubs and
+    /// the query wrapper report as `$system`. Empty unless
+    /// [`MachineConfig::profile`] was set.
+    pub fn profile(&self) -> Vec<(String, u64)> {
+        let mut per_pred: std::collections::HashMap<String, u64> =
+            std::collections::HashMap::new();
+        'addrs: for (&addr, &cycles) in &self.profile {
+            for size in self.image.sizes() {
+                if addr >= size.start && addr < size.end {
+                    *per_pred.entry(size.id.to_string()).or_insert(0) += cycles;
+                    continue 'addrs;
+                }
+            }
+            *per_pred.entry("$system".to_owned()).or_insert(0) += cycles;
+        }
+        let mut out: Vec<(String, u64)> = per_pred.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Cumulative statistics over the machine's lifetime.
+    pub fn lifetime_stats(&self) -> RunStats {
+        let mut s = self.stats;
+        s.cycle_ns = self.cfg.cost.cycle_ns;
+        s.cycles = self.cycles;
+        s.mem = self.mem.stats();
+        s.prefetch = self.prefetch.stats();
+        s
+    }
+
+    // ------------------------------------------------------------ plumbing
+
+    #[inline]
+    fn charge(&mut self, c: Cycles) {
+        self.cycles += c;
+    }
+
+    fn dptr(addr: VAddr) -> Word {
+        Word::ptr(Tag::DataPtr, addr)
+    }
+
+    /// One data read: one cache cycle plus miss extras. In untimed
+    /// (host/monitor) mode the read bypasses the cache and is free.
+    fn read_data(&mut self, addr: VAddr) -> Result<Word, MachineError> {
+        if self.untimed {
+            return Ok(self.mem.peek(addr)?);
+        }
+        let (w, extra) = self.mem.read_ptr(Self::dptr(addr))?;
+        self.charge(self.cfg.cost.heap_read + extra);
+        Ok(w)
+    }
+
+    /// Runs `f` with host/monitor memory access (untimed, cache-bypassing).
+    pub(crate) fn with_host_access<T>(
+        &mut self,
+        f: impl FnOnce(&mut Machine) -> Result<T, MachineError>,
+    ) -> Result<T, MachineError> {
+        let prev = self.untimed;
+        self.untimed = true;
+        let r = f(self);
+        self.untimed = prev;
+        r
+    }
+
+    /// One data write: one cache cycle plus miss extras. Zone-limit traps
+    /// are serviced by growing the zone (the stack-growth trap handler of
+    /// §3.2.3) and retrying once.
+    fn write_data(&mut self, addr: VAddr, w: Word) -> Result<(), MachineError> {
+        match self.mem.write_ptr(Self::dptr(addr), w) {
+            Ok(extra) => {
+                self.charge(self.cfg.cost.heap_write + extra);
+                Ok(())
+            }
+            Err(MemFault::Zone(ZoneFault::OutOfZone { zone, .. })) => {
+                self.grow_zone(zone, addr)?;
+                let extra = self.mem.write_ptr(Self::dptr(addr), w)?;
+                self.charge(self.cfg.cost.heap_write + extra);
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn grow_zone(&mut self, zone: Zone, need: VAddr) -> Result<(), MachineError> {
+        let limits = self.mem.zones().limits(zone);
+        let new_end = need
+            .value()
+            .saturating_add(1 << 20)
+            .min(zone.region_end().value());
+        if new_end <= limits.end().value() || need.value() >= zone.region_end().value() {
+            // Cannot grow further: surface the trap.
+            return Err(MemFault::Zone(ZoneFault::OutOfZone { zone, addr: need }).into());
+        }
+        self.mem
+            .zones_mut()
+            .set_limits(zone, ZoneLimits::new(limits.start(), VAddr::new(new_end)));
+        self.stats.zone_growths += 1;
+        // Trap service cost: monitor entry, limit RAM update, return.
+        self.charge(20);
+        Ok(())
+    }
+
+    /// Dereference: follow the reference chain at one data access per link
+    /// (§3.1.4). Returns either a non-reference word or the self-reference
+    /// of an unbound cell.
+    pub(crate) fn deref(&mut self, mut w: Word) -> Result<Word, MachineError> {
+        loop {
+            if w.tag_checked() != Some(Tag::Ref) {
+                return Ok(w);
+            }
+            let addr = w.as_addr().expect("ref carries an address");
+            let cell = self.read_data(addr)?;
+            self.stats.deref_links += 1;
+            self.charge(self.cfg.cost.deref_link);
+            if cell.is_unbound_at(addr) {
+                return Ok(cell);
+            }
+            w = cell;
+        }
+    }
+
+    /// Whether binding the cell at `addr` must be trailed. Evaluated by
+    /// the trail hardware in parallel with dereferencing — no cycles on
+    /// the default model.
+    fn must_trail(&self, addr: VAddr) -> bool {
+        match Zone::of_addr(addr) {
+            Some(Zone::Global) => addr.value() < self.hb.value(),
+            Some(Zone::Local) => {
+                let shallow_active = self.shallow && !self.cpflag && self.fa.is_some();
+                shallow_active
+                    || (self.b.is_some() && addr.value() < self.b_lt.value())
+            }
+            _ => false,
+        }
+    }
+
+    /// Binds the unbound cell at `addr` to `value`, trailing if required.
+    pub(crate) fn bind(&mut self, addr: VAddr, value: Word) -> Result<(), MachineError> {
+        self.write_data(addr, value)?;
+        self.charge(self.cfg.cost.bind + self.cfg.cost.trail_check_sw);
+        if self.must_trail(addr) {
+            let tr = self.tr;
+            self.write_data(tr, Self::dptr(addr))?;
+            self.tr = self.tr.offset(1);
+            self.charge(self.cfg.cost.trail_push);
+            self.stats.trail_pushes += 1;
+        }
+        Ok(())
+    }
+
+    /// Binds one of two dereferenced words to the other, preferring to
+    /// bind local to global and younger to older (standard WAM rules that
+    /// minimise trailing and dangling references).
+    fn bind_pair(&mut self, a: Word, b: Word) -> Result<(), MachineError> {
+        let aa = a.as_addr().expect("unbound ref");
+        match b.tag_checked() {
+            Some(Tag::Ref) => {
+                let ba = b.as_addr().expect("unbound ref");
+                if aa == ba {
+                    return Ok(()); // same variable
+                }
+                let a_local = Zone::of_addr(aa) == Some(Zone::Local);
+                let b_local = Zone::of_addr(ba) == Some(Zone::Local);
+                let bind_a = match (a_local, b_local) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => aa.value() > ba.value(), // younger to older
+                };
+                if bind_a {
+                    self.bind(aa, Word::reference(ba))
+                } else {
+                    self.bind(ba, Word::reference(aa))
+                }
+            }
+            _ => self.bind(aa, b),
+        }
+    }
+
+    /// General unification with MWAC dispatch per node pair.
+    pub(crate) fn unify(&mut self, a: Word, b: Word) -> Result<bool, MachineError> {
+        self.unify_impl(a, b, false)
+    }
+
+    /// Sound unification: fails where binding would create a cyclic term.
+    pub(crate) fn unify_occurs(&mut self, a: Word, b: Word) -> Result<bool, MachineError> {
+        self.unify_impl(a, b, true)
+    }
+
+    /// Whether the variable cell at `var` occurs in (the dereferenced)
+    /// term `w`.
+    fn occurs_in(&mut self, var: VAddr, w: Word) -> Result<bool, MachineError> {
+        let mut stack = vec![w];
+        while let Some(w) = stack.pop() {
+            let w = self.deref(w)?;
+            match w.tag() {
+                Tag::Ref if w.as_addr() == Some(var) => return Ok(true),
+                Tag::Ref => {}
+                Tag::List => {
+                    let p = w.as_addr().expect("list");
+                    stack.push(self.read_data(p)?);
+                    stack.push(self.read_data(p.offset(1))?);
+                }
+                Tag::Struct => {
+                    let p = w.as_addr().expect("struct");
+                    let f = self
+                        .read_data(p)?
+                        .as_functor()
+                        .ok_or_else(|| MachineError::TypeFault("corrupt structure".into()))?;
+                    let arity = self.symbols.functor_arity(f);
+                    for i in 1..=arity as i64 {
+                        let cell = self.read_data(p.offset(i))?;
+                        stack.push(cell);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(false)
+    }
+
+    fn unify_impl(&mut self, a: Word, b: Word, occurs: bool) -> Result<bool, MachineError> {
+        let mut stack = vec![(a, b)];
+        while let Some((a, b)) = stack.pop() {
+            let a = self.deref(a)?;
+            let b = self.deref(b)?;
+            self.charge(self.cfg.cost.unify_dispatch);
+            match self.mwac.dispatch(a.tag(), b.tag()) {
+                UnifyCase::BindLeft => {
+                    if occurs
+                        && b.tag() != Tag::Ref
+                        && self.occurs_in(a.as_addr().expect("unbound"), b)?
+                    {
+                        return Ok(false);
+                    }
+                    self.bind_pair(a, b)?
+                }
+                UnifyCase::BindRight => {
+                    if occurs
+                        && a.tag() != Tag::Ref
+                        && self.occurs_in(b.as_addr().expect("unbound"), a)?
+                    {
+                        return Ok(false);
+                    }
+                    self.bind_pair(b, a)?
+                }
+                UnifyCase::CompareConstants => {
+                    if !a.same_constant(b) {
+                        return Ok(false);
+                    }
+                }
+                UnifyCase::DescendList => {
+                    let pa = a.as_addr().expect("list pointer");
+                    let pb = b.as_addr().expect("list pointer");
+                    if pa != pb {
+                        let ha = self.read_data(pa)?;
+                        let hb = self.read_data(pb)?;
+                        let ta = self.read_data(pa.offset(1))?;
+                        let tb = self.read_data(pb.offset(1))?;
+                        stack.push((ta, tb));
+                        stack.push((ha, hb));
+                    }
+                }
+                UnifyCase::DescendStruct => {
+                    let pa = a.as_addr().expect("struct pointer");
+                    let pb = b.as_addr().expect("struct pointer");
+                    if pa != pb {
+                        let fa = self.read_data(pa)?;
+                        let fb = self.read_data(pb)?;
+                        let (Some(fa), Some(fb)) = (fa.as_functor(), fb.as_functor()) else {
+                            return Ok(false);
+                        };
+                        if fa != fb {
+                            return Ok(false);
+                        }
+                        let arity = self.symbols.functor_arity(fa);
+                        for i in (1..=arity as i64).rev() {
+                            let wa = self.read_data(pa.offset(i))?;
+                            let wb = self.read_data(pb.offset(i))?;
+                            stack.push((wa, wb));
+                        }
+                    }
+                }
+                UnifyCase::Clash => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    fn unwind_trail(&mut self, to: VAddr) -> Result<(), MachineError> {
+        while self.tr.value() > to.value() {
+            self.tr = self.tr.offset(-1);
+            let tr = self.tr;
+            let entry = self.read_data(tr)?;
+            let addr = entry
+                .as_addr()
+                .expect("trail entries are data pointers");
+            self.write_data(addr, Word::unbound(addr))?;
+        }
+        Ok(())
+    }
+
+    fn env_addr(&self) -> VAddr {
+        self.e.expect("environment instruction without environment")
+    }
+
+    fn y_slot(&self, y: u8) -> VAddr {
+        self.env_addr().offset(frames::env_y(y) as i64)
+    }
+
+    /// The local-stack allocation point: above the current environment and
+    /// above everything protected by the current choice point.
+    fn local_top(&mut self) -> Result<VAddr, MachineError> {
+        let etop = match self.e {
+            None => self.local_base,
+            Some(e) => {
+                let n = self
+                    .read_data(e.offset(frames::ENV_N as i64))?
+                    .as_int()
+                    .unwrap_or(0);
+                e.offset(frames::env_size(n as u8) as i64)
+            }
+        };
+        let blt = if self.b.is_some() { self.b_lt } else { self.local_base };
+        Ok(if etop.value() >= blt.value() { etop } else { blt })
+    }
+
+    fn opt_ptr(v: Option<VAddr>) -> Word {
+        match v {
+            Some(a) => Self::dptr(a),
+            None => Word::int(-1),
+        }
+    }
+
+    fn ptr_opt(w: Word) -> Option<VAddr> {
+        w.as_addr()
+    }
+
+    /// Pushes the deferred choice point (at `neck`, or eagerly when
+    /// shallow backtracking is disabled).
+    fn push_choice_point(&mut self, fa: CodeAddr) -> Result<(), MachineError> {
+        let n = self.arity;
+        let base = match self.b {
+            None => self.control_base,
+            Some(b) => b.offset(frames::cp_size(self.b_arity) as i64),
+        };
+        let lt = self.local_top()?;
+        self.write_data(base, Word::int(n as i32))?;
+        for i in 0..n {
+            let w = self.regs.arg(i as usize);
+            self.write_data(base.offset(frames::cp_arg(i) as i64), w)?;
+            self.charge(self.cfg.cost.choice_point_per_reg);
+        }
+        self.write_data(base.offset(frames::cp_ce(n) as i64), Self::opt_ptr(self.e))?;
+        self.write_data(base.offset(frames::cp_cp(n) as i64), Word::code_ptr(self.cp))?;
+        self.write_data(base.offset(frames::cp_prev_b(n) as i64), Self::opt_ptr(self.b))?;
+        self.write_data(base.offset(frames::cp_fa(n) as i64), Word::code_ptr(fa))?;
+        self.write_data(base.offset(frames::cp_tr(n) as i64), Self::dptr(self.shadow_tr))?;
+        self.write_data(base.offset(frames::cp_h(n) as i64), Self::dptr(self.shadow_h))?;
+        self.write_data(base.offset(frames::cp_lt(n) as i64), Self::dptr(lt))?;
+        self.write_data(base.offset(frames::cp_b0(n) as i64), Self::opt_ptr(self.b0))?;
+        self.b = Some(base);
+        self.b_arity = n;
+        self.b_lt = lt;
+        self.hb = self.shadow_h;
+        self.charge(self.cfg.cost.choice_point_fixed);
+        self.stats.choice_points += 1;
+        Ok(())
+    }
+
+    /// The failure routine: shallow restore when possible, otherwise
+    /// restore from the newest choice point, otherwise final failure.
+    fn fail(&mut self) -> Result<(), MachineError> {
+        if self.shallow && !self.cpflag && self.fa.is_some() {
+            // Shallow backtracking: shadow restore, A registers untouched.
+            let fa = self.fa.expect("checked");
+            self.unwind_trail(self.shadow_tr)?;
+            self.h = self.shadow_h;
+            self.mode = Mode::Read;
+            self.p = fa;
+            self.charge(self.cfg.cost.shallow_restore);
+            self.stats.shallow_fails += 1;
+            return Ok(());
+        }
+        let Some(b) = self.b else {
+            self.halted = Some(false);
+            return Ok(());
+        };
+        // Deep backtracking: restore machine state from the choice point.
+        let n = self.b_arity;
+        for i in 0..n {
+            let w = self.read_data(b.offset(frames::cp_arg(i) as i64))?;
+            self.regs.set_arg(i as usize, w);
+            self.charge(self.cfg.cost.choice_point_per_reg);
+        }
+        self.arity = n;
+        self.e = Self::ptr_opt(self.read_data(b.offset(frames::cp_ce(n) as i64))?);
+        self.cp = self
+            .read_data(b.offset(frames::cp_cp(n) as i64))?
+            .as_code_addr()
+            .expect("choice point CP");
+        let fa = self
+            .read_data(b.offset(frames::cp_fa(n) as i64))?
+            .as_code_addr()
+            .expect("choice point FA");
+        let tr = self
+            .read_data(b.offset(frames::cp_tr(n) as i64))?
+            .as_addr()
+            .expect("choice point TR");
+        let h = self
+            .read_data(b.offset(frames::cp_h(n) as i64))?
+            .as_addr()
+            .expect("choice point H");
+        self.b_lt = self
+            .read_data(b.offset(frames::cp_lt(n) as i64))?
+            .as_addr()
+            .expect("choice point LT");
+        self.b0 = Self::ptr_opt(self.read_data(b.offset(frames::cp_b0(n) as i64))?);
+        self.unwind_trail(tr)?;
+        self.tr = tr;
+        self.h = h;
+        self.hb = h;
+        self.shadow_h = h;
+        self.shadow_tr = tr;
+        self.mode = Mode::Read;
+        self.cpflag = true;
+        self.shallow = true;
+        self.fa = None;
+        self.p = fa;
+        self.charge(self.cfg.cost.choice_point_fixed);
+        self.stats.deep_fails += 1;
+        Ok(())
+    }
+
+    /// Discards choice points down to `target` (cut).
+    fn cut_to(&mut self, target: Option<VAddr>) -> Result<(), MachineError> {
+        self.fa = None;
+        self.cpflag = false;
+        if self.b == target {
+            return Ok(());
+        }
+        self.b = target;
+        match target {
+            Some(b) => {
+                self.b_arity = self
+                    .read_data(b.offset(frames::CP_ARITY as i64))?
+                    .as_int()
+                    .unwrap_or(0) as u8;
+                self.b_lt = self
+                    .read_data(b.offset(frames::cp_lt(self.b_arity) as i64))?
+                    .as_addr()
+                    .expect("choice point LT");
+                self.hb = self
+                    .read_data(b.offset(frames::cp_h(self.b_arity) as i64))?
+                    .as_addr()
+                    .expect("choice point H");
+            }
+            None => {
+                self.b_arity = 0;
+                self.b_lt = self.local_base;
+                self.hb = self.heap_base;
+            }
+        }
+        self.charge(1);
+        Ok(())
+    }
+
+    /// A `try`-type entry: save the shadow registers, arm the alternative
+    /// (§3.1.5). Eagerly pushes the choice point when shallow backtracking
+    /// is disabled.
+    fn try_entry(&mut self, alt: CodeAddr) -> Result<(), MachineError> {
+        self.shadow_h = self.h;
+        self.shadow_tr = self.tr;
+        self.hb = self.h;
+        self.shallow = true;
+        self.cpflag = false;
+        self.fa = Some(alt);
+        self.charge(self.cfg.cost.shallow_save);
+        self.stats.shallow_entries += 1;
+        if !self.cfg.shallow_backtracking {
+            self.push_choice_point(alt)?;
+            self.cpflag = true;
+        }
+        Ok(())
+    }
+
+    fn retry_entry(&mut self, alt: CodeAddr) -> Result<(), MachineError> {
+        if self.cpflag {
+            let b = self.b.expect("cpflag implies a choice point");
+            let n = self.b_arity;
+            self.write_data(b.offset(frames::cp_fa(n) as i64), Word::code_ptr(alt))?;
+        } else {
+            self.fa = Some(alt);
+        }
+        self.shallow = true;
+        self.charge(1);
+        Ok(())
+    }
+
+    fn trust_entry(&mut self) -> Result<(), MachineError> {
+        if self.cpflag {
+            // Pop the choice point: the last alternative runs against the
+            // outer backtracking state.
+            let b = self.b.expect("cpflag implies a choice point");
+            let n = self.b_arity;
+            let prev = Self::ptr_opt(self.read_data(b.offset(frames::cp_prev_b(n) as i64))?);
+            self.b = prev;
+            match prev {
+                Some(pb) => {
+                    self.b_arity = self
+                        .read_data(pb.offset(frames::CP_ARITY as i64))?
+                        .as_int()
+                        .unwrap_or(0) as u8;
+                    self.b_lt = self
+                        .read_data(pb.offset(frames::cp_lt(self.b_arity) as i64))?
+                        .as_addr()
+                        .expect("choice point LT");
+                    self.hb = self
+                        .read_data(pb.offset(frames::cp_h(self.b_arity) as i64))?
+                        .as_addr()
+                        .expect("choice point H");
+                }
+                None => {
+                    self.b_arity = 0;
+                    self.b_lt = self.local_base;
+                    self.hb = self.heap_base;
+                }
+            }
+            self.cpflag = false;
+        }
+        self.fa = None;
+        self.shallow = true;
+        self.charge(1);
+        Ok(())
+    }
+
+    fn enter_predicate(&mut self, addr: CodeAddr, arity: u8) {
+        self.b0 = self.b;
+        self.arity = arity;
+        self.shallow = false;
+        self.cpflag = false;
+        self.fa = None;
+        self.p = addr;
+        self.stats.inferences += 1;
+    }
+
+    // -------------------------------------------------------------- escape
+    // (support for builtins.rs)
+
+    pub(crate) fn arg_word(&self, i: usize) -> Word {
+        self.regs.arg(i)
+    }
+
+    pub(crate) fn set_arg(&mut self, i: usize, w: Word) {
+        self.regs.set_arg(i, w);
+    }
+
+    pub(crate) fn heap_words_used(&self) -> u32 {
+        self.h.value() - self.heap_base.value()
+    }
+
+    pub(crate) fn trail_words_used(&self) -> u32 {
+        self.tr.value().saturating_sub(MemorySystem::stack_base(Zone::Trail, self.cfg.spread_stack_bases).value())
+    }
+
+    pub(crate) fn current_arity(&self) -> u8 {
+        self.arity
+    }
+
+    pub(crate) fn count_inference(&mut self) {
+        self.stats.inferences += 1;
+    }
+
+    pub(crate) fn image_entry(&self, name: &str, arity: u8) -> Option<CodeAddr> {
+        self.image.entry(name, arity)
+    }
+
+    pub(crate) fn query_var_names(&self) -> Vec<String> {
+        self.query_vars.clone()
+    }
+
+    pub(crate) fn push_solution(&mut self, s: Solution) {
+        self.solutions.push(s);
+    }
+
+    pub(crate) fn enumerating(&self) -> bool {
+        self.enumerate_all
+    }
+
+    pub(crate) fn cost(&self) -> &CostModel {
+        &self.cfg.cost
+    }
+
+    pub(crate) fn cycles_now(&self) -> u64 {
+        self.cycles
+    }
+
+    pub(crate) fn inferences_now(&self) -> u64 {
+        self.stats.inferences
+    }
+
+    pub(crate) fn charge_cycles(&mut self, c: Cycles) {
+        self.charge(c);
+    }
+
+    /// Allocates a fresh unbound heap cell and returns a reference to it
+    /// (used by builtins constructing terms).
+    pub(crate) fn new_heap_var(&mut self) -> Result<Word, MachineError> {
+        let h = self.h;
+        self.write_data(h, Word::unbound(h))?;
+        self.h = self.h.offset(1);
+        Ok(Word::reference(h))
+    }
+
+    /// Writes `w` to the heap top and advances H.
+    pub(crate) fn heap_push(&mut self, w: Word) -> Result<VAddr, MachineError> {
+        let h = self.h;
+        self.write_data(h, w)?;
+        self.h = self.h.offset(1);
+        Ok(h)
+    }
+
+    /// Reads a data word (for builtins walking structures).
+    pub(crate) fn read_cell(&mut self, addr: VAddr) -> Result<Word, MachineError> {
+        self.read_data(addr)
+    }
+
+    // ---------------------------------------------------------------- step
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] on machine faults.
+    pub fn step(&mut self) -> Result<(), MachineError> {
+        let profile_start = self.cfg.profile.then_some(self.cycles);
+        let addr = self.p;
+        let image = Rc::clone(&self.image);
+        let instr = image
+            .instr_at(addr)
+            .ok_or(MachineError::BadCodeAddress(addr))?;
+        let words = instr.size_words();
+        // Instruction fetch through the code cache (prefetch streams
+        // sequential words; misses charge their penalty).
+        for i in 0..words {
+            let extra = self.mem.fetch_code(addr.offset(i as i64));
+            self.charge(extra);
+        }
+        self.prefetch.issue(addr, words);
+        self.charge(self.cfg.cost.instr_overhead);
+        self.stats.instructions += 1;
+        if self.cfg.trace_depth > 0 {
+            if self.trace.len() == self.cfg.trace_depth {
+                self.trace.pop_front();
+            }
+            self.trace.push_back(format!("{:6}  {}", addr.value(), instr));
+        }
+        self.p = addr.offset(words as i64);
+        if let Some(before) = profile_start {
+            let r = self.exec(instr);
+            let delta = self.cycles - before;
+            *self.profile.entry(addr.value()).or_insert(0) += delta;
+            return r;
+        }
+        self.exec(instr)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, instr: &Instr) -> Result<(), MachineError> {
+        let cost = self.cfg.cost.clone();
+        match instr {
+            // ------------------------------------------------- control
+            Instr::Call { addr, arity } => {
+                self.cp = self.p;
+                self.enter_predicate(*addr, *arity);
+                self.charge(cost.jump);
+            }
+            Instr::Execute { addr, arity } => {
+                self.enter_predicate(*addr, *arity);
+                self.charge(cost.jump);
+            }
+            Instr::Proceed => {
+                self.p = self.cp;
+                self.charge(cost.proceed);
+            }
+            Instr::Allocate { n } => {
+                let base = self.local_top()?;
+                self.write_data(base.offset(frames::ENV_CE as i64), Self::opt_ptr(self.e))?;
+                self.write_data(base.offset(frames::ENV_CP as i64), Word::code_ptr(self.cp))?;
+                self.write_data(base.offset(frames::ENV_B0 as i64), Self::opt_ptr(self.b0))?;
+                self.write_data(base.offset(frames::ENV_N as i64), Word::int(*n as i32))?;
+                self.e = Some(base);
+                self.charge(cost.allocate);
+            }
+            Instr::Deallocate => {
+                let e = self.env_addr();
+                self.cp = self
+                    .read_data(e.offset(frames::ENV_CP as i64))?
+                    .as_code_addr()
+                    .expect("environment CP");
+                self.e = Self::ptr_opt(self.read_data(e.offset(frames::ENV_CE as i64))?);
+                self.charge(cost.deallocate);
+            }
+            Instr::TryMeElse { alt } => self.try_entry(*alt)?,
+            Instr::RetryMeElse { alt } => self.retry_entry(*alt)?,
+            Instr::TrustMe => self.trust_entry()?,
+            Instr::Try { clause } => {
+                let alt = self.p; // the following retry/trust instruction
+                self.try_entry(alt)?;
+                self.p = *clause;
+                self.charge(cost.jump);
+            }
+            Instr::Retry { clause } => {
+                let alt = self.p;
+                self.retry_entry(alt)?;
+                self.p = *clause;
+                self.charge(cost.jump);
+            }
+            Instr::Trust { clause } => {
+                self.trust_entry()?;
+                self.p = *clause;
+                self.charge(cost.jump);
+            }
+            Instr::Neck => {
+                if self.shallow {
+                    self.shallow = false;
+                    if !self.cpflag {
+                        if let Some(fa) = self.fa {
+                            self.push_choice_point(fa)?;
+                            self.cpflag = true;
+                        }
+                    }
+                }
+                self.charge(1);
+            }
+            Instr::Cut => {
+                let target = self.b0;
+                self.cut_to(target)?;
+            }
+            Instr::CutEnv => {
+                let e = self.env_addr();
+                let target = Self::ptr_opt(self.read_data(e.offset(frames::ENV_B0 as i64))?);
+                self.cut_to(target)?;
+            }
+            Instr::Fail => {
+                self.charge(1);
+                self.fail()?;
+            }
+            Instr::Jump { to } => {
+                self.p = *to;
+                self.charge(cost.jump);
+            }
+            Instr::SwitchOnTerm { on_var, on_const, on_list, on_struct } => {
+                let a1 = self.deref(self.regs.arg(0))?;
+                self.regs.set_arg(0, a1);
+                self.charge(cost.switch_on_term);
+                let target = match a1.tag() {
+                    Tag::Ref => *on_var,
+                    Tag::List => *on_list,
+                    Tag::Struct => *on_struct,
+                    t if t.is_constant() => *on_const,
+                    _ => None,
+                };
+                match target {
+                    Some(t) => self.p = t,
+                    None => self.fail()?,
+                }
+            }
+            Instr::SwitchOnConstant { default, table } => {
+                let a1 = self.deref(self.regs.arg(0))?;
+                self.regs.set_arg(0, a1);
+                self.charge(cost.switch_on_term);
+                let mut target = *default;
+                for (key, t) in table {
+                    self.charge(cost.switch_table_probe);
+                    if key.same_constant(a1) {
+                        target = Some(*t);
+                        break;
+                    }
+                }
+                match target {
+                    Some(t) => self.p = t,
+                    None => self.fail()?,
+                }
+            }
+            Instr::SwitchOnStructure { default, table } => {
+                let a1 = self.deref(self.regs.arg(0))?;
+                self.regs.set_arg(0, a1);
+                self.charge(cost.switch_on_term);
+                let functor = match a1.as_addr() {
+                    Some(p) if a1.tag() == Tag::Struct => self.read_data(p)?.as_functor(),
+                    _ => None,
+                };
+                let mut target = *default;
+                if let Some(f) = functor {
+                    for (key, t) in table {
+                        self.charge(cost.switch_table_probe);
+                        if *key == f {
+                            target = Some(*t);
+                            break;
+                        }
+                    }
+                }
+                match target {
+                    Some(t) => self.p = t,
+                    None => self.fail()?,
+                }
+            }
+            Instr::Escape { builtin } => {
+                self.charge(cost.escape_base);
+                if !matches!(
+                    builtin,
+                    kcm_arch::isa::Builtin::ReportSolution | kcm_arch::isa::Builtin::CallGoal
+                ) {
+                    // Built-in calls count as one inference (§4.2).
+                    self.stats.inferences += 1;
+                }
+                match builtins::execute(self, *builtin)? {
+                    BuiltinOutcome::Succeed => {}
+                    BuiltinOutcome::Fail => self.fail()?,
+                    BuiltinOutcome::Halt(success) => self.halted = Some(success),
+                    BuiltinOutcome::Execute { addr, arity } => {
+                        // Meta-call dispatch: enter the predicate
+                        // execute-style (CP untouched — the callee returns
+                        // to the meta-caller's continuation).
+                        self.enter_predicate(addr, arity);
+                        self.charge(cost.jump);
+                    }
+                }
+            }
+            Instr::Halt { success } => {
+                self.halted = Some(*success);
+                self.charge(1);
+            }
+            Instr::Mark => {
+                // Zero-cycle accounting pseudo-instruction: one inlined
+                // built-in goal (§4.2 inference definition).
+                self.stats.inferences += 1;
+            }
+
+            // ----------------------------------------------------- get
+            Instr::GetVariable { x, a } => {
+                let w = self.regs.get(*a);
+                self.regs.set(*x, w);
+                self.charge(cost.reg_op);
+            }
+            Instr::GetVariableY { y, a } => {
+                let w = self.regs.get(*a);
+                let slot = self.y_slot(*y);
+                self.write_data(slot, w)?;
+            }
+            Instr::GetValue { x, a } => {
+                let (wx, wa) = (self.regs.get(*x), self.regs.get(*a));
+                if !self.unify(wx, wa)? {
+                    self.fail()?;
+                }
+            }
+            Instr::GetValueY { y, a } => {
+                let slot = self.y_slot(*y);
+                let wy = self.read_data(slot)?;
+                // An unbound Y slot must be unified *as a cell*, not as a
+                // copied self-reference.
+                let lhs = if wy.is_unbound_at(slot) { Word::reference(slot) } else { wy };
+                let wa = self.regs.get(*a);
+                if !self.unify(lhs, wa)? {
+                    self.fail()?;
+                }
+            }
+            Instr::GetConstant { c, a } => {
+                let w = self.deref(self.regs.get(*a))?;
+                self.charge(cost.unify_dispatch);
+                match w.tag() {
+                    Tag::Ref => self.bind(w.as_addr().expect("unbound"), *c)?,
+                    _ if c.tag_checked().is_some_and(Tag::is_pointer) => {
+                        // A static-data literal: full structural unify.
+                        if !self.unify(w, *c)? {
+                            self.fail()?;
+                        }
+                    }
+                    _ if w.same_constant(*c) => {}
+                    _ => self.fail()?,
+                }
+            }
+            Instr::GetNil { a } => {
+                let w = self.deref(self.regs.get(*a))?;
+                self.charge(cost.unify_dispatch);
+                match w.tag() {
+                    Tag::Ref => self.bind(w.as_addr().expect("unbound"), Word::nil())?,
+                    Tag::Nil => {}
+                    _ => self.fail()?,
+                }
+            }
+            Instr::GetList { a } => {
+                let w = self.deref(self.regs.get(*a))?;
+                self.charge(cost.unify_dispatch);
+                match w.tag() {
+                    Tag::Ref => {
+                        let h = self.h;
+                        self.bind(w.as_addr().expect("unbound"), Word::ptr(Tag::List, h))?;
+                        self.mode = Mode::Write;
+                    }
+                    Tag::List => {
+                        self.s = w.as_addr().expect("list pointer");
+                        self.mode = Mode::Read;
+                    }
+                    _ => self.fail()?,
+                }
+            }
+            Instr::GetStructure { f, a } => {
+                let w = self.deref(self.regs.get(*a))?;
+                self.charge(cost.unify_dispatch);
+                match w.tag() {
+                    Tag::Ref => {
+                        let h = self.h;
+                        self.bind(w.as_addr().expect("unbound"), Word::ptr(Tag::Struct, h))?;
+                        self.heap_push(Word::functor(*f))?;
+                        self.mode = Mode::Write;
+                    }
+                    Tag::Struct => {
+                        let p = w.as_addr().expect("struct pointer");
+                        let fw = self.read_data(p)?;
+                        if fw.as_functor() == Some(*f) {
+                            self.s = p.offset(1);
+                            self.mode = Mode::Read;
+                        } else {
+                            self.fail()?;
+                        }
+                    }
+                    _ => self.fail()?,
+                }
+            }
+
+            // ----------------------------------------------------- put
+            Instr::PutVariable { x, a } => {
+                let v = self.new_heap_var()?;
+                self.regs.set(*x, v);
+                self.regs.set(*a, v);
+            }
+            Instr::PutVariableY { y, a } => {
+                let slot = self.y_slot(*y);
+                self.write_data(slot, Word::unbound(slot))?;
+                self.regs.set(*a, Word::reference(slot));
+            }
+            Instr::PutValue { x, a } => {
+                let w = self.regs.get(*x);
+                self.regs.set(*a, w);
+                self.charge(cost.reg_op);
+            }
+            Instr::PutValueY { y, a } => {
+                let slot = self.y_slot(*y);
+                let wy = self.read_data(slot)?;
+                let w = if wy.is_unbound_at(slot) { Word::reference(slot) } else { wy };
+                self.regs.set(*a, w);
+            }
+            Instr::PutUnsafeValue { y, a } => {
+                let slot = self.y_slot(*y);
+                let wy = self.read_data(slot)?;
+                let v = self.deref(if wy.is_unbound_at(slot) {
+                    Word::reference(slot)
+                } else {
+                    wy
+                })?;
+                match (v.tag(), v.as_addr()) {
+                    (Tag::Ref, Some(addr))
+                        if Zone::of_addr(addr) == Some(Zone::Local)
+                            && addr.value() >= self.env_addr().value() =>
+                    {
+                        // Globalise: the value would dangle after
+                        // deallocate.
+                        let nv = self.new_heap_var()?;
+                        self.bind(addr, nv)?;
+                        self.regs.set(*a, nv);
+                    }
+                    _ => self.regs.set(*a, v),
+                }
+            }
+            Instr::PutConstant { c, a } => {
+                self.regs.set(*a, *c);
+                self.charge(cost.reg_op);
+            }
+            Instr::PutNil { a } => {
+                self.regs.set(*a, Word::nil());
+                self.charge(cost.reg_op);
+            }
+            Instr::PutList { a } => {
+                let h = self.h;
+                self.regs.set(*a, Word::ptr(Tag::List, h));
+                self.mode = Mode::Write;
+                self.charge(cost.reg_op);
+            }
+            Instr::PutStructure { f, a } => {
+                let h = self.h;
+                self.heap_push(Word::functor(*f))?;
+                self.regs.set(*a, Word::ptr(Tag::Struct, h));
+                self.mode = Mode::Write;
+            }
+
+            // --------------------------------------------------- unify
+            Instr::UnifyVariable { x } => match self.mode {
+                Mode::Read => {
+                    let s = self.s;
+                    let w = self.read_data(s)?;
+                    let w = if w.is_unbound_at(s) { Word::reference(s) } else { w };
+                    self.regs.set(*x, w);
+                    self.s = self.s.offset(1);
+                }
+                Mode::Write => {
+                    let v = self.new_heap_var()?;
+                    self.regs.set(*x, v);
+                }
+            },
+            Instr::UnifyVariableY { y } => {
+                let slot = self.y_slot(*y);
+                match self.mode {
+                    Mode::Read => {
+                        let s = self.s;
+                        let w = self.read_data(s)?;
+                        let w = if w.is_unbound_at(s) { Word::reference(s) } else { w };
+                        self.write_data(slot, w)?;
+                        self.s = self.s.offset(1);
+                    }
+                    Mode::Write => {
+                        let v = self.new_heap_var()?;
+                        self.write_data(slot, v)?;
+                    }
+                }
+            }
+            Instr::UnifyValue { x } => match self.mode {
+                Mode::Read => {
+                    let s = self.s;
+                    let w = self.read_data(s)?;
+                    let w = if w.is_unbound_at(s) { Word::reference(s) } else { w };
+                    self.s = self.s.offset(1);
+                    let wx = self.regs.get(*x);
+                    if !self.unify(wx, w)? {
+                        self.fail()?;
+                    }
+                }
+                Mode::Write => {
+                    let w = self.regs.get(*x);
+                    self.heap_push(w)?;
+                }
+            },
+            Instr::UnifyValueY { y } => {
+                let slot = self.y_slot(*y);
+                let wy = self.read_data(slot)?;
+                let wy = if wy.is_unbound_at(slot) { Word::reference(slot) } else { wy };
+                match self.mode {
+                    Mode::Read => {
+                        let s = self.s;
+                        let w = self.read_data(s)?;
+                        let w = if w.is_unbound_at(s) { Word::reference(s) } else { w };
+                        self.s = self.s.offset(1);
+                        if !self.unify(wy, w)? {
+                            self.fail()?;
+                        }
+                    }
+                    Mode::Write => {
+                        self.heap_push(wy)?;
+                    }
+                }
+            }
+            Instr::UnifyLocalValue { x } => {
+                let w = self.regs.get(*x);
+                self.unify_local(w, Some(*x))?;
+            }
+            Instr::UnifyLocalValueY { y } => {
+                let slot = self.y_slot(*y);
+                let wy = self.read_data(slot)?;
+                let wy = if wy.is_unbound_at(slot) { Word::reference(slot) } else { wy };
+                self.unify_local(wy, None)?;
+            }
+            Instr::UnifyConstant { c } => match self.mode {
+                Mode::Read => {
+                    let s = self.s;
+                    let w = self.read_data(s)?;
+                    self.s = self.s.offset(1);
+                    let w = self.deref(if w.is_unbound_at(s) { Word::reference(s) } else { w })?;
+                    self.charge(cost.unify_dispatch);
+                    match w.tag() {
+                        Tag::Ref => self.bind(w.as_addr().expect("unbound"), *c)?,
+                        _ if c.tag_checked().is_some_and(Tag::is_pointer) => {
+                            if !self.unify(w, *c)? {
+                                self.fail()?;
+                            }
+                        }
+                        _ if w.same_constant(*c) => {}
+                        _ => self.fail()?,
+                    }
+                }
+                Mode::Write => {
+                    self.heap_push(*c)?;
+                }
+            },
+            Instr::UnifyNil => match self.mode {
+                Mode::Read => {
+                    let s = self.s;
+                    let w = self.read_data(s)?;
+                    self.s = self.s.offset(1);
+                    let w = self.deref(if w.is_unbound_at(s) { Word::reference(s) } else { w })?;
+                    self.charge(cost.unify_dispatch);
+                    match w.tag() {
+                        Tag::Ref => self.bind(w.as_addr().expect("unbound"), Word::nil())?,
+                        Tag::Nil => {}
+                        _ => self.fail()?,
+                    }
+                }
+                Mode::Write => {
+                    self.heap_push(Word::nil())?;
+                }
+            },
+            Instr::UnifyVoid { n } => match self.mode {
+                Mode::Read => {
+                    self.s = self.s.offset(*n as i64);
+                    self.charge(cost.reg_op);
+                }
+                Mode::Write => {
+                    for _ in 0..*n {
+                        self.new_heap_var()?;
+                    }
+                }
+            },
+            Instr::UnifyTailList => match self.mode {
+                Mode::Write => {
+                    // The tail is the next heap cell: the spine is laid
+                    // out contiguously.
+                    let h = self.h;
+                    self.write_data(h, Word::ptr(Tag::List, h.offset(1)))?;
+                    self.h = h.offset(1);
+                }
+                Mode::Read => {
+                    let s = self.s;
+                    let w = self.read_data(s)?;
+                    let w =
+                        self.deref(if w.is_unbound_at(s) { Word::reference(s) } else { w })?;
+                    self.charge(cost.unify_dispatch);
+                    match w.tag() {
+                        Tag::Ref => {
+                            let h = self.h;
+                            self.bind(w.as_addr().expect("unbound"), Word::ptr(Tag::List, h))?;
+                            self.mode = Mode::Write;
+                        }
+                        Tag::List => {
+                            self.s = w.as_addr().expect("list pointer");
+                        }
+                        _ => self.fail()?,
+                    }
+                }
+            },
+
+            // ------------------------------------------ general purpose
+            Instr::Move2 { s1, d1, s2, d2 } => {
+                self.regs.move2(*s1, *d1, *s2, *d2);
+                self.charge(cost.reg_op);
+            }
+            Instr::LoadConst { d, c } => {
+                self.regs.set(*d, *c);
+                self.charge(cost.reg_op);
+            }
+            Instr::Alu { op, d, s1, s2 } => {
+                let a = self.regs.get(*s1);
+                let b = self.regs.get(*s2);
+                let r = self.alu(*op, a, b)?;
+                self.regs.set(*d, r);
+            }
+            Instr::CmpRegs { s1, s2 } => {
+                let a = self.regs.get(*s1);
+                let b = self.regs.get(*s2);
+                self.psw = self.compare_numeric(a, b)?;
+                self.charge(cost.reg_op);
+            }
+            Instr::Branch { cond, to } => {
+                if self.psw.holds(*cond) {
+                    self.p = *to;
+                    self.charge(cost.branch_taken);
+                } else {
+                    self.charge(cost.branch_not_taken);
+                }
+            }
+            Instr::Deref { d, s } => {
+                let w = self.regs.get(*s);
+                let w = self.deref(w)?;
+                self.regs.set(*d, w);
+                self.charge(cost.reg_op);
+            }
+            Instr::TvmSwap { d, s } => {
+                let w = self.regs.get(*s);
+                self.regs.set(*d, w.swapped());
+                self.charge(cost.reg_op);
+            }
+            Instr::TvmGc { d, s, bits } => {
+                let w = self.regs.get(*s);
+                self.regs.set(*d, w.with_gc_bits(*bits));
+                self.charge(cost.reg_op);
+            }
+            Instr::Load { dd, ras, rad, off, pre } => {
+                let base = self.regs.get(*ras);
+                let addr = base
+                    .as_addr()
+                    .ok_or(MachineError::Mem(MemFault::NotAnAddress(base)))?;
+                let moved = addr.offset(*off as i64);
+                let ea = if *pre { moved } else { addr };
+                let w = self.read_data(ea)?;
+                self.regs.set(*dd, w);
+                self.regs.set(*rad, Self::dptr(moved));
+            }
+            Instr::Store { ds, ras, rad, off, pre } => {
+                let base = self.regs.get(*ras);
+                let addr = base
+                    .as_addr()
+                    .ok_or(MachineError::Mem(MemFault::NotAnAddress(base)))?;
+                let moved = addr.offset(*off as i64);
+                let ea = if *pre { moved } else { addr };
+                let w = self.regs.get(*ds);
+                self.write_data(ea, w)?;
+                self.regs.set(*rad, Self::dptr(moved));
+            }
+            Instr::LoadDirect { d, addr } => {
+                let w = self.read_data(*addr)?;
+                self.regs.set(*d, w);
+            }
+            Instr::StoreDirect { s, addr } => {
+                let w = self.regs.get(*s);
+                self.write_data(*addr, w)?;
+            }
+            // `Instr` is non_exhaustive towards future extensions.
+            other => return Err(MachineError::TypeFault(format!("unimplemented {other}"))),
+        }
+        Ok(())
+    }
+
+    /// `unify_local_value`: like `unify_value`, but in write mode a local
+    /// unbound variable is globalised first (§ WAM; needed because the
+    /// heap must never reference the local stack).
+    fn unify_local(&mut self, w: Word, update: Option<Reg>) -> Result<(), MachineError> {
+        match self.mode {
+            Mode::Read => {
+                let s = self.s;
+                let cell = self.read_data(s)?;
+                let cell = if cell.is_unbound_at(s) { Word::reference(s) } else { cell };
+                self.s = self.s.offset(1);
+                if !self.unify(w, cell)? {
+                    self.fail()?;
+                }
+            }
+            Mode::Write => {
+                let v = self.deref(w)?;
+                match (v.tag(), v.as_addr()) {
+                    (Tag::Ref, Some(addr)) if Zone::of_addr(addr) == Some(Zone::Local) => {
+                        let nv = self.new_heap_var()?;
+                        self.bind(addr, nv)?;
+                        if let Some(r) = update {
+                            self.regs.set(r, nv);
+                        }
+                        // The new heap cell *is* the argument cell — it was
+                        // pushed by new_heap_var at the current H position.
+                    }
+                    _ => {
+                        self.heap_push(v)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The generic ALU/FPU (§3.1.1, §4.2 "multi-way branching for generic
+    /// arithmetic"): Int×Int on the integer ALU, any Float on the FPU.
+    pub(crate) fn alu(&mut self, op: AluOp, a: Word, b: Word) -> Result<Word, MachineError> {
+        let cost = match op {
+            AluOp::Mul => self.cfg.cost.int_mul,
+            AluOp::Div | AluOp::Mod => self.cfg.cost.int_div,
+            _ => self.cfg.cost.reg_op,
+        };
+        match (a.tag_checked(), b.tag_checked()) {
+            (Some(Tag::Int), Some(Tag::Int)) => {
+                self.charge(cost);
+                let x = a.value() as i32;
+                let y = b.value() as i32;
+                let r = match op {
+                    AluOp::Add => x.wrapping_add(y),
+                    AluOp::Sub => x.wrapping_sub(y),
+                    AluOp::Mul => x.wrapping_mul(y),
+                    AluOp::Div => {
+                        if y == 0 {
+                            return Err(MachineError::ZeroDivisor);
+                        }
+                        x.wrapping_div(y)
+                    }
+                    AluOp::Mod => {
+                        if y == 0 {
+                            return Err(MachineError::ZeroDivisor);
+                        }
+                        x.rem_euclid(y)
+                    }
+                    AluOp::And => x & y,
+                    AluOp::Or => x | y,
+                    AluOp::Xor => x ^ y,
+                    AluOp::Shl => x.wrapping_shl(y as u32 & 31),
+                    AluOp::Shr => x.wrapping_shr(y as u32 & 31),
+                    AluOp::Neg => x.wrapping_neg(),
+                    AluOp::Min => x.min(y),
+                    AluOp::Max => x.max(y),
+                };
+                Ok(Word::int(r))
+            }
+            (Some(ta), Some(tb))
+                if (ta == Tag::Float || ta == Tag::Int)
+                    && (tb == Tag::Float || tb == Tag::Int) =>
+            {
+                self.charge(self.cfg.cost.fp_op);
+                let x = Self::as_f32(a);
+                let y = Self::as_f32(b);
+                let r = match op {
+                    AluOp::Add => x + y,
+                    AluOp::Sub => x - y,
+                    AluOp::Mul => x * y,
+                    AluOp::Div => x / y,
+                    AluOp::Neg => -x,
+                    AluOp::Min => x.min(y),
+                    AluOp::Max => x.max(y),
+                    other => {
+                        return Err(MachineError::TypeFault(format!(
+                            "{other:?} is not defined on floats"
+                        )))
+                    }
+                };
+                Ok(Word::float(r))
+            }
+            (Some(Tag::Ref), _) | (_, Some(Tag::Ref)) => Err(MachineError::Instantiation(
+                "arithmetic on an unbound variable".into(),
+            )),
+            _ => Err(MachineError::TypeFault(format!(
+                "arithmetic on non-numbers ({a}, {b})"
+            ))),
+        }
+    }
+
+    fn as_f32(w: Word) -> f32 {
+        match w.tag() {
+            Tag::Float => f32::from_bits(w.value()),
+            Tag::Int => w.value() as i32 as f32,
+            _ => unreachable!("checked numeric"),
+        }
+    }
+
+    pub(crate) fn compare_numeric(&mut self, a: Word, b: Word) -> Result<Psw, MachineError> {
+        match (a.tag_checked(), b.tag_checked()) {
+            (Some(Tag::Int), Some(Tag::Int)) => {
+                let x = a.value() as i32;
+                let y = b.value() as i32;
+                Ok(Psw { lt: x < y, eq: x == y, gt: x > y })
+            }
+            (Some(ta), Some(tb))
+                if (ta == Tag::Float || ta == Tag::Int)
+                    && (tb == Tag::Float || tb == Tag::Int) =>
+            {
+                let x = Self::as_f32(a);
+                let y = Self::as_f32(b);
+                Ok(Psw { lt: x < y, eq: x == y, gt: x > y })
+            }
+            (Some(Tag::Ref), _) | (_, Some(Tag::Ref)) => Err(MachineError::Instantiation(
+                "comparison on an unbound variable".into(),
+            )),
+            _ => Err(MachineError::TypeFault(format!(
+                "comparison on non-numbers ({a}, {b})"
+            ))),
+        }
+    }
+
+    /// Whether `a cond b` holds numerically (generic arithmetic compare
+    /// used by the comparison escapes).
+    pub(crate) fn numeric_holds(
+        &mut self,
+        cond: Cond,
+        a: Word,
+        b: Word,
+    ) -> Result<bool, MachineError> {
+        let psw = self.compare_numeric(a, b)?;
+        Ok(psw.holds(cond))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psw_condition_decoding() {
+        let lt = Psw { lt: true, eq: false, gt: false };
+        assert!(lt.holds(Cond::Lt) && lt.holds(Cond::Le) && lt.holds(Cond::Ne));
+        assert!(!lt.holds(Cond::Eq) && !lt.holds(Cond::Gt) && !lt.holds(Cond::Ge));
+        let eq = Psw { lt: false, eq: true, gt: false };
+        assert!(eq.holds(Cond::Eq) && eq.holds(Cond::Le) && eq.holds(Cond::Ge));
+        assert!(!eq.holds(Cond::Ne) && !eq.holds(Cond::Lt) && !eq.holds(Cond::Gt));
+    }
+
+    #[test]
+    fn machine_config_defaults_match_paper_model() {
+        let cfg = MachineConfig::default();
+        assert!(cfg.shallow_backtracking);
+        assert!((cfg.cost.cycle_ns - 80.0).abs() < f64::EPSILON);
+        assert_eq!(cfg.cost.instr_overhead, 0);
+    }
+
+    #[test]
+    fn fresh_machine_state_is_clean() {
+        let clauses = kcm_prolog::read_program("t.").expect("parse");
+        let mut symbols = SymbolTable::new();
+        let image = kcm_compiler::compile_program(&clauses, &mut symbols).expect("compile");
+        let m = Machine::new(image, symbols, MachineConfig::default());
+        let s = m.lifetime_stats();
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.choice_points, 0);
+        assert!(m.trace().is_empty());
+        assert!(m.profile().is_empty());
+    }
+
+    #[test]
+    fn outcome_and_errors_render() {
+        // Display coverage for every machine error variant.
+        let errors: Vec<MachineError> = vec![
+            MachineError::Mem(MemFault::OutOfPhysicalMemory),
+            MachineError::BadCodeAddress(CodeAddr::new(7)),
+            MachineError::Fuel { cycles: 9 },
+            MachineError::TypeFault("x".into()),
+            MachineError::Instantiation("y".into()),
+            MachineError::TermDepth,
+            MachineError::ZeroDivisor,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

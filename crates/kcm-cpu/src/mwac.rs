@@ -1,0 +1,128 @@
+//! The Multi-Way Address Calculator (paper §3.1.4).
+//!
+//! "The MWAC is implemented as a PROM. Its inputs are the two type fields
+//! of the source operands on ABUS and BBUS. Depending on the current
+//! unification instruction it maps the two input types onto a 4 bit
+//! offset. The microcode sequencer branches to a microcode address to
+//! which it adds this offset, i.e. it does a 16-way branch according to
+//! the input types."
+//!
+//! The simulator's general unifier consults the same table: one lookup
+//! decides the microcode case for a pair of dereferenced operands, in a
+//! single cycle.
+
+use kcm_arch::Tag;
+
+/// The microcode case selected for a pair of dereferenced operand types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnifyCase {
+    /// Left operand is an unbound variable: bind left to right.
+    BindLeft,
+    /// Right operand is an unbound variable: bind right to left.
+    BindRight,
+    /// Both constants: compare tag and value.
+    CompareConstants,
+    /// Both lists: descend into the two cons cells.
+    DescendList,
+    /// Both structures: compare functors, then descend into arguments.
+    DescendStruct,
+    /// Type clash: fail immediately.
+    Clash,
+}
+
+/// The PROM: a 16 × 16 table indexed by the two 4-bit type fields.
+#[derive(Debug)]
+pub struct Mwac {
+    table: [[UnifyCase; 16]; 16],
+}
+
+impl Default for Mwac {
+    fn default() -> Mwac {
+        Mwac::new()
+    }
+}
+
+impl Mwac {
+    /// Builds the dispatch PROM.
+    pub fn new() -> Mwac {
+        let mut table = [[UnifyCase::Clash; 16]; 16];
+        for a in Tag::ALL {
+            for b in Tag::ALL {
+                table[a.bits() as usize][b.bits() as usize] = Self::case_for(a, b);
+            }
+        }
+        Mwac { table }
+    }
+
+    fn case_for(a: Tag, b: Tag) -> UnifyCase {
+        // Operands are dereferenced, so a `Ref` here is an unbound
+        // variable. Unbound-left wins (WAM binds the younger cell by
+        // convention at the binding site; the case only routes control).
+        if a == Tag::Ref {
+            return UnifyCase::BindLeft;
+        }
+        if b == Tag::Ref {
+            return UnifyCase::BindRight;
+        }
+        match (a, b) {
+            (Tag::List, Tag::List) => UnifyCase::DescendList,
+            (Tag::Struct, Tag::Struct) => UnifyCase::DescendStruct,
+            _ if a.is_constant() && b.is_constant() => UnifyCase::CompareConstants,
+            _ => UnifyCase::Clash,
+        }
+    }
+
+    /// One PROM lookup: the microcode case for a pair of dereferenced
+    /// tags.
+    #[inline]
+    pub fn dispatch(&self, a: Tag, b: Tag) -> UnifyCase {
+        self.table[a.bits() as usize][b.bits() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbound_binds() {
+        let m = Mwac::new();
+        assert_eq!(m.dispatch(Tag::Ref, Tag::Int), UnifyCase::BindLeft);
+        assert_eq!(m.dispatch(Tag::Int, Tag::Ref), UnifyCase::BindRight);
+        assert_eq!(m.dispatch(Tag::Ref, Tag::Ref), UnifyCase::BindLeft);
+    }
+
+    #[test]
+    fn matching_composites_descend() {
+        let m = Mwac::new();
+        assert_eq!(m.dispatch(Tag::List, Tag::List), UnifyCase::DescendList);
+        assert_eq!(m.dispatch(Tag::Struct, Tag::Struct), UnifyCase::DescendStruct);
+    }
+
+    #[test]
+    fn constants_compare() {
+        let m = Mwac::new();
+        assert_eq!(m.dispatch(Tag::Int, Tag::Int), UnifyCase::CompareConstants);
+        assert_eq!(m.dispatch(Tag::Atom, Tag::Nil), UnifyCase::CompareConstants);
+        assert_eq!(m.dispatch(Tag::Float, Tag::Int), UnifyCase::CompareConstants);
+    }
+
+    #[test]
+    fn clashes_fail() {
+        let m = Mwac::new();
+        assert_eq!(m.dispatch(Tag::List, Tag::Int), UnifyCase::Clash);
+        assert_eq!(m.dispatch(Tag::Struct, Tag::List), UnifyCase::Clash);
+        assert_eq!(m.dispatch(Tag::Nil, Tag::List), UnifyCase::Clash);
+    }
+
+    #[test]
+    fn table_is_total_over_populated_tags() {
+        let m = Mwac::new();
+        for a in Tag::ALL {
+            for b in Tag::ALL {
+                // Every populated pair routes somewhere deterministic.
+                let _ = m.dispatch(a, b);
+            }
+        }
+    }
+}

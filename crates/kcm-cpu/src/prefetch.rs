@@ -1,0 +1,115 @@
+//! The instruction prefetch unit (paper §3.1.3, figure 6).
+//!
+//! A three-stage pipeline: P holds the address of instruction n+2, IB/SP
+//! the word and address of n+1, IR/TP the executing instruction n. While
+//! execution is sequential the pipeline streams one instruction per
+//! cycle; control transfers break it. "A special instruction predecoding
+//! hardware switches the multiplexer for P to use IB as input if the
+//! currently fetched instruction is a branch. Thus immediate jump and
+//! call instructions take two cycles. [...] Conditional branches take
+//! only one cycle if the branch is not taken and four cycles if the
+//! branch is taken."
+//!
+//! The machine charges those penalties in its cost model; this module
+//! tracks the pipeline state for statistics (how many breaks occurred,
+//! how full the pipeline stayed) and provides the model documentation.
+
+use kcm_arch::CodeAddr;
+
+/// Prefetch pipeline statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Instructions issued.
+    pub issued: u64,
+    /// Pipeline breaks (control transfers that discarded IB).
+    pub breaks: u64,
+    /// Sequential issues (pipeline streamed at 1 instruction/cycle).
+    pub sequential: u64,
+}
+
+/// The three-stage prefetch pipeline state.
+#[derive(Debug, Clone, Copy)]
+pub struct Prefetch {
+    /// Address of the instruction currently in IR (TP register).
+    tp: CodeAddr,
+    /// Expected address of the next sequential instruction (SP register).
+    sp: CodeAddr,
+    stats: PrefetchStats,
+}
+
+impl Default for Prefetch {
+    fn default() -> Prefetch {
+        Prefetch::new()
+    }
+}
+
+impl Prefetch {
+    /// An empty pipeline.
+    pub fn new() -> Prefetch {
+        Prefetch {
+            tp: CodeAddr::new(0),
+            sp: CodeAddr::new(0),
+            stats: PrefetchStats::default(),
+        }
+    }
+
+    /// Issues the instruction at `addr` (occupying `words` code words).
+    /// Returns `true` when the issue was sequential (the pipeline
+    /// streamed), `false` when it was a break.
+    pub fn issue(&mut self, addr: CodeAddr, words: usize) -> bool {
+        self.stats.issued += 1;
+        let sequential = addr == self.sp && self.stats.issued > 1;
+        if sequential {
+            self.stats.sequential += 1;
+        } else if self.stats.issued > 1 {
+            self.stats.breaks += 1;
+        }
+        self.tp = addr;
+        self.sp = addr.offset(words as i64);
+        sequential
+    }
+
+    /// Address of the instruction currently in IR.
+    pub fn current(&self) -> CodeAddr {
+        self.tp
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> PrefetchStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_flow_streams() {
+        let mut p = Prefetch::new();
+        p.issue(CodeAddr::new(10), 1);
+        assert!(p.issue(CodeAddr::new(11), 1));
+        assert!(p.issue(CodeAddr::new(12), 3)); // multi-word switch
+        assert!(p.issue(CodeAddr::new(15), 1));
+        assert_eq!(p.stats().breaks, 0);
+        assert_eq!(p.stats().sequential, 3);
+    }
+
+    #[test]
+    fn jumps_break_the_pipeline() {
+        let mut p = Prefetch::new();
+        p.issue(CodeAddr::new(10), 1);
+        assert!(!p.issue(CodeAddr::new(100), 1));
+        assert_eq!(p.stats().breaks, 1);
+    }
+
+    #[test]
+    fn first_issue_is_neither() {
+        let mut p = Prefetch::new();
+        p.issue(CodeAddr::new(0), 1);
+        let s = p.stats();
+        assert_eq!(s.issued, 1);
+        assert_eq!(s.breaks, 0);
+        assert_eq!(s.sequential, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The code cache (paper §3.2.4).
+//!
+//! "Unlike the data cache the instruction cache almost always is accessed
+//! to read an instruction, but only very rarely to write. Therefore it is
+//! designed as a write-through cache. [...] The size of the code cache is
+//! 8K x 64 bits. The line size [...] is one. Since it is a write-through
+//! cache the line size does not prevent the code cache from using the page
+//! mode of the memory and fetching a few words ahead when a miss occurs."
+//!
+//! The simulator stores instruction bits host-side (in the loader), so this
+//! unit models *presence and timing* only: which code words are resident
+//! and what each fetch costs.
+
+use crate::page_table::Mmu;
+use crate::{MemConfig, MemStats};
+use kcm_arch::timing::Cycles;
+use kcm_arch::CodeAddr;
+
+/// Code cache size in words.
+pub const ICACHE_WORDS: usize = 8 * 1024;
+
+/// How many sequential words the page-mode prefetch pulls in on a miss.
+pub const PREFETCH_WORDS: u32 = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    valid: bool,
+    addr: CodeAddr,
+}
+
+/// The direct-mapped, write-through code cache with page-mode prefetch.
+#[derive(Debug)]
+pub struct CodeCache {
+    lines: Vec<Line>,
+}
+
+impl Default for CodeCache {
+    fn default() -> CodeCache {
+        CodeCache::new()
+    }
+}
+
+impl CodeCache {
+    /// An empty (all-invalid) cache.
+    pub fn new() -> CodeCache {
+        CodeCache {
+            lines: vec![Line { valid: false, addr: CodeAddr::new(0) }; ICACHE_WORDS],
+        }
+    }
+
+    fn index(addr: CodeAddr) -> usize {
+        addr.value() as usize % ICACHE_WORDS
+    }
+
+    /// Times the fetch of the code word at `addr`: 0 extra cycles on a
+    /// hit, the miss penalty otherwise. A miss fills the word and
+    /// prefetches the next [`PREFETCH_WORDS`]`- 1` sequential words using
+    /// the memory's page mode.
+    pub fn fetch(
+        &mut self,
+        addr: CodeAddr,
+        mmu: &mut Mmu,
+        config: &MemConfig,
+        stats: &mut MemStats,
+    ) -> Cycles {
+        let idx = Self::index(addr);
+        if self.lines[idx].valid && self.lines[idx].addr == addr {
+            stats.icache_hits += 1;
+            return 0;
+        }
+        stats.icache_misses += 1;
+        mmu.translate_code(addr, stats);
+        for i in 0..PREFETCH_WORDS {
+            if addr.value() as u64 + i as u64 > 0x0FFF_FFFF {
+                break; // prefetch beyond the top of the code space
+            }
+            let a = addr.offset(i as i64);
+            let j = Self::index(a);
+            self.lines[j] = Line { valid: true, addr: a };
+        }
+        config.icache_miss
+    }
+
+    /// Write-through store into the code space (incremental compilation
+    /// writes "directly to the code cache", §3.2.1): the line becomes
+    /// resident; memory is updated by the caller's code store.
+    pub fn write_through(&mut self, addr: CodeAddr) {
+        let idx = Self::index(addr);
+        self.lines[idx] = Line { valid: true, addr };
+    }
+
+    /// Invalidates the whole cache.
+    pub fn invalidate(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CodeCache, Mmu, MemConfig, MemStats) {
+        (CodeCache::new(), Mmu::new(), MemConfig::default(), MemStats::default())
+    }
+
+    #[test]
+    fn sequential_fetches_benefit_from_prefetch() {
+        let (mut c, mut mmu, cfg, mut s) = setup();
+        assert!(c.fetch(CodeAddr::new(100), &mut mmu, &cfg, &mut s) > 0);
+        assert_eq!(c.fetch(CodeAddr::new(101), &mut mmu, &cfg, &mut s), 0);
+        // Beyond the prefetch window: miss again.
+        assert!(c.fetch(CodeAddr::new(102), &mut mmu, &cfg, &mut s) > 0);
+    }
+
+    #[test]
+    fn aliasing_addresses_evict() {
+        let (mut c, mut mmu, cfg, mut s) = setup();
+        let a = CodeAddr::new(5);
+        let b = CodeAddr::new(5 + ICACHE_WORDS as u32);
+        c.fetch(a, &mut mmu, &cfg, &mut s);
+        c.fetch(b, &mut mmu, &cfg, &mut s);
+        assert!(c.fetch(a, &mut mmu, &cfg, &mut s) > 0, "a must have been evicted");
+    }
+
+    #[test]
+    fn write_through_makes_line_resident() {
+        let (mut c, mut mmu, cfg, mut s) = setup();
+        c.write_through(CodeAddr::new(33));
+        assert_eq!(c.fetch(CodeAddr::new(33), &mut mmu, &cfg, &mut s), 0);
+    }
+
+    #[test]
+    fn invalidate_empties_cache() {
+        let (mut c, mut mmu, cfg, mut s) = setup();
+        c.fetch(CodeAddr::new(1), &mut mmu, &cfg, &mut s);
+        c.invalidate();
+        assert!(c.fetch(CodeAddr::new(1), &mut mmu, &cfg, &mut s) > 0);
+    }
+
+    #[test]
+    fn hit_ratio_accounting() {
+        let (mut c, mut mmu, cfg, mut s) = setup();
+        for _ in 0..4 {
+            c.fetch(CodeAddr::new(9), &mut mmu, &cfg, &mut s);
+        }
+        assert_eq!(s.icache_misses, 1);
+        assert_eq!(s.icache_hits, 3);
+    }
+}

@@ -1,0 +1,442 @@
+//! The KCM memory system (paper §2.4 and §3.2).
+//!
+//! KCM has "two separate access paths to memory, one for code and one for
+//! data. There are two independent caches, but the physical memory is
+//! shared." Both caches are *logical* (virtually addressed) — affordable
+//! because KCM is a single-task back-end processor that never context
+//! switches. Address translation uses a RAM-resident page table instead of
+//! a TLB for the same reason.
+//!
+//! The pieces, each in its own module:
+//!
+//! * [`main_memory`] — the 32 MByte memory board (§3.2.6) with page-mode
+//!   access pairing 32-bit halves into 64-bit words.
+//! * [`page_table`] — the address translation RAM: 16K entries per address
+//!   space, 16K-word pages, 11-bit physical page numbers (§3.2.5), with
+//!   allocate-on-fault backed by the host "paging server".
+//! * [`zone_check`] — access-right verification on *virtual* addresses
+//!   (§3.2.3): per-zone limit registers, admitted-type masks, write
+//!   protection.
+//! * [`data_cache`] — the direct-mapped store-in data cache, split into
+//!   eight 1K-word sections selected by the zone field (§3.2.4).
+//! * [`code_cache`] — the 8K-word write-through code cache with page-mode
+//!   prefetch (§3.2.4).
+//!
+//! [`MemorySystem`] wires them together behind the interface the execution
+//! unit uses: tagged-pointer reads and writes that return the *extra* cycle
+//! penalty beyond the 1-cycle (80 ns) cache access.
+//!
+//! # Examples
+//!
+//! ```
+//! use kcm_mem::{MemorySystem, MemConfig};
+//! use kcm_arch::{Word, Tag, VAddr, Zone};
+//!
+//! let mut mem = MemorySystem::new(MemConfig::default());
+//! let cell = VAddr::new(Zone::Global.base().value() + 5);
+//! let ptr = Word::ptr(Tag::Ref, cell);
+//! mem.write_ptr(ptr, Word::int(11)).unwrap();
+//! let (w, _extra) = mem.read_ptr(ptr).unwrap();
+//! assert_eq!(w.as_int(), Some(11));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod code_cache;
+pub mod data_cache;
+pub mod main_memory;
+pub mod page_table;
+pub mod zone_check;
+
+pub use code_cache::CodeCache;
+pub use data_cache::DataCache;
+pub use main_memory::MainMemory;
+pub use page_table::{Mmu, Space};
+pub use zone_check::{ZoneFault, ZoneTable};
+
+use kcm_arch::timing::Cycles;
+use kcm_arch::{CodeAddr, Tag, VAddr, Word, Zone};
+
+/// Configuration of the memory system.
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// Whether the data cache is split into eight zone-selected sections
+    /// (§3.2.4). Disabling reproduces the plain direct-mapped cache of the
+    /// paper's internal collision experiment.
+    pub sectioned_data_cache: bool,
+    /// Whether the zone check is active. Disabling it models running with
+    /// protection off (used by ablation benches; real code keeps it on).
+    pub zone_check: bool,
+    /// Data cache miss penalty in cycles.
+    pub dcache_miss: Cycles,
+    /// Additional penalty when the evicted line is dirty.
+    pub dcache_writeback: Cycles,
+    /// Code cache miss penalty in cycles.
+    pub icache_miss: Cycles,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        let costs = kcm_arch::CostModel::default();
+        MemConfig {
+            sectioned_data_cache: true,
+            zone_check: true,
+            dcache_miss: costs.dcache_miss,
+            dcache_writeback: costs.dcache_writeback,
+            icache_miss: costs.icache_miss,
+        }
+    }
+}
+
+/// A fault raised by the memory system. On the real machine these trap to
+/// the monitor; the simulator surfaces them as errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemFault {
+    /// The zone check rejected the access (§3.2.3).
+    Zone(ZoneFault),
+    /// The operand used as an address is not a pointer type — the data
+    /// cache's dereference hardware aborts such reads (§3.1.4), but an
+    /// explicit load/store through a non-pointer is a programming error.
+    NotAnAddress(Word),
+    /// Physical memory exhausted (the 32 MByte board is full).
+    OutOfPhysicalMemory,
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemFault::Zone(z) => write!(f, "zone check fault: {z}"),
+            MemFault::NotAnAddress(w) => write!(f, "word used as address is not a pointer: {w}"),
+            MemFault::OutOfPhysicalMemory => write!(f, "out of physical memory"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+impl From<ZoneFault> for MemFault {
+    fn from(z: ZoneFault) -> MemFault {
+        MemFault::Zone(z)
+    }
+}
+
+/// Aggregate statistics of the memory system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Data cache hits.
+    pub dcache_hits: u64,
+    /// Data cache misses.
+    pub dcache_misses: u64,
+    /// Dirty lines written back on eviction.
+    pub dcache_writebacks: u64,
+    /// Code cache hits.
+    pub icache_hits: u64,
+    /// Code cache misses.
+    pub icache_misses: u64,
+    /// Data-space page faults serviced (physical page allocated).
+    pub data_page_faults: u64,
+    /// Code-space page faults serviced.
+    pub code_page_faults: u64,
+}
+
+impl MemStats {
+    /// Data cache hit ratio in [0, 1]; 1.0 for an untouched cache.
+    pub fn dcache_hit_ratio(&self) -> f64 {
+        let total = self.dcache_hits + self.dcache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.dcache_hits as f64 / total as f64
+        }
+    }
+
+    /// Code cache hit ratio in [0, 1]; 1.0 for an untouched cache.
+    pub fn icache_hit_ratio(&self) -> f64 {
+        let total = self.icache_hits + self.icache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.icache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The complete KCM memory system: caches in front of the MMU in front of
+/// the memory board, with the zone checker alongside (figure 4: "the memory
+/// management is in between the caches and the main memory, not in between
+/// the CPU and the caches, i.e. logical caches are used").
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: MemConfig,
+    memory: MainMemory,
+    mmu: Mmu,
+    zones: ZoneTable,
+    dcache: DataCache,
+    icache: CodeCache,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system with empty caches and an unmapped page
+    /// table.
+    pub fn new(config: MemConfig) -> MemorySystem {
+        MemorySystem {
+            dcache: DataCache::new(config.sectioned_data_cache),
+            icache: CodeCache::new(),
+            config,
+            memory: MainMemory::new(),
+            mmu: Mmu::new(),
+            zones: ZoneTable::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The zone table (limits may be changed dynamically, §3.2.3).
+    pub fn zones(&self) -> &ZoneTable {
+        &self.zones
+    }
+
+    /// Mutable access to the zone table.
+    pub fn zones_mut(&mut self) -> &mut ZoneTable {
+        &mut self.zones
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Resets the statistics (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    /// Reads the data word addressed by the tagged pointer `ptr`,
+    /// returning the word and the extra cycle penalty (0 on a cache hit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::NotAnAddress`] if `ptr` is not a pointer type
+    /// and a zone fault if the access violates the zone rules.
+    pub fn read_ptr(&mut self, ptr: Word) -> Result<(Word, Cycles), MemFault> {
+        let addr = ptr.as_addr().ok_or(MemFault::NotAnAddress(ptr))?;
+        if self.config.zone_check {
+            self.zones.check_read(ptr)?;
+        }
+        self.read_checked(addr)
+    }
+
+    /// Writes `value` through the tagged pointer `ptr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::NotAnAddress`] or a zone fault — in particular
+    /// a write-protection fault on a protected zone: "Without protection on
+    /// the level of the logical caches the data will simply be stored in
+    /// the cache" (§3.2.3) — KCM checks before the cache absorbs the write.
+    pub fn write_ptr(&mut self, ptr: Word, value: Word) -> Result<Cycles, MemFault> {
+        let addr = ptr.as_addr().ok_or(MemFault::NotAnAddress(ptr))?;
+        if self.config.zone_check {
+            self.zones.check_write(ptr)?;
+        }
+        self.write_checked(addr, value)
+    }
+
+    /// The dereference assist of the data cache (§3.1.4): if `w` is a
+    /// pointer the cache performs the read; if not, it aborts and returns
+    /// `None` — "random data used as an address may cause a cache-miss and
+    /// even a page fault which certainly is not tolerable".
+    pub fn deref_assist(&mut self, w: Word) -> Option<Result<(Word, Cycles), MemFault>> {
+        if w.tag_checked().is_some_and(Tag::is_pointer) {
+            Some(self.read_ptr(w))
+        } else {
+            None
+        }
+    }
+
+    fn read_checked(&mut self, addr: VAddr) -> Result<(Word, Cycles), MemFault> {
+        let (word, extra) = self.dcache.read(
+            addr,
+            &mut self.memory,
+            &mut self.mmu,
+            &self.config,
+            &mut self.stats,
+        )?;
+        Ok((word, extra))
+    }
+
+    fn write_checked(&mut self, addr: VAddr, value: Word) -> Result<Cycles, MemFault> {
+        self.dcache.write(
+            addr,
+            value,
+            &mut self.memory,
+            &mut self.mmu,
+            &self.config,
+            &mut self.stats,
+        )
+    }
+
+    /// Times an instruction fetch from `addr` in the code space, returning
+    /// the extra penalty (0 on a code cache hit). The paper's write-through
+    /// code cache prefetches "a few words ahead when a miss occurs"; the
+    /// model fills the missed word plus the next.
+    pub fn fetch_code(&mut self, addr: CodeAddr) -> Cycles {
+        self.icache
+            .fetch(addr, &mut self.mmu, &self.config, &mut self.stats)
+    }
+
+    /// Invalidates the code cache — used when compiled code is moved from
+    /// the data space into the code space (§3.2.1: the memory management
+    /// "can invalidate the virtual data page and attach the physical page
+    /// to the code space").
+    pub fn invalidate_code_cache(&mut self) {
+        self.icache.invalidate();
+    }
+
+    /// Writes back all dirty data cache lines (used before the host reads
+    /// simulated memory directly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-allocation failure.
+    pub fn flush_data_cache(&mut self) -> Result<(), MemFault> {
+        self.dcache.flush(&mut self.memory, &mut self.mmu, &mut self.stats)
+    }
+
+    /// Host back-door read bypassing timing and checks. Reads through the
+    /// cache's current contents, so no flush is needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-allocation failure.
+    pub fn peek(&mut self, addr: VAddr) -> Result<Word, MemFault> {
+        if let Some(w) = self.dcache.peek(addr) {
+            return Ok(w);
+        }
+        let phys = self.mmu.translate_data(addr, &mut self.memory, &mut self.stats)?;
+        Ok(self.memory.read(phys))
+    }
+
+    /// Host back-door write bypassing timing (still keeps the cache
+    /// coherent by updating a present line in place).
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-allocation failure.
+    pub fn poke(&mut self, addr: VAddr, value: Word) -> Result<(), MemFault> {
+        let phys = self.mmu.translate_data(addr, &mut self.memory, &mut self.stats)?;
+        self.memory.write(phys, value);
+        self.dcache.update_if_present(addr, value);
+        Ok(())
+    }
+
+    /// Initial stack base for a zone: when `spread` is set the bases are
+    /// offset by distinct multiples of 1K words so they map to different
+    /// cells even in an unsectioned direct-mapped cache — the two
+    /// initialisations of the paper's §3.2.4 experiment.
+    pub fn stack_base(zone: Zone, spread: bool) -> VAddr {
+        let offset = if spread { (zone.bits() as u32) * 1024 } else { 0 };
+        VAddr::new(zone.base().value() + offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaddr(off: u32) -> VAddr {
+        VAddr::new(Zone::Global.base().value() + off)
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let ptr = Word::ptr(Tag::Ref, gaddr(100));
+        mem.write_ptr(ptr, Word::int(7)).unwrap();
+        let (w, _) = mem.read_ptr(ptr).unwrap();
+        assert_eq!(w.as_int(), Some(7));
+    }
+
+    #[test]
+    fn non_pointer_address_faults() {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let err = mem.read_ptr(Word::int(123)).unwrap_err();
+        assert!(matches!(err, MemFault::NotAnAddress(_)));
+    }
+
+    #[test]
+    fn deref_assist_aborts_on_non_pointers() {
+        // §3.1.4: a float used as an address must not cause a cache miss.
+        let mut mem = MemorySystem::new(MemConfig::default());
+        assert!(mem.deref_assist(Word::float(3.25)).is_none());
+        let before = mem.stats();
+        assert_eq!(before.dcache_misses, 0);
+        let ptr = Word::ptr(Tag::Ref, gaddr(0));
+        mem.write_ptr(ptr, Word::int(1)).unwrap();
+        assert!(mem.deref_assist(ptr).is_some());
+    }
+
+    #[test]
+    fn first_touch_allocates_a_page() {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        assert_eq!(mem.stats().data_page_faults, 0);
+        mem.write_ptr(Word::ptr(Tag::Ref, gaddr(0)), Word::int(1)).unwrap();
+        assert_eq!(mem.stats().data_page_faults, 1);
+        // Same page: no new fault.
+        mem.write_ptr(Word::ptr(Tag::Ref, gaddr(1)), Word::int(2)).unwrap();
+        assert_eq!(mem.stats().data_page_faults, 1);
+    }
+
+    #[test]
+    fn peek_sees_unflushed_writes() {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let a = gaddr(4);
+        mem.write_ptr(Word::ptr(Tag::Ref, a), Word::int(99)).unwrap();
+        // Store-in cache: main memory may be stale, but peek must see the
+        // cached value.
+        assert_eq!(mem.peek(a).unwrap().as_int(), Some(99));
+    }
+
+    #[test]
+    fn stack_bases_spread_or_collide() {
+        let aligned_g = MemorySystem::stack_base(Zone::Global, false);
+        let aligned_l = MemorySystem::stack_base(Zone::Local, false);
+        // Aligned bases collide modulo the 8K cache size.
+        assert_eq!(aligned_g.value() % 8192, aligned_l.value() % 8192);
+        let spread_g = MemorySystem::stack_base(Zone::Global, true);
+        let spread_l = MemorySystem::stack_base(Zone::Local, true);
+        assert_ne!(spread_g.value() % 8192, spread_l.value() % 8192);
+    }
+
+    #[test]
+    fn code_fetch_misses_then_hits() {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let a = CodeAddr::new(0x40);
+        let miss = mem.fetch_code(a);
+        assert!(miss > 0);
+        let hit = mem.fetch_code(a);
+        assert_eq!(hit, 0);
+        assert_eq!(mem.stats().icache_misses, 1);
+        assert_eq!(mem.stats().icache_hits, 1);
+    }
+
+    #[test]
+    fn code_prefetch_covers_next_word() {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let a = CodeAddr::new(0x80);
+        mem.fetch_code(a);
+        // Page-mode prefetch fetched a few words ahead: the sequentially
+        // next word hits.
+        assert_eq!(mem.fetch_code(a.offset(1)), 0);
+    }
+
+    #[test]
+    fn invalidate_code_cache_forces_miss() {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let a = CodeAddr::new(0x10);
+        mem.fetch_code(a);
+        assert_eq!(mem.fetch_code(a), 0);
+        mem.invalidate_code_cache();
+        assert!(mem.fetch_code(a) > 0);
+    }
+}

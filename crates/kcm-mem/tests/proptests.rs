@@ -1,0 +1,95 @@
+//! Property-based tests of the memory system: whatever the caches and the
+//! MMU do for timing, the *values* must match a flat-memory oracle.
+
+use kcm_arch::{Tag, VAddr, Word, Zone};
+use kcm_mem::{MemConfig, MemorySystem};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8, u16, i32),
+    Read(u8, u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..5, any::<u16>(), any::<i32>()).prop_map(|(z, o, v)| Op::Write(z, o, v)),
+        (0u8..5, any::<u16>()).prop_map(|(z, o)| Op::Read(z, o)),
+    ]
+}
+
+fn addr_of(zone_idx: u8, off: u16) -> VAddr {
+    let zone = Zone::DATA_ZONES[zone_idx as usize];
+    // Stay inside the default zone limits (1M words).
+    VAddr::new(zone.base().value() + (off as u32 % 0xF000))
+}
+
+fn run_ops(sectioned: bool, ops: &[Op]) -> Vec<Option<i32>> {
+    let mut mem = MemorySystem::new(MemConfig {
+        sectioned_data_cache: sectioned,
+        ..MemConfig::default()
+    });
+    let mut oracle: HashMap<u32, i32> = HashMap::new();
+    let mut reads = Vec::new();
+    for op in ops {
+        match op {
+            Op::Write(z, o, v) => {
+                let a = addr_of(*z, *o);
+                mem.write_ptr(Word::ptr(Tag::DataPtr, a), Word::int(*v)).expect("write");
+                oracle.insert(a.value(), *v);
+            }
+            Op::Read(z, o) => {
+                let a = addr_of(*z, *o);
+                let (w, _) = mem.read_ptr(Word::ptr(Tag::DataPtr, a)).expect("read");
+                let got = w.as_int();
+                assert_eq!(
+                    got,
+                    Some(oracle.get(&a.value()).copied().unwrap_or(0)),
+                    "cache/oracle divergence at {a} (sectioned={sectioned})"
+                );
+                reads.push(got);
+            }
+        }
+    }
+    reads
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sectioned_cache_matches_flat_oracle(ops in proptest::collection::vec(arb_op(), 1..300)) {
+        run_ops(true, &ops);
+    }
+
+    #[test]
+    fn unsectioned_cache_matches_flat_oracle(ops in proptest::collection::vec(arb_op(), 1..300)) {
+        run_ops(false, &ops);
+    }
+
+    #[test]
+    fn both_geometries_read_identically(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let a = run_ops(true, &ops);
+        let b = run_ops(false, &ops);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flush_then_peek_agrees(ops in proptest::collection::vec(arb_op(), 1..150)) {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let mut oracle: HashMap<u32, i32> = HashMap::new();
+        for op in &ops {
+            if let Op::Write(z, o, v) = op {
+                let a = addr_of(*z, *o);
+                mem.write_ptr(Word::ptr(Tag::DataPtr, a), Word::int(*v)).expect("write");
+                oracle.insert(a.value(), *v);
+            }
+        }
+        mem.flush_data_cache().expect("flush");
+        for (raw, v) in oracle {
+            let got = mem.peek(VAddr::new(raw)).expect("peek");
+            prop_assert_eq!(got.as_int(), Some(v));
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Prolog tokenizer.
+//!
+//! Handles the token classes the PLM benchmark suite and ordinary Prolog
+//! source need: unquoted/quoted/symbolic atoms, variables, integers,
+//! floats, punctuation, `%` line comments and `/* */` block comments.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An atom (unquoted, quoted or symbolic), e.g. `foo`, `'a b'`, `:-`.
+    Atom(String),
+    /// A variable, e.g. `X`, `_Foo`, `_`.
+    Var(String),
+    /// An integer literal.
+    Int(i32),
+    /// A float literal.
+    Float(f32),
+    /// A double-quoted string, yielding a list of character codes.
+    Str(String),
+    /// `(` immediately following an atom (functor application).
+    FunctorParen,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `,`.
+    Comma,
+    /// `|`.
+    Bar,
+    /// Clause-terminating full stop.
+    Dot,
+}
+
+/// A lexical error with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lexical error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const SYMBOLIC: &str = "+-*/\\^<>=~:.?@#&$";
+
+/// The tokenizer: turns source text into a vector of ([`Token`], line)
+/// pairs.
+///
+/// # Examples
+///
+/// ```
+/// use kcm_prolog::{Lexer, Token};
+/// let tokens = Lexer::tokenize("foo(X).").unwrap();
+/// assert_eq!(tokens[0].0, Token::Atom("foo".into()));
+/// assert_eq!(tokens[1].0, Token::FunctorParen);
+/// ```
+#[derive(Debug)]
+pub struct Lexer;
+
+impl Lexer {
+    /// Tokenizes `src` completely.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] for unterminated quotes/comments or malformed
+    /// numbers.
+    pub fn tokenize(src: &str) -> Result<Vec<(Token, u32)>, LexError> {
+        let mut tokens = Vec::new();
+        let chars: Vec<char> = src.chars().collect();
+        let mut i = 0;
+        let mut line: u32 = 1;
+        let err = |message: &str, line: u32| LexError { message: message.to_owned(), line };
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                '\n' => {
+                    line += 1;
+                    i += 1;
+                }
+                c if c.is_whitespace() => i += 1,
+                '%' => {
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    let start_line = line;
+                    i += 2;
+                    loop {
+                        if i + 1 >= chars.len() {
+                            return Err(err("unterminated block comment", start_line));
+                        }
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        if chars[i] == '*' && chars[i + 1] == '/' {
+                            i += 2;
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+                '(' => {
+                    // Distinguish functor application from grouping: a `(`
+                    // immediately after an atom/var/`)`/`]` with no space.
+                    let prev_tight = i > 0
+                        && (chars[i - 1].is_ascii_alphanumeric()
+                            || chars[i - 1] == '_'
+                            || chars[i - 1] == '\''
+                            || SYMBOLIC.contains(chars[i - 1]));
+                    let after_token = matches!(
+                        tokens.last(),
+                        Some((Token::Atom(_), _)) | Some((Token::Var(_), _))
+                    );
+                    if prev_tight && after_token {
+                        tokens.push((Token::FunctorParen, line));
+                    } else {
+                        tokens.push((Token::LParen, line));
+                    }
+                    i += 1;
+                }
+                ')' => {
+                    tokens.push((Token::RParen, line));
+                    i += 1;
+                }
+                '[' => {
+                    tokens.push((Token::LBracket, line));
+                    i += 1;
+                }
+                ']' => {
+                    tokens.push((Token::RBracket, line));
+                    i += 1;
+                }
+                '{' => {
+                    tokens.push((Token::LBrace, line));
+                    i += 1;
+                }
+                '}' => {
+                    tokens.push((Token::RBrace, line));
+                    i += 1;
+                }
+                ',' => {
+                    tokens.push((Token::Comma, line));
+                    i += 1;
+                }
+                '|' => {
+                    tokens.push((Token::Bar, line));
+                    i += 1;
+                }
+                '!' => {
+                    tokens.push((Token::Atom("!".into()), line));
+                    i += 1;
+                }
+                ';' => {
+                    tokens.push((Token::Atom(";".into()), line));
+                    i += 1;
+                }
+                '\'' => {
+                    let start_line = line;
+                    i += 1;
+                    let mut s = String::new();
+                    loop {
+                        match chars.get(i) {
+                            None => return Err(err("unterminated quoted atom", start_line)),
+                            Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                                s.push('\'');
+                                i += 2;
+                            }
+                            Some('\\') => {
+                                let (ch, used) = unescape(&chars[i..])
+                                    .ok_or_else(|| err("bad escape sequence", line))?;
+                                s.push(ch);
+                                i += used;
+                            }
+                            Some('\'') => {
+                                i += 1;
+                                break;
+                            }
+                            Some('\n') => {
+                                line += 1;
+                                s.push('\n');
+                                i += 1;
+                            }
+                            Some(&c) => {
+                                s.push(c);
+                                i += 1;
+                            }
+                        }
+                    }
+                    tokens.push((Token::Atom(s), line));
+                }
+                '"' => {
+                    let start_line = line;
+                    i += 1;
+                    let mut s = String::new();
+                    loop {
+                        match chars.get(i) {
+                            None => return Err(err("unterminated string", start_line)),
+                            Some('"') if chars.get(i + 1) == Some(&'"') => {
+                                s.push('"');
+                                i += 2;
+                            }
+                            Some('\\') => {
+                                let (ch, used) = unescape(&chars[i..])
+                                    .ok_or_else(|| err("bad escape sequence", line))?;
+                                s.push(ch);
+                                i += used;
+                            }
+                            Some('"') => {
+                                i += 1;
+                                break;
+                            }
+                            Some('\n') => {
+                                line += 1;
+                                s.push('\n');
+                                i += 1;
+                            }
+                            Some(&c) => {
+                                s.push(c);
+                                i += 1;
+                            }
+                        }
+                    }
+                    tokens.push((Token::Str(s), line));
+                }
+                '0' if chars.get(i + 1) == Some(&'\'') => {
+                    // Character code literal 0'c.
+                    let ch = *chars.get(i + 2).ok_or_else(|| err("truncated 0' literal", line))?;
+                    tokens.push((Token::Int(ch as i32), line));
+                    i += 3;
+                }
+                c if c.is_ascii_digit() => {
+                    let start = i;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    // Float: digits '.' digits [e[+-]digits] — but a '.'
+                    // followed by non-digit is a full stop.
+                    let mut is_float = false;
+                    if chars.get(i) == Some(&'.')
+                        && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                    {
+                        is_float = true;
+                        i += 1;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    if matches!(chars.get(i), Some('e') | Some('E'))
+                        && (chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                            || (matches!(chars.get(i + 1), Some('+') | Some('-'))
+                                && chars.get(i + 2).is_some_and(|c| c.is_ascii_digit())))
+                    {
+                        is_float = true;
+                        i += 2;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    if is_float {
+                        let v: f32 = text
+                            .parse()
+                            .map_err(|_| err(&format!("bad float: {text}"), line))?;
+                        tokens.push((Token::Float(v), line));
+                    } else {
+                        let v: i32 = text
+                            .parse()
+                            .map_err(|_| err(&format!("integer out of range: {text}"), line))?;
+                        tokens.push((Token::Int(v), line));
+                    }
+                }
+                c if c.is_ascii_uppercase() || c == '_' => {
+                    let start = i;
+                    while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    tokens.push((Token::Var(chars[start..i].iter().collect()), line));
+                }
+                c if c.is_ascii_lowercase() => {
+                    let start = i;
+                    while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    tokens.push((Token::Atom(chars[start..i].iter().collect()), line));
+                }
+                c if SYMBOLIC.contains(c) => {
+                    let start = i;
+                    while i < chars.len() && SYMBOLIC.contains(chars[i]) {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    // A lone '.' followed by whitespace/EOF is the full
+                    // stop; ".(..." is the cons functor.
+                    if text == "." {
+                        tokens.push((Token::Dot, line));
+                    } else {
+                        tokens.push((Token::Atom(text), line));
+                    }
+                }
+                other => {
+                    return Err(err(&format!("unexpected character {other:?}"), line));
+                }
+            }
+        }
+        Ok(tokens)
+    }
+}
+
+/// Decodes an escape sequence starting at `\\`; returns the character and
+/// how many source chars were consumed.
+fn unescape(chars: &[char]) -> Option<(char, usize)> {
+    match chars.get(1)? {
+        'n' => Some(('\n', 2)),
+        't' => Some(('\t', 2)),
+        'r' => Some(('\r', 2)),
+        'a' => Some(('\x07', 2)),
+        'b' => Some(('\x08', 2)),
+        'f' => Some(('\x0C', 2)),
+        'v' => Some(('\x0B', 2)),
+        '\\' => Some(('\\', 2)),
+        '\'' => Some(('\'', 2)),
+        '"' => Some(('"', 2)),
+        '`' => Some(('`', 2)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        Lexer::tokenize(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn simple_clause() {
+        assert_eq!(
+            toks("foo(X)."),
+            vec![
+                Token::Atom("foo".into()),
+                Token::FunctorParen,
+                Token::Var("X".into()),
+                Token::RParen,
+                Token::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn grouping_paren_vs_functor_paren() {
+        let t = toks("a (b)");
+        assert_eq!(t[1], Token::LParen);
+        let t = toks("a(b)");
+        assert_eq!(t[1], Token::FunctorParen);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 -7 3.5 1e3 0'a"), vec![
+            Token::Int(42),
+            Token::Atom("-".into()),
+            Token::Int(7),
+            Token::Float(3.5),
+            Token::Float(1000.0),
+            Token::Int(97),
+        ]);
+    }
+
+    #[test]
+    fn dot_versus_decimal_and_symbolic() {
+        // "1.5" is a float; "a." ends a clause; ":-" is one atom.
+        assert_eq!(toks("1.5."), vec![Token::Float(1.5), Token::Dot]);
+        assert_eq!(
+            toks("a :- b."),
+            vec![
+                Token::Atom("a".into()),
+                Token::Atom(":-".into()),
+                Token::Atom("b".into()),
+                Token::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_atoms_and_escapes() {
+        assert_eq!(toks("'hello world'"), vec![Token::Atom("hello world".into())]);
+        assert_eq!(toks(r"'a\nb'"), vec![Token::Atom("a\nb".into())]);
+        assert_eq!(toks("'it''s'"), vec![Token::Atom("it's".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a % hi\n b /* x\ny */ c"), vec![
+            Token::Atom("a".into()),
+            Token::Atom("b".into()),
+            Token::Atom("c".into()),
+        ]);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let t = Lexer::tokenize("a.\nb.\n\nc.").unwrap();
+        assert_eq!(t[0].1, 1);
+        assert_eq!(t[2].1, 2);
+        assert_eq!(t[4].1, 4);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(Lexer::tokenize("'unterminated").is_err());
+        assert!(Lexer::tokenize("99999999999999").is_err());
+        assert!(Lexer::tokenize("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn list_tokens() {
+        assert_eq!(toks("[H|T]"), vec![
+            Token::LBracket,
+            Token::Var("H".into()),
+            Token::Bar,
+            Token::Var("T".into()),
+            Token::RBracket,
+        ]);
+    }
+
+    #[test]
+    fn cut_and_semicolon_are_atoms() {
+        assert_eq!(toks("! ;"), vec![Token::Atom("!".into()), Token::Atom(";".into())]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Robustness properties of the reader: arbitrary input must never panic
+//! (errors are fine), and well-formed terms must round-trip through
+//! display and reparse.
+
+use kcm_prolog::{read_program, read_term, Lexer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(src in "[ -~\n\t]{0,120}") {
+        let _ = Lexer::tokenize(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[ -~\n\t]{0,120}") {
+        let _ = read_program(&src);
+        let _ = read_term(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_prologish_soup(
+        src in r"[a-zXY\(\)\[\]\|,\.:\- 0-9']{0,80}"
+    ) {
+        let _ = read_program(&src);
+    }
+
+    #[test]
+    fn numbers_roundtrip(n in any::<i32>()) {
+        let t = read_term(&n.to_string()).expect("integers parse");
+        prop_assert_eq!(t, kcm_prolog::Term::Int(n));
+    }
+
+    #[test]
+    fn quoted_atoms_roundtrip(name in "[ -~]{1,20}") {
+        // Skip names with quote/backslash (escaping covered by unit tests).
+        prop_assume!(!name.contains('\'') && !name.contains('\\'));
+        let t = read_term(&format!("'{name}'")).expect("quoted atoms parse");
+        prop_assert_eq!(t, kcm_prolog::Term::Atom(name));
+    }
+
+    #[test]
+    fn operator_expressions_reparse_stably(
+        a in 0i32..100, b in 0i32..100, c in 0i32..100,
+        op1 in proptest::sample::select(vec!["+", "-", "*", "//"]),
+        op2 in proptest::sample::select(vec!["+", "-", "*", "//"]),
+    ) {
+        let src = format!("{a} {op1} {b} {op2} {c}");
+        let t1 = read_term(&src).expect("parses");
+        let t2 = read_term(&t1.to_string()).expect("reparses");
+        prop_assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Parameterized workload generators for sweeps beyond the fixed PLM
+//! suite: scaled nrev/qsort inputs and N-queens boards, used by the
+//! `scaling` bench to study how the memory system behaves as working sets
+//! grow past the cache sections (the regime §3.2.4 worries about).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A list literal `[x1,...,xn]`.
+fn list_literal(xs: &[i32]) -> String {
+    format!(
+        "[{}]",
+        xs.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+    )
+}
+
+/// nrev over an `n`-element list: `(source, query)`.
+pub fn nrev(n: usize) -> (String, String) {
+    let xs: Vec<i32> = (1..=n as i32).collect();
+    let source = "
+        nrev([], []).
+        nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+        append([], L, L).
+        append([H|T], L, [H|R]) :- append(T, L, R).
+    "
+    .to_owned();
+    (source, format!("nrev({}, _)", list_literal(&xs)))
+}
+
+/// qsort over `n` pseudo-random elements (deterministic seed): `(source,
+/// query)`.
+pub fn qsort(n: usize, seed: u64) -> (String, String) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<i32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+    let source = "
+        qsort(L, R) :- qsort(L, R, []).
+        qsort([], R, R).
+        qsort([X|L], R, R0) :-
+            partition(L, X, L1, L2),
+            qsort(L2, R1, R0),
+            qsort(L1, R, [X|R1]).
+        partition([], _, [], []).
+        partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+        partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+    "
+    .to_owned();
+    (source, format!("qsort({}, _)", list_literal(&xs)))
+}
+
+/// N-queens, first solution: `(source, query)`.
+pub fn queens(n: usize) -> (String, String) {
+    let source = "
+        queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+        place([], Qs, Qs).
+        place(Unplaced, Safe, Qs) :-
+            selectq(Unplaced, Rest, Q),
+            \\+ attack(Q, Safe),
+            place(Rest, [Q|Safe], Qs).
+        attack(X, Xs) :- attack(X, 1, Xs).
+        attack(X, N, [Y|_]) :- X =:= Y + N.
+        attack(X, N, [Y|_]) :- X =:= Y - N.
+        attack(X, N, [_|Ys]) :- N1 is N + 1, attack(X, N1, Ys).
+        selectq([X|Xs], Xs, X).
+        selectq([Y|Ys], [Y|Zs], X) :- selectq(Ys, Zs, X).
+        range(N, N, [N]) :- !.
+        range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+    "
+    .to_owned();
+    (source, format!("queens({n}, _)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcm_system::Kcm;
+
+    #[test]
+    fn generated_workloads_run() {
+        for (source, query) in [nrev(12), qsort(16, 7), queens(5)] {
+            let mut kcm = Kcm::new();
+            kcm.consult(&source).expect("consult");
+            let o = kcm.run(&query, false).expect("run");
+            assert!(o.success, "{query}");
+        }
+    }
+
+    #[test]
+    fn qsort_workload_is_deterministic_per_seed() {
+        assert_eq!(qsort(10, 3).1, qsort(10, 3).1);
+        assert_ne!(qsort(10, 3).1, qsort(10, 4).1);
+    }
+
+    #[test]
+    fn nrev_cost_grows_quadratically() {
+        let mut cycles = Vec::new();
+        for n in [8usize, 16, 32] {
+            let (src, q) = nrev(n);
+            let mut kcm = Kcm::new();
+            kcm.consult(&src).expect("consult");
+            cycles.push(kcm.run(&q, false).expect("run").stats.cycles as f64);
+        }
+        // Doubling n should roughly 4x the cycles (within loose bounds —
+        // the constant term flattens small sizes).
+        let r1 = cycles[1] / cycles[0];
+        let r2 = cycles[2] / cycles[1];
+        assert!(r1 > 2.0 && r1 < 6.0, "{cycles:?}");
+        assert!(r2 > 2.5 && r2 < 6.0, "{cycles:?}");
+    }
+}

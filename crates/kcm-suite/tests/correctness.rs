@@ -1,0 +1,145 @@
+//! Ground-truth correctness of every suite program: the benchmarks must
+//! not only run, they must compute the right answers.
+
+use kcm_suite::programs;
+use kcm_suite::runner::{run_kcm, Variant};
+use kcm_system::MachineConfig;
+
+fn output_of(name: &str) -> String {
+    let p = programs::program(name).expect("in suite");
+    let m = run_kcm(&p, Variant::Timed, &MachineConfig::default()).expect("runs");
+    assert!(m.outcome.success, "{name} must succeed");
+    m.outcome.output
+}
+
+#[test]
+fn con1_concatenates() {
+    assert_eq!(output_of("con1"), "[a,b,c,d,e,f]\n");
+}
+
+#[test]
+fn con6_chains_six_concatenations() {
+    assert_eq!(output_of("con6"), "[a,b,c,d,e,f,g,h,i,j,k,l]\n");
+}
+
+#[test]
+fn nrev_reverses_thirty_elements() {
+    let out = output_of("nrev1");
+    assert!(out.starts_with("[30,29,28"), "{out}");
+    assert!(out.contains(",3,2,1]"), "{out}");
+}
+
+#[test]
+fn qs4_sorts_the_fifty_element_list() {
+    let out = output_of("qs4");
+    // The standard list sorted (duplicates preserved).
+    let mut expected = vec![
+        27, 74, 17, 33, 94, 18, 46, 83, 65, 2, 32, 53, 28, 85, 99, 47, 28, 82, 6, 11, 55, 29,
+        39, 81, 90, 37, 10, 0, 66, 51, 7, 21, 85, 27, 31, 63, 75, 4, 95, 99, 11, 28, 61, 74,
+        18, 92, 40, 53, 59, 8,
+    ];
+    expected.sort_unstable();
+    let want = format!(
+        "[{}]\n",
+        expected.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+    );
+    assert_eq!(out, want);
+}
+
+#[test]
+fn pri2_finds_the_primes_to_98() {
+    let out = output_of("pri2");
+    let primes: Vec<u32> = (2..=98u32)
+        .filter(|&n| (2..n).all(|d| n % d != 0))
+        .collect();
+    let want = format!(
+        "[{}]\n",
+        primes.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+    );
+    assert_eq!(out, want);
+}
+
+#[test]
+fn queens_solution_is_safe() {
+    let out = output_of("queens");
+    // Parse "[c1,c2,...]\n" — columns of queens per row (most recently
+    // placed first).
+    let cols: Vec<i32> = out
+        .trim()
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .split(',')
+        .map(|s| s.parse().expect("column"))
+        .collect();
+    assert_eq!(cols.len(), 6);
+    for i in 0..cols.len() {
+        for j in i + 1..cols.len() {
+            assert_ne!(cols[i], cols[j], "same column: {out}");
+            assert_ne!(
+                (cols[i] - cols[j]).abs(),
+                (i as i32 - j as i32).abs(),
+                "same diagonal: {out}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hanoi_moves_every_disc() {
+    let out = output_of("hanoi");
+    // 2^8 - 1 moves, one line each.
+    assert_eq!(out.lines().count(), 255);
+}
+
+#[test]
+fn deriv_programs_produce_derivatives() {
+    // times10: d/dx of x^10-as-products — the derivative mentions x and
+    // both operators.
+    let out = output_of("times10");
+    assert!(out.contains('*') && out.contains('+'), "{out}");
+    let out = output_of("log10");
+    assert!(out.contains('/') && out.contains("log"), "{out}");
+}
+
+#[test]
+fn query_lists_the_expected_country_pairs() {
+    let out = output_of("query");
+    // Every reported pair must satisfy the density predicate: D1 > D2 and
+    // 20*D1 < 21*D2 (within 5%).
+    let pairs: Vec<&str> = out.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!pairs.is_empty(), "query must find pairs");
+    for line in &pairs {
+        let inner = line.trim_start_matches('[').trim_end_matches(']');
+        let parts: Vec<&str> = inner.split(',').collect();
+        assert_eq!(parts.len(), 4, "{line}");
+        let d1: i64 = parts[1].parse().expect("density 1");
+        let d2: i64 = parts[3].parse().expect("density 2");
+        assert!(d1 > d2, "{line}");
+        assert!(20 * d1 < 21 * d2, "{line}");
+    }
+}
+
+#[test]
+fn mutest_proves_the_theorem() {
+    assert_eq!(output_of("mutest"), "yes\n");
+}
+
+#[test]
+fn palin25_serialises_the_palindrome() {
+    let p = programs::program("palin25").expect("in suite");
+    let m = run_kcm(&p, Variant::Timed, &MachineConfig::default()).expect("runs");
+    assert!(m.outcome.success);
+    // serialise maps each character to its rank among the distinct
+    // characters: same character → same number, palindrome → palindromic
+    // rank list.
+    let out = m.outcome.output;
+    let nums: Vec<&str> = out
+        .trim()
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .split(',')
+        .collect();
+    assert_eq!(nums.len(), 25);
+    let rev: Vec<&str> = nums.iter().rev().copied().collect();
+    assert_eq!(nums, rev, "palindrome ranks must be palindromic");
+}

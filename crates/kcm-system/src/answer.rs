@@ -1,0 +1,100 @@
+//! Query answers: named bindings with convenient accessors.
+
+use kcm_cpu::Solution;
+use kcm_prolog::Term;
+
+/// One solution of a query: the query variables and their bindings.
+///
+/// # Examples
+///
+/// ```
+/// use kcm_system::Kcm;
+/// # fn main() -> Result<(), kcm_system::KcmError> {
+/// let mut kcm = Kcm::new();
+/// kcm.consult("pair(1, a).")?;
+/// let answer = kcm.solve_first("pair(X, Y)")?.expect("one solution");
+/// assert_eq!(answer.binding_text("X").as_deref(), Some("1"));
+/// assert_eq!(answer.get("Y").unwrap().to_string(), "a");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    bindings: Solution,
+}
+
+impl Answer {
+    /// Wraps a machine solution.
+    pub fn new(bindings: Solution) -> Answer {
+        Answer { bindings }
+    }
+
+    /// The binding of a query variable.
+    pub fn get(&self, name: &str) -> Option<&Term> {
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// The binding rendered as Prolog text.
+    pub fn binding_text(&self, name: &str) -> Option<String> {
+        self.get(name).map(ToString::to_string)
+    }
+
+    /// All bindings in reporting order.
+    pub fn bindings(&self) -> &[(String, Term)] {
+        &self.bindings
+    }
+
+    /// Number of reported variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the query had no variables (a ground query).
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+impl std::fmt::Display for Answer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.bindings.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, (name, term)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name} = {term}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = Answer::new(vec![
+            ("X".to_owned(), Term::Int(1)),
+            ("Y".to_owned(), Term::Atom("a".to_owned())),
+        ]);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.get("X"), Some(&Term::Int(1)));
+        assert_eq!(a.get("Z"), None);
+        assert_eq!(a.binding_text("Y").as_deref(), Some("a"));
+        assert_eq!(a.to_string(), "X = 1, Y = a");
+    }
+
+    #[test]
+    fn ground_answer_displays_true() {
+        let a = Answer::new(Vec::new());
+        assert!(a.is_empty());
+        assert_eq!(a.to_string(), "true");
+    }
+}

@@ -1,0 +1,325 @@
+//! The KCM runtime system: the user-facing Prolog environment.
+//!
+//! KCM is "a high-performance back-end processor which, coupled to a UNIX
+//! desk-top workstation, provides a powerful and user-friendly Prolog
+//! environment" (§1). This crate is the workstation side of that pairing:
+//! it owns the source program, drives the compiler tool chain (reader →
+//! compiler → assembler → linker → loader, §4) and downloads queries into
+//! a fresh [`Machine`] — while the machine plays the back-end role and the
+//! host services its I/O escapes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kcm_system::Kcm;
+//!
+//! # fn main() -> Result<(), kcm_system::KcmError> {
+//! let mut kcm = Kcm::new();
+//! kcm.consult("
+//!     parent(tom, bob).
+//!     parent(bob, ann).
+//!     grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+//! ")?;
+//! let answers = kcm.solve_all("grandparent(G, ann)")?;
+//! assert_eq!(answers.len(), 1);
+//! assert_eq!(answers[0].binding_text("G").as_deref(), Some("tom"));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Measuring
+//!
+//! Every query returns an [`Outcome`] with the cycle-accurate [`RunStats`]
+//! the evaluation tables are built from:
+//!
+//! ```
+//! use kcm_system::Kcm;
+//!
+//! # fn main() -> Result<(), kcm_system::KcmError> {
+//! let mut kcm = Kcm::new();
+//! kcm.consult("nrev([],[]). nrev([H|T],R) :- nrev(T,RT), app(RT,[H],R).
+//!              app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).")?;
+//! let outcome = kcm.run("nrev([1,2,3,4,5], R)", false)?;
+//! assert!(outcome.success);
+//! let ms = outcome.stats.ms();
+//! let klips = outcome.stats.klips();
+//! assert!(ms > 0.0 && klips > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod answer;
+pub mod prelude;
+pub mod report;
+
+pub use answer::Answer;
+pub use kcm_cpu::{Machine, MachineConfig, MachineError, Outcome, RunStats, Solution};
+
+use kcm_arch::SymbolTable;
+use kcm_compiler::{CodeImage, CompileError};
+use kcm_prolog::{ParseError, Term};
+
+/// An error from the KCM system: reader, compiler or machine.
+#[derive(Debug)]
+pub enum KcmError {
+    /// Syntax error in consulted source or a query.
+    Parse(ParseError),
+    /// Compilation/linking error.
+    Compile(CompileError),
+    /// A machine fault during execution.
+    Machine(MachineError),
+    /// No program has been consulted yet.
+    NoProgram,
+}
+
+impl std::fmt::Display for KcmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KcmError::Parse(e) => write!(f, "{e}"),
+            KcmError::Compile(e) => write!(f, "{e}"),
+            KcmError::Machine(e) => write!(f, "{e}"),
+            KcmError::NoProgram => write!(f, "no program consulted"),
+        }
+    }
+}
+
+impl std::error::Error for KcmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KcmError::Parse(e) => Some(e),
+            KcmError::Compile(e) => Some(e),
+            KcmError::Machine(e) => Some(e),
+            KcmError::NoProgram => None,
+        }
+    }
+}
+
+impl From<ParseError> for KcmError {
+    fn from(e: ParseError) -> KcmError {
+        KcmError::Parse(e)
+    }
+}
+
+impl From<CompileError> for KcmError {
+    fn from(e: CompileError) -> KcmError {
+        KcmError::Compile(e)
+    }
+}
+
+impl From<MachineError> for KcmError {
+    fn from(e: MachineError) -> KcmError {
+        KcmError::Machine(e)
+    }
+}
+
+/// The KCM Prolog system: workstation-side tool chain plus the back-end
+/// machine.
+///
+/// `Kcm` accumulates consulted clauses, recompiles and statically links
+/// them (the paper's benchmark configuration, §4), and runs queries on a
+/// fresh machine each time, so successive measurements are independent —
+/// the benchmarking discipline of §4.2.
+#[derive(Debug)]
+pub struct Kcm {
+    symbols: SymbolTable,
+    clauses: Vec<Term>,
+    image: Option<CodeImage>,
+    config: MachineConfig,
+}
+
+impl Default for Kcm {
+    fn default() -> Kcm {
+        Kcm::new()
+    }
+}
+
+impl Kcm {
+    /// A system with the paper-calibrated machine configuration.
+    pub fn new() -> Kcm {
+        Kcm::with_config(MachineConfig::default())
+    }
+
+    /// A system with a custom machine configuration (ablations, cache
+    /// experiments).
+    pub fn with_config(config: MachineConfig) -> Kcm {
+        Kcm {
+            symbols: SymbolTable::new(),
+            clauses: Vec::new(),
+            image: None,
+            config,
+        }
+    }
+
+    /// The machine configuration in use.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Consults the library prelude: `member/2`, `append/3`, `between/3`,
+    /// `maplist/N`, `msort/2` and friends, written in Prolog and compiled
+    /// onto the machine like user code. Opt-in, because the PLM benchmark
+    /// programs are self-contained (the paper's statically linked
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors (a bug in the prelude itself).
+    pub fn consult_prelude(&mut self) -> Result<(), KcmError> {
+        self.consult(prelude::PRELUDE)
+    }
+
+    /// Consults Prolog source: parses, appends to the program and
+    /// recompiles (batch compilation into the data space followed by the
+    /// page hand-over of §3.2.1 on the real machine).
+    ///
+    /// # Errors
+    ///
+    /// Returns parse or compile errors; the previous program is kept
+    /// intact on error.
+    pub fn consult(&mut self, src: &str) -> Result<(), KcmError> {
+        let new_clauses = kcm_prolog::read_program(src)?;
+        let mut all = self.clauses.clone();
+        all.extend(new_clauses);
+        let mut symbols = self.symbols.clone();
+        let image = kcm_compiler::compile_program(&all, &mut symbols)?;
+        self.clauses = all;
+        self.symbols = symbols;
+        self.image = Some(image);
+        Ok(())
+    }
+
+    /// The linked code image, if a program has been consulted.
+    pub fn image(&self) -> Option<&CodeImage> {
+        self.image.as_ref()
+    }
+
+    /// The symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Link warnings from the last compilation (calls to undefined
+    /// predicates).
+    pub fn warnings(&self) -> Vec<String> {
+        self.image
+            .as_ref()
+            .map(|i| i.warnings().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Disassembles the current image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcmError::NoProgram`] before the first consult.
+    pub fn disassemble(&self) -> Result<String, KcmError> {
+        let image = self.image.as_ref().ok_or(KcmError::NoProgram)?;
+        Ok(image.disassemble(&self.symbols))
+    }
+
+    /// Runs a query on a fresh machine. With `enumerate_all` the machine
+    /// backtracks through every solution; otherwise it stops at the first.
+    ///
+    /// # Errors
+    ///
+    /// Parse/compile errors for the query, or a machine fault. A query
+    /// that simply fails is a successful `Ok` with `success == false`.
+    pub fn run(&mut self, query: &str, enumerate_all: bool) -> Result<Outcome, KcmError> {
+        let (mut machine, vars) = self.prepare(query)?;
+        let outcome = machine.run_query(&vars, enumerate_all)?;
+        Ok(outcome)
+    }
+
+    /// Builds the machine for a query without running it (benchmark
+    /// harnesses use this to exclude compile time from measurement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcmError::NoProgram`] before the first consult, or query
+    /// parse/compile errors.
+    pub fn prepare(&mut self, query: &str) -> Result<(Machine, Vec<String>), KcmError> {
+        let image = self.image.as_ref().ok_or(KcmError::NoProgram)?;
+        let goal = kcm_prolog::read_term(query)?;
+        let mut symbols = self.symbols.clone();
+        let (qimage, vars) = kcm_compiler::compile_query(image, &goal, &mut symbols)?;
+        let machine = Machine::new(qimage, symbols, self.config.clone());
+        Ok((machine, vars))
+    }
+
+    /// First solution of a query, if any.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Kcm::run`].
+    pub fn solve_first(&mut self, query: &str) -> Result<Option<Answer>, KcmError> {
+        let outcome = self.run(query, false)?;
+        Ok(outcome.solutions.into_iter().next().map(Answer::new))
+    }
+
+    /// All solutions of a query, in discovery order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Kcm::run`].
+    pub fn solve_all(&mut self, query: &str) -> Result<Vec<Answer>, KcmError> {
+        let outcome = self.run(query, true)?;
+        Ok(outcome.solutions.into_iter().map(Answer::new).collect())
+    }
+
+    /// Whether a query has at least one solution.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Kcm::run`].
+    pub fn holds(&mut self, query: &str) -> Result<bool, KcmError> {
+        Ok(self.run(query, false)?.success)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consult_then_query() {
+        let mut kcm = Kcm::new();
+        kcm.consult("p(1). p(2). p(3).").unwrap();
+        let all = kcm.solve_all("p(X)").unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].binding_text("X").as_deref(), Some("1"));
+        assert_eq!(all[2].binding_text("X").as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn query_before_consult_errors() {
+        let mut kcm = Kcm::new();
+        assert!(matches!(kcm.run("p(X)", false), Err(KcmError::NoProgram)));
+    }
+
+    #[test]
+    fn failed_query_is_not_an_error() {
+        let mut kcm = Kcm::new();
+        kcm.consult("p(1).").unwrap();
+        let outcome = kcm.run("p(2)", false).unwrap();
+        assert!(!outcome.success);
+        assert!(outcome.solutions.is_empty());
+    }
+
+    #[test]
+    fn consult_error_keeps_previous_program() {
+        let mut kcm = Kcm::new();
+        kcm.consult("p(1).").unwrap();
+        assert!(kcm.consult("q(").is_err());
+        assert!(kcm.holds("p(1)").unwrap());
+    }
+
+    #[test]
+    fn incremental_consult_extends_program() {
+        let mut kcm = Kcm::new();
+        kcm.consult("p(1).").unwrap();
+        kcm.consult("q(X) :- p(X).").unwrap();
+        assert!(kcm.holds("q(1)").unwrap());
+    }
+}

@@ -1,0 +1,188 @@
+//! The optional library prelude: the list/control predicates a SEPIA-like
+//! environment ships with, written in plain Prolog and compiled like any
+//! user code (so they run — and cost cycles — on the machine).
+//!
+//! The prelude is opt-in ([`crate::Kcm::consult_prelude`]): the PLM
+//! benchmark programs define their own `append/3` etc. and must stay
+//! self-contained, exactly like the paper's statically linked runs.
+
+/// The prelude source.
+pub const PRELUDE: &str = "
+% ---- list predicates -------------------------------------------------
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], A, A).
+reverse_([H|T], A, R) :- reverse_(T, [H|A], R).
+
+last([X], X) :- !.
+last([_|T], X) :- last(T, X).
+
+nth0(I, L, E) :- nth_(L, 0, I, E).
+nth1(I, L, E) :- nth_(L, 1, I, E).
+nth_([H|_], N, N, H).
+nth_([_|T], N0, N, E) :- N1 is N0 + 1, nth_(T, N1, N, E).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+delete([], _, []).
+delete([X|T], X, R) :- !, delete(T, X, R).
+delete([H|T], X, [H|R]) :- delete(T, X, R).
+
+permutation([], []).
+permutation(L, [H|T]) :- select(H, L, R), permutation(R, T).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+
+max_list([X], X) :- !.
+max_list([H|T], M) :- max_list(T, M1), M is max(H, M1).
+
+min_list([X], X) :- !.
+min_list([H|T], M) :- min_list(T, M1), M is min(H, M1).
+
+msort([], []) :- !.
+msort([X], [X]) :- !.
+msort(L, S) :-
+    msort_split(L, A, B),
+    msort(A, SA), msort(B, SB),
+    msort_merge(SA, SB, S).
+msort_split([], [], []).
+msort_split([X], [X], []).
+msort_split([X, Y|T], [X|A], [Y|B]) :- msort_split(T, A, B).
+msort_merge([], L, L) :- !.
+msort_merge(L, [], L) :- !.
+msort_merge([X|Xs], [Y|Ys], [X|R]) :- X @=< Y, !, msort_merge(Xs, [Y|Ys], R).
+msort_merge(Xs, [Y|Ys], [Y|R]) :- msort_merge(Xs, Ys, R).
+
+numlist(L, H, []) :- L > H, !.
+numlist(L, H, [L|T]) :- L1 is L + 1, numlist(L1, H, T).
+
+% ---- arithmetic helpers ----------------------------------------------
+between(L, H, L) :- L =< H.
+between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+
+succ(X, Y) :- nonvar(X), !, Y is X + 1.
+succ(X, Y) :- X is Y - 1.
+
+plus(A, B, C) :- nonvar(A), nonvar(B), !, C is A + B.
+plus(A, B, C) :- nonvar(A), nonvar(C), !, B is C - A.
+plus(A, B, C) :- A is C - B.
+
+% ---- control ----------------------------------------------------------
+once(G) :- call(G), !.
+
+ignore(G) :- call(G), !.
+ignore(_).
+
+forall(Cond, Action) :- \\+ (call(Cond), \\+ call(Action)).
+
+% ---- higher order (through call/N) -------------------------------------
+maplist(_, []).
+maplist(G, [X|T]) :- call(G, X), maplist(G, T).
+
+maplist(_, [], []).
+maplist(G, [X|Xs], [Y|Ys]) :- call(G, X, Y), maplist(G, Xs, Ys).
+
+maplist(_, [], [], []).
+maplist(G, [X|Xs], [Y|Ys], [Z|Zs]) :- call(G, X, Y, Z), maplist(G, Xs, Ys, Zs).
+
+foldl(_, [], A, A).
+foldl(G, [X|Xs], A0, A) :- call(G, X, A0, A1), foldl(G, Xs, A1, A).
+
+exclude(_, [], []).
+exclude(G, [X|Xs], R) :- call(G, X), !, exclude(G, Xs, R).
+exclude(G, [X|Xs], [X|R]) :- exclude(G, Xs, R).
+
+include(_, [], []).
+include(G, [X|Xs], [X|R]) :- call(G, X), !, include(G, Xs, R).
+include(G, [_|Xs], R) :- include(G, Xs, R).
+";
+
+#[cfg(test)]
+mod tests {
+    use crate::Kcm;
+
+    fn prelude_kcm() -> Kcm {
+        let mut k = Kcm::new();
+        k.consult_prelude().expect("prelude compiles");
+        k
+    }
+
+    fn all(k: &mut Kcm, q: &str) -> Vec<String> {
+        k.solve_all(q)
+            .expect("query")
+            .iter()
+            .map(ToString::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn list_predicates() {
+        let mut k = prelude_kcm();
+        assert_eq!(all(&mut k, "member(X, [a,b,c])").len(), 3);
+        assert_eq!(all(&mut k, "reverse([1,2,3], R)"), ["R = [3,2,1]"]);
+        assert_eq!(all(&mut k, "last([1,2,3], X)"), ["X = 3"]);
+        assert_eq!(all(&mut k, "nth0(1, [a,b,c], E)"), ["E = b"]);
+        assert_eq!(all(&mut k, "nth1(1, [a,b,c], E)"), ["E = a"]);
+        assert_eq!(all(&mut k, "delete([1,2,1,3], 1, R)"), ["R = [2,3]"]);
+        assert_eq!(all(&mut k, "permutation([1,2,3], P)").len(), 6);
+        assert_eq!(all(&mut k, "sum_list([1,2,3,4], S)"), ["S = 10"]);
+        assert_eq!(all(&mut k, "max_list([3,1,4,1,5], M)"), ["M = 5"]);
+        assert_eq!(all(&mut k, "min_list([3,1,4,1,5], M)"), ["M = 1"]);
+        assert_eq!(all(&mut k, "msort([3,1,2,5,4], S)"), ["S = [1,2,3,4,5]"]);
+        assert_eq!(all(&mut k, "numlist(1, 5, L)"), ["L = [1,2,3,4,5]"]);
+    }
+
+    #[test]
+    fn between_enumerates() {
+        let mut k = prelude_kcm();
+        assert_eq!(all(&mut k, "between(1, 4, X)").len(), 4);
+        assert!(k.holds("between(1, 4, 3)").expect("q"));
+        assert!(!k.holds("between(1, 4, 5)").expect("q"));
+    }
+
+    #[test]
+    fn succ_and_plus_are_bidirectional() {
+        let mut k = prelude_kcm();
+        assert_eq!(all(&mut k, "succ(3, Y)"), ["Y = 4"]);
+        assert_eq!(all(&mut k, "succ(X, 4)"), ["X = 3"]);
+        assert_eq!(all(&mut k, "plus(2, 3, C)"), ["C = 5"]);
+        assert_eq!(all(&mut k, "plus(2, B, 5)"), ["B = 3"]);
+        assert_eq!(all(&mut k, "plus(A, 3, 5)"), ["A = 2"]);
+    }
+
+    #[test]
+    fn control_predicates() {
+        let mut k = prelude_kcm();
+        k.consult("p(1). p(2).").expect("consult");
+        assert_eq!(all(&mut k, "once(p(X))"), ["X = 1"]);
+        assert!(k.holds("ignore(p(9))").expect("q"));
+        assert!(k.holds("forall(p(X), X < 10)").expect("q"));
+        assert!(!k.holds("forall(p(X), X < 2)").expect("q"));
+    }
+
+    #[test]
+    fn higher_order_through_call_n() {
+        let mut k = prelude_kcm();
+        k.consult(
+            "double(X, Y) :- Y is 2 * X.
+             add(X, A, B) :- B is A + X.
+             small(X) :- X < 3.",
+        )
+        .expect("consult");
+        assert!(k.holds("maplist(small, [1, 2])").expect("q"));
+        assert!(!k.holds("maplist(small, [1, 5])").expect("q"));
+        assert_eq!(all(&mut k, "maplist(double, [1,2,3], Ys)"), ["Ys = [2,4,6]"]);
+        assert_eq!(all(&mut k, "foldl(add, [1,2,3], 0, S)"), ["S = 6"]);
+        assert_eq!(all(&mut k, "include(small, [1,5,2,9], R)"), ["R = [1,2]"]);
+        assert_eq!(all(&mut k, "exclude(small, [1,5,2,9], R)"), ["R = [5,9]"]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Human-readable run reports (the Prolog-level monitor of §4's tool set).
+
+use kcm_cpu::RunStats;
+
+/// Formats a run's statistics as a small report.
+///
+/// # Examples
+///
+/// ```
+/// use kcm_system::{Kcm, report};
+/// # fn main() -> Result<(), kcm_system::KcmError> {
+/// let mut kcm = Kcm::new();
+/// kcm.consult("p(1).")?;
+/// let outcome = kcm.run("p(X)", false)?;
+/// let text = report::summary(&outcome.stats);
+/// assert!(text.contains("cycles"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn summary(stats: &RunStats) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "cycles        : {:>12}  ({:.3} ms @ 80 ns)", stats.cycles, stats.ms());
+    let _ = writeln!(out, "instructions  : {:>12}", stats.instructions);
+    let _ = writeln!(out, "inferences    : {:>12}  ({:.0} Klips)", stats.inferences, stats.klips());
+    let _ = writeln!(
+        out,
+        "choice points : {:>12}  (try entries {}, shallow fails {}, deep fails {})",
+        stats.choice_points, stats.shallow_entries, stats.shallow_fails, stats.deep_fails
+    );
+    let _ = writeln!(out, "trail pushes  : {:>12}", stats.trail_pushes);
+    let _ = writeln!(out, "deref links   : {:>12}", stats.deref_links);
+    let _ = writeln!(
+        out,
+        "data cache    : {:>12.4} hit ratio ({} hits / {} misses, {} write-backs)",
+        stats.mem.dcache_hit_ratio(),
+        stats.mem.dcache_hits,
+        stats.mem.dcache_misses,
+        stats.mem.dcache_writebacks
+    );
+    let _ = writeln!(
+        out,
+        "code cache    : {:>12.4} hit ratio ({} hits / {} misses)",
+        stats.mem.icache_hit_ratio(),
+        stats.mem.icache_hits,
+        stats.mem.icache_misses
+    );
+    let _ = writeln!(
+        out,
+        "page faults   : {:>12}  (code {})",
+        stats.mem.data_page_faults, stats.mem.code_page_faults
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_contains_all_sections() {
+        let text = summary(&RunStats::default());
+        for key in ["cycles", "inferences", "choice points", "data cache", "page faults"] {
+            assert!(text.contains(key), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Symbolic differentiation — the workload behind the paper's `times10`,
+//! `divide10`, `log10` and `ops8` benchmarks. Shows structure-heavy
+//! unification, `switch_on_structure` indexing, and reading a structured
+//! answer back from machine memory.
+//!
+//! ```text
+//! cargo run --example deriv
+//! ```
+
+use kcm_repro::kcm_system::Kcm;
+
+const DERIV: &str = "
+    d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV).
+    d(U - V, X, DU - DV) :- !, d(U, X, DU), d(V, X, DV).
+    d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU), d(V, X, DV).
+    d(U / V, X, (DU * V - U * DV) / (V ^ 2)) :- !, d(U, X, DU), d(V, X, DV).
+    d(U ^ N, X, DU * N * U ^ N1) :- !, integer(N), N1 is N - 1, d(U, X, DU).
+    d(-U, X, -DU) :- !, d(U, X, DU).
+    d(exp(U), X, exp(U) * DU) :- !, d(U, X, DU).
+    d(log(U), X, DU / U) :- !, d(U, X, DU).
+    d(X, X, 1) :- !.
+    d(_, _, 0).
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kcm = Kcm::new();
+    kcm.consult(DERIV)?;
+
+    for expr in [
+        "x ^ 3 + 2 * x",
+        "exp(x) * log(x)",
+        "(x + 1) / (x - 1)",
+        "x * x * x",
+    ] {
+        let query = format!("d({expr}, x, D)");
+        let outcome = kcm.run(&query, false)?;
+        let answer = outcome.solutions.first().expect("derivative exists");
+        let (_, d) = &answer[0];
+        println!("d/dx {expr:<22} = {d}");
+        println!(
+            "    [{} inferences, {} cycles, switch_on_structure-indexed]",
+            outcome.stats.inferences, outcome.stats.cycles
+        );
+    }
+    Ok(())
+}

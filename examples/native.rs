@@ -1,0 +1,46 @@
+//! KCM as a tagged general-purpose machine (§2): hand-written native code
+//! through the macro assembler — no Prolog involved.
+//!
+//! ```text
+//! cargo run --example native
+//! ```
+
+use kcm_repro::kcm_arch::SymbolTable;
+use kcm_repro::kcm_compiler::{parse_kasm, Linker};
+use kcm_repro::kcm_cpu::{Machine, MachineConfig};
+
+const PROGRAM: &str = "
+% sum of the integers 1..N, in native tagged-RISC code
+main:
+    load_const  r1, 0          % accumulator
+    load_const  r2, 10         % N
+    load_const  r3, 1          % step
+    load_const  r4, 0          % loop bound
+loop:
+    alu add     r1, r1, r2     % acc += n
+    alu sub     r2, r2, r3     % n -= 1
+    cmp         r2, r4
+    branch gt   loop
+    put_value   r1, r0         % A1 := acc
+    escape      write
+    escape      nl
+    halt        true
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut symbols = SymbolTable::new();
+    let items = parse_kasm(PROGRAM, &mut symbols)?;
+    let image = Linker::link_items(&items, &mut symbols)?;
+    let entry = image.entry("main", 0).expect("main entry");
+    let mut machine = Machine::new(image, symbols, MachineConfig::default());
+    let outcome = machine.run(entry)?;
+    println!("program output : {}", outcome.output.trim());
+    println!("machine cycles : {}", outcome.stats.cycles);
+    println!("instructions   : {}", outcome.stats.instructions);
+    println!(
+        "The tag bits ride along: the accumulator stayed a tagged Int word\n\
+         through every ALU operation — the 'tagged general purpose machine'\n\
+         claim of the paper, in action."
+    );
+    Ok(())
+}

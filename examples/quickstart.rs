@@ -1,0 +1,49 @@
+//! Quickstart: consult a program, ask queries, read the machine counters.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use kcm_repro::kcm_system::{report, Kcm};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The KCM system: workstation-side tool chain + back-end machine.
+    let mut kcm = Kcm::new();
+
+    // Consult a small family database.
+    kcm.consult(
+        "
+        parent(tom, bob).      parent(tom, liz).
+        parent(bob, ann).      parent(bob, pat).
+        parent(pat, jim).
+
+        grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+        ancestor(X, Y) :- parent(X, Y).
+        ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+        ",
+    )?;
+
+    // First solution.
+    if let Some(answer) = kcm.solve_first("grandparent(tom, Who)")? {
+        println!("grandparent(tom, Who)  ->  {answer}");
+    }
+
+    // All solutions, by backtracking.
+    println!("\nancestor(tom, X) enumerates:");
+    for answer in kcm.solve_all("ancestor(tom, X)")? {
+        println!("  {answer}");
+    }
+
+    // Ground queries just succeed or fail.
+    println!("\nancestor(liz, jim)? {}", kcm.holds("ancestor(liz, jim)")?);
+
+    // Every run returns the cycle-accurate counters of the 80 ns machine.
+    let outcome = kcm.run("ancestor(X, jim)", true)?;
+    println!(
+        "\nancestor(X, jim): {} solutions in {:.3} ms of simulated KCM time",
+        outcome.solutions.len(),
+        outcome.stats.ms()
+    );
+    println!("\n{}", report::summary(&outcome.stats));
+    Ok(())
+}

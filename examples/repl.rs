@@ -1,0 +1,91 @@
+//! An interactive top level — the "user-friendly Prolog environment" the
+//! KCM/host pairing provides (§1), in miniature.
+//!
+//! ```text
+//! cargo run --example repl
+//! ?- consult user clauses with [clause. clause. …], query with goals.
+//! ```
+//!
+//! Commands:
+//!
+//! * `[ <clauses> ]` — consult clauses, e.g. `[p(1). p(2).]`
+//! * `<goal>.` — solve; `;`-style enumeration prints every solution
+//! * `:stats` — toggle per-query machine statistics
+//! * `:listing` — disassemble the loaded image
+//! * `:halt` — leave
+
+use kcm_repro::kcm_system::{report, Kcm};
+use std::io::{BufRead, Write as _};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kcm = Kcm::new();
+    kcm.consult_prelude()?;
+    let mut show_stats = false;
+    println!("KCM reproduction top level (prelude loaded). :halt to quit.");
+    let stdin = std::io::stdin();
+    loop {
+        print!("?- ");
+        std::io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            ":halt" | "halt." => break,
+            ":stats" => {
+                show_stats = !show_stats;
+                println!("statistics {}", if show_stats { "on" } else { "off" });
+                continue;
+            }
+            ":listing" => {
+                match kcm.disassemble() {
+                    Ok(text) => println!("{text}"),
+                    Err(e) => println!("error: {e}"),
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            let src = &line[1..line.len() - 1];
+            match kcm.consult(src) {
+                Ok(()) => {
+                    for w in kcm.warnings() {
+                        println!("warning: {w}");
+                    }
+                    println!("consulted.");
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        let goal = line.strip_suffix('.').unwrap_or(line);
+        match kcm.run(goal, true) {
+            Ok(outcome) => {
+                if !outcome.output.is_empty() {
+                    print!("{}", outcome.output);
+                }
+                if outcome.solutions.is_empty() {
+                    println!("{}", if outcome.success { "true." } else { "false." });
+                } else {
+                    for s in &outcome.solutions {
+                        let line = s
+                            .iter()
+                            .map(|(n, t)| format!("{n} = {t}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        println!("{};", if line.is_empty() { "true".to_owned() } else { line });
+                    }
+                    println!("false.");
+                }
+                if show_stats {
+                    println!("{}", report::summary(&outcome.stats));
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! The zebra puzzle (Einstein's riddle, 5-house version) — a classic
+//! constraint-by-backtracking workload. Exercises deep backtracking,
+//! first-argument indexing, and the trail.
+//!
+//! ```text
+//! cargo run --example zebra
+//! ```
+
+use kcm_repro::kcm_system::{report, Kcm};
+
+const PUZZLE: &str = "
+    member(X, [X|_]).
+    member(X, [_|T]) :- member(X, T).
+
+    next_to(X, Y, L) :- right_of(X, Y, L).
+    next_to(X, Y, L) :- right_of(Y, X, L).
+
+    right_of(R, L, [L, R|_]).
+    right_of(R, L, [_|T]) :- right_of(R, L, T).
+
+    first(X, [X|_]).
+    middle(X, [_, _, X, _, _]).
+
+    % house(Nationality, Color, Pet, Drink, Smoke)
+    zebra(Owner, Houses) :-
+        Houses = [_, _, _, _, _],
+        member(house(english, red, _, _, _), Houses),
+        member(house(spanish, _, dog, _, _), Houses),
+        member(house(_, green, _, coffee, _), Houses),
+        member(house(ukrainian, _, _, tea, _), Houses),
+        right_of(house(_, green, _, _, _), house(_, ivory, _, _, _), Houses),
+        member(house(_, _, snails, _, old_gold), Houses),
+        member(house(_, yellow, _, _, kools), Houses),
+        middle(house(_, _, _, milk, _), Houses),
+        first(house(norwegian, _, _, _, _), Houses),
+        next_to(house(_, _, _, _, chesterfield), house(_, _, fox, _, _), Houses),
+        next_to(house(_, _, _, _, kools), house(_, _, horse, _, _), Houses),
+        member(house(_, _, _, orange_juice, lucky_strike), Houses),
+        member(house(japanese, _, _, _, parliament), Houses),
+        next_to(house(norwegian, _, _, _, _), house(_, blue, _, _, _), Houses),
+        member(house(Owner, _, zebra, _, _), Houses),
+        member(house(_, _, _, water, _), Houses).
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kcm = Kcm::new();
+    kcm.consult(PUZZLE)?;
+
+    let outcome = kcm.run("zebra(Owner, Houses)", false)?;
+    let answer = outcome.solutions.first().expect("the puzzle has a solution");
+    for (name, term) in answer {
+        println!("{name} = {term}");
+    }
+    println!();
+    println!(
+        "solved in {:.3} ms of simulated KCM time ({} inferences, {} deep fails)",
+        outcome.stats.ms(),
+        outcome.stats.inferences,
+        outcome.stats.deep_fails
+    );
+    println!("\n{}", report::summary(&outcome.stats));
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Facade crate of the KCM reproduction (Benker et al., ISCA 1989).
+//!
+//! Re-exports every subsystem crate under one roof so the examples and the
+//! cross-crate integration tests have a single dependency. For real use,
+//! depend on the individual crates — [`kcm_system`] is the main entry point.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kcm_repro::kcm_system::Kcm;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut kcm = Kcm::new();
+//! kcm.consult("likes(mary, wine). likes(john, X) :- likes(mary, X).")?;
+//! let solutions = kcm.solve_all("likes(john, What)")?;
+//! assert_eq!(solutions.len(), 1);
+//! assert_eq!(solutions[0].binding_text("What").as_deref(), Some("wine"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use kcm_arch;
+pub use kcm_compiler;
+pub use kcm_cpu;
+pub use kcm_mem;
+pub use kcm_prolog;
+pub use kcm_suite;
+pub use kcm_system;
+pub use plm;
+pub use spur;
+pub use swam;
+pub use wam_baseline;

@@ -1,0 +1,120 @@
+//! Differential fuzzing with generated programs: random fact/rule bases
+//! and random queries must produce the same solution sequence on the KCM
+//! machine (shallow backtracking, static literals, native arithmetic) and
+//! on the standard-WAM baseline (eager choice points, escape arithmetic,
+//! in-code literals). Any divergence is a machine or compiler bug.
+
+use kcm_repro::kcm_system::{Kcm, MachineConfig, Outcome};
+use kcm_repro::wam_baseline::{run_baseline, BaselineModel};
+use proptest::prelude::*;
+
+/// A tiny random program: facts over a small universe plus chain rules.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    facts_p: Vec<(i32, &'static str)>,
+    facts_q: Vec<(&'static str, i32)>,
+    rule_kind: u8,
+    query_arg: Option<i32>,
+}
+
+const ATOMS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn arb_program() -> impl Strategy<Value = RandomProgram> {
+    (
+        proptest::collection::vec((0i32..5, proptest::sample::select(ATOMS.to_vec())), 1..7),
+        proptest::collection::vec((proptest::sample::select(ATOMS.to_vec()), 0i32..5), 1..7),
+        0u8..4,
+        proptest::option::of(0i32..5),
+    )
+        .prop_map(|(facts_p, facts_q, rule_kind, query_arg)| RandomProgram {
+            facts_p,
+            facts_q,
+            rule_kind,
+            query_arg,
+        })
+}
+
+impl RandomProgram {
+    fn source(&self) -> String {
+        let mut src = String::new();
+        for (n, a) in &self.facts_p {
+            src.push_str(&format!("p({n}, {a}).\n"));
+        }
+        for (a, n) in &self.facts_q {
+            src.push_str(&format!("q({a}, {n}).\n"));
+        }
+        // A rule joining the two relations, varied per case.
+        src.push_str(match self.rule_kind {
+            0 => "r(X, Z) :- p(X, Y), q(Y, Z).\n",
+            1 => "r(X, Z) :- p(X, Y), q(Y, Z), X =< Z.\n",
+            2 => "r(X, Z) :- p(X, Y), !, q(Y, Z).\n",
+            _ => "r(X, Z) :- p(X, Y), q(Y, W), Z is W + X.\n",
+        });
+        src
+    }
+
+    fn query(&self) -> String {
+        match self.query_arg {
+            Some(n) => format!("r({n}, Z)"),
+            None => "r(X, Z)".to_owned(),
+        }
+    }
+}
+
+fn solutions(o: &Outcome) -> Vec<String> {
+    o.solutions
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|(n, t)| format!("{n}={t}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_programs_agree_across_machines(prog in arb_program()) {
+        let src = prog.source();
+        let q = prog.query();
+
+        let mut kcm = Kcm::new();
+        kcm.consult(&src).expect("kcm consult");
+        let kcm_out = kcm.run(&q, true).expect("kcm run");
+
+        let base = BaselineModel::standard_wam("fuzz", 100.0);
+        let base_out = run_baseline(&base, &src, &q, true).expect("baseline run");
+
+        prop_assert_eq!(kcm_out.success, base_out.success, "src:\n{}\nquery: {}", src, q);
+        prop_assert_eq!(
+            solutions(&kcm_out),
+            solutions(&base_out),
+            "src:\n{}\nquery: {}",
+            src,
+            q
+        );
+        // Identical abstract execution → identical inference counts.
+        prop_assert_eq!(kcm_out.stats.inferences, base_out.stats.inferences);
+    }
+
+    #[test]
+    fn generated_programs_are_ablation_stable(prog in arb_program()) {
+        let src = prog.source();
+        let q = prog.query();
+        let mut shallow = Kcm::new();
+        shallow.consult(&src).expect("consult");
+        let a = shallow.run(&q, true).expect("run");
+        let mut eager = Kcm::with_config(MachineConfig {
+            shallow_backtracking: false,
+            ..MachineConfig::default()
+        });
+        eager.consult(&src).expect("consult");
+        let b = eager.run(&q, true).expect("run");
+        prop_assert_eq!(solutions(&a), solutions(&b));
+        // Shallow backtracking never creates *more* choice points.
+        prop_assert!(a.stats.choice_points <= b.stats.choice_points);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) on the end-to-end system: the Prolog
+//! machine against Rust oracles, reader round-trips, and unification laws.
+
+use kcm_repro::kcm_prolog::{read_term, Term};
+use kcm_repro::kcm_system::Kcm;
+use proptest::prelude::*;
+
+fn list_literal(xs: &[i32]) -> String {
+    format!(
+        "[{}]",
+        xs.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+    )
+}
+
+fn sort_oracle_src() -> &'static str {
+    "
+    qsort([], []).
+    qsort([X|L], R) :- part(L, X, A, B), qsort(A, SA), qsort(B, SB),
+                       app(SA, [X|SB], R).
+    part([], _, [], []).
+    part([X|L], Y, [X|A], B) :- X =< Y, !, part(L, Y, A, B).
+    part([X|L], Y, A, [X|B]) :- part(L, Y, A, B).
+    app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).
+    rev([], []). rev([H|T], R) :- rev(T, RT), app(RT, [H], R).
+    len([], 0). len([_|T], N) :- len(T, M), N is M + 1.
+    "
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn qsort_matches_rust_sort(xs in proptest::collection::vec(-100i32..100, 0..24)) {
+        let mut kcm = Kcm::new();
+        kcm.consult(sort_oracle_src()).expect("consult");
+        let q = format!("qsort({}, S)", list_literal(&xs));
+        let answer = kcm.solve_first(&q).expect("query").expect("qsort is total");
+        let mut expected = xs.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(
+            answer.binding_text("S").expect("S bound"),
+            list_literal(&expected)
+        );
+    }
+
+    #[test]
+    fn reverse_is_an_involution(xs in proptest::collection::vec(-50i32..50, 0..20)) {
+        let mut kcm = Kcm::new();
+        kcm.consult(sort_oracle_src()).expect("consult");
+        let q = format!("rev({}, R), rev(R, RR)", list_literal(&xs));
+        let answer = kcm.solve_first(&q).expect("query").expect("rev is total");
+        prop_assert_eq!(
+            answer.binding_text("RR").expect("RR bound"),
+            list_literal(&xs)
+        );
+    }
+
+    #[test]
+    fn append_length_adds(
+        xs in proptest::collection::vec(0i32..10, 0..12),
+        ys in proptest::collection::vec(0i32..10, 0..12),
+    ) {
+        let mut kcm = Kcm::new();
+        kcm.consult(sort_oracle_src()).expect("consult");
+        let q = format!("app({}, {}, Z), len(Z, N)", list_literal(&xs), list_literal(&ys));
+        let answer = kcm.solve_first(&q).expect("query").expect("append is total");
+        prop_assert_eq!(
+            answer.binding_text("N").expect("N bound"),
+            (xs.len() + ys.len()).to_string()
+        );
+    }
+
+    #[test]
+    fn integer_arithmetic_matches_rust(a in -1000i32..1000, b in -1000i32..1000) {
+        let mut kcm = Kcm::new();
+        kcm.consult("t.").expect("consult");
+        let sum = kcm.solve_first(&format!("X is {a} + {b}")).expect("q").expect("sum");
+        prop_assert_eq!(sum.binding_text("X").expect("X"), (a.wrapping_add(b)).to_string());
+        let prod = kcm.solve_first(&format!("X is {a} * {b}")).expect("q").expect("prod");
+        prop_assert_eq!(prod.binding_text("X").expect("X"), (a.wrapping_mul(b)).to_string());
+        if b != 0 {
+            let quot = kcm.solve_first(&format!("X is {a} // {b}")).expect("q").expect("quot");
+            prop_assert_eq!(quot.binding_text("X").expect("X"), (a.wrapping_div(b)).to_string());
+        }
+        prop_assert_eq!(kcm.holds(&format!("{a} < {b}")).expect("q"), a < b);
+        prop_assert_eq!(kcm.holds(&format!("{a} >= {b}")).expect("q"), a >= b);
+    }
+
+    #[test]
+    fn unification_is_symmetric_on_ground_terms(
+        a in arb_ground_term(3),
+        b in arb_ground_term(3),
+    ) {
+        let mut kcm = Kcm::new();
+        kcm.consult("eq(X, X).").expect("consult");
+        let ab = kcm.holds(&format!("eq({a}, {b})")).expect("q");
+        let ba = kcm.holds(&format!("eq({b}, {a})")).expect("q");
+        prop_assert_eq!(ab, ba);
+        // Ground unification is exactly structural equality.
+        prop_assert_eq!(ab, a == b);
+        // And reflexive.
+        let reflexive = kcm.holds(&format!("eq({a}, {a})")).expect("q");
+        prop_assert!(reflexive);
+    }
+
+    #[test]
+    fn parser_display_roundtrip(t in arb_ground_term(4)) {
+        let text = t.to_string();
+        let reparsed = read_term(&text).expect("reparse");
+        prop_assert_eq!(reparsed, t);
+    }
+
+    #[test]
+    fn machine_decode_roundtrip(t in arb_ground_term(3)) {
+        // Push a ground term through the machine (unify with a fresh
+        // variable) and read it back: must print identically.
+        let mut kcm = Kcm::new();
+        kcm.consult("eq(X, X).").expect("consult");
+        let answer = kcm
+            .solve_first(&format!("eq(Out, {t})"))
+            .expect("query")
+            .expect("unifies");
+        prop_assert_eq!(answer.binding_text("Out").expect("Out"), t.to_string());
+    }
+
+    #[test]
+    fn term_ordering_is_total_and_antisymmetric(
+        a in arb_ground_term(3),
+        b in arb_ground_term(3),
+    ) {
+        let mut kcm = Kcm::new();
+        kcm.consult("t.").expect("consult");
+        let lt = kcm.holds(&format!("{a} @< {b}")).expect("q");
+        let gt = kcm.holds(&format!("{a} @> {b}")).expect("q");
+        let eq = kcm.holds(&format!("{a} == {b}")).expect("q");
+        // Exactly one of <, >, == holds.
+        prop_assert_eq!(u8::from(lt) + u8::from(gt) + u8::from(eq), 1);
+        // == agrees with structural equality on ground terms.
+        prop_assert_eq!(eq, a == b);
+    }
+}
+
+/// A generator of ground Prolog terms of bounded depth.
+fn arb_ground_term(depth: u32) -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-99i32..99).prop_map(Term::Int),
+        prop_oneof![
+            Just("a".to_owned()),
+            Just("b".to_owned()),
+            Just("foo".to_owned()),
+            Just("'a b'".to_owned()),
+        ]
+        .prop_map(|s| Term::Atom(s.trim_matches('\'').to_owned())),
+        Just(Term::nil()),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![Just("f".to_owned()), Just("g".to_owned()), Just("pair".to_owned())],
+                proptest::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(n, args)| Term::Struct(n, args)),
+            proptest::collection::vec(inner, 0..3).prop_map(|items| Term::list(items, None)),
+        ]
+    })
+}
