@@ -16,7 +16,7 @@ use kcm_arch::CostModel;
 use kcm_compiler::CompileOptions;
 use kcm_suite::programs;
 use kcm_suite::runner::{run_kcm, Variant};
-use kcm_suite::table::{f2, mean, Table};
+use kcm_suite::table::{f2, mean, ratio, Table};
 use kcm_system::MachineConfig;
 use wam_baseline::BaselineModel;
 
@@ -71,16 +71,22 @@ fn main() {
     ]);
     let mut cols: [Vec<f64>; 5] =
         [Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-    for p in programs::suite() {
-        let full = run_kcm(&p, Variant::Starred, &base()).expect("run").outcome.stats.cycles;
+    // Six machine-model runs per program, one pooled session per program;
+    // fan-in keeps suite order so the table never reorders.
+    let suite = programs::suite();
+    let measured = bench::pool().map(&suite, |p| {
+        let full = run_kcm(p, Variant::Starred, &base()).expect("run").outcome.stats.cycles;
         let variants = [
-            run_kcm(&p, Variant::Starred, &no_shallow()).expect("run").outcome.stats.cycles,
-            run_kcm(&p, Variant::Starred, &no_trail_hw()).expect("run").outcome.stats.cycles,
-            run_kcm(&p, Variant::Starred, &no_mwac()).expect("run").outcome.stats.cycles,
-            run_kcm(&p, Variant::Starred, &byte_coded()).expect("run").outcome.stats.cycles,
-            in_code_literals(&p),
+            run_kcm(p, Variant::Starred, &no_shallow()).expect("run").outcome.stats.cycles,
+            run_kcm(p, Variant::Starred, &no_trail_hw()).expect("run").outcome.stats.cycles,
+            run_kcm(p, Variant::Starred, &no_mwac()).expect("run").outcome.stats.cycles,
+            run_kcm(p, Variant::Starred, &byte_coded()).expect("run").outcome.stats.cycles,
+            in_code_literals(p),
         ];
-        let f: Vec<f64> = variants.iter().map(|&v| v as f64 / full as f64).collect();
+        (full, variants)
+    });
+    for (p, (full, variants)) in suite.iter().zip(&measured) {
+        let f: Vec<f64> = variants.iter().map(|&v| ratio(v as f64, *full as f64)).collect();
         for (i, v) in f.iter().enumerate() {
             cols[i].push(*v);
         }

@@ -36,19 +36,25 @@ fn main() {
         "Program", "sectioned (KCM)", "plain, spread bases", "plain, aligned bases",
         "cycles sect.", "cycles aligned",
     ]);
-    for name in ["nrev1", "qs4", "palin25", "queens", "mutest"] {
+    // Three cache configurations per program, one pooled session per
+    // program; rows come back in program order.
+    let names = ["nrev1", "qs4", "palin25", "queens", "mutest"];
+    let rows = bench::pool().map(&names, |name| {
         let p = programs::program(name).expect("suite program");
         let sect = run_kcm(&p, Variant::Starred, &config(true, true)).expect("run");
         let spread = run_kcm(&p, Variant::Starred, &config(false, true)).expect("run");
         let aligned = run_kcm(&p, Variant::Starred, &config(false, false)).expect("run");
-        t.row(vec![
-            name.to_owned(),
+        vec![
+            (*name).to_owned(),
             format!("{:.4}", sect.outcome.stats.mem.dcache_hit_ratio()),
             format!("{:.4}", spread.outcome.stats.mem.dcache_hit_ratio()),
             format!("{:.4}", aligned.outcome.stats.mem.dcache_hit_ratio()),
             sect.outcome.stats.cycles.to_string(),
             aligned.outcome.stats.cycles.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!("Expected shape: the aligned plain cache collides (hit ratio drops,");

@@ -1,47 +1,59 @@
-//! Criterion micro-benchmarks of the simulator itself (host-side speed,
-//! not KCM cycles): reader, compiler, and machine-stepping throughput.
+//! Micro-benchmarks of the simulator itself (host-side speed, not KCM
+//! cycles): reader, compiler, and machine-stepping throughput. A plain
+//! `std::time` harness — the build environment has no network, so
+//! criterion is unavailable.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use kcm_suite::programs;
 use kcm_suite::runner::{run_kcm, Variant};
 use kcm_system::Kcm;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_parse(c: &mut Criterion) {
-    let src = programs::program("query").expect("query").source;
-    c.bench_function("parse_query_program", |b| {
-        b.iter(|| kcm_prolog::read_program(black_box(src)).expect("parse"))
-    });
+/// Runs `f` repeatedly for roughly a fixed budget and reports ns/iter.
+fn bench_function(name: &str, mut f: impl FnMut()) {
+    // Warm up and estimate cost.
+    let t0 = Instant::now();
+    f();
+    let est = t0.elapsed().max(std::time::Duration::from_nanos(100));
+    let iters =
+        (std::time::Duration::from_millis(300).as_nanos() / est.as_nanos()).clamp(5, 10_000) as u32;
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t1.elapsed().as_nanos() / iters as u128;
+    println!("{name:<24} {per:>12} ns/iter   ({iters} iters)");
 }
 
-fn bench_compile(c: &mut Criterion) {
-    let src = programs::program("qs4").expect("qs4").source;
-    let clauses = kcm_prolog::read_program(src).expect("parse");
-    c.bench_function("compile_qs4", |b| {
-        b.iter(|| {
-            let mut symbols = kcm_arch::SymbolTable::new();
-            kcm_compiler::compile_program(black_box(&clauses), &mut symbols).expect("compile")
-        })
+fn main() {
+    bench::banner(
+        "Micro-benchmarks of the simulator (host-side throughput)",
+        "ns per iteration, adaptive iteration counts",
+    );
+
+    let query_src = programs::program("query").expect("query").source;
+    bench_function("parse_query_program", || {
+        black_box(kcm_prolog::read_program(black_box(query_src)).expect("parse"));
+    });
+
+    let qs4_src = programs::program("qs4").expect("qs4").source;
+    let clauses = kcm_prolog::read_program(qs4_src).expect("parse");
+    bench_function("compile_qs4", || {
+        let mut symbols = kcm_arch::SymbolTable::new();
+        black_box(
+            kcm_compiler::compile_program(black_box(&clauses), &mut symbols).expect("compile"),
+        );
+    });
+
+    let nrev1 = programs::program("nrev1").expect("nrev1");
+    bench_function("simulate_nrev1", || {
+        black_box(run_kcm(black_box(&nrev1), Variant::Starred, &Default::default()).expect("run"));
+    });
+
+    bench_function("consult_and_query", || {
+        let mut kcm = Kcm::new();
+        kcm.consult(black_box("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R)."))
+            .expect("consult");
+        black_box(kcm.run("app([1,2,3],[4],X)", false).expect("query"));
     });
 }
-
-fn bench_simulate(c: &mut Criterion) {
-    let p = programs::program("nrev1").expect("nrev1");
-    c.bench_function("simulate_nrev1", |b| {
-        b.iter(|| run_kcm(black_box(&p), Variant::Starred, &Default::default()).expect("run"))
-    });
-}
-
-fn bench_end_to_end(c: &mut Criterion) {
-    c.bench_function("consult_and_query", |b| {
-        b.iter(|| {
-            let mut kcm = Kcm::new();
-            kcm.consult(black_box("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R)."))
-                .expect("consult");
-            kcm.run("app([1,2,3],[4],X)", false).expect("query")
-        })
-    });
-}
-
-criterion_group!(benches, bench_parse, bench_compile, bench_simulate, bench_end_to_end);
-criterion_main!(benches);

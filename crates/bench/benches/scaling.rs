@@ -22,35 +22,32 @@ fn main() {
         "nrev / qsort / queens at growing sizes on the default KCM configuration",
     );
     let mut t = Table::new(vec!["Workload", "cycles", "Klips", "dcache hit"]);
+    // Build the workload list up front, then run every size as a pooled
+    // session; fan-in keeps the listed order.
+    let mut work: Vec<(String, String, String)> = Vec::new();
     for n in [10usize, 30, 100, 300, 600] {
         let (src, q) = workloads::nrev(n);
-        let (cycles, klips, hit) = measure(&src, &q);
-        t.row(vec![
-            format!("nrev({n})"),
-            cycles.to_string(),
-            format!("{klips:.0}"),
-            format!("{hit:.4}"),
-        ]);
+        work.push((format!("nrev({n})"), src, q));
     }
     for n in [20usize, 50, 200, 500] {
         let (src, q) = workloads::qsort(n, 42);
-        let (cycles, klips, hit) = measure(&src, &q);
-        t.row(vec![
-            format!("qsort({n})"),
-            cycles.to_string(),
-            format!("{klips:.0}"),
-            format!("{hit:.4}"),
-        ]);
+        work.push((format!("qsort({n})"), src, q));
     }
     for n in [5usize, 6, 7, 8] {
         let (src, q) = workloads::queens(n);
-        let (cycles, klips, hit) = measure(&src, &q);
-        t.row(vec![
-            format!("queens({n})"),
+        work.push((format!("queens({n})"), src, q));
+    }
+    let rows = bench::pool().map(&work, |(label, src, q)| {
+        let (cycles, klips, hit) = measure(src, q);
+        vec![
+            label.clone(),
             cycles.to_string(),
             format!("{klips:.0}"),
             format!("{hit:.4}"),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!("Expected shape: nrev Klips peak near the paper's 770 at suite sizes,");

@@ -8,15 +8,37 @@
 //! in the `spur` crate. The paper's published values are shown in
 //! parentheses for comparison. Sizes exclude the runtime library and
 //! compiler auxiliaries, like the paper's.
+//!
+//! The three compilations of each program run as one pooled session; rows
+//! are rendered in suite order afterwards, so the table is identical at
+//! any worker count.
 
-use kcm_suite::table::{f2, mean, Table};
+use kcm_suite::table::{f2, mean, ratio, Table};
 use kcm_suite::{paper, programs, runner};
+
+struct Sizes {
+    kcm_i: usize,
+    kcm_w: usize,
+    plm: plm::PlmSize,
+    spur: spur::SpurSize,
+}
 
 fn main() {
     bench::banner(
         "Table 1: Static code size comparison",
         "measured (paper's value in parentheses); KCM bytes = words x 8",
     );
+    let suite = programs::suite();
+    let pool = bench::pool();
+    let sizes = pool.map(&suite, |p| {
+        let (kcm_i, kcm_w) = runner::kcm_static_size(p).expect("kcm size");
+        Sizes {
+            kcm_i,
+            kcm_w,
+            plm: plm::static_size(p.source).expect("plm size"),
+            spur: spur::static_size(p.source).expect("spur size"),
+        }
+    });
     let mut t = Table::new(vec![
         "Program", "PLM instr", "PLM bytes", "SPUR instr", "SPUR bytes", "KCM instr",
         "KCM words", "KCM/PLM i", "KCM/PLM B", "SPUR/KCM i", "SPUR/KCM B",
@@ -25,31 +47,28 @@ fn main() {
     let mut r_kp_b = Vec::new();
     let mut r_sk_i = Vec::new();
     let mut r_sk_b = Vec::new();
-    for p in programs::suite() {
-        let (kcm_i, kcm_w) = runner::kcm_static_size(&p).expect("kcm size");
-        let plm_size = plm::static_size(p.source).expect("plm size");
-        let spur_size = spur::static_size(p.source).expect("spur size");
+    for (p, s) in suite.iter().zip(&sizes) {
         let row = paper::TABLE1
             .iter()
             .find(|r| r.program == p.name)
             .expect("paper row");
-        let kcm_bytes = kcm_w * 8;
-        let kp_i = kcm_i as f64 / plm_size.instrs as f64;
-        let kp_b = kcm_bytes as f64 / plm_size.bytes as f64;
-        let sk_i = spur_size.instrs as f64 / kcm_i as f64;
-        let sk_b = spur_size.bytes as f64 / kcm_bytes as f64;
+        let kcm_bytes = s.kcm_w * 8;
+        let kp_i = ratio(s.kcm_i as f64, s.plm.instrs as f64);
+        let kp_b = ratio(kcm_bytes as f64, s.plm.bytes as f64);
+        let sk_i = ratio(s.spur.instrs as f64, s.kcm_i as f64);
+        let sk_b = ratio(s.spur.bytes as f64, kcm_bytes as f64);
         r_kp_i.push(kp_i);
         r_kp_b.push(kp_b);
         r_sk_i.push(sk_i);
         r_sk_b.push(sk_b);
         t.row(vec![
             p.name.to_owned(),
-            format!("{} ({})", plm_size.instrs, row.plm_instr),
-            format!("{} ({})", plm_size.bytes, row.plm_bytes),
-            format!("{} ({})", spur_size.instrs, row.spur_instr),
-            format!("{} ({})", spur_size.bytes, row.spur_bytes),
-            format!("{} ({})", kcm_i, row.kcm_instr),
-            format!("{} ({})", kcm_w, row.kcm_words),
+            format!("{} ({})", s.plm.instrs, row.plm_instr),
+            format!("{} ({})", s.plm.bytes, row.plm_bytes),
+            format!("{} ({})", s.spur.instrs, row.spur_instr),
+            format!("{} ({})", s.spur.bytes, row.spur_bytes),
+            format!("{} ({})", s.kcm_i, row.kcm_instr),
+            format!("{} ({})", s.kcm_w, row.kcm_words),
             f2(kp_i),
             f2(kp_b),
             f2(sk_i),

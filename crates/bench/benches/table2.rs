@@ -5,9 +5,12 @@
 //! figures came from the Berkeley simulator, ours from the PLM machine
 //! model (standard WAM, byte decoding, eager choice points, 100 ns). I/O
 //! built-ins are costed as unit clauses exactly as §4.2 assumes.
+//!
+//! The suite fans out across a session pool (`KCM_WORKERS` pins the
+//! worker count); results come back in suite order, so the printed table
+//! is byte-identical to a serial run.
 
-use bench::measure_program;
-use kcm_suite::table::{f2, f3, klips, mean, Table};
+use kcm_suite::table::{f2, f3, klips, mean, ratio, Table};
 use kcm_suite::{paper, programs};
 
 fn main() {
@@ -15,21 +18,23 @@ fn main() {
         "Table 2: Comparison with PLM (timed drivers)",
         "measured (paper's value in parentheses); ms at each machine's clock",
     );
+    let suite = programs::suite();
+    let times = bench::measure_suite(&suite, &bench::pool());
     let mut t = Table::new(vec![
         "Program", "Inferences", "PLM ms", "PLM Klips", "KCM ms", "KCM Klips", "PLM/KCM",
     ]);
     let mut ratios = Vec::new();
-    for p in programs::suite() {
-        let m = measure_program(&p);
+    for m in &times {
+        let p = &m.program;
         let row = paper::TABLE2
             .iter()
             .find(|r| r.program == p.name)
             .expect("paper row");
         let kcm_ms = m.kcm_timed.ms();
-        let ratio = m.plm_ms / kcm_ms;
-        ratios.push(ratio);
+        let r = ratio(m.plm_ms, kcm_ms);
+        ratios.push(r);
         let inferences = m.kcm_timed.outcome.stats.inferences;
-        let plm_klips = m.plm_inferences as f64 / m.plm_ms;
+        let plm_klips = ratio(m.plm_inferences as f64, m.plm_ms);
         t.row(vec![
             p.name.to_owned(),
             format!("{} ({})", inferences, row.inferences),
@@ -37,7 +42,7 @@ fn main() {
             klips(plm_klips),
             format!("{} ({})", f3(kcm_ms), f3(row.kcm_ms)),
             klips(m.kcm_timed.klips()),
-            format!("{} ({})", f2(ratio), f2(row.ratio)),
+            format!("{} ({})", f2(r), f2(row.ratio)),
         ]);
     }
     println!("{}", t.render());

@@ -7,9 +7,12 @@
 //! significant results" on the real workstation; the simulation has no
 //! measurement noise, so our column is complete — the paper's holes are
 //! shown as `-`.
+//!
+//! The suite fans out across a session pool (`KCM_WORKERS` pins the
+//! worker count); results come back in suite order, so the printed table
+//! is byte-identical to a serial run.
 
-use bench::measure_program;
-use kcm_suite::table::{f2, f3, mean, Table};
+use kcm_suite::table::{f2, f3, mean, ratio, Table};
 use kcm_suite::{paper, programs};
 
 fn main() {
@@ -17,22 +20,24 @@ fn main() {
         "Table 3: Comparison with QUINTUS/SUN (starred drivers, no I/O)",
         "measured (paper's value in parentheses; '-' = not reported)",
     );
+    let suite = programs::suite();
+    let times = bench::measure_suite(&suite, &bench::pool());
     let mut t = Table::new(vec![
         "Program", "Inferences", "SWAM ms", "KCM ms", "KCM Klips", "SWAM/KCM",
     ]);
     let mut ratios_rated = Vec::new();
     let mut ratios_all = Vec::new();
-    for p in programs::suite() {
-        let m = measure_program(&p);
+    for m in &times {
+        let p = &m.program;
         let row = paper::TABLE3
             .iter()
             .find(|r| r.program == p.name)
             .expect("paper row");
         let kcm_ms = m.kcm_starred.ms();
-        let ratio = m.swam_ms / kcm_ms;
-        ratios_all.push(ratio);
+        let r = ratio(m.swam_ms, kcm_ms);
+        ratios_all.push(r);
         if row.ratio.is_some() {
-            ratios_rated.push(ratio);
+            ratios_rated.push(r);
         }
         let paper_q = row
             .quintus_ms
@@ -48,7 +53,7 @@ fn main() {
             format!("{} ({})", f3(m.swam_ms), paper_q),
             format!("{} ({})", f3(kcm_ms), f3(row.kcm_ms)),
             format!("{:.0}", m.kcm_starred.klips()),
-            format!("{} ({})", f2(ratio), paper_r),
+            format!("{} ({})", f2(r), paper_r),
         ]);
     }
     println!("{}", t.render());

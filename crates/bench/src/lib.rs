@@ -18,7 +18,7 @@
 
 use kcm_suite::programs::BenchProgram;
 use kcm_suite::runner::{run_kcm, Measurement, Variant};
-use kcm_system::MachineConfig;
+use kcm_system::{MachineConfig, SessionPool};
 
 /// All measurements needed for the time tables, for one program.
 #[derive(Debug, Clone)]
@@ -57,6 +57,24 @@ pub fn measure_program(p: &BenchProgram) -> ProgramTimes {
         plm_inferences: plm.stats.inferences,
         swam_ms: swam.stats.ms(),
     }
+}
+
+/// The session pool every table driver fans out on. Worker count comes
+/// from `KCM_WORKERS` when set (pin to `1` for a serial reference run),
+/// otherwise the host's available parallelism. Table output is identical
+/// either way: the pool returns results in program order.
+pub fn pool() -> SessionPool {
+    SessionPool::from_env()
+}
+
+/// Runs the whole suite through [`measure_program`] on a session pool,
+/// one worker session per program, preserving program order.
+///
+/// # Panics
+///
+/// Same conditions as [`measure_program`].
+pub fn measure_suite(programs: &[BenchProgram], pool: &SessionPool) -> Vec<ProgramTimes> {
+    pool.map(programs, measure_program)
 }
 
 /// Prints a paper-style header for a regenerated table.

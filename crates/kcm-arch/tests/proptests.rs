@@ -1,134 +1,159 @@
-//! Property-based tests on the architectural data types: every word and
-//! every instruction must survive its binary encoding round trip.
+//! Randomized property tests on the architectural data types: every word
+//! and every instruction must survive its binary encoding round trip.
+//! (Deterministic `kcm-testkit` generators — the build environment has no
+//! network, so proptest is unavailable.)
 
 use kcm_arch::isa::{AluOp, Builtin, Cond};
 use kcm_arch::{CodeAddr, FunctorId, Instr, Reg, Tag, VAddr, Word, Zone};
-use proptest::prelude::*;
+use kcm_testkit::{cases, TestRng};
 
-fn arb_tag() -> impl Strategy<Value = Tag> {
-    proptest::sample::select(Tag::ALL.to_vec())
+fn arb_tag(rng: &mut TestRng) -> Tag {
+    *rng.choose(&Tag::ALL)
 }
 
-fn arb_zone() -> impl Strategy<Value = Zone> {
-    proptest::sample::select(Zone::DATA_ZONES.to_vec())
+fn arb_zone(rng: &mut TestRng) -> Zone {
+    *rng.choose(&Zone::DATA_ZONES)
 }
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..64).prop_map(Reg::new)
+fn arb_reg(rng: &mut TestRng) -> Reg {
+    Reg::new(rng.int_in(0, 64) as u8)
 }
 
-fn arb_addr() -> impl Strategy<Value = CodeAddr> {
-    (0u32..0x0FFF_FFF0).prop_map(CodeAddr::new)
+fn arb_addr(rng: &mut TestRng) -> CodeAddr {
+    CodeAddr::new(rng.int_in(0, 0x0FFF_FFF0) as u32)
 }
 
-fn arb_const() -> impl Strategy<Value = Word> {
-    prop_oneof![
-        any::<i32>().prop_map(Word::int),
-        any::<u32>().prop_map(|b| Word::float(f32::from_bits(b))),
-        (0u32..1_000_000).prop_map(|i| Word::atom(kcm_arch::AtomId::new(i as usize))),
-        Just(Word::nil()),
-    ]
+fn arb_const(rng: &mut TestRng) -> Word {
+    match rng.index(4) {
+        0 => Word::int(rng.next_u32() as i32),
+        1 => Word::float(f32::from_bits(rng.next_u32())),
+        2 => Word::atom(kcm_arch::AtomId::new(rng.index(1_000_000))),
+        _ => Word::nil(),
+    }
 }
 
-proptest! {
-    #[test]
-    fn word_fields_roundtrip(tag in arb_tag(), zone in arb_zone(), value in any::<u32>()) {
+#[test]
+fn word_fields_roundtrip() {
+    cases(256, |rng| {
+        let (tag, zone, value) = (arb_tag(rng), arb_zone(rng), rng.next_u32());
         let w = Word::pack(tag, zone, value);
-        prop_assert_eq!(w.tag(), tag);
-        prop_assert_eq!(w.zone(), zone);
-        prop_assert_eq!(w.value(), value);
+        assert_eq!(w.tag(), tag);
+        assert_eq!(w.zone(), zone);
+        assert_eq!(w.value(), value);
         // Raw bits survive too.
-        prop_assert_eq!(Word::from_bits(w.bits()), w);
-    }
+        assert_eq!(Word::from_bits(w.bits()), w);
+    });
+}
 
-    #[test]
-    fn gc_bits_are_orthogonal(tag in arb_tag(), zone in arb_zone(), value in any::<u32>(), bits in 0u8..4) {
+#[test]
+fn gc_bits_are_orthogonal() {
+    cases(256, |rng| {
+        let (tag, zone, value) = (arb_tag(rng), arb_zone(rng), rng.next_u32());
+        let bits = rng.int_in(0, 4) as u8;
         let w = Word::pack(tag, zone, value).with_gc_bits(bits);
-        prop_assert_eq!(w.gc_bits(), bits);
-        prop_assert_eq!(w.tag(), tag);
-        prop_assert_eq!(w.value(), value);
-    }
+        assert_eq!(w.gc_bits(), bits);
+        assert_eq!(w.tag(), tag);
+        assert_eq!(w.value(), value);
+    });
+}
 
-    #[test]
-    fn swap_is_involutive(tag in arb_tag(), zone in arb_zone(), value in any::<u32>()) {
-        let w = Word::pack(tag, zone, value);
-        prop_assert_eq!(w.swapped().swapped(), w);
-    }
+#[test]
+fn swap_is_involutive() {
+    cases(256, |rng| {
+        let w = Word::pack(arb_tag(rng), arb_zone(rng), rng.next_u32());
+        assert_eq!(w.swapped().swapped(), w);
+    });
+}
 
-    #[test]
-    fn single_word_instrs_roundtrip(i in arb_instr()) {
+#[test]
+fn single_word_instrs_roundtrip() {
+    cases(1024, |rng| {
+        let i = arb_instr(rng);
         let mut words = Vec::new();
         i.encode(&mut words);
-        prop_assert_eq!(words.len(), i.size_words());
+        assert_eq!(words.len(), i.size_words(), "{i:?}");
         let (decoded, used) = Instr::decode(&words).expect("decodes");
-        prop_assert_eq!(used, words.len());
-        prop_assert_eq!(decoded, i);
-    }
+        assert_eq!(used, words.len(), "{i:?}");
+        assert_eq!(decoded, i);
+    });
+}
 
-    #[test]
-    fn switch_tables_roundtrip(
-        default in proptest::option::of(arb_addr()),
-        keys in proptest::collection::vec((arb_const(), arb_addr()), 0..12),
-    ) {
-        let i = Instr::SwitchOnConstant { default, table: keys };
+#[test]
+fn switch_tables_roundtrip() {
+    cases(256, |rng| {
+        let default = if rng.chance(1, 2) { Some(arb_addr(rng)) } else { None };
+        let table = rng.vec_of(0, 12, |rng| (arb_const(rng), arb_addr(rng)));
+        let i = Instr::SwitchOnConstant { default, table };
         let mut words = Vec::new();
         i.encode(&mut words);
         let (decoded, used) = Instr::decode(&words).expect("decodes");
-        prop_assert_eq!(used, words.len());
-        prop_assert_eq!(decoded, i);
-    }
+        assert_eq!(used, words.len());
+        assert_eq!(decoded, i);
+    });
+}
 
-    #[test]
-    fn vaddr_page_split_is_lossless(raw in 0u32..(1 << 28)) {
+#[test]
+fn vaddr_page_split_is_lossless() {
+    cases(512, |rng| {
+        let raw = rng.int_in(0, 1 << 28) as u32;
         let a = VAddr::new(raw);
         let back = a.page().index() as u32 * kcm_arch::PAGE_SIZE_WORDS + a.page_offset();
-        prop_assert_eq!(back, raw);
-    }
+        assert_eq!(back, raw);
+    });
+}
 
-    #[test]
-    fn zone_of_addr_matches_base(zone in arb_zone(), off in 0u32..(1 << 24)) {
+#[test]
+fn zone_of_addr_matches_base() {
+    cases(512, |rng| {
+        let zone = arb_zone(rng);
+        let off = rng.int_in(0, 1 << 24) as u32;
         let a = VAddr::new(zone.base().value() + off);
-        prop_assert_eq!(Zone::of_addr(a), Some(zone));
-    }
+        assert_eq!(Zone::of_addr(a), Some(zone));
+    });
 }
 
 /// Single-word instructions with arbitrary operands.
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (arb_addr(), any::<u8>()).prop_map(|(addr, arity)| Instr::Call { addr, arity }),
-        (arb_addr(), any::<u8>()).prop_map(|(addr, arity)| Instr::Execute { addr, arity }),
-        Just(Instr::Proceed),
-        any::<u8>().prop_map(|n| Instr::Allocate { n }),
-        Just(Instr::Deallocate),
-        arb_addr().prop_map(|alt| Instr::TryMeElse { alt }),
-        arb_addr().prop_map(|alt| Instr::RetryMeElse { alt }),
-        Just(Instr::TrustMe),
-        Just(Instr::Neck),
-        Just(Instr::Cut),
-        Just(Instr::Fail),
-        Just(Instr::Mark),
-        Just(Instr::UnifyTailList),
-        proptest::sample::select(Builtin::ALL.to_vec()).prop_map(|builtin| Instr::Escape { builtin }),
-        (arb_reg(), arb_reg()).prop_map(|(x, a)| Instr::GetVariable { x, a }),
-        (any::<u8>(), arb_reg()).prop_map(|(y, a)| Instr::GetValueY { y, a }),
-        (arb_const(), arb_reg()).prop_map(|(c, a)| Instr::GetConstant { c, a }),
-        (arb_const(), arb_reg()).prop_map(|(c, a)| Instr::PutConstant { c, a }),
-        (0u32..1_000_000, arb_reg()).prop_map(|(f, a)| Instr::GetStructure {
-            f: FunctorId::new(f as usize),
-            a
-        }),
-        arb_const().prop_map(|c| Instr::UnifyConstant { c }),
-        any::<u8>().prop_map(|n| Instr::UnifyVoid { n }),
-        (
-            proptest::sample::select(AluOp::ALL.to_vec()),
-            arb_reg(),
-            arb_reg(),
-            arb_reg()
-        )
-            .prop_map(|(op, d, s1, s2)| Instr::Alu { op, d, s1, s2 }),
-        (proptest::sample::select(Cond::ALL.to_vec()), arb_addr())
-            .prop_map(|(cond, to)| Instr::Branch { cond, to }),
-        (arb_reg(), arb_reg(), arb_reg(), any::<i16>(), any::<bool>())
-            .prop_map(|(dd, ras, rad, off, pre)| Instr::Load { dd, ras, rad, off, pre }),
-    ]
+fn arb_instr(rng: &mut TestRng) -> Instr {
+    match rng.index(23) {
+        0 => Instr::Call { addr: arb_addr(rng), arity: rng.next_u32() as u8 },
+        1 => Instr::Execute { addr: arb_addr(rng), arity: rng.next_u32() as u8 },
+        2 => Instr::Proceed,
+        3 => Instr::Allocate { n: rng.next_u32() as u8 },
+        4 => Instr::Deallocate,
+        5 => Instr::TryMeElse { alt: arb_addr(rng) },
+        6 => Instr::RetryMeElse { alt: arb_addr(rng) },
+        7 => Instr::TrustMe,
+        8 => Instr::Neck,
+        9 => Instr::Cut,
+        10 => Instr::Fail,
+        11 => Instr::Mark,
+        12 => Instr::UnifyTailList,
+        13 => Instr::Escape { builtin: *rng.choose(&Builtin::ALL) },
+        14 => Instr::GetVariable { x: arb_reg(rng), a: arb_reg(rng) },
+        15 => Instr::GetValueY { y: rng.next_u32() as u8, a: arb_reg(rng) },
+        16 => Instr::GetConstant { c: arb_const(rng), a: arb_reg(rng) },
+        17 => Instr::PutConstant { c: arb_const(rng), a: arb_reg(rng) },
+        18 => Instr::GetStructure { f: FunctorId::new(rng.index(1_000_000)), a: arb_reg(rng) },
+        19 => Instr::UnifyConstant { c: arb_const(rng) },
+        20 => Instr::UnifyVoid { n: rng.next_u32() as u8 },
+        21 => Instr::Alu {
+            op: *rng.choose(&AluOp::ALL),
+            d: arb_reg(rng),
+            s1: arb_reg(rng),
+            s2: arb_reg(rng),
+        },
+        _ => {
+            if rng.chance(1, 2) {
+                Instr::Branch { cond: *rng.choose(&Cond::ALL), to: arb_addr(rng) }
+            } else {
+                Instr::Load {
+                    dd: arb_reg(rng),
+                    ras: arb_reg(rng),
+                    rad: arb_reg(rng),
+                    off: rng.next_u32() as i16,
+                    pre: rng.chance(1, 2),
+                }
+            }
+        }
+    }
 }

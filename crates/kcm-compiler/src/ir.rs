@@ -138,6 +138,12 @@ impl Builder {
             Term::Struct(n, args) => PredId { name: n.clone(), arity: args.len() as u8 },
             other => return Err(CompileError::BadClauseHead(other.to_string())),
         };
+        // Control functors and nil cannot head a user clause: without this
+        // check an empty directive like `:- .` reads as an atom `:-` and
+        // silently defines a predicate named `:-`.
+        if matches!(id.name.as_str(), ":-" | "?-" | "," | ";" | "->" | "!" | "[]") {
+            return Err(CompileError::BadClauseHead(head.to_string()));
+        }
         if matches!(
             id.name.as_str(),
             "assert" | "asserta" | "assertz" | "retract" | "abolish"

@@ -27,7 +27,7 @@ use kcm_arch::{CodeAddr, CostModel, SymbolTable, Tag, VAddr, Word, Zone, ZoneLim
 use kcm_compiler::CodeImage;
 use kcm_mem::{MemConfig, MemFault, MemStats, MemorySystem, ZoneFault};
 use kcm_prolog::Term;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Read/write mode of the unification instructions (§3.1.4: the mode flag
 /// is "directly used for the decoding of the unification instructions").
@@ -141,6 +141,40 @@ impl RunStats {
         }
         self.inferences as f64 / (self.cycles as f64 * self.cycle_ns * 1.0e-9) / 1000.0
     }
+
+    /// Adds another session's counters into this aggregate: every counter
+    /// (including `cycles`) sums; `cycle_ns` is kept from `self` (merging
+    /// runs from different cost models has no single clock). Per-session
+    /// stats stay meaningful on their own — merging is for pool-level
+    /// throughput accounting, not for the per-program Klips tables.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.inferences += other.inferences;
+        self.choice_points += other.choice_points;
+        self.shallow_entries += other.shallow_entries;
+        self.shallow_fails += other.shallow_fails;
+        self.deep_fails += other.deep_fails;
+        self.trail_pushes += other.trail_pushes;
+        self.deref_links += other.deref_links;
+        self.zone_growths += other.zone_growths;
+        self.mem.merge(&other.mem);
+        self.prefetch.merge(&other.prefetch);
+    }
+
+    /// Deterministic aggregate of per-session stats: the sessions' counters
+    /// summed in iteration order. An empty iterator yields the zero stats.
+    pub fn merged<'a>(stats: impl IntoIterator<Item = &'a RunStats>) -> RunStats {
+        let mut iter = stats.into_iter();
+        let mut out = match iter.next() {
+            Some(first) => *first,
+            None => return RunStats::default(),
+        };
+        for s in iter {
+            out.merge(s);
+        }
+        out
+    }
 }
 
 /// One solution: the query variables with their binding terms.
@@ -231,7 +265,7 @@ impl Psw {
 pub struct Machine {
     pub(crate) regs: RegisterFile,
     pub(crate) mem: MemorySystem,
-    image: Rc<CodeImage>,
+    image: Arc<CodeImage>,
     pub(crate) symbols: SymbolTable,
     cfg: MachineConfig,
     mwac: Mwac,
@@ -286,6 +320,18 @@ impl Machine {
     /// static data area (ground literals) and write-protects the static
     /// zone before execution.
     pub fn new(image: CodeImage, symbols: SymbolTable, cfg: MachineConfig) -> Machine {
+        Machine::with_shared_image(Arc::new(image), symbols, cfg)
+    }
+
+    /// Like [`Machine::new`] for an image already behind an [`Arc`]: the
+    /// compiled program is shared immutably between sessions (and across
+    /// threads — `Machine` is `Send`), while this machine owns its
+    /// registers, caches, heap zones and trail.
+    pub fn with_shared_image(
+        image: Arc<CodeImage>,
+        symbols: SymbolTable,
+        cfg: MachineConfig,
+    ) -> Machine {
         let spread = cfg.spread_stack_bases;
         let mem = MemorySystem::new(cfg.mem.clone());
         let heap_base = MemorySystem::stack_base(Zone::Global, spread);
@@ -295,7 +341,7 @@ impl Machine {
         let mut m = Machine {
             regs: RegisterFile::new(),
             mem,
-            image: Rc::new(image),
+            image,
             symbols,
             cfg,
             mwac: Mwac::new(),
@@ -368,7 +414,7 @@ impl Machine {
     /// Replaces the loaded image (consulting more code) without resetting
     /// machine memory.
     pub fn load_image(&mut self, image: CodeImage) {
-        self.image = Rc::new(image);
+        self.image = Arc::new(image);
         // New code may overwrite addresses already cached.
         self.mem.invalidate_code_cache();
     }
@@ -1074,7 +1120,7 @@ impl Machine {
     pub fn step(&mut self) -> Result<(), MachineError> {
         let profile_start = self.cfg.profile.then_some(self.cycles);
         let addr = self.p;
-        let image = Rc::clone(&self.image);
+        let image = Arc::clone(&self.image);
         let instr = image
             .instr_at(addr)
             .ok_or(MachineError::BadCodeAddress(addr))?;
@@ -1823,6 +1869,17 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn machine_is_send() {
+        // Compile-time guarantee behind SessionPool: a loaded machine can
+        // move to a worker thread. The image is an `Arc<CodeImage>`; every
+        // other piece of state is owned.
+        fn assert_send<T: Send>() {}
+        assert_send::<Machine>();
+        assert_send::<Outcome>();
+        assert_send::<RunStats>();
+    }
 
     #[test]
     fn psw_condition_decoding() {

@@ -27,6 +27,16 @@ pub struct PrefetchStats {
     pub sequential: u64,
 }
 
+impl PrefetchStats {
+    /// Adds another pipeline's counters into this aggregate
+    /// (multi-session totals).
+    pub fn merge(&mut self, other: &PrefetchStats) {
+        self.issued += other.issued;
+        self.breaks += other.breaks;
+        self.sequential += other.sequential;
+    }
+}
+
 /// The three-stage prefetch pipeline state.
 #[derive(Debug, Clone, Copy)]
 pub struct Prefetch {

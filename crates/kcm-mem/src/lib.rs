@@ -159,6 +159,18 @@ impl MemStats {
             self.icache_hits as f64 / total as f64
         }
     }
+
+    /// Adds another memory system's counters into this aggregate
+    /// (multi-session totals).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.dcache_hits += other.dcache_hits;
+        self.dcache_misses += other.dcache_misses;
+        self.dcache_writebacks += other.dcache_writebacks;
+        self.icache_hits += other.icache_hits;
+        self.icache_misses += other.icache_misses;
+        self.data_page_faults += other.data_page_faults;
+        self.code_page_faults += other.code_page_faults;
+    }
 }
 
 /// The complete KCM memory system: caches in front of the MMU in front of

@@ -1,9 +1,10 @@
-//! Property-based tests of the memory system: whatever the caches and the
-//! MMU do for timing, the *values* must match a flat-memory oracle.
+//! Randomized property tests of the memory system: whatever the caches
+//! and the MMU do for timing, the *values* must match a flat-memory
+//! oracle. (Deterministic `kcm-testkit` generators.)
 
 use kcm_arch::{Tag, VAddr, Word, Zone};
 use kcm_mem::{MemConfig, MemorySystem};
-use proptest::prelude::*;
+use kcm_testkit::{cases, TestRng};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -12,11 +13,18 @@ enum Op {
     Read(u8, u16),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..5, any::<u16>(), any::<i32>()).prop_map(|(z, o, v)| Op::Write(z, o, v)),
-        (0u8..5, any::<u16>()).prop_map(|(z, o)| Op::Read(z, o)),
-    ]
+fn arb_op(rng: &mut TestRng) -> Op {
+    let zone = rng.int_in(0, 5) as u8;
+    let off = rng.next_u32() as u16;
+    if rng.chance(1, 2) {
+        Op::Write(zone, off, rng.next_u32() as i32)
+    } else {
+        Op::Read(zone, off)
+    }
+}
+
+fn arb_ops(rng: &mut TestRng, min: usize, max: usize) -> Vec<Op> {
+    rng.vec_of(min, max, arb_op)
 }
 
 fn addr_of(zone_idx: u8, off: u16) -> VAddr {
@@ -55,28 +63,34 @@ fn run_ops(sectioned: bool, ops: &[Op]) -> Vec<Option<i32>> {
     reads
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn sectioned_cache_matches_flat_oracle() {
+    cases(64, |rng| {
+        run_ops(true, &arb_ops(rng, 1, 300));
+    });
+}
 
-    #[test]
-    fn sectioned_cache_matches_flat_oracle(ops in proptest::collection::vec(arb_op(), 1..300)) {
-        run_ops(true, &ops);
-    }
+#[test]
+fn unsectioned_cache_matches_flat_oracle() {
+    cases(64, |rng| {
+        run_ops(false, &arb_ops(rng, 1, 300));
+    });
+}
 
-    #[test]
-    fn unsectioned_cache_matches_flat_oracle(ops in proptest::collection::vec(arb_op(), 1..300)) {
-        run_ops(false, &ops);
-    }
-
-    #[test]
-    fn both_geometries_read_identically(ops in proptest::collection::vec(arb_op(), 1..200)) {
+#[test]
+fn both_geometries_read_identically() {
+    cases(64, |rng| {
+        let ops = arb_ops(rng, 1, 200);
         let a = run_ops(true, &ops);
         let b = run_ops(false, &ops);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn flush_then_peek_agrees(ops in proptest::collection::vec(arb_op(), 1..150)) {
+#[test]
+fn flush_then_peek_agrees() {
+    cases(64, |rng| {
+        let ops = arb_ops(rng, 1, 150);
         let mut mem = MemorySystem::new(MemConfig::default());
         let mut oracle: HashMap<u32, i32> = HashMap::new();
         for op in &ops {
@@ -89,7 +103,7 @@ proptest! {
         mem.flush_data_cache().expect("flush");
         for (raw, v) in oracle {
             let got = mem.peek(VAddr::new(raw)).expect("peek");
-            prop_assert_eq!(got.as_int(), Some(v));
+            assert_eq!(got.as_int(), Some(v));
         }
-    }
+    });
 }

@@ -1,54 +1,87 @@
 //! Robustness properties of the reader: arbitrary input must never panic
 //! (errors are fine), and well-formed terms must round-trip through
-//! display and reparse.
+//! display and reparse. (Deterministic `kcm-testkit` generators.)
 
 use kcm_prolog::{read_program, read_term, Lexer};
-use proptest::prelude::*;
+use kcm_testkit::{cases, charset};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn lexer_never_panics(src in "[ -~\n\t]{0,120}") {
+#[test]
+fn lexer_never_panics() {
+    let cs = ascii_soup();
+    cases(256, |rng| {
+        let src = rng.string_from(&cs, 0, 121);
         let _ = Lexer::tokenize(&src);
-    }
+    });
+}
 
-    #[test]
-    fn parser_never_panics(src in "[ -~\n\t]{0,120}") {
+#[test]
+fn parser_never_panics() {
+    let cs = ascii_soup();
+    cases(256, |rng| {
+        let src = rng.string_from(&cs, 0, 121);
         let _ = read_program(&src);
         let _ = read_term(&src);
-    }
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_prologish_soup(
-        src in r"[a-zXY\(\)\[\]\|,\.:\- 0-9']{0,80}"
-    ) {
+#[test]
+fn parser_never_panics_on_prologish_soup() {
+    // Characters likely to form near-miss Prolog: atoms, variables,
+    // brackets, bars, commas, clause dots, quotes and digits.
+    let mut cs = charset(&[('a', 'z'), ('0', '9')]);
+    cs.extend("XY()[]|,.:- '".chars());
+    cases(512, |rng| {
+        let src = rng.string_from(&cs, 0, 81);
         let _ = read_program(&src);
-    }
+    });
+}
 
-    #[test]
-    fn numbers_roundtrip(n in any::<i32>()) {
+#[test]
+fn numbers_roundtrip() {
+    cases(256, |rng| {
+        let n = rng.next_u32() as i32;
         let t = read_term(&n.to_string()).expect("integers parse");
-        prop_assert_eq!(t, kcm_prolog::Term::Int(n));
-    }
+        assert_eq!(t, kcm_prolog::Term::Int(n));
+    });
+}
 
-    #[test]
-    fn quoted_atoms_roundtrip(name in "[ -~]{1,20}") {
+#[test]
+fn quoted_atoms_roundtrip() {
+    let cs = ascii_printable();
+    cases(256, |rng| {
+        let name = rng.string_from(&cs, 1, 21);
         // Skip names with quote/backslash (escaping covered by unit tests).
-        prop_assume!(!name.contains('\'') && !name.contains('\\'));
+        if name.contains('\'') || name.contains('\\') {
+            return;
+        }
         let t = read_term(&format!("'{name}'")).expect("quoted atoms parse");
-        prop_assert_eq!(t, kcm_prolog::Term::Atom(name));
-    }
+        assert_eq!(t, kcm_prolog::Term::Atom(name));
+    });
+}
 
-    #[test]
-    fn operator_expressions_reparse_stably(
-        a in 0i32..100, b in 0i32..100, c in 0i32..100,
-        op1 in proptest::sample::select(vec!["+", "-", "*", "//"]),
-        op2 in proptest::sample::select(vec!["+", "-", "*", "//"]),
-    ) {
+#[test]
+fn operator_expressions_reparse_stably() {
+    const OPS: [&str; 4] = ["+", "-", "*", "//"];
+    cases(256, |rng| {
+        let (a, b, c) = (rng.int_in(0, 100), rng.int_in(0, 100), rng.int_in(0, 100));
+        let op1 = rng.choose(&OPS);
+        let op2 = rng.choose(&OPS);
         let src = format!("{a} {op1} {b} {op2} {c}");
         let t1 = read_term(&src).expect("parses");
         let t2 = read_term(&t1.to_string()).expect("reparses");
-        prop_assert_eq!(t1, t2);
-    }
+        assert_eq!(t1, t2, "{src}");
+    });
+}
+
+/// Printable ASCII plus newline and tab (the old `[ -~\n\t]` class).
+fn ascii_soup() -> Vec<char> {
+    let mut cs = charset(&[(' ', '~')]);
+    cs.push('\n');
+    cs.push('\t');
+    cs
+}
+
+/// Printable ASCII (the old `[ -~]` class).
+fn ascii_printable() -> Vec<char> {
+    charset(&[(' ', '~')])
 }

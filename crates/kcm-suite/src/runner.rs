@@ -1,7 +1,8 @@
-//! Compiling and running suite programs on the KCM simulator.
+//! Compiling and running suite programs on the KCM simulator, serially or
+//! fanned out across a [`SessionPool`].
 
 use crate::programs::BenchProgram;
-use kcm_system::{Kcm, KcmError, MachineConfig, Outcome};
+use kcm_system::{Kcm, KcmError, MachineConfig, Outcome, SessionPool};
 
 /// Which driver of a program to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +56,31 @@ pub fn run_kcm(
     };
     let outcome = kcm.run(goal, program.enumerate)?;
     Ok(Measurement { name: program.name, variant, outcome })
+}
+
+/// Runs a list of suite programs across a [`SessionPool`], one session
+/// per program. Results come back **in program order** whatever the
+/// worker count, so table drivers produce byte-identical output whether
+/// they run serially (1 worker) or on every core.
+///
+/// Each element is that program's result; a failing program does not
+/// poison the others.
+pub fn run_suite_pooled(
+    programs: &[BenchProgram],
+    variant: Variant,
+    config: &MachineConfig,
+    pool: &SessionPool,
+) -> Vec<Result<Measurement, KcmError>> {
+    pool.map(programs, |p| run_kcm(p, variant, config))
+}
+
+/// Static code sizes of many programs (see [`kcm_static_size`]), fanned
+/// out across a [`SessionPool`], in program order.
+pub fn static_sizes_pooled(
+    programs: &[BenchProgram],
+    pool: &SessionPool,
+) -> Vec<Result<(usize, usize), KcmError>> {
+    pool.map(programs, kcm_static_size)
 }
 
 /// Static code size of one compiled suite program, excluding the runtime

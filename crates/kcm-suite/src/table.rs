@@ -77,19 +77,37 @@ impl Table {
     }
 }
 
+/// A speedup/slowdown quotient that is always printable: `0.0` whenever
+/// the denominator is zero or either operand is non-finite. Zero-cycle
+/// runs (empty drivers, stubbed models) thus render as `0.00`, never as
+/// `NaN` or `inf` in a published table.
+pub fn ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 || !num.is_finite() || !den.is_finite() {
+        return 0.0;
+    }
+    let q = num / den;
+    if q.is_finite() { q } else { 0.0 }
+}
+
 /// Formats a float with three decimals.
 pub fn f3(v: f64) -> String {
-    format!("{v:.3}")
+    format!("{:.3}", finite(v))
 }
 
 /// Formats a float with two decimals.
 pub fn f2(v: f64) -> String {
-    format!("{v:.2}")
+    format!("{:.2}", finite(v))
 }
 
 /// Formats a float as an integer-looking Klips figure.
 pub fn klips(v: f64) -> String {
-    format!("{v:.0}")
+    format!("{:.0}", finite(v))
+}
+
+/// Clamps non-finite values to `0.0` so every cell formatter emits a
+/// number.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() { v } else { 0.0 }
 }
 
 /// Geometric-free arithmetic mean of a series.
@@ -126,5 +144,23 @@ mod tests {
     fn mean_of_values() {
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn ratio_never_produces_non_finite() {
+        assert_eq!(ratio(6.0, 3.0), 2.0);
+        assert_eq!(ratio(1.0, 0.0), 0.0);
+        assert_eq!(ratio(0.0, 0.0), 0.0);
+        assert_eq!(ratio(f64::NAN, 2.0), 0.0);
+        assert_eq!(ratio(2.0, f64::INFINITY), 0.0);
+        assert_eq!(ratio(f64::MAX, f64::MIN_POSITIVE), 0.0); // overflow to inf
+    }
+
+    #[test]
+    fn formatters_render_zero_for_non_finite() {
+        assert_eq!(f2(f64::NAN), "0.00");
+        assert_eq!(f3(f64::INFINITY), "0.000");
+        assert_eq!(klips(f64::NEG_INFINITY), "0");
+        assert_eq!(f2(1.005), format!("{:.2}", 1.005));
     }
 }

@@ -3,8 +3,7 @@
 //! `scaling` bench to study how the memory system behaves as working sets
 //! grow past the cache sections (the regime §3.2.4 worries about).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kcm_testkit::TestRng;
 
 /// A list literal `[x1,...,xn]`.
 fn list_literal(xs: &[i32]) -> String {
@@ -30,8 +29,8 @@ pub fn nrev(n: usize) -> (String, String) {
 /// qsort over `n` pseudo-random elements (deterministic seed): `(source,
 /// query)`.
 pub fn qsort(n: usize, seed: u64) -> (String, String) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let xs: Vec<i32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+    let mut rng = TestRng::new(seed);
+    let xs: Vec<i32> = (0..n).map(|_| rng.i32_in(0, 1000)).collect();
     let source = "
         qsort(L, R) :- qsort(L, R, []).
         qsort([], R, R).

@@ -1,0 +1,115 @@
+//! Determinism of the pooled suite runner: a [`SessionPool`] with one
+//! worker and one with many must produce the *same bytes* — identical
+//! solutions, solution orderings and per-session [`RunStats`] for every
+//! program of the PLM suite. Parallelism is a scheduling detail here,
+//! never an observable one; the evaluation tables depend on that.
+
+use kcm_suite::programs;
+use kcm_suite::runner::{run_kcm, run_suite_pooled, Measurement, Variant};
+use kcm_system::{Kcm, MachineConfig, QueryJob, RunStats, SessionPool};
+
+/// Renders everything observable about a measurement into one comparable
+/// string (plus the stats, compared structurally).
+fn fingerprint(m: &Measurement) -> (String, RunStats) {
+    (
+        format!(
+            "{} {:?} success={} solutions={:?} output={:?}",
+            m.name, m.variant, m.outcome.success, m.outcome.solutions, m.outcome.output
+        ),
+        m.outcome.stats,
+    )
+}
+
+#[test]
+fn one_worker_matches_many_workers_over_the_full_suite() {
+    let suite = programs::suite();
+    let cfg = MachineConfig::default();
+    let serial = run_suite_pooled(&suite, Variant::Starred, &cfg, &SessionPool::new(1));
+    let pooled = run_suite_pooled(&suite, Variant::Starred, &cfg, &SessionPool::new(4));
+    assert_eq!(serial.len(), suite.len());
+    assert_eq!(pooled.len(), suite.len());
+    for ((p, a), b) in suite.iter().zip(&serial).zip(&pooled) {
+        let a = a.as_ref().unwrap_or_else(|e| panic!("{}: serial failed: {e}", p.name));
+        let b = b.as_ref().unwrap_or_else(|e| panic!("{}: pooled failed: {e}", p.name));
+        assert_eq!(a.name, p.name, "pool must preserve program order");
+        assert_eq!(fingerprint(a), fingerprint(b), "{}: 1 vs 4 workers diverged", p.name);
+    }
+}
+
+#[test]
+fn pooled_runner_matches_the_serial_path_byte_for_byte() {
+    let suite = programs::suite();
+    let cfg = MachineConfig::default();
+    let pooled = run_suite_pooled(&suite, Variant::Timed, &cfg, &SessionPool::new(4));
+    for (p, pooled) in suite.iter().zip(&pooled) {
+        let serial = run_kcm(p, Variant::Timed, &cfg)
+            .unwrap_or_else(|e| panic!("{}: serial failed: {e}", p.name));
+        let pooled = pooled
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: pooled failed: {e}", p.name));
+        assert_eq!(fingerprint(&serial), fingerprint(pooled), "{}", p.name);
+    }
+}
+
+#[test]
+fn session_pool_queries_deterministic_per_program() {
+    // The pool's multi-query path: both drivers of every suite program as
+    // a job batch against the consulted program, 1 worker vs 4.
+    for p in programs::suite() {
+        let mut kcm = Kcm::new();
+        kcm.consult(p.source).unwrap_or_else(|e| panic!("{}: consult: {e}", p.name));
+        let jobs = vec![
+            QueryJob::first_solution(p.query),
+            QueryJob::first_solution(p.starred_query),
+        ];
+        let one = SessionPool::new(1)
+            .run_queries(&kcm, &jobs)
+            .unwrap_or_else(|e| panic!("{}: batch: {e}", p.name));
+        let many = SessionPool::new(4)
+            .run_queries(&kcm, &jobs)
+            .unwrap_or_else(|e| panic!("{}: batch: {e}", p.name));
+        assert_eq!(one.len(), many.len());
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a.session, b.session, "{}: session order changed", p.name);
+            assert_eq!(a.query, b.query, "{}: job order changed", p.name);
+            let oa = a.outcome.as_ref().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let ob = b.outcome.as_ref().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(oa.success, ob.success, "{}", p.name);
+            assert_eq!(
+                format!("{:?}", oa.solutions),
+                format!("{:?}", ob.solutions),
+                "{}",
+                p.name
+            );
+            assert_eq!(oa.output, ob.output, "{}", p.name);
+            assert_eq!(oa.stats, ob.stats, "{}: per-session stats diverged", p.name);
+        }
+    }
+}
+
+#[test]
+fn pooled_suite_reduces_wall_clock_on_multicore_hosts() {
+    // Only meaningful where there are cores to fan out on; single-core CI
+    // boxes (and this exact box) still exercise every determinism test
+    // above, so nothing about correctness is lost by gating.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 4 {
+        eprintln!("skipping wall-clock check: only {cores} core(s) available");
+        return;
+    }
+    let suite = programs::suite();
+    let cfg = MachineConfig::default();
+    // Warm up (page in code, fill allocator pools) so the comparison is
+    // about parallelism, not first-touch costs.
+    run_suite_pooled(&suite, Variant::Starred, &cfg, &SessionPool::new(1));
+    let t1 = std::time::Instant::now();
+    run_suite_pooled(&suite, Variant::Starred, &cfg, &SessionPool::new(1));
+    let serial = t1.elapsed();
+    let t4 = std::time::Instant::now();
+    run_suite_pooled(&suite, Variant::Starred, &cfg, &SessionPool::new(4));
+    let pooled = t4.elapsed();
+    assert!(
+        pooled < serial,
+        "4 workers ({pooled:?}) should beat 1 worker ({serial:?}) on a {cores}-core host"
+    );
+}

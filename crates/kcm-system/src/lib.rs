@@ -51,15 +51,18 @@
 #![warn(missing_docs)]
 
 pub mod answer;
+pub mod pool;
 pub mod prelude;
 pub mod report;
 
 pub use answer::Answer;
 pub use kcm_cpu::{Machine, MachineConfig, MachineError, Outcome, RunStats, Solution};
+pub use pool::{QueryJob, SessionPool, SessionResult};
 
 use kcm_arch::SymbolTable;
 use kcm_compiler::{CodeImage, CompileError};
 use kcm_prolog::{ParseError, Term};
+use std::sync::Arc;
 
 /// An error from the KCM system: reader, compiler or machine.
 #[derive(Debug)]
@@ -125,7 +128,9 @@ impl From<MachineError> for KcmError {
 pub struct Kcm {
     symbols: SymbolTable,
     clauses: Vec<Term>,
-    image: Option<CodeImage>,
+    /// The linked program image, behind an `Arc` so parallel sessions
+    /// ([`SessionPool`]) share one compiled program across threads.
+    image: Option<Arc<CodeImage>>,
     config: MachineConfig,
 }
 
@@ -186,13 +191,19 @@ impl Kcm {
         let image = kcm_compiler::compile_program(&all, &mut symbols)?;
         self.clauses = all;
         self.symbols = symbols;
-        self.image = Some(image);
+        self.image = Some(Arc::new(image));
         Ok(())
     }
 
     /// The linked code image, if a program has been consulted.
     pub fn image(&self) -> Option<&CodeImage> {
-        self.image.as_ref()
+        self.image.as_deref()
+    }
+
+    /// The linked code image behind its sharing handle: what a
+    /// [`SessionPool`] distributes to its worker threads.
+    pub fn shared_image(&self) -> Option<Arc<CodeImage>> {
+        self.image.clone()
     }
 
     /// The symbol table.
@@ -240,7 +251,7 @@ impl Kcm {
     /// Returns [`KcmError::NoProgram`] before the first consult, or query
     /// parse/compile errors.
     pub fn prepare(&mut self, query: &str) -> Result<(Machine, Vec<String>), KcmError> {
-        let image = self.image.as_ref().ok_or(KcmError::NoProgram)?;
+        let image = self.image.as_deref().ok_or(KcmError::NoProgram)?;
         let goal = kcm_prolog::read_term(query)?;
         let mut symbols = self.symbols.clone();
         let (qimage, vars) = kcm_compiler::compile_query(image, &goal, &mut symbols)?;

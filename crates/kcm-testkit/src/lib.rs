@@ -1,0 +1,167 @@
+//! Deterministic, dependency-free randomness for tests and workload
+//! generators.
+//!
+//! The container this repository builds in has no network access, so the
+//! usual `rand`/`proptest` crates are unavailable. This crate provides the
+//! small slice of that functionality the test suite actually needs: a
+//! seedable [`TestRng`] (SplitMix64) and a [`cases`] runner that executes a
+//! body many times with per-case seeds, so a failing case can be replayed
+//! from its printed seed alone.
+//!
+//! Everything here is fully deterministic: the same seed always yields the
+//! same sequence on every platform, which the suite's 1-worker-vs-N-worker
+//! determinism tests rely on.
+
+#![warn(missing_docs)]
+
+/// A SplitMix64 pseudo-random generator. Deterministic, seedable, `Send`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl TestRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0)");
+        // Multiply-shift reduction: unbiased enough for test generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniform `usize` in `0..n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// A uniform `i64` in the half-open range `lo..hi`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi, "int_in empty range");
+        lo.wrapping_add(self.below((hi - lo) as u64) as i64)
+    }
+
+    /// A uniform `i32` in the half-open range `lo..hi`.
+    pub fn i32_in(&mut self, lo: i32, hi: i32) -> i32 {
+        self.int_in(lo as i64, hi as i64) as i32
+    }
+
+    /// A uniform `usize` in the half-open range `lo..hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.int_in(lo as i64, hi as i64) as usize
+    }
+
+    /// `true` with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// A vector of `len` elements drawn with `f`, where `len` is uniform in
+    /// `min..max`.
+    pub fn vec_of<T>(
+        &mut self,
+        min: usize,
+        max: usize,
+        mut f: impl FnMut(&mut TestRng) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(min, max);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// A string of length uniform in `min..max` whose bytes are drawn from
+    /// `charset` (which must be non-empty ASCII/UTF-8 chars).
+    pub fn string_from(&mut self, charset: &[char], min: usize, max: usize) -> String {
+        let len = self.usize_in(min, max);
+        (0..len).map(|_| *self.choose(charset)).collect()
+    }
+}
+
+/// Expands an ASCII range specification into a charset, e.g.
+/// `charset(&[(' ', '~')])` for all printable ASCII.
+pub fn charset(ranges: &[(char, char)]) -> Vec<char> {
+    let mut out = Vec::new();
+    for &(lo, hi) in ranges {
+        out.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+    }
+    out
+}
+
+/// Runs `body` for `n` cases with independently seeded generators. The
+/// case number and seed are part of the panic message on failure, so any
+/// case replays with `TestRng::new(seed)`.
+pub fn cases(n: usize, body: impl Fn(&mut TestRng)) {
+    cases_seeded(KCM_BASE_SEED, n, body)
+}
+
+const KCM_BASE_SEED: u64 = 0x6B63_6D30; // "kcm0"
+
+/// Like [`cases`] with an explicit base seed.
+pub fn cases_seeded(base: u64, n: usize, body: impl Fn(&mut TestRng)) {
+    for case in 0..n as u64 {
+        let seed = base ^ case.wrapping_mul(GOLDEN);
+        let mut rng = TestRng::new(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("testkit: case {case} failed (replay with TestRng::new({seed:#x}))");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..8).map({ let mut r = TestRng::new(7); move |_| r.next_u64() }).collect();
+        let b: Vec<u64> = (0..8).map({ let mut r = TestRng::new(7); move |_| r.next_u64() }).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = (0..8).map({ let mut r = TestRng::new(8); move |_| r.next_u64() }).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let v = rng.int_in(-5, 5);
+            assert!((-5..5).contains(&v));
+            let u = rng.index(3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn string_charsets() {
+        let cs = charset(&[('a', 'c'), ('0', '1')]);
+        assert_eq!(cs, vec!['a', 'b', 'c', '0', '1']);
+        let mut rng = TestRng::new(1);
+        let s = rng.string_from(&cs, 0, 40);
+        assert!(s.chars().all(|c| cs.contains(&c)));
+    }
+}

@@ -3,10 +3,13 @@
 //! machine (shallow backtracking, static literals, native arithmetic) and
 //! on the standard-WAM baseline (eager choice points, escape arithmetic,
 //! in-code literals). Any divergence is a machine or compiler bug.
+//!
+//! Also runs a corpus of malformed clauses through the full consult path:
+//! the system must return a structured [`KcmError`], never panic.
 
-use kcm_repro::kcm_system::{Kcm, MachineConfig, Outcome};
+use kcm_repro::kcm_system::{Kcm, KcmError, MachineConfig, Outcome};
 use kcm_repro::wam_baseline::{run_baseline, BaselineModel};
-use proptest::prelude::*;
+use kcm_testkit::{cases, TestRng};
 
 /// A tiny random program: facts over a small universe plus chain rules.
 #[derive(Debug, Clone)]
@@ -19,19 +22,13 @@ struct RandomProgram {
 
 const ATOMS: [&str; 4] = ["a", "b", "c", "d"];
 
-fn arb_program() -> impl Strategy<Value = RandomProgram> {
-    (
-        proptest::collection::vec((0i32..5, proptest::sample::select(ATOMS.to_vec())), 1..7),
-        proptest::collection::vec((proptest::sample::select(ATOMS.to_vec()), 0i32..5), 1..7),
-        0u8..4,
-        proptest::option::of(0i32..5),
-    )
-        .prop_map(|(facts_p, facts_q, rule_kind, query_arg)| RandomProgram {
-            facts_p,
-            facts_q,
-            rule_kind,
-            query_arg,
-        })
+fn arb_program(rng: &mut TestRng) -> RandomProgram {
+    RandomProgram {
+        facts_p: rng.vec_of(1, 7, |r| (r.i32_in(0, 5), *r.choose(&ATOMS))),
+        facts_q: rng.vec_of(1, 7, |r| (*r.choose(&ATOMS), r.i32_in(0, 5))),
+        rule_kind: rng.index(4) as u8,
+        query_arg: if rng.chance(1, 2) { Some(rng.i32_in(0, 5)) } else { None },
+    }
 }
 
 impl RandomProgram {
@@ -73,11 +70,10 @@ fn solutions(o: &Outcome) -> Vec<String> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn generated_programs_agree_across_machines(prog in arb_program()) {
+#[test]
+fn generated_programs_agree_across_machines() {
+    cases(96, |rng| {
+        let prog = arb_program(rng);
         let src = prog.source();
         let q = prog.query();
 
@@ -88,20 +84,21 @@ proptest! {
         let base = BaselineModel::standard_wam("fuzz", 100.0);
         let base_out = run_baseline(&base, &src, &q, true).expect("baseline run");
 
-        prop_assert_eq!(kcm_out.success, base_out.success, "src:\n{}\nquery: {}", src, q);
-        prop_assert_eq!(
+        assert_eq!(kcm_out.success, base_out.success, "src:\n{src}\nquery: {q}");
+        assert_eq!(
             solutions(&kcm_out),
             solutions(&base_out),
-            "src:\n{}\nquery: {}",
-            src,
-            q
+            "src:\n{src}\nquery: {q}"
         );
         // Identical abstract execution → identical inference counts.
-        prop_assert_eq!(kcm_out.stats.inferences, base_out.stats.inferences);
-    }
+        assert_eq!(kcm_out.stats.inferences, base_out.stats.inferences);
+    });
+}
 
-    #[test]
-    fn generated_programs_are_ablation_stable(prog in arb_program()) {
+#[test]
+fn generated_programs_are_ablation_stable() {
+    cases(96, |rng| {
+        let prog = arb_program(rng);
         let src = prog.source();
         let q = prog.query();
         let mut shallow = Kcm::new();
@@ -113,8 +110,99 @@ proptest! {
         });
         eager.consult(&src).expect("consult");
         let b = eager.run(&q, true).expect("run");
-        prop_assert_eq!(solutions(&a), solutions(&b));
+        assert_eq!(solutions(&a), solutions(&b));
         // Shallow backtracking never creates *more* choice points.
-        prop_assert!(a.stats.choice_points <= b.stats.choice_points);
+        assert!(a.stats.choice_points <= b.stats.choice_points);
+    });
+}
+
+/// Malformed-clause corpus: every entry must produce a structured
+/// `KcmError` from the reader or the compiler — never a panic. Grown from
+/// fuzzing finds; keep appending reduced cases.
+const MALFORMED_CORPUS: &[&str] = &[
+    // Reader-level syntax errors.
+    "q(",
+    "p(1",
+    ")(",
+    "p(1)) .",
+    ".",
+    ":- .",
+    "p(1).. q(2).",
+    "p([1|2|3]).",
+    "p('unterminated).",
+    "p(1) :- ",
+    "f(,).",
+    "[].",
+    "p(1) q(2).",
+    "|(a,b).",
+    "p(a,).",
+    // Compiler-level bad clauses (parse fine, must be rejected cleanly).
+    "123.",
+    "1 :- p.",
+    "X.",
+    "X :- p.",
+    "p :- 42.",
+    "p(X) :- q(X), 7.",
+    ":- foo.",
+    ":- .",
+    "[].",
+    "','(a, b).",
+    "!.",
+];
+
+/// Edge-case clauses that are *accepted* (meta-call bodies, operator
+/// heads): consulting them must not panic either.
+const ACCEPTED_EDGE_CORPUS: &[&str] = &[
+    "p :- X.",               // variable body ≡ call(X) at runtime
+    "-(1) :- p.",            // compound head with operator functor
+    "'a b'(X,Y,Z) :- [1,2].", // quoted head, list body meta-called
+];
+
+#[test]
+fn malformed_clauses_yield_structured_errors_not_panics() {
+    for src in MALFORMED_CORPUS {
+        let result = std::panic::catch_unwind(|| {
+            let mut kcm = Kcm::new();
+            kcm.consult(src).err()
+        });
+        match result {
+            Ok(Some(e)) => {
+                // Must be a reader or compiler error with a display form.
+                assert!(
+                    matches!(e, KcmError::Parse(_) | KcmError::Compile(_)),
+                    "{src:?}: unexpected error kind {e:?}"
+                );
+                assert!(!e.to_string().is_empty());
+            }
+            Ok(None) => panic!("{src:?}: malformed clause was accepted"),
+            Err(_) => panic!("{src:?}: consult panicked instead of returning KcmError"),
+        }
     }
+}
+
+#[test]
+fn accepted_edge_clauses_never_panic() {
+    for src in ACCEPTED_EDGE_CORPUS {
+        let result = std::panic::catch_unwind(|| {
+            let mut kcm = Kcm::new();
+            kcm.consult(src).expect("edge clause accepted");
+        });
+        assert!(result.is_ok(), "{src:?}: consult panicked");
+    }
+}
+
+/// Random near-Prolog soup through the full consult path: errors are fine,
+/// panics are not (and a lucky parse that compiles is fine too).
+#[test]
+fn random_soup_never_panics_consult() {
+    let mut cs: Vec<char> = ('a'..='z').collect();
+    cs.extend(['X', 'Y', '(', ')', '[', ']', '|', ',', '.', ':', '-', ' ', '0', '1', '9', '\'']);
+    cases(512, |rng| {
+        let src = rng.string_from(&cs, 0, 80);
+        let outcome = std::panic::catch_unwind(|| {
+            let mut kcm = Kcm::new();
+            let _ = kcm.consult(&src);
+        });
+        assert!(outcome.is_ok(), "consult panicked on {src:?}");
+    });
 }

@@ -1,9 +1,10 @@
-//! Property-based tests (proptest) on the end-to-end system: the Prolog
-//! machine against Rust oracles, reader round-trips, and unification laws.
+//! Randomized property tests on the end-to-end system: the Prolog machine
+//! against Rust oracles, reader round-trips, and unification laws.
+//! (Deterministic `kcm-testkit` generators.)
 
 use kcm_repro::kcm_prolog::{read_term, Term};
 use kcm_repro::kcm_system::Kcm;
-use proptest::prelude::*;
+use kcm_testkit::{cases, TestRng};
 
 fn list_literal(xs: &[i32]) -> String {
     format!(
@@ -26,141 +27,153 @@ fn sort_oracle_src() -> &'static str {
     "
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn qsort_matches_rust_sort(xs in proptest::collection::vec(-100i32..100, 0..24)) {
+#[test]
+fn qsort_matches_rust_sort() {
+    cases(48, |rng| {
+        let xs = rng.vec_of(0, 24, |r| r.i32_in(-100, 100));
         let mut kcm = Kcm::new();
         kcm.consult(sort_oracle_src()).expect("consult");
         let q = format!("qsort({}, S)", list_literal(&xs));
         let answer = kcm.solve_first(&q).expect("query").expect("qsort is total");
         let mut expected = xs.clone();
         expected.sort_unstable();
-        prop_assert_eq!(
+        assert_eq!(
             answer.binding_text("S").expect("S bound"),
             list_literal(&expected)
         );
-    }
+    });
+}
 
-    #[test]
-    fn reverse_is_an_involution(xs in proptest::collection::vec(-50i32..50, 0..20)) {
+#[test]
+fn reverse_is_an_involution() {
+    cases(48, |rng| {
+        let xs = rng.vec_of(0, 20, |r| r.i32_in(-50, 50));
         let mut kcm = Kcm::new();
         kcm.consult(sort_oracle_src()).expect("consult");
         let q = format!("rev({}, R), rev(R, RR)", list_literal(&xs));
         let answer = kcm.solve_first(&q).expect("query").expect("rev is total");
-        prop_assert_eq!(
+        assert_eq!(
             answer.binding_text("RR").expect("RR bound"),
             list_literal(&xs)
         );
-    }
+    });
+}
 
-    #[test]
-    fn append_length_adds(
-        xs in proptest::collection::vec(0i32..10, 0..12),
-        ys in proptest::collection::vec(0i32..10, 0..12),
-    ) {
+#[test]
+fn append_length_adds() {
+    cases(48, |rng| {
+        let xs = rng.vec_of(0, 12, |r| r.i32_in(0, 10));
+        let ys = rng.vec_of(0, 12, |r| r.i32_in(0, 10));
         let mut kcm = Kcm::new();
         kcm.consult(sort_oracle_src()).expect("consult");
         let q = format!("app({}, {}, Z), len(Z, N)", list_literal(&xs), list_literal(&ys));
         let answer = kcm.solve_first(&q).expect("query").expect("append is total");
-        prop_assert_eq!(
+        assert_eq!(
             answer.binding_text("N").expect("N bound"),
             (xs.len() + ys.len()).to_string()
         );
-    }
+    });
+}
 
-    #[test]
-    fn integer_arithmetic_matches_rust(a in -1000i32..1000, b in -1000i32..1000) {
+#[test]
+fn integer_arithmetic_matches_rust() {
+    cases(48, |rng| {
+        let a = rng.i32_in(-1000, 1000);
+        let b = rng.i32_in(-1000, 1000);
         let mut kcm = Kcm::new();
         kcm.consult("t.").expect("consult");
         let sum = kcm.solve_first(&format!("X is {a} + {b}")).expect("q").expect("sum");
-        prop_assert_eq!(sum.binding_text("X").expect("X"), (a.wrapping_add(b)).to_string());
+        assert_eq!(sum.binding_text("X").expect("X"), (a.wrapping_add(b)).to_string());
         let prod = kcm.solve_first(&format!("X is {a} * {b}")).expect("q").expect("prod");
-        prop_assert_eq!(prod.binding_text("X").expect("X"), (a.wrapping_mul(b)).to_string());
+        assert_eq!(prod.binding_text("X").expect("X"), (a.wrapping_mul(b)).to_string());
         if b != 0 {
             let quot = kcm.solve_first(&format!("X is {a} // {b}")).expect("q").expect("quot");
-            prop_assert_eq!(quot.binding_text("X").expect("X"), (a.wrapping_div(b)).to_string());
+            assert_eq!(quot.binding_text("X").expect("X"), (a.wrapping_div(b)).to_string());
         }
-        prop_assert_eq!(kcm.holds(&format!("{a} < {b}")).expect("q"), a < b);
-        prop_assert_eq!(kcm.holds(&format!("{a} >= {b}")).expect("q"), a >= b);
-    }
+        assert_eq!(kcm.holds(&format!("{a} < {b}")).expect("q"), a < b);
+        assert_eq!(kcm.holds(&format!("{a} >= {b}")).expect("q"), a >= b);
+    });
+}
 
-    #[test]
-    fn unification_is_symmetric_on_ground_terms(
-        a in arb_ground_term(3),
-        b in arb_ground_term(3),
-    ) {
+#[test]
+fn unification_is_symmetric_on_ground_terms() {
+    cases(48, |rng| {
+        let a = arb_ground_term(rng, 3);
+        let b = arb_ground_term(rng, 3);
         let mut kcm = Kcm::new();
         kcm.consult("eq(X, X).").expect("consult");
         let ab = kcm.holds(&format!("eq({a}, {b})")).expect("q");
         let ba = kcm.holds(&format!("eq({b}, {a})")).expect("q");
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba, "{a} vs {b}");
         // Ground unification is exactly structural equality.
-        prop_assert_eq!(ab, a == b);
+        assert_eq!(ab, a == b, "{a} vs {b}");
         // And reflexive.
         let reflexive = kcm.holds(&format!("eq({a}, {a})")).expect("q");
-        prop_assert!(reflexive);
-    }
+        assert!(reflexive, "{a}");
+    });
+}
 
-    #[test]
-    fn parser_display_roundtrip(t in arb_ground_term(4)) {
+#[test]
+fn parser_display_roundtrip() {
+    cases(96, |rng| {
+        let t = arb_ground_term(rng, 4);
         let text = t.to_string();
         let reparsed = read_term(&text).expect("reparse");
-        prop_assert_eq!(reparsed, t);
-    }
+        assert_eq!(reparsed, t);
+    });
+}
 
-    #[test]
-    fn machine_decode_roundtrip(t in arb_ground_term(3)) {
+#[test]
+fn machine_decode_roundtrip() {
+    cases(48, |rng| {
         // Push a ground term through the machine (unify with a fresh
         // variable) and read it back: must print identically.
+        let t = arb_ground_term(rng, 3);
         let mut kcm = Kcm::new();
         kcm.consult("eq(X, X).").expect("consult");
         let answer = kcm
             .solve_first(&format!("eq(Out, {t})"))
             .expect("query")
             .expect("unifies");
-        prop_assert_eq!(answer.binding_text("Out").expect("Out"), t.to_string());
-    }
+        assert_eq!(answer.binding_text("Out").expect("Out"), t.to_string());
+    });
+}
 
-    #[test]
-    fn term_ordering_is_total_and_antisymmetric(
-        a in arb_ground_term(3),
-        b in arb_ground_term(3),
-    ) {
+#[test]
+fn term_ordering_is_total_and_antisymmetric() {
+    cases(48, |rng| {
+        let a = arb_ground_term(rng, 3);
+        let b = arb_ground_term(rng, 3);
         let mut kcm = Kcm::new();
         kcm.consult("t.").expect("consult");
         let lt = kcm.holds(&format!("{a} @< {b}")).expect("q");
         let gt = kcm.holds(&format!("{a} @> {b}")).expect("q");
         let eq = kcm.holds(&format!("{a} == {b}")).expect("q");
         // Exactly one of <, >, == holds.
-        prop_assert_eq!(u8::from(lt) + u8::from(gt) + u8::from(eq), 1);
+        assert_eq!(u8::from(lt) + u8::from(gt) + u8::from(eq), 1, "{a} vs {b}");
         // == agrees with structural equality on ground terms.
-        prop_assert_eq!(eq, a == b);
-    }
+        assert_eq!(eq, a == b, "{a} vs {b}");
+    });
 }
 
 /// A generator of ground Prolog terms of bounded depth.
-fn arb_ground_term(depth: u32) -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        (-99i32..99).prop_map(Term::Int),
-        prop_oneof![
-            Just("a".to_owned()),
-            Just("b".to_owned()),
-            Just("foo".to_owned()),
-            Just("'a b'".to_owned()),
-        ]
-        .prop_map(|s| Term::Atom(s.trim_matches('\'').to_owned())),
-        Just(Term::nil()),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![Just("f".to_owned()), Just("g".to_owned()), Just("pair".to_owned())],
-                proptest::collection::vec(inner.clone(), 1..3)
-            )
-                .prop_map(|(n, args)| Term::Struct(n, args)),
-            proptest::collection::vec(inner, 0..3).prop_map(|items| Term::list(items, None)),
-        ]
-    })
+fn arb_ground_term(rng: &mut TestRng, depth: u32) -> Term {
+    if depth == 0 || rng.chance(2, 5) {
+        // Leaves: small ints, a few atoms (one needing quotes), nil.
+        return match rng.index(6) {
+            0 | 1 => Term::Int(rng.i32_in(-99, 99)),
+            2 => Term::Atom("a".to_owned()),
+            3 => Term::Atom("foo".to_owned()),
+            4 => Term::Atom("a b".to_owned()),
+            _ => Term::nil(),
+        };
+    }
+    if rng.chance(1, 2) {
+        let name = *rng.choose(&["f", "g", "pair"]);
+        let args = rng.vec_of(1, 3, |r| arb_ground_term(r, depth - 1));
+        Term::Struct(name.to_owned(), args)
+    } else {
+        let items = rng.vec_of(0, 3, |r| arb_ground_term(r, depth - 1));
+        Term::list(items, None)
+    }
 }
