@@ -12,6 +12,7 @@
 //! * **byte code** — one extra decode cycle per instruction (what the
 //!   fixed 64-bit instruction word buys, §2.3).
 
+use bench::{JsonlWriter, Record};
 use kcm_arch::CostModel;
 use kcm_compiler::CompileOptions;
 use kcm_suite::programs;
@@ -25,20 +26,32 @@ fn base() -> MachineConfig {
 }
 
 fn no_shallow() -> MachineConfig {
-    MachineConfig { shallow_backtracking: false, ..base() }
+    MachineConfig {
+        shallow_backtracking: false,
+        ..base()
+    }
 }
 
 fn no_trail_hw() -> MachineConfig {
-    MachineConfig { cost: CostModel::default().without_trail_hardware(), ..base() }
+    MachineConfig {
+        cost: CostModel::default().without_trail_hardware(),
+        ..base()
+    }
 }
 
 fn no_mwac() -> MachineConfig {
-    MachineConfig { cost: CostModel::default().without_mwac(), ..base() }
+    MachineConfig {
+        cost: CostModel::default().without_mwac(),
+        ..base()
+    }
 }
 
 fn byte_coded() -> MachineConfig {
     MachineConfig {
-        cost: CostModel { instr_overhead: 1, ..CostModel::default() },
+        cost: CostModel {
+            instr_overhead: 1,
+            ..CostModel::default()
+        },
         ..base()
     }
 }
@@ -66,27 +79,55 @@ fn main() {
         "slowdown factor per mechanism, starred drivers",
     );
     let mut t = Table::new(vec![
-        "Program", "KCM cycles", "no shallow", "no trail hw", "no MWAC", "byte code",
+        "Program",
+        "KCM cycles",
+        "no shallow",
+        "no trail hw",
+        "no MWAC",
+        "byte code",
         "in-code lits",
     ]);
-    let mut cols: [Vec<f64>; 5] =
-        [Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut cols: [Vec<f64>; 5] = [Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     // Six machine-model runs per program, one pooled session per program;
     // fan-in keeps suite order so the table never reorders.
     let suite = programs::suite();
     let measured = bench::pool().map(&suite, |p| {
-        let full = run_kcm(p, Variant::Starred, &base()).expect("run").outcome.stats.cycles;
+        let full = run_kcm(p, Variant::Starred, &base())
+            .expect("run")
+            .outcome
+            .stats
+            .cycles;
         let variants = [
-            run_kcm(p, Variant::Starred, &no_shallow()).expect("run").outcome.stats.cycles,
-            run_kcm(p, Variant::Starred, &no_trail_hw()).expect("run").outcome.stats.cycles,
-            run_kcm(p, Variant::Starred, &no_mwac()).expect("run").outcome.stats.cycles,
-            run_kcm(p, Variant::Starred, &byte_coded()).expect("run").outcome.stats.cycles,
+            run_kcm(p, Variant::Starred, &no_shallow())
+                .expect("run")
+                .outcome
+                .stats
+                .cycles,
+            run_kcm(p, Variant::Starred, &no_trail_hw())
+                .expect("run")
+                .outcome
+                .stats
+                .cycles,
+            run_kcm(p, Variant::Starred, &no_mwac())
+                .expect("run")
+                .outcome
+                .stats
+                .cycles,
+            run_kcm(p, Variant::Starred, &byte_coded())
+                .expect("run")
+                .outcome
+                .stats
+                .cycles,
             in_code_literals(p),
         ];
         (full, variants)
     });
+    let mut jsonl = JsonlWriter::for_bench("ablations");
     for (p, (full, variants)) in suite.iter().zip(&measured) {
-        let f: Vec<f64> = variants.iter().map(|&v| ratio(v as f64, *full as f64)).collect();
+        let f: Vec<f64> = variants
+            .iter()
+            .map(|&v| ratio(v as f64, *full as f64))
+            .collect();
         for (i, v) in f.iter().enumerate() {
             cols[i].push(*v);
         }
@@ -99,7 +140,24 @@ fn main() {
             f2(f[3]),
             f2(f[4]),
         ]);
+        jsonl.record(
+            &Record::row("ablations", p.name)
+                .u64("kcm_cycles", *full)
+                .f64("no_shallow_factor", f[0])
+                .f64("no_trail_hw_factor", f[1])
+                .f64("no_mwac_factor", f[2])
+                .f64("byte_code_factor", f[3])
+                .f64("in_code_literals_factor", f[4]),
+        );
     }
+    jsonl.record(
+        &Record::summary("ablations", "average")
+            .f64("no_shallow_factor", mean(&cols[0]))
+            .f64("no_trail_hw_factor", mean(&cols[1]))
+            .f64("no_mwac_factor", mean(&cols[2]))
+            .f64("byte_code_factor", mean(&cols[3]))
+            .f64("in_code_literals_factor", mean(&cols[4])),
+    );
     println!("{}", t.render());
     println!(
         "average slowdown   no shallow {}   no trail hw {}   no MWAC {}   byte code {}   in-code literals {}",
@@ -113,4 +171,5 @@ fn main() {
     println!("Expected shape: shallow backtracking matters most on head-failing");
     println!("predicates (hanoi, pri2, palin25); the MWAC on unification-dense code;");
     println!("the trail hardware on binding-heavy programs; byte decoding uniformly.");
+    jsonl.announce();
 }

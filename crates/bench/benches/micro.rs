@@ -3,14 +3,16 @@
 //! `std::time` harness — the build environment has no network, so
 //! criterion is unavailable.
 
+use bench::{JsonlWriter, Record};
 use kcm_suite::programs;
 use kcm_suite::runner::{run_kcm, Variant};
 use kcm_system::Kcm;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Runs `f` repeatedly for roughly a fixed budget and reports ns/iter.
-fn bench_function(name: &str, mut f: impl FnMut()) {
+/// Runs `f` repeatedly for roughly a fixed budget, reports ns/iter and
+/// records the measurement.
+fn bench_function(jsonl: &mut JsonlWriter, name: &str, mut f: impl FnMut()) {
     // Warm up and estimate cost.
     let t0 = Instant::now();
     f();
@@ -23,6 +25,11 @@ fn bench_function(name: &str, mut f: impl FnMut()) {
     }
     let per = t1.elapsed().as_nanos() / iters as u128;
     println!("{name:<24} {per:>12} ns/iter   ({iters} iters)");
+    jsonl.record(
+        &Record::row("micro", name)
+            .u64("ns_per_iter", per as u64)
+            .u64("iters", iters as u64),
+    );
 }
 
 fn main() {
@@ -31,14 +38,16 @@ fn main() {
         "ns per iteration, adaptive iteration counts",
     );
 
+    let mut jsonl = JsonlWriter::for_bench("micro");
+
     let query_src = programs::program("query").expect("query").source;
-    bench_function("parse_query_program", || {
+    bench_function(&mut jsonl, "parse_query_program", || {
         black_box(kcm_prolog::read_program(black_box(query_src)).expect("parse"));
     });
 
     let qs4_src = programs::program("qs4").expect("qs4").source;
     let clauses = kcm_prolog::read_program(qs4_src).expect("parse");
-    bench_function("compile_qs4", || {
+    bench_function(&mut jsonl, "compile_qs4", || {
         let mut symbols = kcm_arch::SymbolTable::new();
         black_box(
             kcm_compiler::compile_program(black_box(&clauses), &mut symbols).expect("compile"),
@@ -46,14 +55,16 @@ fn main() {
     });
 
     let nrev1 = programs::program("nrev1").expect("nrev1");
-    bench_function("simulate_nrev1", || {
+    bench_function(&mut jsonl, "simulate_nrev1", || {
         black_box(run_kcm(black_box(&nrev1), Variant::Starred, &Default::default()).expect("run"));
     });
 
-    bench_function("consult_and_query", || {
+    bench_function(&mut jsonl, "consult_and_query", || {
         let mut kcm = Kcm::new();
         kcm.consult(black_box("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R)."))
             .expect("consult");
         black_box(kcm.run("app([1,2,3],[4],X)", false).expect("query"));
     });
+
+    jsonl.announce();
 }

@@ -4,6 +4,7 @@
 //! occur at some stage" warning applies even to the sectioned design
 //! (capacity, not conflict).
 
+use bench::{JsonlWriter, Record};
 use kcm_suite::table::Table;
 use kcm_suite::workloads;
 use kcm_system::Kcm;
@@ -13,7 +14,11 @@ fn measure(source: &str, query: &str) -> (u64, f64, f64) {
     kcm.consult(source).expect("consult");
     let o = kcm.run(query, false).expect("run");
     assert!(o.success);
-    (o.stats.cycles, o.stats.klips(), o.stats.mem.dcache_hit_ratio())
+    (
+        o.stats.cycles,
+        o.stats.klips(),
+        o.stats.mem.dcache_hit_ratio(),
+    )
 }
 
 fn main() {
@@ -37,21 +42,26 @@ fn main() {
         let (src, q) = workloads::queens(n);
         work.push((format!("queens({n})"), src, q));
     }
-    let rows = bench::pool().map(&work, |(label, src, q)| {
-        let (cycles, klips, hit) = measure(src, q);
-        vec![
+    let measured = bench::pool().map(&work, |(_, src, q)| measure(src, q));
+    let mut jsonl = JsonlWriter::for_bench("scaling");
+    for ((label, _, _), (cycles, klips, hit)) in work.iter().zip(&measured) {
+        t.row(vec![
             label.clone(),
             cycles.to_string(),
             format!("{klips:.0}"),
             format!("{hit:.4}"),
-        ]
-    });
-    for row in rows {
-        t.row(row);
+        ]);
+        jsonl.record(
+            &Record::row("scaling", label)
+                .u64("cycles", *cycles)
+                .f64("klips", *klips)
+                .f64("dcache_hit_ratio", *hit),
+        );
     }
     println!("{}", t.render());
     println!("Expected shape: nrev Klips peak near the paper's 770 at suite sizes,");
     println!("then sag as the global stack outgrows its 1K-word cache section and");
     println!("capacity misses appear — locality 'near the top' (§3.2.4) only");
     println!("protects stack-like access patterns.");
+    jsonl.announce();
 }

@@ -13,6 +13,7 @@
 //! are rendered in suite order afterwards, so the table is identical at
 //! any worker count.
 
+use bench::{JsonlWriter, Record};
 use kcm_suite::table::{f2, mean, ratio, Table};
 use kcm_suite::{paper, programs, runner};
 
@@ -40,9 +41,19 @@ fn main() {
         }
     });
     let mut t = Table::new(vec![
-        "Program", "PLM instr", "PLM bytes", "SPUR instr", "SPUR bytes", "KCM instr",
-        "KCM words", "KCM/PLM i", "KCM/PLM B", "SPUR/KCM i", "SPUR/KCM B",
+        "Program",
+        "PLM instr",
+        "PLM bytes",
+        "SPUR instr",
+        "SPUR bytes",
+        "KCM instr",
+        "KCM words",
+        "KCM/PLM i",
+        "KCM/PLM B",
+        "SPUR/KCM i",
+        "SPUR/KCM B",
     ]);
+    let mut jsonl = JsonlWriter::for_bench("table1");
     let mut r_kp_i = Vec::new();
     let mut r_kp_b = Vec::new();
     let mut r_sk_i = Vec::new();
@@ -74,7 +85,28 @@ fn main() {
             f2(sk_i),
             f2(sk_b),
         ]);
+        jsonl.record(
+            &Record::row("table1", p.name)
+                .u64("plm_instrs", s.plm.instrs as u64)
+                .u64("plm_bytes", s.plm.bytes as u64)
+                .u64("spur_instrs", s.spur.instrs as u64)
+                .u64("spur_bytes", s.spur.bytes as u64)
+                .u64("kcm_instrs", s.kcm_i as u64)
+                .u64("kcm_words", s.kcm_w as u64)
+                .u64("kcm_bytes", kcm_bytes as u64)
+                .f64("kcm_plm_instr_ratio", kp_i)
+                .f64("kcm_plm_bytes_ratio", kp_b)
+                .f64("spur_kcm_instr_ratio", sk_i)
+                .f64("spur_kcm_bytes_ratio", sk_b),
+        );
     }
+    jsonl.record(
+        &Record::summary("table1", "average")
+            .f64("kcm_plm_instr_ratio", mean(&r_kp_i))
+            .f64("kcm_plm_bytes_ratio", mean(&r_kp_b))
+            .f64("spur_kcm_instr_ratio", mean(&r_sk_i))
+            .f64("spur_kcm_bytes_ratio", mean(&r_sk_b)),
+    );
     println!("{}", t.render());
     println!(
         "average   KCM/PLM instr {}  (paper {})   KCM/PLM bytes {}  (paper {})",
@@ -90,4 +122,5 @@ fn main() {
         f2(mean(&r_sk_b)),
         paper::averages::T1_SPUR_KCM_BYTES,
     );
+    jsonl.announce();
 }

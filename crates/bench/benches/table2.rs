@@ -10,6 +10,7 @@
 //! worker count); results come back in suite order, so the printed table
 //! is byte-identical to a serial run.
 
+use bench::{JsonlWriter, Record};
 use kcm_suite::table::{f2, f3, klips, mean, ratio, Table};
 use kcm_suite::{paper, programs};
 
@@ -21,8 +22,15 @@ fn main() {
     let suite = programs::suite();
     let times = bench::measure_suite(&suite, &bench::pool());
     let mut t = Table::new(vec![
-        "Program", "Inferences", "PLM ms", "PLM Klips", "KCM ms", "KCM Klips", "PLM/KCM",
+        "Program",
+        "Inferences",
+        "PLM ms",
+        "PLM Klips",
+        "KCM ms",
+        "KCM Klips",
+        "PLM/KCM",
     ]);
+    let mut jsonl = JsonlWriter::for_bench("table2");
     let mut ratios = Vec::new();
     for m in &times {
         let p = &m.program;
@@ -44,11 +52,23 @@ fn main() {
             klips(m.kcm_timed.klips()),
             format!("{} ({})", f2(r), f2(row.ratio)),
         ]);
+        jsonl.record(
+            &Record::row("table2", p.name)
+                .u64("inferences", inferences)
+                .u64("kcm_cycles", m.kcm_timed.outcome.stats.cycles)
+                .f64("kcm_ms", kcm_ms)
+                .f64("kcm_klips", m.kcm_timed.klips())
+                .f64("plm_ms", m.plm_ms)
+                .f64("plm_klips", plm_klips)
+                .f64("plm_kcm_ratio", r),
+        );
     }
+    jsonl.record(&Record::summary("table2", "average").f64("plm_kcm_ratio", mean(&ratios)));
     println!("{}", t.render());
     println!(
         "average PLM/KCM ratio: {}   (paper: {})",
         f2(mean(&ratios)),
         paper::averages::T2_PLM_KCM
     );
+    jsonl.announce();
 }

@@ -12,6 +12,7 @@
 //! worker count); results come back in suite order, so the printed table
 //! is byte-identical to a serial run.
 
+use bench::{JsonlWriter, Record};
 use kcm_suite::table::{f2, f3, mean, ratio, Table};
 use kcm_suite::{paper, programs};
 
@@ -23,8 +24,14 @@ fn main() {
     let suite = programs::suite();
     let times = bench::measure_suite(&suite, &bench::pool());
     let mut t = Table::new(vec![
-        "Program", "Inferences", "SWAM ms", "KCM ms", "KCM Klips", "SWAM/KCM",
+        "Program",
+        "Inferences",
+        "SWAM ms",
+        "KCM ms",
+        "KCM Klips",
+        "SWAM/KCM",
     ]);
+    let mut jsonl = JsonlWriter::for_bench("table3");
     let mut ratios_rated = Vec::new();
     let mut ratios_all = Vec::new();
     for m in &times {
@@ -39,23 +46,34 @@ fn main() {
         if row.ratio.is_some() {
             ratios_rated.push(r);
         }
-        let paper_q = row
-            .quintus_ms
-            .map(f3)
-            .unwrap_or_else(|| "-".to_owned());
-        let paper_r = row
-            .ratio
-            .map(f2)
-            .unwrap_or_else(|| "-".to_owned());
+        let paper_q = row.quintus_ms.map(f3).unwrap_or_else(|| "-".to_owned());
+        let paper_r = row.ratio.map(f2).unwrap_or_else(|| "-".to_owned());
         t.row(vec![
             format!("{}*", p.name),
-            format!("{} ({})", m.kcm_starred.outcome.stats.inferences, row.inferences),
+            format!(
+                "{} ({})",
+                m.kcm_starred.outcome.stats.inferences, row.inferences
+            ),
             format!("{} ({})", f3(m.swam_ms), paper_q),
             format!("{} ({})", f3(kcm_ms), f3(row.kcm_ms)),
             format!("{:.0}", m.kcm_starred.klips()),
             format!("{} ({})", f2(r), paper_r),
         ]);
+        jsonl.record(
+            &Record::row("table3", p.name)
+                .u64("inferences", m.kcm_starred.outcome.stats.inferences)
+                .u64("kcm_cycles", m.kcm_starred.outcome.stats.cycles)
+                .f64("kcm_ms", kcm_ms)
+                .f64("kcm_klips", m.kcm_starred.klips())
+                .f64("swam_ms", m.swam_ms)
+                .f64("swam_kcm_ratio", r),
+        );
     }
+    jsonl.record(
+        &Record::summary("table3", "average")
+            .f64("swam_kcm_ratio_rated", mean(&ratios_rated))
+            .f64("swam_kcm_ratio_all", mean(&ratios_all)),
+    );
     println!("{}", t.render());
     println!(
         "average SWAM/KCM ratio over the paper's rated rows: {}  (paper: {})",
@@ -64,16 +82,9 @@ fn main() {
     );
     println!("average over all rows: {}", f2(mean(&ratios_all)));
     println!();
-    println!(
-        "Shape check: deterministic programs (nrev1, pri2) sit at the low end of the"
-    );
-    println!(
-        "ratio range and backtracking-heavy programs (hanoi deep recursion, queens)"
-    );
-    println!(
-        "at the high end, as §4.2 observes. Known deviation: the paper's `query` ratio"
-    );
-    println!(
-        "(10.17) exceeds ours — see EXPERIMENTS.md for the analysis."
-    );
+    println!("Shape check: deterministic programs (nrev1, pri2) sit at the low end of the");
+    println!("ratio range and backtracking-heavy programs (hanoi deep recursion, queens)");
+    println!("at the high end, as §4.2 observes. Known deviation: the paper's `query` ratio");
+    println!("(10.17) exceeds ours — see EXPERIMENTS.md for the analysis.");
+    jsonl.announce();
 }

@@ -8,6 +8,7 @@
 //! reproduced here as the marginal cycle cost between two list lengths
 //! (one concatenation step is 15 cycles → 833 Klips at 80 ns).
 
+use bench::{JsonlWriter, Record};
 use kcm_suite::paper;
 use kcm_suite::table::{ratio, Table};
 use kcm_system::Kcm;
@@ -44,12 +45,9 @@ fn concat_step_cycles() -> f64 {
 /// Sustained nrev Klips on the 30-element list (the second Table 4 figure).
 fn nrev_klips() -> f64 {
     let p = kcm_suite::programs::program("nrev1").expect("nrev1");
-    let m = kcm_suite::runner::run_kcm(
-        &p,
-        kcm_suite::runner::Variant::Starred,
-        &Default::default(),
-    )
-    .expect("nrev run");
+    let m =
+        kcm_suite::runner::run_kcm(&p, kcm_suite::runner::Variant::Starred, &Default::default())
+            .expect("nrev run");
     m.klips()
 }
 
@@ -67,21 +65,36 @@ fn main() {
     let (step, nrev) = (vals[0], vals[1]);
     let concat_klips = ratio(1.0, step * 80.0e-9) / 1000.0;
 
-    let mut t = Table::new(vec!["Machine", "By", "Klips (concat-nrev)", "Word", "Comment"]);
+    let mut jsonl = JsonlWriter::for_bench("table4");
+    let mut t = Table::new(vec![
+        "Machine",
+        "By",
+        "Klips (concat-nrev)",
+        "Word",
+        "Comment",
+    ]);
     for row in paper::TABLE4 {
         let klips = if row.machine == "KCM" {
             format!(
                 "{:.0} - {:.0}  (paper: {} - {})",
                 concat_klips,
                 nrev,
-                row.concat_klips.map(|v| v.to_string()).unwrap_or_else(|| "?".into()),
-                row.nrev_klips.map(|v| v.to_string()).unwrap_or_else(|| "?".into()),
+                row.concat_klips
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "?".into()),
+                row.nrev_klips
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "?".into()),
             )
         } else {
             format!(
                 "{} - {}",
-                row.concat_klips.map(|v| v.to_string()).unwrap_or_else(|| "?".into()),
-                row.nrev_klips.map(|v| v.to_string()).unwrap_or_else(|| "?".into()),
+                row.concat_klips
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "?".into()),
+                row.nrev_klips
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "?".into()),
             )
         };
         t.row(vec![
@@ -91,9 +104,27 @@ fn main() {
             row.word_bits.to_string(),
             row.comment.to_owned(),
         ]);
+        let mut rec = Record::row("table4", row.machine).u64("word_bits", row.word_bits as u64);
+        if row.machine == "KCM" {
+            rec = rec
+                .f64("concat_klips", concat_klips)
+                .f64("nrev_klips", nrev);
+        } else {
+            if let Some(v) = row.concat_klips {
+                rec = rec.u64("concat_klips", v.into());
+            }
+            if let Some(v) = row.nrev_klips {
+                rec = rec.u64("nrev_klips", v.into());
+            }
+        }
+        jsonl.record(&rec);
     }
-    println!("{}", t.render());
-    println!(
-        "one concatenation step: {step:.1} cycles (paper: 15 cycles = 833 Klips at 80 ns)"
+    jsonl.record(
+        &Record::summary("table4", "concat step")
+            .f64("step_cycles", step)
+            .f64("concat_klips", concat_klips),
     );
+    println!("{}", t.render());
+    println!("one concatenation step: {step:.1} cycles (paper: 15 cycles = 833 Klips at 80 ns)");
+    jsonl.announce();
 }

@@ -1,8 +1,14 @@
-use kcm_suite::{paper, programs, runner::{run_kcm, Variant}};
+use kcm_suite::{
+    paper, programs,
+    runner::{run_kcm, Variant},
+};
 fn main() {
     let (mut r2, mut n2) = (0.0, 0.0);
     let (mut r3, mut n3) = (0.0, 0.0);
-    println!("{:<10} {:>8} {:>8} {:>6}/{:<5} | {:>8} {:>8} {:>6}/{:<5}", "prog", "kcm_ms", "plm_ms", "r2", "pap", "kcm*_ms", "swam_ms", "r3", "pap");
+    println!(
+        "{:<10} {:>8} {:>8} {:>6}/{:<5} | {:>8} {:>8} {:>6}/{:<5}",
+        "prog", "kcm_ms", "plm_ms", "r2", "pap", "kcm*_ms", "swam_ms", "r3", "pap"
+    );
     for p in programs::suite() {
         let k = run_kcm(&p, Variant::Timed, &Default::default()).unwrap();
         let pl = plm::run_plm(p.source, p.query, p.enumerate).unwrap();
@@ -10,13 +16,38 @@ fn main() {
         let sw = swam::run_swam(p.source, p.starred_query, p.enumerate).unwrap();
         let rt2 = pl.stats.ms() / k.outcome.stats.ms();
         let rt3 = sw.stats.ms() / ks.outcome.stats.ms();
-        let p2 = paper::TABLE2.iter().find(|r| r.program == p.name).unwrap().ratio;
-        let p3 = paper::TABLE3.iter().find(|r| r.program == p.name).unwrap().ratio;
-        println!("{:<10} {:>8.3} {:>8.3} {:>6.2}/{:<5.2} | {:>8.3} {:>8.3} {:>6.2}/{}", p.name,
-            k.outcome.stats.ms(), pl.stats.ms(), rt2, p2, ks.outcome.stats.ms(), sw.stats.ms(), rt3,
-            p3.map(|x| format!("{x:.2}")).unwrap_or("-".into()));
-        r2 += rt2; n2 += 1.0;
-        if p3.is_some() { r3 += rt3; n3 += 1.0; }
+        let p2 = paper::TABLE2
+            .iter()
+            .find(|r| r.program == p.name)
+            .unwrap()
+            .ratio;
+        let p3 = paper::TABLE3
+            .iter()
+            .find(|r| r.program == p.name)
+            .unwrap()
+            .ratio;
+        println!(
+            "{:<10} {:>8.3} {:>8.3} {:>6.2}/{:<5.2} | {:>8.3} {:>8.3} {:>6.2}/{}",
+            p.name,
+            k.outcome.stats.ms(),
+            pl.stats.ms(),
+            rt2,
+            p2,
+            ks.outcome.stats.ms(),
+            sw.stats.ms(),
+            rt3,
+            p3.map(|x| format!("{x:.2}")).unwrap_or("-".into())
+        );
+        r2 += rt2;
+        n2 += 1.0;
+        if p3.is_some() {
+            r3 += rt3;
+            n3 += 1.0;
+        }
     }
-    println!("avg T2 {:.2} (paper 3.05)   avg T3 {:.2} (paper 7.85)", r2/n2, r3/n3);
+    println!(
+        "avg T2 {:.2} (paper 3.05)   avg T3 {:.2} (paper 7.85)",
+        r2 / n2,
+        r3 / n3
+    );
 }

@@ -1,0 +1,83 @@
+//! Validates emitted bench JSONL files against the schema of
+//! [`bench::jsonl`].
+//!
+//! ```text
+//! cargo run -p bench --bin validate_jsonl [FILE...]
+//! ```
+//!
+//! With no arguments, validates every `BENCH_*.jsonl` under the output
+//! directory (`target/bench-json`, or `KCM_BENCH_JSON` when set). Exits
+//! non-zero if any line fails, if a named file is unreadable, or if there
+//! is nothing to validate at all — so CI catches a driver that silently
+//! stopped emitting.
+
+use bench::jsonl::validate_line;
+use std::path::PathBuf;
+
+fn default_files() -> Vec<PathBuf> {
+    let Some(dir) = bench::jsonl::output_dir() else {
+        return Vec::new();
+    };
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<PathBuf> = if args.is_empty() {
+        default_files()
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+    if files.is_empty() {
+        eprintln!("validate_jsonl: no BENCH_*.jsonl files found");
+        std::process::exit(1);
+    }
+    let mut failures = 0usize;
+    let mut records = 0usize;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: unreadable: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let mut file_records = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match validate_line(line) {
+                Ok(_) => file_records += 1,
+                Err(e) => {
+                    eprintln!("{}:{}: {e}", path.display(), lineno + 1);
+                    failures += 1;
+                }
+            }
+        }
+        if file_records == 0 {
+            eprintln!("{}: no records", path.display());
+            failures += 1;
+        }
+        records += file_records;
+        println!("{}: {file_records} records ok", path.display());
+    }
+    println!("validated {records} records in {} files", files.len());
+    if failures > 0 {
+        eprintln!("validate_jsonl: {failures} failures");
+        std::process::exit(1);
+    }
+}

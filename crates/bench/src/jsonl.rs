@@ -1,0 +1,551 @@
+//! Machine-readable bench output: one JSONL file per table driver.
+//!
+//! Every table driver prints its human-readable table **and** appends one
+//! JSON object per row to `BENCH_<name>.jsonl`, so the bench trajectory
+//! is recorded in a form tooling can diff and plot. The numbers in a
+//! record are the same Rust values the text table was formatted from —
+//! matching by construction, not by re-parsing the table.
+//!
+//! # Schema
+//!
+//! Each line is a flat JSON object with:
+//!
+//! * `"bench"` — the driver name (`"table2"`, `"scaling"`, …), string;
+//! * `"kind"` — `"row"` for a table row, `"summary"` for the aggregate
+//!   line(s) printed under it, string;
+//! * `"label"` — the row label (program or workload name), string;
+//! * any number of metric fields: integers, floats or strings. Keys are
+//!   emitted in insertion order, so files diff cleanly run to run.
+//!
+//! Non-finite floats serialize as `null` (JSON has no NaN/Infinity).
+//!
+//! # Output location
+//!
+//! Files go to `target/bench-json/` by default. `KCM_BENCH_JSON` overrides
+//! the directory; setting it to `0` or `off` disables emission entirely.
+//! The file is truncated at the first record of a run, so each driver run
+//! leaves exactly its own rows.
+//!
+//! The crate ships `cargo run -p bench --bin validate_jsonl` which checks
+//! every emitted file against this schema with the in-tree JSON parser
+//! (the build environment is offline, so there is no serde here).
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One metric value of a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string (labels, names).
+    Str(String),
+    /// An unsigned counter (cycles, inferences, sizes).
+    U64(u64),
+    /// A measurement (ms, Klips, ratios). Non-finite values serialize as
+    /// `null`.
+    F64(f64),
+}
+
+/// One JSONL record under construction: ordered key → value pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// A table-row record for `bench`, labelled `label`.
+    pub fn row(bench: &str, label: &str) -> Record {
+        Record::with_kind(bench, "row", label)
+    }
+
+    /// A summary record (the aggregate line under the table).
+    pub fn summary(bench: &str, label: &str) -> Record {
+        Record::with_kind(bench, "summary", label)
+    }
+
+    fn with_kind(bench: &str, kind: &str, label: &str) -> Record {
+        let mut r = Record { fields: Vec::new() };
+        r.push("bench", Value::Str(bench.to_owned()));
+        r.push("kind", Value::Str(kind.to_owned()));
+        r.push("label", Value::Str(label.to_owned()));
+        r
+    }
+
+    fn push(&mut self, key: &str, value: Value) {
+        self.fields.push((key.to_owned(), value));
+    }
+
+    /// Adds an unsigned counter field.
+    #[must_use]
+    pub fn u64(mut self, key: &str, value: u64) -> Record {
+        self.push(key, Value::U64(value));
+        self
+    }
+
+    /// Adds a float measurement field.
+    #[must_use]
+    pub fn f64(mut self, key: &str, value: f64) -> Record {
+        self.push(key, Value::F64(value));
+        self
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Record {
+        self.push(key, Value::Str(value.to_owned()));
+        self
+    }
+
+    /// Serializes the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, k);
+            out.push(':');
+            match v {
+                Value::Str(s) => write_json_string(&mut out, s),
+                Value::U64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::F64(x) if x.is_finite() => {
+                    let _ = write!(out, "{x}");
+                }
+                Value::F64(_) => out.push_str("null"),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends records for one bench driver to its `BENCH_<name>.jsonl` file.
+///
+/// Construction never fails: when the output directory cannot be created
+/// (or emission is disabled via `KCM_BENCH_JSON=off`), the writer is a
+/// no-op and the table drivers still print their text output.
+#[derive(Debug)]
+pub struct JsonlWriter {
+    file: Option<File>,
+    path: Option<PathBuf>,
+}
+
+impl JsonlWriter {
+    /// The writer for bench driver `name`, truncating any previous file.
+    pub fn for_bench(name: &str) -> JsonlWriter {
+        let Some(dir) = output_dir() else {
+            return JsonlWriter {
+                file: None,
+                path: None,
+            };
+        };
+        if std::fs::create_dir_all(&dir).is_err() {
+            return JsonlWriter {
+                file: None,
+                path: None,
+            };
+        }
+        let path = dir.join(format!("BENCH_{name}.jsonl"));
+        match File::create(&path) {
+            Ok(f) => JsonlWriter {
+                file: Some(f),
+                path: Some(path),
+            },
+            Err(_) => JsonlWriter {
+                file: None,
+                path: None,
+            },
+        }
+    }
+
+    /// Writes one record as one line. I/O errors are swallowed — JSONL is
+    /// a side channel and must never break a bench run.
+    pub fn record(&mut self, rec: &Record) {
+        if let Some(f) = &mut self.file {
+            let _ = writeln!(f, "{}", rec.to_json());
+        }
+    }
+
+    /// Where the file is being written, if emission is active.
+    pub fn path(&self) -> Option<&std::path::Path> {
+        self.path.as_deref()
+    }
+
+    /// Prints the standard "recorded to …" trailer under a table.
+    pub fn announce(&self) {
+        if let Some(p) = self.path() {
+            println!("[jsonl] recorded to {}", p.display());
+        }
+    }
+}
+
+/// The output directory: `KCM_BENCH_JSON` when set (`0`/`off` disables),
+/// otherwise `target/bench-json` under the workspace root. The default is
+/// anchored on the crate's manifest directory rather than the current
+/// working directory, because `cargo bench` runs drivers from the package
+/// directory while `cargo run` keeps the caller's — both must land in the
+/// same place.
+pub fn output_dir() -> Option<PathBuf> {
+    match std::env::var("KCM_BENCH_JSON") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => None,
+        Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => {
+            let workspace = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench sits two levels below the workspace root");
+            Some(workspace.join("target").join("bench-json"))
+        }
+    }
+}
+
+// ------------------------------------------------------------ validation
+
+/// A parsed JSON value (the subset the bench schema uses, which is all of
+/// JSON minus exotic number forms).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value from `input` (trailing content is an
+/// error) — a recursive-descent parser so the offline build needs no
+/// external JSON crate.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("expected `{lit}` at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad utf8".to_owned())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so the
+                // byte stream is valid UTF-8).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "bad utf8".to_owned())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // [
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // {
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+/// Validates one JSONL line against the bench schema. Returns the parsed
+/// object on success.
+///
+/// # Errors
+///
+/// Describes the first violation: syntax error, non-object line, missing
+/// or mistyped `bench`/`kind`/`label`, or a record with no metric fields.
+pub fn validate_line(line: &str) -> Result<Json, String> {
+    let v = parse_json(line)?;
+    let Json::Obj(fields) = &v else {
+        return Err("line is not a JSON object".into());
+    };
+    for key in ["bench", "kind", "label"] {
+        match v.get(key) {
+            Some(Json::Str(_)) => {}
+            Some(_) => return Err(format!("`{key}` is not a string")),
+            None => return Err(format!("missing `{key}`")),
+        }
+    }
+    match v.get("kind").and_then(Json::as_str) {
+        Some("row" | "summary") => {}
+        Some(k) => return Err(format!("unknown kind `{k}`")),
+        None => unreachable!("checked above"),
+    }
+    let metrics = fields
+        .iter()
+        .filter(|(k, _)| !matches!(k.as_str(), "bench" | "kind" | "label"))
+        .count();
+    if metrics == 0 {
+        return Err("record has no metric fields".into());
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_serializes_in_insertion_order() {
+        let r = Record::row("table2", "nrev1")
+            .u64("cycles", 12345)
+            .f64("klips", 770.5)
+            .str("note", "a \"quoted\" note");
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\"bench\":\"table2\",\"kind\":\"row\",\"label\":\"nrev1\",\
+             \"cycles\":12345,\"klips\":770.5,\"note\":\"a \\\"quoted\\\" note\"}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let r = Record::row("t", "x")
+            .f64("bad", f64::NAN)
+            .f64("inf", f64::INFINITY);
+        let json = r.to_json();
+        assert!(json.contains("\"bad\":null"));
+        assert!(json.contains("\"inf\":null"));
+        parse_json(&json).expect("null is valid JSON");
+    }
+
+    #[test]
+    fn writer_roundtrips_through_the_validator() {
+        let records = [
+            Record::row("table2", "nrev1")
+                .u64("cycles", 53021)
+                .f64("kcm_ms", 4.2),
+            Record::summary("table2", "average").f64("ratio", 3.17),
+        ];
+        for r in &records {
+            let parsed = validate_line(&r.to_json()).expect("valid");
+            assert_eq!(parsed.get("bench").and_then(Json::as_str), Some("table2"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_bad_lines() {
+        assert!(validate_line("not json").is_err());
+        assert!(validate_line("[1,2,3]").is_err());
+        assert!(validate_line("{\"bench\":\"x\"}").is_err());
+        assert!(
+            validate_line("{\"bench\":\"x\",\"kind\":\"row\",\"label\":\"y\"}").is_err(),
+            "no metrics"
+        );
+        assert!(
+            validate_line("{\"bench\":\"x\",\"kind\":\"weird\",\"label\":\"y\",\"n\":1}").is_err(),
+            "unknown kind"
+        );
+        validate_line("{\"bench\":\"x\",\"kind\":\"row\",\"label\":\"y\",\"n\":1}")
+            .expect("minimal valid record");
+    }
+
+    #[test]
+    fn parser_handles_nesting_numbers_and_escapes() {
+        let v = parse_json("{\"a\":[1,-2.5,1e3,null,true,false],\"b\":{\"c\":\"x\\ny\\u0041\"}}")
+            .expect("parse");
+        let Json::Obj(_) = v else { panic!("object") };
+        let arr = v.get("a").expect("a");
+        assert_eq!(
+            *arr,
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2.5),
+                Json::Num(1000.0),
+                Json::Null,
+                Json::Bool(true),
+                Json::Bool(false),
+            ])
+        );
+        let c = v.get("b").and_then(|b| b.get("c")).expect("b.c");
+        assert_eq!(c.as_str(), Some("x\nyA"));
+        assert!(parse_json("{\"a\":1} extra").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn disabled_writer_is_a_no_op() {
+        // Env-independent: construct the disabled state directly.
+        let mut w = JsonlWriter {
+            file: None,
+            path: None,
+        };
+        w.record(&Record::row("x", "y").u64("n", 1));
+        assert!(w.path().is_none());
+    }
+}

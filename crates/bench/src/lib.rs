@@ -12,9 +12,19 @@
 //! | `table4` | Table 4 — peak Klips of dedicated Prolog machines |
 //! | `cache_collision` | §3.2.4's direct-mapped stack-collision experiment |
 //! | `ablations` | §5's "influence of each specialized unit" study |
-//! | `micro` | Criterion micro-benchmarks of the simulator itself |
+//! | `scaling` | working-set scaling beyond the paper's fixed-size suite |
+//! | `micro` | micro-benchmarks of the simulator itself |
+//!
+//! Every table driver additionally appends machine-readable JSONL to
+//! `target/bench-json/BENCH_<name>.jsonl` (see [`jsonl`] for the schema
+//! and the `KCM_BENCH_JSON` switch); `cargo run -p bench --bin
+//! validate_jsonl` checks the emitted files.
 
 #![warn(missing_docs)]
+
+pub mod jsonl;
+
+pub use jsonl::{JsonlWriter, Record};
 
 use kcm_suite::programs::BenchProgram;
 use kcm_suite::runner::{run_kcm, Measurement, Variant};
@@ -95,6 +105,9 @@ mod tests {
         let t = measure_program(&p);
         assert!(t.kcm_timed.outcome.success);
         assert!(t.plm_ms > t.kcm_timed.ms(), "PLM must be slower");
-        assert!(t.swam_ms > t.kcm_starred.ms(), "software WAM must be slower");
+        assert!(
+            t.swam_ms > t.kcm_starred.ms(),
+            "software WAM must be slower"
+        );
     }
 }

@@ -1043,7 +1043,13 @@ impl Instr {
             Instr::TvmGc { d, s, bits } => {
                 out.push(op(OP_TVM_GC) | r1(*d) | r2(*s) | ((*bits as u64 & 0x3) << 8));
             }
-            Instr::Load { dd, ras, rad, off, pre } => {
+            Instr::Load {
+                dd,
+                ras,
+                rad,
+                off,
+                pre,
+            } => {
                 out.push(
                     op(OP_LOAD)
                         | r1(*dd)
@@ -1053,7 +1059,13 @@ impl Instr {
                         | (*pre as u64),
                 );
             }
-            Instr::Store { ds, ras, rad, off, pre } => {
+            Instr::Store {
+                ds,
+                ras,
+                rad,
+                off,
+                pre,
+            } => {
                 out.push(
                     op(OP_STORE)
                         | r1(*ds)
@@ -1081,8 +1093,14 @@ impl Instr {
         let addr28 = || CodeAddr::new((w & 0x0FFF_FFFF) as u32);
         let f8 = ((w >> 48) & 0xFF) as u8;
         let instr = match opcode {
-            OP_CALL => Instr::Call { addr: addr28(), arity: f8 },
-            OP_EXECUTE => Instr::Execute { addr: addr28(), arity: f8 },
+            OP_CALL => Instr::Call {
+                addr: addr28(),
+                arity: f8,
+            },
+            OP_EXECUTE => Instr::Execute {
+                addr: addr28(),
+                arity: f8,
+            },
             OP_PROCEED => Instr::Proceed,
             OP_ALLOCATE => Instr::Allocate { n: f8 },
             OP_DEALLOCATE => Instr::Deallocate,
@@ -1133,26 +1151,63 @@ impl Instr {
                 }
                 return Some((Instr::SwitchOnStructure { default, table }, 1 + 2 * n));
             }
-            OP_ESCAPE => Instr::Escape { builtin: Builtin::from_bits(f8)? },
-            OP_HALT => Instr::Halt { success: f8 & 1 == 1 },
+            OP_ESCAPE => Instr::Escape {
+                builtin: Builtin::from_bits(f8)?,
+            },
+            OP_HALT => Instr::Halt {
+                success: f8 & 1 == 1,
+            },
             OP_MARK => Instr::Mark,
-            OP_GET_VARIABLE => Instr::GetVariable { x: dreg(w, 48), a: dreg(w, 40) },
-            OP_GET_VARIABLE_Y => Instr::GetVariableY { y: f8, a: dreg(w, 40) },
-            OP_GET_VALUE => Instr::GetValue { x: dreg(w, 48), a: dreg(w, 40) },
-            OP_GET_VALUE_Y => Instr::GetValueY { y: f8, a: dreg(w, 40) },
-            OP_GET_CONSTANT => Instr::GetConstant { c: dec_const(w), a: dreg(w, 48) },
+            OP_GET_VARIABLE => Instr::GetVariable {
+                x: dreg(w, 48),
+                a: dreg(w, 40),
+            },
+            OP_GET_VARIABLE_Y => Instr::GetVariableY {
+                y: f8,
+                a: dreg(w, 40),
+            },
+            OP_GET_VALUE => Instr::GetValue {
+                x: dreg(w, 48),
+                a: dreg(w, 40),
+            },
+            OP_GET_VALUE_Y => Instr::GetValueY {
+                y: f8,
+                a: dreg(w, 40),
+            },
+            OP_GET_CONSTANT => Instr::GetConstant {
+                c: dec_const(w),
+                a: dreg(w, 48),
+            },
             OP_GET_NIL => Instr::GetNil { a: dreg(w, 48) },
             OP_GET_LIST => Instr::GetList { a: dreg(w, 48) },
             OP_GET_STRUCTURE => Instr::GetStructure {
                 f: FunctorId::new((w & 0xFFFF_FFFF) as usize),
                 a: dreg(w, 48),
             },
-            OP_PUT_VARIABLE => Instr::PutVariable { x: dreg(w, 48), a: dreg(w, 40) },
-            OP_PUT_VARIABLE_Y => Instr::PutVariableY { y: f8, a: dreg(w, 40) },
-            OP_PUT_VALUE => Instr::PutValue { x: dreg(w, 48), a: dreg(w, 40) },
-            OP_PUT_VALUE_Y => Instr::PutValueY { y: f8, a: dreg(w, 40) },
-            OP_PUT_UNSAFE_VALUE => Instr::PutUnsafeValue { y: f8, a: dreg(w, 40) },
-            OP_PUT_CONSTANT => Instr::PutConstant { c: dec_const(w), a: dreg(w, 48) },
+            OP_PUT_VARIABLE => Instr::PutVariable {
+                x: dreg(w, 48),
+                a: dreg(w, 40),
+            },
+            OP_PUT_VARIABLE_Y => Instr::PutVariableY {
+                y: f8,
+                a: dreg(w, 40),
+            },
+            OP_PUT_VALUE => Instr::PutValue {
+                x: dreg(w, 48),
+                a: dreg(w, 40),
+            },
+            OP_PUT_VALUE_Y => Instr::PutValueY {
+                y: f8,
+                a: dreg(w, 40),
+            },
+            OP_PUT_UNSAFE_VALUE => Instr::PutUnsafeValue {
+                y: f8,
+                a: dreg(w, 40),
+            },
+            OP_PUT_CONSTANT => Instr::PutConstant {
+                c: dec_const(w),
+                a: dreg(w, 48),
+            },
             OP_PUT_NIL => Instr::PutNil { a: dreg(w, 48) },
             OP_PUT_LIST => Instr::PutList { a: dreg(w, 48) },
             OP_PUT_STRUCTURE => Instr::PutStructure {
@@ -1175,17 +1230,32 @@ impl Instr {
                 s2: dreg(w, 32),
                 d2: dreg(w, 24),
             },
-            OP_LOAD_CONST => Instr::LoadConst { d: dreg(w, 48), c: dec_const(w) },
+            OP_LOAD_CONST => Instr::LoadConst {
+                d: dreg(w, 48),
+                c: dec_const(w),
+            },
             OP_ALU => Instr::Alu {
                 op: AluOp::from_bits(((w >> 8) & 0xFF) as u8)?,
                 d: dreg(w, 48),
                 s1: dreg(w, 40),
                 s2: dreg(w, 32),
             },
-            OP_CMP_REGS => Instr::CmpRegs { s1: dreg(w, 48), s2: dreg(w, 40) },
-            OP_BRANCH => Instr::Branch { cond: Cond::from_bits(f8)?, to: addr28() },
-            OP_DEREF => Instr::Deref { d: dreg(w, 48), s: dreg(w, 40) },
-            OP_TVM_SWAP => Instr::TvmSwap { d: dreg(w, 48), s: dreg(w, 40) },
+            OP_CMP_REGS => Instr::CmpRegs {
+                s1: dreg(w, 48),
+                s2: dreg(w, 40),
+            },
+            OP_BRANCH => Instr::Branch {
+                cond: Cond::from_bits(f8)?,
+                to: addr28(),
+            },
+            OP_DEREF => Instr::Deref {
+                d: dreg(w, 48),
+                s: dreg(w, 40),
+            },
+            OP_TVM_SWAP => Instr::TvmSwap {
+                d: dreg(w, 48),
+                s: dreg(w, 40),
+            },
             OP_TVM_GC => Instr::TvmGc {
                 d: dreg(w, 48),
                 s: dreg(w, 40),
@@ -1259,10 +1329,13 @@ impl std::fmt::Display for Instr {
             Instr::CutEnv => write!(f, "cut_env"),
             Instr::Fail => write!(f, "fail"),
             Instr::Jump { to } => write!(f, "jump {to}"),
-            Instr::SwitchOnTerm { on_var, on_const, on_list, on_struct } => {
-                let s = |a: &Option<CodeAddr>| {
-                    a.map_or("fail".to_owned(), |a| a.to_string())
-                };
+            Instr::SwitchOnTerm {
+                on_var,
+                on_const,
+                on_list,
+                on_struct,
+            } => {
+                let s = |a: &Option<CodeAddr>| a.map_or("fail".to_owned(), |a| a.to_string());
                 write!(
                     f,
                     "switch_on_term v:{} c:{} l:{} s:{}",
@@ -1316,11 +1389,31 @@ impl std::fmt::Display for Instr {
             Instr::Deref { d, s } => write!(f, "deref {d}, {s}"),
             Instr::TvmSwap { d, s } => write!(f, "tvm_swap {d}, {s}"),
             Instr::TvmGc { d, s, bits } => write!(f, "tvm_gc {d}, {s}, {bits:#b}"),
-            Instr::Load { dd, ras, rad, off, pre } => {
-                write!(f, "load {dd}, [{ras}{}{off}] -> {rad}", if *pre { "+" } else { ";" })
+            Instr::Load {
+                dd,
+                ras,
+                rad,
+                off,
+                pre,
+            } => {
+                write!(
+                    f,
+                    "load {dd}, [{ras}{}{off}] -> {rad}",
+                    if *pre { "+" } else { ";" }
+                )
             }
-            Instr::Store { ds, ras, rad, off, pre } => {
-                write!(f, "store {ds}, [{ras}{}{off}] -> {rad}", if *pre { "+" } else { ";" })
+            Instr::Store {
+                ds,
+                ras,
+                rad,
+                off,
+                pre,
+            } => {
+                write!(
+                    f,
+                    "store {ds}, [{ras}{}{off}] -> {rad}",
+                    if *pre { "+" } else { ";" }
+                )
             }
             Instr::LoadDirect { d, addr } => write!(f, "load {d}, [{addr}]"),
             Instr::StoreDirect { s, addr } => write!(f, "store {s}, [{addr}]"),
@@ -1343,24 +1436,46 @@ mod tests {
 
     #[test]
     fn roundtrip_control() {
-        roundtrip(Instr::Call { addr: CodeAddr::new(0x123456), arity: 3 });
-        roundtrip(Instr::Execute { addr: CodeAddr::new(0xFFFFFF), arity: 0 });
+        roundtrip(Instr::Call {
+            addr: CodeAddr::new(0x123456),
+            arity: 3,
+        });
+        roundtrip(Instr::Execute {
+            addr: CodeAddr::new(0xFFFFFF),
+            arity: 0,
+        });
         roundtrip(Instr::Proceed);
         roundtrip(Instr::Allocate { n: 12 });
         roundtrip(Instr::Deallocate);
-        roundtrip(Instr::TryMeElse { alt: CodeAddr::new(7) });
-        roundtrip(Instr::RetryMeElse { alt: CodeAddr::new(9) });
+        roundtrip(Instr::TryMeElse {
+            alt: CodeAddr::new(7),
+        });
+        roundtrip(Instr::RetryMeElse {
+            alt: CodeAddr::new(9),
+        });
         roundtrip(Instr::TrustMe);
-        roundtrip(Instr::Try { clause: CodeAddr::new(100) });
-        roundtrip(Instr::Retry { clause: CodeAddr::new(200) });
-        roundtrip(Instr::Trust { clause: CodeAddr::new(300) });
+        roundtrip(Instr::Try {
+            clause: CodeAddr::new(100),
+        });
+        roundtrip(Instr::Retry {
+            clause: CodeAddr::new(200),
+        });
+        roundtrip(Instr::Trust {
+            clause: CodeAddr::new(300),
+        });
         roundtrip(Instr::Neck);
         roundtrip(Instr::Cut);
         roundtrip(Instr::CutEnv);
         roundtrip(Instr::Fail);
-        roundtrip(Instr::Jump { to: CodeAddr::new(0xABCDE) });
-        roundtrip(Instr::Escape { builtin: Builtin::Write });
-        roundtrip(Instr::Escape { builtin: Builtin::IsList });
+        roundtrip(Instr::Jump {
+            to: CodeAddr::new(0xABCDE),
+        });
+        roundtrip(Instr::Escape {
+            builtin: Builtin::Write,
+        });
+        roundtrip(Instr::Escape {
+            builtin: Builtin::IsList,
+        });
         roundtrip(Instr::Halt { success: true });
         roundtrip(Instr::Halt { success: false });
         roundtrip(Instr::Mark);
@@ -1398,19 +1513,31 @@ mod tests {
         roundtrip(Instr::GetVariableY { y: 7, a: r(2) });
         roundtrip(Instr::GetValue { x: r(63), a: r(0) });
         roundtrip(Instr::GetValueY { y: 255, a: r(3) });
-        roundtrip(Instr::GetConstant { c: Word::int(-42), a: r(1) });
+        roundtrip(Instr::GetConstant {
+            c: Word::int(-42),
+            a: r(1),
+        });
         roundtrip(Instr::GetNil { a: r(4) });
         roundtrip(Instr::GetList { a: r(0) });
-        roundtrip(Instr::GetStructure { f: FunctorId::new(12345), a: r(2) });
+        roundtrip(Instr::GetStructure {
+            f: FunctorId::new(12345),
+            a: r(2),
+        });
         roundtrip(Instr::PutVariable { x: r(6), a: r(1) });
         roundtrip(Instr::PutVariableY { y: 2, a: r(1) });
         roundtrip(Instr::PutValue { x: r(9), a: r(5) });
         roundtrip(Instr::PutValueY { y: 0, a: r(0) });
         roundtrip(Instr::PutUnsafeValue { y: 1, a: r(1) });
-        roundtrip(Instr::PutConstant { c: Word::float(1.5), a: r(1) });
+        roundtrip(Instr::PutConstant {
+            c: Word::float(1.5),
+            a: r(1),
+        });
         roundtrip(Instr::PutNil { a: r(2) });
         roundtrip(Instr::PutList { a: r(3) });
-        roundtrip(Instr::PutStructure { f: FunctorId::new(1), a: r(1) });
+        roundtrip(Instr::PutStructure {
+            f: FunctorId::new(1),
+            a: r(1),
+        });
         roundtrip(Instr::UnifyVariable { x: r(11) });
         roundtrip(Instr::UnifyVariableY { y: 9 });
         roundtrip(Instr::UnifyValue { x: r(12) });
@@ -1426,23 +1553,67 @@ mod tests {
     #[test]
     fn roundtrip_general_purpose() {
         let r = |i| Reg::new(i);
-        roundtrip(Instr::Move2 { s1: r(1), d1: r(2), s2: r(3), d2: r(4) });
-        roundtrip(Instr::LoadConst { d: r(10), c: Word::int(i32::MIN) });
+        roundtrip(Instr::Move2 {
+            s1: r(1),
+            d1: r(2),
+            s2: r(3),
+            d2: r(4),
+        });
+        roundtrip(Instr::LoadConst {
+            d: r(10),
+            c: Word::int(i32::MIN),
+        });
         for op in AluOp::ALL {
-            roundtrip(Instr::Alu { op, d: r(1), s1: r(2), s2: r(3) });
+            roundtrip(Instr::Alu {
+                op,
+                d: r(1),
+                s1: r(2),
+                s2: r(3),
+            });
         }
         roundtrip(Instr::CmpRegs { s1: r(5), s2: r(6) });
         for cond in Cond::ALL {
-            roundtrip(Instr::Branch { cond, to: CodeAddr::new(0x777) });
+            roundtrip(Instr::Branch {
+                cond,
+                to: CodeAddr::new(0x777),
+            });
         }
         roundtrip(Instr::Deref { d: r(1), s: r(2) });
         roundtrip(Instr::TvmSwap { d: r(3), s: r(4) });
-        roundtrip(Instr::TvmGc { d: r(1), s: r(1), bits: 0b10 });
-        roundtrip(Instr::Load { dd: r(1), ras: r(2), rad: r(3), off: -5, pre: true });
-        roundtrip(Instr::Load { dd: r(1), ras: r(2), rad: r(3), off: 32767, pre: false });
-        roundtrip(Instr::Store { ds: r(4), ras: r(5), rad: r(6), off: -32768, pre: false });
-        roundtrip(Instr::LoadDirect { d: r(7), addr: VAddr::new(0x0ABCDEF) });
-        roundtrip(Instr::StoreDirect { s: r(8), addr: VAddr::new(0) });
+        roundtrip(Instr::TvmGc {
+            d: r(1),
+            s: r(1),
+            bits: 0b10,
+        });
+        roundtrip(Instr::Load {
+            dd: r(1),
+            ras: r(2),
+            rad: r(3),
+            off: -5,
+            pre: true,
+        });
+        roundtrip(Instr::Load {
+            dd: r(1),
+            ras: r(2),
+            rad: r(3),
+            off: 32767,
+            pre: false,
+        });
+        roundtrip(Instr::Store {
+            ds: r(4),
+            ras: r(5),
+            rad: r(6),
+            off: -32768,
+            pre: false,
+        });
+        roundtrip(Instr::LoadDirect {
+            d: r(7),
+            addr: VAddr::new(0x0ABCDEF),
+        });
+        roundtrip(Instr::StoreDirect {
+            s: r(8),
+            addr: VAddr::new(0),
+        });
     }
 
     #[test]
@@ -1491,7 +1662,11 @@ mod tests {
 
     #[test]
     fn branch_classification() {
-        assert!(Instr::Call { addr: CodeAddr::new(0), arity: 0 }.is_branching());
+        assert!(Instr::Call {
+            addr: CodeAddr::new(0),
+            arity: 0
+        }
+        .is_branching());
         assert!(Instr::Proceed.is_branching());
         assert!(!Instr::Allocate { n: 0 }.is_branching());
         assert!(!Instr::UnifyNil.is_branching());

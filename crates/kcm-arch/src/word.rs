@@ -148,7 +148,8 @@ impl Word {
     /// the reset pattern (integer zero).
     #[inline]
     pub fn tag(self) -> Tag {
-        self.tag_checked().expect("word carries unpopulated type field")
+        self.tag_checked()
+            .expect("word carries unpopulated type field")
     }
 
     /// The decoded zone field.

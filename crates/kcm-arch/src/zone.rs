@@ -208,7 +208,10 @@ impl ZoneLimits {
     /// Grows or shrinks the zone's end address (stack growth / garbage
     /// collection trigger support).
     pub fn set_end(&mut self, end: VAddr) {
-        assert!(self.start.value() <= end.value(), "zone start above zone end");
+        assert!(
+            self.start.value() <= end.value(),
+            "zone start above zone end"
+        );
         self.end = end;
     }
 

@@ -81,7 +81,11 @@ fn single_word_instrs_roundtrip() {
 #[test]
 fn switch_tables_roundtrip() {
     cases(256, |rng| {
-        let default = if rng.chance(1, 2) { Some(arb_addr(rng)) } else { None };
+        let default = if rng.chance(1, 2) {
+            Some(arb_addr(rng))
+        } else {
+            None
+        };
         let table = rng.vec_of(0, 12, |rng| (arb_const(rng), arb_addr(rng)));
         let i = Instr::SwitchOnConstant { default, table };
         let mut words = Vec::new();
@@ -115,10 +119,18 @@ fn zone_of_addr_matches_base() {
 /// Single-word instructions with arbitrary operands.
 fn arb_instr(rng: &mut TestRng) -> Instr {
     match rng.index(23) {
-        0 => Instr::Call { addr: arb_addr(rng), arity: rng.next_u32() as u8 },
-        1 => Instr::Execute { addr: arb_addr(rng), arity: rng.next_u32() as u8 },
+        0 => Instr::Call {
+            addr: arb_addr(rng),
+            arity: rng.next_u32() as u8,
+        },
+        1 => Instr::Execute {
+            addr: arb_addr(rng),
+            arity: rng.next_u32() as u8,
+        },
         2 => Instr::Proceed,
-        3 => Instr::Allocate { n: rng.next_u32() as u8 },
+        3 => Instr::Allocate {
+            n: rng.next_u32() as u8,
+        },
         4 => Instr::Deallocate,
         5 => Instr::TryMeElse { alt: arb_addr(rng) },
         6 => Instr::RetryMeElse { alt: arb_addr(rng) },
@@ -128,14 +140,33 @@ fn arb_instr(rng: &mut TestRng) -> Instr {
         10 => Instr::Fail,
         11 => Instr::Mark,
         12 => Instr::UnifyTailList,
-        13 => Instr::Escape { builtin: *rng.choose(&Builtin::ALL) },
-        14 => Instr::GetVariable { x: arb_reg(rng), a: arb_reg(rng) },
-        15 => Instr::GetValueY { y: rng.next_u32() as u8, a: arb_reg(rng) },
-        16 => Instr::GetConstant { c: arb_const(rng), a: arb_reg(rng) },
-        17 => Instr::PutConstant { c: arb_const(rng), a: arb_reg(rng) },
-        18 => Instr::GetStructure { f: FunctorId::new(rng.index(1_000_000)), a: arb_reg(rng) },
+        13 => Instr::Escape {
+            builtin: *rng.choose(&Builtin::ALL),
+        },
+        14 => Instr::GetVariable {
+            x: arb_reg(rng),
+            a: arb_reg(rng),
+        },
+        15 => Instr::GetValueY {
+            y: rng.next_u32() as u8,
+            a: arb_reg(rng),
+        },
+        16 => Instr::GetConstant {
+            c: arb_const(rng),
+            a: arb_reg(rng),
+        },
+        17 => Instr::PutConstant {
+            c: arb_const(rng),
+            a: arb_reg(rng),
+        },
+        18 => Instr::GetStructure {
+            f: FunctorId::new(rng.index(1_000_000)),
+            a: arb_reg(rng),
+        },
         19 => Instr::UnifyConstant { c: arb_const(rng) },
-        20 => Instr::UnifyVoid { n: rng.next_u32() as u8 },
+        20 => Instr::UnifyVoid {
+            n: rng.next_u32() as u8,
+        },
         21 => Instr::Alu {
             op: *rng.choose(&AluOp::ALL),
             d: arb_reg(rng),
@@ -144,7 +175,10 @@ fn arb_instr(rng: &mut TestRng) -> Instr {
         },
         _ => {
             if rng.chance(1, 2) {
-                Instr::Branch { cond: *rng.choose(&Cond::ALL), to: arb_addr(rng) }
+                Instr::Branch {
+                    cond: *rng.choose(&Cond::ALL),
+                    to: arb_addr(rng),
+                }
             } else {
                 Instr::Load {
                     dd: arb_reg(rng),

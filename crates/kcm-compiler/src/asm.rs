@@ -146,24 +146,45 @@ pub fn assemble(
         let instr = match item {
             AsmItem::Label(_) => continue,
             AsmItem::Plain(i) => i.clone(),
-            AsmItem::CallPred(p) => Instr::Call { addr: resolve_pred(p), arity: p.arity },
-            AsmItem::ExecutePred(p) => Instr::Execute { addr: resolve_pred(p), arity: p.arity },
+            AsmItem::CallPred(p) => Instr::Call {
+                addr: resolve_pred(p),
+                arity: p.arity,
+            },
+            AsmItem::ExecutePred(p) => Instr::Execute {
+                addr: resolve_pred(p),
+                arity: p.arity,
+            },
             AsmItem::TryMeElse(l) => Instr::TryMeElse { alt: resolve(l)? },
             AsmItem::RetryMeElse(l) => Instr::RetryMeElse { alt: resolve(l)? },
-            AsmItem::TryL(l) => Instr::Try { clause: resolve(l)? },
-            AsmItem::RetryL(l) => Instr::Retry { clause: resolve(l)? },
-            AsmItem::TrustL(l) => Instr::Trust { clause: resolve(l)? },
+            AsmItem::TryL(l) => Instr::Try {
+                clause: resolve(l)?,
+            },
+            AsmItem::RetryL(l) => Instr::Retry {
+                clause: resolve(l)?,
+            },
+            AsmItem::TrustL(l) => Instr::Trust {
+                clause: resolve(l)?,
+            },
             AsmItem::JumpL(l) => Instr::Jump { to: resolve(l)? },
-            AsmItem::BranchCond(c, l) => Instr::Branch { cond: *c, to: resolve(l)? },
-            AsmItem::BranchFail(c) => Instr::Branch { cond: *c, to: fail_stub },
-            AsmItem::SwitchOnTermL { on_var, on_const, on_list, on_struct } => {
-                Instr::SwitchOnTerm {
-                    on_var: resolve_opt(on_var)?,
-                    on_const: resolve_opt(on_const)?,
-                    on_list: resolve_opt(on_list)?,
-                    on_struct: resolve_opt(on_struct)?,
-                }
-            }
+            AsmItem::BranchCond(c, l) => Instr::Branch {
+                cond: *c,
+                to: resolve(l)?,
+            },
+            AsmItem::BranchFail(c) => Instr::Branch {
+                cond: *c,
+                to: fail_stub,
+            },
+            AsmItem::SwitchOnTermL {
+                on_var,
+                on_const,
+                on_list,
+                on_struct,
+            } => Instr::SwitchOnTerm {
+                on_var: resolve_opt(on_var)?,
+                on_const: resolve_opt(on_const)?,
+                on_list: resolve_opt(on_list)?,
+                on_struct: resolve_opt(on_struct)?,
+            },
             AsmItem::SwitchOnConstantL { default, table } => Instr::SwitchOnConstant {
                 default: resolve_opt(default)?,
                 table: table
@@ -203,8 +224,18 @@ mod tests {
         ];
         let out = assemble(&items, CodeAddr::new(100), &mut no_preds, CodeAddr::new(0)).unwrap();
         assert_eq!(out.len(), 3);
-        assert_eq!(out[1].1, Instr::Jump { to: CodeAddr::new(102) });
-        assert_eq!(out[2].1, Instr::Jump { to: CodeAddr::new(100) });
+        assert_eq!(
+            out[1].1,
+            Instr::Jump {
+                to: CodeAddr::new(102)
+            }
+        );
+        assert_eq!(
+            out[2].1,
+            Instr::Jump {
+                to: CodeAddr::new(100)
+            }
+        );
     }
 
     #[test]
@@ -251,19 +282,39 @@ mod tests {
     fn branch_fail_uses_stub() {
         let items = vec![AsmItem::BranchFail(Cond::Ge)];
         let out = assemble(&items, CodeAddr::new(4), &mut no_preds, CodeAddr::new(77)).unwrap();
-        assert_eq!(out[0].1, Instr::Branch { cond: Cond::Ge, to: CodeAddr::new(77) });
+        assert_eq!(
+            out[0].1,
+            Instr::Branch {
+                cond: Cond::Ge,
+                to: CodeAddr::new(77)
+            }
+        );
     }
 
     #[test]
     fn predicate_resolution_goes_through_closure() {
-        let items = vec![AsmItem::CallPred(PredId { name: "p".into(), arity: 2 })];
+        let items = vec![AsmItem::CallPred(PredId {
+            name: "p".into(),
+            arity: 2,
+        })];
         let mut seen = Vec::new();
-        let out = assemble(&items, CodeAddr::new(0), &mut |p| {
-            seen.push(p.clone());
-            CodeAddr::new(42)
-        }, CodeAddr::new(0))
+        let out = assemble(
+            &items,
+            CodeAddr::new(0),
+            &mut |p| {
+                seen.push(p.clone());
+                CodeAddr::new(42)
+            },
+            CodeAddr::new(0),
+        )
         .unwrap();
-        assert_eq!(out[0].1, Instr::Call { addr: CodeAddr::new(42), arity: 2 });
+        assert_eq!(
+            out[0].1,
+            Instr::Call {
+                addr: CodeAddr::new(42),
+                arity: 2
+            }
+        );
         assert_eq!(seen.len(), 1);
     }
 }

@@ -154,7 +154,10 @@ pub fn classify_with(goal: &Term, options: &crate::CompileOptions) -> GoalKind {
         // extra arguments to the goal.
         ("call", n) if (1..=8).contains(&n) => {
             return GoalKind::UserCall(
-                PredId { name: "$call".to_owned(), arity: n as u8 },
+                PredId {
+                    name: "$call".to_owned(),
+                    arity: n as u8,
+                },
                 args.to_vec(),
             )
         }
@@ -184,7 +187,10 @@ pub fn classify_with(goal: &Term, options: &crate::CompileOptions) -> GoalKind {
         return GoalKind::Escape(b, args.to_vec());
     }
     GoalKind::UserCall(
-        PredId { name: name.to_owned(), arity: args.len() as u8 },
+        PredId {
+            name: name.to_owned(),
+            arity: args.len() as u8,
+        },
         args.to_vec(),
     )
 }
@@ -223,7 +229,10 @@ mod tests {
     fn inline_comparison() {
         assert!(matches!(k("X < Y + 1"), GoalKind::Compare(Cond::Lt, _, _)));
         assert!(matches!(k("X >= 3"), GoalKind::Compare(Cond::Ge, _, _)));
-        assert!(matches!(k("f(X) < 2"), GoalKind::Escape(Builtin::ArithLt, _)));
+        assert!(matches!(
+            k("f(X) < 2"),
+            GoalKind::Escape(Builtin::ArithLt, _)
+        ));
     }
 
     #[test]
@@ -231,7 +240,10 @@ mod tests {
         assert!(matches!(k("write(X)"), GoalKind::Escape(Builtin::Write, _)));
         assert!(matches!(k("nl"), GoalKind::Escape(Builtin::Nl, _)));
         assert!(matches!(k("X == Y"), GoalKind::Escape(Builtin::TermEq, _)));
-        assert!(matches!(k("functor(T, F, A)"), GoalKind::Escape(Builtin::Functor, _)));
+        assert!(matches!(
+            k("functor(T, F, A)"),
+            GoalKind::Escape(Builtin::Functor, _)
+        ));
     }
 
     #[test]

@@ -188,7 +188,9 @@ impl<'a> Compiler<'a> {
             let perm = if chunks.len() >= 2 {
                 let y = perm_order.len();
                 if y > 255 {
-                    return Err(CompileError::TooManyPermanents { pred: pred.name.clone() });
+                    return Err(CompileError::TooManyPermanents {
+                        pred: pred.name.clone(),
+                    });
                 }
                 perm_order.push(name.clone());
                 Some(y as u8)
@@ -197,7 +199,11 @@ impl<'a> Compiler<'a> {
             };
             vars.insert(
                 name.clone(),
-                VarInfo { perm, occurrences: *count, ..VarInfo::default() },
+                VarInfo {
+                    perm,
+                    occurrences: *count,
+                    ..VarInfo::default()
+                },
             );
         }
 
@@ -231,7 +237,9 @@ impl<'a> Compiler<'a> {
             return Ok(Reg::new(t));
         }
         if self.next_temp as usize >= kcm_arch::isa::NUM_REGS {
-            return Err(CompileError::OutOfRegisters { pred: self.pred.name.clone() });
+            return Err(CompileError::OutOfRegisters {
+                pred: self.pred.name.clone(),
+            });
         }
         let r = Reg::new(self.next_temp);
         self.next_temp += 1;
@@ -255,10 +263,7 @@ impl<'a> Compiler<'a> {
     /// The static-area word for a ground compound literal, when the
     /// target uses the static data area.
     fn static_literal(&mut self, t: &Term) -> Option<Word> {
-        if self.options.static_ground_literals
-            && matches!(t, Term::Struct(..))
-            && t.is_ground()
-        {
+        if self.options.static_ground_literals && matches!(t, Term::Struct(..)) && t.is_ground() {
             Some(self.statics.intern(t, self.symbols))
         } else {
             None
@@ -297,14 +302,19 @@ impl<'a> Compiler<'a> {
 
         // --- environment ---
         if self.needs_env {
-            self.emit(Instr::Allocate { n: self.perm_order.len() as u8 });
+            self.emit(Instr::Allocate {
+                n: self.perm_order.len() as u8,
+            });
             self.env_active = true;
             // Move head-resident permanent variables to their Y slots.
             for (y, name) in self.perm_order.clone().into_iter().enumerate() {
                 let info = self.vars.get_mut(&name).expect("perm var recorded");
                 if info.seen {
                     let loc = info.loc.take().expect("head var has a register");
-                    self.emit(Instr::GetVariableY { y: y as u8, a: Reg::new(loc) });
+                    self.emit(Instr::GetVariableY {
+                        y: y as u8,
+                        a: Reg::new(loc),
+                    });
                 }
             }
         }
@@ -315,7 +325,10 @@ impl<'a> Compiler<'a> {
             let k = &kinds[i];
             let last = i == kinds.len() - 1;
             match k {
-                GoalKind::True | GoalKind::Cut | GoalKind::Compare(..) | GoalKind::Is(..)
+                GoalKind::True
+                | GoalKind::Cut
+                | GoalKind::Compare(..)
+                | GoalKind::Is(..)
                 | GoalKind::Unify(..) => {
                     self.compile_inline_goal(k, i)?;
                 }
@@ -417,7 +430,10 @@ impl<'a> Compiler<'a> {
                     }
                 } else if let Some(loc) = info.loc {
                     if loc != a.index() as u8 {
-                        self.emit(Instr::GetValue { x: Reg::new(loc), a });
+                        self.emit(Instr::GetValue {
+                            x: Reg::new(loc),
+                            a,
+                        });
                     }
                 } else if let Some(y) = info.perm {
                     self.emit(Instr::GetValueY { y, a });
@@ -718,7 +734,10 @@ impl<'a> Compiler<'a> {
                 || (in_place && (other_use_here || used_later));
             if must_relocate {
                 let t = self.alloc_temp()?;
-                self.emit(Instr::GetVariable { x: t, a: Reg::new(loc) });
+                self.emit(Instr::GetVariable {
+                    x: t,
+                    a: Reg::new(loc),
+                });
                 self.set_loc(&name, t.index() as u8);
             } else if !in_place {
                 // Resident but unused from here on: drop the stale mapping
@@ -756,7 +775,10 @@ impl<'a> Compiler<'a> {
                     }
                 } else if let Some(loc) = info.loc {
                     if loc != a.index() as u8 {
-                        self.emit(Instr::PutValue { x: Reg::new(loc), a });
+                        self.emit(Instr::PutValue {
+                            x: Reg::new(loc),
+                            a,
+                        });
                     }
                 } else if let Some(y) = info.perm {
                     if unsafe_ctx && !info.globalized && !info.head_seen {
@@ -826,7 +848,12 @@ impl<'a> Compiler<'a> {
     /// contiguously, two instructions per cell): compound elements are
     /// prebuilt into temporaries before the spine opens so the cell
     /// stream stays contiguous.
-    fn put_list_spine(&mut self, term: &Term, dst: Reg, goal_idx: usize) -> Result<(), CompileError> {
+    fn put_list_spine(
+        &mut self,
+        term: &Term,
+        dst: Reg,
+        goal_idx: usize,
+    ) -> Result<(), CompileError> {
         let mut items: Vec<&Term> = Vec::new();
         let mut tail = term;
         while let Term::Struct(n, args) = tail {
@@ -846,9 +873,7 @@ impl<'a> Compiler<'a> {
             .chain(std::iter::once(&tail))
             .filter(|t| matches!(t, Term::Struct(..)))
             .count();
-        if compound_count + 2 + (self.next_temp as usize)
-            >= kcm_arch::isa::NUM_REGS
-        {
+        if compound_count + 2 + (self.next_temp as usize) >= kcm_arch::isa::NUM_REGS {
             return self.put_list_spine_bottom_up(&items, &tail, dst, goal_idx);
         }
         let mut prebuilt: Vec<Option<Reg>> = Vec::with_capacity(items.len());
@@ -985,12 +1010,18 @@ impl<'a> Compiler<'a> {
         match e {
             Expr::Int(v) => {
                 let t = self.alloc_temp()?;
-                self.emit(Instr::LoadConst { d: t, c: Word::int(*v) });
+                self.emit(Instr::LoadConst {
+                    d: t,
+                    c: Word::int(*v),
+                });
                 Ok(t)
             }
             Expr::Float(v) => {
                 let t = self.alloc_temp()?;
-                self.emit(Instr::LoadConst { d: t, c: Word::float(*v) });
+                self.emit(Instr::LoadConst {
+                    d: t,
+                    c: Word::float(*v),
+                });
                 Ok(t)
             }
             Expr::Var(v) => {
@@ -1003,7 +1034,12 @@ impl<'a> Compiler<'a> {
                 let ra = self.eval_expr(a)?;
                 let rb = self.eval_expr(b)?;
                 let t = self.alloc_temp()?;
-                self.emit(Instr::Alu { op: *op, d: t, s1: ra, s2: rb });
+                self.emit(Instr::Alu {
+                    op: *op,
+                    d: t,
+                    s1: ra,
+                    s2: rb,
+                });
                 self.free_temp(ra);
                 self.free_temp(rb);
                 Ok(t)
@@ -1011,7 +1047,12 @@ impl<'a> Compiler<'a> {
             Expr::Neg(a) => {
                 let ra = self.eval_expr(a)?;
                 let t = self.alloc_temp()?;
-                self.emit(Instr::Alu { op: AluOp::Neg, d: t, s1: ra, s2: ra });
+                self.emit(Instr::Alu {
+                    op: AluOp::Neg,
+                    d: t,
+                    s1: ra,
+                    s2: ra,
+                });
                 self.free_temp(ra);
                 Ok(t)
             }
@@ -1112,7 +1153,15 @@ mod tests {
         let pred = &prog.predicates[0];
         let mut symbols = SymbolTable::new();
         let mut statics = crate::link::StaticImage::new(crate::link::STATIC_DATA_BASE);
-        compile_clause(&pred.id, &pred.clauses[0], multi, &mut symbols, &mut statics, &Default::default()).unwrap()
+        compile_clause(
+            &pred.id,
+            &pred.clauses[0],
+            multi,
+            &mut symbols,
+            &mut statics,
+            &Default::default(),
+        )
+        .unwrap()
     }
 
     fn instrs(items: &[AsmItem]) -> Vec<String> {
@@ -1166,10 +1215,7 @@ mod tests {
 
     #[test]
     fn nrev_clause_shape() {
-        let items = compile_first(
-            "nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).",
-            true,
-        );
+        let items = compile_first("nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).", true);
         let text = instrs(&items).join("; ");
         assert!(text.contains("get_list r0"), "{text}");
         assert!(text.contains("neck"), "{text}");
@@ -1186,7 +1232,10 @@ mod tests {
         assert!(text.contains("ExecutePred"), "{text}");
         // H unifies across A1 and A3 lists.
         assert!(text.contains("unify_variable"), "{text}");
-        assert!(text.contains("unify_value") || text.contains("unify_local_value"), "{text}");
+        assert!(
+            text.contains("unify_value") || text.contains("unify_local_value"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -1275,8 +1324,14 @@ mod tests {
     fn deep_structure_put_is_bottom_up() {
         let items = compile_first("p(X) :- q(f(g(X))).", false);
         let text = instrs(&items);
-        let g = text.iter().position(|s| s.contains("put_structure") && s.contains("fn#0")).unwrap();
-        let f = text.iter().position(|s| s.contains("put_structure") && s.contains("fn#1")).unwrap();
+        let g = text
+            .iter()
+            .position(|s| s.contains("put_structure") && s.contains("fn#0"))
+            .unwrap();
+        let f = text
+            .iter()
+            .position(|s| s.contains("put_structure") && s.contains("fn#1"))
+            .unwrap();
         assert!(g < f, "inner g built before outer f: {text:?}");
     }
 

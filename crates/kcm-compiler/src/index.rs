@@ -33,9 +33,7 @@ fn key_of(first_arg: Option<&Term>, symbols: &mut SymbolTable) -> Key {
         Some(Term::Atom(n)) if n == "[]" => Key::Const(Word::nil()),
         Some(Term::Atom(n)) => Key::Const(Word::atom(symbols.atom(n))),
         Some(Term::Struct(n, args)) if n == "." && args.len() == 2 => Key::List,
-        Some(Term::Struct(n, args)) => {
-            Key::Struct(symbols.functor(n, args.len() as u8))
-        }
+        Some(Term::Struct(n, args)) => Key::Struct(symbols.functor(n, args.len() as u8)),
     }
 }
 
@@ -101,9 +99,9 @@ pub fn compile_predicate(
     let all: Vec<usize> = (0..n).collect();
 
     let chain_target = |cands: &[usize],
-                            labels: &mut Labels,
-                            chain_blocks: &mut Vec<AsmItem>,
-                            chain_cache: &mut HashMap<Vec<usize>, usize>|
+                        labels: &mut Labels,
+                        chain_blocks: &mut Vec<AsmItem>,
+                        chain_cache: &mut HashMap<Vec<usize>, usize>|
      -> Option<usize> {
         if cands.is_empty() {
             return None;
@@ -171,13 +169,17 @@ pub fn compile_predicate(
                     .expect("non-empty const bucket");
                 table.push((*w, t));
             }
-            let default =
-                chain_target(&var_only, &mut labels, &mut chain_blocks, &mut chain_cache);
+            let default = chain_target(&var_only, &mut labels, &mut chain_blocks, &mut chain_cache);
             chain_blocks.push(AsmItem::Label(table_label));
             chain_blocks.push(AsmItem::SwitchOnConstantL { default, table });
             Some(table_label)
         } else {
-            chain_target(&const_bucket, &mut labels, &mut chain_blocks, &mut chain_cache)
+            chain_target(
+                &const_bucket,
+                &mut labels,
+                &mut chain_blocks,
+                &mut chain_cache,
+            )
         };
 
         // Structure bucket: same treatment by functor.
@@ -203,17 +205,25 @@ pub fn compile_predicate(
                     .expect("non-empty struct bucket");
                 table.push((*f, t));
             }
-            let default =
-                chain_target(&var_only, &mut labels, &mut chain_blocks, &mut chain_cache);
+            let default = chain_target(&var_only, &mut labels, &mut chain_blocks, &mut chain_cache);
             chain_blocks.push(AsmItem::Label(table_label));
             chain_blocks.push(AsmItem::SwitchOnStructureL { default, table });
             Some(table_label)
         } else {
-            chain_target(&struct_bucket, &mut labels, &mut chain_blocks, &mut chain_cache)
+            chain_target(
+                &struct_bucket,
+                &mut labels,
+                &mut chain_blocks,
+                &mut chain_cache,
+            )
         };
 
-        let on_list =
-            chain_target(&list_bucket, &mut labels, &mut chain_blocks, &mut chain_cache);
+        let on_list = chain_target(
+            &list_bucket,
+            &mut labels,
+            &mut chain_blocks,
+            &mut chain_cache,
+        );
 
         items.push(AsmItem::SwitchOnTermL {
             on_var: Some(var_chain_label),
@@ -255,9 +265,13 @@ mod tests {
         let prog = Program::from_clauses(&read_program(src).unwrap()).unwrap();
         let mut symbols = SymbolTable::new();
         let mut statics = crate::link::StaticImage::new(crate::link::STATIC_DATA_BASE);
-        let items =
-            compile_predicate(&prog.predicates[0], &mut symbols, &mut statics, &Default::default())
-                .unwrap();
+        let items = compile_predicate(
+            &prog.predicates[0],
+            &mut symbols,
+            &mut statics,
+            &Default::default(),
+        )
+        .unwrap();
         (items, symbols)
     }
 
@@ -272,7 +286,10 @@ mod tests {
             count_matching(&items, |i| matches!(i, AsmItem::SwitchOnTermL { .. })),
             0
         );
-        assert_eq!(count_matching(&items, |i| matches!(i, AsmItem::TryMeElse(_))), 0);
+        assert_eq!(
+            count_matching(&items, |i| matches!(i, AsmItem::TryMeElse(_))),
+            0
+        );
     }
 
     #[test]
@@ -281,9 +298,12 @@ mod tests {
         let sw = items
             .iter()
             .find_map(|i| match i {
-                AsmItem::SwitchOnTermL { on_var, on_const, on_list, on_struct } => {
-                    Some((*on_var, *on_const, *on_list, *on_struct))
-                }
+                AsmItem::SwitchOnTermL {
+                    on_var,
+                    on_const,
+                    on_list,
+                    on_struct,
+                } => Some((*on_var, *on_const, *on_list, *on_struct)),
                 _ => None,
             })
             .expect("switch_on_term emitted");
@@ -302,9 +322,15 @@ mod tests {
             count_matching(&items, |i| matches!(i, AsmItem::SwitchOnTermL { .. })),
             0
         );
-        assert_eq!(count_matching(&items, |i| matches!(i, AsmItem::TryMeElse(_))), 1);
         assert_eq!(
-            count_matching(&items, |i| matches!(i, AsmItem::Plain(kcm_arch::Instr::TrustMe))),
+            count_matching(&items, |i| matches!(i, AsmItem::TryMeElse(_))),
+            1
+        );
+        assert_eq!(
+            count_matching(&items, |i| matches!(
+                i,
+                AsmItem::Plain(kcm_arch::Instr::TrustMe)
+            )),
             1
         );
     }
@@ -325,15 +351,11 @@ mod tests {
 
     #[test]
     fn structure_table_with_var_default() {
-        let (items, _) = compile(
-            "d(x+y, a). d(x*y, b). d(x-y, c). d(V, V).",
-        );
+        let (items, _) = compile("d(x+y, a). d(x*y, b). d(x-y, c). d(V, V).");
         let (table, default) = items
             .iter()
             .find_map(|i| match i {
-                AsmItem::SwitchOnStructureL { table, default } => {
-                    Some((table.clone(), *default))
-                }
+                AsmItem::SwitchOnStructureL { table, default } => Some((table.clone(), *default)),
                 _ => None,
             })
             .expect("structure table emitted");
@@ -346,14 +368,20 @@ mod tests {
         let (items, _) = compile("p(a, 1). p(a, 2). p(b, 3).");
         // Two clauses for key 'a' → one try/trust chain.
         assert_eq!(count_matching(&items, |i| matches!(i, AsmItem::TryL(_))), 1);
-        assert_eq!(count_matching(&items, |i| matches!(i, AsmItem::TrustL(_))), 1);
+        assert_eq!(
+            count_matching(&items, |i| matches!(i, AsmItem::TrustL(_))),
+            1
+        );
     }
 
     #[test]
     fn every_clause_gets_neck() {
         let (items, _) = compile("p(a). p(b).");
         assert_eq!(
-            count_matching(&items, |i| matches!(i, AsmItem::Plain(kcm_arch::Instr::Neck))),
+            count_matching(&items, |i| matches!(
+                i,
+                AsmItem::Plain(kcm_arch::Instr::Neck)
+            )),
             2
         );
     }
@@ -364,7 +392,9 @@ mod tests {
         let sw = items
             .iter()
             .find_map(|i| match i {
-                AsmItem::SwitchOnTermL { on_const, on_list, .. } => Some((*on_const, *on_list)),
+                AsmItem::SwitchOnTermL {
+                    on_const, on_list, ..
+                } => Some((*on_const, *on_list)),
                 _ => None,
             })
             .unwrap();

@@ -97,7 +97,10 @@ impl Program {
     ///
     /// Same as [`Program::from_clauses`].
     pub fn from_clauses_named(clauses: &[Term], aux_prefix: &str) -> Result<Program, CompileError> {
-        let mut b = Builder { aux_prefix: aux_prefix.to_owned(), ..Builder::default() };
+        let mut b = Builder {
+            aux_prefix: aux_prefix.to_owned(),
+            ..Builder::default()
+        };
         for c in clauses {
             b.add_clause_term(c)?;
         }
@@ -134,14 +137,23 @@ impl Builder {
 
     fn add_clause(&mut self, head: Term, body: &Term) -> Result<(), CompileError> {
         let id = match &head {
-            Term::Atom(n) => PredId { name: n.clone(), arity: 0 },
-            Term::Struct(n, args) => PredId { name: n.clone(), arity: args.len() as u8 },
+            Term::Atom(n) => PredId {
+                name: n.clone(),
+                arity: 0,
+            },
+            Term::Struct(n, args) => PredId {
+                name: n.clone(),
+                arity: args.len() as u8,
+            },
             other => return Err(CompileError::BadClauseHead(other.to_string())),
         };
         // Control functors and nil cannot head a user clause: without this
         // check an empty directive like `:- .` reads as an atom `:-` and
         // silently defines a predicate named `:-`.
-        if matches!(id.name.as_str(), ":-" | "?-" | "," | ";" | "->" | "!" | "[]") {
+        if matches!(
+            id.name.as_str(),
+            ":-" | "?-" | "," | ";" | "->" | "!" | "[]"
+        ) {
             return Err(CompileError::BadClauseHead(head.to_string()));
         }
         if matches!(
@@ -158,14 +170,14 @@ impl Builder {
     }
 
     fn push_clause(&mut self, id: PredId, clause: Clause, auxiliary: bool) {
-        if let Some(p) = self
-            .predicates
-            .iter_mut()
-            .find(|p| p.id == id)
-        {
+        if let Some(p) = self.predicates.iter_mut().find(|p| p.id == id) {
             p.clauses.push(clause);
         } else {
-            self.predicates.push(Predicate { id, clauses: vec![clause], auxiliary });
+            self.predicates.push(Predicate {
+                id,
+                clauses: vec![clause],
+                auxiliary,
+            });
         }
     }
 
@@ -212,9 +224,7 @@ impl Builder {
                 out.push(Goal::Term(Term::Struct("call".into(), vec![body.clone()])));
                 Ok(())
             }
-            Term::Int(_) | Term::Float(_) => {
-                Err(CompileError::BadClauseHead(body.to_string()))
-            }
+            Term::Int(_) | Term::Float(_) => Err(CompileError::BadClauseHead(body.to_string())),
             other => {
                 out.push(Goal::Term(other.clone()));
                 Ok(())
@@ -251,46 +261,99 @@ impl Builder {
     fn make_aux_or(&mut self, a: &Term, b: &Term) -> Result<Term, CompileError> {
         let (name, args) = self.aux_head(&[a, b]);
         let head = Self::aux_call(&name, &args);
-        let id = PredId { name: name.clone(), arity: args.len() as u8 };
+        let id = PredId {
+            name: name.clone(),
+            arity: args.len() as u8,
+        };
         let mut ga = Vec::new();
         self.flatten(a, &mut ga)?;
         let mut gb = Vec::new();
         self.flatten(b, &mut gb)?;
-        self.push_clause(id.clone(), Clause { head: head.clone(), goals: ga }, true);
-        self.push_clause(id, Clause { head: head.clone(), goals: gb }, true);
+        self.push_clause(
+            id.clone(),
+            Clause {
+                head: head.clone(),
+                goals: ga,
+            },
+            true,
+        );
+        self.push_clause(
+            id,
+            Clause {
+                head: head.clone(),
+                goals: gb,
+            },
+            true,
+        );
         Ok(head)
     }
 
     fn make_aux_ite(&mut self, c: &Term, t: &Term, e: &Term) -> Result<Term, CompileError> {
         let (name, args) = self.aux_head(&[c, t, e]);
         let head = Self::aux_call(&name, &args);
-        let id = PredId { name: name.clone(), arity: args.len() as u8 };
+        let id = PredId {
+            name: name.clone(),
+            arity: args.len() as u8,
+        };
         let mut g1 = Vec::new();
         self.flatten(c, &mut g1)?;
         g1.push(Goal::Cut);
         self.flatten(t, &mut g1)?;
         let mut g2 = Vec::new();
         self.flatten(e, &mut g2)?;
-        self.push_clause(id.clone(), Clause { head: head.clone(), goals: g1 }, true);
-        self.push_clause(id, Clause { head: head.clone(), goals: g2 }, true);
+        self.push_clause(
+            id.clone(),
+            Clause {
+                head: head.clone(),
+                goals: g1,
+            },
+            true,
+        );
+        self.push_clause(
+            id,
+            Clause {
+                head: head.clone(),
+                goals: g2,
+            },
+            true,
+        );
         Ok(head)
     }
 
     fn make_aux_not(&mut self, g: &Term) -> Result<Term, CompileError> {
         let (name, args) = self.aux_head(&[g]);
         let head = Self::aux_call(&name, &args);
-        let id = PredId { name: name.clone(), arity: args.len() as u8 };
+        let id = PredId {
+            name: name.clone(),
+            arity: args.len() as u8,
+        };
         let mut g1 = Vec::new();
         self.flatten(g, &mut g1)?;
         g1.push(Goal::Cut);
         g1.push(Goal::Term(Term::Atom("fail".into())));
-        self.push_clause(id.clone(), Clause { head: head.clone(), goals: g1 }, true);
-        self.push_clause(id, Clause { head: head.clone(), goals: Vec::new() }, true);
+        self.push_clause(
+            id.clone(),
+            Clause {
+                head: head.clone(),
+                goals: g1,
+            },
+            true,
+        );
+        self.push_clause(
+            id,
+            Clause {
+                head: head.clone(),
+                goals: Vec::new(),
+            },
+            true,
+        );
         Ok(head)
     }
 
     fn finish(self) -> Program {
-        Program { predicates: self.predicates }
+        Program {
+            predicates: self.predicates,
+        }
     }
 }
 

@@ -137,10 +137,11 @@ impl<'a> Parser<'a> {
         let (name, arity) = op
             .rsplit_once('/')
             .ok_or_else(|| format!("expected name/arity, found {op:?}"))?;
-        let arity: u8 = arity
-            .parse()
-            .map_err(|_| format!("bad arity in {op:?}"))?;
-        Ok(PredId { name: name.to_owned(), arity })
+        let arity: u8 = arity.parse().map_err(|_| format!("bad arity in {op:?}"))?;
+        Ok(PredId {
+            name: name.to_owned(),
+            arity,
+        })
     }
 
     fn functor(&mut self, op: &str) -> Result<kcm_arch::FunctorId, String> {
@@ -230,7 +231,11 @@ pub fn parse_kasm(
     src: &str,
     symbols: &mut kcm_arch::SymbolTable,
 ) -> Result<Vec<AsmItem>, KasmError> {
-    let mut p = Parser { symbols, labels: HashMap::new(), next_label: 0 };
+    let mut p = Parser {
+        symbols,
+        labels: HashMap::new(),
+        next_label: 0,
+    };
     let mut items = Vec::new();
     for (lineno, raw) in src.lines().enumerate() {
         let line = raw.split('%').next().unwrap_or("").trim();
@@ -253,7 +258,10 @@ pub fn parse_kasm(
         if rest.is_empty() {
             continue;
         }
-        let err = |message: String| KasmError { message, line: lineno + 1 };
+        let err = |message: String| KasmError {
+            message,
+            line: lineno + 1,
+        };
         let (mnemonic, operand_text) = match rest.split_once(char::is_whitespace) {
             Some((m, o)) => (m, o.trim()),
             None => (rest, ""),
@@ -264,7 +272,10 @@ pub fn parse_kasm(
             if ops.len() == n {
                 Ok(())
             } else {
-                Err(err(format!("{mnemonic} expects {n} operands, found {}", ops.len())))
+                Err(err(format!(
+                    "{mnemonic} expects {n} operands, found {}",
+                    ops.len()
+                )))
             }
         };
         let item = match mnemonic {
@@ -281,7 +292,9 @@ pub fn parse_kasm(
             "allocate" => {
                 need(1)?;
                 AsmItem::Plain(Instr::Allocate {
-                    n: ops[0].parse().map_err(|_| err("bad allocate count".into()))?,
+                    n: ops[0]
+                        .parse()
+                        .map_err(|_| err("bad allocate count".into()))?,
                 })
             }
             "unify_void" => {
@@ -292,7 +305,9 @@ pub fn parse_kasm(
             }
             "halt" => {
                 need(1)?;
-                AsmItem::Plain(Instr::Halt { success: ops[0] == "true" })
+                AsmItem::Plain(Instr::Halt {
+                    success: ops[0] == "true",
+                })
             }
             "call" => {
                 need(1)?;
@@ -337,7 +352,9 @@ pub fn parse_kasm(
             }
             "escape" => {
                 need(1)?;
-                AsmItem::Plain(Instr::Escape { builtin: Parser::builtin(ops[0]).map_err(err)? })
+                AsmItem::Plain(Instr::Escape {
+                    builtin: Parser::builtin(ops[0]).map_err(err)?,
+                })
             }
             "get_variable" => {
                 need(2)?;
@@ -376,11 +393,15 @@ pub fn parse_kasm(
             }
             "get_nil" => {
                 need(1)?;
-                AsmItem::Plain(Instr::GetNil { a: Parser::reg(ops[0]).map_err(err)? })
+                AsmItem::Plain(Instr::GetNil {
+                    a: Parser::reg(ops[0]).map_err(err)?,
+                })
             }
             "get_list" => {
                 need(1)?;
-                AsmItem::Plain(Instr::GetList { a: Parser::reg(ops[0]).map_err(err)? })
+                AsmItem::Plain(Instr::GetList {
+                    a: Parser::reg(ops[0]).map_err(err)?,
+                })
             }
             "get_structure" => {
                 need(2)?;
@@ -433,11 +454,15 @@ pub fn parse_kasm(
             }
             "put_nil" => {
                 need(1)?;
-                AsmItem::Plain(Instr::PutNil { a: Parser::reg(ops[0]).map_err(err)? })
+                AsmItem::Plain(Instr::PutNil {
+                    a: Parser::reg(ops[0]).map_err(err)?,
+                })
             }
             "put_list" => {
                 need(1)?;
-                AsmItem::Plain(Instr::PutList { a: Parser::reg(ops[0]).map_err(err)? })
+                AsmItem::Plain(Instr::PutList {
+                    a: Parser::reg(ops[0]).map_err(err)?,
+                })
             }
             "put_structure" => {
                 need(2)?;
@@ -449,17 +474,25 @@ pub fn parse_kasm(
             "unify_variable" => {
                 need(1)?;
                 if ops[0].starts_with('y') {
-                    AsmItem::Plain(Instr::UnifyVariableY { y: Parser::yslot(ops[0]).map_err(err)? })
+                    AsmItem::Plain(Instr::UnifyVariableY {
+                        y: Parser::yslot(ops[0]).map_err(err)?,
+                    })
                 } else {
-                    AsmItem::Plain(Instr::UnifyVariable { x: Parser::reg(ops[0]).map_err(err)? })
+                    AsmItem::Plain(Instr::UnifyVariable {
+                        x: Parser::reg(ops[0]).map_err(err)?,
+                    })
                 }
             }
             "unify_value" => {
                 need(1)?;
                 if ops[0].starts_with('y') {
-                    AsmItem::Plain(Instr::UnifyValueY { y: Parser::yslot(ops[0]).map_err(err)? })
+                    AsmItem::Plain(Instr::UnifyValueY {
+                        y: Parser::yslot(ops[0]).map_err(err)?,
+                    })
                 } else {
-                    AsmItem::Plain(Instr::UnifyValue { x: Parser::reg(ops[0]).map_err(err)? })
+                    AsmItem::Plain(Instr::UnifyValue {
+                        x: Parser::reg(ops[0]).map_err(err)?,
+                    })
                 }
             }
             "unify_local_value" => {
@@ -476,7 +509,9 @@ pub fn parse_kasm(
             }
             "unify_constant" => {
                 need(1)?;
-                AsmItem::Plain(Instr::UnifyConstant { c: p.constant(ops[0]).map_err(err)? })
+                AsmItem::Plain(Instr::UnifyConstant {
+                    c: p.constant(ops[0]).map_err(err)?,
+                })
             }
             "move2" => {
                 need(4)?;
@@ -561,9 +596,15 @@ pub fn parse_kasm(
                     .as_addr()
                     .ok_or_else(|| err(format!("expected ptr(zone, off), found {addr_op:?}")))?;
                 if mnemonic == "load_direct" {
-                    AsmItem::Plain(Instr::LoadDirect { d: Parser::reg(reg_op).map_err(err)?, addr })
+                    AsmItem::Plain(Instr::LoadDirect {
+                        d: Parser::reg(reg_op).map_err(err)?,
+                        addr,
+                    })
                 } else {
-                    AsmItem::Plain(Instr::StoreDirect { s: Parser::reg(reg_op).map_err(err)?, addr })
+                    AsmItem::Plain(Instr::StoreDirect {
+                        s: Parser::reg(reg_op).map_err(err)?,
+                        addr,
+                    })
                 }
             }
             "deref" => {
@@ -623,16 +664,27 @@ mod tests {
                    branch gt loop
                    halt true",
         );
-        assert!(matches!(items[1], AsmItem::Plain(Instr::Alu { op: AluOp::Add, .. })));
+        assert!(matches!(
+            items[1],
+            AsmItem::Plain(Instr::Alu { op: AluOp::Add, .. })
+        ));
         assert!(matches!(items[3], AsmItem::BranchCond(Cond::Gt, _)));
-        assert!(matches!(items[4], AsmItem::Plain(Instr::Halt { success: true })));
+        assert!(matches!(
+            items[4],
+            AsmItem::Plain(Instr::Halt { success: true })
+        ));
     }
 
     #[test]
     fn switch_with_fail_targets() {
         let items = parse("switch_on_term v, fail, l, fail\n v: proceed\n l: proceed");
         match &items[0] {
-            AsmItem::SwitchOnTermL { on_var, on_const, on_list, on_struct } => {
+            AsmItem::SwitchOnTermL {
+                on_var,
+                on_const,
+                on_list,
+                on_struct,
+            } => {
                 assert!(on_var.is_some());
                 assert!(on_const.is_none());
                 assert!(on_list.is_some());
@@ -667,11 +719,8 @@ mod tests {
     #[test]
     fn assembles_and_resolves_labels() {
         let mut symbols = SymbolTable::new();
-        let items = parse_kasm(
-            "start: load_const r1, 3\n jump start\n",
-            &mut symbols,
-        )
-        .expect("parses");
+        let items =
+            parse_kasm("start: load_const r1, 3\n jump start\n", &mut symbols).expect("parses");
         let out = crate::asm::assemble(
             &items,
             kcm_arch::CodeAddr::new(100),
@@ -679,6 +728,11 @@ mod tests {
             kcm_arch::CodeAddr::new(0),
         )
         .expect("assembles");
-        assert_eq!(out[1].1, Instr::Jump { to: kcm_arch::CodeAddr::new(100) });
+        assert_eq!(
+            out[1].1,
+            Instr::Jump {
+                to: kcm_arch::CodeAddr::new(100)
+            }
+        );
     }
 }

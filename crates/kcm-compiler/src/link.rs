@@ -47,13 +47,21 @@ pub struct StaticImage {
 impl StaticImage {
     /// An empty static area starting at `base`.
     pub fn new(base: VAddr) -> StaticImage {
-        StaticImage { base, words: Vec::new(), interned: std::collections::HashMap::new() }
+        StaticImage {
+            base,
+            words: Vec::new(),
+            interned: std::collections::HashMap::new(),
+        }
     }
 
     /// Resumes an area already holding `words` (query linking extends the
     /// base image's data).
     pub fn resume(base: VAddr, words: Vec<Word>) -> StaticImage {
-        StaticImage { base, words, interned: std::collections::HashMap::new() }
+        StaticImage {
+            base,
+            words,
+            interned: std::collections::HashMap::new(),
+        }
     }
 
     /// The assembled words.
@@ -274,7 +282,11 @@ impl Linker {
     /// # Errors
     ///
     /// Propagates compilation errors.
-    pub fn link(&self, program: &Program, symbols: &mut SymbolTable) -> Result<CodeImage, CompileError> {
+    pub fn link(
+        &self,
+        program: &Program,
+        symbols: &mut SymbolTable,
+    ) -> Result<CodeImage, CompileError> {
         self.link_with(program, symbols, &crate::CompileOptions::default())
     }
 
@@ -310,7 +322,9 @@ impl Linker {
         Self::place(
             &mut image,
             CALL_STUB,
-            Instr::Escape { builtin: kcm_arch::isa::Builtin::CallGoal },
+            Instr::Escape {
+                builtin: kcm_arch::isa::Builtin::CallGoal,
+            },
         );
         Self::place(&mut image, CALL_STUB.offset(1), Instr::Proceed);
         for n in 1..=8u8 {
@@ -347,11 +361,17 @@ impl Linker {
         let report = if vars.is_empty() {
             Term::Atom("$report".into())
         } else {
-            Term::Struct("$report".into(), vars.iter().cloned().map(Term::Var).collect())
+            Term::Struct(
+                "$report".into(),
+                vars.iter().cloned().map(Term::Var).collect(),
+            )
         };
         let query_clause = Term::Struct(
             ":-".into(),
-            vec![Term::Atom("$query".into()), Term::Struct(",".into(), vec![goal.clone(), report])],
+            vec![
+                Term::Atom("$query".into()),
+                Term::Struct(",".into(), vec![goal.clone(), report]),
+            ],
         );
         let prefix = format!("$q{}aux", image.aux_round);
         let program = Program::from_clauses_named(&[query_clause], &prefix)?;
@@ -379,7 +399,8 @@ impl Linker {
         let mut start = image.words.len() as u32;
         let mut compiled: Vec<(&crate::ir::Predicate, Vec<AsmItem>, CodeAddr)> = Vec::new();
         let options = image.options.clone();
-        let mut statics = StaticImage::resume(image.static_base, std::mem::take(&mut image.static_data));
+        let mut statics =
+            StaticImage::resume(image.static_base, std::mem::take(&mut image.static_data));
         for pred in &program.predicates {
             let items = compile_predicate(pred, symbols, &mut statics, &options)?;
             let size: usize = items.iter().map(AsmItem::size_words).sum();
@@ -478,10 +499,15 @@ impl Linker {
         image.words.resize(CODE_BASE as usize, 0);
         let entry = CodeAddr::new(CODE_BASE);
         let mut warnings = Vec::new();
-        let resolved = assemble(items, entry, &mut |p: &PredId| {
-            warnings.push(format!("unresolved predicate {p} in hand assembly"));
-            UNKNOWN_STUB
-        }, FAIL_STUB)
+        let resolved = assemble(
+            items,
+            entry,
+            &mut |p: &PredId| {
+                warnings.push(format!("unresolved predicate {p} in hand assembly"));
+                UNKNOWN_STUB
+            },
+            FAIL_STUB,
+        )
         .map_err(|e| CompileError::UnsupportedDirective(e.to_string()))?;
         image.warnings = warnings;
         for (addr, instr) in resolved {
@@ -540,7 +566,10 @@ mod tests {
     fn stubs_are_at_fixed_addresses() {
         let (image, _) = link("a.");
         assert_eq!(image.instr_at(FAIL_STUB), Some(&Instr::Fail));
-        assert_eq!(image.instr_at(HALT_STUB), Some(&Instr::Halt { success: true }));
+        assert_eq!(
+            image.instr_at(HALT_STUB),
+            Some(&Instr::Halt { success: true })
+        );
         assert_eq!(image.instr_at(UNKNOWN_STUB), Some(&Instr::Fail));
     }
 

@@ -75,7 +75,10 @@ pub fn execute(m: &mut Machine, b: Builtin) -> Result<BuiltinOutcome, MachineErr
         }
         Builtin::Atomic => {
             let t = deref_tag(m, 0)?;
-            Ok(ok(matches!(t, Tag::Atom | Tag::Nil | Tag::Int | Tag::Float)))
+            Ok(ok(matches!(
+                t,
+                Tag::Atom | Tag::Nil | Tag::Int | Tag::Float
+            )))
         }
         Builtin::Integer => Ok(ok(deref_tag(m, 0)? == Tag::Int)),
         Builtin::Float => Ok(ok(deref_tag(m, 0)? == Tag::Float)),
@@ -85,7 +88,10 @@ pub fn execute(m: &mut Machine, b: Builtin) -> Result<BuiltinOutcome, MachineErr
         }
         Builtin::Callable => {
             let t = deref_tag(m, 0)?;
-            Ok(ok(matches!(t, Tag::Atom | Tag::Nil | Tag::Struct | Tag::List)))
+            Ok(ok(matches!(
+                t,
+                Tag::Atom | Tag::Nil | Tag::Struct | Tag::List
+            )))
         }
         Builtin::IsList => {
             let mut w = m.deref(m.arg_word(0))?;
@@ -126,12 +132,24 @@ pub fn execute(m: &mut Machine, b: Builtin) -> Result<BuiltinOutcome, MachineErr
             let c = eval_arith(m, m.arg_word(1))?;
             Ok(ok(m.numeric_holds(cond, a, c)?))
         }
-        Builtin::TermEq => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? == Ordering::Equal)),
-        Builtin::TermNe => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? != Ordering::Equal)),
-        Builtin::TermLt => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? == Ordering::Less)),
-        Builtin::TermGt => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? == Ordering::Greater)),
-        Builtin::TermLe => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? != Ordering::Greater)),
-        Builtin::TermGe => Ok(ok(term_compare(m, m.arg_word(0), m.arg_word(1))? != Ordering::Less)),
+        Builtin::TermEq => Ok(ok(
+            term_compare(m, m.arg_word(0), m.arg_word(1))? == Ordering::Equal
+        )),
+        Builtin::TermNe => Ok(ok(
+            term_compare(m, m.arg_word(0), m.arg_word(1))? != Ordering::Equal
+        )),
+        Builtin::TermLt => Ok(ok(
+            term_compare(m, m.arg_word(0), m.arg_word(1))? == Ordering::Less
+        )),
+        Builtin::TermGt => Ok(ok(
+            term_compare(m, m.arg_word(0), m.arg_word(1))? == Ordering::Greater
+        )),
+        Builtin::TermLe => Ok(ok(
+            term_compare(m, m.arg_word(0), m.arg_word(1))? != Ordering::Greater
+        )),
+        Builtin::TermGe => Ok(ok(
+            term_compare(m, m.arg_word(0), m.arg_word(1))? != Ordering::Less
+        )),
         Builtin::Compare => {
             let order = term_compare(m, m.arg_word(1), m.arg_word(2))?;
             let atom = match order {
@@ -186,9 +204,9 @@ pub fn execute(m: &mut Machine, b: Builtin) -> Result<BuiltinOutcome, MachineErr
             match a.tag() {
                 Tag::Ref => {
                     let codes = m.with_host_access(|m| m.decode_term(m.arg_word(1)))?;
-                    let items = codes.list_elements().ok_or_else(|| {
-                        MachineError::Instantiation("codes list required".into())
-                    })?;
+                    let items = codes
+                        .list_elements()
+                        .ok_or_else(|| MachineError::Instantiation("codes list required".into()))?;
                     let mut text = String::new();
                     for item in items {
                         match item {
@@ -226,7 +244,9 @@ pub fn execute(m: &mut Machine, b: Builtin) -> Result<BuiltinOutcome, MachineErr
                         }
                     };
                     if numeric && !matches!(a.tag(), Tag::Int | Tag::Float) {
-                        return Err(MachineError::TypeFault("number_codes needs a number".into()));
+                        return Err(MachineError::TypeFault(
+                            "number_codes needs a number".into(),
+                        ));
                     }
                     let codes =
                         Term::list(text.chars().map(|c| Term::Int(c as i32)).collect(), None);
@@ -239,7 +259,11 @@ pub fn execute(m: &mut Machine, b: Builtin) -> Result<BuiltinOutcome, MachineErr
         Builtin::AtomLength => {
             let a = m.deref(m.arg_word(0))?;
             let len = match a.tag() {
-                Tag::Atom => m.symbols.atom_name(a.as_atom().expect("atom")).chars().count(),
+                Tag::Atom => m
+                    .symbols
+                    .atom_name(a.as_atom().expect("atom"))
+                    .chars()
+                    .count(),
                 Tag::Nil => 2,
                 _ => return Err(MachineError::TypeFault("atom_length needs an atom".into())),
             };
@@ -270,11 +294,15 @@ pub fn execute(m: &mut Machine, b: Builtin) -> Result<BuiltinOutcome, MachineErr
 /// constructs are rejected (compile them, or wrap them in a predicate).
 fn builtin_call_goal(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
     // call/N: A2..AN are extra arguments appended to the goal in A1.
-    let extra: Vec<Word> = (1..m.current_arity() as usize).map(|i| m.arg_word(i)).collect();
+    let extra: Vec<Word> = (1..m.current_arity() as usize)
+        .map(|i| m.arg_word(i))
+        .collect();
     let g = m.deref(m.arg_word(0))?;
     let (name, arity, args_at) = match g.tag() {
         Tag::Ref => {
-            return Err(MachineError::Instantiation("call/1 on an unbound goal".into()))
+            return Err(MachineError::Instantiation(
+                "call/1 on an unbound goal".into(),
+            ))
         }
         Tag::Atom => {
             let id = g.as_atom().expect("atom");
@@ -292,9 +320,7 @@ fn builtin_call_goal(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
                 Some(p),
             )
         }
-        other => {
-            return Err(MachineError::TypeFault(format!("call/1 on a {other} term")))
-        }
+        other => return Err(MachineError::TypeFault(format!("call/1 on a {other} term"))),
     };
     match (name.as_str(), arity) {
         ("true", 0) | ("!", 0) => {
@@ -362,7 +388,9 @@ fn eval_arith(m: &mut Machine, w: Word) -> Result<Word, MachineError> {
     let w = m.deref(w)?;
     match w.tag() {
         Tag::Int | Tag::Float => Ok(w),
-        Tag::Ref => Err(MachineError::Instantiation("is/2 on an unbound variable".into())),
+        Tag::Ref => Err(MachineError::Instantiation(
+            "is/2 on an unbound variable".into(),
+        )),
         Tag::Struct => {
             let p = w.as_addr().expect("struct");
             let fw = m.read_cell(p)?;
@@ -372,9 +400,20 @@ fn eval_arith(m: &mut Machine, w: Word) -> Result<Word, MachineError> {
             let name = m.symbols.functor_name(f).to_owned();
             let arity = m.symbols.functor_arity(f);
             match (name.as_str(), arity) {
-                ("+", 2) | ("-", 2) | ("*", 2) | ("/", 2) | ("//", 2) | ("mod", 2)
-                | ("rem", 2) | ("min", 2) | ("max", 2) | ("/\\", 2) | ("\\/", 2)
-                | ("xor", 2) | ("<<", 2) | (">>", 2) => {
+                ("+", 2)
+                | ("-", 2)
+                | ("*", 2)
+                | ("/", 2)
+                | ("//", 2)
+                | ("mod", 2)
+                | ("rem", 2)
+                | ("min", 2)
+                | ("max", 2)
+                | ("/\\", 2)
+                | ("\\/", 2)
+                | ("xor", 2)
+                | ("<<", 2)
+                | (">>", 2) => {
                     let a = m.read_cell(p.offset(1))?;
                     let b = m.read_cell(p.offset(2))?;
                     let a = eval_arith(m, a)?;
@@ -438,8 +477,16 @@ fn term_compare(m: &mut Machine, a: Word, b: Word) -> Result<Ordering, MachineEr
     match a.tag() {
         Tag::Ref => Ok(a.value().cmp(&b.value())),
         Tag::Int | Tag::Float => {
-            let x = if a.tag() == Tag::Int { a.value() as i32 as f64 } else { f64::from(f32::from_bits(a.value())) };
-            let y = if b.tag() == Tag::Int { b.value() as i32 as f64 } else { f64::from(f32::from_bits(b.value())) };
+            let x = if a.tag() == Tag::Int {
+                a.value() as i32 as f64
+            } else {
+                f64::from(f32::from_bits(a.value()))
+            };
+            let y = if b.tag() == Tag::Int {
+                b.value() as i32 as f64
+            } else {
+                f64::from(f32::from_bits(b.value()))
+            };
             Ok(x.partial_cmp(&y).unwrap_or(Ordering::Equal))
         }
         Tag::Atom | Tag::Nil => {
@@ -479,10 +526,7 @@ fn term_compare(m: &mut Machine, a: Word, b: Word) -> Result<Ordering, MachineEr
 }
 
 /// Functor name/arity and argument base pointer of a compound word.
-fn functor_of(
-    m: &mut Machine,
-    w: Word,
-) -> Result<(String, u8, kcm_arch::VAddr), MachineError> {
+fn functor_of(m: &mut Machine, w: Word) -> Result<(String, u8, kcm_arch::VAddr), MachineError> {
     let p = w.as_addr().expect("compound");
     match w.tag() {
         Tag::List => Ok((".".to_owned(), 2, p)),
@@ -519,7 +563,9 @@ fn builtin_functor(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
                 });
             }
             if !(0..=255).contains(&n) {
-                return Err(MachineError::TypeFault("functor/3 arity out of range".into()));
+                return Err(MachineError::TypeFault(
+                    "functor/3 arity out of range".into(),
+                ));
             }
             let built = match name.tag() {
                 Tag::Atom => {
@@ -541,7 +587,11 @@ fn builtin_functor(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
                         Word::ptr(Tag::Struct, base)
                     }
                 }
-                _ => return Err(MachineError::TypeFault("functor/3 name must be an atom".into())),
+                _ => {
+                    return Err(MachineError::TypeFault(
+                        "functor/3 name must be an atom".into(),
+                    ))
+                }
             };
             Ok(if m.unify(t, built)? {
                 BuiltinOutcome::Succeed
@@ -553,20 +603,32 @@ fn builtin_functor(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
             let dot = m.symbols.atom(".");
             let n1 = m.unify(m.arg_word(1), Word::atom(dot))?;
             let n2 = m.unify(m.arg_word(2), Word::int(2))?;
-            Ok(if n1 && n2 { BuiltinOutcome::Succeed } else { BuiltinOutcome::Fail })
+            Ok(if n1 && n2 {
+                BuiltinOutcome::Succeed
+            } else {
+                BuiltinOutcome::Fail
+            })
         }
         Tag::Struct => {
             let (name, arity, _) = functor_of(m, t)?;
             let id = m.symbols.atom(&name);
             let n1 = m.unify(m.arg_word(1), Word::atom(id))?;
             let n2 = m.unify(m.arg_word(2), Word::int(arity as i32))?;
-            Ok(if n1 && n2 { BuiltinOutcome::Succeed } else { BuiltinOutcome::Fail })
+            Ok(if n1 && n2 {
+                BuiltinOutcome::Succeed
+            } else {
+                BuiltinOutcome::Fail
+            })
         }
         _ => {
             // Atomic: functor is the term itself, arity 0.
             let n1 = m.unify(m.arg_word(1), t)?;
             let n2 = m.unify(m.arg_word(2), Word::int(0))?;
-            Ok(if n1 && n2 { BuiltinOutcome::Succeed } else { BuiltinOutcome::Fail })
+            Ok(if n1 && n2 {
+                BuiltinOutcome::Succeed
+            } else {
+                BuiltinOutcome::Fail
+            })
         }
     }
 }
@@ -581,7 +643,11 @@ fn builtin_arg(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
     if n < 1 || n > arity as i32 {
         return Ok(BuiltinOutcome::Fail);
     }
-    let off = if t.tag() == Tag::List { n as i64 - 1 } else { n as i64 };
+    let off = if t.tag() == Tag::List {
+        n as i64 - 1
+    } else {
+        n as i64
+    };
     let w = m.read_cell(p.offset(off))?;
     Ok(if m.unify(m.arg_word(2), w)? {
         BuiltinOutcome::Succeed
@@ -605,7 +671,11 @@ fn builtin_univ(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
                     Tag::List => {
                         let p = w.as_addr().expect("list");
                         let head = m.read_cell(p)?;
-                        items.push(if head.is_unbound_at(p) { Word::reference(p) } else { head });
+                        items.push(if head.is_unbound_at(p) {
+                            Word::reference(p)
+                        } else {
+                            head
+                        });
                         let tp = p.offset(1);
                         let tail = m.read_cell(tp)?;
                         w = m.deref(if tail.is_unbound_at(tp) {
@@ -658,7 +728,11 @@ fn builtin_univ(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
                 }
                 _ => return Err(MachineError::TypeFault("=../2 bad functor".into())),
             };
-            Ok(if m.unify(t, built)? { BuiltinOutcome::Succeed } else { BuiltinOutcome::Fail })
+            Ok(if m.unify(t, built)? {
+                BuiltinOutcome::Succeed
+            } else {
+                BuiltinOutcome::Fail
+            })
         }
         _ => {
             let decoded = m.decode_term(t)?;
@@ -698,7 +772,9 @@ fn builtin_length(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
                         w = m.deref(tail)?;
                     }
                     Tag::Ref => {
-                        return Err(MachineError::Instantiation("length/2 on a partial list".into()))
+                        return Err(MachineError::Instantiation(
+                            "length/2 on a partial list".into(),
+                        ))
                     }
                     _ => return Ok(BuiltinOutcome::Fail),
                 }
@@ -710,10 +786,9 @@ fn builtin_length(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
             })
         }
         Tag::Ref => {
-            let n = m
-                .deref(m.arg_word(1))?
-                .as_int()
-                .ok_or_else(|| MachineError::Instantiation("length/2 needs a bound length".into()))?;
+            let n = m.deref(m.arg_word(1))?.as_int().ok_or_else(|| {
+                MachineError::Instantiation("length/2 needs a bound length".into())
+            })?;
             if n < 0 {
                 return Ok(BuiltinOutcome::Fail);
             }
@@ -773,7 +848,11 @@ fn builtin_name(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
                 let id = m.symbols.atom(&text);
                 Word::atom(id)
             };
-            Ok(if m.unify(a, w)? { BuiltinOutcome::Succeed } else { BuiltinOutcome::Fail })
+            Ok(if m.unify(a, w)? {
+                BuiltinOutcome::Succeed
+            } else {
+                BuiltinOutcome::Fail
+            })
         }
         _ => Ok(BuiltinOutcome::Fail),
     }
@@ -810,10 +889,16 @@ mod tests {
         let mut vars = std::collections::HashMap::new();
         let e = kcm_prolog::read_term("foo(1)").expect("parse");
         let w = m.build_term(&e, &mut vars).expect("build");
-        assert!(matches!(eval_arith(&mut m, w), Err(MachineError::TypeFault(_))));
+        assert!(matches!(
+            eval_arith(&mut m, w),
+            Err(MachineError::TypeFault(_))
+        ));
         let e = kcm_prolog::read_term("1 + X").expect("parse");
         let w = m.build_term(&e, &mut vars).expect("build");
-        assert!(matches!(eval_arith(&mut m, w), Err(MachineError::Instantiation(_))));
+        assert!(matches!(
+            eval_arith(&mut m, w),
+            Err(MachineError::Instantiation(_))
+        ));
     }
 
     #[test]
@@ -821,19 +906,23 @@ mod tests {
         let mut m = machine();
         let mut vars = std::collections::HashMap::new();
         let pairs = [
-            ("1", "a", Ordering::Less),        // numbers < atoms
-            ("a", "f(x)", Ordering::Less),     // atoms < compounds
-            ("f(1)", "f(2)", Ordering::Less),  // args left to right
+            ("1", "a", Ordering::Less),          // numbers < atoms
+            ("a", "f(x)", Ordering::Less),       // atoms < compounds
+            ("f(1)", "f(2)", Ordering::Less),    // args left to right
             ("g(1)", "f(1, 2)", Ordering::Less), // arity first
             ("f(a)", "f(a)", Ordering::Equal),
-            ("2.5", "3", Ordering::Less),      // numeric comparison
+            ("2.5", "3", Ordering::Less), // numeric comparison
         ];
         for (a, b, want) in pairs {
             let ta = kcm_prolog::read_term(a).expect("parse");
             let tb = kcm_prolog::read_term(b).expect("parse");
             let wa = m.build_term(&ta, &mut vars).expect("build");
             let wb = m.build_term(&tb, &mut vars).expect("build");
-            assert_eq!(term_compare(&mut m, wa, wb).expect("cmp"), want, "{a} vs {b}");
+            assert_eq!(
+                term_compare(&mut m, wa, wb).expect("cmp"),
+                want,
+                "{a} vs {b}"
+            );
         }
     }
 }

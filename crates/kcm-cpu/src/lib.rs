@@ -16,6 +16,11 @@
 //!   cycle accounting, shallow backtracking with shadow registers and the
 //!   deferred choice point (§3.1.5), the trail hardware condition, and
 //!   dereferencing at one link per cycle through the data cache (§3.1.4).
+//! * [`profile`] — the observability layer: per-instruction-class retired
+//!   counts and cycles, event counters for the paper's hardware mechanisms
+//!   (MWAC dispatch outcomes, shallow vs. deep backtracks, trail checks,
+//!   deref-chain lengths, zone-grow traps), and a bounded ring-buffer
+//!   event tracer that costs one branch when disabled.
 //! * [`termio`] — host-side decoding/building of Prolog terms in machine
 //!   memory (the monitor's view of the heap).
 //! * [`builtins`] — the escape mechanism: built-in predicates serviced
@@ -49,8 +54,12 @@ pub mod frames;
 pub mod machine;
 pub mod mwac;
 pub mod prefetch;
+pub mod profile;
 pub mod regfile;
 pub mod termio;
 
 pub use machine::{Machine, MachineConfig, MachineError, Outcome, RunStats, Solution};
+pub use profile::{
+    ClassCounters, InstrClass, MwacCounters, Profile, TraceEvent, Tracer, DEREF_HIST_BUCKETS,
+};
 pub use regfile::RegisterFile;

@@ -20,6 +20,7 @@ use crate::builtins::{self, BuiltinOutcome};
 use crate::frames;
 use crate::mwac::{Mwac, UnifyCase};
 use crate::prefetch::{Prefetch, PrefetchStats};
+use crate::profile::{InstrClass, Profile, TraceEvent, Tracer};
 use crate::regfile::RegisterFile;
 use kcm_arch::isa::{AluOp, Cond, Instr, Reg};
 use kcm_arch::timing::Cycles;
@@ -60,6 +61,11 @@ pub struct MachineConfig {
     /// Prolog-level monitor: attribute cycles to code addresses so
     /// [`Machine::profile`] can report per-predicate costs.
     pub profile: bool,
+    /// Event tracer depth: keep the most recent `event_trace_depth`
+    /// machine events (backtracks, choice points, trail pushes, zone
+    /// traps) in a bounded ring buffer; 0 (the default) disables
+    /// recording down to a single not-taken branch per event site.
+    pub event_trace_depth: usize,
 }
 
 impl Default for MachineConfig {
@@ -72,6 +78,7 @@ impl Default for MachineConfig {
             max_cycles: 20_000_000_000,
             trace_depth: 0,
             profile: false,
+            event_trace_depth: 0,
         }
     }
 }
@@ -175,6 +182,29 @@ impl RunStats {
         }
         out
     }
+
+    /// The per-run delta between this cumulative snapshot and an earlier
+    /// snapshot of the same counters: every counter subtracts;
+    /// `cycle_ns` is kept from `self`. This is how [`Machine::run`]
+    /// turns its lifetime accumulators into per-run statistics, so a
+    /// reused session never double-counts earlier runs.
+    pub fn delta_since(&self, earlier: &RunStats) -> RunStats {
+        RunStats {
+            cycle_ns: self.cycle_ns,
+            cycles: self.cycles - earlier.cycles,
+            instructions: self.instructions - earlier.instructions,
+            inferences: self.inferences - earlier.inferences,
+            choice_points: self.choice_points - earlier.choice_points,
+            shallow_entries: self.shallow_entries - earlier.shallow_entries,
+            shallow_fails: self.shallow_fails - earlier.shallow_fails,
+            deep_fails: self.deep_fails - earlier.deep_fails,
+            trail_pushes: self.trail_pushes - earlier.trail_pushes,
+            deref_links: self.deref_links - earlier.deref_links,
+            zone_growths: self.zone_growths - earlier.zone_growths,
+            mem: self.mem.delta_since(&earlier.mem),
+            prefetch: self.prefetch.delta_since(&earlier.prefetch),
+        }
+    }
 }
 
 /// One solution: the query variables with their binding terms.
@@ -190,6 +220,9 @@ pub struct Outcome {
     pub solutions: Vec<Solution>,
     /// Execution counters.
     pub stats: RunStats,
+    /// Per-run execution profile (instruction classes, MWAC outcomes,
+    /// backtrack split, trail checks, deref histogram, zone traps).
+    pub profile: Profile,
     /// Host output captured from `write/1`, `nl/0`, `tab/1`.
     pub output: String,
 }
@@ -208,6 +241,10 @@ pub enum MachineError {
     },
     /// Arithmetic on a non-number or similar type fault.
     TypeFault(String),
+    /// The decoded instruction is not implemented by this machine model
+    /// (a gap in the simulator, not a Prolog-level fault — callers can
+    /// tell the two apart). Carries the decoded instruction.
+    UnimplementedInstr(Box<Instr>),
     /// Arithmetic on an unbound variable.
     Instantiation(String),
     /// A term too deep to decode (likely a cyclic term).
@@ -223,6 +260,9 @@ impl std::fmt::Display for MachineError {
             MachineError::BadCodeAddress(a) => write!(f, "bad code address {a}"),
             MachineError::Fuel { cycles } => write!(f, "cycle budget exhausted after {cycles}"),
             MachineError::TypeFault(m) => write!(f, "type fault: {m}"),
+            MachineError::UnimplementedInstr(i) => {
+                write!(f, "unimplemented instruction: {i}")
+            }
             MachineError::Instantiation(m) => {
                 write!(f, "arguments insufficiently instantiated: {m}")
             }
@@ -302,6 +342,8 @@ pub struct Machine {
     cycles: u64,
     budget: u64,
     stats: RunStats,
+    prof: Profile,
+    tracer: Tracer,
     pub(crate) output: String,
     solutions: Vec<Solution>,
     trace: std::collections::VecDeque<String>,
@@ -333,6 +375,7 @@ impl Machine {
         cfg: MachineConfig,
     ) -> Machine {
         let spread = cfg.spread_stack_bases;
+        let event_trace_depth = cfg.event_trace_depth;
         let mem = MemorySystem::new(cfg.mem.clone());
         let heap_base = MemorySystem::stack_base(Zone::Global, spread);
         let local_base = MemorySystem::stack_base(Zone::Local, spread);
@@ -369,6 +412,8 @@ impl Machine {
             cycles: 0,
             budget: 0,
             stats: RunStats::default(),
+            prof: Profile::default(),
+            tracer: Tracer::new(event_trace_depth),
             output: String::new(),
             solutions: Vec::new(),
             trace: std::collections::VecDeque::new(),
@@ -444,6 +489,13 @@ impl Machine {
 
     /// Runs from an arbitrary entry address until halt or final failure.
     ///
+    /// All reported statistics are **per-run deltas**: every counter —
+    /// including the memory-system and prefetch counters, which are
+    /// accumulated inside their subsystems over the machine's lifetime —
+    /// is snapshotted at entry and reported relative to that snapshot.
+    /// A machine reused for a second run therefore never double-counts
+    /// the first run's cache hits, misses or page faults.
+    ///
     /// # Errors
     ///
     /// Returns a [`MachineError`] on machine faults.
@@ -455,24 +507,31 @@ impl Machine {
         self.cp = kcm_compiler::link::HALT_STUB;
         self.budget = self.cfg.max_cycles;
         let start_cycles = self.cycles;
-        let start_inferences = self.stats.inferences;
+        let mut start_stats = self.stats;
+        start_stats.mem = self.mem.stats();
+        start_stats.prefetch = self.prefetch.stats();
+        let start_profile = self.prof;
         while self.halted.is_none() {
             self.step()?;
             if self.cycles - start_cycles > self.budget {
-                return Err(MachineError::Fuel { cycles: self.cycles - start_cycles });
+                return Err(MachineError::Fuel {
+                    cycles: self.cycles - start_cycles,
+                });
             }
         }
-        let mut stats = self.stats;
-        stats.cycle_ns = self.cfg.cost.cycle_ns;
-        stats.cycles = self.cycles - start_cycles;
-        stats.inferences = self.stats.inferences - start_inferences;
-        stats.mem = self.mem.stats();
-        stats.prefetch = self.prefetch.stats();
+        let mut end_stats = self.stats;
+        end_stats.cycle_ns = self.cfg.cost.cycle_ns;
+        end_stats.cycles = start_stats.cycles + (self.cycles - start_cycles);
+        end_stats.mem = self.mem.stats();
+        end_stats.prefetch = self.prefetch.stats();
+        let stats = end_stats.delta_since(&start_stats);
+        let profile = self.prof.delta_since(&start_profile);
         let success = self.halted == Some(true) || !self.solutions.is_empty();
         Ok(Outcome {
             success,
             solutions: std::mem::take(&mut self.solutions),
             stats,
+            profile,
             output: std::mem::take(&mut self.output),
         })
     }
@@ -488,8 +547,7 @@ impl Machine {
     /// the query wrapper report as `$system`. Empty unless
     /// [`MachineConfig::profile`] was set.
     pub fn profile(&self) -> Vec<(String, u64)> {
-        let mut per_pred: std::collections::HashMap<String, u64> =
-            std::collections::HashMap::new();
+        let mut per_pred: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
         'addrs: for (&addr, &cycles) in &self.profile {
             for size in self.image.sizes() {
                 if addr >= size.start && addr < size.end {
@@ -512,6 +570,19 @@ impl Machine {
         s.mem = self.mem.stats();
         s.prefetch = self.prefetch.stats();
         s
+    }
+
+    /// The cumulative hardware-mechanism profile over the machine's
+    /// lifetime. Per-run profiles are reported on each [`Outcome`].
+    pub fn lifetime_profile(&self) -> Profile {
+        self.prof
+    }
+
+    /// The event tracer's ring buffer: the newest
+    /// [`MachineConfig::event_trace_depth`] hardware events, oldest first.
+    /// Empty when the tracer is disabled (`event_trace_depth == 0`).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.tracer.events().copied().collect()
     }
 
     // ------------------------------------------------------------ plumbing
@@ -581,6 +652,9 @@ impl Machine {
             .zones_mut()
             .set_limits(zone, ZoneLimits::new(limits.start(), VAddr::new(new_end)));
         self.stats.zone_growths += 1;
+        self.prof.zone_grow_traps += 1;
+        self.tracer
+            .record(|| TraceEvent::ZoneGrow { zone, addr: need });
         // Trap service cost: monitor entry, limit RAM update, return.
         self.charge(20);
         Ok(())
@@ -590,15 +664,19 @@ impl Machine {
     /// (§3.1.4). Returns either a non-reference word or the self-reference
     /// of an unbound cell.
     pub(crate) fn deref(&mut self, mut w: Word) -> Result<Word, MachineError> {
+        let mut links: usize = 0;
         loop {
             if w.tag_checked() != Some(Tag::Ref) {
+                self.prof.record_deref_chain(links);
                 return Ok(w);
             }
             let addr = w.as_addr().expect("ref carries an address");
             let cell = self.read_data(addr)?;
             self.stats.deref_links += 1;
+            links += 1;
             self.charge(self.cfg.cost.deref_link);
             if cell.is_unbound_at(addr) {
+                self.prof.record_deref_chain(links);
                 return Ok(cell);
             }
             w = cell;
@@ -613,8 +691,7 @@ impl Machine {
             Some(Zone::Global) => addr.value() < self.hb.value(),
             Some(Zone::Local) => {
                 let shallow_active = self.shallow && !self.cpflag && self.fa.is_some();
-                shallow_active
-                    || (self.b.is_some() && addr.value() < self.b_lt.value())
+                shallow_active || (self.b.is_some() && addr.value() < self.b_lt.value())
             }
             _ => false,
         }
@@ -624,12 +701,15 @@ impl Machine {
     pub(crate) fn bind(&mut self, addr: VAddr, value: Word) -> Result<(), MachineError> {
         self.write_data(addr, value)?;
         self.charge(self.cfg.cost.bind + self.cfg.cost.trail_check_sw);
+        self.prof.trail_checks += 1;
         if self.must_trail(addr) {
             let tr = self.tr;
             self.write_data(tr, Self::dptr(addr))?;
             self.tr = self.tr.offset(1);
             self.charge(self.cfg.cost.trail_push);
             self.stats.trail_pushes += 1;
+            self.prof.trail_pushes += 1;
+            self.tracer.record(|| TraceEvent::TrailPush { cell: addr });
         }
         Ok(())
     }
@@ -710,7 +790,9 @@ impl Machine {
             let a = self.deref(a)?;
             let b = self.deref(b)?;
             self.charge(self.cfg.cost.unify_dispatch);
-            match self.mwac.dispatch(a.tag(), b.tag()) {
+            let case = self.mwac.dispatch(a.tag(), b.tag());
+            self.prof.record_dispatch(case);
+            match case {
                 UnifyCase::BindLeft => {
                     if occurs
                         && b.tag() != Tag::Ref
@@ -777,9 +859,7 @@ impl Machine {
             self.tr = self.tr.offset(-1);
             let tr = self.tr;
             let entry = self.read_data(tr)?;
-            let addr = entry
-                .as_addr()
-                .expect("trail entries are data pointers");
+            let addr = entry.as_addr().expect("trail entries are data pointers");
             self.write_data(addr, Word::unbound(addr))?;
         }
         Ok(())
@@ -806,8 +886,16 @@ impl Machine {
                 e.offset(frames::env_size(n as u8) as i64)
             }
         };
-        let blt = if self.b.is_some() { self.b_lt } else { self.local_base };
-        Ok(if etop.value() >= blt.value() { etop } else { blt })
+        let blt = if self.b.is_some() {
+            self.b_lt
+        } else {
+            self.local_base
+        };
+        Ok(if etop.value() >= blt.value() {
+            etop
+        } else {
+            blt
+        })
     }
 
     fn opt_ptr(v: Option<VAddr>) -> Word {
@@ -837,11 +925,23 @@ impl Machine {
             self.charge(self.cfg.cost.choice_point_per_reg);
         }
         self.write_data(base.offset(frames::cp_ce(n) as i64), Self::opt_ptr(self.e))?;
-        self.write_data(base.offset(frames::cp_cp(n) as i64), Word::code_ptr(self.cp))?;
-        self.write_data(base.offset(frames::cp_prev_b(n) as i64), Self::opt_ptr(self.b))?;
+        self.write_data(
+            base.offset(frames::cp_cp(n) as i64),
+            Word::code_ptr(self.cp),
+        )?;
+        self.write_data(
+            base.offset(frames::cp_prev_b(n) as i64),
+            Self::opt_ptr(self.b),
+        )?;
         self.write_data(base.offset(frames::cp_fa(n) as i64), Word::code_ptr(fa))?;
-        self.write_data(base.offset(frames::cp_tr(n) as i64), Self::dptr(self.shadow_tr))?;
-        self.write_data(base.offset(frames::cp_h(n) as i64), Self::dptr(self.shadow_h))?;
+        self.write_data(
+            base.offset(frames::cp_tr(n) as i64),
+            Self::dptr(self.shadow_tr),
+        )?;
+        self.write_data(
+            base.offset(frames::cp_h(n) as i64),
+            Self::dptr(self.shadow_h),
+        )?;
         self.write_data(base.offset(frames::cp_lt(n) as i64), Self::dptr(lt))?;
         self.write_data(base.offset(frames::cp_b0(n) as i64), Self::opt_ptr(self.b0))?;
         self.b = Some(base);
@@ -850,6 +950,8 @@ impl Machine {
         self.hb = self.shadow_h;
         self.charge(self.cfg.cost.choice_point_fixed);
         self.stats.choice_points += 1;
+        self.tracer
+            .record(|| TraceEvent::ChoicePointPushed { frame: base });
         Ok(())
     }
 
@@ -865,6 +967,9 @@ impl Machine {
             self.p = fa;
             self.charge(self.cfg.cost.shallow_restore);
             self.stats.shallow_fails += 1;
+            self.prof.shallow_backtracks += 1;
+            self.tracer
+                .record(|| TraceEvent::ShallowBacktrack { alternative: fa });
             return Ok(());
         }
         let Some(b) = self.b else {
@@ -914,6 +1019,11 @@ impl Machine {
         self.p = fa;
         self.charge(self.cfg.cost.choice_point_fixed);
         self.stats.deep_fails += 1;
+        self.prof.deep_backtracks += 1;
+        self.tracer.record(|| TraceEvent::DeepBacktrack {
+            frame: b,
+            alternative: fa,
+        });
         Ok(())
     }
 
@@ -1045,7 +1155,9 @@ impl Machine {
     }
 
     pub(crate) fn trail_words_used(&self) -> u32 {
-        self.tr.value().saturating_sub(MemorySystem::stack_base(Zone::Trail, self.cfg.spread_stack_bases).value())
+        self.tr.value().saturating_sub(
+            MemorySystem::stack_base(Zone::Trail, self.cfg.spread_stack_bases).value(),
+        )
     }
 
     pub(crate) fn current_arity(&self) -> u8 {
@@ -1118,13 +1230,14 @@ impl Machine {
     ///
     /// Returns a [`MachineError`] on machine faults.
     pub fn step(&mut self) -> Result<(), MachineError> {
-        let profile_start = self.cfg.profile.then_some(self.cycles);
+        let before = self.cycles;
         let addr = self.p;
         let image = Arc::clone(&self.image);
         let instr = image
             .instr_at(addr)
             .ok_or(MachineError::BadCodeAddress(addr))?;
         let words = instr.size_words();
+        let class = InstrClass::of(instr);
         // Instruction fetch through the code cache (prefetch streams
         // sequential words; misses charge their penalty).
         for i in 0..words {
@@ -1138,16 +1251,19 @@ impl Machine {
             if self.trace.len() == self.cfg.trace_depth {
                 self.trace.pop_front();
             }
-            self.trace.push_back(format!("{:6}  {}", addr.value(), instr));
+            self.trace
+                .push_back(format!("{:6}  {}", addr.value(), instr));
         }
         self.p = addr.offset(words as i64);
-        if let Some(before) = profile_start {
-            let r = self.exec(instr);
-            let delta = self.cycles - before;
+        let r = self.exec(instr);
+        // The retired-instruction profile attributes every cycle of the
+        // step — fetch, overhead and execution — to the opcode's class.
+        let delta = self.cycles - before;
+        self.prof.retire(class, delta);
+        if self.cfg.profile {
             *self.profile.entry(addr.value()).or_insert(0) += delta;
-            return r;
         }
-        self.exec(instr)
+        r
     }
 
     #[allow(clippy::too_many_lines)]
@@ -1235,7 +1351,12 @@ impl Machine {
                 self.p = *to;
                 self.charge(cost.jump);
             }
-            Instr::SwitchOnTerm { on_var, on_const, on_list, on_struct } => {
+            Instr::SwitchOnTerm {
+                on_var,
+                on_const,
+                on_list,
+                on_struct,
+            } => {
                 let a1 = self.deref(self.regs.arg(0))?;
                 self.regs.set_arg(0, a1);
                 self.charge(cost.switch_on_term);
@@ -1345,7 +1466,11 @@ impl Machine {
                 let wy = self.read_data(slot)?;
                 // An unbound Y slot must be unified *as a cell*, not as a
                 // copied self-reference.
-                let lhs = if wy.is_unbound_at(slot) { Word::reference(slot) } else { wy };
+                let lhs = if wy.is_unbound_at(slot) {
+                    Word::reference(slot)
+                } else {
+                    wy
+                };
                 let wa = self.regs.get(*a);
                 if !self.unify(lhs, wa)? {
                     self.fail()?;
@@ -1434,7 +1559,11 @@ impl Machine {
             Instr::PutValueY { y, a } => {
                 let slot = self.y_slot(*y);
                 let wy = self.read_data(slot)?;
-                let w = if wy.is_unbound_at(slot) { Word::reference(slot) } else { wy };
+                let w = if wy.is_unbound_at(slot) {
+                    Word::reference(slot)
+                } else {
+                    wy
+                };
                 self.regs.set(*a, w);
             }
             Instr::PutUnsafeValue { y, a } => {
@@ -1485,7 +1614,11 @@ impl Machine {
                 Mode::Read => {
                     let s = self.s;
                     let w = self.read_data(s)?;
-                    let w = if w.is_unbound_at(s) { Word::reference(s) } else { w };
+                    let w = if w.is_unbound_at(s) {
+                        Word::reference(s)
+                    } else {
+                        w
+                    };
                     self.regs.set(*x, w);
                     self.s = self.s.offset(1);
                 }
@@ -1500,7 +1633,11 @@ impl Machine {
                     Mode::Read => {
                         let s = self.s;
                         let w = self.read_data(s)?;
-                        let w = if w.is_unbound_at(s) { Word::reference(s) } else { w };
+                        let w = if w.is_unbound_at(s) {
+                            Word::reference(s)
+                        } else {
+                            w
+                        };
                         self.write_data(slot, w)?;
                         self.s = self.s.offset(1);
                     }
@@ -1514,7 +1651,11 @@ impl Machine {
                 Mode::Read => {
                     let s = self.s;
                     let w = self.read_data(s)?;
-                    let w = if w.is_unbound_at(s) { Word::reference(s) } else { w };
+                    let w = if w.is_unbound_at(s) {
+                        Word::reference(s)
+                    } else {
+                        w
+                    };
                     self.s = self.s.offset(1);
                     let wx = self.regs.get(*x);
                     if !self.unify(wx, w)? {
@@ -1529,12 +1670,20 @@ impl Machine {
             Instr::UnifyValueY { y } => {
                 let slot = self.y_slot(*y);
                 let wy = self.read_data(slot)?;
-                let wy = if wy.is_unbound_at(slot) { Word::reference(slot) } else { wy };
+                let wy = if wy.is_unbound_at(slot) {
+                    Word::reference(slot)
+                } else {
+                    wy
+                };
                 match self.mode {
                     Mode::Read => {
                         let s = self.s;
                         let w = self.read_data(s)?;
-                        let w = if w.is_unbound_at(s) { Word::reference(s) } else { w };
+                        let w = if w.is_unbound_at(s) {
+                            Word::reference(s)
+                        } else {
+                            w
+                        };
                         self.s = self.s.offset(1);
                         if !self.unify(wy, w)? {
                             self.fail()?;
@@ -1552,7 +1701,11 @@ impl Machine {
             Instr::UnifyLocalValueY { y } => {
                 let slot = self.y_slot(*y);
                 let wy = self.read_data(slot)?;
-                let wy = if wy.is_unbound_at(slot) { Word::reference(slot) } else { wy };
+                let wy = if wy.is_unbound_at(slot) {
+                    Word::reference(slot)
+                } else {
+                    wy
+                };
                 self.unify_local(wy, None)?;
             }
             Instr::UnifyConstant { c } => match self.mode {
@@ -1560,7 +1713,11 @@ impl Machine {
                     let s = self.s;
                     let w = self.read_data(s)?;
                     self.s = self.s.offset(1);
-                    let w = self.deref(if w.is_unbound_at(s) { Word::reference(s) } else { w })?;
+                    let w = self.deref(if w.is_unbound_at(s) {
+                        Word::reference(s)
+                    } else {
+                        w
+                    })?;
                     self.charge(cost.unify_dispatch);
                     match w.tag() {
                         Tag::Ref => self.bind(w.as_addr().expect("unbound"), *c)?,
@@ -1582,7 +1739,11 @@ impl Machine {
                     let s = self.s;
                     let w = self.read_data(s)?;
                     self.s = self.s.offset(1);
-                    let w = self.deref(if w.is_unbound_at(s) { Word::reference(s) } else { w })?;
+                    let w = self.deref(if w.is_unbound_at(s) {
+                        Word::reference(s)
+                    } else {
+                        w
+                    })?;
                     self.charge(cost.unify_dispatch);
                     match w.tag() {
                         Tag::Ref => self.bind(w.as_addr().expect("unbound"), Word::nil())?,
@@ -1616,8 +1777,11 @@ impl Machine {
                 Mode::Read => {
                     let s = self.s;
                     let w = self.read_data(s)?;
-                    let w =
-                        self.deref(if w.is_unbound_at(s) { Word::reference(s) } else { w })?;
+                    let w = self.deref(if w.is_unbound_at(s) {
+                        Word::reference(s)
+                    } else {
+                        w
+                    })?;
                     self.charge(cost.unify_dispatch);
                     match w.tag() {
                         Tag::Ref => {
@@ -1678,7 +1842,13 @@ impl Machine {
                 self.regs.set(*d, w.with_gc_bits(*bits));
                 self.charge(cost.reg_op);
             }
-            Instr::Load { dd, ras, rad, off, pre } => {
+            Instr::Load {
+                dd,
+                ras,
+                rad,
+                off,
+                pre,
+            } => {
                 let base = self.regs.get(*ras);
                 let addr = base
                     .as_addr()
@@ -1689,7 +1859,13 @@ impl Machine {
                 self.regs.set(*dd, w);
                 self.regs.set(*rad, Self::dptr(moved));
             }
-            Instr::Store { ds, ras, rad, off, pre } => {
+            Instr::Store {
+                ds,
+                ras,
+                rad,
+                off,
+                pre,
+            } => {
                 let base = self.regs.get(*ras);
                 let addr = base
                     .as_addr()
@@ -1708,8 +1884,9 @@ impl Machine {
                 let w = self.regs.get(*s);
                 self.write_data(*addr, w)?;
             }
-            // `Instr` is non_exhaustive towards future extensions.
-            other => return Err(MachineError::TypeFault(format!("unimplemented {other}"))),
+            // `Instr` is non_exhaustive towards future extensions: report
+            // the gap as a machine gap, not a Prolog-level type fault.
+            other => return Err(MachineError::UnimplementedInstr(Box::new(other.clone()))),
         }
         Ok(())
     }
@@ -1722,7 +1899,11 @@ impl Machine {
             Mode::Read => {
                 let s = self.s;
                 let cell = self.read_data(s)?;
-                let cell = if cell.is_unbound_at(s) { Word::reference(s) } else { cell };
+                let cell = if cell.is_unbound_at(s) {
+                    Word::reference(s)
+                } else {
+                    cell
+                };
                 self.s = self.s.offset(1);
                 if !self.unify(w, cell)? {
                     self.fail()?;
@@ -1790,8 +1971,7 @@ impl Machine {
                 Ok(Word::int(r))
             }
             (Some(ta), Some(tb))
-                if (ta == Tag::Float || ta == Tag::Int)
-                    && (tb == Tag::Float || tb == Tag::Int) =>
+                if (ta == Tag::Float || ta == Tag::Int) && (tb == Tag::Float || tb == Tag::Int) =>
             {
                 self.charge(self.cfg.cost.fp_op);
                 let x = Self::as_f32(a);
@@ -1834,15 +2014,22 @@ impl Machine {
             (Some(Tag::Int), Some(Tag::Int)) => {
                 let x = a.value() as i32;
                 let y = b.value() as i32;
-                Ok(Psw { lt: x < y, eq: x == y, gt: x > y })
+                Ok(Psw {
+                    lt: x < y,
+                    eq: x == y,
+                    gt: x > y,
+                })
             }
             (Some(ta), Some(tb))
-                if (ta == Tag::Float || ta == Tag::Int)
-                    && (tb == Tag::Float || tb == Tag::Int) =>
+                if (ta == Tag::Float || ta == Tag::Int) && (tb == Tag::Float || tb == Tag::Int) =>
             {
                 let x = Self::as_f32(a);
                 let y = Self::as_f32(b);
-                Ok(Psw { lt: x < y, eq: x == y, gt: x > y })
+                Ok(Psw {
+                    lt: x < y,
+                    eq: x == y,
+                    gt: x > y,
+                })
             }
             (Some(Tag::Ref), _) | (_, Some(Tag::Ref)) => Err(MachineError::Instantiation(
                 "comparison on an unbound variable".into(),
@@ -1883,10 +2070,18 @@ mod tests {
 
     #[test]
     fn psw_condition_decoding() {
-        let lt = Psw { lt: true, eq: false, gt: false };
+        let lt = Psw {
+            lt: true,
+            eq: false,
+            gt: false,
+        };
         assert!(lt.holds(Cond::Lt) && lt.holds(Cond::Le) && lt.holds(Cond::Ne));
         assert!(!lt.holds(Cond::Eq) && !lt.holds(Cond::Gt) && !lt.holds(Cond::Ge));
-        let eq = Psw { lt: false, eq: true, gt: false };
+        let eq = Psw {
+            lt: false,
+            eq: true,
+            gt: false,
+        };
         assert!(eq.holds(Cond::Eq) && eq.holds(Cond::Le) && eq.holds(Cond::Ge));
         assert!(!eq.holds(Cond::Ne) && !eq.holds(Cond::Lt) && !eq.holds(Cond::Gt));
     }

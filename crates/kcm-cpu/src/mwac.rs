@@ -96,7 +96,10 @@ mod tests {
     fn matching_composites_descend() {
         let m = Mwac::new();
         assert_eq!(m.dispatch(Tag::List, Tag::List), UnifyCase::DescendList);
-        assert_eq!(m.dispatch(Tag::Struct, Tag::Struct), UnifyCase::DescendStruct);
+        assert_eq!(
+            m.dispatch(Tag::Struct, Tag::Struct),
+            UnifyCase::DescendStruct
+        );
     }
 
     #[test]
@@ -104,7 +107,10 @@ mod tests {
         let m = Mwac::new();
         assert_eq!(m.dispatch(Tag::Int, Tag::Int), UnifyCase::CompareConstants);
         assert_eq!(m.dispatch(Tag::Atom, Tag::Nil), UnifyCase::CompareConstants);
-        assert_eq!(m.dispatch(Tag::Float, Tag::Int), UnifyCase::CompareConstants);
+        assert_eq!(
+            m.dispatch(Tag::Float, Tag::Int),
+            UnifyCase::CompareConstants
+        );
     }
 
     #[test]

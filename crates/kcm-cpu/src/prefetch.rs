@@ -35,6 +35,19 @@ impl PrefetchStats {
         self.breaks += other.breaks;
         self.sequential += other.sequential;
     }
+
+    /// The counters accumulated since `earlier` was captured — the inverse
+    /// of [`PrefetchStats::merge`]. `earlier` must be a previous snapshot
+    /// of the same pipeline (counters only grow), so plain subtraction is
+    /// exact.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &PrefetchStats) -> PrefetchStats {
+        PrefetchStats {
+            issued: self.issued - earlier.issued,
+            breaks: self.breaks - earlier.breaks,
+            sequential: self.sequential - earlier.sequential,
+        }
+    }
 }
 
 /// The three-stage prefetch pipeline state.

@@ -37,7 +37,9 @@ impl Default for RegisterFile {
 impl RegisterFile {
     /// A file of all-zero words.
     pub fn new() -> RegisterFile {
-        RegisterFile { regs: [Word::ZERO; NUM_REGS] }
+        RegisterFile {
+            regs: [Word::ZERO; NUM_REGS],
+        }
     }
 
     /// Reads a register.

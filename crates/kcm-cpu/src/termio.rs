@@ -161,7 +161,10 @@ mod tests {
         roundtrip(&Term::Float(2.5));
         roundtrip(&Term::Atom("hello".into()));
         roundtrip(&Term::nil());
-        roundtrip(&Term::list(vec![Term::Int(1), Term::Atom("a".into())], None));
+        roundtrip(&Term::list(
+            vec![Term::Int(1), Term::Atom("a".into())],
+            None,
+        ));
         roundtrip(&Term::Struct(
             "f".into(),
             vec![Term::Int(1), Term::Struct("g".into(), vec![Term::nil()])],
@@ -171,7 +174,10 @@ mod tests {
     #[test]
     fn shared_variables_share_cells() {
         let mut m = machine();
-        let t = Term::Struct("p".into(), vec![Term::Var("X".into()), Term::Var("X".into())]);
+        let t = Term::Struct(
+            "p".into(),
+            vec![Term::Var("X".into()), Term::Var("X".into())],
+        );
         let mut vars = HashMap::new();
         let w = m.build_term(&t, &mut vars).expect("build");
         assert_eq!(vars.len(), 1, "one cell for both occurrences");

@@ -23,7 +23,10 @@ fn fuel_guard_stops_infinite_loops() {
     let r = run(
         "loop :- loop.",
         "loop",
-        MachineConfig { max_cycles: 10_000, ..Default::default() },
+        MachineConfig {
+            max_cycles: 10_000,
+            ..Default::default()
+        },
     );
     assert!(matches!(r, Err(MachineError::Fuel { .. })));
 }
@@ -101,14 +104,25 @@ fn eager_mode_pushes_what_shallow_avoids() {
     let eager = run(
         src,
         q,
-        MachineConfig { shallow_backtracking: false, ..Default::default() },
+        MachineConfig {
+            shallow_backtracking: false,
+            ..Default::default()
+        },
     )
     .expect("run");
     // Shallow mode only materialises a choice point when a clause passes
     // its neck with alternatives remaining (the -3, 0 and -1 elements
     // here); eager mode pushes one at every try.
-    assert!(shallow.stats.choice_points <= 3, "{}", shallow.stats.choice_points);
-    assert!(eager.stats.choice_points >= 6, "{}", eager.stats.choice_points);
+    assert!(
+        shallow.stats.choice_points <= 3,
+        "{}",
+        shallow.stats.choice_points
+    );
+    assert!(
+        eager.stats.choice_points >= 6,
+        "{}",
+        eager.stats.choice_points
+    );
     assert!(eager.stats.cycles > shallow.stats.cycles);
 }
 
@@ -158,7 +172,10 @@ fn cost_model_scales_cycles() {
         src,
         q,
         MachineConfig {
-            cost: CostModel { instr_overhead: 3, ..CostModel::default() },
+            cost: CostModel {
+                instr_overhead: 3,
+                ..CostModel::default()
+            },
             ..Default::default()
         },
     )
@@ -248,14 +265,20 @@ fn macrocode_monitor_keeps_a_window() {
     let mut m = Machine::new(
         qimage,
         symbols,
-        MachineConfig { trace_depth: 8, ..Default::default() },
+        MachineConfig {
+            trace_depth: 8,
+            ..Default::default()
+        },
     );
     m.run_query(&vars, false).expect("run");
     let trace = m.trace();
     assert!(trace.len() <= 8);
     assert!(!trace.is_empty());
     // The window ends with the query's success path.
-    assert!(trace.last().expect("nonempty").contains("halt"), "{trace:?}");
+    assert!(
+        trace.last().expect("nonempty").contains("halt"),
+        "{trace:?}"
+    );
 }
 
 #[test]
@@ -291,11 +314,7 @@ fn generic_float_arithmetic_beats_integer_multiply() {
 
 #[test]
 fn term_io_roundtrips_mixed_terms() {
-    let o = run_default(
-        "eq(X, X).",
-        "eq(T, f([a, 1, 2.5, g(h)], [x|y], -3))",
-    )
-    .expect("run");
+    let o = run_default("eq(X, X).", "eq(T, f([a, 1, 2.5, g(h)], [x|y], -3))").expect("run");
     assert_eq!(
         o.solutions[0][0].1.to_string(),
         "f([a,1,2.5,g(h)],[x|y],-3)"
@@ -326,10 +345,14 @@ fn arg_out_of_range_fails_not_faults() {
 
 #[test]
 fn functor_constructs_fresh_cells() {
-    let o = run_default("t.", "functor(T, f, 3), arg(1, T, A), arg(3, T, C)")
-        .expect("run");
+    let o = run_default("t.", "functor(T, f, 3), arg(1, T, A), arg(3, T, C)").expect("run");
     assert!(o.success);
-    let t = o.solutions[0].iter().find(|(n, _)| n == "T").expect("T").1.to_string();
+    let t = o.solutions[0]
+        .iter()
+        .find(|(n, _)| n == "T")
+        .expect("T")
+        .1
+        .to_string();
     assert!(t.starts_with("f(_G"), "{t}");
 }
 
@@ -337,8 +360,18 @@ fn functor_constructs_fresh_cells() {
 fn univ_list_direction_and_back() {
     let o = run_default("t.", "f(1, g(2)) =.. L, T =.. L").expect("run");
     assert!(o.success);
-    let l = o.solutions[0].iter().find(|(n, _)| n == "L").expect("L").1.to_string();
-    let t = o.solutions[0].iter().find(|(n, _)| n == "T").expect("T").1.to_string();
+    let l = o.solutions[0]
+        .iter()
+        .find(|(n, _)| n == "L")
+        .expect("L")
+        .1
+        .to_string();
+    let t = o.solutions[0]
+        .iter()
+        .find(|(n, _)| n == "T")
+        .expect("T")
+        .1
+        .to_string();
     assert_eq!(l, "[f,1,g(2)]");
     assert_eq!(t, "f(1,g(2))");
 }
@@ -351,7 +384,14 @@ fn compare_orders_are_consistent_with_sort() {
         "compare(A, 1, 2), compare(B, b, a), compare(C, f(1), f(1)), compare(D, g(x), f(x, y))",
     )
     .expect("run");
-    let get = |n: &str| o.solutions[0].iter().find(|(m, _)| m == n).expect("var").1.to_string();
+    let get = |n: &str| {
+        o.solutions[0]
+            .iter()
+            .find(|(m, _)| m == n)
+            .expect("var")
+            .1
+            .to_string()
+    };
     assert_eq!(get("A"), "<");
     assert_eq!(get("B"), ">");
     assert_eq!(get("C"), "=");
@@ -473,23 +513,33 @@ fn prolog_level_profile_attributes_cycles() {
     .expect("parse");
     let mut symbols = SymbolTable::new();
     let image = kcm_compiler::compile_program(&clauses, &mut symbols).expect("compile");
-    let goal = kcm_prolog::read_term(
-        "nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20], R)",
-    )
-    .expect("parse");
+    let goal =
+        kcm_prolog::read_term("nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20], R)")
+            .expect("parse");
     let (qimage, vars) = kcm_compiler::compile_query(&image, &goal, &mut symbols).expect("link");
     let mut m = Machine::new(
         qimage,
         symbols,
-        MachineConfig { profile: true, ..Default::default() },
+        MachineConfig {
+            profile: true,
+            ..Default::default()
+        },
     );
     let o = m.run_query(&vars, false).expect("run");
     let profile = m.profile();
     let total: u64 = profile.iter().map(|(_, c)| c).sum();
     assert_eq!(total, o.stats.cycles, "attribution must be complete");
     // append dominates naive reverse (quadratic vs linear call counts).
-    let app = profile.iter().find(|(n, _)| n == "app/3").expect("app profiled").1;
-    let nrev = profile.iter().find(|(n, _)| n == "nrev/2").expect("nrev profiled").1;
+    let app = profile
+        .iter()
+        .find(|(n, _)| n == "app/3")
+        .expect("app profiled")
+        .1;
+    let nrev = profile
+        .iter()
+        .find(|(n, _)| n == "nrev/2")
+        .expect("nrev profiled")
+        .1;
     assert!(app > nrev, "app {app} vs nrev {nrev}");
     assert_eq!(profile[0].0, "app/3", "sorted by cost");
 }
@@ -513,4 +563,143 @@ fn native_direct_addressing() {
     let mut m = Machine::new(image, symbols, MachineConfig::default());
     let o = m.run(entry).expect("run");
     assert_eq!(o.output, "123");
+}
+
+// ---------------------------------------------------------- observability
+
+/// Builds a machine for `query` against `src` without running it.
+fn build(src: &str, query: &str, cfg: MachineConfig) -> (Machine, Vec<String>) {
+    let clauses = kcm_prolog::read_program(src).expect("parse");
+    let mut symbols = SymbolTable::new();
+    let image = kcm_compiler::compile_program(&clauses, &mut symbols).expect("compile");
+    let goal = kcm_prolog::read_term(query).expect("parse query");
+    let (qimage, vars) = kcm_compiler::compile_query(&image, &goal, &mut symbols).expect("link");
+    (Machine::new(qimage, symbols, cfg), vars)
+}
+
+const NREV: &str = "app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).
+                    nrev([],[]). nrev([H|T],R) :- nrev(T,RT), app(RT,[H],R).";
+const NREV_Q: &str = "nrev([1,2,3,4,5,6,7,8], R)";
+
+#[test]
+fn reused_machine_reports_per_run_deltas_not_cumulative_stats() {
+    // Regression: `Machine::run` used to copy the cumulative mem/prefetch
+    // counters into every run's stats, so a second run on the same
+    // machine double-counted the first run's cache traffic.
+    let (mut m, vars) = build(NREV, NREV_Q, MachineConfig::default());
+    let first = m.run_query(&vars, false).expect("first run");
+    let second = m.run_query(&vars, false).expect("second run");
+    assert!(first.success && second.success);
+    // The second run executes the identical instruction stream, so the
+    // execution-side counters must match exactly — not double.
+    assert_eq!(second.stats.instructions, first.stats.instructions);
+    assert_eq!(second.stats.inferences, first.stats.inferences);
+    assert_eq!(second.stats.choice_points, first.stats.choice_points);
+    assert_eq!(second.stats.trail_pushes, first.stats.trail_pushes);
+    assert_eq!(second.stats.deref_links, first.stats.deref_links);
+    assert_eq!(second.stats.prefetch.issued, first.stats.prefetch.issued);
+    // Cache *accesses* are per-run too; only the hit/miss split may shift
+    // because the second run starts with warm caches.
+    let accesses = |o: &Outcome| o.stats.mem.dcache_hits + o.stats.mem.dcache_misses;
+    assert_eq!(accesses(&second), accesses(&first));
+    // Lifetime view still accumulates across both runs.
+    let life = m.lifetime_stats();
+    assert_eq!(
+        life.instructions,
+        first.stats.instructions + second.stats.instructions
+    );
+    assert_eq!(
+        life.mem.dcache_hits + life.mem.dcache_misses,
+        accesses(&first) + accesses(&second)
+    );
+}
+
+#[test]
+fn reused_machine_reports_per_run_profile_deltas() {
+    let (mut m, vars) = build(NREV, NREV_Q, MachineConfig::default());
+    let first = m.run_query(&vars, false).expect("first run");
+    let second = m.run_query(&vars, false).expect("second run");
+    assert_eq!(
+        second.profile.retired_total(),
+        first.profile.retired_total()
+    );
+    assert_eq!(second.profile.mwac, first.profile.mwac);
+    assert_eq!(second.profile.deref_hist, first.profile.deref_hist);
+    assert_eq!(
+        m.lifetime_profile().retired_total(),
+        first.profile.retired_total() + second.profile.retired_total()
+    );
+}
+
+#[test]
+fn profile_accounts_every_retired_instruction() {
+    let (mut m, vars) = build(NREV, NREV_Q, MachineConfig::default());
+    let o = m.run_query(&vars, false).expect("run");
+    assert_eq!(o.profile.retired_total(), o.stats.instructions);
+    assert_eq!(o.profile.cycles_total(), o.stats.cycles);
+    // nrev is all list traffic: the MWAC must have dispatched, deref
+    // chains must have been observed, bindings must have been checked.
+    assert!(o.profile.trail_checks > 0);
+    assert!(o.profile.deref_chains_total() > 0);
+    use kcm_cpu::InstrClass;
+    assert!(o.profile.class(InstrClass::Get).retired > 0);
+    assert!(o.profile.class(InstrClass::Control).retired > 0);
+}
+
+#[test]
+fn profile_counts_backtrack_kinds() {
+    // A var call over a 3-clause predicate with failures forces both a
+    // materialised choice point and deep backtracks.
+    let src = "q(1). q(2). q(3). pick(X) :- q(X), X > 2.";
+    let o = run_default(src, "pick(V)").expect("run");
+    assert!(o.success);
+    assert!(
+        o.profile.deep_backtracks > 0,
+        "deep {}",
+        o.profile.deep_backtracks
+    );
+    assert_eq!(
+        o.profile.shallow_backtracks + o.profile.deep_backtracks,
+        o.stats.shallow_fails + o.stats.deep_fails
+    );
+    assert_eq!(o.profile.trail_pushes, o.stats.trail_pushes);
+}
+
+#[test]
+fn event_tracer_records_when_enabled_and_stays_empty_when_off() {
+    let src = "q(1). q(2). q(3). pick(X) :- q(X), X > 2.";
+    let (mut m, vars) = build(
+        src,
+        "pick(V)",
+        MachineConfig {
+            event_trace_depth: 64,
+            ..Default::default()
+        },
+    );
+    let o = m.run_query(&vars, false).expect("run");
+    assert!(o.success);
+    let events = m.trace_events();
+    assert!(!events.is_empty());
+    assert!(events.len() <= 64);
+    use kcm_cpu::TraceEvent;
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::DeepBacktrack { .. })));
+    // Same run with the tracer off: no events, same outcome.
+    let (mut m2, vars2) = build(src, "pick(V)", MachineConfig::default());
+    let o2 = m2.run_query(&vars2, false).expect("run");
+    assert!(m2.trace_events().is_empty());
+    assert_eq!(o2.solutions, o.solutions);
+}
+
+#[test]
+fn unimplemented_instr_is_not_a_type_fault() {
+    // All current opcodes are implemented, so the variant is only
+    // constructible directly — pin down its shape and rendering so
+    // callers can rely on distinguishing machine gaps from type faults.
+    let e = MachineError::UnimplementedInstr(Box::new(kcm_arch::isa::Instr::Proceed));
+    let text = e.to_string();
+    assert!(text.contains("unimplemented instruction"), "{text}");
+    assert!(text.contains("proceed"), "{text}");
+    assert!(!matches!(e, MachineError::TypeFault(_)));
 }

@@ -44,7 +44,13 @@ impl CodeCache {
     /// An empty (all-invalid) cache.
     pub fn new() -> CodeCache {
         CodeCache {
-            lines: vec![Line { valid: false, addr: CodeAddr::new(0) }; ICACHE_WORDS],
+            lines: vec![
+                Line {
+                    valid: false,
+                    addr: CodeAddr::new(0)
+                };
+                ICACHE_WORDS
+            ],
         }
     }
 
@@ -76,7 +82,10 @@ impl CodeCache {
             }
             let a = addr.offset(i as i64);
             let j = Self::index(a);
-            self.lines[j] = Line { valid: true, addr: a };
+            self.lines[j] = Line {
+                valid: true,
+                addr: a,
+            };
         }
         config.icache_miss
     }
@@ -102,7 +111,12 @@ mod tests {
     use super::*;
 
     fn setup() -> (CodeCache, Mmu, MemConfig, MemStats) {
-        (CodeCache::new(), Mmu::new(), MemConfig::default(), MemStats::default())
+        (
+            CodeCache::new(),
+            Mmu::new(),
+            MemConfig::default(),
+            MemStats::default(),
+        )
     }
 
     #[test]
@@ -121,7 +135,10 @@ mod tests {
         let b = CodeAddr::new(5 + ICACHE_WORDS as u32);
         c.fetch(a, &mut mmu, &cfg, &mut s);
         c.fetch(b, &mut mmu, &cfg, &mut s);
-        assert!(c.fetch(a, &mut mmu, &cfg, &mut s) > 0, "a must have been evicted");
+        assert!(
+            c.fetch(a, &mut mmu, &cfg, &mut s) > 0,
+            "a must have been evicted"
+        );
     }
 
     #[test]

@@ -92,7 +92,12 @@ impl DataCache {
         extra += self.evict(idx, memory, mmu, config, stats)?;
         let phys = mmu.translate_data(addr, memory, stats)?;
         let data = memory.read(phys);
-        self.lines[idx] = Line { valid: true, dirty: false, addr, data };
+        self.lines[idx] = Line {
+            valid: true,
+            dirty: false,
+            addr,
+            data,
+        };
         Ok((data, extra))
     }
 
@@ -125,7 +130,12 @@ impl DataCache {
         // write fully covers the line and no memory read is needed — the
         // allocation is free beyond a possible dirty-victim write-back.
         let extra = self.evict(idx, memory, mmu, config, stats)?;
-        self.lines[idx] = Line { valid: true, dirty: true, addr, data: value };
+        self.lines[idx] = Line {
+            valid: true,
+            dirty: true,
+            addr,
+            data: value,
+        };
         // Ensure the page exists so a later write-back cannot fail late.
         mmu.translate_data(addr, memory, stats)?;
         Ok(extra)
@@ -213,7 +223,8 @@ mod tests {
     fn read_after_write_hits() {
         let (mut c, mut m, mut mmu, cfg, mut s) = setup();
         let addr = a(Zone::Global, 5);
-        c.write(addr, Word::int(1), &mut m, &mut mmu, &cfg, &mut s).unwrap();
+        c.write(addr, Word::int(1), &mut m, &mut mmu, &cfg, &mut s)
+            .unwrap();
         let (w, extra) = c.read(addr, &mut m, &mut mmu, &cfg, &mut s).unwrap();
         assert_eq!(w.as_int(), Some(1));
         assert_eq!(extra, 0);
@@ -224,7 +235,8 @@ mod tests {
     fn store_in_defers_memory_write() {
         let (mut c, mut m, mut mmu, cfg, mut s) = setup();
         let addr = a(Zone::Global, 9);
-        c.write(addr, Word::int(42), &mut m, &mut mmu, &cfg, &mut s).unwrap();
+        c.write(addr, Word::int(42), &mut m, &mut mmu, &cfg, &mut s)
+            .unwrap();
         // The page was allocated but not written.
         let phys = mmu.translate_data(addr, &mut m, &mut s).unwrap();
         assert_eq!(m.read(phys), Word::ZERO);
@@ -241,8 +253,10 @@ mod tests {
         // Same in-section offset in two zones: no collision when sectioned.
         let g = a(Zone::Global, 7);
         let l = a(Zone::Local, 7);
-        c.write(g, Word::int(1), &mut m, &mut mmu, &cfg, &mut s).unwrap();
-        c.write(l, Word::int(2), &mut m, &mut mmu, &cfg, &mut s).unwrap();
+        c.write(g, Word::int(1), &mut m, &mut mmu, &cfg, &mut s)
+            .unwrap();
+        c.write(l, Word::int(2), &mut m, &mut mmu, &cfg, &mut s)
+            .unwrap();
         assert_eq!(c.peek(g).unwrap().as_int(), Some(1));
         assert_eq!(c.peek(l).unwrap().as_int(), Some(2));
     }
@@ -257,8 +271,10 @@ mod tests {
         // Zone bases are 16M apart → equal modulo 8K: they collide.
         let g = a(Zone::Global, 7);
         let l = a(Zone::Local, 7);
-        c.write(g, Word::int(1), &mut m, &mut mmu, &cfg, &mut s).unwrap();
-        c.write(l, Word::int(2), &mut m, &mut mmu, &cfg, &mut s).unwrap();
+        c.write(g, Word::int(1), &mut m, &mut mmu, &cfg, &mut s)
+            .unwrap();
+        c.write(l, Word::int(2), &mut m, &mut mmu, &cfg, &mut s)
+            .unwrap();
         assert_eq!(c.peek(g), None, "global line must have been evicted");
         assert_eq!(c.peek(l).unwrap().as_int(), Some(2));
         assert_eq!(s.dcache_writebacks, 1);
@@ -269,7 +285,8 @@ mod tests {
         let (mut c, mut m, mut mmu, _cfg, mut s) = setup();
         let addr = a(Zone::Trail, 3);
         let cfg = MemConfig::default();
-        c.write(addr, Word::int(5), &mut m, &mut mmu, &cfg, &mut s).unwrap();
+        c.write(addr, Word::int(5), &mut m, &mut mmu, &cfg, &mut s)
+            .unwrap();
         c.flush(&mut m, &mut mmu, &mut s).unwrap();
         // Still cached (a flush is not an invalidate).
         assert_eq!(c.peek(addr).unwrap().as_int(), Some(5));
@@ -292,7 +309,8 @@ mod tests {
         let (mut c, mut m, mut mmu, cfg, mut s) = setup();
         let addr = a(Zone::Global, 0);
         let collide = a(Zone::Global, SECTION_WORDS as u32);
-        c.write(addr, Word::int(1), &mut m, &mut mmu, &cfg, &mut s).unwrap();
+        c.write(addr, Word::int(1), &mut m, &mut mmu, &cfg, &mut s)
+            .unwrap();
         let (_, extra) = c.read(collide, &mut m, &mut mmu, &cfg, &mut s).unwrap();
         assert_eq!(extra, cfg.dcache_miss + cfg.dcache_writeback);
     }

@@ -171,6 +171,23 @@ impl MemStats {
         self.data_page_faults += other.data_page_faults;
         self.code_page_faults += other.code_page_faults;
     }
+
+    /// The counters accumulated since `earlier` was captured — the inverse
+    /// of [`MemStats::merge`]. `earlier` must be a previous snapshot of the
+    /// same memory system (counters only grow), so plain subtraction is
+    /// exact.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            dcache_hits: self.dcache_hits - earlier.dcache_hits,
+            dcache_misses: self.dcache_misses - earlier.dcache_misses,
+            dcache_writebacks: self.dcache_writebacks - earlier.dcache_writebacks,
+            icache_hits: self.icache_hits - earlier.icache_hits,
+            icache_misses: self.icache_misses - earlier.icache_misses,
+            data_page_faults: self.data_page_faults - earlier.data_page_faults,
+            code_page_faults: self.code_page_faults - earlier.code_page_faults,
+        }
+    }
 }
 
 /// The complete KCM memory system: caches in front of the MMU in front of
@@ -312,7 +329,8 @@ impl MemorySystem {
     ///
     /// Propagates page-allocation failure.
     pub fn flush_data_cache(&mut self) -> Result<(), MemFault> {
-        self.dcache.flush(&mut self.memory, &mut self.mmu, &mut self.stats)
+        self.dcache
+            .flush(&mut self.memory, &mut self.mmu, &mut self.stats)
     }
 
     /// Host back-door read bypassing timing and checks. Reads through the
@@ -325,7 +343,9 @@ impl MemorySystem {
         if let Some(w) = self.dcache.peek(addr) {
             return Ok(w);
         }
-        let phys = self.mmu.translate_data(addr, &mut self.memory, &mut self.stats)?;
+        let phys = self
+            .mmu
+            .translate_data(addr, &mut self.memory, &mut self.stats)?;
         Ok(self.memory.read(phys))
     }
 
@@ -336,7 +356,9 @@ impl MemorySystem {
     ///
     /// Propagates page-allocation failure.
     pub fn poke(&mut self, addr: VAddr, value: Word) -> Result<(), MemFault> {
-        let phys = self.mmu.translate_data(addr, &mut self.memory, &mut self.stats)?;
+        let phys = self
+            .mmu
+            .translate_data(addr, &mut self.memory, &mut self.stats)?;
         self.memory.write(phys, value);
         self.dcache.update_if_present(addr, value);
         Ok(())
@@ -347,7 +369,11 @@ impl MemorySystem {
     /// cells even in an unsectioned direct-mapped cache — the two
     /// initialisations of the paper's §3.2.4 experiment.
     pub fn stack_base(zone: Zone, spread: bool) -> VAddr {
-        let offset = if spread { (zone.bits() as u32) * 1024 } else { 0 };
+        let offset = if spread {
+            (zone.bits() as u32) * 1024
+        } else {
+            0
+        };
         VAddr::new(zone.base().value() + offset)
     }
 }
@@ -392,10 +418,12 @@ mod tests {
     fn first_touch_allocates_a_page() {
         let mut mem = MemorySystem::new(MemConfig::default());
         assert_eq!(mem.stats().data_page_faults, 0);
-        mem.write_ptr(Word::ptr(Tag::Ref, gaddr(0)), Word::int(1)).unwrap();
+        mem.write_ptr(Word::ptr(Tag::Ref, gaddr(0)), Word::int(1))
+            .unwrap();
         assert_eq!(mem.stats().data_page_faults, 1);
         // Same page: no new fault.
-        mem.write_ptr(Word::ptr(Tag::Ref, gaddr(1)), Word::int(2)).unwrap();
+        mem.write_ptr(Word::ptr(Tag::Ref, gaddr(1)), Word::int(2))
+            .unwrap();
         assert_eq!(mem.stats().data_page_faults, 1);
     }
 
@@ -403,7 +431,8 @@ mod tests {
     fn peek_sees_unflushed_writes() {
         let mut mem = MemorySystem::new(MemConfig::default());
         let a = gaddr(4);
-        mem.write_ptr(Word::ptr(Tag::Ref, a), Word::int(99)).unwrap();
+        mem.write_ptr(Word::ptr(Tag::Ref, a), Word::int(99))
+            .unwrap();
         // Store-in cache: main memory may be stale, but peek must see the
         // cached value.
         assert_eq!(mem.peek(a).unwrap().as_int(), Some(99));

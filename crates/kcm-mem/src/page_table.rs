@@ -98,7 +98,9 @@ impl Mmu {
         let vp = addr.page().index();
         let entry = &mut self.data_table[vp];
         if !entry.valid() {
-            let page = memory.allocate_page().ok_or(MemFault::OutOfPhysicalMemory)?;
+            let page = memory
+                .allocate_page()
+                .ok_or(MemFault::OutOfPhysicalMemory)?;
             *entry = Entry::map(page);
             stats.data_page_faults += 1;
         }
@@ -162,8 +164,10 @@ mod tests {
         let mut mmu = Mmu::new();
         let mut mem = MainMemory::new();
         let mut stats = MemStats::default();
-        mmu.translate_data(VAddr::new(0), &mut mem, &mut stats).unwrap();
-        mmu.translate_data(VAddr::new(100), &mut mem, &mut stats).unwrap();
+        mmu.translate_data(VAddr::new(0), &mut mem, &mut stats)
+            .unwrap();
+        mmu.translate_data(VAddr::new(100), &mut mem, &mut stats)
+            .unwrap();
         assert_eq!(stats.data_page_faults, 1);
         assert_eq!(mem.allocated_pages(), 1);
     }
@@ -173,7 +177,9 @@ mod tests {
         let mut mmu = Mmu::new();
         let mut mem = MainMemory::new();
         let mut stats = MemStats::default();
-        let a = mmu.translate_data(VAddr::new(0), &mut mem, &mut stats).unwrap();
+        let a = mmu
+            .translate_data(VAddr::new(0), &mut mem, &mut stats)
+            .unwrap();
         let b = mmu
             .translate_data(VAddr::new(PAGE_SIZE_WORDS), &mut mem, &mut stats)
             .unwrap();
@@ -186,7 +192,9 @@ mod tests {
         let mut mmu = Mmu::new();
         let mut mem = MainMemory::new();
         let mut stats = MemStats::default();
-        let p = mmu.translate_data(VAddr::new(1234), &mut mem, &mut stats).unwrap();
+        let p = mmu
+            .translate_data(VAddr::new(1234), &mut mem, &mut stats)
+            .unwrap();
         assert_eq!(p.value() % PAGE_SIZE_WORDS, 1234);
     }
 

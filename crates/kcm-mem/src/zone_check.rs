@@ -88,9 +88,8 @@ pub const DEFAULT_ZONE_WORDS: u32 = 1 << 20;
 impl ZoneTable {
     /// Creates a table with every data zone spanning its default extent.
     pub fn new() -> ZoneTable {
-        let lim = |z: Zone| {
-            ZoneLimits::new(z.base(), VAddr::new(z.base().value() + DEFAULT_ZONE_WORDS))
-        };
+        let lim =
+            |z: Zone| ZoneLimits::new(z.base(), VAddr::new(z.base().value() + DEFAULT_ZONE_WORDS));
         ZoneTable {
             limits: [
                 lim(Zone::Static),
@@ -187,8 +186,8 @@ impl ZoneTable {
             return None;
         }
         let limits = self.limits[zone.bits() as usize];
-        let end_block = limits.end().value().div_ceil(ZONE_GRANULARITY_WORDS)
-            * ZONE_GRANULARITY_WORDS;
+        let end_block =
+            limits.end().value().div_ceil(ZONE_GRANULARITY_WORDS) * ZONE_GRANULARITY_WORDS;
         end_block.checked_sub(addr.value())
     }
 }
@@ -214,7 +213,10 @@ mod tests {
         let beyond = gptr(DEFAULT_ZONE_WORDS + ZONE_GRANULARITY_WORDS);
         assert!(matches!(
             t.check_read(beyond),
-            Err(ZoneFault::OutOfZone { zone: Zone::Global, .. })
+            Err(ZoneFault::OutOfZone {
+                zone: Zone::Global,
+                ..
+            })
         ));
     }
 
@@ -226,7 +228,10 @@ mod tests {
         let w = Word::pack(Tag::List, Zone::Local, Zone::Local.base().value());
         assert!(matches!(
             t.check_read(w),
-            Err(ZoneFault::TypeNotAdmitted { zone: Zone::Local, tag: Tag::List })
+            Err(ZoneFault::TypeNotAdmitted {
+                zone: Zone::Local,
+                tag: Tag::List
+            })
         ));
     }
 
@@ -255,7 +260,11 @@ mod tests {
     #[test]
     fn high_bits_detected() {
         let t = ZoneTable::new();
-        let bad = Word::pack(Tag::Ref, Zone::Global, 0x1000_0000 | Zone::Global.base().value());
+        let bad = Word::pack(
+            Tag::Ref,
+            Zone::Global,
+            0x1000_0000 | Zone::Global.base().value(),
+        );
         assert!(matches!(t.check_read(bad), Err(ZoneFault::HighBitsSet(_))));
     }
 
@@ -267,7 +276,10 @@ mod tests {
         assert!(t.check_write(w).is_err());
         t.set_limits(
             Zone::Trail,
-            ZoneLimits::new(Zone::Trail.base(), addr.offset(ZONE_GRANULARITY_WORDS as i64)),
+            ZoneLimits::new(
+                Zone::Trail.base(),
+                addr.offset(ZONE_GRANULARITY_WORDS as i64),
+            ),
         );
         assert!(t.check_write(w).is_ok());
     }

@@ -44,7 +44,8 @@ fn run_ops(sectioned: bool, ops: &[Op]) -> Vec<Option<i32>> {
         match op {
             Op::Write(z, o, v) => {
                 let a = addr_of(*z, *o);
-                mem.write_ptr(Word::ptr(Tag::DataPtr, a), Word::int(*v)).expect("write");
+                mem.write_ptr(Word::ptr(Tag::DataPtr, a), Word::int(*v))
+                    .expect("write");
                 oracle.insert(a.value(), *v);
             }
             Op::Read(z, o) => {
@@ -96,7 +97,8 @@ fn flush_then_peek_agrees() {
         for op in &ops {
             if let Op::Write(z, o, v) = op {
                 let a = addr_of(*z, *o);
-                mem.write_ptr(Word::ptr(Tag::DataPtr, a), Word::int(*v)).expect("write");
+                mem.write_ptr(Word::ptr(Tag::DataPtr, a), Word::int(*v))
+                    .expect("write");
                 oracle.insert(a.value(), *v);
             }
         }

@@ -84,7 +84,10 @@ impl Lexer {
         let chars: Vec<char> = src.chars().collect();
         let mut i = 0;
         let mut line: u32 = 1;
-        let err = |message: &str, line: u32| LexError { message: message.to_owned(), line };
+        let err = |message: &str, line: u32| LexError {
+            message: message.to_owned(),
+            line,
+        };
         while i < chars.len() {
             let c = chars[i];
             match c {
@@ -240,7 +243,9 @@ impl Lexer {
                 }
                 '0' if chars.get(i + 1) == Some(&'\'') => {
                     // Character code literal 0'c.
-                    let ch = *chars.get(i + 2).ok_or_else(|| err("truncated 0' literal", line))?;
+                    let ch = *chars
+                        .get(i + 2)
+                        .ok_or_else(|| err("truncated 0' literal", line))?;
                     tokens.push((Token::Int(ch as i32), line));
                     i += 3;
                 }
@@ -346,7 +351,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        Lexer::tokenize(src).unwrap().into_iter().map(|(t, _)| t).collect()
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
     }
 
     #[test]
@@ -373,14 +382,17 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 -7 3.5 1e3 0'a"), vec![
-            Token::Int(42),
-            Token::Atom("-".into()),
-            Token::Int(7),
-            Token::Float(3.5),
-            Token::Float(1000.0),
-            Token::Int(97),
-        ]);
+        assert_eq!(
+            toks("42 -7 3.5 1e3 0'a"),
+            vec![
+                Token::Int(42),
+                Token::Atom("-".into()),
+                Token::Int(7),
+                Token::Float(3.5),
+                Token::Float(1000.0),
+                Token::Int(97),
+            ]
+        );
     }
 
     #[test]
@@ -400,18 +412,24 @@ mod tests {
 
     #[test]
     fn quoted_atoms_and_escapes() {
-        assert_eq!(toks("'hello world'"), vec![Token::Atom("hello world".into())]);
+        assert_eq!(
+            toks("'hello world'"),
+            vec![Token::Atom("hello world".into())]
+        );
         assert_eq!(toks(r"'a\nb'"), vec![Token::Atom("a\nb".into())]);
         assert_eq!(toks("'it''s'"), vec![Token::Atom("it's".into())]);
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("a % hi\n b /* x\ny */ c"), vec![
-            Token::Atom("a".into()),
-            Token::Atom("b".into()),
-            Token::Atom("c".into()),
-        ]);
+        assert_eq!(
+            toks("a % hi\n b /* x\ny */ c"),
+            vec![
+                Token::Atom("a".into()),
+                Token::Atom("b".into()),
+                Token::Atom("c".into()),
+            ]
+        );
     }
 
     #[test]
@@ -431,17 +449,23 @@ mod tests {
 
     #[test]
     fn list_tokens() {
-        assert_eq!(toks("[H|T]"), vec![
-            Token::LBracket,
-            Token::Var("H".into()),
-            Token::Bar,
-            Token::Var("T".into()),
-            Token::RBracket,
-        ]);
+        assert_eq!(
+            toks("[H|T]"),
+            vec![
+                Token::LBracket,
+                Token::Var("H".into()),
+                Token::Bar,
+                Token::Var("T".into()),
+                Token::RBracket,
+            ]
+        );
     }
 
     #[test]
     fn cut_and_semicolon_are_atoms() {
-        assert_eq!(toks("! ;"), vec![Token::Atom("!".into()), Token::Atom(";".into())]);
+        assert_eq!(
+            toks("! ;"),
+            vec![Token::Atom("!".into()), Token::Atom(";".into())]
+        );
     }
 }

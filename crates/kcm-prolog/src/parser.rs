@@ -23,7 +23,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { message: e.message, line: e.line }
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
     }
 }
 
@@ -89,7 +92,10 @@ impl Parser {
     }
 
     fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), line: self.line() })
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
     }
 
     fn expect(&mut self, tok: &Token, what: &str) -> Result<(), ParseError> {

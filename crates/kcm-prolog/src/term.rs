@@ -126,10 +126,9 @@ impl Term {
         let mut seen = Vec::new();
         fn walk<'a>(t: &'a Term, seen: &mut Vec<&'a str>) {
             match t {
-                Term::Var(v)
-                    if !seen.contains(&v.as_str()) => {
-                        seen.push(v);
-                    }
+                Term::Var(v) if !seen.contains(&v.as_str()) => {
+                    seen.push(v);
+                }
                 Term::Struct(_, args) => {
                     for a in args {
                         walk(a, seen);
@@ -236,7 +235,10 @@ mod tests {
             Term::Struct("f".into(), vec![Term::Var("X".into()), Term::Int(-3)]).to_string(),
             "f(X,-3)"
         );
-        assert_eq!(Term::Atom("hello world".into()).to_string(), "'hello world'");
+        assert_eq!(
+            Term::Atom("hello world".into()).to_string(),
+            "'hello world'"
+        );
         assert_eq!(Term::Atom("=".into()).to_string(), "=");
         assert_eq!(Term::Atom("foo".into()).to_string(), "foo");
     }
@@ -247,7 +249,10 @@ mod tests {
             "f".into(),
             vec![
                 Term::Var("X".into()),
-                Term::Struct("g".into(), vec![Term::Var("Y".into()), Term::Var("X".into())]),
+                Term::Struct(
+                    "g".into(),
+                    vec![Term::Var("Y".into()), Term::Var("X".into())],
+                ),
             ],
         );
         assert_eq!(t.variables(), vec!["X", "Y"]);

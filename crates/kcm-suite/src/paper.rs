@@ -29,20 +29,132 @@ pub struct Table1Row {
 
 /// Table 1 of the paper.
 pub const TABLE1: [Table1Row; 14] = [
-    Table1Row { program: "con1", plm_instr: 28, plm_bytes: 87, spur_instr: 414, spur_bytes: 1656, kcm_instr: 33, kcm_words: 31 },
-    Table1Row { program: "con6", plm_instr: 32, plm_bytes: 106, spur_instr: 430, spur_bytes: 1720, kcm_instr: 39, kcm_words: 41 },
-    Table1Row { program: "divide10", plm_instr: 213, plm_bytes: 661, spur_instr: 3988, spur_bytes: 15952, kcm_instr: 214, kcm_words: 234 },
-    Table1Row { program: "hanoi", plm_instr: 52, plm_bytes: 183, spur_instr: 385, spur_bytes: 1540, kcm_instr: 56, kcm_words: 59 },
-    Table1Row { program: "log10", plm_instr: 207, plm_bytes: 625, spur_instr: 4040, spur_bytes: 16160, kcm_instr: 198, kcm_words: 208 },
-    Table1Row { program: "mutest", plm_instr: 141, plm_bytes: 468, spur_instr: 1703, spur_bytes: 6812, kcm_instr: 162, kcm_words: 172 },
-    Table1Row { program: "nrev1", plm_instr: 71, plm_bytes: 260, spur_instr: 761, spur_bytes: 3044, kcm_instr: 64, kcm_words: 70 },
-    Table1Row { program: "ops8", plm_instr: 205, plm_bytes: 633, spur_instr: 3804, spur_bytes: 15216, kcm_instr: 206, kcm_words: 216 },
-    Table1Row { program: "palin25", plm_instr: 178, plm_bytes: 565, spur_instr: 2556, spur_bytes: 10224, kcm_instr: 230, kcm_words: 240 },
-    Table1Row { program: "pri2", plm_instr: 132, plm_bytes: 383, spur_instr: 1933, spur_bytes: 7732, kcm_instr: 141, kcm_words: 151 },
-    Table1Row { program: "qs4", plm_instr: 121, plm_bytes: 456, spur_instr: 1230, spur_bytes: 4920, kcm_instr: 184, kcm_words: 192 },
-    Table1Row { program: "queens", plm_instr: 242, plm_bytes: 723, spur_instr: 3636, spur_bytes: 14544, kcm_instr: 212, kcm_words: 224 },
-    Table1Row { program: "query", plm_instr: 273, plm_bytes: 1138, spur_instr: 3942, spur_bytes: 15768, kcm_instr: 305, kcm_words: 357 },
-    Table1Row { program: "times10", plm_instr: 213, plm_bytes: 661, spur_instr: 3988, spur_bytes: 15952, kcm_instr: 214, kcm_words: 224 },
+    Table1Row {
+        program: "con1",
+        plm_instr: 28,
+        plm_bytes: 87,
+        spur_instr: 414,
+        spur_bytes: 1656,
+        kcm_instr: 33,
+        kcm_words: 31,
+    },
+    Table1Row {
+        program: "con6",
+        plm_instr: 32,
+        plm_bytes: 106,
+        spur_instr: 430,
+        spur_bytes: 1720,
+        kcm_instr: 39,
+        kcm_words: 41,
+    },
+    Table1Row {
+        program: "divide10",
+        plm_instr: 213,
+        plm_bytes: 661,
+        spur_instr: 3988,
+        spur_bytes: 15952,
+        kcm_instr: 214,
+        kcm_words: 234,
+    },
+    Table1Row {
+        program: "hanoi",
+        plm_instr: 52,
+        plm_bytes: 183,
+        spur_instr: 385,
+        spur_bytes: 1540,
+        kcm_instr: 56,
+        kcm_words: 59,
+    },
+    Table1Row {
+        program: "log10",
+        plm_instr: 207,
+        plm_bytes: 625,
+        spur_instr: 4040,
+        spur_bytes: 16160,
+        kcm_instr: 198,
+        kcm_words: 208,
+    },
+    Table1Row {
+        program: "mutest",
+        plm_instr: 141,
+        plm_bytes: 468,
+        spur_instr: 1703,
+        spur_bytes: 6812,
+        kcm_instr: 162,
+        kcm_words: 172,
+    },
+    Table1Row {
+        program: "nrev1",
+        plm_instr: 71,
+        plm_bytes: 260,
+        spur_instr: 761,
+        spur_bytes: 3044,
+        kcm_instr: 64,
+        kcm_words: 70,
+    },
+    Table1Row {
+        program: "ops8",
+        plm_instr: 205,
+        plm_bytes: 633,
+        spur_instr: 3804,
+        spur_bytes: 15216,
+        kcm_instr: 206,
+        kcm_words: 216,
+    },
+    Table1Row {
+        program: "palin25",
+        plm_instr: 178,
+        plm_bytes: 565,
+        spur_instr: 2556,
+        spur_bytes: 10224,
+        kcm_instr: 230,
+        kcm_words: 240,
+    },
+    Table1Row {
+        program: "pri2",
+        plm_instr: 132,
+        plm_bytes: 383,
+        spur_instr: 1933,
+        spur_bytes: 7732,
+        kcm_instr: 141,
+        kcm_words: 151,
+    },
+    Table1Row {
+        program: "qs4",
+        plm_instr: 121,
+        plm_bytes: 456,
+        spur_instr: 1230,
+        spur_bytes: 4920,
+        kcm_instr: 184,
+        kcm_words: 192,
+    },
+    Table1Row {
+        program: "queens",
+        plm_instr: 242,
+        plm_bytes: 723,
+        spur_instr: 3636,
+        spur_bytes: 14544,
+        kcm_instr: 212,
+        kcm_words: 224,
+    },
+    Table1Row {
+        program: "query",
+        plm_instr: 273,
+        plm_bytes: 1138,
+        spur_instr: 3942,
+        spur_bytes: 15768,
+        kcm_instr: 305,
+        kcm_words: 357,
+    },
+    Table1Row {
+        program: "times10",
+        plm_instr: 213,
+        plm_bytes: 661,
+        spur_instr: 3988,
+        spur_bytes: 15952,
+        kcm_instr: 214,
+        kcm_words: 224,
+    },
 ];
 
 /// One Table 2 row (PLM vs KCM execution times).
@@ -62,20 +174,104 @@ pub struct Table2Row {
 
 /// Table 2 of the paper.
 pub const TABLE2: [Table2Row; 14] = [
-    Table2Row { program: "con1", inferences: 6, plm_ms: 0.023, kcm_ms: 0.007, ratio: 3.29 },
-    Table2Row { program: "con6", inferences: 42, plm_ms: 0.137, kcm_ms: 0.059, ratio: 2.32 },
-    Table2Row { program: "divide10", inferences: 22, plm_ms: 0.380, kcm_ms: 0.091, ratio: 4.18 },
-    Table2Row { program: "hanoi", inferences: 1787, plm_ms: 7.323, kcm_ms: 2.795, ratio: 2.62 },
-    Table2Row { program: "log10", inferences: 14, plm_ms: 0.109, kcm_ms: 0.039, ratio: 2.79 },
-    Table2Row { program: "mutest", inferences: 1365, plm_ms: 12.407, kcm_ms: 4.644, ratio: 2.67 },
-    Table2Row { program: "nrev1", inferences: 499, plm_ms: 2.660, kcm_ms: 0.650, ratio: 4.09 },
-    Table2Row { program: "ops8", inferences: 20, plm_ms: 0.214, kcm_ms: 0.059, ratio: 3.63 },
-    Table2Row { program: "palin25", inferences: 325, plm_ms: 3.152, kcm_ms: 1.221, ratio: 2.58 },
-    Table2Row { program: "pri2", inferences: 1235, plm_ms: 10.000, kcm_ms: 5.240, ratio: 1.91 },
-    Table2Row { program: "qs4", inferences: 612, plm_ms: 4.854, kcm_ms: 1.316, ratio: 3.69 },
-    Table2Row { program: "queens", inferences: 687, plm_ms: 4.222, kcm_ms: 1.205, ratio: 3.50 },
-    Table2Row { program: "query", inferences: 2893, plm_ms: 17.342, kcm_ms: 12.610, ratio: 1.38 },
-    Table2Row { program: "times10", inferences: 22, plm_ms: 0.330, kcm_ms: 0.082, ratio: 4.02 },
+    Table2Row {
+        program: "con1",
+        inferences: 6,
+        plm_ms: 0.023,
+        kcm_ms: 0.007,
+        ratio: 3.29,
+    },
+    Table2Row {
+        program: "con6",
+        inferences: 42,
+        plm_ms: 0.137,
+        kcm_ms: 0.059,
+        ratio: 2.32,
+    },
+    Table2Row {
+        program: "divide10",
+        inferences: 22,
+        plm_ms: 0.380,
+        kcm_ms: 0.091,
+        ratio: 4.18,
+    },
+    Table2Row {
+        program: "hanoi",
+        inferences: 1787,
+        plm_ms: 7.323,
+        kcm_ms: 2.795,
+        ratio: 2.62,
+    },
+    Table2Row {
+        program: "log10",
+        inferences: 14,
+        plm_ms: 0.109,
+        kcm_ms: 0.039,
+        ratio: 2.79,
+    },
+    Table2Row {
+        program: "mutest",
+        inferences: 1365,
+        plm_ms: 12.407,
+        kcm_ms: 4.644,
+        ratio: 2.67,
+    },
+    Table2Row {
+        program: "nrev1",
+        inferences: 499,
+        plm_ms: 2.660,
+        kcm_ms: 0.650,
+        ratio: 4.09,
+    },
+    Table2Row {
+        program: "ops8",
+        inferences: 20,
+        plm_ms: 0.214,
+        kcm_ms: 0.059,
+        ratio: 3.63,
+    },
+    Table2Row {
+        program: "palin25",
+        inferences: 325,
+        plm_ms: 3.152,
+        kcm_ms: 1.221,
+        ratio: 2.58,
+    },
+    Table2Row {
+        program: "pri2",
+        inferences: 1235,
+        plm_ms: 10.000,
+        kcm_ms: 5.240,
+        ratio: 1.91,
+    },
+    Table2Row {
+        program: "qs4",
+        inferences: 612,
+        plm_ms: 4.854,
+        kcm_ms: 1.316,
+        ratio: 3.69,
+    },
+    Table2Row {
+        program: "queens",
+        inferences: 687,
+        plm_ms: 4.222,
+        kcm_ms: 1.205,
+        ratio: 3.50,
+    },
+    Table2Row {
+        program: "query",
+        inferences: 2893,
+        plm_ms: 17.342,
+        kcm_ms: 12.610,
+        ratio: 1.38,
+    },
+    Table2Row {
+        program: "times10",
+        inferences: 22,
+        plm_ms: 0.330,
+        kcm_ms: 0.082,
+        ratio: 4.02,
+    },
 ];
 
 /// One Table 3 row (Quintus 2.0 on SUN3/280 vs KCM, I/O removed).
@@ -96,20 +292,104 @@ pub struct Table3Row {
 
 /// Table 3 of the paper.
 pub const TABLE3: [Table3Row; 14] = [
-    Table3Row { program: "con1", inferences: 4, quintus_ms: None, kcm_ms: 0.006, ratio: None },
-    Table3Row { program: "con6", inferences: 12, quintus_ms: None, kcm_ms: 0.046, ratio: None },
-    Table3Row { program: "divide10", inferences: 20, quintus_ms: None, kcm_ms: 0.090, ratio: None },
-    Table3Row { program: "hanoi", inferences: 767, quintus_ms: Some(11.600), kcm_ms: 1.264, ratio: Some(9.18) },
-    Table3Row { program: "log10", inferences: 12, quintus_ms: None, kcm_ms: 0.039, ratio: None },
-    Table3Row { program: "mutest", inferences: 1365, quintus_ms: Some(41.500), kcm_ms: 4.644, ratio: Some(8.94) },
-    Table3Row { program: "nrev1", inferences: 497, quintus_ms: Some(3.300), kcm_ms: 0.649, ratio: Some(5.08) },
-    Table3Row { program: "ops8", inferences: 18, quintus_ms: None, kcm_ms: 0.058, ratio: None },
-    Table3Row { program: "palin25", inferences: 323, quintus_ms: Some(9.330), kcm_ms: 1.220, ratio: Some(7.65) },
-    Table3Row { program: "pri2", inferences: 1233, quintus_ms: Some(30.500), kcm_ms: 5.239, ratio: Some(5.82) },
-    Table3Row { program: "qs4", inferences: 610, quintus_ms: Some(11.000), kcm_ms: 1.315, ratio: Some(8.37) },
-    Table3Row { program: "queens", inferences: 657, quintus_ms: Some(9.010), kcm_ms: 1.182, ratio: Some(7.62) },
-    Table3Row { program: "query", inferences: 2888, quintus_ms: Some(128.170), kcm_ms: 12.605, ratio: Some(10.17) },
-    Table3Row { program: "times10", inferences: 20, quintus_ms: None, kcm_ms: 0.081, ratio: None },
+    Table3Row {
+        program: "con1",
+        inferences: 4,
+        quintus_ms: None,
+        kcm_ms: 0.006,
+        ratio: None,
+    },
+    Table3Row {
+        program: "con6",
+        inferences: 12,
+        quintus_ms: None,
+        kcm_ms: 0.046,
+        ratio: None,
+    },
+    Table3Row {
+        program: "divide10",
+        inferences: 20,
+        quintus_ms: None,
+        kcm_ms: 0.090,
+        ratio: None,
+    },
+    Table3Row {
+        program: "hanoi",
+        inferences: 767,
+        quintus_ms: Some(11.600),
+        kcm_ms: 1.264,
+        ratio: Some(9.18),
+    },
+    Table3Row {
+        program: "log10",
+        inferences: 12,
+        quintus_ms: None,
+        kcm_ms: 0.039,
+        ratio: None,
+    },
+    Table3Row {
+        program: "mutest",
+        inferences: 1365,
+        quintus_ms: Some(41.500),
+        kcm_ms: 4.644,
+        ratio: Some(8.94),
+    },
+    Table3Row {
+        program: "nrev1",
+        inferences: 497,
+        quintus_ms: Some(3.300),
+        kcm_ms: 0.649,
+        ratio: Some(5.08),
+    },
+    Table3Row {
+        program: "ops8",
+        inferences: 18,
+        quintus_ms: None,
+        kcm_ms: 0.058,
+        ratio: None,
+    },
+    Table3Row {
+        program: "palin25",
+        inferences: 323,
+        quintus_ms: Some(9.330),
+        kcm_ms: 1.220,
+        ratio: Some(7.65),
+    },
+    Table3Row {
+        program: "pri2",
+        inferences: 1233,
+        quintus_ms: Some(30.500),
+        kcm_ms: 5.239,
+        ratio: Some(5.82),
+    },
+    Table3Row {
+        program: "qs4",
+        inferences: 610,
+        quintus_ms: Some(11.000),
+        kcm_ms: 1.315,
+        ratio: Some(8.37),
+    },
+    Table3Row {
+        program: "queens",
+        inferences: 657,
+        quintus_ms: Some(9.010),
+        kcm_ms: 1.182,
+        ratio: Some(7.62),
+    },
+    Table3Row {
+        program: "query",
+        inferences: 2888,
+        quintus_ms: Some(128.170),
+        kcm_ms: 12.605,
+        ratio: Some(10.17),
+    },
+    Table3Row {
+        program: "times10",
+        inferences: 20,
+        quintus_ms: None,
+        kcm_ms: 0.081,
+        ratio: None,
+    },
 ];
 
 /// One Table 4 row (peak performance of dedicated Prolog machines).
@@ -132,13 +412,62 @@ pub struct Table4Row {
 /// Table 4 of the paper (KCM's row is regenerated by measurement; the
 /// others are quoted from the literature, as the paper itself does).
 pub const TABLE4: [Table4Row; 7] = [
-    Table4Row { machine: "CHI-II", by: "NEC C&C", concat_klips: Some(490), nrev_klips: None, word_bits: 40, comment: "Back-end - multi-processing" },
-    Table4Row { machine: "DLM-1", by: "BAe", concat_klips: Some(800), nrev_klips: None, word_bits: 38, comment: "Back-end - physical memory" },
-    Table4Row { machine: "IPP", by: "Hitachi", concat_klips: Some(1360), nrev_klips: Some(1197), word_bits: 32, comment: "Integrated in super-mini (ECL)" },
-    Table4Row { machine: "AIP", by: "Toshiba", concat_klips: None, nrev_klips: Some(620), word_bits: 32, comment: "Back-end" },
-    Table4Row { machine: "KCM", by: "ECRC", concat_klips: Some(833), nrev_klips: Some(760), word_bits: 64, comment: "Back-end" },
-    Table4Row { machine: "PSI-II", by: "ICOT", concat_klips: Some(400), nrev_klips: Some(320), word_bits: 40, comment: "Stand-alone - multi-processing" },
-    Table4Row { machine: "X-1", by: "Xenologic", concat_klips: Some(400), nrev_klips: None, word_bits: 32, comment: "SUN co-processor" },
+    Table4Row {
+        machine: "CHI-II",
+        by: "NEC C&C",
+        concat_klips: Some(490),
+        nrev_klips: None,
+        word_bits: 40,
+        comment: "Back-end - multi-processing",
+    },
+    Table4Row {
+        machine: "DLM-1",
+        by: "BAe",
+        concat_klips: Some(800),
+        nrev_klips: None,
+        word_bits: 38,
+        comment: "Back-end - physical memory",
+    },
+    Table4Row {
+        machine: "IPP",
+        by: "Hitachi",
+        concat_klips: Some(1360),
+        nrev_klips: Some(1197),
+        word_bits: 32,
+        comment: "Integrated in super-mini (ECL)",
+    },
+    Table4Row {
+        machine: "AIP",
+        by: "Toshiba",
+        concat_klips: None,
+        nrev_klips: Some(620),
+        word_bits: 32,
+        comment: "Back-end",
+    },
+    Table4Row {
+        machine: "KCM",
+        by: "ECRC",
+        concat_klips: Some(833),
+        nrev_klips: Some(760),
+        word_bits: 64,
+        comment: "Back-end",
+    },
+    Table4Row {
+        machine: "PSI-II",
+        by: "ICOT",
+        concat_klips: Some(400),
+        nrev_klips: Some(320),
+        word_bits: 40,
+        comment: "Stand-alone - multi-processing",
+    },
+    Table4Row {
+        machine: "X-1",
+        by: "Xenologic",
+        concat_klips: Some(400),
+        nrev_klips: None,
+        word_bits: 32,
+        comment: "SUN co-processor",
+    },
 ];
 
 /// The paper's headline averages.
@@ -179,7 +508,12 @@ mod tests {
     fn paper_ratios_are_consistent() {
         for row in TABLE2 {
             let ratio = row.plm_ms / row.kcm_ms;
-            assert!((ratio - row.ratio).abs() < 0.35, "{}: {ratio} vs {}", row.program, row.ratio);
+            assert!(
+                (ratio - row.ratio).abs() < 0.35,
+                "{}: {ratio} vs {}",
+                row.program,
+                row.ratio
+            );
         }
         for row in TABLE3 {
             if let (Some(q), Some(r)) = (row.quintus_ms, row.ratio) {

@@ -406,8 +406,8 @@ pop(argentina, 251).   area(argentina, 1080).
 /// The complete suite in the order of the paper's tables.
 pub fn suite() -> Vec<BenchProgram> {
     vec![
-        CON1, CON6, DIVIDE10, HANOI, LOG10, MUTEST, NREV1, OPS8, PALIN25, PRI2, QS4, QUEENS,
-        QUERY, TIMES10,
+        CON1, CON6, DIVIDE10, HANOI, LOG10, MUTEST, NREV1, OPS8, PALIN25, PRI2, QS4, QUEENS, QUERY,
+        TIMES10,
     ]
 }
 
@@ -458,8 +458,7 @@ mod tests {
     #[test]
     fn sources_parse() {
         for p in suite() {
-            kcm_prolog::read_program(p.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            kcm_prolog::read_program(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
         }
     }
 }

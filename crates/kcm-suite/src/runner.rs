@@ -55,7 +55,11 @@ pub fn run_kcm(
         Variant::Starred => program.starred_query,
     };
     let outcome = kcm.run(goal, program.enumerate)?;
-    Ok(Measurement { name: program.name, variant, outcome })
+    Ok(Measurement {
+        name: program.name,
+        variant,
+        outcome,
+    })
 }
 
 /// Runs a list of suite programs across a [`SessionPool`], one session
@@ -93,8 +97,7 @@ pub fn static_sizes_pooled(
 ///
 /// Propagates parse/compile errors.
 pub fn kcm_static_size(program: &BenchProgram) -> Result<(usize, usize), KcmError> {
-    let clauses = kcm_prolog::read_program(program.source)
-        .map_err(KcmError::Parse)?;
+    let clauses = kcm_prolog::read_program(program.source).map_err(KcmError::Parse)?;
     let mut symbols = kcm_arch::SymbolTable::new();
     let image = kcm_compiler::compile_program(&clauses, &mut symbols)?;
     let mut instrs = 0;
@@ -135,7 +138,11 @@ mod tests {
         let p = programs::program("con1").unwrap();
         let m = run_kcm(&p, Variant::Timed, &MachineConfig::default()).unwrap();
         assert!(m.outcome.success);
-        assert!(m.outcome.output.contains("[a,b,c,d,e,f]"), "{}", m.outcome.output);
+        assert!(
+            m.outcome.output.contains("[a,b,c,d,e,f]"),
+            "{}",
+            m.outcome.output
+        );
         let s = run_kcm(&p, Variant::Starred, &MachineConfig::default()).unwrap();
         assert!(s.outcome.output.is_empty());
     }

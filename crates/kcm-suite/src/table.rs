@@ -55,7 +55,10 @@ impl Table {
                 }
                 let cell = &cells[i];
                 // Right-align numeric-looking cells, left-align the rest.
-                let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+');
+                let numeric = cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+');
                 if numeric {
                     line.push_str(&format!("{cell:>width$}", width = widths[i]));
                 } else {
@@ -86,7 +89,11 @@ pub fn ratio(num: f64, den: f64) -> f64 {
         return 0.0;
     }
     let q = num / den;
-    if q.is_finite() { q } else { 0.0 }
+    if q.is_finite() {
+        q
+    } else {
+        0.0
+    }
 }
 
 /// Formats a float with three decimals.
@@ -107,7 +114,11 @@ pub fn klips(v: f64) -> String {
 /// Clamps non-finite values to `0.0` so every cell formatter emits a
 /// number.
 fn finite(v: f64) -> f64 {
-    if v.is_finite() { v } else { 0.0 }
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
 }
 
 /// Geometric-free arithmetic mean of a series.

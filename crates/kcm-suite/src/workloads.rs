@@ -9,7 +9,10 @@ use kcm_testkit::TestRng;
 fn list_literal(xs: &[i32]) -> String {
     format!(
         "[{}]",
-        xs.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+        xs.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
     )
 }
 

@@ -34,14 +34,18 @@ fn qs4_sorts_the_fifty_element_list() {
     let out = output_of("qs4");
     // The standard list sorted (duplicates preserved).
     let mut expected = vec![
-        27, 74, 17, 33, 94, 18, 46, 83, 65, 2, 32, 53, 28, 85, 99, 47, 28, 82, 6, 11, 55, 29,
-        39, 81, 90, 37, 10, 0, 66, 51, 7, 21, 85, 27, 31, 63, 75, 4, 95, 99, 11, 28, 61, 74,
-        18, 92, 40, 53, 59, 8,
+        27, 74, 17, 33, 94, 18, 46, 83, 65, 2, 32, 53, 28, 85, 99, 47, 28, 82, 6, 11, 55, 29, 39,
+        81, 90, 37, 10, 0, 66, 51, 7, 21, 85, 27, 31, 63, 75, 4, 95, 99, 11, 28, 61, 74, 18, 92,
+        40, 53, 59, 8,
     ];
     expected.sort_unstable();
     let want = format!(
         "[{}]\n",
-        expected.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+        expected
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
     );
     assert_eq!(out, want);
 }
@@ -54,7 +58,11 @@ fn pri2_finds_the_primes_to_98() {
         .collect();
     let want = format!(
         "[{}]\n",
-        primes.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+        primes
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
     );
     assert_eq!(out, want);
 }

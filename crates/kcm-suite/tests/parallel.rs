@@ -29,10 +29,19 @@ fn one_worker_matches_many_workers_over_the_full_suite() {
     assert_eq!(serial.len(), suite.len());
     assert_eq!(pooled.len(), suite.len());
     for ((p, a), b) in suite.iter().zip(&serial).zip(&pooled) {
-        let a = a.as_ref().unwrap_or_else(|e| panic!("{}: serial failed: {e}", p.name));
-        let b = b.as_ref().unwrap_or_else(|e| panic!("{}: pooled failed: {e}", p.name));
+        let a = a
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: serial failed: {e}", p.name));
+        let b = b
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: pooled failed: {e}", p.name));
         assert_eq!(a.name, p.name, "pool must preserve program order");
-        assert_eq!(fingerprint(a), fingerprint(b), "{}: 1 vs 4 workers diverged", p.name);
+        assert_eq!(
+            fingerprint(a),
+            fingerprint(b),
+            "{}: 1 vs 4 workers diverged",
+            p.name
+        );
     }
 }
 
@@ -57,7 +66,8 @@ fn session_pool_queries_deterministic_per_program() {
     // a job batch against the consulted program, 1 worker vs 4.
     for p in programs::suite() {
         let mut kcm = Kcm::new();
-        kcm.consult(p.source).unwrap_or_else(|e| panic!("{}: consult: {e}", p.name));
+        kcm.consult(p.source)
+            .unwrap_or_else(|e| panic!("{}: consult: {e}", p.name));
         let jobs = vec![
             QueryJob::first_solution(p.query),
             QueryJob::first_solution(p.starred_query),
@@ -72,8 +82,14 @@ fn session_pool_queries_deterministic_per_program() {
         for (a, b) in one.iter().zip(&many) {
             assert_eq!(a.session, b.session, "{}: session order changed", p.name);
             assert_eq!(a.query, b.query, "{}: job order changed", p.name);
-            let oa = a.outcome.as_ref().unwrap_or_else(|e| panic!("{}: {e}", p.name));
-            let ob = b.outcome.as_ref().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let oa = a
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let ob = b
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert_eq!(oa.success, ob.success, "{}", p.name);
             assert_eq!(
                 format!("{:?}", oa.solutions),
@@ -92,7 +108,9 @@ fn pooled_suite_reduces_wall_clock_on_multicore_hosts() {
     // Only meaningful where there are cores to fan out on; single-core CI
     // boxes (and this exact box) still exercise every determinism test
     // above, so nothing about correctness is lost by gating.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if cores < 4 {
         eprintln!("skipping wall-clock check: only {cores} core(s) available");
         return;

@@ -56,7 +56,10 @@ pub mod prelude;
 pub mod report;
 
 pub use answer::Answer;
-pub use kcm_cpu::{Machine, MachineConfig, MachineError, Outcome, RunStats, Solution};
+pub use kcm_cpu::{
+    InstrClass, Machine, MachineConfig, MachineError, Outcome, Profile, RunStats, Solution,
+    TraceEvent, Tracer,
+};
 pub use pool::{QueryJob, SessionPool, SessionResult};
 
 use kcm_arch::SymbolTable;

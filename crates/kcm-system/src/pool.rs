@@ -34,7 +34,7 @@
 //! # }
 //! ```
 
-use crate::{Kcm, KcmError, Machine, MachineConfig, Outcome, RunStats};
+use crate::{Kcm, KcmError, Machine, MachineConfig, Outcome, Profile, RunStats};
 use kcm_arch::SymbolTable;
 use kcm_compiler::CodeImage;
 use std::sync::mpsc;
@@ -52,12 +52,18 @@ pub struct QueryJob {
 impl QueryJob {
     /// A job that stops at the first solution.
     pub fn first_solution(query: impl Into<String>) -> QueryJob {
-        QueryJob { query: query.into(), enumerate_all: false }
+        QueryJob {
+            query: query.into(),
+            enumerate_all: false,
+        }
     }
 
     /// A job that enumerates every solution.
     pub fn all_solutions(query: impl Into<String>) -> QueryJob {
-        QueryJob { query: query.into(), enumerate_all: true }
+        QueryJob {
+            query: query.into(),
+            enumerate_all: true,
+        }
     }
 }
 
@@ -85,13 +91,17 @@ pub struct SessionPool {
 impl SessionPool {
     /// A pool with `workers` worker threads (clamped to at least 1).
     pub fn new(workers: usize) -> SessionPool {
-        SessionPool { workers: workers.max(1) }
+        SessionPool {
+            workers: workers.max(1),
+        }
     }
 
     /// A pool sized to the host's available parallelism.
     pub fn with_available_parallelism() -> SessionPool {
         SessionPool::new(
-            std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
         )
     }
 
@@ -99,7 +109,10 @@ impl SessionPool {
     /// (reproducible timing-table runs pin it to 1), otherwise from the
     /// host's available parallelism.
     pub fn from_env() -> SessionPool {
-        match std::env::var("KCM_WORKERS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        match std::env::var("KCM_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
             Some(n) => SessionPool::new(n),
             None => SessionPool::with_available_parallelism(),
         }
@@ -218,6 +231,34 @@ impl SessionPool {
         );
         Ok((results, merged))
     }
+
+    /// [`SessionPool::run_queries_merged`] plus the merged execution
+    /// [`Profile`]: per-session profiles stay on their [`Outcome`]s, the
+    /// aggregate sums every counter across the sessions that ran to
+    /// completion, in session order — so the merged profile is identical
+    /// at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionPool::run_queries`].
+    pub fn run_queries_profiled(
+        &self,
+        kcm: &Kcm,
+        jobs: &[QueryJob],
+    ) -> Result<(Vec<SessionResult>, RunStats, Profile), KcmError> {
+        let results = self.run_queries(kcm, jobs)?;
+        let merged = RunStats::merged(
+            results
+                .iter()
+                .filter_map(|r| r.outcome.as_ref().ok().map(|o| &o.stats)),
+        );
+        let profile = Profile::merged(
+            results
+                .iter()
+                .filter_map(|r| r.outcome.as_ref().ok().map(|o| &o.profile)),
+        );
+        Ok((results, merged, profile))
+    }
 }
 
 impl Default for SessionPool {
@@ -276,8 +317,9 @@ mod tests {
     fn results_come_back_in_job_order() {
         let kcm = consulted();
         let pool = SessionPool::new(4);
-        let jobs: Vec<QueryJob> =
-            (1..=20).map(|n| QueryJob::first_solution(format!("double({n}, Y)"))).collect();
+        let jobs: Vec<QueryJob> = (1..=20)
+            .map(|n| QueryJob::first_solution(format!("double({n}, Y)")))
+            .collect();
         let results = pool.run_queries(&kcm, &jobs).expect("run");
         for (i, r) in results.iter().enumerate() {
             assert_eq!(r.session, i);
@@ -299,8 +341,12 @@ mod tests {
                 }
             })
             .collect();
-        let serial = SessionPool::new(1).run_queries(&kcm, &jobs).expect("serial");
-        let parallel = SessionPool::new(4).run_queries(&kcm, &jobs).expect("parallel");
+        let serial = SessionPool::new(1)
+            .run_queries(&kcm, &jobs)
+            .expect("serial");
+        let parallel = SessionPool::new(4)
+            .run_queries(&kcm, &jobs)
+            .expect("parallel");
         for (a, b) in serial.iter().zip(&parallel) {
             let (oa, ob) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
             assert_eq!(oa.solutions, ob.solutions);
@@ -338,8 +384,9 @@ mod tests {
     fn merged_stats_sum_counters_and_keep_sessions_intact() {
         let kcm = consulted();
         let pool = SessionPool::new(3);
-        let jobs: Vec<QueryJob> =
-            (1..=5).map(|n| QueryJob::first_solution(format!("double({n}, Y)"))).collect();
+        let jobs: Vec<QueryJob> = (1..=5)
+            .map(|n| QueryJob::first_solution(format!("double({n}, Y)")))
+            .collect();
         let (results, merged) = pool.run_queries_merged(&kcm, &jobs).expect("run");
         let sum: u64 = results
             .iter()

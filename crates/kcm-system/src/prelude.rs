@@ -180,7 +180,10 @@ mod tests {
         .expect("consult");
         assert!(k.holds("maplist(small, [1, 2])").expect("q"));
         assert!(!k.holds("maplist(small, [1, 5])").expect("q"));
-        assert_eq!(all(&mut k, "maplist(double, [1,2,3], Ys)"), ["Ys = [2,4,6]"]);
+        assert_eq!(
+            all(&mut k, "maplist(double, [1,2,3], Ys)"),
+            ["Ys = [2,4,6]"]
+        );
         assert_eq!(all(&mut k, "foldl(add, [1,2,3], 0, S)"), ["S = 6"]);
         assert_eq!(all(&mut k, "include(small, [1,5,2,9], R)"), ["R = [1,2]"]);
         assert_eq!(all(&mut k, "exclude(small, [1,5,2,9], R)"), ["R = [5,9]"]);

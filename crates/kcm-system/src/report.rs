@@ -1,5 +1,6 @@
 //! Human-readable run reports (the Prolog-level monitor of §4's tool set).
 
+use kcm_cpu::profile::{InstrClass, Profile, DEREF_HIST_BUCKETS};
 use kcm_cpu::RunStats;
 
 /// Formats a run's statistics as a small report.
@@ -20,9 +21,19 @@ use kcm_cpu::RunStats;
 pub fn summary(stats: &RunStats) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    let _ = writeln!(out, "cycles        : {:>12}  ({:.3} ms @ 80 ns)", stats.cycles, stats.ms());
+    let _ = writeln!(
+        out,
+        "cycles        : {:>12}  ({:.3} ms @ 80 ns)",
+        stats.cycles,
+        stats.ms()
+    );
     let _ = writeln!(out, "instructions  : {:>12}", stats.instructions);
-    let _ = writeln!(out, "inferences    : {:>12}  ({:.0} Klips)", stats.inferences, stats.klips());
+    let _ = writeln!(
+        out,
+        "inferences    : {:>12}  ({:.0} Klips)",
+        stats.inferences,
+        stats.klips()
+    );
     let _ = writeln!(
         out,
         "choice points : {:>12}  (try entries {}, shallow fails {}, deep fails {})",
@@ -53,6 +64,93 @@ pub fn summary(stats: &RunStats) -> String {
     out
 }
 
+/// Formats an execution [`Profile`] as a small report: per-class retired
+/// counts and cycle shares, MWAC dispatch outcomes, backtrack and trail
+/// behaviour, and the dereference-chain histogram.
+///
+/// # Examples
+///
+/// ```
+/// use kcm_system::{Kcm, report};
+/// # fn main() -> Result<(), kcm_system::KcmError> {
+/// let mut kcm = Kcm::new();
+/// kcm.consult("p(1).")?;
+/// let outcome = kcm.run("p(X)", false)?;
+/// let text = report::profile_summary(&outcome.profile);
+/// assert!(text.contains("mwac"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn profile_summary(profile: &Profile) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let total_cycles = profile.cycles_total();
+    let _ = writeln!(
+        out,
+        "instruction classes ({} retired, {} cycles):",
+        profile.retired_total(),
+        total_cycles
+    );
+    for class in InstrClass::ALL {
+        let c = profile.class(class);
+        if c.retired == 0 {
+            continue;
+        }
+        let share = if total_cycles == 0 {
+            0.0
+        } else {
+            100.0 * c.cycles as f64 / total_cycles as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<8} : {:>10} retired  {:>12} cycles  ({share:5.1}%)",
+            class.name(),
+            c.retired,
+            c.cycles
+        );
+    }
+    let m = &profile.mwac;
+    let _ = writeln!(
+        out,
+        "mwac dispatch : {:>10}  (bind {}/{}, const {}, list {}, struct {}, clash {})",
+        m.total(),
+        m.bind_left,
+        m.bind_right,
+        m.compare_constants,
+        m.descend_list,
+        m.descend_struct,
+        m.clash
+    );
+    let _ = writeln!(
+        out,
+        "backtracks    : {:>10} shallow, {} deep",
+        profile.shallow_backtracks, profile.deep_backtracks
+    );
+    let _ = writeln!(
+        out,
+        "trail         : {:>10} checks, {} pushes",
+        profile.trail_checks, profile.trail_pushes
+    );
+    let _ = write!(
+        out,
+        "deref chains  : {:>10}  by length:",
+        profile.deref_chains_total()
+    );
+    for (len, &n) in profile.deref_hist.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if len == DEREF_HIST_BUCKETS - 1 {
+            let _ = write!(out, "  {}+:{n}", len);
+        } else {
+            let _ = write!(out, "  {len}:{n}");
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "zone growths  : {:>10}", profile.zone_grow_traps);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,7 +158,28 @@ mod tests {
     #[test]
     fn summary_contains_all_sections() {
         let text = summary(&RunStats::default());
-        for key in ["cycles", "inferences", "choice points", "data cache", "page faults"] {
+        for key in [
+            "cycles",
+            "inferences",
+            "choice points",
+            "data cache",
+            "page faults",
+        ] {
+            assert!(text.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn profile_summary_contains_all_sections() {
+        let text = profile_summary(&Profile::default());
+        for key in [
+            "instruction classes",
+            "mwac",
+            "backtracks",
+            "trail",
+            "deref chains",
+            "zone",
+        ] {
             assert!(text.contains(key), "missing {key}");
         }
     }

@@ -138,10 +138,25 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<u64> = (0..8).map({ let mut r = TestRng::new(7); move |_| r.next_u64() }).collect();
-        let b: Vec<u64> = (0..8).map({ let mut r = TestRng::new(7); move |_| r.next_u64() }).collect();
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = TestRng::new(7);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = TestRng::new(7);
+                move |_| r.next_u64()
+            })
+            .collect();
         assert_eq!(a, b);
-        let c: Vec<u64> = (0..8).map({ let mut r = TestRng::new(8); move |_| r.next_u64() }).collect();
+        let c: Vec<u64> = (0..8)
+            .map({
+                let mut r = TestRng::new(8);
+                move |_| r.next_u64()
+            })
+            .collect();
         assert_ne!(a, c);
     }
 

@@ -61,7 +61,11 @@ pub fn model() -> BaselineModel {
 /// # Errors
 ///
 /// Propagates parse, compile and machine errors.
-pub fn run_plm(source: &str, query: &str, enumerate_all: bool) -> Result<kcm_cpu::Outcome, KcmError> {
+pub fn run_plm(
+    source: &str,
+    query: &str,
+    enumerate_all: bool,
+) -> Result<kcm_cpu::Outcome, KcmError> {
     wam_baseline::run_baseline(&model(), source, query, enumerate_all)
 }
 
@@ -156,7 +160,10 @@ pub fn static_size(source: &str) -> Result<PlmSize, KcmError> {
         count += 1;
         bytes += byte_size(i);
     }
-    Ok(PlmSize { instrs: count, bytes })
+    Ok(PlmSize {
+        instrs: count,
+        bytes,
+    })
 }
 
 #[cfg(test)]

@@ -105,7 +105,10 @@ pub fn static_size(source: &str) -> Result<SpurSize, KcmError> {
     let model = wam_baseline::BaselineModel::standard_wam("spur", 100.0);
     let instrs = wam_baseline::compiled_instructions(&model, source, &["main_star"])?;
     let count: usize = instrs.iter().map(expansion).sum();
-    Ok(SpurSize { instrs: count, bytes: count * SPUR_INSTR_BYTES })
+    Ok(SpurSize {
+        instrs: count,
+        bytes: count * SPUR_INSTR_BYTES,
+    })
 }
 
 #[cfg(test)]
@@ -115,7 +118,10 @@ mod tests {
     #[test]
     fn expansion_is_large_for_unification() {
         use kcm_arch::isa::Reg;
-        let get_value = Instr::GetValue { x: Reg::new(1), a: Reg::new(0) };
+        let get_value = Instr::GetValue {
+            x: Reg::new(1),
+            a: Reg::new(0),
+        };
         let proceed = Instr::Proceed;
         assert!(expansion(&get_value) > 10 * expansion(&proceed) / 2);
     }

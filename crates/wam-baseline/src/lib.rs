@@ -64,7 +64,10 @@ impl BaselineModel {
     /// A generic standard-WAM machine at the given clock with otherwise
     /// KCM-like costs — the starting point the concrete models adjust.
     pub fn standard_wam(name: &'static str, cycle_ns: f64) -> BaselineModel {
-        let cost = CostModel { cycle_ns, ..CostModel::default() };
+        let cost = CostModel {
+            cycle_ns,
+            ..CostModel::default()
+        };
         BaselineModel {
             name,
             compile: CompileOptions::standard_wam(),
@@ -84,6 +87,7 @@ impl BaselineModel {
             max_cycles: 20_000_000_000,
             trace_depth: 0,
             profile: false,
+            event_trace_depth: 0,
         }
     }
 }
@@ -115,10 +119,7 @@ pub fn run_baseline(
 /// # Errors
 ///
 /// Propagates parse and compile errors.
-pub fn compiled_sizes(
-    model: &BaselineModel,
-    source: &str,
-) -> Result<(usize, usize), KcmError> {
+pub fn compiled_sizes(model: &BaselineModel, source: &str) -> Result<(usize, usize), KcmError> {
     let clauses = kcm_prolog::read_program(source)?;
     let mut symbols = kcm_arch::SymbolTable::new();
     let image = kcm_compiler::compile_program_with(&clauses, &mut symbols, &model.compile)?;
@@ -176,7 +177,11 @@ mod tests {
         kcm.consult(src).unwrap();
         let kcm_out = kcm.run("s(X)", true).unwrap();
         let b: Vec<String> = base.solutions.iter().map(|s| s[0].1.to_string()).collect();
-        let k: Vec<String> = kcm_out.solutions.iter().map(|s| s[0].1.to_string()).collect();
+        let k: Vec<String> = kcm_out
+            .solutions
+            .iter()
+            .map(|s| s[0].1.to_string())
+            .collect();
         assert_eq!(b, k);
         assert_eq!(b, vec!["2", "3"]);
     }
@@ -208,8 +213,13 @@ mod tests {
         // With inline_arith off, `is/2` must still work (through the
         // generic evaluator).
         let model = BaselineModel::standard_wam("test", 100.0);
-        let out = run_baseline(&model, "double(X, Y) :- Y is X * 2.", "double(21, Z)", false)
-            .unwrap();
+        let out = run_baseline(
+            &model,
+            "double(X, Y) :- Y is X * 2.",
+            "double(21, Z)",
+            false,
+        )
+        .unwrap();
         assert_eq!(out.solutions[0][0].1.to_string(), "42");
     }
 }

@@ -14,7 +14,9 @@ use kcm_repro::kcm_suite::{program, programs};
 use kcm_repro::kcm_system::{Kcm, Machine, MachineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "nrev1".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nrev1".to_owned());
     let Some(bench) = program(&name) else {
         eprintln!(
             "unknown program {name}; pick one of: {}",
@@ -69,13 +71,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nKCM avoided {} of the choice points the standard WAM created\n\
          (shallow entries: {}, shallow fails resolved without a choice point: {})",
-        p.stats.choice_points.saturating_sub(k.outcome.stats.choice_points),
+        p.stats
+            .choice_points
+            .saturating_sub(k.outcome.stats.choice_points),
         k.outcome.stats.shallow_entries,
         k.outcome.stats.shallow_fails,
     );
 
     // --- the Prolog-level monitor: where do the cycles go? ----------
-    let mut kcm2 = Kcm::with_config(MachineConfig { profile: true, ..Default::default() });
+    let mut kcm2 = Kcm::with_config(MachineConfig {
+        profile: true,
+        ..Default::default()
+    });
     kcm2.consult(bench.source)?;
     let (mut machine, vars): (Machine, Vec<String>) = kcm2.prepare(bench.starred_query)?;
     let outcome = machine.run_query(&vars, bench.enumerate)?;

@@ -10,17 +10,21 @@
 //!
 //! * `[ <clauses> ]` — consult clauses, e.g. `[p(1). p(2).]`
 //! * `<goal>.` — solve; `;`-style enumeration prints every solution
+//! * `statistics.` — machine statistics of the last query (SICStus-style)
+//! * `profile.` — execution profile of the last query (instruction
+//!   classes, MWAC dispatch, backtracks, trail, deref chains)
 //! * `:stats` — toggle per-query machine statistics
 //! * `:listing` — disassemble the loaded image
 //! * `:halt` — leave
 
-use kcm_repro::kcm_system::{report, Kcm};
+use kcm_repro::kcm_system::{report, Kcm, Outcome};
 use std::io::{BufRead, Write as _};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kcm = Kcm::new();
     kcm.consult_prelude()?;
     let mut show_stats = false;
+    let mut last: Option<Outcome> = None;
     println!("KCM reproduction top level (prelude loaded). :halt to quit.");
     let stdin = std::io::stdin();
     loop {
@@ -37,6 +41,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ":stats" => {
                 show_stats = !show_stats;
                 println!("statistics {}", if show_stats { "on" } else { "off" });
+                continue;
+            }
+            "statistics." => {
+                match &last {
+                    Some(o) => println!("{}", report::summary(&o.stats)),
+                    None => println!("no query has run yet."),
+                }
+                continue;
+            }
+            "profile." => {
+                match &last {
+                    Some(o) => println!("{}", report::profile_summary(&o.profile)),
+                    None => println!("no query has run yet."),
+                }
                 continue;
             }
             ":listing" => {
@@ -76,13 +94,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             .map(|(n, t)| format!("{n} = {t}"))
                             .collect::<Vec<_>>()
                             .join(", ");
-                        println!("{};", if line.is_empty() { "true".to_owned() } else { line });
+                        println!(
+                            "{};",
+                            if line.is_empty() {
+                                "true".to_owned()
+                            } else {
+                                line
+                            }
+                        );
                     }
                     println!("false.");
                 }
                 if show_stats {
                     println!("{}", report::summary(&outcome.stats));
                 }
+                last = Some(outcome);
             }
             Err(e) => println!("error: {e}"),
         }

@@ -25,7 +25,10 @@ fn main() -> Result<(), kcm_system::KcmError> {
     let mut jobs: Vec<QueryJob> = vec![QueryJob::all_solutions("app(X, Y, [1,2,3])")];
     for n in [4usize, 8, 16] {
         let list: Vec<String> = (1..=n).map(|i| i.to_string()).collect();
-        jobs.push(QueryJob::first_solution(format!("nrev([{}], R)", list.join(","))));
+        jobs.push(QueryJob::first_solution(format!(
+            "nrev([{}], R)",
+            list.join(",")
+        )));
     }
 
     let (results, merged) = pool.run_queries_merged(&kcm, &jobs)?;
@@ -40,8 +43,7 @@ fn main() -> Result<(), kcm_system::KcmError> {
             o.stats.cycles
         );
         for s in &o.solutions {
-            let bindings: Vec<String> =
-                s.iter().map(|(v, t)| format!("{v} = {t}")).collect();
+            let bindings: Vec<String> = s.iter().map(|(v, t)| format!("{v} = {t}")).collect();
             println!("    {}", bindings.join(", "));
         }
     }

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     kcm.consult(PUZZLE)?;
 
     let outcome = kcm.run("zebra(Owner, Houses)", false)?;
-    let answer = outcome.solutions.first().expect("the puzzle has a solution");
+    let answer = outcome
+        .solutions
+        .first()
+        .expect("the puzzle has a solution");
     for (name, term) in answer {
         println!("{name} = {term}");
     }

@@ -5,11 +5,11 @@
 //! backtracking off, unsectioned cache, aligned stack bases, static
 //! literals off) must be observationally equivalent too.
 
+use kcm_repro::kcm_mem::MemConfig;
 use kcm_repro::kcm_suite::programs;
 use kcm_repro::kcm_suite::runner::{run_kcm, Variant};
 use kcm_repro::kcm_system::{Kcm, MachineConfig, Outcome};
 use kcm_repro::wam_baseline::{run_baseline, BaselineModel};
-use kcm_repro::kcm_mem::MemConfig;
 
 fn solutions_text(o: &Outcome) -> Vec<String> {
     o.solutions
@@ -85,7 +85,10 @@ fn machine_ablations_preserve_semantics() {
 
     // Shallow backtracking off.
     let eager = run_with(
-        MachineConfig { shallow_backtracking: false, ..Default::default() },
+        MachineConfig {
+            shallow_backtracking: false,
+            ..Default::default()
+        },
         src,
         q,
     );
@@ -94,7 +97,10 @@ fn machine_ablations_preserve_semantics() {
     // Unsectioned cache, aligned stack bases (the §3.2.4 bad case).
     let aligned = run_with(
         MachineConfig {
-            mem: MemConfig { sectioned_data_cache: false, ..MemConfig::default() },
+            mem: MemConfig {
+                sectioned_data_cache: false,
+                ..MemConfig::default()
+            },
             spread_stack_bases: false,
             ..Default::default()
         },
@@ -167,16 +173,26 @@ fn whole_suite_is_ablation_stable() {
         let reference = run_kcm(&p, Variant::Timed, &MachineConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", p.name));
         for cfg in [
-            MachineConfig { shallow_backtracking: false, ..Default::default() },
             MachineConfig {
-                mem: MemConfig { sectioned_data_cache: false, ..MemConfig::default() },
+                shallow_backtracking: false,
+                ..Default::default()
+            },
+            MachineConfig {
+                mem: MemConfig {
+                    sectioned_data_cache: false,
+                    ..MemConfig::default()
+                },
                 spread_stack_bases: false,
                 ..Default::default()
             },
         ] {
-            let variant = run_kcm(&p, Variant::Timed, &cfg)
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
-            assert_eq!(reference.outcome.output, variant.outcome.output, "{}", p.name);
+            let variant =
+                run_kcm(&p, Variant::Timed, &cfg).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(
+                reference.outcome.output, variant.outcome.output,
+                "{}",
+                p.name
+            );
             assert_eq!(
                 solutions_text(&reference.outcome),
                 solutions_text(&variant.outcome),

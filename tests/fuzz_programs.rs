@@ -27,7 +27,11 @@ fn arb_program(rng: &mut TestRng) -> RandomProgram {
         facts_p: rng.vec_of(1, 7, |r| (r.i32_in(0, 5), *r.choose(&ATOMS))),
         facts_q: rng.vec_of(1, 7, |r| (*r.choose(&ATOMS), r.i32_in(0, 5))),
         rule_kind: rng.index(4) as u8,
-        query_arg: if rng.chance(1, 2) { Some(rng.i32_in(0, 5)) } else { None },
+        query_arg: if rng.chance(1, 2) {
+            Some(rng.i32_in(0, 5))
+        } else {
+            None
+        },
     }
 }
 
@@ -153,8 +157,8 @@ const MALFORMED_CORPUS: &[&str] = &[
 /// Edge-case clauses that are *accepted* (meta-call bodies, operator
 /// heads): consulting them must not panic either.
 const ACCEPTED_EDGE_CORPUS: &[&str] = &[
-    "p :- X.",               // variable body ≡ call(X) at runtime
-    "-(1) :- p.",            // compound head with operator functor
+    "p :- X.",                // variable body ≡ call(X) at runtime
+    "-(1) :- p.",             // compound head with operator functor
     "'a b'(X,Y,Z) :- [1,2].", // quoted head, list body meta-called
 ];
 
@@ -196,7 +200,9 @@ fn accepted_edge_clauses_never_panic() {
 #[test]
 fn random_soup_never_panics_consult() {
     let mut cs: Vec<char> = ('a'..='z').collect();
-    cs.extend(['X', 'Y', '(', ')', '[', ']', '|', ',', '.', ':', '-', ' ', '0', '1', '9', '\'']);
+    cs.extend([
+        'X', 'Y', '(', ')', '[', ']', '|', ',', '.', ':', '-', ' ', '0', '1', '9', '\'',
+    ]);
     cases(512, |rng| {
         let src = rng.string_from(&cs, 0, 80);
         let outcome = std::panic::catch_unwind(|| {

@@ -9,7 +9,10 @@ use kcm_testkit::{cases, TestRng};
 fn list_literal(xs: &[i32]) -> String {
     format!(
         "[{}]",
-        xs.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+        xs.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
     )
 }
 
@@ -66,8 +69,15 @@ fn append_length_adds() {
         let ys = rng.vec_of(0, 12, |r| r.i32_in(0, 10));
         let mut kcm = Kcm::new();
         kcm.consult(sort_oracle_src()).expect("consult");
-        let q = format!("app({}, {}, Z), len(Z, N)", list_literal(&xs), list_literal(&ys));
-        let answer = kcm.solve_first(&q).expect("query").expect("append is total");
+        let q = format!(
+            "app({}, {}, Z), len(Z, N)",
+            list_literal(&xs),
+            list_literal(&ys)
+        );
+        let answer = kcm
+            .solve_first(&q)
+            .expect("query")
+            .expect("append is total");
         assert_eq!(
             answer.binding_text("N").expect("N bound"),
             (xs.len() + ys.len()).to_string()
@@ -82,13 +92,31 @@ fn integer_arithmetic_matches_rust() {
         let b = rng.i32_in(-1000, 1000);
         let mut kcm = Kcm::new();
         kcm.consult("t.").expect("consult");
-        let sum = kcm.solve_first(&format!("X is {a} + {b}")).expect("q").expect("sum");
-        assert_eq!(sum.binding_text("X").expect("X"), (a.wrapping_add(b)).to_string());
-        let prod = kcm.solve_first(&format!("X is {a} * {b}")).expect("q").expect("prod");
-        assert_eq!(prod.binding_text("X").expect("X"), (a.wrapping_mul(b)).to_string());
+        let sum = kcm
+            .solve_first(&format!("X is {a} + {b}"))
+            .expect("q")
+            .expect("sum");
+        assert_eq!(
+            sum.binding_text("X").expect("X"),
+            (a.wrapping_add(b)).to_string()
+        );
+        let prod = kcm
+            .solve_first(&format!("X is {a} * {b}"))
+            .expect("q")
+            .expect("prod");
+        assert_eq!(
+            prod.binding_text("X").expect("X"),
+            (a.wrapping_mul(b)).to_string()
+        );
         if b != 0 {
-            let quot = kcm.solve_first(&format!("X is {a} // {b}")).expect("q").expect("quot");
-            assert_eq!(quot.binding_text("X").expect("X"), (a.wrapping_div(b)).to_string());
+            let quot = kcm
+                .solve_first(&format!("X is {a} // {b}"))
+                .expect("q")
+                .expect("quot");
+            assert_eq!(
+                quot.binding_text("X").expect("X"),
+                (a.wrapping_div(b)).to_string()
+            );
         }
         assert_eq!(kcm.holds(&format!("{a} < {b}")).expect("q"), a < b);
         assert_eq!(kcm.holds(&format!("{a} >= {b}")).expect("q"), a >= b);

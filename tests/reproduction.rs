@@ -3,10 +3,10 @@
 //! *shape* assertions (who wins, by roughly what factor), with generous
 //! bands around the calibration points.
 
+use kcm_repro::kcm_mem::MemConfig;
 use kcm_repro::kcm_suite::programs;
 use kcm_repro::kcm_suite::runner::{kcm_static_size, run_kcm, Variant};
 use kcm_repro::kcm_system::{Kcm, MachineConfig};
-use kcm_repro::kcm_mem::MemConfig;
 
 /// §4.3 / Table 4: "one concatenation step is 15 cycles" → 833 Klips peak.
 #[test]
@@ -39,7 +39,10 @@ fn nrev1_matches_the_paper() {
     let ms = stats.ms();
     assert!((0.55..=0.80).contains(&ms), "nrev1 = {ms} ms; paper: 0.650");
     let klips = stats.klips();
-    assert!((620.0..=900.0).contains(&klips), "nrev1 = {klips} Klips; paper: 768");
+    assert!(
+        (620.0..=900.0).contains(&klips),
+        "nrev1 = {klips} Klips; paper: 768"
+    );
     // Fully deterministic under indexing + shallow backtracking.
     assert_eq!(stats.choice_points, 0);
 }
@@ -103,8 +106,14 @@ fn static_size_ratios() {
     }
     let kp = kp_i.iter().sum::<f64>() / kp_i.len() as f64;
     let sk = sk_i.iter().sum::<f64>() / sk_i.len() as f64;
-    assert!((0.75..=1.35).contains(&kp), "KCM/PLM instr avg {kp}; paper 1.10");
-    assert!((9.0..=18.0).contains(&sk), "SPUR/KCM instr avg {sk}; paper 13.61");
+    assert!(
+        (0.75..=1.35).contains(&kp),
+        "KCM/PLM instr avg {kp}; paper 1.10"
+    );
+    assert!(
+        (9.0..=18.0).contains(&sk),
+        "SPUR/KCM instr avg {sk}; paper 13.61"
+    );
 }
 
 /// §3.2.4: aligned top-of-stack pointers collapse the plain direct-mapped
@@ -120,7 +129,10 @@ fn cache_collision_experiment_shape() {
         &p,
         Variant::Starred,
         &MachineConfig {
-            mem: MemConfig { sectioned_data_cache: false, ..MemConfig::default() },
+            mem: MemConfig {
+                sectioned_data_cache: false,
+                ..MemConfig::default()
+            },
             spread_stack_bases: false,
             ..MachineConfig::default()
         },
@@ -150,7 +162,10 @@ fn every_specialised_unit_buys_cycles() {
     for (label, cfg) in [
         (
             "shallow backtracking",
-            MachineConfig { shallow_backtracking: false, ..Default::default() },
+            MachineConfig {
+                shallow_backtracking: false,
+                ..Default::default()
+            },
         ),
         (
             "trail hardware",
@@ -161,10 +176,17 @@ fn every_specialised_unit_buys_cycles() {
         ),
         (
             "MWAC",
-            MachineConfig { cost: CostModel::default().without_mwac(), ..Default::default() },
+            MachineConfig {
+                cost: CostModel::default().without_mwac(),
+                ..Default::default()
+            },
         ),
     ] {
-        let cycles = run_kcm(&p, Variant::Starred, &cfg).expect("run").outcome.stats.cycles;
+        let cycles = run_kcm(&p, Variant::Starred, &cfg)
+            .expect("run")
+            .outcome
+            .stats
+            .cycles;
         assert!(cycles > full, "{label}: {cycles} vs full {full}");
     }
 }

@@ -20,7 +20,10 @@ fn all(k: &mut Kcm, q: &str) -> Vec<String> {
 #[test]
 fn facts_and_backtracking_enumerate_in_order() {
     let mut k = kcm("color(red). color(green). color(blue).");
-    assert_eq!(all(&mut k, "color(C)"), ["C = red", "C = green", "C = blue"]);
+    assert_eq!(
+        all(&mut k, "color(C)"),
+        ["C = red", "C = green", "C = blue"]
+    );
 }
 
 #[test]
@@ -46,10 +49,8 @@ fn shared_variables_propagate() {
 
 #[test]
 fn cut_commits_to_first_clause() {
-    let mut k = kcm(
-        "max(X, Y, X) :- X >= Y, !.
-         max(_, Y, Y).",
-    );
+    let mut k = kcm("max(X, Y, X) :- X >= Y, !.
+         max(_, Y, Y).");
     assert_eq!(all(&mut k, "max(3, 2, M)"), ["M = 3"]);
     assert_eq!(all(&mut k, "max(2, 3, M)"), ["M = 3"]);
     // Without the cut the second clause would also produce M = 2.
@@ -58,19 +59,15 @@ fn cut_commits_to_first_clause() {
 
 #[test]
 fn cut_after_calls_discards_alternatives() {
-    let mut k = kcm(
-        "p(1). p(2). p(3).
-         first(X) :- p(X), !.",
-    );
+    let mut k = kcm("p(1). p(2). p(3).
+         first(X) :- p(X), !.");
     assert_eq!(all(&mut k, "first(X)"), ["X = 1"]);
 }
 
 #[test]
 fn negation_as_failure() {
-    let mut k = kcm(
-        "p(1). p(2).
-         not_p(X) :- \\+ p(X).",
-    );
+    let mut k = kcm("p(1). p(2).
+         not_p(X) :- \\+ p(X).");
     assert!(k.holds("not_p(3)").expect("query"));
     assert!(!k.holds("not_p(1)").expect("query"));
 }
@@ -123,10 +120,8 @@ fn float_arithmetic_via_generic_alu() {
 
 #[test]
 fn list_building_and_matching() {
-    let mut k = kcm(
-        "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).
-         rev([], []). rev([H|T], R) :- rev(T, RT), app(RT, [H], R).",
-    );
+    let mut k = kcm("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).
+         rev([], []). rev([H|T], R) :- rev(T, RT), app(RT, [H], R).");
     assert_eq!(all(&mut k, "app([1,2], [3,4], X)"), ["X = [1,2,3,4]"]);
     assert_eq!(all(&mut k, "rev([a,b,c], R)"), ["R = [c,b,a]"]);
     // Backwards mode: splitting a list enumerates all partitions.
@@ -136,7 +131,10 @@ fn list_building_and_matching() {
 #[test]
 fn partial_lists_and_tails() {
     let mut k = kcm("head_tail([H|T], H, T).");
-    assert_eq!(all(&mut k, "head_tail([1,2,3], H, T)"), ["H = 1, T = [2,3]"]);
+    assert_eq!(
+        all(&mut k, "head_tail([1,2,3], H, T)"),
+        ["H = 1, T = [2,3]"]
+    );
 }
 
 #[test]
@@ -148,10 +146,8 @@ fn deep_recursion_grows_stacks() {
 
 #[test]
 fn first_arg_indexing_is_transparent() {
-    let mut k = kcm(
-        "kind(1, int). kind(a, atom). kind([], nil).
-         kind([_|_], list). kind(f(_), compound).",
-    );
+    let mut k = kcm("kind(1, int). kind(a, atom). kind([], nil).
+         kind([_|_], list). kind(f(_), compound).");
     assert_eq!(all(&mut k, "kind(1, K)"), ["K = int"]);
     assert_eq!(all(&mut k, "kind(a, K)"), ["K = atom"]);
     assert_eq!(all(&mut k, "kind([], K)"), ["K = nil"]);
@@ -215,11 +211,9 @@ fn write_output_is_captured() {
 
 #[test]
 fn failure_driven_loop_terminates() {
-    let mut k = kcm(
-        "p(1). p(2). p(3).
+    let mut k = kcm("p(1). p(2). p(3).
          show :- p(X), write(X), nl, fail.
-         show.",
-    );
+         show.");
     let outcome = k.run("show", false).expect("query");
     assert!(outcome.success);
     assert_eq!(outcome.output, "1\n2\n3\n");
@@ -242,12 +236,10 @@ fn deep_structures_roundtrip() {
 fn ground_literal_sharing_is_sound() {
     // The static-data literal [1,2,3] is shared between clauses; binding
     // against it must never corrupt it across backtracking.
-    let mut k = kcm(
-        "l([1,2,3]).
+    let mut k = kcm("l([1,2,3]).
          m(X) :- l([X|_]).
          n(X) :- l(L), member2(X, L).
-         member2(X, [X|_]). member2(X, [_|T]) :- member2(X, T).",
-    );
+         member2(X, [X|_]). member2(X, [_|T]) :- member2(X, T).");
     assert_eq!(all(&mut k, "m(X)"), ["X = 1"]);
     assert_eq!(all(&mut k, "n(X)"), ["X = 1", "X = 2", "X = 3"]);
     // Unifying the literal with an incompatible list fails cleanly.
@@ -273,11 +265,9 @@ fn name_converts_atoms_and_numbers() {
 
 #[test]
 fn meta_call_dispatches_user_predicates() {
-    let mut k = kcm(
-        "p(1). p(2).
+    let mut k = kcm("p(1). p(2).
          indirect(G) :- call(G).
-         apply(F, X) :- G =.. [F, X], call(G).",
-    );
+         apply(F, X) :- G =.. [F, X], call(G).");
     assert_eq!(all(&mut k, "indirect(p(X))"), ["X = 1", "X = 2"]);
     assert_eq!(all(&mut k, "apply(p, X)"), ["X = 1", "X = 2"]);
 }
@@ -304,19 +294,15 @@ fn meta_call_of_atom_goals() {
 
 #[test]
 fn variable_goals_are_meta_calls() {
-    let mut k = kcm(
-        "p(1). p(2).
-         exec(G) :- G.",
-    );
+    let mut k = kcm("p(1). p(2).
+         exec(G) :- G.");
     assert_eq!(all(&mut k, "exec(p(X))"), ["X = 1", "X = 2"]);
 }
 
 #[test]
 fn meta_call_is_transparent_to_backtracking() {
-    let mut k = kcm(
-        "p(1). p(2). p(3).
-         both(X, Y) :- call(p(X)), call(p(Y)), X < Y.",
-    );
+    let mut k = kcm("p(1). p(2). p(3).
+         both(X, Y) :- call(p(X)), call(p(Y)), X < Y.");
     assert_eq!(all(&mut k, "both(X, Y)").len(), 3); // (1,2) (1,3) (2,3)
 }
 
@@ -324,7 +310,10 @@ fn meta_call_is_transparent_to_backtracking() {
 fn meta_call_on_unbound_goal_faults() {
     let mut k = kcm("go(G) :- call(G).");
     let r = k.run("go(_)", false);
-    assert!(r.is_err(), "call of an unbound goal is an instantiation fault");
+    assert!(
+        r.is_err(),
+        "call of an unbound goal is an instantiation fault"
+    );
 }
 
 #[test]
@@ -332,11 +321,9 @@ fn unsafe_variables_survive_deallocation() {
     // Y first occurs in the body and is passed to the last call: the
     // compiler must globalise it (put_unsafe_value) or the binding would
     // dangle after the environment is popped.
-    let mut k = kcm(
-        "mk(_, _).
+    let mut k = kcm("mk(_, _).
          combine(X, Y, f(X, Y)).
-         t(Z) :- mk(X, Y), combine(X, Y, Z).",
-    );
+         t(Z) :- mk(X, Y), combine(X, Y, Z).");
     let r = all(&mut k, "t(Z), Z = f(P, Q), P = 1, Q = two");
     assert_eq!(r, ["Z = f(1,two), P = 1, Q = two"]);
 }
@@ -345,31 +332,22 @@ fn unsafe_variables_survive_deallocation() {
 fn permanent_variables_in_structures_after_calls() {
     // Y is permanent and occurs twice inside a structure built after a
     // call: unify_value/unify_local_value on Y slots.
-    let mut k = kcm(
-        "q(7).
+    let mut k = kcm("q(7).
          mk(T, T).
-         bb(R) :- q(Y), mk(g(Y, Y), R).",
-    );
+         bb(R) :- q(Y), mk(g(Y, Y), R).");
     assert_eq!(all(&mut k, "bb(R)"), ["R = g(7,7)"]);
     // And with Y unbound at build time, both occurrences must alias.
-    let mut k2 = kcm(
-        "free(_).
+    let mut k2 = kcm("free(_).
          mk(T, T).
-         cc(R, Y) :- free(Y), mk(g(Y, Y), R).",
-    );
+         cc(R, Y) :- free(Y), mk(g(Y, Y), R).");
     assert_eq!(all(&mut k2, "cc(R, Y), Y = 5"), ["R = g(5,5), Y = 5"]);
 }
 
 #[test]
 fn nested_structures_in_heads_and_bodies() {
-    let mut k = kcm(
-        "rot(t(A, B, C), t(B, C, A)).
-         twice(X, R) :- rot(X, Y), rot(Y, R).",
-    );
-    assert_eq!(
-        all(&mut k, "twice(t(1, 2, 3), R)"),
-        ["R = t(3,1,2)"]
-    );
+    let mut k = kcm("rot(t(A, B, C), t(B, C, A)).
+         twice(X, R) :- rot(X, Y), rot(Y, R).");
+    assert_eq!(all(&mut k, "twice(t(1, 2, 3), R)"), ["R = t(3,1,2)"]);
 }
 
 #[test]
@@ -429,15 +407,19 @@ fn codes_conversions() {
 #[test]
 fn atom_codes_of_digits_stays_an_atom() {
     let mut k = kcm("t.");
-    let o = k.run("atom_codes(A, [52,50]), atom(A)", false).expect("run");
-    assert!(o.success, "atom_codes must build the atom '42', not the integer");
+    let o = k
+        .run("atom_codes(A, [52,50]), atom(A)", false)
+        .expect("run");
+    assert!(
+        o.success,
+        "atom_codes must build the atom '42', not the integer"
+    );
 }
 
 #[test]
 fn zebra_puzzle_regression() {
     // Full constraint search: ≈19k inferences, heavy trail/backtracking.
-    let mut k = kcm(
-        "member(X, [X|_]).
+    let mut k = kcm("member(X, [X|_]).
          member(X, [_|T]) :- member(X, T).
          next_to(X, Y, L) :- right_of(X, Y, L).
          next_to(X, Y, L) :- right_of(Y, X, L).
@@ -462,8 +444,7 @@ fn zebra_puzzle_regression() {
              member(house(japanese, _, _, _, parliament), Houses),
              next_to(house(norwegian, _, _, _, _), house(_, blue, _, _, _), Houses),
              member(house(Owner, _, zebra, _, _), Houses),
-             member(house(_, _, _, water, _), Houses).",
-    );
+             member(house(_, _, _, water, _), Houses).");
     assert_eq!(all(&mut k, "zebra(Owner)"), ["Owner = japanese"]);
 }
 
@@ -500,8 +481,12 @@ fn occurs_check_builtin() {
     // fails soundly.
     assert!(!k.holds("unify_with_occurs_check(X, f(X))").expect("q"));
     assert!(k.holds("unify_with_occurs_check(X, f(Y))").expect("q"));
-    assert!(k.holds("unify_with_occurs_check(f(a, B), f(A, b)), A = a, B = b").expect("q"));
-    assert!(!k.holds("unify_with_occurs_check(f(X, X), f(Y, g(Y)))").expect("q"));
+    assert!(k
+        .holds("unify_with_occurs_check(f(a, B), f(A, b)), A = a, B = b")
+        .expect("q"));
+    assert!(!k
+        .holds("unify_with_occurs_check(f(X, X), f(Y, g(Y)))")
+        .expect("q"));
 }
 
 #[test]
