@@ -69,6 +69,28 @@ pub fn measure_program(p: &BenchProgram) -> ProgramTimes {
     }
 }
 
+/// The machine configuration the `hostperf` driver runs with: the
+/// default config, with every host fast path switched off when
+/// `KCM_FAST_PATHS` is `0` or `off` (the naive reference interpreter —
+/// same simulated numbers, slower host).
+pub fn hostperf_config() -> MachineConfig {
+    let mut cfg = MachineConfig::default();
+    if matches!(
+        std::env::var("KCM_FAST_PATHS").as_deref(),
+        Ok("0") | Ok("off")
+    ) {
+        cfg.fast_paths = false;
+        cfg.mem.fast_paths = false;
+    }
+    cfg
+}
+
+/// Whether `config` has any host fast path enabled (for labelling
+/// `hostperf` output).
+pub fn fast_paths_enabled(config: &MachineConfig) -> bool {
+    config.fast_paths || config.mem.fast_paths
+}
+
 /// The session pool every table driver fans out on. Worker count comes
 /// from `KCM_WORKERS` when set (pin to `1` for a serial reference run),
 /// otherwise the host's available parallelism. Table output is identical

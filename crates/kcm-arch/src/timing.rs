@@ -39,7 +39,7 @@ pub type Cycles = u64;
 /// assert_eq!(m.reg_op, 1);
 /// assert_eq!(m.branch_taken, 4);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Nanoseconds per machine cycle. KCM runs at 80 ns (§3); the PLM
     /// model at 100 ns; the software-WAM model at the 40 ns of a 25 MHz
@@ -243,9 +243,9 @@ mod tests {
     #[test]
     fn ablations_only_increase_costs() {
         let base = CostModel::default();
-        let no_trail = base.clone().without_trail_hardware();
+        let no_trail = base.without_trail_hardware();
         assert!(no_trail.trail_check_sw > base.trail_check_sw);
-        let no_mwac = base.clone().without_mwac();
+        let no_mwac = base.without_mwac();
         assert!(no_mwac.unify_dispatch > base.unify_dispatch);
         assert!(no_mwac.switch_on_term > base.switch_on_term);
     }

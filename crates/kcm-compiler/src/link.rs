@@ -171,10 +171,38 @@ impl CodeImage {
     /// The decoded instruction starting at `addr`, if any.
     #[inline]
     pub fn instr_at(&self, addr: CodeAddr) -> Option<&Instr> {
+        self.index_of(addr).map(|i| &self.instrs[i as usize])
+    }
+
+    /// Index into the decoded instruction stream of the instruction
+    /// starting at `addr` (the dense `addr_index` lookup behind
+    /// [`CodeImage::instr_at`]).
+    #[inline]
+    pub fn index_of(&self, addr: CodeAddr) -> Option<u32> {
         match self.addr_index.get(addr.value() as usize) {
-            Some(&i) if i != u32::MAX => Some(&self.instrs[i as usize]),
+            Some(&i) if i != u32::MAX => Some(i),
             _ => None,
         }
+    }
+
+    /// The instruction at stream index `idx` (obtained from
+    /// [`CodeImage::index_of`] or [`CodeImage::addr_at_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn instr_at_index(&self, idx: u32) -> &Instr {
+        &self.instrs[idx as usize]
+    }
+
+    /// The word address of the instruction at stream index `idx`, if any.
+    /// Instructions are laid out in address order, so the sequential
+    /// successor of index `i` is index `i + 1` — the machine's
+    /// fall-through dispatch validates its hint with this.
+    #[inline]
+    pub fn addr_at_index(&self, idx: u32) -> Option<u32> {
+        self.addrs.get(idx as usize).copied()
     }
 
     /// The encoded code words (loader image).

@@ -66,6 +66,12 @@ pub struct MachineConfig {
     /// traps) in a bounded ring buffer; 0 (the default) disables
     /// recording down to a single not-taken branch per event site.
     pub event_trace_depth: usize,
+    /// Host-side fast paths in the hot loop (fall-through dispatch,
+    /// batched code fetch; see also [`MemConfig::fast_paths`]). A pure
+    /// *host* speed switch — every simulated number (cycles, stats,
+    /// profiles) is byte-identical with it on or off; off keeps the naive
+    /// reference paths alive for differential testing.
+    pub fast_paths: bool,
 }
 
 impl Default for MachineConfig {
@@ -79,6 +85,7 @@ impl Default for MachineConfig {
             trace_depth: 0,
             profile: false,
             event_trace_depth: 0,
+            fast_paths: true,
         }
     }
 }
@@ -347,7 +354,24 @@ pub struct Machine {
     pub(crate) output: String,
     solutions: Vec<Solution>,
     trace: std::collections::VecDeque<String>,
-    profile: std::collections::HashMap<u32, u64>,
+    /// Per-address cycle attribution, indexed by code word address (flat
+    /// — the machine touches it on every retired instruction when
+    /// [`MachineConfig::profile`] is set). Grown on demand, so it stays
+    /// empty when profiling is off and survives image reloads.
+    profile: Vec<u64>,
+    /// Fall-through dispatch hint: the code address execution will reach
+    /// next if the current instruction does not transfer control, and the
+    /// instruction-stream index it decodes to. Validated against the
+    /// image before use, so a stale hint is never wrong, just a miss.
+    ft_addr: u32,
+    ft_index: u32,
+    /// Scratch stack reused across unifications (unification is the
+    /// single most frequent operation; a fresh allocation per call would
+    /// dominate its host cost). Taken while a unification runs, so a
+    /// re-entrant call just falls back to a fresh vector.
+    unify_stack: Vec<(Word, Word)>,
+    /// Scratch stack reused across occur-checks, same discipline.
+    occurs_stack: Vec<Word>,
     query_vars: Vec<String>,
     enumerate_all: bool,
     halted: Option<bool>,
@@ -417,7 +441,11 @@ impl Machine {
             output: String::new(),
             solutions: Vec::new(),
             trace: std::collections::VecDeque::new(),
-            profile: std::collections::HashMap::new(),
+            profile: Vec::new(),
+            ft_addr: u32::MAX,
+            ft_index: u32::MAX,
+            unify_stack: Vec::new(),
+            occurs_stack: Vec::new(),
             query_vars: Vec::new(),
             enumerate_all: false,
             halted: None,
@@ -462,6 +490,8 @@ impl Machine {
         self.image = Arc::new(image);
         // New code may overwrite addresses already cached.
         self.mem.invalidate_code_cache();
+        self.ft_addr = u32::MAX;
+        self.ft_index = u32::MAX;
     }
 
     /// Runs the image's `$query/0` entry. `enumerate_all` makes the
@@ -511,8 +541,12 @@ impl Machine {
         start_stats.mem = self.mem.stats();
         start_stats.prefetch = self.prefetch.stats();
         let start_profile = self.prof;
+        // One refcount bump for the whole run: the image is never replaced
+        // while the machine is stepping (consulting happens between runs),
+        // so the hot loop can borrow it without per-step `Arc` traffic.
+        let image = Arc::clone(&self.image);
         while self.halted.is_none() {
-            self.step()?;
+            self.step_in(&image)?;
             if self.cycles - start_cycles > self.budget {
                 return Err(MachineError::Fuel {
                     cycles: self.cycles - start_cycles,
@@ -548,7 +582,11 @@ impl Machine {
     /// [`MachineConfig::profile`] was set.
     pub fn profile(&self) -> Vec<(String, u64)> {
         let mut per_pred: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
-        'addrs: for (&addr, &cycles) in &self.profile {
+        'addrs: for (addr, &cycles) in self.profile.iter().enumerate() {
+            if cycles == 0 {
+                continue;
+            }
+            let addr = addr as u32;
             for size in self.image.sizes() {
                 if addr >= size.start && addr < size.end {
                     *per_pred.entry(size.id.to_string()).or_insert(0) += cycles;
@@ -755,7 +793,15 @@ impl Machine {
     /// Whether the variable cell at `var` occurs in (the dereferenced)
     /// term `w`.
     fn occurs_in(&mut self, var: VAddr, w: Word) -> Result<bool, MachineError> {
-        let mut stack = vec![w];
+        let mut stack = std::mem::take(&mut self.occurs_stack);
+        stack.clear();
+        stack.push(w);
+        let r = self.occurs_in_loop(var, &mut stack);
+        self.occurs_stack = stack;
+        r
+    }
+
+    fn occurs_in_loop(&mut self, var: VAddr, stack: &mut Vec<Word>) -> Result<bool, MachineError> {
         while let Some(w) = stack.pop() {
             let w = self.deref(w)?;
             match w.tag() {
@@ -785,7 +831,19 @@ impl Machine {
     }
 
     fn unify_impl(&mut self, a: Word, b: Word, occurs: bool) -> Result<bool, MachineError> {
-        let mut stack = vec![(a, b)];
+        let mut stack = std::mem::take(&mut self.unify_stack);
+        stack.clear();
+        stack.push((a, b));
+        let r = self.unify_loop(&mut stack, occurs);
+        self.unify_stack = stack;
+        r
+    }
+
+    fn unify_loop(
+        &mut self,
+        stack: &mut Vec<(Word, Word)>,
+        occurs: bool,
+    ) -> Result<bool, MachineError> {
         while let Some((a, b)) = stack.pop() {
             let a = self.deref(a)?;
             let b = self.deref(b)?;
@@ -1230,19 +1288,45 @@ impl Machine {
     ///
     /// Returns a [`MachineError`] on machine faults.
     pub fn step(&mut self) -> Result<(), MachineError> {
+        let image = Arc::clone(&self.image);
+        self.step_in(&image)
+    }
+
+    /// One instruction against an already-borrowed image — the body of
+    /// [`Machine::step`], shared with the hot loop in [`Machine::run`]
+    /// which clones the [`Arc`] once per run instead of once per step.
+    fn step_in(&mut self, image: &CodeImage) -> Result<(), MachineError> {
         let before = self.cycles;
         let addr = self.p;
-        let image = Arc::clone(&self.image);
-        let instr = image
-            .instr_at(addr)
-            .ok_or(MachineError::BadCodeAddress(addr))?;
+        // Fall-through dispatch: straight-line code resolves the next
+        // instruction from the hint left by the previous step (the
+        // decoded stream is laid out in address order, so the sequential
+        // successor is the next index). The hint is validated against the
+        // image, so only taken control transfers pay the dense
+        // `addr_index` lookup.
+        let idx = if self.cfg.fast_paths
+            && addr.value() == self.ft_addr
+            && image.addr_at_index(self.ft_index) == Some(self.ft_addr)
+        {
+            self.ft_index
+        } else {
+            image
+                .index_of(addr)
+                .ok_or(MachineError::BadCodeAddress(addr))?
+        };
+        let instr = image.instr_at_index(idx);
         let words = instr.size_words();
         let class = InstrClass::of(instr);
         // Instruction fetch through the code cache (prefetch streams
         // sequential words; misses charge their penalty).
-        for i in 0..words {
-            let extra = self.mem.fetch_code(addr.offset(i as i64));
+        if self.cfg.fast_paths {
+            let extra = self.mem.fetch_code_seq(addr, words);
             self.charge(extra);
+        } else {
+            for i in 0..words {
+                let extra = self.mem.fetch_code(addr.offset(i as i64));
+                self.charge(extra);
+            }
         }
         self.prefetch.issue(addr, words);
         self.charge(self.cfg.cost.instr_overhead);
@@ -1255,20 +1339,26 @@ impl Machine {
                 .push_back(format!("{:6}  {}", addr.value(), instr));
         }
         self.p = addr.offset(words as i64);
+        self.ft_addr = self.p.value();
+        self.ft_index = idx + 1;
         let r = self.exec(instr);
         // The retired-instruction profile attributes every cycle of the
         // step — fetch, overhead and execution — to the opcode's class.
         let delta = self.cycles - before;
         self.prof.retire(class, delta);
         if self.cfg.profile {
-            *self.profile.entry(addr.value()).or_insert(0) += delta;
+            let slot = addr.value() as usize;
+            if slot >= self.profile.len() {
+                self.profile.resize(slot + 1, 0);
+            }
+            self.profile[slot] += delta;
         }
         r
     }
 
     #[allow(clippy::too_many_lines)]
     fn exec(&mut self, instr: &Instr) -> Result<(), MachineError> {
-        let cost = self.cfg.cost.clone();
+        let cost = self.cfg.cost;
         match instr {
             // ------------------------------------------------- control
             Instr::Call { addr, arity } => {

@@ -62,6 +62,7 @@ impl CodeCache {
     /// hit, the miss penalty otherwise. A miss fills the word and
     /// prefetches the next [`PREFETCH_WORDS`]`- 1` sequential words using
     /// the memory's page mode.
+    #[inline]
     pub fn fetch(
         &mut self,
         addr: CodeAddr,
@@ -88,6 +89,28 @@ impl CodeCache {
             };
         }
         config.icache_miss
+    }
+
+    /// Times the fetch of `words` sequential code words starting at
+    /// `addr` in one call — exactly [`CodeCache::fetch`] applied to each
+    /// word in order (same counters, same per-word hit/miss decisions,
+    /// same total penalty), batched so the machine's instruction fetch
+    /// crosses the memory-system boundary once per instruction instead of
+    /// once per word.
+    #[inline]
+    pub fn fetch_seq(
+        &mut self,
+        addr: CodeAddr,
+        words: usize,
+        mmu: &mut Mmu,
+        config: &MemConfig,
+        stats: &mut MemStats,
+    ) -> Cycles {
+        let mut extra = 0;
+        for i in 0..words {
+            extra += self.fetch(addr.offset(i as i64), mmu, config, stats);
+        }
+        extra
     }
 
     /// Write-through store into the code space (incremental compilation

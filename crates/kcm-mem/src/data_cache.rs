@@ -36,10 +36,20 @@ const EMPTY: Line = Line {
 };
 
 /// The direct-mapped, store-in, one-word-line data cache.
+///
+/// The simulator additionally keeps a host-side *last-line* hint (see
+/// [`DataCache::set_fast_paths`]): the index of the most recently accessed
+/// line. Stack-discipline access patterns hit the same line repeatedly, so
+/// the common hit becomes one compare + load, skipping the zone-section
+/// index computation. The hint only short-circuits lookups whose outcome
+/// is a hit on that exact line and bumps the same counters, so the
+/// simulated numbers are byte-identical with it on or off.
 #[derive(Debug)]
 pub struct DataCache {
     lines: Vec<Line>,
     sectioned: bool,
+    fast: bool,
+    last_idx: u32,
 }
 
 impl DataCache {
@@ -51,12 +61,36 @@ impl DataCache {
         DataCache {
             lines: vec![EMPTY; DCACHE_WORDS],
             sectioned,
+            fast: true,
+            last_idx: 0,
         }
     }
 
     /// Whether this cache is in sectioned mode.
     pub fn is_sectioned(&self) -> bool {
         self.sectioned
+    }
+
+    /// Enables or disables the host-side last-line hint (on by default).
+    /// Purely a host speed switch; hits, misses and contents are identical
+    /// either way.
+    pub fn set_fast_paths(&mut self, enabled: bool) {
+        self.fast = enabled;
+        self.last_idx = 0;
+    }
+
+    /// The last-line fast path: a hit on the most recently accessed line.
+    /// Lines are only ever stored at their computed index, so finding
+    /// `addr` in the hinted line proves the full index computation would
+    /// land on the same line and hit.
+    #[inline]
+    fn last_line_hit(&self, addr: VAddr) -> Option<(usize, Line)> {
+        if !self.fast {
+            return None;
+        }
+        let idx = self.last_idx as usize;
+        let line = self.lines[idx];
+        (line.valid && line.addr == addr).then_some((idx, line))
     }
 
     fn index(&self, addr: VAddr) -> usize {
@@ -74,6 +108,7 @@ impl DataCache {
     /// # Errors
     ///
     /// Propagates physical-page allocation failure.
+    #[inline]
     pub fn read(
         &mut self,
         addr: VAddr,
@@ -82,9 +117,14 @@ impl DataCache {
         config: &MemConfig,
         stats: &mut MemStats,
     ) -> Result<(Word, Cycles), MemFault> {
+        if let Some((_, line)) = self.last_line_hit(addr) {
+            stats.dcache_hits += 1;
+            return Ok((line.data, 0));
+        }
         let idx = self.index(addr);
         if self.lines[idx].valid && self.lines[idx].addr == addr {
             stats.dcache_hits += 1;
+            self.last_idx = idx as u32;
             return Ok((self.lines[idx].data, 0));
         }
         stats.dcache_misses += 1;
@@ -98,6 +138,7 @@ impl DataCache {
             addr,
             data,
         };
+        self.last_idx = idx as u32;
         Ok((data, extra))
     }
 
@@ -109,6 +150,7 @@ impl DataCache {
     ///
     /// Propagates physical-page allocation failure (from evicting a dirty
     /// victim).
+    #[inline]
     pub fn write(
         &mut self,
         addr: VAddr,
@@ -118,11 +160,18 @@ impl DataCache {
         config: &MemConfig,
         stats: &mut MemStats,
     ) -> Result<Cycles, MemFault> {
+        if let Some((idx, _)) = self.last_line_hit(addr) {
+            stats.dcache_hits += 1;
+            self.lines[idx].data = value;
+            self.lines[idx].dirty = true;
+            return Ok(0);
+        }
         let idx = self.index(addr);
         if self.lines[idx].valid && self.lines[idx].addr == addr {
             stats.dcache_hits += 1;
             self.lines[idx].data = value;
             self.lines[idx].dirty = true;
+            self.last_idx = idx as u32;
             return Ok(0);
         }
         stats.dcache_misses += 1;
@@ -136,6 +185,7 @@ impl DataCache {
             addr,
             data: value,
         };
+        self.last_idx = idx as u32;
         // Ensure the page exists so a later write-back cannot fail late.
         mmu.translate_data(addr, memory, stats)?;
         Ok(extra)

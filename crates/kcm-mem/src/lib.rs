@@ -73,6 +73,11 @@ pub struct MemConfig {
     pub dcache_writeback: Cycles,
     /// Code cache miss penalty in cycles.
     pub icache_miss: Cycles,
+    /// Host-side fast paths (MMU TLB, data-cache last-line cache). Purely
+    /// a *host* speed switch: the simulated counters and cycle charges are
+    /// byte-identical either way (asserted by `kcm-suite/tests/fastpath.rs`).
+    /// Off keeps the naive reference paths for differential testing.
+    pub fast_paths: bool,
 }
 
 impl Default for MemConfig {
@@ -84,6 +89,7 @@ impl Default for MemConfig {
             dcache_miss: costs.dcache_miss,
             dcache_writeback: costs.dcache_writeback,
             icache_miss: costs.icache_miss,
+            fast_paths: true,
         }
     }
 }
@@ -209,12 +215,16 @@ impl MemorySystem {
     /// Creates a memory system with empty caches and an unmapped page
     /// table.
     pub fn new(config: MemConfig) -> MemorySystem {
+        let mut dcache = DataCache::new(config.sectioned_data_cache);
+        dcache.set_fast_paths(config.fast_paths);
+        let mut mmu = Mmu::new();
+        mmu.set_fast_paths(config.fast_paths);
         MemorySystem {
-            dcache: DataCache::new(config.sectioned_data_cache),
+            dcache,
             icache: CodeCache::new(),
             config,
             memory: MainMemory::new(),
-            mmu: Mmu::new(),
+            mmu,
             zones: ZoneTable::new(),
             stats: MemStats::default(),
         }
@@ -247,6 +257,7 @@ impl MemorySystem {
     ///
     /// Returns [`MemFault::NotAnAddress`] if `ptr` is not a pointer type
     /// and a zone fault if the access violates the zone rules.
+    #[inline]
     pub fn read_ptr(&mut self, ptr: Word) -> Result<(Word, Cycles), MemFault> {
         let addr = ptr.as_addr().ok_or(MemFault::NotAnAddress(ptr))?;
         if self.config.zone_check {
@@ -263,6 +274,7 @@ impl MemorySystem {
     /// a write-protection fault on a protected zone: "Without protection on
     /// the level of the logical caches the data will simply be stored in
     /// the cache" (§3.2.3) — KCM checks before the cache absorbs the write.
+    #[inline]
     pub fn write_ptr(&mut self, ptr: Word, value: Word) -> Result<Cycles, MemFault> {
         let addr = ptr.as_addr().ok_or(MemFault::NotAnAddress(ptr))?;
         if self.config.zone_check {
@@ -283,6 +295,7 @@ impl MemorySystem {
         }
     }
 
+    #[inline]
     fn read_checked(&mut self, addr: VAddr) -> Result<(Word, Cycles), MemFault> {
         let (word, extra) = self.dcache.read(
             addr,
@@ -294,6 +307,7 @@ impl MemorySystem {
         Ok((word, extra))
     }
 
+    #[inline]
     fn write_checked(&mut self, addr: VAddr, value: Word) -> Result<Cycles, MemFault> {
         self.dcache.write(
             addr,
@@ -309,9 +323,20 @@ impl MemorySystem {
     /// the extra penalty (0 on a code cache hit). The paper's write-through
     /// code cache prefetches "a few words ahead when a miss occurs"; the
     /// model fills the missed word plus the next.
+    #[inline]
     pub fn fetch_code(&mut self, addr: CodeAddr) -> Cycles {
         self.icache
             .fetch(addr, &mut self.mmu, &self.config, &mut self.stats)
+    }
+
+    /// Times the fetch of `words` sequential code words starting at
+    /// `addr` — one instruction's worth — in a single call. Counter-exact
+    /// equivalent of `words` individual [`MemorySystem::fetch_code`]
+    /// calls; the returned penalty is their sum.
+    #[inline]
+    pub fn fetch_code_seq(&mut self, addr: CodeAddr, words: usize) -> Cycles {
+        self.icache
+            .fetch_seq(addr, words, &mut self.mmu, &self.config, &mut self.stats)
     }
 
     /// Invalidates the code cache — used when compiled code is moved from

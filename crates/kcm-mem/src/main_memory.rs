@@ -98,6 +98,7 @@ impl MainMemory {
     /// Reads a word. Unallocated memory reads as the zero pattern — on the
     /// real board this is whatever the DRAM held; the simulator defines it
     /// for reproducibility.
+    #[inline]
     pub fn read(&self, addr: PhysAddr) -> Word {
         let page = (addr.value() / PAGE_SIZE_WORDS) as usize;
         let offset = (addr.value() % PAGE_SIZE_WORDS) as usize;
@@ -114,6 +115,7 @@ impl MainMemory {
     /// Panics when writing to a page the MMU never allocated — the MMU is
     /// the only component that hands out physical addresses, so this
     /// indicates a simulator bug, not a guest error.
+    #[inline]
     pub fn write(&mut self, addr: PhysAddr, value: Word) {
         let page = (addr.value() / PAGE_SIZE_WORDS) as usize;
         let offset = (addr.value() % PAGE_SIZE_WORDS) as usize;

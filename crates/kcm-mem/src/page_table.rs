@@ -43,9 +43,33 @@ impl Entry {
     }
 }
 
+/// One host-side TLB slot: a virtual data page whose table entry is known
+/// valid and referenced, with its physical page. `vp == u32::MAX` marks an
+/// empty slot (no virtual page has that index).
+#[derive(Debug, Clone, Copy)]
+struct TlbSlot {
+    vp: u32,
+    page: u16,
+}
+
+const TLB_EMPTY: TlbSlot = TlbSlot {
+    vp: u32::MAX,
+    page: 0,
+};
+
+/// Direct-mapped host TLB size (power of two).
+const TLB_SLOTS: usize = 64;
+
 /// The translation RAM: the full page table for both spaces, held in the
 /// machine (no TLB — "this design works because KCM is a single-task
 /// machine that does not need to do context switches").
+///
+/// The *simulated* machine has no TLB, but the simulator keeps a small
+/// host-side one (enabled by default, see [`Mmu::set_fast_paths`]): a
+/// direct-mapped `vp → physical page` cache consulted before the table
+/// walk. It is filled only after an entry is valid and referenced, so a
+/// hit skips nothing but idempotent work — simulated state and fault
+/// counters are byte-identical with it on or off.
 ///
 /// # Examples
 ///
@@ -66,6 +90,8 @@ impl Entry {
 pub struct Mmu {
     data_table: Vec<Entry>,
     code_table: Vec<Entry>,
+    tlb: [TlbSlot; TLB_SLOTS],
+    tlb_enabled: bool,
 }
 
 impl Default for Mmu {
@@ -80,7 +106,17 @@ impl Mmu {
         Mmu {
             data_table: vec![Entry::default(); kcm_arch::addr::PAGES_PER_SPACE as usize],
             code_table: vec![Entry::default(); kcm_arch::addr::PAGES_PER_SPACE as usize],
+            tlb: [TLB_EMPTY; TLB_SLOTS],
+            tlb_enabled: true,
         }
+    }
+
+    /// Enables or disables the host-side TLB (on by default). Purely a
+    /// host speed switch; translation results and fault counters are
+    /// identical either way.
+    pub fn set_fast_paths(&mut self, enabled: bool) {
+        self.tlb_enabled = enabled;
+        self.tlb = [TLB_EMPTY; TLB_SLOTS];
     }
 
     /// Translates a data-space address, allocating a physical page on
@@ -89,6 +125,7 @@ impl Mmu {
     /// # Errors
     ///
     /// Returns [`MemFault::OutOfPhysicalMemory`] if the board is full.
+    #[inline]
     pub fn translate_data(
         &mut self,
         addr: VAddr,
@@ -96,6 +133,15 @@ impl Mmu {
         stats: &mut MemStats,
     ) -> Result<PhysAddr, MemFault> {
         let vp = addr.page().index();
+        if self.tlb_enabled {
+            let slot = self.tlb[vp % TLB_SLOTS];
+            if slot.vp == vp as u32 {
+                // The slot was filled after the entry became valid and
+                // referenced, so the table walk below would only redo
+                // idempotent work.
+                return Ok(PhysAddr::new(slot.page, addr.page_offset()));
+            }
+        }
         let entry = &mut self.data_table[vp];
         if !entry.valid() {
             let page = memory
@@ -105,7 +151,14 @@ impl Mmu {
             stats.data_page_faults += 1;
         }
         entry.0 |= ST_REFERENCED;
-        Ok(PhysAddr::new(entry.phys_page(), addr.page_offset()))
+        let phys_page = entry.phys_page();
+        if self.tlb_enabled {
+            self.tlb[vp % TLB_SLOTS] = TlbSlot {
+                vp: vp as u32,
+                page: phys_page,
+            };
+        }
+        Ok(PhysAddr::new(phys_page, addr.page_offset()))
     }
 
     /// Marks a data page dirty (the cache does this when writing back).
@@ -117,6 +170,7 @@ impl Mmu {
     /// Translates a code-space address, counting a fault on first touch.
     /// The simulator stores code host-side, so translation here only
     /// models the fault/NRU bookkeeping.
+    #[inline]
     pub fn translate_code(&mut self, addr: CodeAddr, stats: &mut MemStats) {
         let vp = addr.page().index();
         let entry = &mut self.code_table[vp];
@@ -148,6 +202,8 @@ impl Mmu {
         }
         self.data_table[vp] = Entry::default();
         self.code_table[code_addr.page().index()] = entry;
+        // The data mapping is gone: drop any host TLB entry for it.
+        self.tlb[vp % TLB_SLOTS] = TLB_EMPTY;
         true
     }
 }

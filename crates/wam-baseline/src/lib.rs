@@ -80,14 +80,10 @@ impl BaselineModel {
     /// The machine configuration realizing this model.
     pub fn machine_config(&self) -> MachineConfig {
         MachineConfig {
-            cost: self.cost.clone(),
+            cost: self.cost,
             mem: self.mem.clone(),
             shallow_backtracking: self.shallow_backtracking,
-            spread_stack_bases: true,
-            max_cycles: 20_000_000_000,
-            trace_depth: 0,
-            profile: false,
-            event_trace_depth: 0,
+            ..MachineConfig::default()
         }
     }
 }
