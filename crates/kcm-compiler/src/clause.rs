@@ -388,6 +388,7 @@ impl<'a> Compiler<'a> {
             GoalKind::Compare(cond, l, r) => {
                 self.emit(Instr::Mark);
                 let rl = self.eval_expr(l)?;
+                self.check_left_operand_order(l, r, rl);
                 let rr = self.eval_expr(r)?;
                 self.emit(Instr::CmpRegs { s1: rl, s2: rr });
                 self.items.push(AsmItem::BranchFail(cond.negated()));
@@ -398,6 +399,18 @@ impl<'a> Compiler<'a> {
             GoalKind::Is(lhs, e) => {
                 self.emit(Instr::Mark);
                 let t = self.eval_expr(e)?;
+                // A bare-variable expression never reaches the ALU, so
+                // nothing would check it holds a number — `X is Y` must
+                // still fault on unbound or non-numeric `Y` exactly like
+                // the escape evaluator. `max(t, t)` is a checking identity.
+                if matches!(e, Expr::Var(_)) {
+                    self.emit(Instr::Alu {
+                        op: AluOp::Max,
+                        d: t,
+                        s1: t,
+                        s2: t,
+                    });
+                }
                 self.compile_get(lhs, t)
             }
             GoalKind::Unify(a, b) => {
@@ -1006,6 +1019,24 @@ impl<'a> Compiler<'a> {
 
     // ------------------------------------------------------------- arith
 
+    /// The escape evaluator faults strictly left-to-right, but a bare
+    /// variable on the left loads with no numeric check while a compound
+    /// right operand emits ALU instructions of its own — those would
+    /// fault first, inverting the observable error. When both conditions
+    /// hold, check the left operand now with the `max(t, t)` identity.
+    fn check_left_operand_order(&mut self, l: &Expr, r: &Expr, rl: Reg) {
+        let left_unchecked = matches!(l, Expr::Var(_));
+        let right_can_fault = matches!(r, Expr::Bin(..) | Expr::Neg(..));
+        if left_unchecked && right_can_fault {
+            self.emit(Instr::Alu {
+                op: AluOp::Max,
+                d: rl,
+                s1: rl,
+                s2: rl,
+            });
+        }
+    }
+
     fn eval_expr(&mut self, e: &Expr) -> Result<Reg, CompileError> {
         match e {
             Expr::Int(v) => {
@@ -1032,6 +1063,7 @@ impl<'a> Compiler<'a> {
             }
             Expr::Bin(op, a, b) => {
                 let ra = self.eval_expr(a)?;
+                self.check_left_operand_order(a, b, ra);
                 let rb = self.eval_expr(b)?;
                 let t = self.alloc_temp()?;
                 self.emit(Instr::Alu {

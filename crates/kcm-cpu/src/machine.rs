@@ -46,7 +46,10 @@ pub struct MachineConfig {
     /// The memory system configuration.
     pub mem: MemConfig,
     /// Shallow backtracking enabled (§3.1.5). Disabling reproduces the
-    /// eager choice points of the standard WAM (ablation).
+    /// eager choice points of the standard WAM (ablation). Only valid for
+    /// code compiled with `deferred_choice_points` (the `neck` boundary):
+    /// without necks the armed alternative is never converted into a
+    /// choice point and backtracking past the clause loses it.
     pub shallow_backtracking: bool,
     /// Spread the initial stack tops across cache sections (§3.2.4
     /// experiment). Irrelevant when the cache is sectioned.
@@ -2005,8 +2008,18 @@ impl Machine {
                     (Tag::Ref, Some(addr)) if Zone::of_addr(addr) == Some(Zone::Local) => {
                         let nv = self.new_heap_var()?;
                         self.bind(addr, nv)?;
+                        // Registers must stay pristine while a shallow
+                        // alternative is armed: the deferred choice point
+                        // snapshots them at `neck`, after head unification,
+                        // and a shallow restore leaves them untouched — both
+                        // would see this globalized address dangle into heap
+                        // that backtracking truncates (§3.1.5). The binding
+                        // above is trailed, so re-derefs stay correct.
+                        let pristine = self.fa.is_some() && !self.cpflag;
                         if let Some(r) = update {
-                            self.regs.set(r, nv);
+                            if !pristine {
+                                self.regs.set(r, nv);
+                            }
                         }
                         // The new heap cell *is* the argument cell — it was
                         // pushed by new_heap_var at the current H position.
@@ -2082,13 +2095,28 @@ impl Machine {
                 };
                 Ok(Word::float(r))
             }
-            (Some(Tag::Ref), _) | (_, Some(Tag::Ref)) => Err(MachineError::Instantiation(
-                "arithmetic on an unbound variable".into(),
-            )),
-            _ => Err(MachineError::TypeFault(format!(
-                "arithmetic on non-numbers ({a}, {b})"
-            ))),
+            // Fault on the left operand before looking at the right, so a
+            // natively compiled expression reports the same error class as
+            // the escape evaluator, which evaluates operands left to right.
+            _ => Err(Self::numeric_operand_fault("arithmetic", a, b)),
         }
+    }
+
+    /// The fault for a non-numeric operand pair, checked left-first:
+    /// an unbound left operand is an instantiation error even if the right
+    /// one is a worse-typed term, exactly as left-to-right evaluation in
+    /// the `is/2` escape would report it.
+    fn numeric_operand_fault(what: &str, a: Word, b: Word) -> MachineError {
+        for w in [a, b] {
+            match w.tag_checked() {
+                Some(Tag::Int) | Some(Tag::Float) => continue,
+                Some(Tag::Ref) => {
+                    return MachineError::Instantiation(format!("{what} on an unbound variable"))
+                }
+                _ => return MachineError::TypeFault(format!("{what} on non-numbers ({a}, {b})")),
+            }
+        }
+        unreachable!("both operands numeric")
     }
 
     fn as_f32(w: Word) -> f32 {
@@ -2121,12 +2149,7 @@ impl Machine {
                     gt: x > y,
                 })
             }
-            (Some(Tag::Ref), _) | (_, Some(Tag::Ref)) => Err(MachineError::Instantiation(
-                "comparison on an unbound variable".into(),
-            )),
-            _ => Err(MachineError::TypeFault(format!(
-                "comparison on non-numbers ({a}, {b})"
-            ))),
+            _ => Err(Self::numeric_operand_fault("comparison", a, b)),
         }
     }
 

@@ -12,7 +12,25 @@ use kcm_prolog::Term;
 use std::collections::HashMap;
 
 /// Maximum decoding depth before a term is declared cyclic.
-const MAX_DEPTH: usize = 100_000;
+///
+/// Decoding itself walks an explicit work stack, but `Display`, `Drop`
+/// and comparison of the decoded [`Term`] still recurse on the host
+/// stack — the budget must keep those well inside the smallest stack
+/// the machine runs on (2 MiB scoped pool workers, with debug-build
+/// frame sizes). The deepest legitimate term in the tree is the
+/// scaling bench's 600-cell list; rational trees from occurs-check-free
+/// unification (`X = [X|X]`) are unbounded and must fault, not
+/// overflow.
+const MAX_DEPTH: usize = 1_000;
+
+/// One step of the iterative decoder: either decode a machine word at a
+/// given depth, or assemble a composite from already-decoded children
+/// on the output stack.
+enum DecodeTask {
+    Decode(Word, usize),
+    BuildList,
+    BuildStruct(String, usize),
+}
 
 impl Machine {
     /// Decodes the term rooted at `w` into a host [`Term`]. Unbound
@@ -24,53 +42,70 @@ impl Machine {
     /// limit (for example rational trees created by occurs-check-free
     /// unification).
     pub fn decode_term(&mut self, w: Word) -> Result<Term, MachineError> {
-        self.decode_depth(w, 0)
-    }
-
-    fn decode_depth(&mut self, w: Word, depth: usize) -> Result<Term, MachineError> {
-        if depth > MAX_DEPTH {
-            return Err(MachineError::TermDepth);
-        }
-        let w = self.deref(w)?;
-        match w.tag() {
-            Tag::Ref => {
-                let addr = w.as_addr().expect("unbound ref");
-                Ok(Term::Var(format!("_G{}", addr.value())))
-            }
-            Tag::Int => Ok(Term::Int(w.value() as i32)),
-            Tag::Float => Ok(Term::Float(f32::from_bits(w.value()))),
-            Tag::Nil => Ok(Term::nil()),
-            Tag::Atom => {
-                let id = w.as_atom().expect("atom");
-                Ok(Term::Atom(self.symbols.atom_name(id).to_owned()))
-            }
-            Tag::List => {
-                let p = w.as_addr().expect("list pointer");
-                let head = self.read_cell(p)?;
-                let tail = self.read_cell(p.offset(1))?;
-                let h = self.decode_depth(head, depth + 1)?;
-                let t = self.decode_depth(tail, depth + 1)?;
-                Ok(Term::cons(h, t))
-            }
-            Tag::Struct => {
-                let p = w.as_addr().expect("struct pointer");
-                let fw = self.read_cell(p)?;
-                let f = fw
-                    .as_functor()
-                    .ok_or_else(|| MachineError::TypeFault("corrupt structure frame".into()))?;
-                let name = self.symbols.functor_name(f).to_owned();
-                let arity = self.symbols.functor_arity(f);
-                let mut args = Vec::with_capacity(arity as usize);
-                for i in 1..=arity as i64 {
-                    let cell = self.read_cell(p.offset(i))?;
-                    args.push(self.decode_depth(cell, depth + 1)?);
+        let mut work = vec![DecodeTask::Decode(w, 0)];
+        let mut out: Vec<Term> = Vec::new();
+        while let Some(task) = work.pop() {
+            match task {
+                DecodeTask::Decode(w, depth) => {
+                    if depth > MAX_DEPTH {
+                        return Err(MachineError::TermDepth);
+                    }
+                    let w = self.deref(w)?;
+                    match w.tag() {
+                        Tag::Ref => {
+                            let addr = w.as_addr().expect("unbound ref");
+                            out.push(Term::Var(format!("_G{}", addr.value())));
+                        }
+                        Tag::Int => out.push(Term::Int(w.value() as i32)),
+                        Tag::Float => out.push(Term::Float(f32::from_bits(w.value()))),
+                        Tag::Nil => out.push(Term::nil()),
+                        Tag::Atom => {
+                            let id = w.as_atom().expect("atom");
+                            out.push(Term::Atom(self.symbols.atom_name(id).to_owned()));
+                        }
+                        Tag::List => {
+                            let p = w.as_addr().expect("list pointer");
+                            let head = self.read_cell(p)?;
+                            let tail = self.read_cell(p.offset(1))?;
+                            work.push(DecodeTask::BuildList);
+                            work.push(DecodeTask::Decode(tail, depth + 1));
+                            work.push(DecodeTask::Decode(head, depth + 1));
+                        }
+                        Tag::Struct => {
+                            let p = w.as_addr().expect("struct pointer");
+                            let fw = self.read_cell(p)?;
+                            let f = fw.as_functor().ok_or_else(|| {
+                                MachineError::TypeFault("corrupt structure frame".into())
+                            })?;
+                            let name = self.symbols.functor_name(f).to_owned();
+                            let arity = self.symbols.functor_arity(f) as usize;
+                            work.push(DecodeTask::BuildStruct(name, arity));
+                            // Pushed in reverse so the first argument is
+                            // decoded (and lands on `out`) first.
+                            for i in (1..=arity as i64).rev() {
+                                let cell = self.read_cell(p.offset(i))?;
+                                work.push(DecodeTask::Decode(cell, depth + 1));
+                            }
+                        }
+                        other => {
+                            return Err(MachineError::TypeFault(format!(
+                                "cannot decode a {other} word as a term"
+                            )));
+                        }
+                    }
                 }
-                Ok(Term::Struct(name, args))
+                DecodeTask::BuildList => {
+                    let t = out.pop().expect("list tail decoded");
+                    let h = out.pop().expect("list head decoded");
+                    out.push(Term::cons(h, t));
+                }
+                DecodeTask::BuildStruct(name, arity) => {
+                    let args = out.split_off(out.len() - arity);
+                    out.push(Term::Struct(name, args));
+                }
             }
-            other => Err(MachineError::TypeFault(format!(
-                "cannot decode a {other} word as a term"
-            ))),
         }
+        Ok(out.pop().expect("decode produced a term"))
     }
 
     /// Formats the term rooted at `w` the way `write/1` prints it.

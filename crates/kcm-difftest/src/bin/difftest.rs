@@ -1,0 +1,121 @@
+//! The differential fuzzing driver.
+//!
+//! Replays the regression corpus, then runs `KCM_DIFFTEST_CASES` generated
+//! cases (default 10 000) from base seed `KCM_DIFFTEST_SEED` (default
+//! 0x6b636d64, "kcmd") through every engine. On the first divergence it
+//! shrinks the case, prints a ready-to-paste corpus entry with the seed,
+//! writes the full report to `target/difftest/counterexample.txt`, and
+//! exits non-zero.
+//!
+//! Replay a specific case: `KCM_DIFFTEST_SEED=<base> KCM_DIFFTEST_CASES=1`
+//! after computing the per-case seed, or just rerun with the same base —
+//! case seeds are `base ^ i*GOLDEN` exactly as in `kcm_testkit::cases_seeded`.
+
+use kcm_difftest::corpus;
+use kcm_difftest::gen::GProgram;
+use kcm_difftest::oracle::{compare, standard_engines, Verdict};
+use kcm_difftest::shrink::{corpus_entry, shrink};
+use kcm_testkit::{case_seed, TestRng};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Default base seed: "kcmd".
+const DEFAULT_SEED: u64 = 0x6b63_6d64;
+const DEFAULT_CASES: u64 = 10_000;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.unwrap_or_else(|_| {
+                eprintln!("difftest: cannot parse {name}={v:?}; using {default}");
+                default
+            })
+        }
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let cases = env_u64("KCM_DIFFTEST_CASES", DEFAULT_CASES);
+    let base_seed = env_u64("KCM_DIFFTEST_SEED", DEFAULT_SEED);
+    let engines = standard_engines();
+    let names: Vec<String> = engines.iter().map(|e| e.name()).collect();
+    println!("difftest: engines: {}", names.join(", "));
+
+    // Regression corpus first: cheap, and a corpus failure means a known
+    // bug came back — no point fuzzing on top of it.
+    let t0 = Instant::now();
+    let failures = corpus::replay(&engines);
+    if !failures.is_empty() {
+        for (name, report) in &failures {
+            eprintln!("corpus case {name} FAILED:\n{report}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "difftest: corpus replay: {} cases ok ({:.1?})",
+        corpus::CORPUS.len(),
+        t0.elapsed()
+    );
+
+    // The fuzz loop.
+    let t0 = Instant::now();
+    let (mut agreed, mut skipped) = (0u64, 0u64);
+    for i in 0..cases {
+        let seed = case_seed(base_seed, i);
+        let mut rng = TestRng::new(seed);
+        let program = GProgram::generate(&mut rng);
+        match compare(&engines, &program.source(), &program.query_text(), true) {
+            Verdict::Agree => agreed += 1,
+            Verdict::Skip(_) => skipped += 1,
+            Verdict::Diverge(d) => {
+                eprintln!("difftest: case {i} (seed {seed:#x}) DIVERGED; shrinking…");
+                let (small, stats) = shrink(&engines, &program, true);
+                let verdict = compare(&engines, &small.source(), &small.query_text(), true);
+                let report = match &verdict {
+                    Verdict::Diverge(d2) => d2.render(),
+                    // The shrinker only keeps diverging candidates, so the
+                    // original report is the fallback if re-checking raced
+                    // with nothing (it cannot, but stay total).
+                    _ => d.render(),
+                };
+                let entry = corpus_entry(&small, seed, true);
+                eprintln!("{report}");
+                eprintln!(
+                    "difftest: shrunk from {} to {} clauses in {} checks ({} accepted)",
+                    program.clauses.len(),
+                    small.clauses.len(),
+                    stats.attempts,
+                    stats.accepted
+                );
+                eprintln!("difftest: ready-to-paste corpus entry:\n{entry}");
+                let _ = std::fs::create_dir_all("target/difftest");
+                let path = "target/difftest/counterexample.txt";
+                if let Ok(mut f) = std::fs::File::create(path) {
+                    let _ = writeln!(
+                        f,
+                        "base seed {base_seed:#x}, case {i}, case seed {seed:#x}\n\n{report}\n{entry}"
+                    );
+                    eprintln!("difftest: counterexample written to {path}");
+                }
+                std::process::exit(1);
+            }
+        }
+        let done = i + 1;
+        if done % 1000 == 0 || done == cases {
+            println!(
+                "difftest: {done}/{cases} cases ({agreed} agreed, {skipped} fuel-skipped, {:.1?})",
+                t0.elapsed()
+            );
+        }
+    }
+    println!(
+        "difftest: PASS — {cases} cases, {agreed} agreed, {skipped} fuel-skipped, base seed {base_seed:#x}"
+    );
+}

@@ -1,0 +1,528 @@
+//! The multi-engine differential oracle.
+//!
+//! Every engine we own is a (compiler options, machine configuration)
+//! pair over the same abstract instruction set; divergent architectures
+//! make generated-program differential testing the highest-yield oracle
+//! (BinProlog's experience report). An engine consumes a program and a
+//! query and produces an [`EngineOutcome`]: either the full ordered
+//! solution list (with `write/1` output and the inference count) or an
+//! error *class*. The oracle runs every engine and demands exact
+//! agreement.
+//!
+//! Solution terms and output are alpha-normalized first: the machine
+//! prints unbound variables as `_G<heap address>` and heap layouts differ
+//! legitimately across compile options, so variables are renamed to
+//! `_A, _B, …` in order of first appearance before comparison.
+
+use kcm_compiler::CompileOptions;
+use kcm_cpu::{Machine, MachineConfig, Outcome};
+use kcm_prolog::Term;
+use kcm_system::{Kcm, KcmError, QueryJob, SessionPool};
+
+/// Cycle budget applied to every engine. Generated programs terminate by
+/// construction; the budget only catches generator bugs. Because budgets
+/// bite at different wall points under different cost models, the oracle
+/// *skips* (rather than fails) any case where some engine runs out of
+/// fuel.
+pub const FUEL_BUDGET: u64 = 50_000_000;
+
+/// What one engine computed for a case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineOutcome {
+    /// The engine ran to completion.
+    Answers {
+        /// Each solution rendered `Var=term,...` with variables
+        /// alpha-normalized; in enumeration order.
+        solutions: Vec<String>,
+        /// `write/1` output, alpha-normalized.
+        output: String,
+        /// Logical inference count — identical abstract execution means
+        /// identical inferences, whatever the cost model says.
+        inferences: u64,
+    },
+    /// The engine failed with an error of this class.
+    Error {
+        /// A stable class name (`"instantiation"`, `"zero_divisor"`, …).
+        class: String,
+    },
+}
+
+impl EngineOutcome {
+    /// Whether this outcome is a fuel exhaustion (cost-model-relative, so
+    /// the oracle skips such cases instead of comparing them).
+    pub fn is_fuel(&self) -> bool {
+        matches!(self, EngineOutcome::Error { class } if class == "fuel")
+    }
+
+    fn from_result(result: Result<Outcome, KcmError>) -> EngineOutcome {
+        match result {
+            Ok(outcome) => EngineOutcome::Answers {
+                solutions: outcome
+                    .solutions
+                    .iter()
+                    .map(|s| render_solution(s))
+                    .collect(),
+                output: normalize_output(&outcome.output),
+                inferences: outcome.stats.inferences,
+            },
+            Err(e) => EngineOutcome::Error {
+                class: error_class(&e).to_owned(),
+            },
+        }
+    }
+}
+
+/// The stable class name of an error — engines must agree on the class,
+/// never necessarily on the message.
+pub fn error_class(e: &KcmError) -> &'static str {
+    use kcm_cpu::MachineError as M;
+    match e {
+        KcmError::Parse(_) => "parse",
+        KcmError::Compile(_) => "compile",
+        KcmError::NoProgram => "no_program",
+        KcmError::Machine(m) => match m {
+            M::Mem(_) => "mem",
+            M::BadCodeAddress(_) => "bad_code",
+            M::Fuel { .. } => "fuel",
+            M::TypeFault(_) => "type",
+            M::UnimplementedInstr(_) => "unimplemented",
+            M::Instantiation(_) => "instantiation",
+            M::TermDepth => "term_depth",
+            M::ZeroDivisor => "zero_divisor",
+        },
+    }
+}
+
+/// Renders one solution with alpha-normalized variable names.
+pub fn render_solution(solution: &[(String, Term)]) -> String {
+    let mut names = Vec::new();
+    solution
+        .iter()
+        .map(|(n, t)| format!("{n}={}", normalize_term(t, &mut names)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Rewrites `_G<addr>` machine variables to `_A, _B, …` in first-appearance
+/// order. Shared variables keep their sharing: the same machine variable
+/// maps to the same canonical name throughout one solution.
+fn normalize_term(t: &Term, names: &mut Vec<String>) -> Term {
+    match t {
+        Term::Var(v) => {
+            let ix = match names.iter().position(|n| n == v) {
+                Some(ix) => ix,
+                None => {
+                    names.push(v.clone());
+                    names.len() - 1
+                }
+            };
+            Term::Var(canonical_var(ix))
+        }
+        Term::Struct(f, args) => Term::Struct(
+            f.clone(),
+            args.iter().map(|a| normalize_term(a, names)).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn canonical_var(ix: usize) -> String {
+    // _A.._Z then _V26, _V27, …
+    if ix < 26 {
+        format!("_{}", (b'A' + ix as u8) as char)
+    } else {
+        format!("_V{ix}")
+    }
+}
+
+/// Normalizes `_G<digits>` sequences in flat output text to a bare `_`.
+///
+/// Output is one flat stream for the whole run, so there is no sound way
+/// to segment it into write calls: a heap address printed by one `write`
+/// can be legitimately *reused* for a fresh variable after backtracking
+/// (and whether it is depends on choice-point layout, which differs
+/// across compile options). Variable identity in output is therefore not
+/// an observable — only the positions of unbound variables are. Identity
+/// *within* one solution is still compared exactly, term-level, by
+/// [`render_solution`].
+pub fn normalize_output(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'_' && bytes[i + 1..].starts_with(b"G") {
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 2 {
+                out.push('_');
+                i = j;
+                continue;
+            }
+        }
+        let ch = s[i..].chars().next().expect("in bounds");
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+/// An engine: consumes source + query, produces an [`EngineOutcome`].
+pub trait Engine: Sync {
+    /// Display name, used in divergence reports.
+    fn name(&self) -> String;
+    /// Runs the case. Never panics; errors come back as
+    /// [`EngineOutcome::Error`].
+    fn run(&self, source: &str, query: &str, enumerate_all: bool) -> EngineOutcome;
+}
+
+/// The KCM simulator, serial, with host fast paths on or off.
+pub struct KcmEngine {
+    /// `MachineConfig::fast_paths` for this instance.
+    pub fast_paths: bool,
+}
+
+fn kcm_config(fast_paths: bool) -> MachineConfig {
+    let mut config = MachineConfig {
+        fast_paths,
+        max_cycles: FUEL_BUDGET,
+        ..MachineConfig::default()
+    };
+    config.mem.fast_paths = fast_paths;
+    config
+}
+
+impl Engine for KcmEngine {
+    fn name(&self) -> String {
+        format!("kcm(fast={})", if self.fast_paths { "on" } else { "off" })
+    }
+
+    fn run(&self, source: &str, query: &str, enumerate_all: bool) -> EngineOutcome {
+        let mut kcm = Kcm::with_config(kcm_config(self.fast_paths));
+        let result = kcm
+            .consult(source)
+            .and_then(|()| kcm.run(query, enumerate_all));
+        EngineOutcome::from_result(result)
+    }
+}
+
+/// The KCM simulator behind a [`SessionPool`]: the query runs as several
+/// identical jobs fanned out across the pool's workers. The jobs must
+/// agree with each other (pool determinism) and, through the oracle, with
+/// every other engine.
+pub struct PooledKcmEngine {
+    /// Worker thread count.
+    pub workers: usize,
+}
+
+/// Identical jobs submitted per case, so a multi-worker pool genuinely
+/// runs sessions concurrently.
+const POOL_REPLICAS: usize = 3;
+
+impl Engine for PooledKcmEngine {
+    fn name(&self) -> String {
+        format!("kcm-pool(workers={})", self.workers)
+    }
+
+    fn run(&self, source: &str, query: &str, enumerate_all: bool) -> EngineOutcome {
+        let mut kcm = Kcm::with_config(kcm_config(true));
+        if let Err(e) = kcm.consult(source) {
+            return EngineOutcome::Error {
+                class: error_class(&e).to_owned(),
+            };
+        }
+        let job = if enumerate_all {
+            QueryJob::all_solutions(query)
+        } else {
+            QueryJob::first_solution(query)
+        };
+        let jobs = vec![job; POOL_REPLICAS];
+        let pool = SessionPool::new(self.workers);
+        match pool.run_queries(&kcm, &jobs) {
+            Ok(mut results) => {
+                let outcomes: Vec<EngineOutcome> = results
+                    .drain(..)
+                    .map(|r| EngineOutcome::from_result(r.outcome))
+                    .collect();
+                if outcomes.iter().any(|o| o != &outcomes[0]) {
+                    // Sessions of one pool disagreeing with each other is
+                    // its own divergence class — it can never match a
+                    // healthy engine, so the oracle flags the case.
+                    return EngineOutcome::Error {
+                        class: "pool_nondeterminism".to_owned(),
+                    };
+                }
+                outcomes.into_iter().next().expect("POOL_REPLICAS > 0")
+            }
+            Err(e) => EngineOutcome::Error {
+                class: error_class(&e).to_owned(),
+            },
+        }
+    }
+}
+
+/// A software-WAM baseline engine: compile options + cost/machine model
+/// from a [`wam_baseline::BaselineModel`], with the oracle's fuel budget.
+pub struct BaselineEngine {
+    label: &'static str,
+    compile: CompileOptions,
+    config: MachineConfig,
+}
+
+impl BaselineEngine {
+    /// Wraps a baseline model under the oracle's budget.
+    pub fn from_model(label: &'static str, model: &wam_baseline::BaselineModel) -> BaselineEngine {
+        let mut config = model.machine_config();
+        config.max_cycles = FUEL_BUDGET;
+        BaselineEngine {
+            label,
+            compile: model.compile.clone(),
+            config,
+        }
+    }
+}
+
+impl Engine for BaselineEngine {
+    fn name(&self) -> String {
+        self.label.to_owned()
+    }
+
+    fn run(&self, source: &str, query: &str, enumerate_all: bool) -> EngineOutcome {
+        EngineOutcome::from_result(run_model(
+            &self.compile,
+            &self.config,
+            source,
+            query,
+            enumerate_all,
+        ))
+    }
+}
+
+/// Compiles and runs one case under explicit compile options and machine
+/// configuration ([`wam_baseline::run_baseline`] with a budget).
+fn run_model(
+    compile: &CompileOptions,
+    config: &MachineConfig,
+    source: &str,
+    query: &str,
+    enumerate_all: bool,
+) -> Result<Outcome, KcmError> {
+    let clauses = kcm_prolog::read_program(source)?;
+    let mut symbols = kcm_arch::SymbolTable::new();
+    let image = kcm_compiler::compile_program_with(&clauses, &mut symbols, compile)?;
+    let goal = kcm_prolog::read_term(query)?;
+    let (qimage, vars) = kcm_compiler::compile_query(&image, &goal, &mut symbols)?;
+    let mut machine = Machine::new(qimage, symbols, config.clone());
+    Ok(machine.run_query(&vars, enumerate_all)?)
+}
+
+/// The full engine roster: KCM fast-paths on and off, pooled KCM with 1
+/// and N workers, the generic standard WAM, the Quintus-class software
+/// WAM and the PLM byte-code machine.
+pub fn standard_engines() -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(KcmEngine { fast_paths: true }),
+        Box::new(KcmEngine { fast_paths: false }),
+        Box::new(PooledKcmEngine { workers: 1 }),
+        Box::new(PooledKcmEngine { workers: 4 }),
+        Box::new(BaselineEngine::from_model(
+            "wam-baseline",
+            &wam_baseline::BaselineModel::standard_wam("wam-baseline", 100.0),
+        )),
+        Box::new(BaselineEngine::from_model("swam", &swam::model())),
+        Box::new(BaselineEngine::from_model("plm", &plm::model())),
+    ]
+}
+
+/// One engine's report inside a divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Engine display name.
+    pub engine: String,
+    /// What it computed.
+    pub outcome: EngineOutcome,
+}
+
+/// A confirmed cross-engine disagreement on one case.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Program source.
+    pub source: String,
+    /// Query text.
+    pub query: String,
+    /// Whether the case enumerated all solutions.
+    pub enumerate: bool,
+    /// Every engine's outcome, reference first.
+    pub reports: Vec<EngineReport>,
+}
+
+impl Divergence {
+    /// The engines that disagree with the reference (first) engine.
+    pub fn disagreeing(&self) -> Vec<&EngineReport> {
+        let reference = &self.reports[0].outcome;
+        self.reports
+            .iter()
+            .skip(1)
+            .filter(|r| &r.outcome != reference)
+            .collect()
+    }
+
+    /// A human-readable report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("=== cross-engine divergence ===\n");
+        s.push_str("--- program ---\n");
+        s.push_str(&self.source);
+        s.push_str(&format!("--- query ---\n?- {}.\n", self.query));
+        s.push_str("--- engines ---\n");
+        for r in &self.reports {
+            match &r.outcome {
+                EngineOutcome::Answers {
+                    solutions,
+                    output,
+                    inferences,
+                } => {
+                    s.push_str(&format!(
+                        "{:24} {} solutions, {} inferences",
+                        r.engine,
+                        solutions.len(),
+                        inferences
+                    ));
+                    if !output.is_empty() {
+                        s.push_str(&format!(", output {output:?}"));
+                    }
+                    s.push('\n');
+                    for sol in solutions {
+                        s.push_str(&format!("{:24}   {}\n", "", sol));
+                    }
+                }
+                EngineOutcome::Error { class } => {
+                    s.push_str(&format!("{:24} error: {class}\n", r.engine));
+                }
+            }
+        }
+        s
+    }
+}
+
+/// The oracle's verdict on one case.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// All engines agreed.
+    Agree,
+    /// The case was not comparable (some engine ran out of fuel).
+    Skip(&'static str),
+    /// Engines disagreed.
+    Diverge(Box<Divergence>),
+}
+
+/// Runs one case through every engine and compares the outcomes. The
+/// first engine is the reference.
+pub fn compare(
+    engines: &[Box<dyn Engine>],
+    source: &str,
+    query: &str,
+    enumerate_all: bool,
+) -> Verdict {
+    let reports: Vec<EngineReport> = engines
+        .iter()
+        .map(|e| EngineReport {
+            engine: e.name(),
+            outcome: e.run(source, query, enumerate_all),
+        })
+        .collect();
+    if reports.iter().any(|r| r.outcome.is_fuel()) {
+        return Verdict::Skip("fuel");
+    }
+    let reference = &reports[0].outcome;
+    if reports.iter().all(|r| &r.outcome == reference) {
+        Verdict::Agree
+    } else {
+        Verdict::Diverge(Box::new(Divergence {
+            source: source.to_owned(),
+            query: query.to_owned(),
+            enumerate: enumerate_all,
+            reports,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_on_a_simple_program() {
+        let engines = standard_engines();
+        let v = compare(&engines, "p(1). p(2). p(3).", "p(X)", true);
+        assert!(matches!(v, Verdict::Agree), "{v:?}");
+    }
+
+    #[test]
+    fn error_classes_compare_equal_across_arith_modes() {
+        // Division by zero must be the same class through the native ALU
+        // (KCM) and the escape evaluator (baselines).
+        let engines = standard_engines();
+        let v = compare(&engines, "d(X) :- X is 1 // 0.", "d(X)", true);
+        assert!(matches!(v, Verdict::Agree), "{v:?}");
+    }
+
+    #[test]
+    fn unbound_solutions_normalize_across_heap_layouts() {
+        // The answer contains unbound variables; raw rendering would show
+        // engine-specific heap addresses.
+        let engines = standard_engines();
+        let v = compare(&engines, "p(f(X, Y, X)).", "p(Z)", true);
+        assert!(matches!(v, Verdict::Agree), "{v:?}");
+    }
+
+    #[test]
+    fn normalize_output_erases_variable_identity() {
+        // Heap addresses can be reused across backtracking, so identity in
+        // the flat output stream is not comparable — every machine
+        // variable collapses to `_`.
+        assert_eq!(normalize_output("_G123 _G456 _G123"), "_ _ _");
+        assert_eq!(normalize_output("x_Gy"), "x_Gy");
+        assert_eq!(normalize_output(""), "");
+    }
+
+    #[test]
+    fn render_solution_normalizes_shared_vars() {
+        let sol = vec![
+            ("X".to_owned(), Term::Var("_G77".to_owned())),
+            (
+                "Y".to_owned(),
+                Term::Struct("f".to_owned(), vec![Term::Var("_G77".to_owned())]),
+            ),
+        ];
+        assert_eq!(render_solution(&sol), "X=_A,Y=f(_A)");
+    }
+
+    #[test]
+    fn a_wrong_engine_is_flagged() {
+        struct Stub;
+        impl Engine for Stub {
+            fn name(&self) -> String {
+                "stub".to_owned()
+            }
+            fn run(&self, _: &str, _: &str, _: bool) -> EngineOutcome {
+                EngineOutcome::Answers {
+                    solutions: vec!["X=999".to_owned()],
+                    output: String::new(),
+                    inferences: 1,
+                }
+            }
+        }
+        let engines: Vec<Box<dyn Engine>> =
+            vec![Box::new(KcmEngine { fast_paths: true }), Box::new(Stub)];
+        let v = compare(&engines, "p(1).", "p(X)", true);
+        match v {
+            Verdict::Diverge(d) => {
+                assert_eq!(d.disagreeing().len(), 1);
+                assert_eq!(d.disagreeing()[0].engine, "stub");
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+}

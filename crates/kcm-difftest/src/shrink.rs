@@ -1,0 +1,347 @@
+//! Greedy counterexample shrinking.
+//!
+//! On a divergence the fuzzer hands the structured program to
+//! [`shrink`], which repeatedly tries grammar-preserving reductions —
+//! delete a clause, delete a body or query goal, simplify a term — and
+//! keeps any candidate on which the engines *still* disagree. The result
+//! is a minimal reproducing program ready to paste into the regression
+//! corpus.
+
+use crate::gen::{GExpr, GGoal, GProgram, GTerm};
+use crate::oracle::{compare, Engine, Verdict};
+
+/// Upper bound on oracle invocations during one shrink, so shrinking a
+/// pathological case stays bounded.
+pub const MAX_SHRINK_CHECKS: usize = 4000;
+
+/// Statistics from one shrink run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShrinkStats {
+    /// Candidate programs tried.
+    pub attempts: usize,
+    /// Candidates that kept the divergence (i.e. accepted steps).
+    pub accepted: usize,
+}
+
+/// Shrinks `program` while `engines` still diverge on it. Returns the
+/// smallest diverging program found and the shrink statistics.
+///
+/// The caller must pass a program the engines actually diverge on;
+/// otherwise the input comes back unchanged.
+pub fn shrink(
+    engines: &[Box<dyn Engine>],
+    program: &GProgram,
+    enumerate_all: bool,
+) -> (GProgram, ShrinkStats) {
+    let mut stats = ShrinkStats::default();
+    let mut current = program.clone();
+    let diverges = |p: &GProgram, stats: &mut ShrinkStats| -> bool {
+        if stats.attempts >= MAX_SHRINK_CHECKS {
+            return false;
+        }
+        stats.attempts += 1;
+        matches!(
+            compare(engines, &p.source(), &p.query_text(), enumerate_all),
+            Verdict::Diverge(_)
+        )
+    };
+    loop {
+        let mut progressed = false;
+        for candidate in reductions(&current) {
+            if diverges(&candidate, &mut stats) {
+                current = candidate;
+                stats.accepted += 1;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed || stats.attempts >= MAX_SHRINK_CHECKS {
+            return (current, stats);
+        }
+    }
+}
+
+/// All single-step reductions of a program, most aggressive first:
+/// clause deletion, then goal deletion, then term simplification.
+fn reductions(p: &GProgram) -> Vec<GProgram> {
+    let mut out = Vec::new();
+    // Delete one clause.
+    for i in 0..p.clauses.len() {
+        let mut q = p.clone();
+        q.clauses.remove(i);
+        out.push(q);
+    }
+    // Delete one query goal (keep at least one).
+    if p.query.len() > 1 {
+        for i in 0..p.query.len() {
+            let mut q = p.clone();
+            q.query.remove(i);
+            out.push(q);
+        }
+    }
+    // Delete one body goal.
+    for (ci, c) in p.clauses.iter().enumerate() {
+        for gi in 0..c.body.len() {
+            let mut q = p.clone();
+            q.clauses[ci].body.remove(gi);
+            out.push(q);
+        }
+    }
+    // Simplify one goal structurally.
+    for (ci, c) in p.clauses.iter().enumerate() {
+        for (gi, g) in c.body.iter().enumerate() {
+            for g2 in goal_reductions(g) {
+                let mut q = p.clone();
+                q.clauses[ci].body[gi] = g2;
+                out.push(q);
+            }
+        }
+    }
+    for (gi, g) in p.query.iter().enumerate() {
+        for g2 in goal_reductions(g) {
+            let mut q = p.clone();
+            q.query[gi] = g2;
+            out.push(q);
+        }
+    }
+    // Simplify one term in a head, a goal argument or the query.
+    for (ci, c) in p.clauses.iter().enumerate() {
+        for (ai, a) in c.args.iter().enumerate() {
+            for t in term_reductions(a) {
+                let mut q = p.clone();
+                q.clauses[ci].args[ai] = t;
+                out.push(q);
+            }
+        }
+        for (gi, g) in c.body.iter().enumerate() {
+            for g2 in goal_term_reductions(g) {
+                let mut q = p.clone();
+                q.clauses[ci].body[gi] = g2;
+                out.push(q);
+            }
+        }
+    }
+    for (gi, g) in p.query.iter().enumerate() {
+        for g2 in goal_term_reductions(g) {
+            let mut q = p.clone();
+            q.query[gi] = g2;
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// Structural goal reductions: unwrap negation/disjunction/if-then-else.
+fn goal_reductions(g: &GGoal) -> Vec<GGoal> {
+    match g {
+        GGoal::Not(p, args) => vec![GGoal::Call(*p, args.clone())],
+        GGoal::Or(a, b) => vec![a.as_ref().clone(), b.as_ref().clone()],
+        GGoal::IfTE(c, t, e) => vec![a_conj(c, t), e.as_ref().clone(), c.as_ref().clone()],
+        _ => Vec::new(),
+    }
+}
+
+/// `(C, T)` can't be expressed as one goal in the grammar; approximate
+/// the then-branch reduction with each part separately.
+fn a_conj(c: &GGoal, _t: &GGoal) -> GGoal {
+    c.clone()
+}
+
+/// Goals with every term-position reduction applied one at a time.
+fn goal_term_reductions(g: &GGoal) -> Vec<GGoal> {
+    let mut out = Vec::new();
+    match g {
+        GGoal::Call(p, args) | GGoal::Not(p, args) => {
+            let not = matches!(g, GGoal::Not(..));
+            for (i, a) in args.iter().enumerate() {
+                for t in term_reductions(a) {
+                    let mut args2 = args.clone();
+                    args2[i] = t;
+                    out.push(if not {
+                        GGoal::Not(*p, args2)
+                    } else {
+                        GGoal::Call(*p, args2)
+                    });
+                }
+            }
+        }
+        GGoal::Unify(a, b) => {
+            for t in term_reductions(a) {
+                out.push(GGoal::Unify(t, b.clone()));
+            }
+            for t in term_reductions(b) {
+                out.push(GGoal::Unify(a.clone(), t));
+            }
+        }
+        GGoal::Is(v, e) => {
+            for e2 in expr_reductions(e) {
+                out.push(GGoal::Is(*v, e2));
+            }
+        }
+        GGoal::Cmp(op, a, b) => {
+            for e2 in expr_reductions(a) {
+                out.push(GGoal::Cmp(*op, e2, b.clone()));
+            }
+            for e2 in expr_reductions(b) {
+                out.push(GGoal::Cmp(*op, a.clone(), e2));
+            }
+        }
+        GGoal::Write(t) => {
+            for t2 in term_reductions(t) {
+                out.push(GGoal::Write(t2));
+            }
+        }
+        GGoal::Cut | GGoal::Or(..) | GGoal::IfTE(..) => {}
+    }
+    out
+}
+
+/// Single-step term simplifications, in decreasing aggressiveness.
+fn term_reductions(t: &GTerm) -> Vec<GTerm> {
+    let mut out = Vec::new();
+    match t {
+        GTerm::Var(_) | GTerm::Nil => {}
+        GTerm::Atom(a) => {
+            if *a != 0 {
+                out.push(GTerm::Atom(0));
+            }
+        }
+        GTerm::Int(n) => {
+            if *n != 0 {
+                out.push(GTerm::Int(0));
+            }
+            if n.unsigned_abs() > 1 {
+                out.push(GTerm::Int(1));
+            }
+        }
+        GTerm::Cons(h, tail) => {
+            // Drop the head, keep the tail (shorter list); or collapse
+            // entirely; then descend.
+            out.push(tail.as_ref().clone());
+            out.push(GTerm::Nil);
+            for h2 in term_reductions(h) {
+                out.push(GTerm::Cons(Box::new(h2), tail.clone()));
+            }
+            for t2 in term_reductions(tail) {
+                out.push(GTerm::Cons(h.clone(), Box::new(t2)));
+            }
+        }
+        GTerm::Struct(f, args) => {
+            out.push(GTerm::Atom(0));
+            for a in args {
+                out.push(a.clone());
+            }
+            for (i, a) in args.iter().enumerate() {
+                for a2 in term_reductions(a) {
+                    let mut args2 = args.clone();
+                    args2[i] = a2;
+                    out.push(GTerm::Struct(*f, args2));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Single-step expression simplifications.
+fn expr_reductions(e: &GExpr) -> Vec<GExpr> {
+    let mut out = Vec::new();
+    match e {
+        GExpr::Var(_) => out.push(GExpr::Int(0)),
+        GExpr::Int(n) => {
+            if *n != 0 {
+                out.push(GExpr::Int(0));
+            }
+            if n.unsigned_abs() > 1 {
+                out.push(GExpr::Int(1));
+            }
+        }
+        GExpr::Bin(op, a, b) => {
+            out.push(a.as_ref().clone());
+            out.push(b.as_ref().clone());
+            for a2 in expr_reductions(a) {
+                out.push(GExpr::Bin(*op, Box::new(a2), b.clone()));
+            }
+            for b2 in expr_reductions(b) {
+                out.push(GExpr::Bin(*op, a.clone(), Box::new(b2)));
+            }
+        }
+    }
+    out
+}
+
+/// Renders a shrunken counterexample as a ready-to-paste corpus entry.
+pub fn corpus_entry(program: &GProgram, seed: u64, enumerate: bool) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "    // Shrunken fuzzer counterexample (seed {seed:#x}).\n"
+    ));
+    s.push_str("    CorpusCase {\n");
+    s.push_str(&format!("        name: \"seed_{seed:x}\",\n"));
+    s.push_str("        source: \"\\\n");
+    for c in &program.clauses {
+        s.push_str(&format!("            {c}\\n\\\n"));
+    }
+    s.push_str("        \",\n");
+    s.push_str(&format!("        query: \"{}\",\n", program.query_text()));
+    s.push_str(&format!("        enumerate: {enumerate},\n"));
+    s.push_str("    },\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GClause;
+
+    fn two_fact_program() -> GProgram {
+        GProgram {
+            clauses: vec![
+                GClause {
+                    pred: 0,
+                    args: vec![GTerm::Int(1)],
+                    body: Vec::new(),
+                },
+                GClause {
+                    pred: 0,
+                    args: vec![GTerm::Int(2)],
+                    body: Vec::new(),
+                },
+                GClause {
+                    pred: 1,
+                    args: vec![GTerm::Var(0)],
+                    body: vec![GGoal::Call(0, vec![GTerm::Var(0)])],
+                },
+            ],
+            query: vec![GGoal::Call(1, vec![GTerm::Var(0)])],
+        }
+    }
+
+    #[test]
+    fn reductions_cover_clause_and_goal_deletion() {
+        let p = two_fact_program();
+        let rs = reductions(&p);
+        // Three clause deletions at minimum, plus goal/term steps.
+        assert!(rs.len() >= 4, "{}", rs.len());
+        assert!(rs.iter().any(|r| r.clauses.len() == 2));
+    }
+
+    #[test]
+    fn term_reductions_shrink_lists_and_ints() {
+        let t = GTerm::list(vec![GTerm::Int(5), GTerm::Int(7)]);
+        let rs = term_reductions(&t);
+        assert!(rs.contains(&GTerm::Nil));
+        let t2 = GTerm::Int(-48);
+        assert!(term_reductions(&t2).contains(&GTerm::Int(0)));
+        assert!(term_reductions(&t2).contains(&GTerm::Int(1)));
+    }
+
+    #[test]
+    fn corpus_entry_renders_source_and_seed() {
+        let p = two_fact_program();
+        let s = corpus_entry(&p, 0xbeef, true);
+        assert!(s.contains("seed_beef"));
+        assert!(s.contains("p0(1)."));
+        assert!(s.contains("enumerate: true"));
+    }
+}

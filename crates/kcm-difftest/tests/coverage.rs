@@ -1,0 +1,117 @@
+//! Coverage audit (ISSUE satellite): the regression corpus plus the
+//! benchmark suite must exercise every instruction class of the
+//! execution profile, so a generator or suite regression that stops
+//! emitting a whole class of code is caught here rather than silently
+//! shrinking what the fuzzer tests.
+//!
+//! The Prolog compiler never emits the `Mem` class (native
+//! `load`/`store`), so one small hand-written kasm program supplies it —
+//! the same §3.1.2 address modes the machine tests use.
+
+use kcm_cpu::{InstrClass, Machine, MachineConfig, Profile};
+use kcm_difftest::corpus::CORPUS;
+use kcm_suite::programs::suite;
+use kcm_suite::runner::{run_kcm, Variant};
+
+/// Runs one corpus case on a plain default-configuration KCM and returns
+/// its profile; error-class cases (zero divisor, instantiation, …) retire
+/// instructions before faulting, but the profile is only reported on
+/// clean outcomes, so those contribute nothing here.
+fn corpus_profile(source: &str, query: &str, enumerate: bool) -> Option<Profile> {
+    let mut kcm = kcm_system::Kcm::new();
+    kcm.consult(source).ok()?;
+    let outcome = kcm.run(query, enumerate).ok()?;
+    Some(outcome.profile)
+}
+
+/// A native program storing three tagged integers with post-increment
+/// addressing and reading them back — the only source of `Mem`-class
+/// retirements, since compiled Prolog goes through the WAM instructions.
+fn native_mem_profile() -> Profile {
+    let src = "
+        main:
+            load_const r1, ptr(global, 64)
+            load_const r2, 7
+            store r2, r1, r1, 1, post
+            load_const r2, 14
+            store r2, r1, r1, 1, post
+            load_const r2, 21
+            store r2, r1, r1, 1, post
+            load_const r1, ptr(global, 64)
+            load  r3, r1, r4, 1, post
+            load  r5, r4, r4, 1, post
+            load  r6, r4, r4, 1, post
+            alu add r3, r3, r5
+            alu add r3, r3, r6
+            put_value r3, r0
+            escape write
+            halt true
+    ";
+    let mut symbols = kcm_arch::SymbolTable::new();
+    let items = kcm_compiler::parse_kasm(src, &mut symbols).expect("kasm parses");
+    let image = kcm_compiler::Linker::link_items(&items, &mut symbols).expect("links");
+    let entry = image.entry("main", 0).expect("entry");
+    let mut m = Machine::new(image, symbols, MachineConfig::default());
+    let outcome = m.run(entry).expect("native program runs");
+    assert_eq!(outcome.output, "42", "native program self-check");
+    outcome.profile
+}
+
+#[test]
+fn corpus_and_suite_cover_every_instruction_class() {
+    let mut profiles = Vec::new();
+
+    for case in CORPUS {
+        if let Some(p) = corpus_profile(case.source, case.query, case.enumerate) {
+            profiles.push(p);
+        }
+    }
+    assert!(
+        profiles.len() >= CORPUS.len() / 2,
+        "most corpus cases should produce a clean profile ({} of {})",
+        profiles.len(),
+        CORPUS.len()
+    );
+
+    let config = MachineConfig::default();
+    for program in suite() {
+        let m = run_kcm(&program, Variant::Timed, &config)
+            .unwrap_or_else(|e| panic!("suite program {} failed: {e}", program.name));
+        profiles.push(m.outcome.profile);
+    }
+
+    profiles.push(native_mem_profile());
+
+    let merged = Profile::merged(&profiles);
+    let missing: Vec<&str> = InstrClass::ALL
+        .iter()
+        .filter(|c| merged.class(**c).retired == 0)
+        .map(|c| c.name())
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "instruction classes never retired by corpus + suite + native program: {missing:?}"
+    );
+}
+
+#[test]
+fn corpus_alone_covers_every_prolog_reachable_class() {
+    // Tighter check on the corpus itself: everything except `Mem` (which
+    // compiled Prolog cannot reach) must be exercised by corpus cases
+    // alone, so the fuzzer's regression set keeps touching the whole ISA
+    // even if the benchmark suite changes.
+    let profiles: Vec<Profile> = CORPUS
+        .iter()
+        .filter_map(|c| corpus_profile(c.source, c.query, c.enumerate))
+        .collect();
+    let merged = Profile::merged(&profiles);
+    let missing: Vec<&str> = InstrClass::ALL
+        .iter()
+        .filter(|c| **c != InstrClass::Mem && merged.class(**c).retired == 0)
+        .map(|c| c.name())
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "instruction classes never retired by the corpus: {missing:?}"
+    );
+}

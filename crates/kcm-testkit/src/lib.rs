@@ -98,6 +98,37 @@ impl TestRng {
         let len = self.usize_in(min, max);
         (0..len).map(|_| *self.choose(charset)).collect()
     }
+
+    /// An index drawn with the given relative weights: `pick_weighted(&[1,
+    /// 3])` returns 1 three times as often as 0. The weights must not all
+    /// be zero.
+    pub fn pick_weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        debug_assert!(total > 0, "pick_weighted with all-zero weights");
+        let mut v = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            if v < w {
+                return i;
+            }
+            v -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// An independent generator derived from this one's stream. Forking
+    /// lets a grammar give each sub-production its own stream so inserting
+    /// a draw in one production does not perturb the others.
+    pub fn fork(&mut self) -> TestRng {
+        TestRng::new(self.next_u64())
+    }
 }
 
 /// Expands an ASCII range specification into a charset, e.g.
@@ -119,10 +150,17 @@ pub fn cases(n: usize, body: impl Fn(&mut TestRng)) {
 
 const KCM_BASE_SEED: u64 = 0x6B63_6D30; // "kcm0"
 
+/// The seed [`cases_seeded`] uses for case number `case` under `base`.
+/// Exposed so external drivers (e.g. the difftest fuzzer) can print and
+/// replay individual cases with the same scheme.
+pub fn case_seed(base: u64, case: u64) -> u64 {
+    base ^ case.wrapping_mul(GOLDEN)
+}
+
 /// Like [`cases`] with an explicit base seed.
 pub fn cases_seeded(base: u64, n: usize, body: impl Fn(&mut TestRng)) {
     for case in 0..n as u64 {
-        let seed = base ^ case.wrapping_mul(GOLDEN);
+        let seed = case_seed(base, case);
         let mut rng = TestRng::new(seed);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
         if let Err(payload) = outcome {
@@ -169,6 +207,38 @@ mod tests {
             let u = rng.index(3);
             assert!(u < 3);
         }
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut rng = TestRng::new(9);
+        let mut hits = [0u64; 3];
+        for _ in 0..3000 {
+            hits[rng.pick_weighted(&[1, 0, 9])] += 1;
+        }
+        assert_eq!(hits[1], 0);
+        assert!(hits[2] > hits[0] * 4, "{hits:?}");
+        assert!(hits[0] > 0, "{hits:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = TestRng::new(3);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "20 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut a = TestRng::new(5);
+        let mut fork = a.fork();
+        let tail: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let forked: Vec<u64> = (0..4).map(|_| fork.next_u64()).collect();
+        assert_ne!(tail, forked);
     }
 
     #[test]
