@@ -16,9 +16,9 @@ use bench::{JsonlWriter, Record};
 use kcm_arch::CostModel;
 use kcm_compiler::CompileOptions;
 use kcm_suite::programs;
-use kcm_suite::runner::{run_kcm, Variant};
+use kcm_suite::runner::{run_program, Variant};
 use kcm_suite::table::{f2, mean, ratio, Table};
-use kcm_system::MachineConfig;
+use kcm_system::{KcmEngine, MachineConfig, QueryOpts};
 use wam_baseline::BaselineModel;
 
 fn base() -> MachineConfig {
@@ -67,7 +67,12 @@ fn in_code_literals(p: &kcm_suite::BenchProgram) -> u64 {
         deferred_choice_points: true,
         static_ground_literals: false,
     };
-    wam_baseline::run_baseline(&model, p.source, p.starred_query, p.enumerate)
+    let opts = QueryOpts {
+        enumerate_all: p.enumerate,
+        ..QueryOpts::default()
+    };
+    model
+        .run(p.source, p.starred_query, &opts)
         .expect("run")
         .stats
         .cycles
@@ -92,28 +97,28 @@ fn main() {
     // fan-in keeps suite order so the table never reorders.
     let suite = programs::suite();
     let measured = bench::pool().map(&suite, |p| {
-        let full = run_kcm(p, Variant::Starred, &base())
+        let full = run_program(&KcmEngine::with_config(base()), p, Variant::Starred)
             .expect("run")
             .outcome
             .stats
             .cycles;
         let variants = [
-            run_kcm(p, Variant::Starred, &no_shallow())
+            run_program(&KcmEngine::with_config(no_shallow()), p, Variant::Starred)
                 .expect("run")
                 .outcome
                 .stats
                 .cycles,
-            run_kcm(p, Variant::Starred, &no_trail_hw())
+            run_program(&KcmEngine::with_config(no_trail_hw()), p, Variant::Starred)
                 .expect("run")
                 .outcome
                 .stats
                 .cycles,
-            run_kcm(p, Variant::Starred, &no_mwac())
+            run_program(&KcmEngine::with_config(no_mwac()), p, Variant::Starred)
                 .expect("run")
                 .outcome
                 .stats
                 .cycles,
-            run_kcm(p, Variant::Starred, &byte_coded())
+            run_program(&KcmEngine::with_config(byte_coded()), p, Variant::Starred)
                 .expect("run")
                 .outcome
                 .stats

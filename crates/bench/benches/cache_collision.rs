@@ -16,7 +16,7 @@
 use bench::{JsonlWriter, Record};
 use kcm_mem::MemConfig;
 use kcm_suite::programs;
-use kcm_suite::runner::{run_kcm, Variant};
+use kcm_suite::runner::{run_program, Variant};
 use kcm_suite::table::Table;
 use kcm_system::MachineConfig;
 
@@ -49,9 +49,24 @@ fn main() {
     let names = ["nrev1", "qs4", "palin25", "queens", "mutest"];
     let measured = bench::pool().map(&names, |name| {
         let p = programs::program(name).expect("suite program");
-        let sect = run_kcm(&p, Variant::Starred, &config(true, true)).expect("run");
-        let spread = run_kcm(&p, Variant::Starred, &config(false, true)).expect("run");
-        let aligned = run_kcm(&p, Variant::Starred, &config(false, false)).expect("run");
+        let sect = run_program(
+            &kcm_system::KcmEngine::with_config(config(true, true)),
+            &p,
+            Variant::Starred,
+        )
+        .expect("run");
+        let spread = run_program(
+            &kcm_system::KcmEngine::with_config(config(false, true)),
+            &p,
+            Variant::Starred,
+        )
+        .expect("run");
+        let aligned = run_program(
+            &kcm_system::KcmEngine::with_config(config(false, false)),
+            &p,
+            Variant::Starred,
+        )
+        .expect("run");
         (
             sect.outcome.stats.mem.dcache_hit_ratio(),
             spread.outcome.stats.mem.dcache_hit_ratio(),

@@ -5,8 +5,8 @@
 
 use bench::{JsonlWriter, Record};
 use kcm_suite::programs;
-use kcm_suite::runner::{run_kcm, Variant};
-use kcm_system::Kcm;
+use kcm_suite::runner::{run_program, Variant};
+use kcm_system::{Kcm, KcmEngine, QueryOpts};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -56,14 +56,19 @@ fn main() {
 
     let nrev1 = programs::program("nrev1").expect("nrev1");
     bench_function(&mut jsonl, "simulate_nrev1", || {
-        black_box(run_kcm(black_box(&nrev1), Variant::Starred, &Default::default()).expect("run"));
+        black_box(
+            run_program(&KcmEngine::new(), black_box(&nrev1), Variant::Starred).expect("run"),
+        );
     });
 
     bench_function(&mut jsonl, "consult_and_query", || {
         let mut kcm = Kcm::new();
         kcm.consult(black_box("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R)."))
             .expect("consult");
-        black_box(kcm.run("app([1,2,3],[4],X)", false).expect("query"));
+        black_box(
+            kcm.query("app([1,2,3],[4],X)", &QueryOpts::first())
+                .expect("query"),
+        );
     });
 
     jsonl.announce();

@@ -7,12 +7,12 @@
 use bench::{JsonlWriter, Record};
 use kcm_suite::table::Table;
 use kcm_suite::workloads;
-use kcm_system::Kcm;
+use kcm_system::{Kcm, QueryOpts};
 
 fn measure(source: &str, query: &str) -> (u64, f64, f64) {
     let mut kcm = Kcm::new();
     kcm.consult(source).expect("consult");
-    let o = kcm.run(query, false).expect("run");
+    let o = kcm.query(query, &QueryOpts::first()).expect("run");
     assert!(o.success);
     (
         o.stats.cycles,

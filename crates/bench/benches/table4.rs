@@ -11,7 +11,7 @@
 use bench::{JsonlWriter, Record};
 use kcm_suite::paper;
 use kcm_suite::table::{ratio, Table};
-use kcm_system::Kcm;
+use kcm_system::{Kcm, QueryOpts};
 
 const APP: &str = "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).";
 
@@ -26,8 +26,14 @@ fn concat_step_cycles() -> f64 {
          run(N) :- mk(N, L), app(L, [x], _).",
     )
     .expect("consult");
-    let short = kcm.run("run(8)", false).expect("short").stats;
-    let long = kcm.run("run(40)", false).expect("long").stats;
+    let short = kcm
+        .query("run(8)", &QueryOpts::first())
+        .expect("short")
+        .stats;
+    let long = kcm
+        .query("run(40)", &QueryOpts::first())
+        .expect("long")
+        .stats;
     (long.cycles - short.cycles) as f64 / 32.0
         // Subtract the marginal cost of building one input element
         // (mk/2: one `>` + one `is` + the cons cell), so only the
@@ -36,8 +42,8 @@ fn concat_step_cycles() -> f64 {
             let mut kcm2 = Kcm::new();
             kcm2.consult("mk(0, []). mk(N, [N|T]) :- N > 0, M is N - 1, mk(M, T).")
                 .expect("consult");
-            let s = kcm2.run("mk(8, _)", false).expect("short").stats;
-            let l = kcm2.run("mk(40, _)", false).expect("long").stats;
+            let s = kcm2.query("mk(8, _)", &QueryOpts::first()).expect("short").stats;
+            let l = kcm2.query("mk(40, _)", &QueryOpts::first()).expect("long").stats;
             (l.cycles - s.cycles) as f64 / 32.0
         }
 }
@@ -45,9 +51,12 @@ fn concat_step_cycles() -> f64 {
 /// Sustained nrev Klips on the 30-element list (the second Table 4 figure).
 fn nrev_klips() -> f64 {
     let p = kcm_suite::programs::program("nrev1").expect("nrev1");
-    let m =
-        kcm_suite::runner::run_kcm(&p, kcm_suite::runner::Variant::Starred, &Default::default())
-            .expect("nrev run");
+    let m = kcm_suite::runner::run_program(
+        &kcm_system::KcmEngine::new(),
+        &p,
+        kcm_suite::runner::Variant::Starred,
+    )
+    .expect("nrev run");
     m.klips()
 }
 

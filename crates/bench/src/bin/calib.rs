@@ -1,8 +1,10 @@
 use kcm_suite::{
     paper, programs,
-    runner::{run_kcm, Variant},
+    runner::{run_program, Variant},
 };
+use kcm_system::{KcmEngine, QueryOpts};
 fn main() {
+    let engine = KcmEngine::new();
     let (mut r2, mut n2) = (0.0, 0.0);
     let (mut r3, mut n3) = (0.0, 0.0);
     println!(
@@ -10,10 +12,14 @@ fn main() {
         "prog", "kcm_ms", "plm_ms", "r2", "pap", "kcm*_ms", "swam_ms", "r3", "pap"
     );
     for p in programs::suite() {
-        let k = run_kcm(&p, Variant::Timed, &Default::default()).unwrap();
-        let pl = plm::run_plm(p.source, p.query, p.enumerate).unwrap();
-        let ks = run_kcm(&p, Variant::Starred, &Default::default()).unwrap();
-        let sw = swam::run_swam(p.source, p.starred_query, p.enumerate).unwrap();
+        let opts = QueryOpts {
+            enumerate_all: p.enumerate,
+            ..QueryOpts::default()
+        };
+        let k = run_program(&engine, &p, Variant::Timed).unwrap();
+        let pl = plm::model().run(p.source, p.query, &opts).unwrap();
+        let ks = run_program(&engine, &p, Variant::Starred).unwrap();
+        let sw = swam::model().run(p.source, p.starred_query, &opts).unwrap();
         let rt2 = pl.stats.ms() / k.outcome.stats.ms();
         let rt3 = sw.stats.ms() / ks.outcome.stats.ms();
         let p2 = paper::TABLE2

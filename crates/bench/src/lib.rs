@@ -27,8 +27,8 @@ pub mod jsonl;
 pub use jsonl::{JsonlWriter, Record};
 
 use kcm_suite::programs::BenchProgram;
-use kcm_suite::runner::{run_kcm, Measurement, Variant};
-use kcm_system::{MachineConfig, SessionPool};
+use kcm_suite::runner::{run_program, Measurement, Variant};
+use kcm_system::{KcmEngine, MachineConfig, QueryOpts, SessionPool};
 
 /// All measurements needed for the time tables, for one program.
 #[derive(Debug, Clone)]
@@ -54,11 +54,17 @@ pub struct ProgramTimes {
 /// Panics if any model fails to run the program — the suite is expected
 /// to be runnable everywhere (that is the point of the comparison).
 pub fn measure_program(p: &BenchProgram) -> ProgramTimes {
-    let cfg = MachineConfig::default();
-    let kcm_timed = run_kcm(p, Variant::Timed, &cfg).expect("kcm timed run");
-    let kcm_starred = run_kcm(p, Variant::Starred, &cfg).expect("kcm starred run");
-    let plm = plm::run_plm(p.source, p.query, p.enumerate).expect("plm run");
-    let swam = swam::run_swam(p.source, p.starred_query, p.enumerate).expect("swam run");
+    let engine = KcmEngine::new();
+    let kcm_timed = run_program(&engine, p, Variant::Timed).expect("kcm timed run");
+    let kcm_starred = run_program(&engine, p, Variant::Starred).expect("kcm starred run");
+    let opts = QueryOpts {
+        enumerate_all: p.enumerate,
+        ..QueryOpts::default()
+    };
+    let plm = plm::model().run(p.source, p.query, &opts).expect("plm run");
+    let swam = swam::model()
+        .run(p.source, p.starred_query, &opts)
+        .expect("swam run");
     ProgramTimes {
         program: *p,
         kcm_timed,

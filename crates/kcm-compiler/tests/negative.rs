@@ -178,7 +178,9 @@ fn bad_arithmetic_is_a_runtime_error_not_a_compile_error() {
     compile("p(R) :- R is bar.").expect("atom RHS compiles");
     let mut kcm = kcm_system::Kcm::new();
     kcm.consult("p(R) :- R is foo(1).").unwrap();
-    let err = kcm.run("p(R)", true).unwrap_err();
+    let err = kcm
+        .query("p(R)", &kcm_system::QueryOpts::all())
+        .unwrap_err();
     assert!(
         matches!(
             &err,
@@ -201,7 +203,7 @@ fn unlinkable_calls_warn_and_fail_cleanly() {
         warnings[0].contains("missing_helper/2") && warnings[0].contains("p/0"),
         "{warnings:?}"
     );
-    let outcome = kcm.run("p", true).unwrap();
+    let outcome = kcm.query("p", &kcm_system::QueryOpts::all()).unwrap();
     assert!(!outcome.success);
     assert!(outcome.solutions.is_empty());
 }

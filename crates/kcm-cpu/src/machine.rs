@@ -56,6 +56,14 @@ pub struct MachineConfig {
     pub spread_stack_bases: bool,
     /// Cycle budget for one `run` (guards against non-termination).
     pub max_cycles: u64,
+    /// Step budget for one `run`: the maximum number of *instructions*
+    /// retired before the machine traps with
+    /// [`MachineError::BudgetExhausted`]. Unlike [`MachineConfig::max_cycles`]
+    /// this is cost-model-independent — the same program exhausts the same
+    /// step budget under every clock — which makes it the right per-request
+    /// deadline for services and differential oracles. `u64::MAX` (the
+    /// default) disables the cap.
+    pub step_budget: u64,
     /// Macrocode monitor: keep the last `trace_depth` executed
     /// instructions (0 = off). One of the paper's monitor levels — "code
     /// generation tools […] monitors (at microcode, macrocode, and Prolog
@@ -85,6 +93,7 @@ impl Default for MachineConfig {
             shallow_backtracking: true,
             spread_stack_bases: true,
             max_cycles: 20_000_000_000,
+            step_budget: u64::MAX,
             trace_depth: 0,
             profile: false,
             event_trace_depth: 0,
@@ -235,6 +244,10 @@ pub struct Outcome {
     pub profile: Profile,
     /// Host output captured from `write/1`, `nl/0`, `tab/1`.
     pub output: String,
+    /// The macrocode monitor's trace window at halt: the last
+    /// [`MachineConfig::trace_depth`] executed instructions. Empty when
+    /// tracing is off.
+    pub trace: Vec<String>,
 }
 
 /// A machine-level error (on the real machine: a trap to the monitor).
@@ -248,6 +261,14 @@ pub enum MachineError {
     Fuel {
         /// Cycles consumed when the budget ran out.
         cycles: u64,
+    },
+    /// The step budget ([`MachineConfig::step_budget`]) was exhausted: the
+    /// run was stopped by a deadline, not by a fault in the program or the
+    /// machine. Callers use this to tell a cancelled runaway query apart
+    /// from a genuine error.
+    BudgetExhausted {
+        /// Instructions retired when the budget ran out.
+        steps: u64,
     },
     /// Arithmetic on a non-number or similar type fault.
     TypeFault(String),
@@ -269,6 +290,9 @@ impl std::fmt::Display for MachineError {
             MachineError::Mem(e) => write!(f, "memory fault: {e}"),
             MachineError::BadCodeAddress(a) => write!(f, "bad code address {a}"),
             MachineError::Fuel { cycles } => write!(f, "cycle budget exhausted after {cycles}"),
+            MachineError::BudgetExhausted { steps } => {
+                write!(f, "step budget exhausted after {steps} steps")
+            }
             MachineError::TypeFault(m) => write!(f, "type fault: {m}"),
             MachineError::UnimplementedInstr(i) => {
                 write!(f, "unimplemented instruction: {i}")
@@ -539,6 +563,8 @@ impl Machine {
         self.p = entry;
         self.cp = kcm_compiler::link::HALT_STUB;
         self.budget = self.cfg.max_cycles;
+        let step_budget = self.cfg.step_budget;
+        let start_instructions = self.stats.instructions;
         let start_cycles = self.cycles;
         let mut start_stats = self.stats;
         start_stats.mem = self.mem.stats();
@@ -553,6 +579,11 @@ impl Machine {
             if self.cycles - start_cycles > self.budget {
                 return Err(MachineError::Fuel {
                     cycles: self.cycles - start_cycles,
+                });
+            }
+            if self.stats.instructions - start_instructions > step_budget {
+                return Err(MachineError::BudgetExhausted {
+                    steps: self.stats.instructions - start_instructions,
                 });
             }
         }
@@ -570,6 +601,7 @@ impl Machine {
             stats,
             profile,
             output: std::mem::take(&mut self.output),
+            trace: self.trace(),
         })
     }
 
@@ -2221,12 +2253,50 @@ mod tests {
     }
 
     #[test]
+    fn step_budget_stops_runaway_queries() {
+        let clauses = kcm_prolog::read_program("loop :- loop.\n").expect("parse");
+        let mut symbols = SymbolTable::new();
+        let image = kcm_compiler::compile_program(&clauses, &mut symbols).expect("compile");
+        let goal = kcm_prolog::read_term("loop").expect("parse");
+        let (qimage, vars) =
+            kcm_compiler::compile_query(&image, &goal, &mut symbols).expect("compile query");
+        let cfg = MachineConfig {
+            step_budget: 10_000,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(qimage, symbols, cfg);
+        match m.run_query(&vars, false) {
+            Err(MachineError::BudgetExhausted { steps }) => assert!(steps > 10_000),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_budget_does_not_trip_ordinary_runs() {
+        let clauses = kcm_prolog::read_program("p(1). p(2).\n").expect("parse");
+        let mut symbols = SymbolTable::new();
+        let image = kcm_compiler::compile_program(&clauses, &mut symbols).expect("compile");
+        let goal = kcm_prolog::read_term("p(X)").expect("parse");
+        let (qimage, vars) =
+            kcm_compiler::compile_query(&image, &goal, &mut symbols).expect("compile query");
+        let cfg = MachineConfig {
+            step_budget: 1_000_000,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(qimage, symbols, cfg);
+        let outcome = m.run_query(&vars, true).expect("run");
+        assert!(outcome.success);
+        assert_eq!(outcome.solutions.len(), 2);
+    }
+
+    #[test]
     fn outcome_and_errors_render() {
         // Display coverage for every machine error variant.
         let errors: Vec<MachineError> = vec![
             MachineError::Mem(MemFault::OutOfPhysicalMemory),
             MachineError::BadCodeAddress(CodeAddr::new(7)),
             MachineError::Fuel { cycles: 9 },
+            MachineError::BudgetExhausted { steps: 9 },
             MachineError::TypeFault("x".into()),
             MachineError::Instantiation("y".into()),
             MachineError::TermDepth,

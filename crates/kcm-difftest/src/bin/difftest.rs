@@ -110,12 +110,12 @@ fn main() {
         let done = i + 1;
         if done % 1000 == 0 || done == cases {
             println!(
-                "difftest: {done}/{cases} cases ({agreed} agreed, {skipped} fuel-skipped, {:.1?})",
+                "difftest: {done}/{cases} cases ({agreed} agreed, {skipped} budget-skipped, {:.1?})",
                 t0.elapsed()
             );
         }
     }
     println!(
-        "difftest: PASS — {cases} cases, {agreed} agreed, {skipped} fuel-skipped, base seed {base_seed:#x}"
+        "difftest: PASS — {cases} cases, {agreed} agreed, {skipped} budget-skipped, base seed {base_seed:#x}"
     );
 }

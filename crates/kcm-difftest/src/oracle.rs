@@ -3,32 +3,36 @@
 //! Every engine we own is a (compiler options, machine configuration)
 //! pair over the same abstract instruction set; divergent architectures
 //! make generated-program differential testing the highest-yield oracle
-//! (BinProlog's experience report). An engine consumes a program and a
-//! query and produces an [`EngineOutcome`]: either the full ordered
-//! solution list (with `write/1` output and the inference count) or an
-//! error *class*. The oracle runs every engine and demands exact
-//! agreement.
+//! (BinProlog's experience report). The oracle drives the engines through
+//! the workspace-wide [`Engine`] trait (`kcm_system::engine`), reduces
+//! each raw result to a normalized [`CaseOutcome`] — either the full
+//! ordered solution list (with `write/1` output and the inference count)
+//! or an error *class* — and demands exact agreement.
 //!
 //! Solution terms and output are alpha-normalized first: the machine
 //! prints unbound variables as `_G<heap address>` and heap layouts differ
 //! legitimately across compile options, so variables are renamed to
 //! `_A, _B, …` in order of first appearance before comparison.
 
-use kcm_compiler::CompileOptions;
-use kcm_cpu::{Machine, MachineConfig, Outcome};
+use kcm_cpu::MachineConfig;
 use kcm_prolog::Term;
-use kcm_system::{Kcm, KcmError, QueryJob, SessionPool};
+use kcm_system::{error_class, Kcm, KcmError, QueryJob, QueryOpts, SessionPool};
 
-/// Cycle budget applied to every engine. Generated programs terminate by
-/// construction; the budget only catches generator bugs. Because budgets
-/// bite at different wall points under different cost models, the oracle
-/// *skips* (rather than fails) any case where some engine runs out of
-/// fuel.
-pub const FUEL_BUDGET: u64 = 50_000_000;
+pub use kcm_system::{Engine, EngineOutcome, KcmEngine};
 
-/// What one engine computed for a case.
+/// Step budget applied to every engine per case. Generated programs
+/// terminate by construction; the budget only catches generator bugs.
+/// Unlike the cycle-fuel cap this oracle used before
+/// ([`kcm_cpu::MachineConfig::max_cycles`]), the step budget is
+/// cost-model-independent — every engine cuts off at the same point of
+/// the same abstract execution — but the *observable effects* of a cutoff
+/// (how much output was written first) still differ with engine timing,
+/// so the oracle *skips* budget-stopped cases instead of comparing them.
+pub const STEP_BUDGET: u64 = 2_000_000;
+
+/// What one engine computed for a case, normalized for comparison.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EngineOutcome {
+pub enum CaseOutcome {
     /// The engine ran to completion.
     Answers {
         /// Each solution rendered `Var=term,...` with variables
@@ -47,16 +51,18 @@ pub enum EngineOutcome {
     },
 }
 
-impl EngineOutcome {
-    /// Whether this outcome is a fuel exhaustion (cost-model-relative, so
-    /// the oracle skips such cases instead of comparing them).
-    pub fn is_fuel(&self) -> bool {
-        matches!(self, EngineOutcome::Error { class } if class == "fuel")
+impl CaseOutcome {
+    /// Whether this outcome is a step-budget cutoff (a scheduling event,
+    /// not a semantic one, so the oracle skips such cases instead of
+    /// comparing them).
+    pub fn is_budget(&self) -> bool {
+        matches!(self, CaseOutcome::Error { class } if class == "budget")
     }
 
-    fn from_result(result: Result<Outcome, KcmError>) -> EngineOutcome {
+    /// Normalizes a raw engine result.
+    pub fn from_result(result: Result<kcm_cpu::Outcome, KcmError>) -> CaseOutcome {
         match result {
-            Ok(outcome) => EngineOutcome::Answers {
+            Ok(outcome) => CaseOutcome::Answers {
                 solutions: outcome
                     .solutions
                     .iter()
@@ -65,31 +71,10 @@ impl EngineOutcome {
                 output: normalize_output(&outcome.output),
                 inferences: outcome.stats.inferences,
             },
-            Err(e) => EngineOutcome::Error {
+            Err(e) => CaseOutcome::Error {
                 class: error_class(&e).to_owned(),
             },
         }
-    }
-}
-
-/// The stable class name of an error — engines must agree on the class,
-/// never necessarily on the message.
-pub fn error_class(e: &KcmError) -> &'static str {
-    use kcm_cpu::MachineError as M;
-    match e {
-        KcmError::Parse(_) => "parse",
-        KcmError::Compile(_) => "compile",
-        KcmError::NoProgram => "no_program",
-        KcmError::Machine(m) => match m {
-            M::Mem(_) => "mem",
-            M::BadCodeAddress(_) => "bad_code",
-            M::Fuel { .. } => "fuel",
-            M::TypeFault(_) => "type",
-            M::UnimplementedInstr(_) => "unimplemented",
-            M::Instantiation(_) => "instantiation",
-            M::TermDepth => "term_depth",
-            M::ZeroDivisor => "zero_divisor",
-        },
     }
 }
 
@@ -168,43 +153,17 @@ pub fn normalize_output(s: &str) -> String {
     out
 }
 
-/// An engine: consumes source + query, produces an [`EngineOutcome`].
-pub trait Engine: Sync {
-    /// Display name, used in divergence reports.
-    fn name(&self) -> String;
-    /// Runs the case. Never panics; errors come back as
-    /// [`EngineOutcome::Error`].
-    fn run(&self, source: &str, query: &str, enumerate_all: bool) -> EngineOutcome;
-}
-
-/// The KCM simulator, serial, with host fast paths on or off.
-pub struct KcmEngine {
-    /// `MachineConfig::fast_paths` for this instance.
-    pub fast_paths: bool,
-}
-
-fn kcm_config(fast_paths: bool) -> MachineConfig {
+/// The KCM simulator as an oracle engine, host fast paths on or off.
+pub fn kcm_engine(fast_paths: bool) -> KcmEngine {
     let mut config = MachineConfig {
         fast_paths,
-        max_cycles: FUEL_BUDGET,
         ..MachineConfig::default()
     };
     config.mem.fast_paths = fast_paths;
-    config
-}
-
-impl Engine for KcmEngine {
-    fn name(&self) -> String {
-        format!("kcm(fast={})", if self.fast_paths { "on" } else { "off" })
-    }
-
-    fn run(&self, source: &str, query: &str, enumerate_all: bool) -> EngineOutcome {
-        let mut kcm = Kcm::with_config(kcm_config(self.fast_paths));
-        let result = kcm
-            .consult(source)
-            .and_then(|()| kcm.run(query, enumerate_all));
-        EngineOutcome::from_result(result)
-    }
+    KcmEngine::labelled(
+        format!("kcm(fast={})", if fast_paths { "on" } else { "off" }),
+        config,
+    )
 }
 
 /// The KCM simulator behind a [`SessionPool`]: the query runs as several
@@ -220,101 +179,50 @@ pub struct PooledKcmEngine {
 /// runs sessions concurrently.
 const POOL_REPLICAS: usize = 3;
 
+/// A comparable summary of one replica's raw result: the observables plus
+/// the error class, nothing cost-model-relative beyond inferences (which
+/// identical sessions must reproduce exactly).
+fn replica_fingerprint(r: &Result<kcm_cpu::Outcome, KcmError>) -> String {
+    match r {
+        Ok(o) => format!("ok:{:?}|{:?}|{}", o.solutions, o.output, o.stats.inferences),
+        Err(e) => format!("err:{}", error_class(e)),
+    }
+}
+
 impl Engine for PooledKcmEngine {
     fn name(&self) -> String {
         format!("kcm-pool(workers={})", self.workers)
     }
 
-    fn run(&self, source: &str, query: &str, enumerate_all: bool) -> EngineOutcome {
-        let mut kcm = Kcm::with_config(kcm_config(true));
+    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome {
+        let name = self.name();
+        let mut kcm = Kcm::with_config(kcm_engine(true).config().clone());
         if let Err(e) = kcm.consult(source) {
-            return EngineOutcome::Error {
-                class: error_class(&e).to_owned(),
-            };
+            return EngineOutcome::new(name, Err(e));
         }
-        let job = if enumerate_all {
-            QueryJob::all_solutions(query)
-        } else {
-            QueryJob::first_solution(query)
-        };
-        let jobs = vec![job; POOL_REPLICAS];
+        let jobs = vec![QueryJob::with_opts(query, opts.clone()); POOL_REPLICAS];
         let pool = SessionPool::new(self.workers);
         match pool.run_queries(&kcm, &jobs) {
-            Ok(mut results) => {
-                let outcomes: Vec<EngineOutcome> = results
-                    .drain(..)
-                    .map(|r| EngineOutcome::from_result(r.outcome))
+            Ok(results) => {
+                let prints: Vec<String> = results
+                    .iter()
+                    .map(|r| replica_fingerprint(&r.outcome))
                     .collect();
-                if outcomes.iter().any(|o| o != &outcomes[0]) {
+                if prints.iter().any(|p| p != &prints[0]) {
                     // Sessions of one pool disagreeing with each other is
-                    // its own divergence class — it can never match a
-                    // healthy engine, so the oracle flags the case.
-                    return EngineOutcome::Error {
-                        class: "pool_nondeterminism".to_owned(),
-                    };
+                    // its own failure class — it can never match a healthy
+                    // engine, so the oracle flags the case.
+                    return EngineOutcome::new(
+                        name,
+                        Err(KcmError::Harness("pool replicas disagreed".to_owned())),
+                    );
                 }
-                outcomes.into_iter().next().expect("POOL_REPLICAS > 0")
+                let first = results.into_iter().next().expect("POOL_REPLICAS > 0");
+                EngineOutcome::new(name, first.outcome)
             }
-            Err(e) => EngineOutcome::Error {
-                class: error_class(&e).to_owned(),
-            },
+            Err(e) => EngineOutcome::new(name, Err(e)),
         }
     }
-}
-
-/// A software-WAM baseline engine: compile options + cost/machine model
-/// from a [`wam_baseline::BaselineModel`], with the oracle's fuel budget.
-pub struct BaselineEngine {
-    label: &'static str,
-    compile: CompileOptions,
-    config: MachineConfig,
-}
-
-impl BaselineEngine {
-    /// Wraps a baseline model under the oracle's budget.
-    pub fn from_model(label: &'static str, model: &wam_baseline::BaselineModel) -> BaselineEngine {
-        let mut config = model.machine_config();
-        config.max_cycles = FUEL_BUDGET;
-        BaselineEngine {
-            label,
-            compile: model.compile.clone(),
-            config,
-        }
-    }
-}
-
-impl Engine for BaselineEngine {
-    fn name(&self) -> String {
-        self.label.to_owned()
-    }
-
-    fn run(&self, source: &str, query: &str, enumerate_all: bool) -> EngineOutcome {
-        EngineOutcome::from_result(run_model(
-            &self.compile,
-            &self.config,
-            source,
-            query,
-            enumerate_all,
-        ))
-    }
-}
-
-/// Compiles and runs one case under explicit compile options and machine
-/// configuration ([`wam_baseline::run_baseline`] with a budget).
-fn run_model(
-    compile: &CompileOptions,
-    config: &MachineConfig,
-    source: &str,
-    query: &str,
-    enumerate_all: bool,
-) -> Result<Outcome, KcmError> {
-    let clauses = kcm_prolog::read_program(source)?;
-    let mut symbols = kcm_arch::SymbolTable::new();
-    let image = kcm_compiler::compile_program_with(&clauses, &mut symbols, compile)?;
-    let goal = kcm_prolog::read_term(query)?;
-    let (qimage, vars) = kcm_compiler::compile_query(&image, &goal, &mut symbols)?;
-    let mut machine = Machine::new(qimage, symbols, config.clone());
-    Ok(machine.run_query(&vars, enumerate_all)?)
 }
 
 /// The full engine roster: KCM fast-paths on and off, pooled KCM with 1
@@ -322,16 +230,16 @@ fn run_model(
 /// WAM and the PLM byte-code machine.
 pub fn standard_engines() -> Vec<Box<dyn Engine>> {
     vec![
-        Box::new(KcmEngine { fast_paths: true }),
-        Box::new(KcmEngine { fast_paths: false }),
+        Box::new(kcm_engine(true)),
+        Box::new(kcm_engine(false)),
         Box::new(PooledKcmEngine { workers: 1 }),
         Box::new(PooledKcmEngine { workers: 4 }),
-        Box::new(BaselineEngine::from_model(
+        Box::new(wam_baseline::BaselineModel::standard_wam(
             "wam-baseline",
-            &wam_baseline::BaselineModel::standard_wam("wam-baseline", 100.0),
+            100.0,
         )),
-        Box::new(BaselineEngine::from_model("swam", &swam::model())),
-        Box::new(BaselineEngine::from_model("plm", &plm::model())),
+        Box::new(swam::model()),
+        Box::new(plm::model()),
     ]
 }
 
@@ -340,8 +248,8 @@ pub fn standard_engines() -> Vec<Box<dyn Engine>> {
 pub struct EngineReport {
     /// Engine display name.
     pub engine: String,
-    /// What it computed.
-    pub outcome: EngineOutcome,
+    /// What it computed, normalized.
+    pub outcome: CaseOutcome,
 }
 
 /// A confirmed cross-engine disagreement on one case.
@@ -378,7 +286,7 @@ impl Divergence {
         s.push_str("--- engines ---\n");
         for r in &self.reports {
             match &r.outcome {
-                EngineOutcome::Answers {
+                CaseOutcome::Answers {
                     solutions,
                     output,
                     inferences,
@@ -397,7 +305,7 @@ impl Divergence {
                         s.push_str(&format!("{:24}   {}\n", "", sol));
                     }
                 }
-                EngineOutcome::Error { class } => {
+                CaseOutcome::Error { class } => {
                     s.push_str(&format!("{:24} error: {class}\n", r.engine));
                 }
             }
@@ -411,29 +319,34 @@ impl Divergence {
 pub enum Verdict {
     /// All engines agreed.
     Agree,
-    /// The case was not comparable (some engine ran out of fuel).
+    /// The case was not comparable (some engine hit the step budget).
     Skip(&'static str),
     /// Engines disagreed.
     Diverge(Box<Divergence>),
 }
 
-/// Runs one case through every engine and compares the outcomes. The
-/// first engine is the reference.
+/// Runs one case through every engine under the oracle's step budget and
+/// compares the normalized outcomes. The first engine is the reference.
 pub fn compare(
     engines: &[Box<dyn Engine>],
     source: &str,
     query: &str,
     enumerate_all: bool,
 ) -> Verdict {
+    let opts = QueryOpts {
+        enumerate_all,
+        step_budget: Some(STEP_BUDGET),
+        trace: 0,
+    };
     let reports: Vec<EngineReport> = engines
         .iter()
         .map(|e| EngineReport {
             engine: e.name(),
-            outcome: e.run(source, query, enumerate_all),
+            outcome: CaseOutcome::from_result(e.run_case(source, query, &opts).into_result()),
         })
         .collect();
-    if reports.iter().any(|r| r.outcome.is_fuel()) {
-        return Verdict::Skip("fuel");
+    if reports.iter().any(|r| r.outcome.is_budget()) {
+        return Verdict::Skip("budget");
     }
     let reference = &reports[0].outcome;
     if reports.iter().all(|r| &r.outcome == reference) {
@@ -478,6 +391,16 @@ mod tests {
     }
 
     #[test]
+    fn runaway_cases_budget_skip_on_every_engine() {
+        // The step budget is cost-model-independent, so a non-terminating
+        // case skips uniformly rather than failing on whichever engine's
+        // clock runs out first.
+        let engines = standard_engines();
+        let v = compare(&engines, "loop :- loop.", "loop", false);
+        assert!(matches!(v, Verdict::Skip("budget")), "{v:?}");
+    }
+
+    #[test]
     fn normalize_output_erases_variable_identity() {
         // Heap addresses can be reused across backtracking, so identity in
         // the flat output stream is not comparable — every machine
@@ -506,16 +429,14 @@ mod tests {
             fn name(&self) -> String {
                 "stub".to_owned()
             }
-            fn run(&self, _: &str, _: &str, _: bool) -> EngineOutcome {
-                EngineOutcome::Answers {
-                    solutions: vec!["X=999".to_owned()],
-                    output: String::new(),
-                    inferences: 1,
-                }
+            fn run_case(&self, _: &str, _: &str, _: &QueryOpts) -> EngineOutcome {
+                // A fabricated single wrong answer.
+                let mut kcm = Kcm::new();
+                kcm.consult("p(999).").expect("consult");
+                EngineOutcome::new("stub", kcm.query("p(X)", &QueryOpts::all()))
             }
         }
-        let engines: Vec<Box<dyn Engine>> =
-            vec![Box::new(KcmEngine { fast_paths: true }), Box::new(Stub)];
+        let engines: Vec<Box<dyn Engine>> = vec![Box::new(kcm_engine(true)), Box::new(Stub)];
         let v = compare(&engines, "p(1).", "p(X)", true);
         match v {
             Verdict::Diverge(d) => {

@@ -11,7 +11,8 @@
 use kcm_cpu::{InstrClass, Machine, MachineConfig, Profile};
 use kcm_difftest::corpus::CORPUS;
 use kcm_suite::programs::suite;
-use kcm_suite::runner::{run_kcm, Variant};
+use kcm_suite::runner::{run_program, Variant};
+use kcm_system::{KcmEngine, QueryOpts};
 
 /// Runs one corpus case on a plain default-configuration KCM and returns
 /// its profile; error-class cases (zero divisor, instantiation, …) retire
@@ -20,7 +21,11 @@ use kcm_suite::runner::{run_kcm, Variant};
 fn corpus_profile(source: &str, query: &str, enumerate: bool) -> Option<Profile> {
     let mut kcm = kcm_system::Kcm::new();
     kcm.consult(source).ok()?;
-    let outcome = kcm.run(query, enumerate).ok()?;
+    let opts = QueryOpts {
+        enumerate_all: enumerate,
+        ..QueryOpts::default()
+    };
+    let outcome = kcm.query(query, &opts).ok()?;
     Some(outcome.profile)
 }
 
@@ -73,9 +78,9 @@ fn corpus_and_suite_cover_every_instruction_class() {
         CORPUS.len()
     );
 
-    let config = MachineConfig::default();
+    let engine = KcmEngine::new();
     for program in suite() {
-        let m = run_kcm(&program, Variant::Timed, &config)
+        let m = run_program(&engine, &program, Variant::Timed)
             .unwrap_or_else(|e| panic!("suite program {} failed: {e}", program.name));
         profiles.push(m.outcome.profile);
     }

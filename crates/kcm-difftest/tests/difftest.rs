@@ -4,8 +4,11 @@
 
 use kcm_difftest::corpus;
 use kcm_difftest::gen::GProgram;
-use kcm_difftest::oracle::{compare, standard_engines, Engine, EngineOutcome, KcmEngine, Verdict};
+use kcm_difftest::oracle::{
+    compare, kcm_engine, standard_engines, Engine, EngineOutcome, KcmEngine, Verdict,
+};
 use kcm_difftest::shrink::shrink;
+use kcm_system::QueryOpts;
 use kcm_testkit::cases_seeded;
 
 #[test]
@@ -64,32 +67,22 @@ impl Engine for DropsLastSolution {
         "kcm(drops-last-solution)".to_owned()
     }
 
-    fn run(&self, source: &str, query: &str, enumerate_all: bool) -> EngineOutcome {
-        match self.0.run(source, query, enumerate_all) {
-            EngineOutcome::Answers {
-                mut solutions,
-                output,
-                inferences,
-            } => {
-                if solutions.len() >= 2 {
-                    solutions.pop();
-                }
-                EngineOutcome::Answers {
-                    solutions,
-                    output,
-                    inferences,
-                }
+    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome {
+        let mut raw = self.0.run_case(source, query, opts);
+        if let Ok(outcome) = &mut raw.result {
+            if outcome.solutions.len() >= 2 {
+                outcome.solutions.pop();
             }
-            err => err,
         }
+        EngineOutcome::new(self.name(), raw.result)
     }
 }
 
 #[test]
 fn shrinker_reduces_injected_fault_to_three_clauses_or_fewer() {
     let engines: Vec<Box<dyn Engine>> = vec![
-        Box::new(KcmEngine { fast_paths: true }),
-        Box::new(DropsLastSolution(KcmEngine { fast_paths: true })),
+        Box::new(kcm_engine(true)),
+        Box::new(DropsLastSolution(kcm_engine(true))),
     ];
     // A deliberately bloated program: only the member-shape predicate
     // matters to the fault; everything else is shrinkable padding.

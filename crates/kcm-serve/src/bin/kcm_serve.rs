@@ -1,0 +1,53 @@
+//! The `kcm-serve` binary: bind, announce the address, serve until a
+//! client sends SHUTDOWN, then print the final metrics.
+//!
+//! ```text
+//! kcm-serve [addr]      default 127.0.0.1:7878; use port 0 for ephemeral
+//! ```
+//!
+//! Environment:
+//!
+//! * `KCM_SERVE_WORKERS` — worker threads (default: host parallelism);
+//! * `KCM_SERVE_QUEUE` — bounded queue depth (default 64);
+//! * `KCM_SERVE_BUDGET` — default step budget per query (default
+//!   50000000; `0` disables the deadline).
+
+use kcm_serve::{ServeConfig, Server};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let mut cfg = ServeConfig {
+        queue_depth: env_usize("KCM_SERVE_QUEUE", 64),
+        ..ServeConfig::default()
+    };
+    cfg.workers = env_usize("KCM_SERVE_WORKERS", cfg.workers);
+    cfg.default_step_budget = match env_usize("KCM_SERVE_BUDGET", 50_000_000) {
+        0 => None,
+        steps => Some(steps as u64),
+    };
+    let server = Server::bind(&addr, cfg.clone())?;
+    // The exact line CI scrapes the ephemeral port from — keep it first
+    // and flushed.
+    println!("kcm-serve: listening on {}", server.local_addr()?);
+    println!(
+        "kcm-serve: {} workers, queue depth {}, step budget {}",
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.default_step_budget
+            .map_or_else(|| "off".to_owned(), |b| b.to_string())
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    let metrics = server.run()?;
+    print!("kcm-serve: drained\n{}", metrics.render());
+    Ok(())
+}

@@ -1,0 +1,199 @@
+//! `loadgen` — drive a running `kcm-serve` with the standard workload
+//! and report latency and throughput.
+//!
+//! ```text
+//! loadgen <addr> [connections] [queries-per-connection]
+//! loadgen <addr> shutdown                ask the server to drain and stop
+//! ```
+//!
+//! Defaults: 4 connections × 50 queries. Every connection walks the
+//! [`kcm_serve::workload::standard`] mix round-robin, consulting each
+//! case's program before querying it (a service sees consults *and*
+//! queries, so both are in the driven traffic; only the query is timed).
+//! `BUSY` answers are counted and retried after a short backoff — that is
+//! the protocol's contract.
+//!
+//! Output: a latency table per workload case (mean/p50/p90/p99 in µs of
+//! the query round trip), a throughput summary, and the same rows as
+//! JSONL in `target/bench-json/BENCH_serve.jsonl` (`KCM_BENCH_JSON`
+//! relocates or disables it, as for every bench driver).
+
+use bench::{JsonlWriter, Record};
+use kcm_serve::workload::{standard, ServeCase};
+use kcm_serve::{Client, Reply, Request};
+use std::time::{Duration, Instant};
+
+/// Latencies are repeated per case across connections; keep them all and
+/// read percentiles off the sorted vector.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let ix = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[ix]
+}
+
+struct ConnReport {
+    latencies_ns: Vec<(usize, u64)>, // (case index, query latency)
+    busy: u64,
+}
+
+fn drive_connection(
+    addr: &str,
+    cases: &[ServeCase],
+    first_case: usize,
+    queries: usize,
+) -> std::io::Result<ConnReport> {
+    let mut client = Client::connect(addr)?;
+    let mut report = ConnReport {
+        latencies_ns: Vec::with_capacity(queries),
+        busy: 0,
+    };
+    for i in 0..queries {
+        let case_ix = (first_case + i) % cases.len();
+        let case = &cases[case_ix];
+        let consulted = client.consult(case.source)?;
+        assert!(
+            consulted.is_ok(),
+            "{}: consult answered {consulted:?}",
+            case.name
+        );
+        let request = Request::Query {
+            query: case.query.to_owned(),
+            enumerate_all: case.enumerate_all,
+            step_budget: None,
+        };
+        loop {
+            let t = Instant::now();
+            match client.request(&request)? {
+                Reply::Ok { .. } => {
+                    report
+                        .latencies_ns
+                        .push((case_ix, t.elapsed().as_nanos() as u64));
+                    break;
+                }
+                Reply::Busy => {
+                    report.busy += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Reply::Err { class, message } => {
+                    panic!("{}: query failed ({class}): {message}", case.name)
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| {
+        eprintln!("usage: loadgen <addr> [connections] [queries-per-connection] | <addr> shutdown");
+        std::process::exit(2);
+    });
+    let mut args = args.peekable();
+    if args.peek().map(String::as_str) == Some("shutdown") {
+        let reply = Client::connect(&addr)?.shutdown()?;
+        println!("loadgen: shutdown acknowledged ({reply:?})");
+        return Ok(());
+    }
+    let connections: usize = args.and_parse(4);
+    let queries: usize = args.and_parse(50);
+
+    let cases = standard();
+    println!(
+        "loadgen: {connections} connections x {queries} queries against {addr} ({} cases round-robin)",
+        cases.len()
+    );
+    let wall = Instant::now();
+    let reports: Vec<ConnReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let addr = &addr;
+                let cases = &cases;
+                scope.spawn(move || drive_connection(addr, cases, c, queries))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread"))
+            .collect::<std::io::Result<_>>()
+    })?;
+    let wall = wall.elapsed();
+
+    let mut jsonl = JsonlWriter::for_bench("serve");
+    let busy: u64 = reports.iter().map(|r| r.busy).sum();
+    let mut all_ns: Vec<u64> = Vec::new();
+    println!(
+        "{:<10} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "case", "n", "mean_us", "p50_us", "p90_us", "p99_us"
+    );
+    for (ix, case) in cases.iter().enumerate() {
+        let mut ns: Vec<u64> = reports
+            .iter()
+            .flat_map(|r| &r.latencies_ns)
+            .filter(|(c, _)| *c == ix)
+            .map(|(_, ns)| *ns)
+            .collect();
+        ns.sort_unstable();
+        all_ns.extend(&ns);
+        if ns.is_empty() {
+            continue;
+        }
+        let mean = ns.iter().sum::<u64>() / ns.len() as u64;
+        let (p50, p90, p99) = (
+            percentile(&ns, 0.50),
+            percentile(&ns, 0.90),
+            percentile(&ns, 0.99),
+        );
+        println!(
+            "{:<10} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            case.name,
+            ns.len(),
+            mean / 1_000,
+            p50 / 1_000,
+            p90 / 1_000,
+            p99 / 1_000
+        );
+        jsonl.record(
+            &Record::row("serve", case.name)
+                .u64("requests", ns.len() as u64)
+                .u64("mean_us", mean / 1_000)
+                .u64("p50_us", p50 / 1_000)
+                .u64("p90_us", p90 / 1_000)
+                .u64("p99_us", p99 / 1_000),
+        );
+    }
+    all_ns.sort_unstable();
+    let served = all_ns.len() as u64;
+    let qps = served as f64 / wall.as_secs_f64();
+    println!(
+        "served {served} queries in {wall:?} ({qps:.0} q/s), {busy} BUSY backoffs, p50 {} us, p99 {} us",
+        percentile(&all_ns, 0.50) / 1_000,
+        percentile(&all_ns, 0.99) / 1_000
+    );
+    jsonl.record(
+        &Record::summary("serve", "all")
+            .u64("connections", connections as u64)
+            .u64("served", served)
+            .u64("busy", busy)
+            .f64("wall_ms", wall.as_secs_f64() * 1_000.0)
+            .f64("qps", qps)
+            .u64("p50_us", percentile(&all_ns, 0.50) / 1_000)
+            .u64("p90_us", percentile(&all_ns, 0.90) / 1_000)
+            .u64("p99_us", percentile(&all_ns, 0.99) / 1_000),
+    );
+    jsonl.announce();
+    Ok(())
+}
+
+/// Tiny argument helper: parse the next argument or fall back.
+trait AndParse {
+    fn and_parse(&mut self, default: usize) -> usize;
+}
+
+impl<I: Iterator<Item = String>> AndParse for I {
+    fn and_parse(&mut self, default: usize) -> usize {
+        self.next().and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}

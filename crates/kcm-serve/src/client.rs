@@ -1,0 +1,106 @@
+//! A blocking client for the serve protocol — used by `loadgen`, the
+//! loopback tests, and anything else that wants to talk to `kcm-serve`
+//! without hand-rolling frames.
+
+use crate::protocol::{read_frame, write_frame, Reply, Request};
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a `kcm-serve` server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` when the server's reply doesn't
+    /// parse.
+    pub fn request(&mut self, request: &Request) -> io::Result<Reply> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Reply::parse(&payload).map_err(|why| io::Error::new(io::ErrorKind::InvalidData, why))
+    }
+
+    /// Consults a program on this connection.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn consult(&mut self, source: &str) -> io::Result<Reply> {
+        self.request(&Request::Consult {
+            source: source.to_owned(),
+        })
+    }
+
+    /// Runs a query for its first solution.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn query(&mut self, query: &str) -> io::Result<Reply> {
+        self.request(&Request::Query {
+            query: query.to_owned(),
+            enumerate_all: false,
+            step_budget: None,
+        })
+    }
+
+    /// Runs a query for every solution.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn query_all(&mut self, query: &str) -> io::Result<Reply> {
+        self.request(&Request::Query {
+            query: query.to_owned(),
+            enumerate_all: true,
+            step_budget: None,
+        })
+    }
+
+    /// Fetches server-wide metrics (the `STATS` body).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus `InvalidData` on a non-`OK` reply.
+    pub fn stats(&mut self) -> io::Result<String> {
+        match self.request(&Request::Stats)? {
+            Reply::Ok { body } => Ok(body),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("STATS answered {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn shutdown(&mut self) -> io::Result<Reply> {
+        self.request(&Request::Shutdown)
+    }
+}

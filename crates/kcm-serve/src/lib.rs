@@ -1,0 +1,53 @@
+//! `kcm-serve` — a concurrent Prolog query service on the KCM simulator.
+//!
+//! The paper's KCM is a single back-end processor coupled to one
+//! workstation through a host interface (§1): the host ships compiled
+//! code and queries down, the KCM streams answers back. This crate is
+//! that host interface generalized to many concurrent callers: a TCP
+//! front end speaking a simple length-delimited text protocol
+//! ([`protocol`]), a bounded request queue with explicit backpressure
+//! (`BUSY` instead of unbounded queueing), per-request step deadlines
+//! (`MachineConfig::step_budget`), and a pool of isolated worker
+//! sessions doing the actual knowledge crunching.
+//!
+//! Pieces:
+//!
+//! * [`protocol`] — framing, request/reply grammar, outcome rendering;
+//! * [`server`] — the accept loop, worker pool and metrics;
+//! * [`client`] — a blocking client for the protocol;
+//! * [`workload`] — the deterministic query mix `loadgen` and the tests
+//!   drive.
+//!
+//! Binaries: `kcm-serve` (the server) and `loadgen` (a load generator
+//! that reports a latency histogram and writes `BENCH_serve.jsonl`).
+//!
+//! # Examples
+//!
+//! ```
+//! use kcm_serve::{Client, Reply, ServeConfig, Server};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default())?;
+//! let addr = server.local_addr()?;
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr)?;
+//! client.consult("p(1). p(2).")?;
+//! let reply = client.query_all("p(X)")?;
+//! assert!(matches!(&reply, Reply::Ok { body } if body.contains("solutions=2")));
+//! client.shutdown()?;
+//! handle.join().expect("server thread")?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod workload;
+
+pub use client::Client;
+pub use protocol::{render_outcome, Reply, Request};
+pub use server::{ServeConfig, ServeMetrics, Server};

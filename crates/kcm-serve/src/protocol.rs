@@ -1,0 +1,342 @@
+//! The wire protocol: length-delimited UTF-8 text frames.
+//!
+//! Both directions use the same framing:
+//!
+//! ```text
+//! frame   := length "\n" payload
+//! length  := decimal byte length of payload
+//! ```
+//!
+//! Request payloads (first word selects the command):
+//!
+//! ```text
+//! "CONSULT\n" source          consult a program for this connection
+//! "QUERY "    [opts] query    run query, first solution
+//! "QUERYALL " [opts] query    run query, every solution
+//! "STATS"                     server-wide aggregate metrics
+//! "SHUTDOWN"                  drain and stop the server
+//! opts    := "BUDGET " steps " "
+//! ```
+//!
+//! Reply payloads (first line is the status):
+//!
+//! ```text
+//! "OK\n" body                 consult: empty; query: rendered outcome;
+//!                             stats: "key=value" lines
+//! "BUSY\n"                    request queue full — retry later
+//! "ERR " class ": " message   error, classed as in kcm_system::error_class
+//! ```
+
+use kcm_system::Outcome;
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on one frame's payload; a frame this large is a protocol
+/// error, not a workload.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Writes one length-delimited frame.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    // One write for the whole frame: a separate length-line write would
+    // interact with Nagle + delayed ACK into a ~40ms stall per request.
+    let mut frame = String::with_capacity(payload.len() + 12);
+    frame.push_str(&payload.len().to_string());
+    frame.push('\n');
+    frame.push_str(payload);
+    w.write_all(frame.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF before the length line.
+///
+/// # Errors
+///
+/// Transport errors, oversized or malformed frames, and EOF mid-frame.
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = line
+        .trim()
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("bad length {line:?}")))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Consult a program (replacing this connection's program state).
+    Consult {
+        /// Prolog source text.
+        source: String,
+    },
+    /// Run a query against the connection's consulted program.
+    Query {
+        /// Query text, as accepted by `Kcm::query`.
+        query: String,
+        /// Enumerate every solution instead of stopping at the first.
+        enumerate_all: bool,
+        /// Per-request step budget overriding the server default.
+        step_budget: Option<u64>,
+    },
+    /// Fetch server-wide aggregate metrics.
+    Stats,
+    /// Drain in-flight requests and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Consult { source } => format!("CONSULT\n{source}"),
+            Request::Query {
+                query,
+                enumerate_all,
+                step_budget,
+            } => {
+                let verb = if *enumerate_all { "QUERYALL" } else { "QUERY" };
+                match step_budget {
+                    Some(steps) => format!("{verb} BUDGET {steps} {query}"),
+                    None => format!("{verb} {query}"),
+                }
+            }
+            Request::Stats => "STATS".to_owned(),
+            Request::Shutdown => "SHUTDOWN".to_owned(),
+        }
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the malformation.
+    pub fn parse(payload: &str) -> Result<Request, String> {
+        if let Some(source) = payload.strip_prefix("CONSULT\n") {
+            return Ok(Request::Consult {
+                source: source.to_owned(),
+            });
+        }
+        for (verb, enumerate_all) in [("QUERY ", false), ("QUERYALL ", true)] {
+            let Some(rest) = payload.strip_prefix(verb) else {
+                continue;
+            };
+            let (step_budget, query) = match rest.strip_prefix("BUDGET ") {
+                Some(after) => {
+                    let (steps, query) = after
+                        .split_once(' ')
+                        .ok_or_else(|| "BUDGET needs a count and a query".to_owned())?;
+                    let steps: u64 = steps
+                        .parse()
+                        .map_err(|_| format!("bad BUDGET count {steps:?}"))?;
+                    (Some(steps), query)
+                }
+                None => (None, rest),
+            };
+            if query.is_empty() {
+                return Err("empty query".to_owned());
+            }
+            return Ok(Request::Query {
+                query: query.to_owned(),
+                enumerate_all,
+                step_budget,
+            });
+        }
+        match payload {
+            "STATS" => Ok(Request::Stats),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown command {:?}",
+                other.lines().next().unwrap_or_default()
+            )),
+        }
+    }
+}
+
+/// One parsed server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// The request succeeded; `body` is command-specific.
+    Ok {
+        /// Rendered outcome, metrics lines, or empty.
+        body: String,
+    },
+    /// The request queue was full; the client should back off and retry.
+    Busy,
+    /// The request failed.
+    Err {
+        /// Stable error class (`kcm_system::error_class`, plus
+        /// `"protocol"` for malformed frames).
+        class: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// Encodes the reply as a frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Reply::Ok { body } => format!("OK\n{body}"),
+            Reply::Busy => "BUSY\n".to_owned(),
+            Reply::Err { class, message } => format!("ERR {class}: {message}\n"),
+        }
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the payload fits no reply form.
+    pub fn parse(payload: &str) -> Result<Reply, String> {
+        if let Some(body) = payload.strip_prefix("OK\n") {
+            return Ok(Reply::Ok {
+                body: body.to_owned(),
+            });
+        }
+        if payload == "BUSY\n" {
+            return Ok(Reply::Busy);
+        }
+        if let Some(rest) = payload.strip_prefix("ERR ") {
+            let (class, message) = rest
+                .split_once(": ")
+                .ok_or_else(|| "ERR reply without a class".to_owned())?;
+            return Ok(Reply::Err {
+                class: class.to_owned(),
+                message: message.trim_end_matches('\n').to_owned(),
+            });
+        }
+        Err(format!(
+            "unknown reply {:?}",
+            payload.lines().next().unwrap_or_default()
+        ))
+    }
+
+    /// Whether this is an `OK` reply.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Reply::Ok { .. })
+    }
+}
+
+/// Renders a query outcome as the `OK` reply body. The loopback tests
+/// compare this rendering of a served outcome byte-for-byte against the
+/// same rendering of a direct [`kcm_system::Kcm::query`] outcome, so
+/// everything observable goes in: success, solutions (in enumeration
+/// order), `write/1` output, and the simulation counters.
+pub fn render_outcome(o: &Outcome) -> String {
+    let mut s = format!(
+        "success={} solutions={} inferences={} cycles={}\n",
+        o.success,
+        o.solutions.len(),
+        o.stats.inferences,
+        o.stats.cycles
+    );
+    for sol in &o.solutions {
+        let line = sol
+            .iter()
+            .map(|(n, t)| format!("{n}={t}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        s.push_str(&line);
+        s.push('\n');
+    }
+    s.push_str(&format!("output={:?}\n", o.output));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "QUERY p(X)").expect("write");
+        write_frame(&mut wire, "").expect("write");
+        let mut r = BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_frame(&mut r).expect("read").as_deref(),
+            Some("QUERY p(X)")
+        );
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).expect("read"), None);
+    }
+
+    #[test]
+    fn frames_carry_newlines_in_payloads() {
+        let mut wire = Vec::new();
+        let program = "CONSULT\np(1).\np(2).\n";
+        write_frame(&mut wire, program).expect("write");
+        let mut r = BufReader::new(wire.as_slice());
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(program));
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut r = BufReader::new(b"10\nshort".as_slice());
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Consult {
+                source: "p(1).\np(2).".to_owned(),
+            },
+            Request::Query {
+                query: "p(X)".to_owned(),
+                enumerate_all: false,
+                step_budget: None,
+            },
+            Request::Query {
+                query: "serialise(\"ABA\", R)".to_owned(),
+                enumerate_all: true,
+                step_budget: Some(10_000),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert_eq!(Request::parse(&req.encode()).expect("parse"), req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in ["QUERY ", "QUERY BUDGET x p", "QUERY BUDGET 5", "NOPE", ""] {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in [
+            Reply::Ok {
+                body: "success=true solutions=1 inferences=3 cycles=40\nX=1\noutput=\"\"\n"
+                    .to_owned(),
+            },
+            Reply::Busy,
+            Reply::Err {
+                class: "budget".to_owned(),
+                message: "step budget exhausted after 10001 steps".to_owned(),
+            },
+        ] {
+            assert_eq!(Reply::parse(&reply.encode()).expect("parse"), reply);
+        }
+    }
+}

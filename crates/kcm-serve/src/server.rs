@@ -1,0 +1,390 @@
+//! The query server: a TCP accept loop feeding a bounded job queue that
+//! fans out across session-pool worker threads.
+//!
+//! Concurrency layout:
+//!
+//! * one **connection thread** per client holds the connection's program
+//!   state (its own [`Kcm`]) — CONSULT compiles there;
+//! * a fixed set of **worker threads** executes queries as isolated pool
+//!   sessions ([`kcm_system::pool::run_session`]) pulled from one bounded
+//!   queue; the compiled image travels to the worker as an `Arc`, exactly
+//!   as [`kcm_system::SessionPool`] ships it;
+//! * the queue is a `sync_channel(queue_depth)`: when it is full the
+//!   connection thread answers `BUSY` immediately instead of queueing
+//!   without bound — backpressure is explicit and visible to clients.
+//!
+//! Shutdown is graceful: SHUTDOWN stops the accept loop (a self-connect
+//! wakes it), connection threads notice within one read-timeout tick and
+//! close after finishing their in-flight request, then the queue sender
+//! is dropped so workers drain what was accepted and exit.
+
+use crate::protocol::{read_frame, render_outcome, write_frame, Reply, Request};
+use kcm_arch::SymbolTable;
+use kcm_compiler::CodeImage;
+use kcm_system::pool::run_session;
+use kcm_system::{error_class, Kcm, KcmError, MachineConfig, Outcome, QueryJob, QueryOpts};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// How long a connection read blocks before re-checking the shutdown
+/// flag; bounds how stale an idle connection can be at drain time.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded request-queue depth; a full queue answers `BUSY`.
+    pub queue_depth: usize,
+    /// Step budget applied to requests that don't carry their own
+    /// `BUDGET`; `None` leaves runaway queries to the machine's fuel cap.
+    pub default_step_budget: Option<u64>,
+    /// Machine configuration for every session.
+    pub machine: MachineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+            queue_depth: 64,
+            default_step_budget: Some(50_000_000),
+            machine: MachineConfig::default(),
+        }
+    }
+}
+
+/// Server-wide aggregate metrics, reported by `STATS` and returned by
+/// [`Server::run`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Programs consulted.
+    pub consults: u64,
+    /// Queries accepted onto the queue.
+    pub queries: u64,
+    /// Queries answered with a completed outcome.
+    pub served: u64,
+    /// Queries rejected with `BUSY` (queue full).
+    pub busy: u64,
+    /// Queries stopped by the step budget.
+    pub budget_stops: u64,
+    /// Queries failed with any other error.
+    pub errors: u64,
+    /// Solutions across served queries.
+    pub solutions: u64,
+    /// Logical inferences across served queries.
+    pub inferences: u64,
+    /// Simulated KCM cycles across served queries.
+    pub cycles: u64,
+}
+
+impl ServeMetrics {
+    /// The `STATS` reply body: one `key=value` line per counter.
+    pub fn render(&self) -> String {
+        format!(
+            "connections={}\nconsults={}\nqueries={}\nserved={}\nbusy={}\nbudget_stops={}\nerrors={}\nsolutions={}\ninferences={}\ncycles={}\n",
+            self.connections,
+            self.consults,
+            self.queries,
+            self.served,
+            self.busy,
+            self.budget_stops,
+            self.errors,
+            self.solutions,
+            self.inferences,
+            self.cycles
+        )
+    }
+}
+
+/// One queued query: everything a worker needs to run the session, plus
+/// the reply channel back to the connection thread.
+struct WorkItem {
+    image: Arc<CodeImage>,
+    symbols: SymbolTable,
+    config: MachineConfig,
+    job: QueryJob,
+    reply: mpsc::Sender<Result<Outcome, KcmError>>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    /// `Some` while accepting work; taken (dropping the sender) at drain.
+    jobs: Mutex<Option<SyncSender<WorkItem>>>,
+    metrics: Mutex<ServeMetrics>,
+    shutting_down: AtomicBool,
+}
+
+/// A bound, not-yet-running query server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` and spawns the worker threads. `addr` may name port 0
+    /// for an ephemeral port; read it back with [`Server::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let (tx, rx) = mpsc::sync_channel::<WorkItem>(cfg.queue_depth.max(1));
+        let workers = (0..cfg.workers.max(1))
+            .map({
+                let rx = Arc::new(Mutex::new(rx));
+                move |_| {
+                    let rx = Arc::clone(&rx);
+                    std::thread::spawn(move || worker_loop(&rx))
+                }
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                jobs: Mutex::new(Some(tx)),
+                metrics: Mutex::new(ServeMetrics::default()),
+                shutting_down: AtomicBool::new(false),
+            }),
+            workers,
+        })
+    }
+
+    /// The bound address (the actual port when bound ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a client sends SHUTDOWN, then drains and returns the
+    /// final metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop socket errors; per-connection errors only
+    /// end that connection.
+    pub fn run(self) -> std::io::Result<ServeMetrics> {
+        let addr = self.listener.local_addr()?;
+        let mut connections = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            self.shared.metrics.lock().expect("metrics").connections += 1;
+            let shared = Arc::clone(&self.shared);
+            connections.push(std::thread::spawn(move || {
+                // Connection errors (resets, protocol violations) are not
+                // server errors; dropping the connection is the response.
+                let _ = serve_connection(stream, &shared, addr);
+            }));
+        }
+        // Drain: connections finish their in-flight request and observe
+        // the flag within one read tick...
+        for c in connections {
+            let _ = c.join();
+        }
+        // ...then the queue closes and workers run what was accepted.
+        drop(self.shared.jobs.lock().expect("jobs lock").take());
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let metrics = self.shared.metrics.lock().expect("metrics").clone();
+        Ok(metrics)
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<WorkItem>>) {
+    loop {
+        // Hold the lock only to pop; run the session outside it.
+        let item = match rx.lock().expect("worker queue").recv() {
+            Ok(item) => item,
+            Err(_) => return, // queue closed: drained
+        };
+        let outcome = run_session(&item.image, &item.symbols, &item.config, &item.job);
+        // A gone connection is fine — the work was still done.
+        let _ = item.reply.send(outcome);
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    server_addr: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    // This connection's program state.
+    let mut kcm = Kcm::with_config(shared.cfg.machine.clone());
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()), // client hung up
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let reply = match Request::parse(&payload) {
+            Ok(request) => {
+                let shutdown = request == Request::Shutdown;
+                let reply = handle_request(request, &mut kcm, shared);
+                write_frame(&mut writer, &reply.encode())?;
+                if shutdown {
+                    initiate_shutdown(shared, server_addr);
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(why) => Reply::Err {
+                class: "protocol".to_owned(),
+                message: why,
+            },
+        };
+        write_frame(&mut writer, &reply.encode())?;
+    }
+}
+
+fn handle_request(request: Request, kcm: &mut Kcm, shared: &Shared) -> Reply {
+    match request {
+        Request::Consult { source } => {
+            // CONSULT replaces the connection's program (Kcm::consult
+            // *adds* clauses; a service client re-sending its program
+            // wants idempotence, not accumulation).
+            let mut fresh = Kcm::with_config(shared.cfg.machine.clone());
+            match fresh.consult(&source) {
+                Ok(()) => {
+                    *kcm = fresh;
+                    shared.metrics.lock().expect("metrics").consults += 1;
+                    Reply::Ok {
+                        body: String::new(),
+                    }
+                }
+                Err(e) => error_reply(&e, shared),
+            }
+        }
+        Request::Query {
+            query,
+            enumerate_all,
+            step_budget,
+        } => handle_query(&query, enumerate_all, step_budget, kcm, shared),
+        Request::Stats => Reply::Ok {
+            body: shared.metrics.lock().expect("metrics").render(),
+        },
+        Request::Shutdown => Reply::Ok {
+            body: String::new(),
+        },
+    }
+}
+
+fn handle_query(
+    query: &str,
+    enumerate_all: bool,
+    step_budget: Option<u64>,
+    kcm: &Kcm,
+    shared: &Shared,
+) -> Reply {
+    let Some(image) = kcm.shared_image() else {
+        return error_reply(&KcmError::NoProgram, shared);
+    };
+    let opts = QueryOpts {
+        enumerate_all,
+        step_budget: step_budget.or(shared.cfg.default_step_budget),
+        trace: 0,
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let item = WorkItem {
+        image,
+        symbols: kcm.symbols().clone(),
+        config: kcm.config().clone(),
+        job: QueryJob::with_opts(query, opts),
+        reply: reply_tx,
+    };
+    // try_send is the backpressure point: a full queue is the client's
+    // problem (retry), never the server's memory.
+    match shared.jobs.lock().expect("jobs lock").as_ref() {
+        None => {
+            return error_reply(
+                &KcmError::Harness("server is shutting down".to_owned()),
+                shared,
+            )
+        }
+        Some(tx) => match tx.try_send(item) {
+            Ok(()) => shared.metrics.lock().expect("metrics").queries += 1,
+            Err(TrySendError::Full(_)) => {
+                shared.metrics.lock().expect("metrics").busy += 1;
+                return Reply::Busy;
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return error_reply(
+                    &KcmError::Harness("server is shutting down".to_owned()),
+                    shared,
+                )
+            }
+        },
+    }
+    match reply_rx.recv() {
+        Ok(Ok(outcome)) => {
+            let mut m = shared.metrics.lock().expect("metrics");
+            m.served += 1;
+            m.solutions += outcome.solutions.len() as u64;
+            m.inferences += outcome.stats.inferences;
+            m.cycles += outcome.stats.cycles;
+            Reply::Ok {
+                body: render_outcome(&outcome),
+            }
+        }
+        Ok(Err(e)) => error_reply(&e, shared),
+        Err(_) => error_reply(
+            &KcmError::Harness("worker dropped the request".to_owned()),
+            shared,
+        ),
+    }
+}
+
+fn error_reply(e: &KcmError, shared: &Shared) -> Reply {
+    let class = error_class(e);
+    {
+        let mut m = shared.metrics.lock().expect("metrics");
+        if class == "budget" {
+            m.budget_stops += 1;
+        } else {
+            m.errors += 1;
+        }
+    }
+    Reply::Err {
+        class: class.to_owned(),
+        message: e.to_string(),
+    }
+}
+
+fn initiate_shutdown(shared: &Shared, server_addr: std::net::SocketAddr) {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    // Wake the blocking accept loop so it observes the flag.
+    let _ = TcpStream::connect(server_addr);
+}

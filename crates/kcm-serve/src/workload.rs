@@ -1,0 +1,67 @@
+//! The fixed serve workload: PLM-suite programs paired with *inner*
+//! queries (the suite's own drivers are all `main`/`main_star`, which
+//! tells a service nothing about mixed traffic). Deterministic by
+//! construction, so `loadgen` runs and the loopback byte-identity test
+//! draw from the same set.
+
+use kcm_suite::programs;
+
+/// One workload case: a suite program and an inner query against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeCase {
+    /// Suite program name.
+    pub name: &'static str,
+    /// Program source (the suite's, verbatim).
+    pub source: &'static str,
+    /// Inner query run against it.
+    pub query: &'static str,
+    /// Whether to enumerate all solutions.
+    pub enumerate_all: bool,
+}
+
+/// The standard serve workload over the PLM suite.
+pub fn standard() -> Vec<ServeCase> {
+    [
+        ("con1", "con([a, b, c, d, e], [f], X)", false),
+        ("con6", "run6(X)", false),
+        ("nrev1", "nrev([1,2,3,4,5,6,7,8,9,10], R)", false),
+        ("pri2", "primes(30, Ps)", false),
+        ("qs4", "qsort([3,1,4,1,5,9,2,6], R)", false),
+        ("queens", "queens(4, Qs)", true),
+        ("hanoi", "move_star(4, left, centre, right)", false),
+        ("palin25", "serialise(\"ABA\", R)", false),
+    ]
+    .into_iter()
+    .map(|(name, query, enumerate_all)| ServeCase {
+        name,
+        source: programs::program(name)
+            .unwrap_or_else(|| panic!("{name} is a suite program"))
+            .source,
+        query,
+        enumerate_all,
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcm_system::{Kcm, QueryOpts};
+
+    #[test]
+    fn every_case_runs_directly_and_succeeds() {
+        for case in standard() {
+            let mut kcm = Kcm::new();
+            kcm.consult(case.source)
+                .unwrap_or_else(|e| panic!("{}: consult: {e}", case.name));
+            let opts = QueryOpts {
+                enumerate_all: case.enumerate_all,
+                ..QueryOpts::default()
+            };
+            let o = kcm
+                .query(case.query, &opts)
+                .unwrap_or_else(|e| panic!("{}: query: {e}", case.name));
+            assert!(o.success, "{}: {}", case.name, case.query);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Loopback integration tests: a real `Server` on an ephemeral port,
+//! real TCP clients, and the acceptance criteria of the serve tentpole —
+//! byte-identity with direct [`Kcm`] execution, explicit `BUSY`
+//! backpressure, and step-budget stops that don't poison the connection.
+
+use kcm_serve::protocol::render_outcome;
+use kcm_serve::workload::standard;
+use kcm_serve::{Client, Reply, Request, ServeConfig, Server};
+use kcm_system::{Kcm, QueryOpts};
+use std::net::SocketAddr;
+use std::sync::Barrier;
+
+fn spawn_server(
+    cfg: ServeConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<std::io::Result<kcm_serve::ServeMetrics>>,
+) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr");
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+/// What a direct (in-process, no server) run of the same case renders to.
+fn direct_body(source: &str, query: &str, enumerate_all: bool) -> String {
+    let mut kcm = Kcm::new();
+    kcm.consult(source).expect("consult");
+    let opts = QueryOpts {
+        enumerate_all,
+        ..QueryOpts::default()
+    };
+    render_outcome(&kcm.query(query, &opts).expect("query"))
+}
+
+#[test]
+fn four_interleaved_clients_get_answers_identical_to_direct_runs() {
+    // 4 concurrent connections, each consulting its own disjoint program
+    // and interleaving consults with queries; every served answer must be
+    // byte-identical to the direct Kcm rendering.
+    let (addr, server) = spawn_server(ServeConfig::default());
+    let programs: [(&str, &str, &str); 4] = [
+        ("p(1). p(2). p(3).", "p(X)", "alpha"),
+        (
+            "q(a, b). q(b, c). path(X, Y) :- q(X, Y).",
+            "path(X, Y)",
+            "beta",
+        ),
+        ("r(N, M) :- M is N * N.", "r(7, M)", "gamma"),
+        (
+            "s([], 0). s([_|T], N) :- s(T, M), N is M + 1.",
+            "s([a,b,c,d], N)",
+            "delta",
+        ),
+    ];
+    let barrier = Barrier::new(programs.len());
+    std::thread::scope(|scope| {
+        for (source, query, who) in programs {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let want = direct_body(source, query, true);
+                let mut client = Client::connect(addr).expect("connect");
+                barrier.wait();
+                for round in 0..5 {
+                    // Re-consulting mid-stream must not disturb other
+                    // connections (program state is per-connection).
+                    assert!(
+                        client.consult(source).expect("consult").is_ok(),
+                        "{who}: consult round {round}"
+                    );
+                    match client.query_all(query).expect("query") {
+                        Reply::Ok { body } => {
+                            assert_eq!(body, want, "{who}: round {round} diverged from direct run")
+                        }
+                        other => panic!("{who}: round {round} answered {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    let metrics = server.join().expect("server thread").expect("server run");
+    assert_eq!(metrics.served, 20, "4 clients x 5 rounds all served");
+    assert_eq!(metrics.errors, 0);
+}
+
+#[test]
+fn served_suite_workload_is_byte_identical_to_direct_runs() {
+    // The acceptance load: 4 connections x 50 queries over the standard
+    // suite workload, every reply byte-identical to the direct rendering.
+    let (addr, server) = spawn_server(ServeConfig::default());
+    let cases = standard();
+    let direct: Vec<String> = cases
+        .iter()
+        .map(|c| direct_body(c.source, c.query, c.enumerate_all))
+        .collect();
+    std::thread::scope(|scope| {
+        for conn in 0..4 {
+            let cases = &cases;
+            let direct = &direct;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..50 {
+                    let ix = (conn + i) % cases.len();
+                    let case = &cases[ix];
+                    assert!(client.consult(case.source).expect("consult").is_ok());
+                    let request = Request::Query {
+                        query: case.query.to_owned(),
+                        enumerate_all: case.enumerate_all,
+                        step_budget: None,
+                    };
+                    match client.request(&request).expect("query") {
+                        Reply::Ok { body } => assert_eq!(
+                            body, direct[ix],
+                            "{}: served answer differs from direct run",
+                            case.name
+                        ),
+                        other => panic!("{}: answered {other:?}", case.name),
+                    }
+                }
+            });
+        }
+    });
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    let metrics = server.join().expect("server thread").expect("server run");
+    assert_eq!(metrics.served, 200);
+    assert_eq!(metrics.errors, 0);
+    assert_eq!(metrics.busy, 0, "default queue depth must absorb 4 clients");
+}
+
+#[test]
+fn full_queue_answers_busy_instead_of_queueing() {
+    // One worker, queue depth one: of 5 simultaneous slow queries, one
+    // runs, one queues, and the rest must be told BUSY immediately.
+    let (addr, server) = spawn_server(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+    const CLIENTS: usize = 5;
+    let barrier = Barrier::new(CLIENTS);
+    let replies: Vec<Reply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    assert!(client.consult("loop :- loop.").expect("consult").is_ok());
+                    // Budget-capped so the occupied worker frees itself;
+                    // big enough to hold the worker while 5 requests land.
+                    let request = Request::Query {
+                        query: "loop".to_owned(),
+                        enumerate_all: false,
+                        step_budget: Some(2_000_000),
+                    };
+                    barrier.wait();
+                    client.request(&request).expect("query")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let busy = replies.iter().filter(|r| matches!(r, Reply::Busy)).count();
+    let budget = replies
+        .iter()
+        .filter(|r| matches!(r, Reply::Err { class, .. } if class == "budget"))
+        .count();
+    assert_eq!(
+        busy + budget,
+        CLIENTS,
+        "every reply is BUSY or a budget stop: {replies:?}"
+    );
+    assert!(busy >= 1, "a full queue must reject at least one request");
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    let metrics = server.join().expect("server thread").expect("server run");
+    assert_eq!(metrics.busy, busy as u64);
+    assert_eq!(metrics.budget_stops, budget as u64);
+}
+
+#[test]
+fn budget_stop_does_not_poison_the_connection_for_the_next_request() {
+    // A runaway query hits its per-request deadline with a clean `budget`
+    // class; the same connection then gets a correct answer, proving the
+    // worker session state didn't leak across requests.
+    let (addr, server) = spawn_server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client
+        .consult("loop :- loop. ok(42).")
+        .expect("consult")
+        .is_ok());
+    let runaway = Request::Query {
+        query: "loop".to_owned(),
+        enumerate_all: false,
+        step_budget: Some(10_000),
+    };
+    match client.request(&runaway).expect("runaway") {
+        Reply::Err { class, message } => {
+            assert_eq!(class, "budget", "{message}");
+            assert!(message.contains("step budget"), "{message}");
+        }
+        other => panic!("runaway answered {other:?}"),
+    }
+    // Same connection, same (sole) worker: the next query must be clean.
+    match client.query("ok(X)").expect("query") {
+        Reply::Ok { body } => {
+            assert_eq!(body, direct_body("loop :- loop. ok(42).", "ok(X)", false));
+            assert!(body.contains("X=42"), "{body}");
+        }
+        other => panic!("follow-up answered {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("budget_stops=1"), "{stats}");
+    assert!(stats.contains("served=1"), "{stats}");
+    client.shutdown().expect("shutdown");
+    let metrics = server.join().expect("server thread").expect("server run");
+    assert_eq!(metrics.budget_stops, 1);
+    assert_eq!(metrics.served, 1);
+    assert_eq!(metrics.errors, 0);
+}
+
+#[test]
+fn queries_before_consult_fail_with_no_program_class() {
+    let (addr, server) = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    match client.query("p(X)").expect("query") {
+        Reply::Err { class, .. } => assert_eq!(class, "no_program"),
+        other => panic!("answered {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}

@@ -17,7 +17,8 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let nrev = programs::program("nrev1").expect("in suite");
-//! let m = runner::run_kcm(&nrev, runner::Variant::Starred, &Default::default())?;
+//! let kcm = kcm_system::KcmEngine::new();
+//! let m = runner::run_program(&kcm, &nrev, runner::Variant::Starred)?;
 //! assert!(m.outcome.success);
 //! assert!(m.outcome.stats.klips() > 100.0);
 //! # Ok(())
@@ -33,4 +34,6 @@ pub mod table;
 pub mod workloads;
 
 pub use programs::{program, suite, BenchProgram};
-pub use runner::{run_kcm, Measurement, Variant};
+#[allow(deprecated)]
+pub use runner::run_kcm;
+pub use runner::{run_program, Measurement, Variant};

@@ -1,8 +1,8 @@
-//! Compiling and running suite programs on the KCM simulator, serially or
+//! Compiling and running suite programs on any [`Engine`], serially or
 //! fanned out across a [`SessionPool`].
 
 use crate::programs::BenchProgram;
-use kcm_system::{Kcm, KcmError, MachineConfig, Outcome, SessionPool};
+use kcm_system::{Engine, KcmEngine, KcmError, MachineConfig, Outcome, QueryOpts, SessionPool};
 
 /// Which driver of a program to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,30 +36,46 @@ impl Measurement {
     }
 }
 
-/// Compiles and runs one suite program on a fresh KCM machine.
+/// Compiles and runs one suite program on any [`Engine`].
 ///
 /// # Errors
 ///
 /// Propagates parse/compile/machine errors. A program whose driver merely
 /// fails (the failure-driven `query` loop ends in a final `main.` fact, so
 /// none of the suite programs does) is not an error.
-pub fn run_kcm(
+pub fn run_program(
+    engine: &dyn Engine,
     program: &BenchProgram,
     variant: Variant,
-    config: &MachineConfig,
 ) -> Result<Measurement, KcmError> {
-    let mut kcm = Kcm::with_config(config.clone());
-    kcm.consult(program.source)?;
     let goal = match variant {
         Variant::Timed => program.query,
         Variant::Starred => program.starred_query,
     };
-    let outcome = kcm.run(goal, program.enumerate)?;
+    let opts = QueryOpts {
+        enumerate_all: program.enumerate,
+        ..QueryOpts::default()
+    };
+    let outcome = engine.run_case(program.source, goal, &opts).into_result()?;
     Ok(Measurement {
         name: program.name,
         variant,
         outcome,
     })
+}
+
+/// Compiles and runs one suite program on a fresh KCM machine.
+///
+/// # Errors
+///
+/// Same conditions as [`run_program`].
+#[deprecated(since = "0.1.0", note = "use `run_program` with a `KcmEngine`")]
+pub fn run_kcm(
+    program: &BenchProgram,
+    variant: Variant,
+    config: &MachineConfig,
+) -> Result<Measurement, KcmError> {
+    run_program(&KcmEngine::with_config(config.clone()), program, variant)
 }
 
 /// Runs a list of suite programs across a [`SessionPool`], one session
@@ -75,7 +91,8 @@ pub fn run_suite_pooled(
     config: &MachineConfig,
     pool: &SessionPool,
 ) -> Vec<Result<Measurement, KcmError>> {
-    pool.map(programs, |p| run_kcm(p, variant, config))
+    let engine = KcmEngine::with_config(config.clone());
+    pool.map(programs, |p| run_program(&engine, p, variant))
 }
 
 /// Static code sizes of many programs (see [`kcm_static_size`]), fanned
@@ -127,7 +144,7 @@ mod tests {
     #[test]
     fn starred_nrev_runs() {
         let p = programs::program("nrev1").unwrap();
-        let m = run_kcm(&p, Variant::Starred, &MachineConfig::default()).unwrap();
+        let m = run_program(&KcmEngine::new(), &p, Variant::Starred).unwrap();
         assert!(m.outcome.success);
         // nrev1 is about 500 inferences.
         assert!((400..700).contains(&(m.outcome.stats.inferences as i64)));
@@ -136,14 +153,32 @@ mod tests {
     #[test]
     fn timed_variant_produces_output() {
         let p = programs::program("con1").unwrap();
-        let m = run_kcm(&p, Variant::Timed, &MachineConfig::default()).unwrap();
+        let m = run_program(&KcmEngine::new(), &p, Variant::Timed).unwrap();
         assert!(m.outcome.success);
         assert!(
             m.outcome.output.contains("[a,b,c,d,e,f]"),
             "{}",
             m.outcome.output
         );
-        let s = run_kcm(&p, Variant::Starred, &MachineConfig::default()).unwrap();
+        let s = run_program(&KcmEngine::new(), &p, Variant::Starred).unwrap();
         assert!(s.outcome.output.is_empty());
+    }
+
+    #[test]
+    fn suite_runs_on_baseline_engines_too() {
+        let p = programs::program("nrev1").unwrap();
+        let kcm = run_program(&KcmEngine::new(), &p, Variant::Starred).unwrap();
+        let plm = run_program(&plm::model(), &p, Variant::Starred).unwrap();
+        assert_eq!(kcm.outcome.solutions, plm.outcome.solutions);
+        assert!(plm.ms() > kcm.ms());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_kcm_still_matches() {
+        let p = programs::program("nrev1").unwrap();
+        let old = run_kcm(&p, Variant::Starred, &MachineConfig::default()).unwrap();
+        let new = run_program(&KcmEngine::new(), &p, Variant::Starred).unwrap();
+        assert_eq!(old.outcome.stats, new.outcome.stats);
     }
 }

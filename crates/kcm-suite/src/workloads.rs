@@ -74,14 +74,14 @@ pub fn queens(n: usize) -> (String, String) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kcm_system::Kcm;
+    use kcm_system::{Kcm, QueryOpts};
 
     #[test]
     fn generated_workloads_run() {
         for (source, query) in [nrev(12), qsort(16, 7), queens(5)] {
             let mut kcm = Kcm::new();
             kcm.consult(&source).expect("consult");
-            let o = kcm.run(&query, false).expect("run");
+            let o = kcm.query(&query, &QueryOpts::first()).expect("run");
             assert!(o.success, "{query}");
         }
     }
@@ -99,7 +99,12 @@ mod tests {
             let (src, q) = nrev(n);
             let mut kcm = Kcm::new();
             kcm.consult(&src).expect("consult");
-            cycles.push(kcm.run(&q, false).expect("run").stats.cycles as f64);
+            cycles.push(
+                kcm.query(&q, &QueryOpts::first())
+                    .expect("run")
+                    .stats
+                    .cycles as f64,
+            );
         }
         // Doubling n should roughly 4x the cycles (within loose bounds —
         // the constant term flattens small sizes).

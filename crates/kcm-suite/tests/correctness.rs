@@ -2,12 +2,12 @@
 //! not only run, they must compute the right answers.
 
 use kcm_suite::programs;
-use kcm_suite::runner::{run_kcm, Variant};
-use kcm_system::MachineConfig;
+use kcm_suite::runner::{run_program, Variant};
+use kcm_system::KcmEngine;
 
 fn output_of(name: &str) -> String {
     let p = programs::program(name).expect("in suite");
-    let m = run_kcm(&p, Variant::Timed, &MachineConfig::default()).expect("runs");
+    let m = run_program(&KcmEngine::new(), &p, Variant::Timed).expect("runs");
     assert!(m.outcome.success, "{name} must succeed");
     m.outcome.output
 }
@@ -135,7 +135,7 @@ fn mutest_proves_the_theorem() {
 #[test]
 fn palin25_serialises_the_palindrome() {
     let p = programs::program("palin25").expect("in suite");
-    let m = run_kcm(&p, Variant::Timed, &MachineConfig::default()).expect("runs");
+    let m = run_program(&KcmEngine::new(), &p, Variant::Timed).expect("runs");
     assert!(m.outcome.success);
     // serialise maps each character to its rank among the distinct
     // characters: same character → same number, palindrome → palindromic

@@ -5,8 +5,8 @@
 //! never an observable one; the evaluation tables depend on that.
 
 use kcm_suite::programs;
-use kcm_suite::runner::{run_kcm, run_suite_pooled, Measurement, Variant};
-use kcm_system::{Kcm, MachineConfig, QueryJob, RunStats, SessionPool};
+use kcm_suite::runner::{run_program, run_suite_pooled, Measurement, Variant};
+use kcm_system::{Kcm, KcmEngine, MachineConfig, QueryJob, RunStats, SessionPool};
 
 /// Renders everything observable about a measurement into one comparable
 /// string (plus the stats, compared structurally).
@@ -50,8 +50,9 @@ fn pooled_runner_matches_the_serial_path_byte_for_byte() {
     let suite = programs::suite();
     let cfg = MachineConfig::default();
     let pooled = run_suite_pooled(&suite, Variant::Timed, &cfg, &SessionPool::new(4));
+    let engine = KcmEngine::with_config(cfg);
     for (p, pooled) in suite.iter().zip(&pooled) {
-        let serial = run_kcm(p, Variant::Timed, &cfg)
+        let serial = run_program(&engine, p, Variant::Timed)
             .unwrap_or_else(|e| panic!("{}: serial failed: {e}", p.name));
         let pooled = pooled
             .as_ref()

@@ -39,7 +39,7 @@
 //! let mut kcm = Kcm::new();
 //! kcm.consult("nrev([],[]). nrev([H|T],R) :- nrev(T,RT), app(RT,[H],R).
 //!              app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).")?;
-//! let outcome = kcm.run("nrev([1,2,3,4,5], R)", false)?;
+//! let outcome = kcm.query("nrev([1,2,3,4,5], R)", &Default::default())?;
 //! assert!(outcome.success);
 //! let ms = outcome.stats.ms();
 //! let klips = outcome.stats.klips();
@@ -51,11 +51,13 @@
 #![warn(missing_docs)]
 
 pub mod answer;
+pub mod engine;
 pub mod pool;
 pub mod prelude;
 pub mod report;
 
 pub use answer::Answer;
+pub use engine::{error_class, Engine, EngineOutcome, KcmEngine};
 pub use kcm_cpu::{
     InstrClass, Machine, MachineConfig, MachineError, Outcome, Profile, RunStats, Solution,
     TraceEvent, Tracer,
@@ -78,6 +80,10 @@ pub enum KcmError {
     Machine(MachineError),
     /// No program has been consulted yet.
     NoProgram,
+    /// A fault in the harness around the machine, not in the machine or
+    /// the program: replica disagreement in a differential oracle, a
+    /// worker lost mid-request in a service, and the like.
+    Harness(String),
 }
 
 impl std::fmt::Display for KcmError {
@@ -87,6 +93,7 @@ impl std::fmt::Display for KcmError {
             KcmError::Compile(e) => write!(f, "{e}"),
             KcmError::Machine(e) => write!(f, "{e}"),
             KcmError::NoProgram => write!(f, "no program consulted"),
+            KcmError::Harness(why) => write!(f, "harness fault: {why}"),
         }
     }
 }
@@ -98,6 +105,67 @@ impl std::error::Error for KcmError {
             KcmError::Compile(e) => Some(e),
             KcmError::Machine(e) => Some(e),
             KcmError::NoProgram => None,
+            KcmError::Harness(_) => None,
+        }
+    }
+}
+
+/// Per-query options for [`Kcm::query`] (and, via [`QueryJob`], for every
+/// pooled session).
+///
+/// The [`Default`] is a plain first-solution query with no deadline and no
+/// tracing — `kcm.query(q, &Default::default())` behaves exactly like the
+/// old `kcm.run(q, false)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryOpts {
+    /// Backtrack through every solution instead of stopping at the first.
+    pub enumerate_all: bool,
+    /// Per-query step deadline: the run is cut off with
+    /// [`MachineError::BudgetExhausted`] after this many instructions.
+    /// `None` inherits the session configuration's
+    /// [`MachineConfig::step_budget`] (unlimited by default).
+    pub step_budget: Option<u64>,
+    /// Macrocode trace window: keep the last `trace` executed instructions
+    /// and return them on [`Outcome::trace`]. 0 (the default) leaves the
+    /// session configuration's [`MachineConfig::trace_depth`] in force.
+    pub trace: usize,
+}
+
+impl QueryOpts {
+    /// First-solution options (the default).
+    pub fn first() -> QueryOpts {
+        QueryOpts::default()
+    }
+
+    /// All-solutions options.
+    pub fn all() -> QueryOpts {
+        QueryOpts {
+            enumerate_all: true,
+            ..QueryOpts::default()
+        }
+    }
+
+    /// Sets the per-query step deadline.
+    #[must_use]
+    pub fn with_step_budget(mut self, steps: u64) -> QueryOpts {
+        self.step_budget = Some(steps);
+        self
+    }
+
+    /// Sets the macrocode trace window.
+    #[must_use]
+    pub fn with_trace(mut self, depth: usize) -> QueryOpts {
+        self.trace = depth;
+        self
+    }
+
+    /// Overlays these options on a session machine configuration.
+    pub fn apply(&self, config: &mut MachineConfig) {
+        if let Some(steps) = self.step_budget {
+            config.step_budget = steps;
+        }
+        if self.trace > 0 {
+            config.trace_depth = self.trace;
         }
     }
 }
@@ -233,17 +301,39 @@ impl Kcm {
         Ok(image.disassemble(&self.symbols))
     }
 
+    /// Runs a query on a fresh machine, with [`QueryOpts`] controlling
+    /// enumeration, the per-query step deadline and tracing.
+    ///
+    /// # Errors
+    ///
+    /// Parse/compile errors for the query, or a machine fault — including
+    /// [`MachineError::BudgetExhausted`] when `opts.step_budget` ran out.
+    /// A query that simply fails is a successful `Ok` with
+    /// `success == false`.
+    pub fn query(&mut self, query: &str, opts: &QueryOpts) -> Result<Outcome, KcmError> {
+        let image = self.image.as_deref().ok_or(KcmError::NoProgram)?;
+        let goal = kcm_prolog::read_term(query)?;
+        let mut symbols = self.symbols.clone();
+        let (qimage, vars) = kcm_compiler::compile_query(image, &goal, &mut symbols)?;
+        let mut config = self.config.clone();
+        opts.apply(&mut config);
+        let mut machine = Machine::new(qimage, symbols, config);
+        Ok(machine.run_query(&vars, opts.enumerate_all)?)
+    }
+
     /// Runs a query on a fresh machine. With `enumerate_all` the machine
     /// backtracks through every solution; otherwise it stops at the first.
     ///
     /// # Errors
     ///
-    /// Parse/compile errors for the query, or a machine fault. A query
-    /// that simply fails is a successful `Ok` with `success == false`.
+    /// Same conditions as [`Kcm::query`].
+    #[deprecated(since = "0.1.0", note = "use `Kcm::query` with `QueryOpts`")]
     pub fn run(&mut self, query: &str, enumerate_all: bool) -> Result<Outcome, KcmError> {
-        let (mut machine, vars) = self.prepare(query)?;
-        let outcome = machine.run_query(&vars, enumerate_all)?;
-        Ok(outcome)
+        let opts = QueryOpts {
+            enumerate_all,
+            ..QueryOpts::default()
+        };
+        self.query(query, &opts)
     }
 
     /// Builds the machine for a query without running it (benchmark
@@ -266,9 +356,9 @@ impl Kcm {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Kcm::run`].
+    /// Same conditions as [`Kcm::query`].
     pub fn solve_first(&mut self, query: &str) -> Result<Option<Answer>, KcmError> {
-        let outcome = self.run(query, false)?;
+        let outcome = self.query(query, &QueryOpts::first())?;
         Ok(outcome.solutions.into_iter().next().map(Answer::new))
     }
 
@@ -276,9 +366,9 @@ impl Kcm {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Kcm::run`].
+    /// Same conditions as [`Kcm::query`].
     pub fn solve_all(&mut self, query: &str) -> Result<Vec<Answer>, KcmError> {
-        let outcome = self.run(query, true)?;
+        let outcome = self.query(query, &QueryOpts::all())?;
         Ok(outcome.solutions.into_iter().map(Answer::new).collect())
     }
 
@@ -286,9 +376,9 @@ impl Kcm {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Kcm::run`].
+    /// Same conditions as [`Kcm::query`].
     pub fn holds(&mut self, query: &str) -> Result<bool, KcmError> {
-        Ok(self.run(query, false)?.success)
+        Ok(self.query(query, &QueryOpts::first())?.success)
     }
 }
 
@@ -309,16 +399,84 @@ mod tests {
     #[test]
     fn query_before_consult_errors() {
         let mut kcm = Kcm::new();
-        assert!(matches!(kcm.run("p(X)", false), Err(KcmError::NoProgram)));
+        assert!(matches!(
+            kcm.query("p(X)", &QueryOpts::first()),
+            Err(KcmError::NoProgram)
+        ));
     }
 
     #[test]
     fn failed_query_is_not_an_error() {
         let mut kcm = Kcm::new();
         kcm.consult("p(1).").unwrap();
-        let outcome = kcm.run("p(2)", false).unwrap();
+        let outcome = kcm.query("p(2)", &QueryOpts::first()).unwrap();
         assert!(!outcome.success);
         assert!(outcome.solutions.is_empty());
+    }
+
+    #[test]
+    fn deprecated_run_still_matches_query() {
+        let mut kcm = Kcm::new();
+        kcm.consult("p(1). p(2).").unwrap();
+        #[allow(deprecated)]
+        let old = kcm.run("p(X)", true).unwrap();
+        let new = kcm.query("p(X)", &QueryOpts::all()).unwrap();
+        assert_eq!(old.solutions, new.solutions);
+        assert_eq!(old.stats, new.stats);
+    }
+
+    #[test]
+    fn budget_stop_is_distinguishable_from_faults_in_kcm() {
+        let mut kcm = Kcm::new();
+        kcm.consult("loop :- loop.\nboom(X) :- X is 1 // 0.\nok(1).")
+            .unwrap();
+        let opts = QueryOpts::first().with_step_budget(10_000);
+        // A runaway query stops with BudgetExhausted...
+        match kcm.query("loop", &opts) {
+            Err(KcmError::Machine(MachineError::BudgetExhausted { steps })) => {
+                assert!(steps > 10_000);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // ...while a genuine fault under the same deadline keeps its own
+        // error class.
+        match kcm.query("boom(X)", &opts) {
+            Err(KcmError::Machine(MachineError::ZeroDivisor)) => {}
+            other => panic!("expected ZeroDivisor, got {other:?}"),
+        }
+        // The deadline is per-query: the session serves the next query
+        // untouched.
+        assert!(kcm.holds("ok(1)").unwrap());
+    }
+
+    #[test]
+    fn budget_stop_is_distinguishable_in_pool_results() {
+        let mut kcm = Kcm::new();
+        kcm.consult("loop :- loop.\np(1).").unwrap();
+        let pool = SessionPool::new(2);
+        let jobs = vec![
+            QueryJob::with_opts("loop", QueryOpts::first().with_step_budget(10_000)),
+            QueryJob::first_solution("p(X)"),
+        ];
+        let results = pool.run_queries(&kcm, &jobs).unwrap();
+        assert!(matches!(
+            results[0].outcome,
+            Err(KcmError::Machine(MachineError::BudgetExhausted { .. }))
+        ));
+        assert!(results[1].outcome.as_ref().unwrap().success);
+    }
+
+    #[test]
+    fn query_opts_trace_window_surfaces_on_outcome() {
+        let mut kcm = Kcm::new();
+        kcm.consult("p(1). p(2).").unwrap();
+        let plain = kcm.query("p(X)", &QueryOpts::all()).unwrap();
+        assert!(plain.trace.is_empty());
+        let traced = kcm.query("p(X)", &QueryOpts::all().with_trace(16)).unwrap();
+        assert!(!traced.trace.is_empty());
+        assert!(traced.trace.len() <= 16);
+        // Tracing is observational only.
+        assert_eq!(plain.solutions, traced.solutions);
     }
 
     #[test]

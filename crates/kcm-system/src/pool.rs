@@ -34,7 +34,7 @@
 //! # }
 //! ```
 
-use crate::{Kcm, KcmError, Machine, MachineConfig, Outcome, Profile, RunStats};
+use crate::{Kcm, KcmError, Machine, MachineConfig, Outcome, Profile, QueryOpts, RunStats};
 use kcm_arch::SymbolTable;
 use kcm_compiler::CodeImage;
 use std::sync::mpsc;
@@ -43,26 +43,28 @@ use std::sync::{Arc, Mutex};
 /// One query to run as an independent session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryJob {
-    /// The query text, as accepted by [`Kcm::run`].
+    /// The query text, as accepted by [`Kcm::query`].
     pub query: String,
-    /// Whether to backtrack through every solution or stop at the first.
-    pub enumerate_all: bool,
+    /// Per-query options (enumeration, step deadline, tracing).
+    pub opts: QueryOpts,
 }
 
 impl QueryJob {
     /// A job that stops at the first solution.
     pub fn first_solution(query: impl Into<String>) -> QueryJob {
-        QueryJob {
-            query: query.into(),
-            enumerate_all: false,
-        }
+        QueryJob::with_opts(query, QueryOpts::first())
     }
 
     /// A job that enumerates every solution.
     pub fn all_solutions(query: impl Into<String>) -> QueryJob {
+        QueryJob::with_opts(query, QueryOpts::all())
+    }
+
+    /// A job with explicit [`QueryOpts`].
+    pub fn with_opts(query: impl Into<String>, opts: QueryOpts) -> QueryJob {
         QueryJob {
             query: query.into(),
-            enumerate_all: true,
+            opts,
         }
     }
 }
@@ -270,8 +272,9 @@ impl Default for SessionPool {
 /// One isolated session: compile the query against the shared image and
 /// run it on a fresh machine. Only the `Arc` on the program image is
 /// shared; symbols are cloned per session because query compilation may
-/// intern new symbols.
-fn run_session(
+/// intern new symbols. Public because query services (`kcm-serve`) run
+/// their worker loops on exactly this path.
+pub fn run_session(
     image: &Arc<CodeImage>,
     symbols: &SymbolTable,
     config: &MachineConfig,
@@ -280,8 +283,10 @@ fn run_session(
     let goal = kcm_prolog::read_term(&job.query)?;
     let mut session_symbols = symbols.clone();
     let (qimage, vars) = kcm_compiler::compile_query(image, &goal, &mut session_symbols)?;
-    let mut machine = Machine::new(qimage, session_symbols, config.clone());
-    Ok(machine.run_query(&vars, job.enumerate_all)?)
+    let mut config = config.clone();
+    job.opts.apply(&mut config);
+    let mut machine = Machine::new(qimage, session_symbols, config);
+    Ok(machine.run_query(&vars, job.opts.enumerate_all)?)
 }
 
 #[cfg(test)]

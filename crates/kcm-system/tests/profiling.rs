@@ -6,7 +6,7 @@
 //! any session that ran more than one query reported inflated cache
 //! traffic from the second query on.
 
-use kcm_system::{Kcm, Profile, QueryJob, RunStats, SessionPool};
+use kcm_system::{Kcm, Profile, QueryJob, QueryOpts, RunStats, SessionPool};
 
 const NREV: &str = "app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).
                     nrev([],[]). nrev([H|T],R) :- nrev(T,RT), app(RT,[H],R).";
@@ -15,7 +15,7 @@ const NREV_Q: &str = "nrev([1,2,3,4,5,6,7,8,9,10], R)";
 fn fresh_baseline() -> (RunStats, Profile) {
     let mut kcm = Kcm::new();
     kcm.consult(NREV).expect("consult");
-    let o = kcm.run(NREV_Q, false).expect("run");
+    let o = kcm.query(NREV_Q, &QueryOpts::first()).expect("run");
     assert!(o.success);
     (o.stats, o.profile)
 }
@@ -26,7 +26,7 @@ fn reused_kcm_session_matches_fresh_sessions_exactly() {
     let mut kcm = Kcm::new();
     kcm.consult(NREV).expect("consult");
     for i in 0..3 {
-        let o = kcm.run(NREV_Q, false).expect("run");
+        let o = kcm.query(NREV_Q, &QueryOpts::first()).expect("run");
         assert!(o.success);
         assert_eq!(o.stats, base_stats, "run {i}: per-run stats drifted");
         assert_eq!(o.stats.mem, base_stats.mem, "run {i}: MemStats drifted");

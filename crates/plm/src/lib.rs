@@ -17,7 +17,7 @@
 #![warn(missing_docs)]
 
 use kcm_arch::{CostModel, Instr};
-use kcm_system::KcmError;
+use kcm_system::{KcmError, QueryOpts};
 use wam_baseline::BaselineModel;
 
 /// PLM cycle time: 100 ns (10 MHz).
@@ -61,12 +61,17 @@ pub fn model() -> BaselineModel {
 /// # Errors
 ///
 /// Propagates parse, compile and machine errors.
+#[deprecated(since = "0.1.0", note = "use `model().run` with `QueryOpts`")]
 pub fn run_plm(
     source: &str,
     query: &str,
     enumerate_all: bool,
 ) -> Result<kcm_cpu::Outcome, KcmError> {
-    wam_baseline::run_baseline(&model(), source, query, enumerate_all)
+    let opts = QueryOpts {
+        enumerate_all,
+        ..QueryOpts::default()
+    };
+    model().run(source, query, &opts)
 }
 
 /// Static code size of a program under the PLM model.
@@ -172,13 +177,14 @@ mod tests {
 
     #[test]
     fn plm_runs_and_answers_correctly() {
-        let out = run_plm(
-            "nrev([],[]). nrev([H|T],R) :- nrev(T,RT), app(RT,[H],R).
-             app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).",
-            "nrev([1,2,3], R)",
-            false,
-        )
-        .unwrap();
+        let out = model()
+            .run(
+                "nrev([],[]). nrev([H|T],R) :- nrev(T,RT), app(RT,[H],R).
+                 app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).",
+                "nrev([1,2,3], R)",
+                &QueryOpts::first(),
+            )
+            .unwrap();
         assert!(out.success);
         assert_eq!(out.solutions[0][0].1.to_string(), "[3,2,1]");
         // 100 ns clock reported.
@@ -189,10 +195,10 @@ mod tests {
     fn plm_is_slower_than_kcm() {
         let src = "app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).";
         let q = "app([1,2,3,4,5,6,7,8,9,10],[0],X)";
-        let plm = run_plm(src, q, false).unwrap();
+        let plm = model().run(src, q, &QueryOpts::first()).unwrap();
         let mut kcm = kcm_system::Kcm::new();
         kcm.consult(src).unwrap();
-        let k = kcm.run(q, false).unwrap();
+        let k = kcm.query(q, &QueryOpts::first()).unwrap();
         let ratio = plm.stats.ms() / k.stats.ms();
         assert!(ratio > 1.5, "PLM/KCM ratio {ratio}");
     }

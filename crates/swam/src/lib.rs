@@ -17,7 +17,7 @@
 #![warn(missing_docs)]
 
 use kcm_arch::CostModel;
-use kcm_system::KcmError;
+use kcm_system::{KcmError, QueryOpts};
 use wam_baseline::BaselineModel;
 
 /// Host cycle time: 40 ns (25 MHz M68020).
@@ -86,12 +86,17 @@ pub fn model() -> BaselineModel {
 /// # Errors
 ///
 /// Propagates parse, compile and machine errors.
+#[deprecated(since = "0.1.0", note = "use `model().run` with `QueryOpts`")]
 pub fn run_swam(
     source: &str,
     query: &str,
     enumerate_all: bool,
 ) -> Result<kcm_cpu::Outcome, KcmError> {
-    wam_baseline::run_baseline(&model(), source, query, enumerate_all)
+    let opts = QueryOpts {
+        enumerate_all,
+        ..QueryOpts::default()
+    };
+    model().run(source, query, &opts)
 }
 
 #[cfg(test)]
@@ -100,9 +105,18 @@ mod tests {
 
     #[test]
     fn swam_runs_and_answers_correctly() {
-        let out = run_swam("p(1). p(2).", "p(X)", true).unwrap();
+        let out = model()
+            .run("p(1). p(2).", "p(X)", &QueryOpts::all())
+            .unwrap();
         assert_eq!(out.solutions.len(), 2);
         assert!((out.stats.cycle_ns - 40.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn deprecated_run_swam_still_works() {
+        #[allow(deprecated)]
+        let out = run_swam("p(1). p(2).", "p(X)", true).unwrap();
+        assert_eq!(out.solutions.len(), 2);
     }
 
     #[test]
@@ -112,10 +126,10 @@ mod tests {
             app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).
         ";
         let q = "nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20], R)";
-        let s = run_swam(src, q, false).unwrap();
+        let s = model().run(src, q, &QueryOpts::first()).unwrap();
         let mut kcm = kcm_system::Kcm::new();
         kcm.consult(src).unwrap();
-        let k = kcm.run(q, false).unwrap();
+        let k = kcm.query(q, &QueryOpts::first()).unwrap();
         let ratio = s.stats.ms() / k.stats.ms();
         assert!(ratio > 3.0, "Quintus-class/KCM ratio {ratio}");
         assert!(ratio < 30.0, "Quintus-class/KCM ratio {ratio}");

@@ -19,15 +19,14 @@
 //! # Examples
 //!
 //! ```
-//! use wam_baseline::{BaselineModel, run_baseline};
+//! use wam_baseline::BaselineModel;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let model = BaselineModel::standard_wam("demo", 100.0);
-//! let outcome = run_baseline(
-//!     &model,
+//! let outcome = model.run(
 //!     "app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).",
 //!     "app([1,2],[3],X)",
-//!     false,
+//!     &Default::default(),
 //! )?;
 //! assert!(outcome.success);
 //! assert_eq!(outcome.solutions[0][0].1.to_string(), "[1,2,3]");
@@ -41,7 +40,7 @@ use kcm_arch::CostModel;
 use kcm_compiler::CompileOptions;
 use kcm_cpu::{Machine, MachineConfig, Outcome};
 use kcm_mem::MemConfig;
-use kcm_system::KcmError;
+use kcm_system::{Engine, EngineOutcome, KcmError, QueryOpts};
 
 /// A baseline machine model: how to compile and how to cost each
 /// micro-operation.
@@ -86,6 +85,34 @@ impl BaselineModel {
             ..MachineConfig::default()
         }
     }
+
+    /// Compiles `source` for this baseline and runs `query` under `opts`
+    /// on a fresh machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, compile and machine errors.
+    pub fn run(&self, source: &str, query: &str, opts: &QueryOpts) -> Result<Outcome, KcmError> {
+        let clauses = kcm_prolog::read_program(source)?;
+        let mut symbols = kcm_arch::SymbolTable::new();
+        let image = kcm_compiler::compile_program_with(&clauses, &mut symbols, &self.compile)?;
+        let goal = kcm_prolog::read_term(query)?;
+        let (qimage, vars) = kcm_compiler::compile_query(&image, &goal, &mut symbols)?;
+        let mut config = self.machine_config();
+        opts.apply(&mut config);
+        let mut machine = Machine::new(qimage, symbols, config);
+        Ok(machine.run_query(&vars, opts.enumerate_all)?)
+    }
+}
+
+impl Engine for BaselineModel {
+    fn name(&self) -> String {
+        self.name.to_owned()
+    }
+
+    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome {
+        EngineOutcome::new(self.name, self.run(source, query, opts))
+    }
 }
 
 /// Compiles `source` for the baseline and runs `query` on a fresh machine.
@@ -93,19 +120,18 @@ impl BaselineModel {
 /// # Errors
 ///
 /// Propagates parse, compile and machine errors.
+#[deprecated(since = "0.1.0", note = "use `BaselineModel::run` with `QueryOpts`")]
 pub fn run_baseline(
     model: &BaselineModel,
     source: &str,
     query: &str,
     enumerate_all: bool,
 ) -> Result<Outcome, KcmError> {
-    let clauses = kcm_prolog::read_program(source)?;
-    let mut symbols = kcm_arch::SymbolTable::new();
-    let image = kcm_compiler::compile_program_with(&clauses, &mut symbols, &model.compile)?;
-    let goal = kcm_prolog::read_term(query)?;
-    let (qimage, vars) = kcm_compiler::compile_query(&image, &goal, &mut symbols)?;
-    let mut machine = Machine::new(qimage, symbols, model.machine_config());
-    Ok(machine.run_query(&vars, enumerate_all)?)
+    let opts = QueryOpts {
+        enumerate_all,
+        ..QueryOpts::default()
+    };
+    model.run(source, query, &opts)
 }
 
 /// Compiles `source` for the baseline and returns the per-predicate sizes
@@ -168,10 +194,10 @@ mod tests {
             s(X) :- p(X), X > 1.
         ";
         let model = BaselineModel::standard_wam("test", 100.0);
-        let base = run_baseline(&model, src, "s(X)", true).unwrap();
+        let base = model.run(src, "s(X)", &QueryOpts::all()).unwrap();
         let mut kcm = kcm_system::Kcm::new();
         kcm.consult(src).unwrap();
-        let kcm_out = kcm.run("s(X)", true).unwrap();
+        let kcm_out = kcm.query("s(X)", &QueryOpts::all()).unwrap();
         let b: Vec<String> = base.solutions.iter().map(|s| s[0].1.to_string()).collect();
         let k: Vec<String> = kcm_out
             .solutions
@@ -188,7 +214,7 @@ mod tests {
         let model = BaselineModel::standard_wam("test", 100.0);
         // An unbound call goes through the try chain: standard WAM pushes
         // the choice point eagerly at `try` (no shallow backtracking).
-        let out = run_baseline(&model, src, "q(X)", false).unwrap();
+        let out = model.run(src, "q(X)", &QueryOpts::first()).unwrap();
         assert!(out.stats.choice_points > 0);
         assert_eq!(out.stats.shallow_fails, 0);
     }
@@ -198,8 +224,8 @@ mod tests {
         let src = "p(1).";
         let fast = BaselineModel::standard_wam("fast", 50.0);
         let slow = BaselineModel::standard_wam("slow", 200.0);
-        let f = run_baseline(&fast, src, "p(X)", false).unwrap();
-        let s = run_baseline(&slow, src, "p(X)", false).unwrap();
+        let f = fast.run(src, "p(X)", &QueryOpts::first()).unwrap();
+        let s = slow.run(src, "p(X)", &QueryOpts::first()).unwrap();
         assert_eq!(f.stats.cycles, s.stats.cycles);
         assert!((s.stats.ms() / f.stats.ms() - 4.0).abs() < 1e-9);
     }
@@ -209,13 +235,13 @@ mod tests {
         // With inline_arith off, `is/2` must still work (through the
         // generic evaluator).
         let model = BaselineModel::standard_wam("test", 100.0);
-        let out = run_baseline(
-            &model,
-            "double(X, Y) :- Y is X * 2.",
-            "double(21, Z)",
-            false,
-        )
-        .unwrap();
+        let out = model
+            .run(
+                "double(X, Y) :- Y is X * 2.",
+                "double(21, Z)",
+                &QueryOpts::first(),
+            )
+            .unwrap();
         assert_eq!(out.solutions[0][0].1.to_string(), "42");
     }
 }

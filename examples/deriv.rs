@@ -7,7 +7,7 @@
 //! cargo run --example deriv
 //! ```
 
-use kcm_repro::kcm_system::Kcm;
+use kcm_repro::kcm_system::{Kcm, QueryOpts};
 
 const DERIV: &str = "
     d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV).
@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "x * x * x",
     ] {
         let query = format!("d({expr}, x, D)");
-        let outcome = kcm.run(&query, false)?;
+        let outcome = kcm.query(&query, &QueryOpts::first())?;
         let answer = outcome.solutions.first().expect("derivative exists");
         let (_, d) = &answer[0];
         println!("d/dx {expr:<22} = {d}");

@@ -9,9 +9,9 @@
 //!
 //! `program` is a PLM-suite name (default: `nrev1`).
 
-use kcm_repro::kcm_suite::runner::{run_kcm, Variant};
+use kcm_repro::kcm_suite::runner::{run_program, Variant};
 use kcm_repro::kcm_suite::{program, programs};
-use kcm_repro::kcm_system::{Kcm, Machine, MachineConfig};
+use kcm_repro::kcm_system::{Kcm, KcmEngine, Machine, MachineConfig, QueryOpts};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args()
@@ -46,9 +46,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- run on all three machines ----------------------------------
-    let k = run_kcm(&bench, Variant::Starred, &MachineConfig::default())?;
-    let p = plm::run_plm(bench.source, bench.starred_query, bench.enumerate)?;
-    let s = swam::run_swam(bench.source, bench.starred_query, bench.enumerate)?;
+    let opts = QueryOpts {
+        enumerate_all: bench.enumerate,
+        ..QueryOpts::default()
+    };
+    let k = run_program(&KcmEngine::new(), &bench, Variant::Starred)?;
+    let p = plm::model().run(bench.source, bench.starred_query, &opts)?;
+    let s = swam::model().run(bench.source, bench.starred_query, &opts)?;
 
     println!("\n--- three machines, one program ---");
     println!(

@@ -4,7 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use kcm_repro::kcm_system::{report, Kcm};
+use kcm_repro::kcm_system::{report, Kcm, QueryOpts};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The KCM system: workstation-side tool chain + back-end machine.
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nancestor(liz, jim)? {}", kcm.holds("ancestor(liz, jim)")?);
 
     // Every run returns the cycle-accurate counters of the 80 ns machine.
-    let outcome = kcm.run("ancestor(X, jim)", true)?;
+    let outcome = kcm.query("ancestor(X, jim)", &QueryOpts::all())?;
     println!(
         "\nancestor(X, jim): {} solutions in {:.3} ms of simulated KCM time",
         outcome.solutions.len(),

@@ -17,7 +17,7 @@
 //! * `:listing` — disassemble the loaded image
 //! * `:halt` — leave
 
-use kcm_repro::kcm_system::{report, Kcm, Outcome};
+use kcm_repro::kcm_system::{report, Kcm, Outcome, QueryOpts};
 use std::io::{BufRead, Write as _};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         let goal = line.strip_suffix('.').unwrap_or(line);
-        match kcm.run(goal, true) {
+        match kcm.query(goal, &QueryOpts::all()) {
             Ok(outcome) => {
                 if !outcome.output.is_empty() {
                     print!("{}", outcome.output);

@@ -6,7 +6,7 @@
 //! cargo run --example zebra
 //! ```
 
-use kcm_repro::kcm_system::{report, Kcm};
+use kcm_repro::kcm_system::{report, Kcm, QueryOpts};
 
 const PUZZLE: &str = "
     member(X, [X|_]).
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kcm = Kcm::new();
     kcm.consult(PUZZLE)?;
 
-    let outcome = kcm.run("zebra(Owner, Houses)", false)?;
+    let outcome = kcm.query("zebra(Owner, Houses)", &QueryOpts::first())?;
     let answer = outcome
         .solutions
         .first()

@@ -7,9 +7,9 @@
 
 use kcm_repro::kcm_mem::MemConfig;
 use kcm_repro::kcm_suite::programs;
-use kcm_repro::kcm_suite::runner::{run_kcm, Variant};
-use kcm_repro::kcm_system::{Kcm, MachineConfig, Outcome};
-use kcm_repro::wam_baseline::{run_baseline, BaselineModel};
+use kcm_repro::kcm_suite::runner::{run_program, Variant};
+use kcm_repro::kcm_system::{Kcm, KcmEngine, MachineConfig, Outcome, QueryOpts};
+use kcm_repro::wam_baseline::BaselineModel;
 
 fn solutions_text(o: &Outcome) -> Vec<String> {
     o.solutions
@@ -26,11 +26,17 @@ fn solutions_text(o: &Outcome) -> Vec<String> {
 #[test]
 fn suite_answers_agree_across_machines() {
     for p in programs::suite() {
-        let kcm = run_kcm(&p, Variant::Timed, &MachineConfig::default())
+        let opts = QueryOpts {
+            enumerate_all: p.enumerate,
+            ..QueryOpts::default()
+        };
+        let kcm = run_program(&KcmEngine::new(), &p, Variant::Timed)
             .unwrap_or_else(|e| panic!("{}: kcm: {e}", p.name));
-        let plm = plm::run_plm(p.source, p.query, p.enumerate)
+        let plm = plm::model()
+            .run(p.source, p.query, &opts)
             .unwrap_or_else(|e| panic!("{}: plm: {e}", p.name));
-        let swam = swam::run_swam(p.source, p.query, p.enumerate)
+        let swam = swam::model()
+            .run(p.source, p.query, &opts)
             .unwrap_or_else(|e| panic!("{}: swam: {e}", p.name));
         assert_eq!(kcm.outcome.success, plm.success, "{}", p.name);
         assert_eq!(kcm.outcome.success, swam.success, "{}", p.name);
@@ -54,10 +60,10 @@ fn enumeration_order_agrees_across_machines() {
     ";
     let q = "path(a, c, P)";
     let model = BaselineModel::standard_wam("ref", 100.0);
-    let base = run_baseline(&model, src, q, true).expect("baseline");
+    let base = model.run(src, q, &QueryOpts::all()).expect("baseline");
     let mut kcm = Kcm::new();
     kcm.consult(src).expect("consult");
-    let k = kcm.run(q, true).expect("kcm");
+    let k = kcm.query(q, &QueryOpts::all()).expect("kcm");
     assert_eq!(solutions_text(&k), solutions_text(&base));
     assert_eq!(solutions_text(&k), ["P=[a,b,c]", "P=[a,d,c]"]);
 }
@@ -65,7 +71,7 @@ fn enumeration_order_agrees_across_machines() {
 fn run_with(cfg: MachineConfig, src: &str, q: &str) -> Vec<String> {
     let mut kcm = Kcm::with_config(cfg);
     kcm.consult(src).expect("consult");
-    solutions_text(&kcm.run(q, true).expect("run"))
+    solutions_text(&kcm.query(q, &QueryOpts::all()).expect("run"))
 }
 
 #[test]
@@ -120,11 +126,11 @@ fn compiler_options_preserve_semantics() {
     let q = "fib(14, F)";
     let mut kcm = Kcm::new();
     kcm.consult(src).expect("consult");
-    let native = solutions_text(&kcm.run(q, true).expect("run"));
+    let native = solutions_text(&kcm.query(q, &QueryOpts::all()).expect("run"));
     assert_eq!(native, ["F=377"]);
     // Escape-based arithmetic, eager choice points, in-code literals.
     let standard = BaselineModel::standard_wam("std", 80.0);
-    let escaped = run_baseline(&standard, src, q, true).expect("baseline");
+    let escaped = standard.run(src, q, &QueryOpts::all()).expect("baseline");
     assert_eq!(native, solutions_text(&escaped));
 }
 
@@ -143,7 +149,7 @@ fn shallow_backtracking_only_changes_costs() {
     let fast = {
         let mut k = Kcm::new();
         k.consult(src).expect("consult");
-        k.run(q, false).expect("run")
+        k.query(q, &QueryOpts::first()).expect("run")
     };
     let slow = {
         let mut k = Kcm::with_config(MachineConfig {
@@ -151,7 +157,7 @@ fn shallow_backtracking_only_changes_costs() {
             ..Default::default()
         });
         k.consult(src).expect("consult");
-        k.run(q, false).expect("run")
+        k.query(q, &QueryOpts::first()).expect("run")
     };
     assert!(fast.success && slow.success);
     assert!(
@@ -166,11 +172,11 @@ fn shallow_backtracking_only_changes_costs() {
 #[test]
 fn whole_suite_is_ablation_stable() {
     use kcm_repro::kcm_suite::programs;
-    use kcm_repro::kcm_suite::runner::{run_kcm, Variant};
+    use kcm_repro::kcm_suite::runner::{run_program, Variant};
     // The entire PLM suite must produce identical output and solutions
     // with shallow backtracking disabled and with the plain aligned cache.
     for p in programs::suite() {
-        let reference = run_kcm(&p, Variant::Timed, &MachineConfig::default())
+        let reference = run_program(&KcmEngine::new(), &p, Variant::Timed)
             .unwrap_or_else(|e| panic!("{}: {e}", p.name));
         for cfg in [
             MachineConfig {
@@ -186,8 +192,8 @@ fn whole_suite_is_ablation_stable() {
                 ..Default::default()
             },
         ] {
-            let variant =
-                run_kcm(&p, Variant::Timed, &cfg).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let variant = run_program(&KcmEngine::with_config(cfg), &p, Variant::Timed)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert_eq!(
                 reference.outcome.output, variant.outcome.output,
                 "{}",

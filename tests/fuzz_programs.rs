@@ -7,8 +7,8 @@
 //! Also runs a corpus of malformed clauses through the full consult path:
 //! the system must return a structured [`KcmError`], never panic.
 
-use kcm_repro::kcm_system::{Kcm, KcmError, MachineConfig, Outcome};
-use kcm_repro::wam_baseline::{run_baseline, BaselineModel};
+use kcm_repro::kcm_system::{Kcm, KcmError, MachineConfig, Outcome, QueryOpts};
+use kcm_repro::wam_baseline::BaselineModel;
 use kcm_testkit::{cases, TestRng};
 
 /// A tiny random program: facts over a small universe plus chain rules.
@@ -83,10 +83,10 @@ fn generated_programs_agree_across_machines() {
 
         let mut kcm = Kcm::new();
         kcm.consult(&src).expect("kcm consult");
-        let kcm_out = kcm.run(&q, true).expect("kcm run");
+        let kcm_out = kcm.query(&q, &QueryOpts::all()).expect("kcm run");
 
         let base = BaselineModel::standard_wam("fuzz", 100.0);
-        let base_out = run_baseline(&base, &src, &q, true).expect("baseline run");
+        let base_out = base.run(&src, &q, &QueryOpts::all()).expect("baseline run");
 
         assert_eq!(kcm_out.success, base_out.success, "src:\n{src}\nquery: {q}");
         assert_eq!(
@@ -107,13 +107,13 @@ fn generated_programs_are_ablation_stable() {
         let q = prog.query();
         let mut shallow = Kcm::new();
         shallow.consult(&src).expect("consult");
-        let a = shallow.run(&q, true).expect("run");
+        let a = shallow.query(&q, &QueryOpts::all()).expect("run");
         let mut eager = Kcm::with_config(MachineConfig {
             shallow_backtracking: false,
             ..MachineConfig::default()
         });
         eager.consult(&src).expect("consult");
-        let b = eager.run(&q, true).expect("run");
+        let b = eager.query(&q, &QueryOpts::all()).expect("run");
         assert_eq!(solutions(&a), solutions(&b));
         // Shallow backtracking never creates *more* choice points.
         assert!(a.stats.choice_points <= b.stats.choice_points);

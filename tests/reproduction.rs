@@ -5,8 +5,8 @@
 
 use kcm_repro::kcm_mem::MemConfig;
 use kcm_repro::kcm_suite::programs;
-use kcm_repro::kcm_suite::runner::{kcm_static_size, run_kcm, Variant};
-use kcm_repro::kcm_system::{Kcm, MachineConfig};
+use kcm_repro::kcm_suite::runner::{kcm_static_size, run_program, Variant};
+use kcm_repro::kcm_system::{Kcm, KcmEngine, MachineConfig, QueryOpts};
 
 /// §4.3 / Table 4: "one concatenation step is 15 cycles" → 833 Klips peak.
 #[test]
@@ -18,10 +18,26 @@ fn concat_peak_is_fifteen_cycles_per_step() {
          run(N) :- mk(N, L), app(L, [x], _).",
     )
     .expect("consult");
-    let short = kcm.run("run(8)", false).expect("run").stats.cycles;
-    let long = kcm.run("run(40)", false).expect("run").stats.cycles;
-    let mk_short = kcm.run("mk(8, _)", false).expect("run").stats.cycles;
-    let mk_long = kcm.run("mk(40, _)", false).expect("run").stats.cycles;
+    let short = kcm
+        .query("run(8)", &QueryOpts::first())
+        .expect("run")
+        .stats
+        .cycles;
+    let long = kcm
+        .query("run(40)", &QueryOpts::first())
+        .expect("run")
+        .stats
+        .cycles;
+    let mk_short = kcm
+        .query("mk(8, _)", &QueryOpts::first())
+        .expect("run")
+        .stats
+        .cycles;
+    let mk_long = kcm
+        .query("mk(40, _)", &QueryOpts::first())
+        .expect("run")
+        .stats
+        .cycles;
     let step = ((long - short) - (mk_long - mk_short)) as f64 / 32.0;
     assert!(
         (13.0..=17.0).contains(&step),
@@ -33,7 +49,7 @@ fn concat_peak_is_fifteen_cycles_per_step() {
 #[test]
 fn nrev1_matches_the_paper() {
     let p = programs::program("nrev1").expect("nrev1");
-    let m = run_kcm(&p, Variant::Timed, &MachineConfig::default()).expect("run");
+    let m = run_program(&KcmEngine::new(), &p, Variant::Timed).expect("run");
     let stats = m.outcome.stats;
     assert_eq!(stats.inferences, 499, "the paper counts 499 inferences");
     let ms = stats.ms();
@@ -52,8 +68,12 @@ fn nrev1_matches_the_paper() {
 fn plm_ratio_band() {
     let mut ratios = Vec::new();
     for p in programs::suite() {
-        let k = run_kcm(&p, Variant::Timed, &MachineConfig::default()).expect("kcm");
-        let pl = plm::run_plm(p.source, p.query, p.enumerate).expect("plm");
+        let k = run_program(&KcmEngine::new(), &p, Variant::Timed).expect("kcm");
+        let opts = QueryOpts {
+            enumerate_all: p.enumerate,
+            ..QueryOpts::default()
+        };
+        let pl = plm::model().run(p.source, p.query, &opts).expect("plm");
         let r = pl.stats.ms() / k.outcome.stats.ms();
         assert!(
             (1.3..=5.5).contains(&r),
@@ -73,8 +93,14 @@ fn quintus_class_ratio_band() {
     let mut ratios = Vec::new();
     let mut by_name = std::collections::HashMap::new();
     for p in programs::suite() {
-        let k = run_kcm(&p, Variant::Starred, &MachineConfig::default()).expect("kcm");
-        let s = swam::run_swam(p.source, p.starred_query, p.enumerate).expect("swam");
+        let k = run_program(&KcmEngine::new(), &p, Variant::Starred).expect("kcm");
+        let opts = QueryOpts {
+            enumerate_all: p.enumerate,
+            ..QueryOpts::default()
+        };
+        let s = swam::model()
+            .run(p.source, p.starred_query, &opts)
+            .expect("swam");
         let r = s.stats.ms() / k.outcome.stats.ms();
         assert!((3.0..=13.0).contains(&r), "{}: SWAM/KCM = {r}", p.name);
         by_name.insert(p.name, r);
@@ -121,25 +147,22 @@ fn static_size_ratios() {
 #[test]
 fn cache_collision_experiment_shape() {
     let p = programs::program("queens").expect("queens");
-    let sectioned = run_kcm(&p, Variant::Starred, &MachineConfig::default())
+    let sectioned = run_program(&KcmEngine::new(), &p, Variant::Starred)
         .expect("run")
         .outcome
         .stats;
-    let aligned = run_kcm(
-        &p,
-        Variant::Starred,
-        &MachineConfig {
-            mem: MemConfig {
-                sectioned_data_cache: false,
-                ..MemConfig::default()
-            },
-            spread_stack_bases: false,
-            ..MachineConfig::default()
+    let aligned_engine = KcmEngine::with_config(MachineConfig {
+        mem: MemConfig {
+            sectioned_data_cache: false,
+            ..MemConfig::default()
         },
-    )
-    .expect("run")
-    .outcome
-    .stats;
+        spread_stack_bases: false,
+        ..MachineConfig::default()
+    });
+    let aligned = run_program(&aligned_engine, &p, Variant::Starred)
+        .expect("run")
+        .outcome
+        .stats;
     let good = sectioned.mem.dcache_hit_ratio();
     let bad = aligned.mem.dcache_hit_ratio();
     assert!(
@@ -154,7 +177,7 @@ fn cache_collision_experiment_shape() {
 fn every_specialised_unit_buys_cycles() {
     use kcm_repro::kcm_arch::CostModel;
     let p = programs::program("qs4").expect("qs4");
-    let full = run_kcm(&p, Variant::Starred, &MachineConfig::default())
+    let full = run_program(&KcmEngine::new(), &p, Variant::Starred)
         .expect("run")
         .outcome
         .stats
@@ -182,7 +205,7 @@ fn every_specialised_unit_buys_cycles() {
             },
         ),
     ] {
-        let cycles = run_kcm(&p, Variant::Starred, &cfg)
+        let cycles = run_program(&KcmEngine::with_config(cfg), &p, Variant::Starred)
             .expect("run")
             .outcome
             .stats

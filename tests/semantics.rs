@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: Prolog semantics end to end through the
 //! reader, compiler, linker and the KCM machine.
 
-use kcm_repro::kcm_system::Kcm;
+use kcm_repro::kcm_system::{Kcm, QueryOpts};
 
 fn kcm(src: &str) -> Kcm {
     let mut k = Kcm::new();
@@ -205,7 +205,7 @@ fn term_ordering_builtins() {
 #[test]
 fn write_output_is_captured() {
     let mut k = kcm("greet :- write(hello), nl, write([1,2|x]), nl.");
-    let outcome = k.run("greet", false).expect("query");
+    let outcome = k.query("greet", &QueryOpts::first()).expect("query");
     assert_eq!(outcome.output, "hello\n[1,2|x]\n");
 }
 
@@ -214,7 +214,7 @@ fn failure_driven_loop_terminates() {
     let mut k = kcm("p(1). p(2). p(3).
          show :- p(X), write(X), nl, fail.
          show.");
-    let outcome = k.run("show", false).expect("query");
+    let outcome = k.query("show", &QueryOpts::first()).expect("query");
     assert!(outcome.success);
     assert_eq!(outcome.output, "1\n2\n3\n");
 }
@@ -278,7 +278,7 @@ fn meta_call_dispatches_builtins() {
     assert!(k.holds("check(integer(3))").expect("q"));
     assert!(!k.holds("check(integer(a))").expect("q"));
     assert!(k.holds("check(3 < 5)").expect("q"));
-    let o = k.run("check(X is 2 + 2)", true).expect("q");
+    let o = k.query("check(X is 2 + 2)", &QueryOpts::all()).expect("q");
     assert_eq!(o.solutions[0][0].1.to_string(), "4");
 }
 
@@ -309,7 +309,7 @@ fn meta_call_is_transparent_to_backtracking() {
 #[test]
 fn meta_call_on_unbound_goal_faults() {
     let mut k = kcm("go(G) :- call(G).");
-    let r = k.run("go(_)", false);
+    let r = k.query("go(_)", &QueryOpts::first());
     assert!(
         r.is_err(),
         "call of an unbound goal is an instantiation fault"
@@ -372,7 +372,10 @@ fn copy_term_refreshes_variables() {
     // The copy's variables are fresh: binding them leaves the original
     // untouched.
     let o = k
-        .run("T = f(X, X, b), copy_term(T, C), C = f(1, One, B)", true)
+        .query(
+            "T = f(X, X, b), copy_term(T, C), C = f(1, One, B)",
+            &QueryOpts::all(),
+        )
         .expect("run");
     assert!(o.success);
     let s = &o.solutions[0];
@@ -401,14 +404,16 @@ fn codes_conversions() {
         ["L = [51,49,55], A = '317'"]
     );
     assert_eq!(all(&mut k, "atom_length(hello, N)"), ["N = 5"]);
-    assert!(k.run("number_codes(N, [104,105])", false).is_err());
+    assert!(k
+        .query("number_codes(N, [104,105])", &QueryOpts::first())
+        .is_err());
 }
 
 #[test]
 fn atom_codes_of_digits_stays_an_atom() {
     let mut k = kcm("t.");
     let o = k
-        .run("atom_codes(A, [52,50]), atom(A)", false)
+        .query("atom_codes(A, [52,50]), atom(A)", &QueryOpts::first())
         .expect("run");
     assert!(
         o.success,
@@ -493,7 +498,10 @@ fn occurs_check_builtin() {
 fn statistics_memory_keys() {
     let mut k = kcm("grow(0, []) :- !. grow(N, [N|T]) :- M is N - 1, grow(M, T).");
     let o = k
-        .run("grow(50, L), statistics(heap, H), H > 50", false)
+        .query(
+            "grow(50, L), statistics(heap, H), H > 50",
+            &QueryOpts::first(),
+        )
         .expect("run");
     assert!(o.success, "50 cons cells need at least 100 heap words");
 }
