@@ -1,7 +1,7 @@
-//! `hostperf` — host-throughput benchmark of the simulator itself.
+//! `hostperf` — host-throughput benchmark of the execution tiers.
 //!
 //! Unlike the table drivers (which report *simulated* milliseconds at the
-//! KCM's 80 ns clock), this driver measures how fast the simulator chews
+//! KCM's 80 ns clock), this driver measures how fast each tier chews
 //! through the suite in **host wall-clock** time: host ms per program,
 //! simulated cycles per host second and simulated inferences per host
 //! second (host Klips), serially and fanned out across the session pool
@@ -9,12 +9,20 @@
 //! whatever the host speed — this table tracks the ROADMAP north star
 //! ("runs as fast as the hardware allows"), not the paper.
 //!
+//! Each program is timed on **both tiers** under identical conditions:
+//! the cycle-accurate simulator ([`Kcm::prepare`]) and the native
+//! execution tier ([`Kcm::prepare_native`], no cost model). Same decoded
+//! image, same answers, same inference counts — the `Nat x` column is
+//! therefore a pure measure of what the cycle/cache/MMU model costs per
+//! retired instruction. JSONL rows carry a `tier` field (`"cycle"` /
+//! `"native"`) so downstream tooling can separate the series.
+//!
 //! The per-program rows time the **query run only**: the program is
-//! consulted and the machine built by [`Kcm::prepare`] outside the timed
-//! window (a fresh machine per rep, so the simulated numbers are those of
-//! a cold run), because the hot loop — not the compiler or the loader —
-//! is what this benchmark tracks. The pooled row times the whole suite
-//! end to end (consult + prepare + run) across the session pool.
+//! consulted and the machine built outside the timed window (a fresh
+//! machine per rep, so the simulated numbers are those of a cold run),
+//! because the hot loop — not the compiler or the loader — is what this
+//! benchmark tracks. The pooled row times the whole suite end to end
+//! (consult + prepare + run) across the session pool, on the cycle tier.
 //!
 //! Knobs:
 //!
@@ -75,9 +83,12 @@ fn main() {
         "Sim/host",
         "Mcyc/host-s",
         "Host Klips",
+        "Nat ms",
+        "Nat x",
     ]);
     let mut jsonl = JsonlWriter::for_bench("hostperf");
     let mut serial_host_s = 0.0;
+    let mut native_host_s = 0.0;
     let mut total_cycles: u64 = 0;
     let mut total_inferences: u64 = 0;
     for p in &suite {
@@ -96,14 +107,43 @@ fn main() {
             best_s = best_s.min(t0.elapsed().as_secs_f64());
             outcome = Some(o);
         }
+        // The native tier, same harness: fresh machine per rep, query
+        // run only in the timed window.
+        let mut best_native_s = f64::INFINITY;
+        let mut native_outcome: Option<Outcome> = None;
+        for _ in 0..reps {
+            let (mut machine, vars) = kcm.prepare_native(p.query).expect("suite query compiles");
+            let t0 = Instant::now();
+            let o = machine
+                .run_query(&vars, p.enumerate)
+                .expect("suite program runs natively");
+            best_native_s = best_native_s.min(t0.elapsed().as_secs_f64());
+            native_outcome = Some(o);
+        }
         let outcome = outcome.expect("at least one rep");
+        let native = native_outcome.expect("at least one rep");
+        // Not a difftest, but a broken tier must not publish numbers.
+        assert_eq!(
+            outcome.solutions, native.solutions,
+            "{}: tiers disagree on solutions",
+            p.name
+        );
+        assert_eq!(
+            outcome.stats.inferences, native.stats.inferences,
+            "{}: tiers disagree on inferences",
+            p.name
+        );
         let stats = &outcome.stats;
         serial_host_s += best_s;
+        native_host_s += best_native_s;
         total_cycles += stats.cycles;
         total_inferences += stats.inferences;
         let host_ms = best_s * 1e3;
+        let native_ms = best_native_s * 1e3;
         let mcyc_per_s = ratio(stats.cycles as f64 / 1e6, best_s);
         let host_klips = ratio(stats.inferences as f64 / 1e3, best_s);
+        let native_klips = ratio(stats.inferences as f64 / 1e3, best_native_s);
+        let speedup = ratio(best_s, best_native_s);
         t.row(vec![
             p.name.to_owned(),
             stats.inferences.to_string(),
@@ -112,15 +152,27 @@ fn main() {
             f2(ratio(stats.ms(), host_ms)),
             f2(mcyc_per_s),
             f2(host_klips),
+            f3(native_ms),
+            f2(speedup),
         ]);
         jsonl.record(
             &Record::row("hostperf", p.name)
+                .str("tier", "cycle")
                 .u64("inferences", stats.inferences)
                 .u64("sim_cycles", stats.cycles)
                 .f64("sim_ms", stats.ms())
                 .f64("host_ms", host_ms)
                 .f64("sim_mcycles_per_host_s", mcyc_per_s)
                 .f64("host_klips", host_klips)
+                .u64("fast_paths", u64::from(fast)),
+        );
+        jsonl.record(
+            &Record::row("hostperf", p.name)
+                .str("tier", "native")
+                .u64("inferences", stats.inferences)
+                .f64("host_ms", native_ms)
+                .f64("host_klips", native_klips)
+                .f64("speedup_vs_cycle", speedup)
                 .u64("fast_paths", u64::from(fast)),
         );
     }
@@ -144,6 +196,13 @@ fn main() {
         f2(ratio(total_inferences as f64 / 1e3, serial_host_s)),
     );
     println!(
+        "native: {} programs in {} host ms  ({} host Klips, {}x the cycle tier)",
+        suite.len(),
+        f2(native_host_s * 1e3),
+        f2(ratio(total_inferences as f64 / 1e3, native_host_s)),
+        f2(ratio(serial_host_s, native_host_s)),
+    );
+    println!(
         "pooled: {} workers in {} host ms  ({} Msim-cycles/host-s, {} host Klips)",
         pool.workers(),
         f2(pooled_s * 1e3),
@@ -152,6 +211,7 @@ fn main() {
     );
     jsonl.record(
         &Record::summary("hostperf", "serial-total")
+            .str("tier", "cycle")
             .u64("programs", suite.len() as u64)
             .u64("sim_cycles", total_cycles)
             .u64("inferences", total_inferences)
@@ -161,6 +221,19 @@ fn main() {
                 "host_klips",
                 ratio(total_inferences as f64 / 1e3, serial_host_s),
             )
+            .u64("fast_paths", u64::from(fast)),
+    );
+    jsonl.record(
+        &Record::summary("hostperf", "serial-total-native")
+            .str("tier", "native")
+            .u64("programs", suite.len() as u64)
+            .u64("inferences", total_inferences)
+            .f64("host_ms", native_host_s * 1e3)
+            .f64(
+                "host_klips",
+                ratio(total_inferences as f64 / 1e3, native_host_s),
+            )
+            .f64("speedup_vs_cycle", ratio(serial_host_s, native_host_s))
             .u64("fast_paths", u64::from(fast)),
     );
     jsonl.record(

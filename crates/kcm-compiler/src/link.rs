@@ -205,6 +205,13 @@ impl CodeImage {
         self.addrs.get(idx as usize).copied()
     }
 
+    /// Number of decoded instructions in the stream (valid stream indices
+    /// are `0..num_instrs`).
+    #[inline]
+    pub fn num_instrs(&self) -> usize {
+        self.instrs.len()
+    }
+
     /// The encoded code words (loader image).
     pub fn words(&self) -> &[u64] {
         &self.words

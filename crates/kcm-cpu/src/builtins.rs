@@ -11,6 +11,7 @@
 use crate::machine::{Machine, MachineError, Solution};
 use kcm_arch::isa::{AluOp, Builtin, Cond};
 use kcm_arch::{Tag, Word};
+use kcm_mem::DataMem;
 use kcm_prolog::Term;
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -39,7 +40,7 @@ pub enum BuiltinOutcome {
 ///
 /// Returns a [`MachineError`] for type/instantiation faults — Prolog-level
 /// *failure* is reported through [`BuiltinOutcome::Fail`], not an error.
-pub fn execute(m: &mut Machine, b: Builtin) -> Result<BuiltinOutcome, MachineError> {
+pub fn execute<M: DataMem>(m: &mut Machine<M>, b: Builtin) -> Result<BuiltinOutcome, MachineError> {
     use BuiltinOutcome::{Fail, Halt, Succeed};
     let ok = |c: bool| if c { Succeed } else { Fail };
     match b {
@@ -168,12 +169,12 @@ pub fn execute(m: &mut Machine, b: Builtin) -> Result<BuiltinOutcome, MachineErr
         Builtin::Name => builtin_name(m),
         Builtin::Halt => Ok(Halt(true)),
         Builtin::ReportSolution => {
-            let names = m.query_var_names();
-            let mut solution: Solution = Vec::with_capacity(names.len());
-            for (i, name) in names.iter().enumerate() {
+            let n = m.query_var_count();
+            let mut solution: Solution = Vec::with_capacity(n);
+            for i in 0..n {
                 let w = m.arg_word(i);
                 let t = m.with_host_access(|m| m.decode_term(w))?;
-                solution.push((name.clone(), t));
+                solution.push((m.query_var_name(i).to_owned(), t));
             }
             m.push_solution(solution);
             Ok(if m.enumerating() { Fail } else { Succeed })
@@ -292,7 +293,7 @@ pub fn execute(m: &mut Machine, b: Builtin) -> Result<BuiltinOutcome, MachineErr
 /// The meta-call: dispatches the goal term in A1. User predicates are
 /// entered execute-style; recognised built-in goals run inline; control
 /// constructs are rejected (compile them, or wrap them in a predicate).
-fn builtin_call_goal(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+fn builtin_call_goal<M: DataMem>(m: &mut Machine<M>) -> Result<BuiltinOutcome, MachineError> {
     // call/N: A2..AN are extra arguments appended to the goal in A1.
     let extra: Vec<Word> = (1..m.current_arity() as usize)
         .map(|i| m.arg_word(i))
@@ -377,14 +378,14 @@ fn builtin_call_goal(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
     }
 }
 
-fn deref_tag(m: &mut Machine, i: usize) -> Result<Tag, MachineError> {
+fn deref_tag<M: DataMem>(m: &mut Machine<M>, i: usize) -> Result<Tag, MachineError> {
     Ok(m.deref(m.arg_word(i))?.tag())
 }
 
 /// Generic arithmetic over a term (the `is/2` escape — used when the
 /// compiler could not inline the expression natively). Charges per
 /// operator like the native path.
-fn eval_arith(m: &mut Machine, w: Word) -> Result<Word, MachineError> {
+fn eval_arith<M: DataMem>(m: &mut Machine<M>, w: Word) -> Result<Word, MachineError> {
     let w = m.deref(w)?;
     match w.tag() {
         Tag::Int | Tag::Float => Ok(w),
@@ -460,7 +461,11 @@ fn eval_arith(m: &mut Machine, w: Word) -> Result<Word, MachineError> {
 
 /// Standard order of terms: Var < Number < Atom < Compound; compounds by
 /// arity, then functor name, then arguments left to right.
-fn term_compare(m: &mut Machine, a: Word, b: Word) -> Result<Ordering, MachineError> {
+fn term_compare<M: DataMem>(
+    m: &mut Machine<M>,
+    a: Word,
+    b: Word,
+) -> Result<Ordering, MachineError> {
     m.charge_cycles(1);
     let a = m.deref(a)?;
     let b = m.deref(b)?;
@@ -490,7 +495,7 @@ fn term_compare(m: &mut Machine, a: Word, b: Word) -> Result<Ordering, MachineEr
             Ok(x.partial_cmp(&y).unwrap_or(Ordering::Equal))
         }
         Tag::Atom | Tag::Nil => {
-            let name = |m: &Machine, w: Word| -> String {
+            let name = |m: &Machine<M>, w: Word| -> String {
                 match w.as_atom() {
                     Some(id) => m.symbols.atom_name(id).to_owned(),
                     None => "[]".to_owned(),
@@ -526,7 +531,10 @@ fn term_compare(m: &mut Machine, a: Word, b: Word) -> Result<Ordering, MachineEr
 }
 
 /// Functor name/arity and argument base pointer of a compound word.
-fn functor_of(m: &mut Machine, w: Word) -> Result<(String, u8, kcm_arch::VAddr), MachineError> {
+fn functor_of<M: DataMem>(
+    m: &mut Machine<M>,
+    w: Word,
+) -> Result<(String, u8, kcm_arch::VAddr), MachineError> {
     let p = w.as_addr().expect("compound");
     match w.tag() {
         Tag::List => Ok((".".to_owned(), 2, p)),
@@ -545,7 +553,7 @@ fn functor_of(m: &mut Machine, w: Word) -> Result<(String, u8, kcm_arch::VAddr),
     }
 }
 
-fn builtin_functor(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+fn builtin_functor<M: DataMem>(m: &mut Machine<M>) -> Result<BuiltinOutcome, MachineError> {
     let t = m.deref(m.arg_word(0))?;
     match t.tag() {
         Tag::Ref => {
@@ -633,7 +641,7 @@ fn builtin_functor(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
     }
 }
 
-fn builtin_arg(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+fn builtin_arg<M: DataMem>(m: &mut Machine<M>) -> Result<BuiltinOutcome, MachineError> {
     let n = m
         .deref(m.arg_word(0))?
         .as_int()
@@ -656,7 +664,7 @@ fn builtin_arg(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
     })
 }
 
-fn builtin_univ(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+fn builtin_univ<M: DataMem>(m: &mut Machine<M>) -> Result<BuiltinOutcome, MachineError> {
     let t = m.deref(m.arg_word(0))?;
     match t.tag() {
         Tag::Ref => {
@@ -755,7 +763,7 @@ fn builtin_univ(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
     }
 }
 
-fn builtin_length(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+fn builtin_length<M: DataMem>(m: &mut Machine<M>) -> Result<BuiltinOutcome, MachineError> {
     let list = m.deref(m.arg_word(0))?;
     match list.tag() {
         Tag::Nil | Tag::List => {
@@ -810,7 +818,7 @@ fn builtin_length(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
     }
 }
 
-fn builtin_name(m: &mut Machine) -> Result<BuiltinOutcome, MachineError> {
+fn builtin_name<M: DataMem>(m: &mut Machine<M>) -> Result<BuiltinOutcome, MachineError> {
     let a = m.deref(m.arg_word(0))?;
     match a.tag() {
         Tag::Atom | Tag::Int | Tag::Nil => {

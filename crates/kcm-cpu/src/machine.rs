@@ -26,7 +26,7 @@ use kcm_arch::isa::{AluOp, Cond, Instr, Reg};
 use kcm_arch::timing::Cycles;
 use kcm_arch::{CodeAddr, CostModel, SymbolTable, Tag, VAddr, Word, Zone, ZoneLimits};
 use kcm_compiler::CodeImage;
-use kcm_mem::{MemConfig, MemFault, MemStats, MemorySystem, ZoneFault};
+use kcm_mem::{DataMem, MemConfig, MemFault, MemStats, MemorySystem, ZoneFault};
 use kcm_prolog::Term;
 use std::sync::Arc;
 
@@ -335,10 +335,19 @@ impl Psw {
 }
 
 /// The KCM processor plus its private memory, loaded with a code image.
+///
+/// Generic over the data-memory backend `M`: the default
+/// [`MemorySystem`] is the cycle-accurate hierarchy (caches, MMU,
+/// paging); the native tier instantiates the same interpreter over
+/// `kcm-native`'s flat uncosted store. `M::SIMULATED` is a
+/// monomorphization-time switch — the native copy of this code carries
+/// no cycle accounting, prefetch modelling or per-instruction profile
+/// attribution at all, while the architectural semantics (and therefore
+/// solutions, output and error classes) are shared down to the line.
 #[derive(Debug)]
-pub struct Machine {
+pub struct Machine<M: DataMem = MemorySystem> {
     pub(crate) regs: RegisterFile,
-    pub(crate) mem: MemorySystem,
+    pub(crate) mem: M,
     image: Arc<CodeImage>,
     pub(crate) symbols: SymbolTable,
     cfg: MachineConfig,
@@ -392,6 +401,16 @@ pub struct Machine {
     /// image before use, so a stale hint is never wrong, just a miss.
     ft_addr: u32,
     ft_index: u32,
+    /// Resolved-dispatch side table for the native tier: per stream
+    /// index, the fall-through address (`addr + size`, low 32 bits) and
+    /// its stream index (high 32 bits; `u32::MAX` when the fall-through
+    /// lands on no instruction), packed into one word so the hot loop
+    /// pays a single load and a single bounds check per step. Built once
+    /// per image — `resolved_key` identifies the image it was derived
+    /// from — so the native hot loop never recomputes instruction sizes
+    /// or validates fall-through hints. Empty on the simulated tier.
+    resolved_key: usize,
+    resolved_next: Vec<u64>,
     /// Scratch stack reused across unifications (unification is the
     /// single most frequent operation; a fresh allocation per call would
     /// dominate its host cost). Taken while a unification runs, so a
@@ -411,7 +430,8 @@ pub struct Machine {
 impl Machine {
     /// Creates a machine loaded with `image`: the loader installs the
     /// static data area (ground literals) and write-protects the static
-    /// zone before execution.
+    /// zone before execution. The backend is the cycle-accurate
+    /// [`MemorySystem`]; [`Machine::with_backend`] selects another.
     pub fn new(image: CodeImage, symbols: SymbolTable, cfg: MachineConfig) -> Machine {
         Machine::with_shared_image(Arc::new(image), symbols, cfg)
     }
@@ -425,9 +445,24 @@ impl Machine {
         symbols: SymbolTable,
         cfg: MachineConfig,
     ) -> Machine {
+        Machine::with_backend(image, symbols, cfg)
+    }
+}
+
+impl<M: DataMem> Machine<M> {
+    /// Creates a machine over an explicit data-memory backend `M` —
+    /// the generic form of [`Machine::with_shared_image`]. The loader
+    /// installs the static data area (ground literals) and
+    /// write-protects the static zone before execution, whatever the
+    /// backend.
+    pub fn with_backend(
+        image: Arc<CodeImage>,
+        symbols: SymbolTable,
+        cfg: MachineConfig,
+    ) -> Machine<M> {
         let spread = cfg.spread_stack_bases;
         let event_trace_depth = cfg.event_trace_depth;
-        let mem = MemorySystem::new(cfg.mem.clone());
+        let mem = M::with_config(cfg.mem.clone());
         let heap_base = MemorySystem::stack_base(Zone::Global, spread);
         let local_base = MemorySystem::stack_base(Zone::Local, spread);
         let control_base = MemorySystem::stack_base(Zone::Control, spread);
@@ -471,6 +506,8 @@ impl Machine {
             profile: Vec::new(),
             ft_addr: u32::MAX,
             ft_index: u32::MAX,
+            resolved_key: 0,
+            resolved_next: Vec::new(),
             unify_stack: Vec::new(),
             occurs_stack: Vec::new(),
             query_vars: Vec::new(),
@@ -481,7 +518,34 @@ impl Machine {
             control_base,
         };
         m.install_static_data();
+        if !M::SIMULATED {
+            // Build the resolved-dispatch tables at load time, off the
+            // query path (a service measures the run, not the loader).
+            m.ensure_resolved_dispatch();
+        }
         m
+    }
+
+    /// (Re)builds the native tier's resolved-dispatch tables if the
+    /// loaded image is not the one they were derived from.
+    fn ensure_resolved_dispatch(&mut self) {
+        let key = Arc::as_ptr(&self.image) as usize;
+        if self.resolved_key == key {
+            return;
+        }
+        let image = Arc::clone(&self.image);
+        let n = image.num_instrs();
+        self.resolved_next.clear();
+        self.resolved_next.reserve(n);
+        for idx in 0..n as u32 {
+            let addr = image.addr_at_index(idx).expect("index in range");
+            let size = image.instr_at_index(idx).size_words() as u32;
+            let next = addr + size;
+            let next_idx = image.index_of(CodeAddr::new(next)).unwrap_or(u32::MAX);
+            self.resolved_next
+                .push(u64::from(next) | (u64::from(next_idx) << 32));
+        }
+        self.resolved_key = key;
     }
 
     /// Loader step: copies the image's static data area into machine
@@ -519,6 +583,10 @@ impl Machine {
         self.mem.invalidate_code_cache();
         self.ft_addr = u32::MAX;
         self.ft_index = u32::MAX;
+        self.resolved_key = 0;
+        if !M::SIMULATED {
+            self.ensure_resolved_dispatch();
+        }
     }
 
     /// Runs the image's `$query/0` entry. `enumerate_all` makes the
@@ -539,7 +607,9 @@ impl Machine {
             .image
             .query_entry()
             .ok_or(MachineError::BadCodeAddress(CodeAddr::new(0)))?;
-        self.query_vars = query_vars.to_vec();
+        if self.query_vars != query_vars {
+            self.query_vars = query_vars.to_vec();
+        }
         self.enumerate_all = enumerate_all;
         self.run(entry)
     }
@@ -574,17 +644,30 @@ impl Machine {
         // while the machine is stepping (consulting happens between runs),
         // so the hot loop can borrow it without per-step `Arc` traffic.
         let image = Arc::clone(&self.image);
-        while self.halted.is_none() {
-            self.step_in(&image)?;
-            if self.cycles - start_cycles > self.budget {
-                return Err(MachineError::Fuel {
-                    cycles: self.cycles - start_cycles,
-                });
-            }
-            if self.stats.instructions - start_instructions > step_budget {
-                return Err(MachineError::BudgetExhausted {
-                    steps: self.stats.instructions - start_instructions,
-                });
+        if !M::SIMULATED && self.cfg.fast_paths && self.cfg.trace_depth == 0 {
+            // Native tier: the resolved-dispatch loop (pre-computed
+            // instruction sizes and fall-through indices; no clock, no
+            // fuel gauge, no macrocode trace window).
+            self.ensure_resolved_dispatch();
+            let resolved = std::mem::take(&mut self.resolved_next);
+            let r = self.run_resolved(&image, &resolved, start_instructions);
+            self.resolved_next = resolved;
+            r?;
+        } else {
+            while self.halted.is_none() {
+                self.step_in(&image)?;
+                // The fuel gauge meters *cycles*; the native tier has no
+                // clock, so its copy of the check monomorphizes away.
+                if M::SIMULATED && self.cycles - start_cycles > self.budget {
+                    return Err(MachineError::Fuel {
+                        cycles: self.cycles - start_cycles,
+                    });
+                }
+                if self.stats.instructions - start_instructions > step_budget {
+                    return Err(MachineError::BudgetExhausted {
+                        steps: self.stats.instructions - start_instructions,
+                    });
+                }
             }
         }
         let mut end_stats = self.stats;
@@ -603,6 +686,55 @@ impl Machine {
             output: std::mem::take(&mut self.output),
             trace: self.trace(),
         })
+    }
+
+    /// The native tier's hot loop: enum dispatch over the decoded stream
+    /// with pre-resolved instruction sizes and fall-through indices (the
+    /// side tables built by [`Machine::ensure_resolved_dispatch`]).
+    /// Observable behaviour — execution order, retired-instruction
+    /// counting, the step budget's trip point, every error class — is
+    /// identical to the generic loop; only the per-step bookkeeping the
+    /// native tier does not need (cycle fuel, trace window, fall-through
+    /// hint validation) is gone.
+    fn run_resolved(
+        &mut self,
+        image: &CodeImage,
+        resolved: &[u64],
+        start_instructions: u64,
+    ) -> Result<(), MachineError> {
+        let step_budget = self.cfg.step_budget;
+        let mut idx = match image.index_of(self.p) {
+            Some(i) => i,
+            None => return Err(MachineError::BadCodeAddress(self.p)),
+        };
+        loop {
+            let instr = image.instr_at_index(idx);
+            self.stats.instructions += 1;
+            let packed = resolved[idx as usize];
+            let np = packed as u32;
+            self.p = CodeAddr::new(np);
+            self.exec_body(instr)?;
+            if self.stats.instructions - start_instructions > step_budget {
+                return Err(MachineError::BudgetExhausted {
+                    steps: self.stats.instructions - start_instructions,
+                });
+            }
+            if self.halted.is_some() {
+                return Ok(());
+            }
+            idx = if self.p.value() == np {
+                let ni = (packed >> 32) as u32;
+                if ni == u32::MAX {
+                    return Err(MachineError::BadCodeAddress(self.p));
+                }
+                ni
+            } else {
+                match image.index_of(self.p) {
+                    Some(i) => i,
+                    None => return Err(MachineError::BadCodeAddress(self.p)),
+                }
+            };
+        }
     }
 
     /// The macrocode monitor's window: the last `trace_depth` executed
@@ -662,7 +794,11 @@ impl Machine {
 
     #[inline]
     fn charge(&mut self, c: Cycles) {
-        self.cycles += c;
+        // Resolved at monomorphization time: the native tier's copy of
+        // every charge site compiles to nothing.
+        if M::SIMULATED {
+            self.cycles += c;
+        }
     }
 
     fn dptr(addr: VAddr) -> Word {
@@ -671,11 +807,12 @@ impl Machine {
 
     /// One data read: one cache cycle plus miss extras. In untimed
     /// (host/monitor) mode the read bypasses the cache and is free.
+    #[inline]
     fn read_data(&mut self, addr: VAddr) -> Result<Word, MachineError> {
         if self.untimed {
             return Ok(self.mem.peek(addr)?);
         }
-        let (w, extra) = self.mem.read_ptr(Self::dptr(addr))?;
+        let (w, extra) = self.mem.read_data_addr(addr)?;
         self.charge(self.cfg.cost.heap_read + extra);
         Ok(w)
     }
@@ -683,7 +820,7 @@ impl Machine {
     /// Runs `f` with host/monitor memory access (untimed, cache-bypassing).
     pub(crate) fn with_host_access<T>(
         &mut self,
-        f: impl FnOnce(&mut Machine) -> Result<T, MachineError>,
+        f: impl FnOnce(&mut Machine<M>) -> Result<T, MachineError>,
     ) -> Result<T, MachineError> {
         let prev = self.untimed;
         self.untimed = true;
@@ -695,15 +832,16 @@ impl Machine {
     /// One data write: one cache cycle plus miss extras. Zone-limit traps
     /// are serviced by growing the zone (the stack-growth trap handler of
     /// §3.2.3) and retrying once.
+    #[inline(always)]
     fn write_data(&mut self, addr: VAddr, w: Word) -> Result<(), MachineError> {
-        match self.mem.write_ptr(Self::dptr(addr), w) {
+        match self.mem.write_data_addr(addr, w) {
             Ok(extra) => {
                 self.charge(self.cfg.cost.heap_write + extra);
                 Ok(())
             }
             Err(MemFault::Zone(ZoneFault::OutOfZone { zone, .. })) => {
                 self.grow_zone(zone, addr)?;
-                let extra = self.mem.write_ptr(Self::dptr(addr), w)?;
+                let extra = self.mem.write_data_addr(addr, w)?;
                 self.charge(self.cfg.cost.heap_write + extra);
                 Ok(())
             }
@@ -740,7 +878,11 @@ impl Machine {
         let mut links: usize = 0;
         loop {
             if w.tag_checked() != Some(Tag::Ref) {
-                self.prof.record_deref_chain(links);
+                // Chain-length attribution is profile bookkeeping: the
+                // native tier does not keep it (monomorphized away).
+                if M::SIMULATED {
+                    self.prof.record_deref_chain(links);
+                }
                 return Ok(w);
             }
             let addr = w.as_addr().expect("ref carries an address");
@@ -749,7 +891,9 @@ impl Machine {
             links += 1;
             self.charge(self.cfg.cost.deref_link);
             if cell.is_unbound_at(addr) {
-                self.prof.record_deref_chain(links);
+                if M::SIMULATED {
+                    self.prof.record_deref_chain(links);
+                }
                 return Ok(cell);
             }
             w = cell;
@@ -774,14 +918,18 @@ impl Machine {
     pub(crate) fn bind(&mut self, addr: VAddr, value: Word) -> Result<(), MachineError> {
         self.write_data(addr, value)?;
         self.charge(self.cfg.cost.bind + self.cfg.cost.trail_check_sw);
-        self.prof.trail_checks += 1;
+        if M::SIMULATED {
+            self.prof.trail_checks += 1;
+        }
         if self.must_trail(addr) {
             let tr = self.tr;
             self.write_data(tr, Self::dptr(addr))?;
             self.tr = self.tr.offset(1);
             self.charge(self.cfg.cost.trail_push);
             self.stats.trail_pushes += 1;
-            self.prof.trail_pushes += 1;
+            if M::SIMULATED {
+                self.prof.trail_pushes += 1;
+            }
             self.tracer.record(|| TraceEvent::TrailPush { cell: addr });
         }
         Ok(())
@@ -884,7 +1032,9 @@ impl Machine {
             let b = self.deref(b)?;
             self.charge(self.cfg.cost.unify_dispatch);
             let case = self.mwac.dispatch(a.tag(), b.tag());
-            self.prof.record_dispatch(case);
+            if M::SIMULATED {
+                self.prof.record_dispatch(case);
+            }
             match case {
                 UnifyCase::BindLeft => {
                     if occurs
@@ -1265,8 +1415,12 @@ impl Machine {
         self.image.entry(name, arity)
     }
 
-    pub(crate) fn query_var_names(&self) -> Vec<String> {
-        self.query_vars.clone()
+    pub(crate) fn query_var_count(&self) -> usize {
+        self.query_vars.len()
+    }
+
+    pub(crate) fn query_var_name(&self, i: usize) -> &str {
+        &self.query_vars[i]
     }
 
     pub(crate) fn push_solution(&mut self, s: Solution) {
@@ -1351,20 +1505,23 @@ impl Machine {
         };
         let instr = image.instr_at_index(idx);
         let words = instr.size_words();
-        let class = InstrClass::of(instr);
         // Instruction fetch through the code cache (prefetch streams
-        // sequential words; misses charge their penalty).
-        if self.cfg.fast_paths {
-            let extra = self.mem.fetch_code_seq(addr, words);
-            self.charge(extra);
-        } else {
-            for i in 0..words {
-                let extra = self.mem.fetch_code(addr.offset(i as i64));
+        // sequential words; misses charge their penalty). The native tier
+        // has no code cache and no clock — the whole block monomorphizes
+        // away.
+        if M::SIMULATED {
+            if self.cfg.fast_paths {
+                let extra = self.mem.fetch_code_seq(addr, words);
                 self.charge(extra);
+            } else {
+                for i in 0..words {
+                    let extra = self.mem.fetch_code(addr.offset(i as i64));
+                    self.charge(extra);
+                }
             }
+            self.prefetch.issue(addr, words);
+            self.charge(self.cfg.cost.instr_overhead);
         }
-        self.prefetch.issue(addr, words);
-        self.charge(self.cfg.cost.instr_overhead);
         self.stats.instructions += 1;
         if self.cfg.trace_depth > 0 {
             if self.trace.len() == self.cfg.trace_depth {
@@ -1379,20 +1536,33 @@ impl Machine {
         let r = self.exec(instr);
         // The retired-instruction profile attributes every cycle of the
         // step — fetch, overhead and execution — to the opcode's class.
-        let delta = self.cycles - before;
-        self.prof.retire(class, delta);
-        if self.cfg.profile {
-            let slot = addr.value() as usize;
-            if slot >= self.profile.len() {
-                self.profile.resize(slot + 1, 0);
+        // Without a clock there is nothing to attribute.
+        if M::SIMULATED {
+            let delta = self.cycles - before;
+            self.prof.retire(InstrClass::of(instr), delta);
+            if self.cfg.profile {
+                let slot = addr.value() as usize;
+                if slot >= self.profile.len() {
+                    self.profile.resize(slot + 1, 0);
+                }
+                self.profile[slot] += delta;
             }
-            self.profile[slot] += delta;
         }
         r
     }
 
-    #[allow(clippy::too_many_lines)]
     fn exec(&mut self, instr: &Instr) -> Result<(), MachineError> {
+        self.exec_body(instr)
+    }
+
+    /// The instruction dispatch itself. `#[inline(always)]` so the
+    /// native tier's resolved loop absorbs it — one fused
+    /// fetch/dispatch/execute body with no call per step — while the
+    /// simulator's [`Machine::step_in`] keeps its own outlined copy
+    /// behind [`Machine::exec`].
+    #[allow(clippy::too_many_lines)]
+    #[inline(always)]
+    fn exec_body(&mut self, instr: &Instr) -> Result<(), MachineError> {
         let cost = self.cfg.cost;
         match instr {
             // ------------------------------------------------- control

@@ -8,6 +8,7 @@
 
 use crate::machine::{Machine, MachineError};
 use kcm_arch::{Tag, Word};
+use kcm_mem::DataMem;
 use kcm_prolog::Term;
 use std::collections::HashMap;
 
@@ -32,7 +33,7 @@ enum DecodeTask {
     BuildStruct(String, usize),
 }
 
-impl Machine {
+impl<M: DataMem> Machine<M> {
     /// Decodes the term rooted at `w` into a host [`Term`]. Unbound
     /// variables print as `_G<address>`.
     ///

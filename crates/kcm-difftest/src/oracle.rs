@@ -18,7 +18,7 @@ use kcm_cpu::MachineConfig;
 use kcm_prolog::Term;
 use kcm_system::{error_class, Kcm, KcmError, QueryJob, QueryOpts, SessionPool};
 
-pub use kcm_system::{Engine, EngineOutcome, KcmEngine};
+pub use kcm_system::{Engine, EngineOutcome, KcmEngine, NativeEngine};
 
 /// Step budget applied to every engine per case. Generated programs
 /// terminate by construction; the budget only catches generator bugs.
@@ -225,13 +225,15 @@ impl Engine for PooledKcmEngine {
     }
 }
 
-/// The full engine roster: KCM fast-paths on and off, pooled KCM with 1
-/// and N workers, the generic standard WAM, the Quintus-class software
-/// WAM and the PLM byte-code machine.
+/// The full engine roster: KCM fast-paths on and off, the native
+/// execution tier (no cycle model — its equivalence proof *is* this
+/// roster), pooled KCM with 1 and N workers, the generic standard WAM,
+/// the Quintus-class software WAM and the PLM byte-code machine.
 pub fn standard_engines() -> Vec<Box<dyn Engine>> {
     vec![
         Box::new(kcm_engine(true)),
         Box::new(kcm_engine(false)),
+        Box::new(NativeEngine::new()),
         Box::new(PooledKcmEngine { workers: 1 }),
         Box::new(PooledKcmEngine { workers: 4 }),
         Box::new(wam_baseline::BaselineModel::standard_wam(
@@ -333,10 +335,13 @@ pub fn compare(
     query: &str,
     enumerate_all: bool,
 ) -> Verdict {
+    // Tier stays the default (cycle); [`NativeEngine`] pins its own tier
+    // over these opts, which is what lets one shared `QueryOpts` drive a
+    // roster that mixes tiers.
     let opts = QueryOpts {
         enumerate_all,
         step_budget: Some(STEP_BUDGET),
-        trace: 0,
+        ..QueryOpts::default()
     };
     let reports: Vec<EngineReport> = engines
         .iter()

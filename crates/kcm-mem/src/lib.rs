@@ -196,6 +196,167 @@ impl MemStats {
     }
 }
 
+/// A data-memory backend the execution unit can run against.
+///
+/// The KCM interpreter core is generic over this trait so that the same
+/// instruction semantics drive two tiers: the cycle-accurate
+/// [`MemorySystem`] (caches, MMU, paging, per-access penalties) and the
+/// native tier's flat uncosted store (`kcm-native`). Everything the
+/// machine observes architecturally — word values, zone faults, zone
+/// limits, write protection — must behave identically across backends;
+/// only the *timing* (the returned extra-cycle penalties, the cache/MMU
+/// statistics) may differ.
+pub trait DataMem: std::fmt::Debug + Send {
+    /// Whether this backend models the memory hierarchy. When `false` the
+    /// machine statically skips all cycle accounting, prefetch modelling
+    /// and per-instruction profile bookkeeping — the branch is resolved at
+    /// monomorphization time, so the native tier pays nothing for it.
+    const SIMULATED: bool;
+
+    /// Creates a backend from the memory configuration. Backends that do
+    /// not model the hierarchy may ignore most fields but must honor
+    /// `zone_check`.
+    fn with_config(config: MemConfig) -> Self;
+
+    /// The zone table (limits may be changed dynamically, §3.2.3).
+    fn zones(&self) -> &ZoneTable;
+
+    /// Mutable access to the zone table.
+    fn zones_mut(&mut self) -> &mut ZoneTable;
+
+    /// Reads the data word addressed by the tagged pointer `ptr`,
+    /// returning the word and the extra cycle penalty.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NotAnAddress`] for a non-pointer, zone faults per the
+    /// zone rules.
+    fn read_ptr(&mut self, ptr: Word) -> Result<(Word, Cycles), MemFault>;
+
+    /// Writes `value` through the tagged pointer `ptr`, returning the
+    /// extra cycle penalty.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NotAnAddress`] or a zone fault, including write
+    /// protection.
+    fn write_ptr(&mut self, ptr: Word, value: Word) -> Result<Cycles, MemFault>;
+
+    /// Reads the data word at `addr` as the machine's data path does: a
+    /// [`Tag::DataPtr`]-tagged access subject to the zone rules. The
+    /// default forwards to [`DataMem::read_ptr`] with the packed pointer
+    /// the machine would have built; backends with a cheaper way to reach
+    /// the same observable behaviour (same words, same faults) may
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of `read_ptr` on the packed pointer.
+    #[inline]
+    fn read_data_addr(&mut self, addr: VAddr) -> Result<(Word, Cycles), MemFault> {
+        self.read_ptr(Word::ptr(Tag::DataPtr, addr))
+    }
+
+    /// Writes `value` at `addr` as the machine's data path does (a
+    /// [`Tag::DataPtr`]-tagged access). Same contract as
+    /// [`DataMem::read_data_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of `write_ptr` on the packed pointer.
+    #[inline]
+    fn write_data_addr(&mut self, addr: VAddr, value: Word) -> Result<Cycles, MemFault> {
+        self.write_ptr(Word::ptr(Tag::DataPtr, addr), value)
+    }
+
+    /// Host back-door read bypassing timing and zone checks.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific allocation failure.
+    fn peek(&mut self, addr: VAddr) -> Result<Word, MemFault>;
+
+    /// Host back-door write bypassing timing and zone checks.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific allocation failure.
+    fn poke(&mut self, addr: VAddr, value: Word) -> Result<(), MemFault>;
+
+    /// Times an instruction fetch; untimed backends return 0.
+    fn fetch_code(&mut self, addr: CodeAddr) -> Cycles {
+        let _ = addr;
+        0
+    }
+
+    /// Times a sequential multi-word instruction fetch; untimed backends
+    /// return 0.
+    fn fetch_code_seq(&mut self, addr: CodeAddr, words: usize) -> Cycles {
+        let _ = (addr, words);
+        0
+    }
+
+    /// Invalidates the code cache (no-op without one).
+    fn invalidate_code_cache(&mut self) {}
+
+    /// Cache/MMU statistics; untimed backends report all-zero counters.
+    fn stats(&self) -> MemStats {
+        MemStats::default()
+    }
+}
+
+impl DataMem for MemorySystem {
+    const SIMULATED: bool = true;
+
+    fn with_config(config: MemConfig) -> MemorySystem {
+        MemorySystem::new(config)
+    }
+
+    fn zones(&self) -> &ZoneTable {
+        MemorySystem::zones(self)
+    }
+
+    fn zones_mut(&mut self) -> &mut ZoneTable {
+        MemorySystem::zones_mut(self)
+    }
+
+    #[inline]
+    fn read_ptr(&mut self, ptr: Word) -> Result<(Word, Cycles), MemFault> {
+        MemorySystem::read_ptr(self, ptr)
+    }
+
+    #[inline]
+    fn write_ptr(&mut self, ptr: Word, value: Word) -> Result<Cycles, MemFault> {
+        MemorySystem::write_ptr(self, ptr, value)
+    }
+
+    fn peek(&mut self, addr: VAddr) -> Result<Word, MemFault> {
+        MemorySystem::peek(self, addr)
+    }
+
+    fn poke(&mut self, addr: VAddr, value: Word) -> Result<(), MemFault> {
+        MemorySystem::poke(self, addr, value)
+    }
+
+    #[inline]
+    fn fetch_code(&mut self, addr: CodeAddr) -> Cycles {
+        MemorySystem::fetch_code(self, addr)
+    }
+
+    #[inline]
+    fn fetch_code_seq(&mut self, addr: CodeAddr, words: usize) -> Cycles {
+        MemorySystem::fetch_code_seq(self, addr, words)
+    }
+
+    fn invalidate_code_cache(&mut self) {
+        MemorySystem::invalidate_code_cache(self)
+    }
+
+    fn stats(&self) -> MemStats {
+        MemorySystem::stats(self)
+    }
+}
+
 /// The complete KCM memory system: caches in front of the MMU in front of
 /// the memory board, with the zone checker alongside (figure 4: "the memory
 /// management is in between the caches and the main memory, not in between

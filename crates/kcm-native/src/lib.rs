@@ -1,0 +1,459 @@
+//! The KCM native execution tier: same machine, no cycle model.
+//!
+//! The cycle-accurate simulator answers "how fast was the 1989 hardware";
+//! a *service* only asks "what is the answer". This crate instantiates
+//! the interpreter core of `kcm-cpu` — the exact same decoded instruction
+//! stream, dispatch loop, shallow backtracking, MWAC unification and
+//! builtin set — over [`FlatMem`], a flat uncosted store. Because
+//! [`kcm_mem::DataMem::SIMULATED`] is `false` here, monomorphization
+//! strips every cycle charge, the cache/MMU/page-table model, the
+//! prefetch pipeline and the per-instruction profile attribution out of
+//! the compiled hot loop; what remains is a plain enum-dispatch
+//! interpreter with pre-resolved fall-through indices.
+//!
+//! What carries over unchanged — and is proven equivalent by the
+//! differential oracle in `kcm-difftest`:
+//!
+//! * solutions (values and order), printed output, inference counts;
+//! * error classes, including [`kcm_cpu::MachineError::BudgetExhausted`]
+//!   at the same step count (the step budget counts retired
+//!   instructions, not cycles, precisely so it is tier-independent);
+//! * zone checking: [`FlatMem`] runs the same [`ZoneTable`] as the
+//!   simulator, so zone faults, write protection of the static area and
+//!   on-demand zone growth behave identically.
+//!
+//! What is deliberately *not* modelled: cycles (always 0), cache and
+//! MMU statistics (always 0), the 32 MByte physical-memory board (a
+//! [`FlatMem`] zone holds up to its full 16M-word region). The cycle
+//! simulator remains the fidelity reference; see DESIGN.md §6f.
+//!
+//! # Examples
+//!
+//! ```
+//! use kcm_arch::SymbolTable;
+//! use kcm_cpu::MachineConfig;
+//! use kcm_native::NativeMachine;
+//!
+//! let mut symbols = SymbolTable::new();
+//! let program = kcm_prolog::read_program("p(1). p(2).").unwrap();
+//! let image = kcm_compiler::compile_program(&program, &mut symbols).unwrap();
+//! let goal = kcm_prolog::read_term("p(X)").unwrap();
+//! let (qimage, vars) = kcm_compiler::compile_query(&image, &goal, &mut symbols).unwrap();
+//! let mut m = kcm_native::native_machine(qimage, symbols, MachineConfig::default());
+//! let outcome = m.run_query(&vars, true).unwrap();
+//! assert_eq!(outcome.solutions.len(), 2);
+//! assert_eq!(outcome.stats.cycles, 0); // no clock on this tier
+//! ```
+
+#![warn(missing_docs)]
+
+use kcm_arch::timing::Cycles;
+use kcm_arch::zone::ZONE_GRANULARITY_WORDS;
+use kcm_arch::{Tag, VAddr, Word, Zone};
+use kcm_mem::{DataMem, MemConfig, MemFault, ZoneTable};
+use std::cell::RefCell;
+
+/// The native machine: the `kcm-cpu` interpreter core over [`FlatMem`].
+pub type NativeMachine = kcm_cpu::Machine<FlatMem>;
+
+/// Creates a native machine loaded with `image` — the native tier's
+/// spelling of `Machine::new`.
+pub fn native_machine(
+    image: kcm_compiler::CodeImage,
+    symbols: kcm_arch::SymbolTable,
+    cfg: kcm_cpu::MachineConfig,
+) -> NativeMachine {
+    NativeMachine::with_backend(std::sync::Arc::new(image), symbols, cfg)
+}
+
+/// Words per allocation chunk when a zone vector grows: the simulator's
+/// page size (16K words), so first-touch granularity matches.
+const CHUNK_WORDS: usize = 16 * 1024;
+
+/// How many retired backing stores a thread keeps for reuse.
+const POOL_DEPTH: usize = 4;
+
+/// A store whose vectors total more than this many words is freed rather
+/// than pooled (a query that built a giant heap must not pin it forever).
+const POOL_MAX_TOTAL_WORDS: usize = 16 << 20;
+
+thread_local! {
+    /// Retired backing stores, reused by the next [`FlatMem`] built on
+    /// this thread. The arrays keep their *length* (the pages the kernel
+    /// has already faulted in and the allocator already owns); the next
+    /// owner re-zeroes them on acquisition, which is much cheaper than
+    /// first-touching fresh pages inside the query run. This is the
+    /// native tier's analogue of a runtime pre-allocating its stacks.
+    static STORE_POOL: RefCell<Vec<[Vec<Word>; 16]>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A flat, uncosted data memory: one growable `Vec<Word>` per zone
+/// nibble, indexed by the offset within the zone's 16M-word region.
+///
+/// Fresh cells read as [`Word::ZERO`] — the integer-zero bit pattern —
+/// exactly like the simulator's zero-filled memory board, so a program
+/// that (illegally but observably) reads never-written memory sees the
+/// same words on both tiers. Zone checking reuses the simulator's
+/// [`ZoneTable`] verbatim: same limits, same growth protocol, same
+/// faults. The machine's own data accesses additionally take a fast
+/// path (see [`DataMem::read_data_addr`]): per-zone admitted windows
+/// are mirrored out of the zone table into two flat range arrays, so
+/// the common in-limits access costs one compare instead of the full
+/// check chain; any access outside its window falls back to the exact
+/// checked path, and any mutation of the zone table (growth, write
+/// protection) invalidates the mirror.
+#[derive(Debug)]
+pub struct FlatMem {
+    zone_check: bool,
+    zones: ZoneTable,
+    /// Mirror of the zone table is out of date (`zones_mut` was handed
+    /// out since the last refresh).
+    stale: bool,
+    /// Per address-nibble window `[lo, lo+span)` of values a `DataPtr`
+    /// read is admitted into without consulting the zone table. Empty
+    /// (`span == 0`) for nibbles that must take the slow path.
+    read_win: [(u32, u32); 16],
+    /// Same for writes (empty when the zone is write-protected).
+    write_win: [(u32, u32); 16],
+    /// One store per 4-bit zone field of the virtual address. Only the
+    /// five data zones are ever touched by checked accesses; the host
+    /// back-door (`peek`/`poke`) is as permissive as the simulator's.
+    store: [Vec<Word>; 16],
+}
+
+impl FlatMem {
+    #[inline]
+    fn split(addr: VAddr) -> (usize, usize) {
+        let v = addr.value();
+        (((v >> 24) & 0xF) as usize, (v & 0x00FF_FFFF) as usize)
+    }
+
+    #[inline]
+    fn load(&self, addr: VAddr) -> Word {
+        let (z, off) = Self::split(addr);
+        self.store[z].get(off).copied().unwrap_or(Word::ZERO)
+    }
+
+    #[inline]
+    fn store_word(&mut self, addr: VAddr, w: Word) {
+        let (z, off) = Self::split(addr);
+        let v = &mut self.store[z];
+        if off >= v.len() {
+            let len = (off + 1).next_multiple_of(CHUNK_WORDS);
+            v.resize(len, Word::ZERO);
+        }
+        v[off] = w;
+    }
+
+    /// Rebuilds the admitted-window mirror from the zone table. The
+    /// windows reproduce [`ZoneTable`]'s acceptance for `DataPtr`
+    /// accesses exactly: block-granular limits when the zone check is
+    /// on, the whole populated region when it is off (protection off
+    /// admits everything the address map can reach). A window that
+    /// would not sit inside its zone's region is left empty, so the
+    /// slow path — not the mirror — decides the odd cases.
+    fn refresh(&mut self) {
+        self.stale = false;
+        self.read_win = [(0, 0); 16];
+        self.write_win = [(0, 0); 16];
+        const G: u32 = ZONE_GRANULARITY_WORDS;
+        for z in Zone::DATA_ZONES {
+            let nib = (z.base().value() >> 24) as usize & 0xF;
+            if self.zone_check {
+                let lim = self.zones.limits(z);
+                let lo = (lim.start().value() / G) * G;
+                let hi = lim.end().value().div_ceil(G) * G;
+                if lo >= z.base().value() && hi <= z.region_end().value() && lo <= hi {
+                    self.read_win[nib] = (lo, hi - lo);
+                    self.write_win[nib] = (lo, if lim.is_write_protected() { 0 } else { hi - lo });
+                }
+            } else {
+                let lo = z.base().value();
+                let span = z.region_end().value() - lo;
+                self.read_win[nib] = (lo, span);
+                self.write_win[nib] = (lo, span);
+            }
+        }
+        if !self.zone_check {
+            // With protection off the checked path also admits DataPtr
+            // accesses into the code region (it only validates the tag).
+            let nib = (Zone::Code.base().value() >> 24) as usize & 0xF;
+            let lo = Zone::Code.base().value();
+            let span = Zone::Code.region_end().value() - lo;
+            self.read_win[nib] = (lo, span);
+            self.write_win[nib] = (lo, span);
+        }
+    }
+
+    /// Off-window read: rebuild a stale mirror and retry, else take the
+    /// checked path. Kept out of line so [`DataMem::read_data_addr`]'s
+    /// body stays small enough to inline into the interpreter.
+    #[inline(never)]
+    fn read_slow(&mut self, addr: VAddr) -> Result<(Word, Cycles), MemFault> {
+        if self.stale {
+            self.refresh();
+            let v = addr.value();
+            let z = ((v >> 24) & 0xF) as usize;
+            let (lo, span) = self.read_win[z];
+            if v.wrapping_sub(lo) < span {
+                let off = (v & 0x00FF_FFFF) as usize;
+                return Ok((self.store[z].get(off).copied().unwrap_or(Word::ZERO), 0));
+            }
+        }
+        self.read_ptr(Word::ptr(Tag::DataPtr, addr))
+    }
+
+    /// Off-window or beyond-populated-prefix write: rebuild a stale
+    /// mirror, grow the zone vector for an admitted write past its
+    /// current length, else take the checked path. Out of line for the
+    /// same reason as [`FlatMem::read_slow`].
+    #[inline(never)]
+    fn write_slow(&mut self, addr: VAddr, value: Word) -> Result<Cycles, MemFault> {
+        if self.stale {
+            self.refresh();
+        }
+        let v = addr.value();
+        let z = ((v >> 24) & 0xF) as usize;
+        let (lo, span) = self.write_win[z];
+        if v.wrapping_sub(lo) < span {
+            self.store_word(addr, value);
+            return Ok(0);
+        }
+        self.write_ptr(Word::ptr(Tag::DataPtr, addr), value)
+    }
+}
+
+impl Drop for FlatMem {
+    fn drop(&mut self) {
+        let store = std::mem::take(&mut self.store);
+        let total: usize = store.iter().map(Vec::len).sum();
+        if total == 0 || total > POOL_MAX_TOTAL_WORDS {
+            return;
+        }
+        STORE_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < POOL_DEPTH {
+                pool.push(store);
+            }
+        });
+    }
+}
+
+impl DataMem for FlatMem {
+    const SIMULATED: bool = false;
+
+    fn with_config(config: MemConfig) -> FlatMem {
+        let store = STORE_POOL
+            .with(|pool| pool.borrow_mut().pop())
+            .map(|mut store| {
+                // Pages stay mapped; contents must read as fresh memory.
+                for v in &mut store {
+                    v.fill(Word::ZERO);
+                }
+                store
+            })
+            .unwrap_or_else(|| std::array::from_fn(|_| Vec::new()));
+        let mut mem = FlatMem {
+            zone_check: config.zone_check,
+            zones: ZoneTable::new(),
+            stale: false,
+            read_win: [(0, 0); 16],
+            write_win: [(0, 0); 16],
+            store,
+        };
+        mem.refresh();
+        mem
+    }
+
+    fn zones(&self) -> &ZoneTable {
+        &self.zones
+    }
+
+    fn zones_mut(&mut self) -> &mut ZoneTable {
+        // Empty the windows as well as flagging the mirror stale: the hot
+        // paths then need no staleness test at all — a stale mirror admits
+        // nothing, so every access funnels into the slow helpers, and the
+        // first one rebuilds the mirror.
+        self.stale = true;
+        self.read_win = [(0, 0); 16];
+        self.write_win = [(0, 0); 16];
+        &mut self.zones
+    }
+
+    #[inline]
+    fn read_ptr(&mut self, ptr: Word) -> Result<(Word, Cycles), MemFault> {
+        let addr = ptr.as_addr().ok_or(MemFault::NotAnAddress(ptr))?;
+        if self.zone_check {
+            self.zones.check_read(ptr)?;
+        }
+        Ok((self.load(addr), 0))
+    }
+
+    #[inline]
+    fn write_ptr(&mut self, ptr: Word, value: Word) -> Result<Cycles, MemFault> {
+        let addr = ptr.as_addr().ok_or(MemFault::NotAnAddress(ptr))?;
+        if self.zone_check {
+            self.zones.check_write(ptr)?;
+        }
+        self.store_word(addr, value);
+        Ok(0)
+    }
+
+    #[inline]
+    fn read_data_addr(&mut self, addr: VAddr) -> Result<(Word, Cycles), MemFault> {
+        let v = addr.value();
+        let z = ((v >> 24) & 0xF) as usize;
+        let (lo, span) = self.read_win[z];
+        if v.wrapping_sub(lo) < span {
+            let off = (v & 0x00FF_FFFF) as usize;
+            return Ok((self.store[z].get(off).copied().unwrap_or(Word::ZERO), 0));
+        }
+        self.read_slow(addr)
+    }
+
+    #[inline]
+    fn write_data_addr(&mut self, addr: VAddr, value: Word) -> Result<Cycles, MemFault> {
+        let v = addr.value();
+        let z = ((v >> 24) & 0xF) as usize;
+        let (lo, span) = self.write_win[z];
+        if v.wrapping_sub(lo) < span {
+            let off = (v & 0x00FF_FFFF) as usize;
+            if let Some(slot) = self.store[z].get_mut(off) {
+                *slot = value;
+                return Ok(0);
+            }
+        }
+        self.write_slow(addr, value)
+    }
+
+    #[inline]
+    fn peek(&mut self, addr: VAddr) -> Result<Word, MemFault> {
+        Ok(self.load(addr))
+    }
+
+    #[inline]
+    fn poke(&mut self, addr: VAddr, value: Word) -> Result<(), MemFault> {
+        self.store_word(addr, value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcm_arch::{SymbolTable, Tag, Zone};
+    use kcm_cpu::{Machine, MachineConfig};
+
+    fn machines(program: &str, query: &str) -> (Machine, NativeMachine) {
+        let clauses = kcm_prolog::read_program(program).unwrap();
+        let mut symbols = SymbolTable::new();
+        let image = kcm_compiler::compile_program(&clauses, &mut symbols).unwrap();
+        let goal = kcm_prolog::read_term(query).unwrap();
+        let (qimage, vars) = kcm_compiler::compile_query(&image, &goal, &mut symbols).unwrap();
+        let cfg = MachineConfig::default();
+        let sim = Machine::new(qimage.clone(), symbols.clone(), cfg.clone());
+        let native = native_machine(qimage, symbols, cfg);
+        let _ = vars;
+        (sim, native)
+    }
+
+    fn run_both(program: &str, query: &str) -> (kcm_cpu::Outcome, kcm_cpu::Outcome) {
+        let clauses = kcm_prolog::read_program(program).unwrap();
+        let mut symbols = SymbolTable::new();
+        let image = kcm_compiler::compile_program(&clauses, &mut symbols).unwrap();
+        let goal = kcm_prolog::read_term(query).unwrap();
+        let (qimage, vars) = kcm_compiler::compile_query(&image, &goal, &mut symbols).unwrap();
+        let cfg = MachineConfig::default();
+        let mut sim = Machine::new(qimage.clone(), symbols.clone(), cfg.clone());
+        let mut native = native_machine(qimage, symbols, cfg);
+        let a = sim.run_query(&vars, true).unwrap();
+        let b = native.run_query(&vars, true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn flat_mem_roundtrips_and_zero_fills() {
+        let mut m = FlatMem::with_config(MemConfig::default());
+        let a = VAddr::new(Zone::Global.base().value() + 100);
+        assert_eq!(m.peek(a).unwrap(), Word::ZERO);
+        let ptr = Word::ptr(Tag::Ref, a);
+        m.write_ptr(ptr, Word::int(7)).unwrap();
+        assert_eq!(m.read_ptr(ptr).unwrap().0.as_int(), Some(7));
+        // Neighbouring never-written cell still reads as integer zero.
+        assert_eq!(m.peek(a.offset(1)).unwrap(), Word::ZERO);
+    }
+
+    #[test]
+    fn flat_mem_enforces_the_same_zone_rules() {
+        let mut m = FlatMem::with_config(MemConfig::default());
+        let bad = Word::pack(Tag::List, Zone::Local, Zone::Local.base().value());
+        assert!(matches!(m.read_ptr(bad), Err(MemFault::Zone(_))));
+        assert!(matches!(
+            m.read_ptr(Word::int(3)),
+            Err(MemFault::NotAnAddress(_))
+        ));
+    }
+
+    #[test]
+    fn native_solutions_match_the_simulator() {
+        let (a, b) = run_both(
+            "app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).",
+            "app(X, Y, [1,2,3])",
+        );
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.solutions, b.solutions);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.stats.inferences, b.stats.inferences);
+        assert_eq!(a.stats.instructions, b.stats.instructions);
+        assert!(a.stats.cycles > 0);
+        assert_eq!(b.stats.cycles, 0);
+    }
+
+    #[test]
+    fn native_output_matches_the_simulator() {
+        let (a, b) = run_both("greet :- write(hello), nl, write([a,b|c]), nl.", "greet");
+        assert_eq!(a.output, b.output);
+        assert!(!b.output.is_empty());
+    }
+
+    #[test]
+    fn native_static_zone_is_write_protected_too() {
+        // The loader write-protects the static area on both tiers; a
+        // machine is still constructible and runnable afterwards.
+        let (mut sim, mut native) = machines("p(f(1)). p(f(2)).", "p(f(X))");
+        let a = sim.run_query(&["X".to_owned()], true).unwrap();
+        let b = native.run_query(&["X".to_owned()], true).unwrap();
+        assert_eq!(a.solutions, b.solutions);
+    }
+
+    #[test]
+    fn native_budget_trips_at_the_same_step_count() {
+        let clauses = kcm_prolog::read_program("loop :- loop.").unwrap();
+        let mut symbols = SymbolTable::new();
+        let image = kcm_compiler::compile_program(&clauses, &mut symbols).unwrap();
+        let goal = kcm_prolog::read_term("loop").unwrap();
+        let (qimage, vars) = kcm_compiler::compile_query(&image, &goal, &mut symbols).unwrap();
+        let cfg = MachineConfig {
+            step_budget: 5_000,
+            ..Default::default()
+        };
+        let mut sim = Machine::new(qimage.clone(), symbols.clone(), cfg.clone());
+        let mut native = native_machine(qimage, symbols, cfg);
+        let a = sim.run_query(&vars, false).unwrap_err();
+        let b = native.run_query(&vars, false).unwrap_err();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn native_zone_growth_matches() {
+        // Build a structure big enough to outgrow the default 1M-word
+        // global zone? Too slow for a unit test — instead check the
+        // growth counter parity on a heap-allocating run.
+        let (a, b) = run_both(
+            "len([],0). len([_|T],N) :- len(T,M), N is M + 1.",
+            "len([1,2,3,4,5,6,7,8], N)",
+        );
+        assert_eq!(a.stats.zone_growths, b.stats.zone_growths);
+        assert_eq!(a.solutions, b.solutions);
+    }
+}

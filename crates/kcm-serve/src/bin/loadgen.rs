@@ -25,12 +25,19 @@ use std::time::{Duration, Instant};
 
 /// Latencies are repeated per case across connections; keep them all and
 /// read percentiles off the sorted vector.
+///
+/// Nearest-rank with ceiling: the p-quantile is the smallest element
+/// with at least `ceil(p * n)` observations at or below it. The
+/// previous form (`round((n - 1) * p)`) could round to an index *below*
+/// that rank and under-report tail latency — e.g. p90 of 7 samples
+/// landed on the 6th of 7 (`round(5.4) = 5`) where the nearest rank is
+/// `ceil(6.3) = 7`, the maximum.
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let ix = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[ix]
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 struct ConnReport {
@@ -195,5 +202,38 @@ trait AndParse {
 impl<I: Iterator<Item = String>> AndParse for I {
     fn and_parse(&mut self, default: usize) -> usize {
         self.next().and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentiles_of_known_small_vectors() {
+        // n=1: every percentile is the one observation.
+        assert_eq!(percentile(&[7], 0.50), 7);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        // n=2: p50 is the 1st of 2 (rank ceil(1.0)=1), tails are the max.
+        assert_eq!(percentile(&[10, 20], 0.50), 10);
+        assert_eq!(percentile(&[10, 20], 0.90), 20);
+        assert_eq!(percentile(&[10, 20], 0.99), 20);
+        // n=4: ranks ceil(2.0)=2, ceil(3.6)=4, ceil(3.96)=4.
+        let four = [10, 20, 30, 40];
+        assert_eq!(percentile(&four, 0.50), 20);
+        assert_eq!(percentile(&four, 0.90), 40);
+        assert_eq!(percentile(&four, 0.99), 40);
+        // n=100 of 1..=100: pXX is exactly XX.
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 0.50), 50);
+        assert_eq!(percentile(&hundred, 0.90), 90);
+        assert_eq!(percentile(&hundred, 0.99), 99);
+        assert_eq!(percentile(&hundred, 1.0), 100);
+        // The case the old round((n-1)*p) form got wrong: p90 of 7
+        // samples is the 7th (rank ceil(6.3)), not the 6th (round(5.4)).
+        let seven = [1, 2, 3, 4, 5, 6, 1000];
+        assert_eq!(percentile(&seven, 0.90), 1000);
+        // Empty input stays a defined 0, not a panic.
+        assert_eq!(percentile(&[], 0.99), 0);
     }
 }

@@ -36,11 +36,22 @@ impl Client {
     /// Transport errors, or `InvalidData` when the server's reply doesn't
     /// parse.
     pub fn request(&mut self, request: &Request) -> io::Result<Reply> {
-        write_frame(&mut self.writer, &request.encode())?;
-        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+        self.request_raw(&request.encode())
+    }
+
+    /// Sends a raw request payload — including payloads [`Request`]
+    /// itself could never encode — and reads the reply. This is how the
+    /// protocol tests probe the server's handling of malformed frames.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn request_raw(&mut self, payload: &str) -> io::Result<Reply> {
+        write_frame(&mut self.writer, payload)?;
+        let reply = read_frame(&mut self.reader)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })?;
-        Reply::parse(&payload).map_err(|why| io::Error::new(io::ErrorKind::InvalidData, why))
+        Reply::parse(&reply).map_err(|why| io::Error::new(io::ErrorKind::InvalidData, why))
     }
 
     /// Consults a program on this connection.

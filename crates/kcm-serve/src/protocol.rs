@@ -16,7 +16,13 @@
 //! "STATS"                     server-wide aggregate metrics
 //! "SHUTDOWN"                  drain and stop the server
 //! opts    := "BUDGET " steps " "
+//! steps   := plain decimal digits, at least 1, at most u64::MAX
 //! ```
+//!
+//! `steps` is deliberately strict: no sign (`+10` is not "10"), no
+//! leading/extra whitespace, no value a u64 cannot hold, and never 0 —
+//! a zero budget would silently reject every query, which is always a
+//! client bug, so it is a protocol error rather than a degenerate run.
 //!
 //! Reply payloads (first line is the status):
 //!
@@ -100,6 +106,22 @@ pub enum Request {
     Shutdown,
 }
 
+/// Parses a `BUDGET` step count under the strict grammar: plain decimal
+/// digits only (`u64::from_str` would admit a `+` sign), fitting in a
+/// u64, and never 0.
+fn parse_budget(steps: &str) -> Result<u64, String> {
+    if steps.is_empty() || !steps.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("bad BUDGET count {steps:?}: want decimal digits"));
+    }
+    let n: u64 = steps
+        .parse()
+        .map_err(|_| format!("bad BUDGET count {steps:?}: exceeds u64"))?;
+    if n == 0 {
+        return Err("bad BUDGET count 0: a zero budget rejects every query".to_owned());
+    }
+    Ok(n)
+}
+
 impl Request {
     /// Encodes the request as a frame payload.
     pub fn encode(&self) -> String {
@@ -141,10 +163,7 @@ impl Request {
                     let (steps, query) = after
                         .split_once(' ')
                         .ok_or_else(|| "BUDGET needs a count and a query".to_owned())?;
-                    let steps: u64 = steps
-                        .parse()
-                        .map_err(|_| format!("bad BUDGET count {steps:?}"))?;
-                    (Some(steps), query)
+                    (Some(parse_budget(steps)?), query)
                 }
                 None => (None, rest),
             };
@@ -321,6 +340,41 @@ mod tests {
         for bad in ["QUERY ", "QUERY BUDGET x p", "QUERY BUDGET 5", "NOPE", ""] {
             assert!(Request::parse(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn budget_counts_follow_the_strict_grammar() {
+        // Rejected: zero, signs (u64::from_str would take "+5"), empty,
+        // embedded garbage, double spaces, and counts beyond u64.
+        for bad in [
+            "QUERYALL BUDGET 0 p(X)",
+            "QUERY BUDGET +5 p(X)",
+            "QUERY BUDGET -5 p(X)",
+            "QUERY BUDGET  5 p(X)",
+            "QUERY BUDGET 5x p(X)",
+            "QUERY BUDGET 5_000 p(X)",
+            "QUERY BUDGET 99999999999999999999999999 p(X)",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+        }
+        // Accepted: any positive count up to u64::MAX; the query keeps
+        // everything after the single separating space.
+        assert_eq!(
+            Request::parse("QUERY BUDGET 1 p(X)").expect("min budget"),
+            Request::Query {
+                query: "p(X)".to_owned(),
+                enumerate_all: false,
+                step_budget: Some(1),
+            }
+        );
+        assert_eq!(
+            Request::parse(&format!("QUERYALL BUDGET {} p(a, b)", u64::MAX)).expect("max budget"),
+            Request::Query {
+                query: "p(a, b)".to_owned(),
+                enumerate_all: true,
+                step_budget: Some(u64::MAX),
+            }
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::protocol::{read_frame, render_outcome, write_frame, Reply, Request};
 use kcm_arch::SymbolTable;
 use kcm_compiler::CodeImage;
 use kcm_system::pool::run_session;
-use kcm_system::{error_class, Kcm, KcmError, MachineConfig, Outcome, QueryJob, QueryOpts};
+use kcm_system::{error_class, Kcm, KcmError, MachineConfig, Outcome, QueryJob, QueryOpts, Tier};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,6 +44,14 @@ pub struct ServeConfig {
     /// Step budget applied to requests that don't carry their own
     /// `BUDGET`; `None` leaves runaway queries to the machine's fuel cap.
     pub default_step_budget: Option<u64>,
+    /// Execution tier for every served query. Defaults to
+    /// [`Tier::Native`]: a service asks "what is the answer", not "how
+    /// fast was the 1989 hardware", and the native tier returns identical
+    /// solutions, output and error classes several times faster. Set
+    /// [`Tier::Cycle`] for fidelity runs where the `STATS` cycle counter
+    /// must reflect the simulated machine (it reads 0 under the native
+    /// tier).
+    pub tier: Tier,
     /// Machine configuration for every session.
     pub machine: MachineConfig,
 }
@@ -56,6 +64,7 @@ impl Default for ServeConfig {
                 .unwrap_or(1),
             queue_depth: 64,
             default_step_budget: Some(50_000_000),
+            tier: Tier::Native,
             machine: MachineConfig::default(),
         }
     }
@@ -83,7 +92,8 @@ pub struct ServeMetrics {
     pub solutions: u64,
     /// Logical inferences across served queries.
     pub inferences: u64,
-    /// Simulated KCM cycles across served queries.
+    /// Simulated KCM cycles across served queries; stays 0 when serving
+    /// on the (default) native tier, which has no clock.
     pub cycles: u64,
 }
 
@@ -316,6 +326,7 @@ fn handle_query(
         enumerate_all,
         step_budget: step_budget.or(shared.cfg.default_step_budget),
         trace: 0,
+        tier: shared.cfg.tier,
     };
     let (reply_tx, reply_rx) = mpsc::channel();
     let item = WorkItem {

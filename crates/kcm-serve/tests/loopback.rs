@@ -6,7 +6,7 @@
 use kcm_serve::protocol::render_outcome;
 use kcm_serve::workload::standard;
 use kcm_serve::{Client, Reply, Request, ServeConfig, Server};
-use kcm_system::{Kcm, QueryOpts};
+use kcm_system::{Kcm, QueryOpts, Tier};
 use std::net::SocketAddr;
 use std::sync::Barrier;
 
@@ -21,12 +21,16 @@ fn spawn_server(
     (addr, std::thread::spawn(move || server.run()))
 }
 
-/// What a direct (in-process, no server) run of the same case renders to.
+/// What a direct (in-process, no server) run of the same case renders
+/// to. The server serves on the native tier by default and the rendered
+/// body includes the cycle counter, so byte-identity means comparing
+/// against a direct run at the same tier.
 fn direct_body(source: &str, query: &str, enumerate_all: bool) -> String {
     let mut kcm = Kcm::new();
     kcm.consult(source).expect("consult");
     let opts = QueryOpts {
         enumerate_all,
+        tier: Tier::Native,
         ..QueryOpts::default()
     };
     render_outcome(&kcm.query(query, &opts).expect("query"))
@@ -230,6 +234,76 @@ fn budget_stop_does_not_poison_the_connection_for_the_next_request() {
     assert_eq!(metrics.budget_stops, 1);
     assert_eq!(metrics.served, 1);
     assert_eq!(metrics.errors, 0);
+}
+
+#[test]
+fn malformed_budget_counts_get_protocol_errors_on_the_wire() {
+    // Every BUDGET malformation must come back as a classed protocol
+    // error — not a silently-defaulted run, not an immediately-exhausted
+    // run, not a dropped connection.
+    let (addr, server) = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.consult("ok(42).").expect("consult").is_ok());
+    for bad in [
+        "QUERYALL BUDGET 0 ok(X)",
+        "QUERY BUDGET +5 ok(X)",
+        "QUERY BUDGET 5x ok(X)",
+        "QUERY BUDGET 99999999999999999999999999 ok(X)",
+        "QUERY BUDGET 5",
+    ] {
+        match client.request_raw(bad).expect("raw request") {
+            Reply::Err { class, message } => {
+                assert_eq!(
+                    class, "protocol",
+                    "{bad:?} answered class {class}: {message}"
+                )
+            }
+            other => panic!("{bad:?} answered {other:?}"),
+        }
+    }
+    // The connection survives the rejections, and the smallest legal
+    // budget is accepted as a real (if tiny) deadline.
+    match client.request_raw("QUERY BUDGET 1 ok(X)").expect("raw") {
+        Reply::Err { class, .. } => assert_eq!(class, "budget"),
+        other => panic!("BUDGET 1 answered {other:?}"),
+    }
+    match client.query("ok(X)").expect("query") {
+        Reply::Ok { body } => assert!(body.contains("X=42"), "{body}"),
+        other => panic!("follow-up answered {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    let metrics = server.join().expect("server thread").expect("server run");
+    assert_eq!(metrics.served, 1);
+    assert_eq!(metrics.budget_stops, 1);
+    // Protocol rejections never reach the query pipeline, so they are
+    // not counted as engine errors.
+    assert_eq!(metrics.errors, 0);
+}
+
+#[test]
+fn cycle_tier_config_still_reports_simulated_cycles() {
+    // The cycle simulator stays available behind a config knob for
+    // fidelity runs: served answers then carry nonzero cycle counts and
+    // the STATS aggregate accumulates them.
+    let (addr, server) = spawn_server(ServeConfig {
+        tier: Tier::Cycle,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.consult("p(1). p(2).").expect("consult").is_ok());
+    match client.query_all("p(X)").expect("query") {
+        Reply::Ok { body } => {
+            let mut kcm = Kcm::new();
+            kcm.consult("p(1). p(2).").expect("consult");
+            let want = render_outcome(&kcm.query("p(X)", &QueryOpts::all()).expect("direct query"));
+            assert_eq!(body, want, "cycle-tier serving diverged from direct run");
+            assert!(!body.contains("cycles=0"), "{body}");
+        }
+        other => panic!("answered {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    let metrics = server.join().expect("server thread").expect("server run");
+    assert!(metrics.cycles > 0, "{metrics:?}");
 }
 
 #[test]

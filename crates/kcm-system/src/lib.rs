@@ -57,7 +57,7 @@ pub mod prelude;
 pub mod report;
 
 pub use answer::Answer;
-pub use engine::{error_class, Engine, EngineOutcome, KcmEngine};
+pub use engine::{error_class, Engine, EngineOutcome, KcmEngine, NativeEngine};
 pub use kcm_cpu::{
     InstrClass, Machine, MachineConfig, MachineError, Outcome, Profile, RunStats, Solution,
     TraceEvent, Tracer,
@@ -110,16 +110,38 @@ impl std::error::Error for KcmError {
     }
 }
 
+/// Which execution tier runs a query.
+///
+/// Both tiers execute the same compiled [`CodeImage`] through the same
+/// interpreter core and produce byte-identical solutions, printed output
+/// and error classes (proven continuously by the differential oracle in
+/// `kcm-difftest`); they differ only in what they *account*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Tier {
+    /// The cycle-accurate simulator: logical caches, MMU, paging, the
+    /// paper's cost model. The fidelity reference — every timing table
+    /// and `STATS`-level figure comes from this tier.
+    #[default]
+    Cycle,
+    /// The native tier (`kcm-native`): no cycle model, no memory
+    /// hierarchy — the serving tier, roughly an order of magnitude more
+    /// host throughput. Reported `cycles` and cache statistics are 0.
+    Native,
+}
+
 /// Per-query options for [`Kcm::query`] (and, via [`QueryJob`], for every
 /// pooled session).
 ///
-/// The [`Default`] is a plain first-solution query with no deadline and no
-/// tracing — `kcm.query(q, &Default::default())` behaves exactly like the
-/// old `kcm.run(q, false)`.
+/// The [`Default`] is a plain first-solution query on the cycle-accurate
+/// tier with no deadline and no tracing — `kcm.query(q,
+/// &Default::default())` behaves exactly like the old `kcm.run(q,
+/// false)`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryOpts {
     /// Backtrack through every solution instead of stopping at the first.
     pub enumerate_all: bool,
+    /// Which execution tier runs the query ([`Tier::Cycle`] by default).
+    pub tier: Tier,
     /// Per-query step deadline: the run is cut off with
     /// [`MachineError::BudgetExhausted`] after this many instructions.
     /// `None` inherits the session configuration's
@@ -156,6 +178,13 @@ impl QueryOpts {
     #[must_use]
     pub fn with_trace(mut self, depth: usize) -> QueryOpts {
         self.trace = depth;
+        self
+    }
+
+    /// Selects the execution tier.
+    #[must_use]
+    pub fn with_tier(mut self, tier: Tier) -> QueryOpts {
+        self.tier = tier;
         self
     }
 
@@ -317,8 +346,16 @@ impl Kcm {
         let (qimage, vars) = kcm_compiler::compile_query(image, &goal, &mut symbols)?;
         let mut config = self.config.clone();
         opts.apply(&mut config);
-        let mut machine = Machine::new(qimage, symbols, config);
-        Ok(machine.run_query(&vars, opts.enumerate_all)?)
+        match opts.tier {
+            Tier::Cycle => {
+                let mut machine = Machine::new(qimage, symbols, config);
+                Ok(machine.run_query(&vars, opts.enumerate_all)?)
+            }
+            Tier::Native => {
+                let mut machine = kcm_native::native_machine(qimage, symbols, config);
+                Ok(machine.run_query(&vars, opts.enumerate_all)?)
+            }
+        }
     }
 
     /// Runs a query on a fresh machine. With `enumerate_all` the machine
@@ -349,6 +386,24 @@ impl Kcm {
         let mut symbols = self.symbols.clone();
         let (qimage, vars) = kcm_compiler::compile_query(image, &goal, &mut symbols)?;
         let machine = Machine::new(qimage, symbols, self.config.clone());
+        Ok((machine, vars))
+    }
+
+    /// [`Kcm::prepare`] for the native tier: builds a
+    /// [`kcm_native::NativeMachine`] for a query without running it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Kcm::prepare`].
+    pub fn prepare_native(
+        &mut self,
+        query: &str,
+    ) -> Result<(kcm_native::NativeMachine, Vec<String>), KcmError> {
+        let image = self.image.as_deref().ok_or(KcmError::NoProgram)?;
+        let goal = kcm_prolog::read_term(query)?;
+        let mut symbols = self.symbols.clone();
+        let (qimage, vars) = kcm_compiler::compile_query(image, &goal, &mut symbols)?;
+        let machine = kcm_native::native_machine(qimage, symbols, self.config.clone());
         Ok((machine, vars))
     }
 
@@ -493,5 +548,53 @@ mod tests {
         kcm.consult("p(1).").unwrap();
         kcm.consult("q(X) :- p(X).").unwrap();
         assert!(kcm.holds("q(1)").unwrap());
+    }
+
+    #[test]
+    fn reused_session_answers_identically_on_both_tiers() {
+        // One Kcm, several queries, tiers interleaved: the second and
+        // later queries must see the same image the first one compiled,
+        // and the native tier must keep matching the simulator on every
+        // reuse (no per-tier state leaking between queries).
+        let mut kcm = Kcm::new();
+        kcm.consult("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R). p(1). p(2).")
+            .unwrap();
+        for query in ["p(X)", "app(X, Y, [1,2,3])", "p(X)"] {
+            let cyc = kcm.query(query, &QueryOpts::all()).unwrap();
+            let nat = kcm
+                .query(query, &QueryOpts::all().with_tier(Tier::Native))
+                .unwrap();
+            assert_eq!(cyc.solutions, nat.solutions, "{query}");
+            assert_eq!(cyc.output, nat.output, "{query}");
+            assert_eq!(cyc.stats.inferences, nat.stats.inferences, "{query}");
+            assert!(cyc.stats.cycles > 0, "{query}");
+            assert_eq!(nat.stats.cycles, 0, "{query}");
+        }
+    }
+
+    #[test]
+    fn native_budget_stop_matches_the_simulator_and_spares_the_session() {
+        let mut kcm = Kcm::new();
+        kcm.consult("loop :- loop.\nok(1).").unwrap();
+        let opts = QueryOpts::first().with_step_budget(10_000);
+        // Identical error at the identical step count: the budget counts
+        // retired instructions, which the tiers execute in lockstep.
+        let cyc = kcm.query("loop", &opts).unwrap_err();
+        let nat = kcm
+            .query("loop", &opts.clone().with_tier(Tier::Native))
+            .unwrap_err();
+        match (&cyc, &nat) {
+            (
+                KcmError::Machine(MachineError::BudgetExhausted { steps: a }),
+                KcmError::Machine(MachineError::BudgetExhausted { steps: b }),
+            ) => assert_eq!(a, b),
+            other => panic!("expected two budget stops, got {other:?}"),
+        }
+        // The session keeps serving on either tier after the stop.
+        assert!(kcm.holds("ok(1)").unwrap());
+        let after = kcm
+            .query("ok(X)", &QueryOpts::first().with_tier(Tier::Native))
+            .unwrap();
+        assert!(after.success);
     }
 }

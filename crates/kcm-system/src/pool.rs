@@ -285,8 +285,16 @@ pub fn run_session(
     let (qimage, vars) = kcm_compiler::compile_query(image, &goal, &mut session_symbols)?;
     let mut config = config.clone();
     job.opts.apply(&mut config);
-    let mut machine = Machine::new(qimage, session_symbols, config);
-    Ok(machine.run_query(&vars, job.opts.enumerate_all)?)
+    match job.opts.tier {
+        crate::Tier::Cycle => {
+            let mut machine = Machine::new(qimage, session_symbols, config);
+            Ok(machine.run_query(&vars, job.opts.enumerate_all)?)
+        }
+        crate::Tier::Native => {
+            let mut machine = kcm_native::native_machine(qimage, session_symbols, config);
+            Ok(machine.run_query(&vars, job.opts.enumerate_all)?)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ pub use kcm_arch;
 pub use kcm_compiler;
 pub use kcm_cpu;
 pub use kcm_mem;
+pub use kcm_native;
 pub use kcm_prolog;
 pub use kcm_suite;
 pub use kcm_system;
