@@ -10,7 +10,10 @@
 //! * `KCM_SERVE_WORKERS` — worker threads (default: host parallelism);
 //! * `KCM_SERVE_QUEUE` — bounded queue depth (default 64);
 //! * `KCM_SERVE_BUDGET` — default step budget per query (default
-//!   50000000; `0` disables the deadline).
+//!   50000000; `0` disables the deadline);
+//! * `KCM_SERVE_PROGRAMS` — program-registry capacity (default 64);
+//!   publishing a new name into a full registry evicts the
+//!   least-recently-used tenant.
 
 use kcm_serve::{ServeConfig, Server};
 
@@ -30,6 +33,7 @@ fn main() -> std::io::Result<()> {
         ..ServeConfig::default()
     };
     cfg.workers = env_usize("KCM_SERVE_WORKERS", cfg.workers);
+    cfg.max_programs = env_usize("KCM_SERVE_PROGRAMS", cfg.max_programs);
     cfg.default_step_budget = match env_usize("KCM_SERVE_BUDGET", 50_000_000) {
         0 => None,
         steps => Some(steps as u64),
@@ -39,11 +43,12 @@ fn main() -> std::io::Result<()> {
     // and flushed.
     println!("kcm-serve: listening on {}", server.local_addr()?);
     println!(
-        "kcm-serve: {} workers, queue depth {}, step budget {}",
+        "kcm-serve: {} workers, queue depth {}, step budget {}, registry capacity {}",
         cfg.workers,
         cfg.queue_depth,
         cfg.default_step_budget
-            .map_or_else(|| "off".to_owned(), |b| b.to_string())
+            .map_or_else(|| "off".to_owned(), |b| b.to_string()),
+        cfg.max_programs
     );
     use std::io::Write as _;
     std::io::stdout().flush()?;

@@ -3,24 +3,42 @@
 //!
 //! ```text
 //! loadgen <addr> [connections] [queries-per-connection]
+//! loadgen <addr> mt [connections] [active] [queries] [tenants]
 //! loadgen <addr> shutdown                ask the server to drain and stop
 //! ```
 //!
-//! Defaults: 4 connections × 50 queries. Every connection walks the
-//! [`kcm_serve::workload::standard`] mix round-robin, consulting each
-//! case's program before querying it (a service sees consults *and*
-//! queries, so both are in the driven traffic; only the query is timed).
-//! `BUSY` answers are counted and retried after a short backoff — that is
-//! the protocol's contract.
+//! The default (session-mode) scenario: 4 connections × 50 queries, each
+//! connection walking the [`kcm_serve::workload::standard`] mix
+//! round-robin, consulting each case's program before querying it (a
+//! service sees consults *and* queries, so both are in the driven
+//! traffic; only the query is timed). `BUSY` answers are counted and
+//! retried after a short backoff — that is the protocol's contract.
 //!
-//! Output: a latency table per workload case (mean/p50/p90/p99 in µs of
-//! the query round trip), a throughput summary, and the same rows as
-//! JSONL in `target/bench-json/BENCH_serve.jsonl` (`KCM_BENCH_JSON`
-//! relocates or disables it, as for every bench driver).
+//! The `mt` (multi-tenant) scenario exercises the registry and the
+//! nonblocking front end at connection scale: one publisher connection
+//! `PUBLISH`es the first `tenants` workload cases as named programs;
+//! `connections - active - 1` connections are opened and then left
+//! *idle* — on a readiness-loop server they cost a buffer each, no
+//! threads; `active` driver threads run `queries` each of
+//! `QUERY @<tenant> ...` round-robin. Every served body is compared
+//! **byte-for-byte** against a direct in-process
+//! [`kcm_system::Kcm::query`] on the native tier
+//! ([`kcm_serve::workload::direct_body`]); any mismatch or `ERR` reply
+//! is a panic, and `BUSY` is the only retried answer. Defaults: 1000
+//! connections, 8 active, 25 queries each, 4 tenants.
+//!
+//! Output: a latency table per workload case — per tenant in `mt`
+//! (mean/p50/p90/p99 in µs of the query round trip), a throughput
+//! summary, and the same rows as JSONL in
+//! `target/bench-json/BENCH_serve.jsonl` (`KCM_BENCH_JSON` relocates or
+//! disables it, as for every bench driver). `mt` rows carry a
+//! `tenant=...` field and the summary carries
+//! `connections`/`idle`/`active`/`tenants`.
 
 use bench::{JsonlWriter, Record};
-use kcm_serve::workload::{standard, ServeCase};
+use kcm_serve::workload::{direct_body, standard, ServeCase};
 use kcm_serve::{Client, Reply, Request};
+use kcm_system::Tier;
 use std::time::{Duration, Instant};
 
 /// Latencies are repeated per case across connections; keep them all and
@@ -66,6 +84,7 @@ fn drive_connection(
             case.name
         );
         let request = Request::Query {
+            tenant: None,
             query: case.query.to_owned(),
             enumerate_all: case.enumerate_all,
             step_budget: None,
@@ -92,21 +111,57 @@ fn drive_connection(
     Ok(report)
 }
 
-fn main() -> std::io::Result<()> {
-    let mut args = std::env::args().skip(1);
-    let addr = args.next().unwrap_or_else(|| {
-        eprintln!("usage: loadgen <addr> [connections] [queries-per-connection] | <addr> shutdown");
-        std::process::exit(2);
-    });
-    let mut args = args.peekable();
-    if args.peek().map(String::as_str) == Some("shutdown") {
-        let reply = Client::connect(&addr)?.shutdown()?;
-        println!("loadgen: shutdown acknowledged ({reply:?})");
-        return Ok(());
+/// One `mt` driver thread: `queries` tenant queries round-robin, each
+/// reply checked byte-for-byte against the direct oracle.
+fn drive_tenants(
+    addr: &str,
+    cases: &[ServeCase],
+    expected: &[String],
+    first_case: usize,
+    queries: usize,
+) -> std::io::Result<ConnReport> {
+    let mut client = Client::connect(addr)?;
+    let mut report = ConnReport {
+        latencies_ns: Vec::with_capacity(queries),
+        busy: 0,
+    };
+    for i in 0..queries {
+        let case_ix = (first_case + i) % cases.len();
+        let case = &cases[case_ix];
+        let request = Request::Query {
+            tenant: Some(case.name.to_owned()),
+            query: case.query.to_owned(),
+            enumerate_all: case.enumerate_all,
+            step_budget: None,
+        };
+        loop {
+            let t = Instant::now();
+            match client.request(&request)? {
+                Reply::Ok { body } => {
+                    assert_eq!(
+                        body, expected[case_ix],
+                        "{}: served body diverged from the direct oracle",
+                        case.name
+                    );
+                    report
+                        .latencies_ns
+                        .push((case_ix, t.elapsed().as_nanos() as u64));
+                    break;
+                }
+                Reply::Busy => {
+                    report.busy += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Reply::Err { class, message } => {
+                    panic!("{}: tenant query failed ({class}): {message}", case.name)
+                }
+            }
+        }
     }
-    let connections: usize = args.and_parse(4);
-    let queries: usize = args.and_parse(50);
+    Ok(report)
+}
 
+fn run_sessions(addr: &str, connections: usize, queries: usize) -> std::io::Result<()> {
     let cases = standard();
     println!(
         "loadgen: {connections} connections x {queries} queries against {addr} ({} cases round-robin)",
@@ -116,7 +171,6 @@ fn main() -> std::io::Result<()> {
     let reports: Vec<ConnReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
-                let addr = &addr;
                 let cases = &cases;
                 scope.spawn(move || drive_connection(addr, cases, c, queries))
             })
@@ -127,10 +181,93 @@ fn main() -> std::io::Result<()> {
             .collect::<std::io::Result<_>>()
     })?;
     let wall = wall.elapsed();
+    let mut jsonl = JsonlWriter::for_bench("serve");
+    report_cases(&mut jsonl, &cases, &reports, wall, None);
+    let summary = Record::summary("serve", "all").u64("connections", connections as u64);
+    report_summary(&mut jsonl, &reports, wall, summary);
+    jsonl.announce();
+    Ok(())
+}
+
+fn run_multi_tenant(
+    addr: &str,
+    connections: usize,
+    active: usize,
+    queries: usize,
+    tenants: usize,
+) -> std::io::Result<()> {
+    let mut cases = standard();
+    cases.truncate(tenants.clamp(1, cases.len()));
+    let tenants = cases.len();
+    let active = active.max(1);
+    let idle = connections.saturating_sub(active + 1);
+    println!(
+        "loadgen: mt scenario against {addr}: {tenants} tenants, {idle} idle connections, {active} active x {queries} queries"
+    );
+
+    // The oracle: what a direct native-tier query computes, rendered the
+    // same way the server renders it.
+    let expected: Vec<String> = cases
+        .iter()
+        .map(|case| direct_body(case, Tier::Native))
+        .collect();
+
+    // One publisher connection installs every tenant (case names are
+    // valid tenant names by construction).
+    let mut publisher = Client::connect(addr)?;
+    for case in &cases {
+        let reply = publisher.publish(case.name, case.source, None)?;
+        assert!(reply.is_ok(), "{}: publish answered {reply:?}", case.name);
+    }
+
+    // The idle herd: opened, then never spoken on. Held alive for the
+    // whole run so the server carries them while serving the active set.
+    let wall = Instant::now();
+    let mut herd = Vec::with_capacity(idle);
+    for _ in 0..idle {
+        herd.push(Client::connect(addr)?);
+    }
+    let connected = wall.elapsed();
+    println!("loadgen: {idle} idle connections established in {connected:?}");
+
+    let reports: Vec<ConnReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..active)
+            .map(|c| {
+                let (cases, expected) = (&cases, &expected);
+                scope.spawn(move || drive_tenants(addr, cases, expected, c, queries))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver thread"))
+            .collect::<std::io::Result<_>>()
+    })?;
+    let wall = wall.elapsed();
+    drop(herd);
 
     let mut jsonl = JsonlWriter::for_bench("serve");
-    let busy: u64 = reports.iter().map(|r| r.busy).sum();
-    let mut all_ns: Vec<u64> = Vec::new();
+    report_cases(&mut jsonl, &cases, &reports, wall, Some("tenant"));
+    let summary = Record::summary("serve", "mt")
+        .u64("connections", (idle + active + 1) as u64)
+        .u64("idle", idle as u64)
+        .u64("active", active as u64)
+        .u64("tenants", tenants as u64);
+    report_summary(&mut jsonl, &reports, wall, summary);
+    jsonl.announce();
+    Ok(())
+}
+
+/// Prints the per-case latency table and emits one JSONL row per case;
+/// `tenant_field` labels rows with the case name under that key (the
+/// `mt` scenario's per-tenant rows).
+fn report_cases(
+    jsonl: &mut JsonlWriter,
+    cases: &[ServeCase],
+    reports: &[ConnReport],
+    wall: Duration,
+    tenant_field: Option<&str>,
+) {
+    let _ = wall;
     println!(
         "{:<10} {:>6} {:>10} {:>10} {:>10} {:>10}",
         "case", "n", "mean_us", "p50_us", "p90_us", "p99_us"
@@ -143,7 +280,6 @@ fn main() -> std::io::Result<()> {
             .map(|(_, ns)| *ns)
             .collect();
         ns.sort_unstable();
-        all_ns.extend(&ns);
         if ns.is_empty() {
             continue;
         }
@@ -162,15 +298,28 @@ fn main() -> std::io::Result<()> {
             p90 / 1_000,
             p99 / 1_000
         );
-        jsonl.record(
-            &Record::row("serve", case.name)
-                .u64("requests", ns.len() as u64)
-                .u64("mean_us", mean / 1_000)
-                .u64("p50_us", p50 / 1_000)
-                .u64("p90_us", p90 / 1_000)
-                .u64("p99_us", p99 / 1_000),
-        );
+        let mut row = Record::row("serve", case.name)
+            .u64("requests", ns.len() as u64)
+            .u64("mean_us", mean / 1_000)
+            .u64("p50_us", p50 / 1_000)
+            .u64("p90_us", p90 / 1_000)
+            .u64("p99_us", p99 / 1_000);
+        if let Some(field) = tenant_field {
+            row = row.str(field, case.name);
+        }
+        jsonl.record(&row);
     }
+}
+
+/// Prints the aggregate line and emits the JSONL summary row, extending
+/// the caller's scenario-specific fields with the shared ones.
+fn report_summary(jsonl: &mut JsonlWriter, reports: &[ConnReport], wall: Duration, base: Record) {
+    let busy: u64 = reports.iter().map(|r| r.busy).sum();
+    let mut all_ns: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| &r.latencies_ns)
+        .map(|(_, ns)| *ns)
+        .collect();
     all_ns.sort_unstable();
     let served = all_ns.len() as u64;
     let qps = served as f64 / wall.as_secs_f64();
@@ -180,8 +329,7 @@ fn main() -> std::io::Result<()> {
         percentile(&all_ns, 0.99) / 1_000
     );
     jsonl.record(
-        &Record::summary("serve", "all")
-            .u64("connections", connections as u64)
+        &base
             .u64("served", served)
             .u64("busy", busy)
             .f64("wall_ms", wall.as_secs_f64() * 1_000.0)
@@ -190,8 +338,37 @@ fn main() -> std::io::Result<()> {
             .u64("p90_us", percentile(&all_ns, 0.90) / 1_000)
             .u64("p99_us", percentile(&all_ns, 0.99) / 1_000),
     );
-    jsonl.announce();
-    Ok(())
+}
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| {
+        eprintln!(
+            "usage: loadgen <addr> [connections] [queries-per-connection]\n       loadgen <addr> mt [connections] [active] [queries] [tenants]\n       loadgen <addr> shutdown"
+        );
+        std::process::exit(2);
+    });
+    let mut args = args.peekable();
+    match args.peek().map(String::as_str) {
+        Some("shutdown") => {
+            let reply = Client::connect(&addr)?.shutdown()?;
+            println!("loadgen: shutdown acknowledged ({reply:?})");
+            Ok(())
+        }
+        Some("mt") => {
+            args.next();
+            let connections = args.and_parse(1000);
+            let active = args.and_parse(8);
+            let queries = args.and_parse(25);
+            let tenants = args.and_parse(4);
+            run_multi_tenant(&addr, connections, active, queries, tenants)
+        }
+        _ => {
+            let connections = args.and_parse(4);
+            let queries = args.and_parse(50);
+            run_sessions(&addr, connections, queries)
+        }
+    }
 }
 
 /// Tiny argument helper: parse the next argument or fall back.

@@ -65,26 +65,79 @@ impl Client {
         })
     }
 
-    /// Runs a query for its first solution.
+    /// Publishes a program into the server's shared registry under
+    /// `name`, with an optional per-tenant step budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn publish(
+        &mut self,
+        name: &str,
+        source: &str,
+        step_budget: Option<u64>,
+    ) -> io::Result<Reply> {
+        self.request(&Request::Publish {
+            name: name.to_owned(),
+            source: source.to_owned(),
+            step_budget,
+        })
+    }
+
+    /// Runs a query for its first solution against this connection's
+    /// consulted program.
     ///
     /// # Errors
     ///
     /// As [`Client::request`].
     pub fn query(&mut self, query: &str) -> io::Result<Reply> {
         self.request(&Request::Query {
+            tenant: None,
             query: query.to_owned(),
             enumerate_all: false,
             step_budget: None,
         })
     }
 
-    /// Runs a query for every solution.
+    /// Runs a query for every solution against this connection's
+    /// consulted program.
     ///
     /// # Errors
     ///
     /// As [`Client::request`].
     pub fn query_all(&mut self, query: &str) -> io::Result<Reply> {
         self.request(&Request::Query {
+            tenant: None,
+            query: query.to_owned(),
+            enumerate_all: true,
+            step_budget: None,
+        })
+    }
+
+    /// Runs a query for its first solution against the published program
+    /// `name`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn query_tenant(&mut self, name: &str, query: &str) -> io::Result<Reply> {
+        self.request(&Request::Query {
+            tenant: Some(name.to_owned()),
+            query: query.to_owned(),
+            enumerate_all: false,
+            step_budget: None,
+        })
+    }
+
+    /// Runs a query for every solution against the published program
+    /// `name`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn query_tenant_all(&mut self, name: &str, query: &str) -> io::Result<Reply> {
+        self.request(&Request::Query {
+            tenant: Some(name.to_owned()),
             query: query.to_owned(),
             enumerate_all: true,
             step_budget: None,

@@ -10,10 +10,23 @@
 //! (`MachineConfig::step_budget`), and a pool of isolated worker
 //! sessions doing the actual knowledge crunching.
 //!
+//! Since the registry PR the service is multi-tenant: `PUBLISH <name>`
+//! installs a compiled program into a shared [`kcm_system::registry`]
+//! slot, and `QUERY @<name> ...` serves it to any connection — many
+//! knowledge bases on one machine, each an immutable `Arc`'d image with
+//! its own stats and optional step budget. The front end is a single
+//! nonblocking readiness loop ([`poll`] + [`server`]): connections cost
+//! a buffer, not a thread, so the server's thread count is independent
+//! of its connection count.
+//!
 //! Pieces:
 //!
-//! * [`protocol`] — framing, request/reply grammar, outcome rendering;
-//! * [`server`] — the accept loop, worker pool and metrics;
+//! * [`protocol`] — framing (incl. the incremental [`protocol::FrameBuf`]
+//!   decoder), request/reply grammar, outcome rendering;
+//! * [`poll`] — a zero-dependency readiness API (epoll on Linux, poll(2)
+//!   elsewhere on unix);
+//! * [`server`] — the event loop, program registry wiring, worker pool
+//!   and metrics;
 //! * [`client`] — a blocking client for the protocol;
 //! * [`workload`] — the deterministic query mix `loadgen` and the tests
 //!   drive.
@@ -44,10 +57,11 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod poll;
 pub mod protocol;
 pub mod server;
 pub mod workload;
 
 pub use client::Client;
-pub use protocol::{render_outcome, Reply, Request};
+pub use protocol::{render_outcome, FrameBuf, Reply, Request};
 pub use server::{ServeConfig, ServeMetrics, Server};

@@ -10,14 +10,24 @@
 //! Request payloads (first word selects the command):
 //!
 //! ```text
+//! "PUBLISH " name [" BUDGET " steps] "\n" source
+//!                             publish source as the named shared program
 //! "CONSULT\n" source          consult a program for this connection
-//! "QUERY "    [opts] query    run query, first solution
-//! "QUERYALL " [opts] query    run query, every solution
-//! "STATS"                     server-wide aggregate metrics
+//! "QUERY "    [tenant] [opts] query    run query, first solution
+//! "QUERYALL " [tenant] [opts] query    run query, every solution
+//! "STATS"                     server-wide and per-tenant metrics
 //! "SHUTDOWN"                  drain and stop the server
+//! tenant  := "@" name " "
+//! name    := [A-Za-z_] [A-Za-z0-9_-]{0,63}
 //! opts    := "BUDGET " steps " "
 //! steps   := plain decimal digits, at least 1, at most u64::MAX
 //! ```
+//!
+//! A query without a `@name` runs against the connection's own
+//! `CONSULT`ed program (the single-host session mode); with one it runs
+//! against the shared program published under that name. `@` cannot
+//! begin a Prolog query term under the reader's grammar, so the form is
+//! unambiguous.
 //!
 //! `steps` is deliberately strict: no sign (`+10` is not "10"), no
 //! leading/extra whitespace, no value a u64 cannot hold, and never 0 —
@@ -27,11 +37,24 @@
 //! Reply payloads (first line is the status):
 //!
 //! ```text
-//! "OK\n" body                 consult: empty; query: rendered outcome;
-//!                             stats: "key=value" lines
+//! "OK\n" body                 consult: empty; publish: name/version
+//!                             lines; query: rendered outcome; stats:
+//!                             "key=value" lines
 //! "BUSY\n"                    request queue full — retry later
 //! "ERR " class ": " message   error, classed as in kcm_system::error_class
 //! ```
+//!
+//! # Framing slow readers
+//!
+//! [`read_frame`] is for *blocking* streams (the [`crate::Client`]):
+//! it must never be used on a socket with a read timeout, because a
+//! timeout firing mid-frame loses whatever bytes the frame had already
+//! consumed and desynchronizes the stream. The server's readiness loop
+//! instead decodes through [`FrameBuf`], which owns the partial-frame
+//! state explicitly: bytes are fed in whenever the socket is readable,
+//! frames pop out only when complete, and a length line or payload
+//! split across arbitrarily many reads — the slow-client case — is
+//! correct by construction.
 
 use kcm_system::Outcome;
 use std::io::{self, BufRead, Write};
@@ -39,6 +62,43 @@ use std::io::{self, BufRead, Write};
 /// Upper bound on one frame's payload; a frame this large is a protocol
 /// error, not a workload.
 pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Upper bound on the length *line* itself (digits + newline). A frame
+/// length needs at most 20 digits to express `u64::MAX`; a longer line
+/// is garbage, and bounding it keeps an unframed byte stream from
+/// buffering without limit while [`FrameBuf`] waits for a newline.
+pub const MAX_LENGTH_LINE: usize = 32;
+
+/// Longest accepted tenant name.
+pub const MAX_NAME: usize = 64;
+
+/// Validates a tenant name: `[A-Za-z_][A-Za-z0-9_-]{0,63}`.
+///
+/// # Errors
+///
+/// Describes the malformation (empty, too long, bad character).
+pub fn validate_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("empty program name".to_owned());
+    }
+    if name.len() > MAX_NAME {
+        return Err(format!(
+            "program name of {} bytes exceeds the {MAX_NAME}-byte cap",
+            name.len()
+        ));
+    }
+    let mut bytes = name.bytes();
+    let first = bytes.next().expect("nonempty");
+    if !(first.is_ascii_alphabetic() || first == b'_') {
+        return Err(format!("bad program name {name:?}: must start [A-Za-z_]"));
+    }
+    if !bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-') {
+        return Err(format!(
+            "bad program name {name:?}: want [A-Za-z0-9_-] after the first character"
+        ));
+    }
+    Ok(())
+}
 
 /// Writes one length-delimited frame.
 ///
@@ -48,15 +108,26 @@ pub const MAX_FRAME: usize = 64 * 1024 * 1024;
 pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
     // One write for the whole frame: a separate length-line write would
     // interact with Nagle + delayed ACK into a ~40ms stall per request.
+    w.write_all(encode_frame(payload).as_bytes())?;
+    w.flush()
+}
+
+/// The on-wire bytes of one frame (length line + payload), as written by
+/// [`write_frame`].
+pub fn encode_frame(payload: &str) -> String {
     let mut frame = String::with_capacity(payload.len() + 12);
     frame.push_str(&payload.len().to_string());
     frame.push('\n');
     frame.push_str(payload);
-    w.write_all(frame.as_bytes())?;
-    w.flush()
+    frame
 }
 
-/// Reads one frame; `Ok(None)` on a clean EOF before the length line.
+/// Reads one frame from a **blocking** stream; `Ok(None)` on a clean EOF
+/// before the length line.
+///
+/// Not safe on a stream with a read timeout: a timeout mid-frame loses
+/// the already-consumed bytes (see the module docs). Nonblocking readers
+/// decode through [`FrameBuf`] instead.
 ///
 /// # Errors
 ///
@@ -66,6 +137,15 @@ pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
     if r.read_line(&mut line)? == 0 {
         return Ok(None);
     }
+    let len = parse_length_line(&line)?;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn parse_length_line(line: &str) -> io::Result<usize> {
     let len: usize = line
         .trim()
         .parse()
@@ -76,31 +156,111 @@ pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
             format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
         ));
     }
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    Ok(len)
+}
+
+/// An incremental frame decoder for nonblocking readers.
+///
+/// Feed raw bytes with [`FrameBuf::feed`] whenever the transport has
+/// them; pop complete frames with [`FrameBuf::next_frame`]. All partial
+/// state — half a length line, a payload still in flight — lives in the
+/// buffer between calls, so it does not matter how the byte stream is
+/// sliced: one byte at a time with arbitrary pauses decodes identically
+/// to one big read. This is the structural fix for the slow-client
+/// desync the old timeout-driven `read_frame` loop suffered.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Payload length of the current frame, once its length line has
+    /// fully arrived (the line itself is already drained from `buf`).
+    pending: Option<usize>,
+}
+
+impl FrameBuf {
+    /// An empty decoder.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Appends transport bytes to the decode buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether any undecoded bytes (a partial frame) are buffered.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty() || self.pending.is_some()
+    }
+
+    /// Pops the next complete frame, or `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Malformed or oversized length lines and invalid UTF-8 payloads,
+    /// with the same classifications as [`read_frame`]. The decoder is
+    /// not usable after an error (framing has no resynchronization
+    /// point — the connection is the unit of failure).
+    pub fn next_frame(&mut self) -> io::Result<Option<String>> {
+        if self.pending.is_none() {
+            let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
+                if self.buf.len() > MAX_LENGTH_LINE {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "length line exceeds the cap without a newline",
+                    ));
+                }
+                return Ok(None);
+            };
+            let line = std::str::from_utf8(&self.buf[..nl])
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            self.pending = Some(parse_length_line(line)?);
+            self.buf.drain(..=nl);
+        }
+        let len = self.pending.expect("set above or on a previous call");
+        if self.buf.len() < len {
+            return Ok(None);
+        }
+        let payload: Vec<u8> = self.buf.drain(..len).collect();
+        self.pending = None;
+        String::from_utf8(payload)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
 }
 
 /// One parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
+    /// Publish a program into the server's shared registry.
+    Publish {
+        /// Registry name to publish under.
+        name: String,
+        /// Prolog source text.
+        source: String,
+        /// Per-tenant step budget for queries that don't carry their own
+        /// `BUDGET`.
+        step_budget: Option<u64>,
+    },
     /// Consult a program (replacing this connection's program state).
     Consult {
         /// Prolog source text.
         source: String,
     },
-    /// Run a query against the connection's consulted program.
+    /// Run a query against a published program (`tenant` set) or the
+    /// connection's consulted program (`tenant` empty).
     Query {
+        /// Registry name to run against, or `None` for session mode.
+        tenant: Option<String>,
         /// Query text, as accepted by `Kcm::query`.
         query: String,
         /// Enumerate every solution instead of stopping at the first.
         enumerate_all: bool,
-        /// Per-request step budget overriding the server default.
+        /// Per-request step budget overriding the tenant and server
+        /// defaults.
         step_budget: Option<u64>,
     },
-    /// Fetch server-wide aggregate metrics.
+    /// Fetch server-wide aggregate and per-tenant metrics.
     Stats,
     /// Drain in-flight requests and stop the server.
     Shutdown,
@@ -126,17 +286,34 @@ impl Request {
     /// Encodes the request as a frame payload.
     pub fn encode(&self) -> String {
         match self {
+            Request::Publish {
+                name,
+                source,
+                step_budget,
+            } => match step_budget {
+                Some(steps) => format!("PUBLISH {name} BUDGET {steps}\n{source}"),
+                None => format!("PUBLISH {name}\n{source}"),
+            },
             Request::Consult { source } => format!("CONSULT\n{source}"),
             Request::Query {
+                tenant,
                 query,
                 enumerate_all,
                 step_budget,
             } => {
                 let verb = if *enumerate_all { "QUERYALL" } else { "QUERY" };
-                match step_budget {
-                    Some(steps) => format!("{verb} BUDGET {steps} {query}"),
-                    None => format!("{verb} {query}"),
+                let mut s = String::from(verb);
+                s.push(' ');
+                if let Some(name) = tenant {
+                    s.push('@');
+                    s.push_str(name);
+                    s.push(' ');
                 }
+                if let Some(steps) = step_budget {
+                    s.push_str(&format!("BUDGET {steps} "));
+                }
+                s.push_str(query);
+                s
             }
             Request::Stats => "STATS".to_owned(),
             Request::Shutdown => "SHUTDOWN".to_owned(),
@@ -149,6 +326,26 @@ impl Request {
     ///
     /// Returns a human-readable description of the malformation.
     pub fn parse(payload: &str) -> Result<Request, String> {
+        if let Some(rest) = payload.strip_prefix("PUBLISH ") {
+            let (header, source) = rest
+                .split_once('\n')
+                .ok_or_else(|| "PUBLISH needs a source body after the name line".to_owned())?;
+            let (name, step_budget) = match header.split_once(' ') {
+                None => (header, None),
+                Some((name, opts)) => {
+                    let steps = opts
+                        .strip_prefix("BUDGET ")
+                        .ok_or_else(|| format!("bad PUBLISH options {opts:?}: want BUDGET n"))?;
+                    (name, Some(parse_budget(steps)?))
+                }
+            };
+            validate_name(name)?;
+            return Ok(Request::Publish {
+                name: name.to_owned(),
+                source: source.to_owned(),
+                step_budget,
+            });
+        }
         if let Some(source) = payload.strip_prefix("CONSULT\n") {
             return Ok(Request::Consult {
                 source: source.to_owned(),
@@ -157,6 +354,16 @@ impl Request {
         for (verb, enumerate_all) in [("QUERY ", false), ("QUERYALL ", true)] {
             let Some(rest) = payload.strip_prefix(verb) else {
                 continue;
+            };
+            let (tenant, rest) = match rest.strip_prefix('@') {
+                Some(after) => {
+                    let (name, rest) = after
+                        .split_once(' ')
+                        .ok_or_else(|| "tenant query needs a query after the name".to_owned())?;
+                    validate_name(name)?;
+                    (Some(name.to_owned()), rest)
+                }
+                None => (None, rest),
             };
             let (step_budget, query) = match rest.strip_prefix("BUDGET ") {
                 Some(after) => {
@@ -171,6 +378,7 @@ impl Request {
                 return Err("empty query".to_owned());
             }
             return Ok(Request::Query {
+                tenant,
                 query: query.to_owned(),
                 enumerate_all,
                 step_budget,
@@ -192,7 +400,7 @@ impl Request {
 pub enum Reply {
     /// The request succeeded; `body` is command-specific.
     Ok {
-        /// Rendered outcome, metrics lines, or empty.
+        /// Rendered outcome, metrics lines, publish receipt, or empty.
         body: String,
     },
     /// The request queue was full; the client should back off and retry.
@@ -313,17 +521,114 @@ mod tests {
     }
 
     #[test]
+    fn frame_buf_decodes_whole_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "QUERY p(X)").expect("write");
+        write_frame(&mut wire, "").expect("write");
+        let mut fb = FrameBuf::new();
+        fb.feed(&wire);
+        assert_eq!(fb.next_frame().expect("a").as_deref(), Some("QUERY p(X)"));
+        assert_eq!(fb.next_frame().expect("b").as_deref(), Some(""));
+        assert_eq!(fb.next_frame().expect("c"), None);
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn frame_buf_survives_byte_by_byte_feeding() {
+        // The slow-client regression at the decoder level: every frame
+        // boundary lands mid-feed and nothing is lost. Interleave two
+        // frames so the tail of one arrives glued to the head of the
+        // next.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "CONSULT\np(1).\np(2).\n").expect("write");
+        write_frame(&mut wire, "QUERYALL p(X)").expect("write");
+        for chunk in [1usize, 2, 3] {
+            let mut fb = FrameBuf::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                fb.feed(piece);
+                while let Some(frame) = fb.next_frame().expect("frame") {
+                    got.push(frame);
+                }
+            }
+            assert_eq!(
+                got,
+                vec![
+                    "CONSULT\np(1).\np(2).\n".to_owned(),
+                    "QUERYALL p(X)".to_owned()
+                ],
+                "chunk size {chunk}"
+            );
+            assert!(!fb.has_partial(), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn frame_buf_reports_partial_state() {
+        let mut fb = FrameBuf::new();
+        assert!(!fb.has_partial());
+        fb.feed(b"1");
+        assert!(fb.has_partial());
+        assert_eq!(fb.next_frame().expect("need more"), None);
+        fb.feed(b"0\n");
+        assert_eq!(fb.next_frame().expect("need payload"), None);
+        assert!(fb.has_partial(), "a parsed length line is partial state");
+        fb.feed(b"0123456789");
+        assert_eq!(
+            fb.next_frame().expect("frame").as_deref(),
+            Some("0123456789")
+        );
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn frame_buf_rejects_garbage_lengths() {
+        for bad in [
+            &b"x\n"[..],
+            &b"-3\nabc"[..],
+            &b"999999999999999999999\n"[..],
+        ] {
+            let mut fb = FrameBuf::new();
+            fb.feed(bad);
+            assert!(fb.next_frame().is_err(), "{bad:?}");
+        }
+        // An unbounded "length line" that never sends a newline must not
+        // buffer forever.
+        let mut fb = FrameBuf::new();
+        fb.feed(&[b'1'; MAX_LENGTH_LINE + 1]);
+        assert!(fb.next_frame().is_err());
+    }
+
+    #[test]
     fn requests_round_trip() {
         for req in [
             Request::Consult {
                 source: "p(1).\np(2).".to_owned(),
             },
+            Request::Publish {
+                name: "alpha".to_owned(),
+                source: "p(1).\np(2).".to_owned(),
+                step_budget: None,
+            },
+            Request::Publish {
+                name: "tight-kb_2".to_owned(),
+                source: "loop :- loop.".to_owned(),
+                step_budget: Some(10_000),
+            },
             Request::Query {
+                tenant: None,
                 query: "p(X)".to_owned(),
                 enumerate_all: false,
                 step_budget: None,
             },
             Request::Query {
+                tenant: Some("alpha".to_owned()),
+                query: "p(X)".to_owned(),
+                enumerate_all: true,
+                step_budget: None,
+            },
+            Request::Query {
+                tenant: Some("alpha".to_owned()),
                 query: "serialise(\"ABA\", R)".to_owned(),
                 enumerate_all: true,
                 step_budget: Some(10_000),
@@ -337,9 +642,51 @@ mod tests {
 
     #[test]
     fn malformed_requests_are_rejected() {
-        for bad in ["QUERY ", "QUERY BUDGET x p", "QUERY BUDGET 5", "NOPE", ""] {
+        for bad in [
+            "QUERY ",
+            "QUERY BUDGET x p",
+            "QUERY BUDGET 5",
+            "QUERY @name",
+            "QUERY @ p(X)",
+            "QUERY @bad!name p(X)",
+            "QUERY @9lives p(X)",
+            "PUBLISH alpha",
+            "PUBLISH alpha FOO 3\np(1).",
+            "PUBLISH alpha BUDGET 0\np(1).",
+            "PUBLISH \np(1).",
+            "PUBLISH a.b\np(1).",
+            "NOPE",
+            "",
+        ] {
             assert!(Request::parse(bad).is_err(), "{bad:?}");
         }
+        let long = format!("PUBLISH {}\np(1).", "n".repeat(MAX_NAME + 1));
+        assert!(Request::parse(&long).is_err());
+    }
+
+    #[test]
+    fn tenant_queries_keep_the_query_text_intact() {
+        // `@` only means "tenant" in verb position; the query text after
+        // the name is untouched, including any @ inside it.
+        assert_eq!(
+            Request::parse("QUERY @kb p(@, X)").expect("parse"),
+            Request::Query {
+                tenant: Some("kb".to_owned()),
+                query: "p(@, X)".to_owned(),
+                enumerate_all: false,
+                step_budget: None,
+            }
+        );
+        // BUDGET composes after the tenant, exactly as in session mode.
+        assert_eq!(
+            Request::parse("QUERYALL @kb BUDGET 5 p(X)").expect("parse"),
+            Request::Query {
+                tenant: Some("kb".to_owned()),
+                query: "p(X)".to_owned(),
+                enumerate_all: true,
+                step_budget: Some(5),
+            }
+        );
     }
 
     #[test]
@@ -362,6 +709,7 @@ mod tests {
         assert_eq!(
             Request::parse("QUERY BUDGET 1 p(X)").expect("min budget"),
             Request::Query {
+                tenant: None,
                 query: "p(X)".to_owned(),
                 enumerate_all: false,
                 step_budget: Some(1),
@@ -370,11 +718,30 @@ mod tests {
         assert_eq!(
             Request::parse(&format!("QUERYALL BUDGET {} p(a, b)", u64::MAX)).expect("max budget"),
             Request::Query {
+                tenant: None,
                 query: "p(a, b)".to_owned(),
                 enumerate_all: true,
                 step_budget: Some(u64::MAX),
             }
         );
+    }
+
+    #[test]
+    fn name_grammar_is_enforced() {
+        for good in ["a", "_x", "kb-2", "A_long-Name9", &"n".repeat(MAX_NAME)] {
+            assert!(validate_name(good).is_ok(), "{good:?}");
+        }
+        for bad in [
+            "",
+            "9a",
+            "-a",
+            "a b",
+            "a.b",
+            "a@b",
+            &"n".repeat(MAX_NAME + 1),
+        ] {
+            assert!(validate_name(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

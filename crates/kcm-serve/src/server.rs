@@ -1,38 +1,66 @@
-//! The query server: a TCP accept loop feeding a bounded job queue that
-//! fans out across session-pool worker threads.
+//! The query server: one nonblocking readiness loop owning every
+//! connection, feeding a bounded job queue fanned across session-pool
+//! worker threads.
 //!
 //! Concurrency layout:
 //!
-//! * one **connection thread** per client holds the connection's program
-//!   state (its own [`Kcm`]) — CONSULT compiles there;
+//! * one **event-loop thread** (the caller of [`Server::run`]) owns the
+//!   listener and *all* connection sockets, nonblocking, multiplexed
+//!   through [`crate::poll::Poller`] (epoll on Linux). Each connection
+//!   carries its own [`FrameBuf`] decode state and write buffer, so a
+//!   client dribbling a frame one byte per 100 ms costs a buffer slot,
+//!   not a thread — 10k idle connections cost ~0 threads;
 //! * a fixed set of **worker threads** executes queries as isolated pool
 //!   sessions ([`kcm_system::pool::run_session`]) pulled from one bounded
 //!   queue; the compiled image travels to the worker as an `Arc`, exactly
-//!   as [`kcm_system::SessionPool`] ships it;
+//!   as [`kcm_system::SessionPool`] ships it. Completions come back over
+//!   a channel plus a wake pipe byte; the loop also drains completions on
+//!   every tick, so a lost wake delays a reply by at most one tick;
 //! * the queue is a `sync_channel(queue_depth)`: when it is full the
-//!   connection thread answers `BUSY` immediately instead of queueing
-//!   without bound — backpressure is explicit and visible to clients.
+//!   loop answers `BUSY` immediately instead of queueing without bound —
+//!   backpressure is explicit and visible to clients. While a
+//!   connection's request is in flight its read interest is paused, so a
+//!   pipelining client is flow-controlled by TCP, not by server memory;
+//! * published programs live in a shared [`ProgramRegistry`]; `PUBLISH`
+//!   and `CONSULT` compile on the loop thread (compilation is brief and
+//!   amortized over every query that follows), queries run on workers.
 //!
-//! Shutdown is graceful: SHUTDOWN stops the accept loop (a self-connect
-//! wakes it), connection threads notice within one read-timeout tick and
-//! close after finishing their in-flight request, then the queue sender
-//! is dropped so workers drain what was accepted and exit.
+//! Shutdown is graceful and self-contained: `SHUTDOWN` is handled on the
+//! loop itself, which stops accepting, closes idle connections, lets
+//! in-flight requests finish and flush, then closes the queue so workers
+//! drain and exit. The previous thread-per-connection design had to wake
+//! its blocking accept loop by self-connecting to
+//! `listener.local_addr()` — the *unspecified* address
+//! (`0.0.0.0:<port>`) for typical binds, so the wake could fail and hang
+//! the drain. The readiness loop's timed wait is the flag-check tick
+//! that replaces it; no self-connect exists to go wrong.
 
-use crate::protocol::{read_frame, render_outcome, write_frame, Reply, Request};
+use crate::poll::{Event, Interest, Poller};
+use crate::protocol::{encode_frame, render_outcome, FrameBuf, Reply, Request};
 use kcm_arch::SymbolTable;
 use kcm_compiler::CodeImage;
 use kcm_system::pool::run_session;
+use kcm_system::registry::{ProgramRegistry, Published, TenantStats};
 use kcm_system::{error_class, Kcm, KcmError, MachineConfig, Outcome, QueryJob, QueryOpts, Tier};
-use std::io::BufReader;
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// How long a connection read blocks before re-checking the shutdown
-/// flag; bounds how stale an idle connection can be at drain time.
+/// The event loop's wait tick: bounds how long a missed wake byte can
+/// delay a completion and how stale the drain check can be.
 const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Poller token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Poller token of the worker wake pipe.
+const TOKEN_WAKE: u64 = 1;
+/// Connection tokens start here (low 32 bits; generation above).
+const FIRST_CONN: u64 = 2;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -42,15 +70,19 @@ pub struct ServeConfig {
     /// Bounded request-queue depth; a full queue answers `BUSY`.
     pub queue_depth: usize,
     /// Step budget applied to requests that don't carry their own
-    /// `BUDGET`; `None` leaves runaway queries to the machine's fuel cap.
+    /// `BUDGET` (for tenant queries, after the tenant's own publish-time
+    /// budget); `None` leaves runaway queries to the machine's fuel cap.
     pub default_step_budget: Option<u64>,
+    /// Capacity of the shared program registry; publishing a new name
+    /// into a full registry evicts the least-recently-used tenant.
+    pub max_programs: usize,
     /// Execution tier for every served query. Defaults to
     /// [`Tier::Native`]: a service asks "what is the answer", not "how
     /// fast was the 1989 hardware", and the native tier returns identical
     /// solutions, output and error classes several times faster. Set
     /// [`Tier::Cycle`] for fidelity runs where the `STATS` cycle counter
     /// must reflect the simulated machine (it reads 0 under the native
-    /// tier).
+    /// tier; the `steps` counter is the tier-independent work measure).
     pub tier: Tier,
     /// Machine configuration for every session.
     pub machine: MachineConfig,
@@ -64,6 +96,7 @@ impl Default for ServeConfig {
                 .unwrap_or(1),
             queue_depth: 64,
             default_step_budget: Some(50_000_000),
+            max_programs: 64,
             tier: Tier::Native,
             machine: MachineConfig::default(),
         }
@@ -71,13 +104,16 @@ impl Default for ServeConfig {
 }
 
 /// Server-wide aggregate metrics, reported by `STATS` and returned by
-/// [`Server::run`].
+/// [`Server::run`]. `STATS` additionally renders per-tenant counters
+/// from the registry (`tenant.<name>.<counter>=` lines).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeMetrics {
     /// Connections accepted.
     pub connections: u64,
-    /// Programs consulted.
+    /// Programs consulted (per-connection session mode).
     pub consults: u64,
+    /// Programs published into the shared registry.
+    pub publishes: u64,
     /// Queries accepted onto the queue.
     pub queries: u64,
     /// Queries answered with a completed outcome.
@@ -95,15 +131,20 @@ pub struct ServeMetrics {
     /// Simulated KCM cycles across served queries; stays 0 when serving
     /// on the (default) native tier, which has no clock.
     pub cycles: u64,
+    /// Retired machine instructions across served queries — the
+    /// tier-independent work counter (nonzero on both tiers).
+    pub steps: u64,
 }
 
 impl ServeMetrics {
-    /// The `STATS` reply body: one `key=value` line per counter.
+    /// The `STATS` reply's aggregate section: one `key=value` line per
+    /// counter.
     pub fn render(&self) -> String {
         format!(
-            "connections={}\nconsults={}\nqueries={}\nserved={}\nbusy={}\nbudget_stops={}\nerrors={}\nsolutions={}\ninferences={}\ncycles={}\n",
+            "connections={}\nconsults={}\npublishes={}\nqueries={}\nserved={}\nbusy={}\nbudget_stops={}\nerrors={}\nsolutions={}\ninferences={}\ncycles={}\nsteps={}\n",
             self.connections,
             self.consults,
+            self.publishes,
             self.queries,
             self.served,
             self.busy,
@@ -111,33 +152,48 @@ impl ServeMetrics {
             self.errors,
             self.solutions,
             self.inferences,
-            self.cycles
+            self.cycles,
+            self.steps
         )
     }
 }
 
 /// One queued query: everything a worker needs to run the session, plus
-/// the reply channel back to the connection thread.
+/// the routing information for the reply.
 struct WorkItem {
+    /// Connection token (index + generation) the reply belongs to.
+    token: u64,
     image: Arc<CodeImage>,
     symbols: SymbolTable,
     config: MachineConfig,
     job: QueryJob,
-    reply: mpsc::Sender<Result<Outcome, KcmError>>,
+    /// The resolved tenant, when this is a registry query: holding the
+    /// `Arc` keeps the program alive across re-publish/eviction, and the
+    /// worker mirrors its accounting into the tenant's stats.
+    tenant: Option<Arc<Published>>,
+}
+
+/// A finished query on its way back to the event loop.
+struct Completion {
+    token: u64,
+    /// The encoded reply payload (rendered on the worker; the loop only
+    /// frames and writes it).
+    payload: String,
 }
 
 struct Shared {
     cfg: ServeConfig,
-    /// `Some` while accepting work; taken (dropping the sender) at drain.
-    jobs: Mutex<Option<SyncSender<WorkItem>>>,
     metrics: Mutex<ServeMetrics>,
-    shutting_down: AtomicBool,
+    registry: ProgramRegistry,
 }
 
 /// A bound, not-yet-running query server.
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    jobs: SyncSender<WorkItem>,
+    done_rx: Receiver<Completion>,
+    wake_rx: UnixStream,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -150,24 +206,37 @@ impl Server {
     /// Propagates socket errors.
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let (tx, rx) = mpsc::sync_channel::<WorkItem>(cfg.queue_depth.max(1));
-        let workers = (0..cfg.workers.max(1))
-            .map({
-                let rx = Arc::new(Mutex::new(rx));
-                move |_| {
-                    let rx = Arc::clone(&rx);
-                    std::thread::spawn(move || worker_loop(&rx))
-                }
+        let (job_tx, job_rx) = mpsc::sync_channel::<WorkItem>(cfg.queue_depth.max(1));
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        // Both ends nonblocking: the loop drains without blocking, and a
+        // worker whose wake byte won't fit (pipe already full of wakes)
+        // just drops it — the pending byte or the tick wakes the loop.
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            registry: ProgramRegistry::new(cfg.max_programs),
+            metrics: Mutex::new(ServeMetrics::default()),
+            cfg,
+        });
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let shared = Arc::clone(&shared);
+                let done_tx = done_tx.clone();
+                let wake_tx = wake_tx.try_clone()?;
+                Ok(std::thread::spawn(move || {
+                    worker_loop(&job_rx, &shared, &done_tx, &wake_tx);
+                }))
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
         Ok(Server {
             listener,
-            shared: Arc::new(Shared {
-                cfg,
-                jobs: Mutex::new(Some(tx)),
-                metrics: Mutex::new(ServeMetrics::default()),
-                shutting_down: AtomicBool::new(false),
-            }),
+            shared,
+            jobs: job_tx,
+            done_rx,
+            wake_rx,
             workers,
         })
     }
@@ -182,44 +251,537 @@ impl Server {
     }
 
     /// Serves until a client sends SHUTDOWN, then drains and returns the
-    /// final metrics.
+    /// final metrics. The calling thread *is* the event loop; no threads
+    /// are spawned per connection.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop socket errors; per-connection errors only
-    /// end that connection.
+    /// Propagates listener/poller socket errors; per-connection errors
+    /// only end that connection.
     pub fn run(self) -> std::io::Result<ServeMetrics> {
-        let addr = self.listener.local_addr()?;
-        let mut connections = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.shared.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = stream?;
-            self.shared.metrics.lock().expect("metrics").connections += 1;
-            let shared = Arc::clone(&self.shared);
-            connections.push(std::thread::spawn(move || {
-                // Connection errors (resets, protocol violations) are not
-                // server errors; dropping the connection is the response.
-                let _ = serve_connection(stream, &shared, addr);
-            }));
-        }
-        // Drain: connections finish their in-flight request and observe
-        // the flag within one read tick...
-        for c in connections {
-            let _ = c.join();
-        }
-        // ...then the queue closes and workers run what was accepted.
-        drop(self.shared.jobs.lock().expect("jobs lock").take());
-        for w in self.workers {
+        let Server {
+            listener,
+            shared,
+            jobs,
+            done_rx,
+            wake_rx,
+            workers,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.add(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+        let mut el = EventLoop {
+            listener,
+            poller,
+            shared: Arc::clone(&shared),
+            jobs: Some(jobs),
+            done_rx,
+            wake_rx,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            shutting_down: false,
+            accepting: true,
+        };
+        el.run_loop()?;
+        // Close the queue: workers finish what was accepted and exit.
+        el.jobs = None;
+        for w in workers {
             let _ = w.join();
         }
-        let metrics = self.shared.metrics.lock().expect("metrics").clone();
+        let metrics = shared.metrics.lock().expect("metrics").clone();
         Ok(metrics)
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<WorkItem>>) {
+/// One connection owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Incremental frame decoder: partial length lines and payloads
+    /// survive across readiness events by construction.
+    frames: FrameBuf,
+    /// Pending reply bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// This connection's session-mode program state.
+    kcm: Kcm,
+    /// A request is with the workers; reads are paused and no further
+    /// frame is processed until its completion, preserving per-connection
+    /// FIFO order.
+    busy: bool,
+    /// The peer sent EOF (or SHUTDOWN ended the session): no more input
+    /// will be processed; close once in-flight work has flushed.
+    read_closed: bool,
+    /// The interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.busy && !self.read_closed,
+            writable: self.pending_write(),
+        }
+    }
+}
+
+/// A connection slot with a generation counter, so a completion for a
+/// closed connection can never be delivered to the slot's next tenant.
+struct Entry {
+    conn: Option<Conn>,
+    gen: u32,
+}
+
+fn token_of(index: usize, gen: u32) -> u64 {
+    (u64::from(gen) << 32) | (index as u64 + FIRST_CONN)
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    poller: Poller,
+    shared: Arc<Shared>,
+    /// `Some` while accepting queries; dropped after the loop exits so
+    /// the workers drain.
+    jobs: Option<SyncSender<WorkItem>>,
+    done_rx: Receiver<Completion>,
+    wake_rx: UnixStream,
+    slots: Vec<Entry>,
+    free: Vec<usize>,
+    live: usize,
+    shutting_down: bool,
+    accepting: bool,
+}
+
+impl EventLoop {
+    fn run_loop(&mut self) -> std::io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            self.poller.wait(&mut events, READ_TICK)?;
+            for ev in std::mem::take(&mut events) {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready()?,
+                    TOKEN_WAKE => self.drain_wake(),
+                    token => self.conn_ready(token, ev),
+                }
+            }
+            // Completions are drained every pass regardless of wake
+            // bytes: the timed wait above is the fallback that makes a
+            // lost wake a latency blip, not a hang.
+            self.drain_completions();
+            if self.shutting_down {
+                self.sweep_for_drain();
+                if self.live == 0 {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) -> std::io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shutting_down {
+                        continue; // drop it: no new sessions during drain
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.shared.metrics.lock().expect("metrics").connections += 1;
+                    let conn = Conn {
+                        stream,
+                        frames: FrameBuf::new(),
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        kcm: Kcm::with_config(self.shared.cfg.machine.clone()),
+                        busy: false,
+                        read_closed: false,
+                        interest: Interest::READ,
+                    };
+                    let index = match self.free.pop() {
+                        Some(i) => i,
+                        None => {
+                            self.slots.push(Entry { conn: None, gen: 0 });
+                            self.slots.len() - 1
+                        }
+                    };
+                    let token = token_of(index, self.slots[index].gen);
+                    if self
+                        .poller
+                        .add(conn.stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        self.free.push(index);
+                        continue;
+                    }
+                    self.slots[index].conn = Some(conn);
+                    self.live += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Per-connection accept failures (e.g. the peer reset
+                // before we got to it) are not server errors.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::ConnectionReset
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 4096];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => return, // all wake writers gone
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return, // WouldBlock: drained
+            }
+        }
+    }
+
+    /// Decodes a connection token; `None` for a stale generation (the
+    /// connection closed and the slot moved on).
+    fn take_conn(&mut self, token: u64) -> Option<(usize, Conn)> {
+        let index = usize::try_from(token & 0xffff_ffff).ok()?.checked_sub(2)?;
+        let gen = (token >> 32) as u32;
+        let entry = self.slots.get_mut(index)?;
+        if entry.gen != gen {
+            return None;
+        }
+        entry.conn.take().map(|c| (index, c))
+    }
+
+    /// Returns a connection to its slot, refreshing its poller interest,
+    /// or closes it if `keep` is false.
+    fn park_conn(&mut self, index: usize, mut conn: Conn, keep: bool) {
+        if !keep {
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
+            self.slots[index].gen = self.slots[index].gen.wrapping_add(1);
+            self.free.push(index);
+            self.live -= 1;
+            return;
+        }
+        let desired = conn.desired_interest();
+        if desired != conn.interest {
+            let token = token_of(index, self.slots[index].gen);
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, desired)
+                .is_err()
+            {
+                // Can't watch it any more: drop the connection.
+                let _ = self.poller.remove(conn.stream.as_raw_fd());
+                self.slots[index].gen = self.slots[index].gen.wrapping_add(1);
+                self.free.push(index);
+                self.live -= 1;
+                return;
+            }
+            conn.interest = desired;
+        }
+        self.slots[index].conn = Some(conn);
+    }
+
+    fn conn_ready(&mut self, token: u64, ev: Event) {
+        let Some((index, mut conn)) = self.take_conn(token) else {
+            return; // stale event for a closed connection
+        };
+        let mut keep = true;
+        if ev.readable || ev.hangup {
+            keep = self.do_read(&mut conn, token);
+        }
+        if keep && ev.writable && conn.pending_write() {
+            keep = flush(&mut conn).is_ok();
+        }
+        if keep && conn.read_closed && !conn.busy && !conn.pending_write() {
+            keep = false;
+        }
+        self.park_conn(index, conn, keep);
+    }
+
+    /// Reads whatever the socket has, feeds the decoder, and processes
+    /// complete frames. Returns whether the connection stays open.
+    fn do_read(&mut self, conn: &mut Conn, token: u64) -> bool {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.frames.feed(&buf[..n]);
+                    if n < buf.len() {
+                        break; // likely drained; level-trigger re-reports
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        self.pump(conn, token)
+    }
+
+    /// Processes buffered complete frames while the connection has no
+    /// request in flight. Returns whether the connection stays open.
+    fn pump(&mut self, conn: &mut Conn, token: u64) -> bool {
+        while !conn.busy {
+            match conn.frames.next_frame() {
+                Ok(Some(payload)) => {
+                    if !self.handle_frame(conn, token, &payload) {
+                        return false;
+                    }
+                }
+                Ok(None) => break,
+                // Framing errors have no resynchronization point; the
+                // connection is the unit of failure.
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Handles one request frame. Returns whether the connection stays
+    /// open.
+    fn handle_frame(&mut self, conn: &mut Conn, token: u64, payload: &str) -> bool {
+        let request = match Request::parse(payload) {
+            Ok(request) => request,
+            Err(why) => {
+                let reply = Reply::Err {
+                    class: "protocol".to_owned(),
+                    message: why,
+                };
+                return queue_reply(conn, &reply.encode()).is_ok();
+            }
+        };
+        let reply = match request {
+            Request::Consult { source } => {
+                // CONSULT replaces the connection's program (Kcm::consult
+                // *adds* clauses; a service client re-sending its program
+                // wants idempotence, not accumulation).
+                let mut fresh = Kcm::with_config(self.shared.cfg.machine.clone());
+                match fresh.consult(&source) {
+                    Ok(()) => {
+                        conn.kcm = fresh;
+                        self.shared.metrics.lock().expect("metrics").consults += 1;
+                        Reply::Ok {
+                            body: String::new(),
+                        }
+                    }
+                    Err(e) => error_reply(&e, &self.shared, None),
+                }
+            }
+            Request::Publish {
+                name,
+                source,
+                step_budget,
+            } => match self.shared.registry.publish(
+                &name,
+                &source,
+                &self.shared.cfg.machine,
+                step_budget,
+            ) {
+                Ok(receipt) => {
+                    self.shared.metrics.lock().expect("metrics").publishes += 1;
+                    let mut body = format!("name={name}\nversion={}\n", receipt.version);
+                    if let Some(evicted) = receipt.evicted {
+                        body.push_str(&format!("evicted={evicted}\n"));
+                    }
+                    Reply::Ok { body }
+                }
+                Err(e) => error_reply(&e, &self.shared, None),
+            },
+            Request::Stats => Reply::Ok {
+                body: stats_body(&self.shared),
+            },
+            Request::Shutdown => {
+                self.shutting_down = true;
+                if self.accepting {
+                    let _ = self.poller.remove(self.listener.as_raw_fd());
+                    self.accepting = false;
+                }
+                // The session ends with the acknowledgement: close once
+                // the OK has flushed.
+                conn.read_closed = true;
+                Reply::Ok {
+                    body: String::new(),
+                }
+            }
+            Request::Query {
+                tenant,
+                query,
+                enumerate_all,
+                step_budget,
+            } => {
+                match self.dispatch_query(conn, token, tenant, query, enumerate_all, step_budget) {
+                    None => return true, // accepted: the reply comes from a worker
+                    Some(reply) => reply,
+                }
+            }
+        };
+        queue_reply(conn, &reply.encode()).is_ok()
+    }
+
+    /// Resolves and enqueues a query. `None` means the request is in
+    /// flight (the worker's completion will carry the reply); `Some` is
+    /// an immediate reply (BUSY or an error).
+    fn dispatch_query(
+        &mut self,
+        conn: &mut Conn,
+        token: u64,
+        tenant: Option<String>,
+        query: String,
+        enumerate_all: bool,
+        step_budget: Option<u64>,
+    ) -> Option<Reply> {
+        let (image, symbols, config, tenant_entry, budget) = match &tenant {
+            Some(name) => match self.shared.registry.lookup(name) {
+                Ok(t) => {
+                    let budget = step_budget
+                        .or(t.step_budget)
+                        .or(self.shared.cfg.default_step_budget);
+                    (
+                        Arc::clone(&t.image),
+                        t.symbols.clone(),
+                        self.shared.cfg.machine.clone(),
+                        Some(t),
+                        budget,
+                    )
+                }
+                Err(e) => return Some(error_reply(&e, &self.shared, None)),
+            },
+            None => match conn.kcm.shared_image() {
+                Some(image) => (
+                    image,
+                    conn.kcm.symbols().clone(),
+                    conn.kcm.config().clone(),
+                    None,
+                    step_budget.or(self.shared.cfg.default_step_budget),
+                ),
+                None => return Some(error_reply(&KcmError::NoProgram, &self.shared, None)),
+            },
+        };
+        let opts = QueryOpts {
+            enumerate_all,
+            step_budget: budget,
+            trace: 0,
+            tier: self.shared.cfg.tier,
+        };
+        let item = WorkItem {
+            token,
+            image,
+            symbols,
+            config,
+            job: QueryJob::with_opts(query, opts),
+            tenant: tenant_entry,
+        };
+        // try_send is the backpressure point: a full queue is the
+        // client's problem (retry), never the server's memory.
+        let jobs = self.jobs.as_ref().expect("queue open while looping");
+        match jobs.try_send(item) {
+            Ok(()) => {
+                self.shared.metrics.lock().expect("metrics").queries += 1;
+                if let Some(t) = tenant_stats_of(&self.shared, tenant.as_deref()) {
+                    t.queries.fetch_add(1, Ordering::Relaxed);
+                }
+                conn.busy = true;
+                None
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.metrics.lock().expect("metrics").busy += 1;
+                if let Some(t) = tenant_stats_of(&self.shared, tenant.as_deref()) {
+                    t.busy.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(Reply::Busy)
+            }
+            Err(TrySendError::Disconnected(_)) => Some(error_reply(
+                &KcmError::Harness("server is shutting down".to_owned()),
+                &self.shared,
+                None,
+            )),
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            let Some((index, mut conn)) = self.take_conn(done.token) else {
+                continue; // the connection went away; the work still counted
+            };
+            conn.busy = false;
+            let mut keep = queue_reply(&mut conn, &done.payload).is_ok();
+            if keep {
+                keep = self.pump(&mut conn, done.token);
+            }
+            if keep && conn.read_closed && !conn.busy && !conn.pending_write() {
+                keep = false;
+            }
+            self.park_conn(index, conn, keep);
+        }
+    }
+
+    /// During shutdown: close every connection that has nothing left to
+    /// deliver. Busy connections finish their in-flight request first.
+    fn sweep_for_drain(&mut self) {
+        for index in 0..self.slots.len() {
+            let Some(conn) = self.slots[index].conn.take() else {
+                continue;
+            };
+            if !conn.busy && !conn.pending_write() {
+                self.park_conn(index, conn, false);
+            } else {
+                self.slots[index].conn = Some(conn);
+            }
+        }
+    }
+}
+
+/// Appends a framed reply to the connection's write buffer and pushes
+/// as much as the socket will take.
+fn queue_reply(conn: &mut Conn, payload: &str) -> std::io::Result<()> {
+    conn.wbuf
+        .extend_from_slice(encode_frame(payload).as_bytes());
+    flush(conn)
+}
+
+/// Writes pending bytes until the socket would block.
+fn flush(conn: &mut Conn) -> std::io::Result<()> {
+    while conn.pending_write() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket accepted no bytes",
+                ))
+            }
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if !conn.pending_write() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    Ok(())
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<WorkItem>>,
+    shared: &Shared,
+    done_tx: &mpsc::Sender<Completion>,
+    wake_tx: &UnixStream,
+) {
     loop {
         // Hold the lock only to pop; run the session outside it.
         let item = match rx.lock().expect("worker queue").recv() {
@@ -227,158 +789,56 @@ fn worker_loop(rx: &Mutex<Receiver<WorkItem>>) {
             Err(_) => return, // queue closed: drained
         };
         let outcome = run_session(&item.image, &item.symbols, &item.config, &item.job);
-        // A gone connection is fine — the work was still done.
-        let _ = item.reply.send(outcome);
-    }
-}
-
-fn serve_connection(
-    stream: TcpStream,
-    shared: &Shared,
-    server_addr: std::net::SocketAddr,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(READ_TICK))?;
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    // This connection's program state.
-    let mut kcm = Kcm::with_config(shared.cfg.machine.clone());
-    loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return Ok(()), // client hung up
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return Ok(());
+        let tenant = item.tenant.as_ref().map(|t| t.stats.as_ref());
+        let reply = match outcome {
+            Ok(outcome) => {
+                account_served(shared, tenant, &outcome);
+                Reply::Ok {
+                    body: render_outcome(&outcome),
                 }
-                continue;
             }
-            Err(e) => return Err(e),
+            Err(e) => error_reply(&e, shared, tenant),
         };
-        let reply = match Request::parse(&payload) {
-            Ok(request) => {
-                let shutdown = request == Request::Shutdown;
-                let reply = handle_request(request, &mut kcm, shared);
-                write_frame(&mut writer, &reply.encode())?;
-                if shutdown {
-                    initiate_shutdown(shared, server_addr);
-                    return Ok(());
-                }
-                continue;
-            }
-            Err(why) => Reply::Err {
-                class: "protocol".to_owned(),
-                message: why,
-            },
-        };
-        write_frame(&mut writer, &reply.encode())?;
+        // A gone connection is fine — the work was still done and
+        // counted; the loop drops completions with stale tokens.
+        let _ = done_tx.send(Completion {
+            token: item.token,
+            payload: reply.encode(),
+        });
+        // Best-effort wake: if the pipe is full a wake is already
+        // pending, and the loop's tick catches anything else.
+        let _ = (&*wake_tx).write(&[1]);
     }
 }
 
-fn handle_request(request: Request, kcm: &mut Kcm, shared: &Shared) -> Reply {
-    match request {
-        Request::Consult { source } => {
-            // CONSULT replaces the connection's program (Kcm::consult
-            // *adds* clauses; a service client re-sending its program
-            // wants idempotence, not accumulation).
-            let mut fresh = Kcm::with_config(shared.cfg.machine.clone());
-            match fresh.consult(&source) {
-                Ok(()) => {
-                    *kcm = fresh;
-                    shared.metrics.lock().expect("metrics").consults += 1;
-                    Reply::Ok {
-                        body: String::new(),
-                    }
-                }
-                Err(e) => error_reply(&e, shared),
-            }
-        }
-        Request::Query {
-            query,
-            enumerate_all,
-            step_budget,
-        } => handle_query(&query, enumerate_all, step_budget, kcm, shared),
-        Request::Stats => Reply::Ok {
-            body: shared.metrics.lock().expect("metrics").render(),
-        },
-        Request::Shutdown => Reply::Ok {
-            body: String::new(),
-        },
+fn account_served(shared: &Shared, tenant: Option<&TenantStats>, outcome: &Outcome) {
+    let solutions = outcome.solutions.len() as u64;
+    {
+        let mut m = shared.metrics.lock().expect("metrics");
+        m.served += 1;
+        m.solutions += solutions;
+        m.inferences += outcome.stats.inferences;
+        m.cycles += outcome.stats.cycles;
+        m.steps += outcome.stats.instructions;
+    }
+    if let Some(t) = tenant {
+        t.served.fetch_add(1, Ordering::Relaxed);
+        t.solutions.fetch_add(solutions, Ordering::Relaxed);
+        t.inferences
+            .fetch_add(outcome.stats.inferences, Ordering::Relaxed);
+        t.cycles.fetch_add(outcome.stats.cycles, Ordering::Relaxed);
+        t.steps
+            .fetch_add(outcome.stats.instructions, Ordering::Relaxed);
     }
 }
 
-fn handle_query(
-    query: &str,
-    enumerate_all: bool,
-    step_budget: Option<u64>,
-    kcm: &Kcm,
-    shared: &Shared,
-) -> Reply {
-    let Some(image) = kcm.shared_image() else {
-        return error_reply(&KcmError::NoProgram, shared);
-    };
-    let opts = QueryOpts {
-        enumerate_all,
-        step_budget: step_budget.or(shared.cfg.default_step_budget),
-        trace: 0,
-        tier: shared.cfg.tier,
-    };
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let item = WorkItem {
-        image,
-        symbols: kcm.symbols().clone(),
-        config: kcm.config().clone(),
-        job: QueryJob::with_opts(query, opts),
-        reply: reply_tx,
-    };
-    // try_send is the backpressure point: a full queue is the client's
-    // problem (retry), never the server's memory.
-    match shared.jobs.lock().expect("jobs lock").as_ref() {
-        None => {
-            return error_reply(
-                &KcmError::Harness("server is shutting down".to_owned()),
-                shared,
-            )
-        }
-        Some(tx) => match tx.try_send(item) {
-            Ok(()) => shared.metrics.lock().expect("metrics").queries += 1,
-            Err(TrySendError::Full(_)) => {
-                shared.metrics.lock().expect("metrics").busy += 1;
-                return Reply::Busy;
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                return error_reply(
-                    &KcmError::Harness("server is shutting down".to_owned()),
-                    shared,
-                )
-            }
-        },
-    }
-    match reply_rx.recv() {
-        Ok(Ok(outcome)) => {
-            let mut m = shared.metrics.lock().expect("metrics");
-            m.served += 1;
-            m.solutions += outcome.solutions.len() as u64;
-            m.inferences += outcome.stats.inferences;
-            m.cycles += outcome.stats.cycles;
-            Reply::Ok {
-                body: render_outcome(&outcome),
-            }
-        }
-        Ok(Err(e)) => error_reply(&e, shared),
-        Err(_) => error_reply(
-            &KcmError::Harness("worker dropped the request".to_owned()),
-            shared,
-        ),
-    }
+fn tenant_stats_of<'a>(shared: &'a Shared, name: Option<&str>) -> Option<Arc<TenantStats>> {
+    let _ = &shared; // keep the signature honest about where stats live
+    name.and_then(|n| shared.registry.lookup(n).ok())
+        .map(|t| Arc::clone(&t.stats))
 }
 
-fn error_reply(e: &KcmError, shared: &Shared) -> Reply {
+fn error_reply(e: &KcmError, shared: &Shared, tenant: Option<&TenantStats>) -> Reply {
     let class = error_class(e);
     {
         let mut m = shared.metrics.lock().expect("metrics");
@@ -388,14 +848,38 @@ fn error_reply(e: &KcmError, shared: &Shared) -> Reply {
             m.errors += 1;
         }
     }
+    if let Some(t) = tenant {
+        if class == "budget" {
+            t.budget_stops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            t.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     Reply::Err {
         class: class.to_owned(),
         message: e.to_string(),
     }
 }
 
-fn initiate_shutdown(shared: &Shared, server_addr: std::net::SocketAddr) {
-    shared.shutting_down.store(true, Ordering::SeqCst);
-    // Wake the blocking accept loop so it observes the flag.
-    let _ = TcpStream::connect(server_addr);
+/// The full `STATS` body: the aggregate counters, the registry size, and
+/// per-tenant counters sorted by name.
+fn stats_body(shared: &Shared) -> String {
+    let mut body = shared.metrics.lock().expect("metrics").render();
+    let tenants = shared.registry.tenants();
+    body.push_str(&format!("programs={}\n", tenants.len()));
+    for t in tenants {
+        let s = t.stats.snapshot();
+        let n = &t.name;
+        body.push_str(&format!("tenant.{n}.version={}\n", t.version));
+        body.push_str(&format!("tenant.{n}.queries={}\n", s.queries));
+        body.push_str(&format!("tenant.{n}.served={}\n", s.served));
+        body.push_str(&format!("tenant.{n}.busy={}\n", s.busy));
+        body.push_str(&format!("tenant.{n}.budget_stops={}\n", s.budget_stops));
+        body.push_str(&format!("tenant.{n}.errors={}\n", s.errors));
+        body.push_str(&format!("tenant.{n}.solutions={}\n", s.solutions));
+        body.push_str(&format!("tenant.{n}.inferences={}\n", s.inferences));
+        body.push_str(&format!("tenant.{n}.cycles={}\n", s.cycles));
+        body.push_str(&format!("tenant.{n}.steps={}\n", s.steps));
+    }
+    body
 }

@@ -5,6 +5,7 @@
 //! draw from the same set.
 
 use kcm_suite::programs;
+use kcm_system::{Kcm, QueryOpts, Tier};
 
 /// One workload case: a suite program and an inner query against it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,10 +44,31 @@ pub fn standard() -> Vec<ServeCase> {
     .collect()
 }
 
+/// The reply body a server must produce for `case` when serving on
+/// `tier`: [`crate::render_outcome`] over a direct, in-process
+/// [`Kcm::query`]. The multi-tenant load generator and the loopback
+/// tests both compare served bytes against this oracle — any divergence
+/// is a serving bug, not workload noise. (A step budget large enough for
+/// the query to complete does not change the body, so the oracle holds
+/// under the server's default budget too.)
+pub fn direct_body(case: &ServeCase, tier: Tier) -> String {
+    let mut kcm = Kcm::new();
+    kcm.consult(case.source)
+        .unwrap_or_else(|e| panic!("{}: direct consult: {e}", case.name));
+    let opts = QueryOpts {
+        enumerate_all: case.enumerate_all,
+        tier,
+        ..QueryOpts::default()
+    };
+    let outcome = kcm
+        .query(case.query, &opts)
+        .unwrap_or_else(|e| panic!("{}: direct query: {e}", case.name));
+    crate::render_outcome(&outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kcm_system::{Kcm, QueryOpts};
 
     #[test]
     fn every_case_runs_directly_and_succeeds() {
@@ -63,5 +85,18 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: query: {e}", case.name));
             assert!(o.success, "{}: {}", case.name, case.query);
         }
+    }
+
+    #[test]
+    fn direct_body_oracle_renders_native_outcomes() {
+        let cases = standard();
+        let body = direct_body(&cases[0], Tier::Native);
+        assert!(body.starts_with("success=true"), "{body}");
+        assert!(
+            body.contains("cycles=0"),
+            "native tier has no clock: {body}"
+        );
+        let cycle = direct_body(&cases[0], Tier::Cycle);
+        assert!(!cycle.contains("cycles=0"), "cycle tier counts: {cycle}");
     }
 }

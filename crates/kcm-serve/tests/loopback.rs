@@ -111,6 +111,7 @@ fn served_suite_workload_is_byte_identical_to_direct_runs() {
                     let case = &cases[ix];
                     assert!(client.consult(case.source).expect("consult").is_ok());
                     let request = Request::Query {
+                        tenant: None,
                         query: case.query.to_owned(),
                         enumerate_all: case.enumerate_all,
                         step_budget: None,
@@ -158,6 +159,7 @@ fn full_queue_answers_busy_instead_of_queueing() {
                     // Budget-capped so the occupied worker frees itself;
                     // big enough to hold the worker while 5 requests land.
                     let request = Request::Query {
+                        tenant: None,
                         query: "loop".to_owned(),
                         enumerate_all: false,
                         step_budget: Some(2_000_000),
@@ -207,6 +209,7 @@ fn budget_stop_does_not_poison_the_connection_for_the_next_request() {
         .expect("consult")
         .is_ok());
     let runaway = Request::Query {
+        tenant: None,
         query: "loop".to_owned(),
         enumerate_all: false,
         step_budget: Some(10_000),

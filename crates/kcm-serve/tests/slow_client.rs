@@ -1,0 +1,172 @@
+//! The slow-client framing tests: a peer that dribbles bytes with long
+//! pauses must decode identically to one that writes whole frames.
+//!
+//! The previous thread-per-connection server polled with a 100ms read
+//! timeout and retried `read_frame` from scratch on timeout, discarding
+//! whatever prefix of the frame had already been consumed — a client
+//! straddling a tick boundary desynced the stream and got garbage (or
+//! hung). The readiness-loop server keeps all partial state in the
+//! connection's `FrameBuf`, so these tests dribble bytes with gaps well
+//! over the server's tick and assert both the answer *and* that the
+//! stream stays in sync for the next request.
+
+use kcm_serve::protocol::{read_frame, render_outcome};
+use kcm_serve::{Reply, ServeConfig, Server};
+use kcm_system::{Kcm, QueryOpts, Tier};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Comfortably longer than the server's 100ms wait tick, so every gap
+/// guarantees at least one tick fires mid-frame.
+const GAP: Duration = Duration::from_millis(150);
+
+fn spawn_server() -> (
+    SocketAddr,
+    std::thread::JoinHandle<std::io::Result<kcm_serve::ServeMetrics>>,
+) {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn frame(payload: &str) -> Vec<u8> {
+    format!("{}\n{payload}", payload.len()).into_bytes()
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Reply {
+    let payload = read_frame(reader)
+        .expect("read reply frame")
+        .expect("server kept the connection");
+    Reply::parse(&payload).expect("parse reply")
+}
+
+fn direct_body(source: &str, query: &str, enumerate_all: bool) -> String {
+    let mut kcm = Kcm::new();
+    kcm.consult(source).expect("consult");
+    let opts = QueryOpts {
+        enumerate_all,
+        tier: Tier::Native,
+        ..QueryOpts::default()
+    };
+    render_outcome(&kcm.query(query, &opts).expect("query"))
+}
+
+#[test]
+fn frame_dribbled_across_tick_boundaries_parses_and_stays_in_sync() {
+    let (addr, server) = spawn_server();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // A whole consult frame at once: the fast path still works.
+    stream
+        .write_all(&frame("CONSULT\nok(42). loop :- loop."))
+        .expect("consult");
+    assert!(read_reply(&mut reader).is_ok(), "consult");
+
+    // Now the query frame, cut so that the server sees (a) half a length
+    // line, (b) a complete length line with no payload, and (c) half a
+    // payload — each straddling at least one 100ms tick.
+    let query = frame("QUERY ok(X)");
+    let cuts = [1, 3, 8]; // "1" | "1\nQUERY" ... within b"11\nQUERY ok(X)"
+    let mut at = 0;
+    for cut in cuts {
+        stream.write_all(&query[at..cut]).expect("dribble");
+        std::thread::sleep(GAP);
+        at = cut;
+    }
+    stream.write_all(&query[at..]).expect("dribble tail");
+    match read_reply(&mut reader) {
+        Reply::Ok { body } => {
+            assert_eq!(body, direct_body("ok(42). loop :- loop.", "ok(X)", false));
+            assert!(body.contains("X=42"), "{body}");
+        }
+        other => panic!("dribbled query answered {other:?}"),
+    }
+
+    // The stream must still be perfectly framed: an immediate follow-up
+    // (whole frame, no pauses) gets a clean answer, not desync garbage.
+    stream.write_all(&frame("QUERY ok(Y)")).expect("follow-up");
+    match read_reply(&mut reader) {
+        Reply::Ok { body } => assert!(body.contains("Y=42"), "{body}"),
+        other => panic!("follow-up answered {other:?}"),
+    }
+
+    stream.write_all(&frame("SHUTDOWN")).expect("shutdown");
+    assert!(read_reply(&mut reader).is_ok(), "shutdown");
+    let metrics = server.join().expect("server thread").expect("run");
+    assert_eq!(metrics.served, 2);
+    assert_eq!(metrics.errors, 0, "{metrics:?}");
+}
+
+#[test]
+fn byte_by_byte_client_decodes_identically_to_whole_frames() {
+    // The degenerate slow client: every single byte its own write. Short
+    // inter-byte delays keep the test fast; two long gaps land mid-length
+    // and mid-payload to cross tick boundaries as well.
+    let (addr, server) = spawn_server();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    stream
+        .write_all(&frame("CONSULT\np(1). p(2). p(3)."))
+        .expect("consult");
+    assert!(read_reply(&mut reader).is_ok(), "consult");
+
+    let query = frame("QUERYALL p(X)");
+    for (i, byte) in query.iter().enumerate() {
+        stream.write_all(std::slice::from_ref(byte)).expect("byte");
+        match i {
+            1 | 9 => std::thread::sleep(GAP), // mid-length-line, mid-payload
+            _ => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    match read_reply(&mut reader) {
+        Reply::Ok { body } => {
+            assert_eq!(body, direct_body("p(1). p(2). p(3).", "p(X)", true));
+        }
+        other => panic!("byte-by-byte query answered {other:?}"),
+    }
+
+    stream.write_all(&frame("SHUTDOWN")).expect("shutdown");
+    assert!(read_reply(&mut reader).is_ok(), "shutdown");
+    server.join().expect("server thread").expect("run");
+}
+
+#[test]
+fn pipelined_frames_in_one_write_are_all_answered_in_order() {
+    // The inverse of dribbling: many frames in a single write. The
+    // decoder must pop them one at a time and the per-connection FIFO
+    // gate must answer them in order.
+    let (addr, server) = spawn_server();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    let mut batch = Vec::new();
+    batch.extend_from_slice(&frame("CONSULT\nn(1). n(2)."));
+    batch.extend_from_slice(&frame("QUERY n(A)"));
+    batch.extend_from_slice(&frame("QUERYALL n(B)"));
+    batch.extend_from_slice(&frame("STATS"));
+    stream.write_all(&batch).expect("batch");
+
+    assert!(read_reply(&mut reader).is_ok(), "consult");
+    match read_reply(&mut reader) {
+        Reply::Ok { body } => assert!(body.contains("A=1"), "{body}"),
+        other => panic!("first query answered {other:?}"),
+    }
+    match read_reply(&mut reader) {
+        Reply::Ok { body } => assert!(body.contains("solutions=2"), "{body}"),
+        other => panic!("second query answered {other:?}"),
+    }
+    match read_reply(&mut reader) {
+        Reply::Ok { body } => assert!(body.contains("served=2"), "{body}"),
+        other => panic!("stats answered {other:?}"),
+    }
+
+    stream.write_all(&frame("SHUTDOWN")).expect("shutdown");
+    assert!(read_reply(&mut reader).is_ok(), "shutdown");
+    server.join().expect("server thread").expect("run");
+}

@@ -77,6 +77,7 @@ pub fn error_class(e: &KcmError) -> &'static str {
         KcmError::Parse(_) => "parse",
         KcmError::Compile(_) => "compile",
         KcmError::NoProgram => "no_program",
+        KcmError::UnknownProgram(_) => "unknown_program",
         KcmError::Harness(_) => "harness",
         KcmError::Machine(m) => match m {
             M::Mem(_) => "mem",

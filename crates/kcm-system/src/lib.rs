@@ -54,6 +54,7 @@ pub mod answer;
 pub mod engine;
 pub mod pool;
 pub mod prelude;
+pub mod registry;
 pub mod report;
 
 pub use answer::Answer;
@@ -63,6 +64,7 @@ pub use kcm_cpu::{
     TraceEvent, Tracer,
 };
 pub use pool::{QueryJob, SessionPool, SessionResult};
+pub use registry::{ProgramRegistry, PublishReceipt, Published, TenantSnapshot, TenantStats};
 
 use kcm_arch::SymbolTable;
 use kcm_compiler::{CodeImage, CompileError};
@@ -80,6 +82,9 @@ pub enum KcmError {
     Machine(MachineError),
     /// No program has been consulted yet.
     NoProgram,
+    /// No program is published under this name in a
+    /// [`ProgramRegistry`] (never published, or evicted).
+    UnknownProgram(String),
     /// A fault in the harness around the machine, not in the machine or
     /// the program: replica disagreement in a differential oracle, a
     /// worker lost mid-request in a service, and the like.
@@ -93,6 +98,7 @@ impl std::fmt::Display for KcmError {
             KcmError::Compile(e) => write!(f, "{e}"),
             KcmError::Machine(e) => write!(f, "{e}"),
             KcmError::NoProgram => write!(f, "no program consulted"),
+            KcmError::UnknownProgram(name) => write!(f, "no program published as {name:?}"),
             KcmError::Harness(why) => write!(f, "harness fault: {why}"),
         }
     }
@@ -105,6 +111,7 @@ impl std::error::Error for KcmError {
             KcmError::Compile(e) => Some(e),
             KcmError::Machine(e) => Some(e),
             KcmError::NoProgram => None,
+            KcmError::UnknownProgram(_) => None,
             KcmError::Harness(_) => None,
         }
     }

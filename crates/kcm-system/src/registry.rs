@@ -1,0 +1,443 @@
+//! The multi-tenant program registry: many named knowledge bases, one
+//! resident machine room.
+//!
+//! The paper's KCM serves a single workstation's single program (§1). A
+//! shared back end — the BinProlog deployment experience is the
+//! literature precedent — instead keeps many *named* knowledge bases
+//! resident and lets every connection query any of them by name. The
+//! [`ProgramRegistry`] is that shape: each published program is an
+//! immutable compiled [`CodeImage`] behind an `Arc`, shared by every
+//! connection and every worker that queries it.
+//!
+//! Invariants:
+//!
+//! * **Published programs are immutable.** A publish compiles the full
+//!   source into a fresh image; nothing ever mutates an image in place.
+//!   Re-publishing a name is copy-on-write: a new [`Published`] entry
+//!   (version bumped) replaces the old one in the map, while in-flight
+//!   queries keep running on the `Arc` they already resolved — they
+//!   finish on the program they started on.
+//! * **Per-tenant stats survive re-publish.** The [`TenantStats`]
+//!   counters hang off the tenant name, not the version, so a deploy
+//!   doesn't zero the tenant's traffic history.
+//! * **Capacity is bounded.** Publishing a *new* name into a full
+//!   registry evicts the least-recently-used tenant (recency is a
+//!   logical clock bumped on publish and lookup). Eviction only drops
+//!   the registry's handle; in-flight queries on the evicted program
+//!   still hold their `Arc` and complete normally.
+
+use crate::{Kcm, KcmError, MachineConfig};
+use kcm_arch::SymbolTable;
+use kcm_compiler::CodeImage;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-tenant serving counters, updated lock-free by the workers that
+/// execute the tenant's queries and snapshotted for `STATS`.
+///
+/// `steps` counts retired machine instructions — the tier-independent
+/// work counter: the native tier has no clock, so `cycles` reads 0
+/// there, but both tiers retire the same instruction stream.
+#[derive(Debug, Default)]
+pub struct TenantStats {
+    /// Queries accepted onto the queue for this tenant.
+    pub queries: AtomicU64,
+    /// Queries answered with a completed outcome.
+    pub served: AtomicU64,
+    /// Queries rejected with `BUSY` (queue full).
+    pub busy: AtomicU64,
+    /// Queries stopped by the step budget.
+    pub budget_stops: AtomicU64,
+    /// Queries failed with any other error.
+    pub errors: AtomicU64,
+    /// Solutions across served queries.
+    pub solutions: AtomicU64,
+    /// Logical inferences across served queries.
+    pub inferences: AtomicU64,
+    /// Simulated KCM cycles across served queries (0 on the native tier).
+    pub cycles: AtomicU64,
+    /// Retired machine instructions across served queries.
+    pub steps: AtomicU64,
+}
+
+/// A point-in-time copy of one tenant's [`TenantStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Queries accepted onto the queue.
+    pub queries: u64,
+    /// Queries answered with a completed outcome.
+    pub served: u64,
+    /// Queries rejected with `BUSY`.
+    pub busy: u64,
+    /// Queries stopped by the step budget.
+    pub budget_stops: u64,
+    /// Queries failed with any other error.
+    pub errors: u64,
+    /// Solutions across served queries.
+    pub solutions: u64,
+    /// Logical inferences across served queries.
+    pub inferences: u64,
+    /// Simulated cycles across served queries.
+    pub cycles: u64,
+    /// Retired machine instructions across served queries.
+    pub steps: u64,
+}
+
+impl TenantStats {
+    /// Reads every counter (relaxed; the snapshot is advisory, not a
+    /// synchronization point).
+    pub fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            budget_stops: self.budget_stops.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            solutions: self.solutions.load(Ordering::Relaxed),
+            inferences: self.inferences.load(Ordering::Relaxed),
+            cycles: self.cycles.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One published knowledge base: an immutable compiled program under a
+/// name and version, plus the tenant's serving policy and counters.
+///
+/// Everything a worker needs to run a query travels in this one `Arc`:
+/// resolving a tenant is a single map lookup, and holding the result
+/// keeps the program alive across any concurrent re-publish or
+/// eviction.
+#[derive(Debug)]
+pub struct Published {
+    /// The tenant name this program was published under.
+    pub name: String,
+    /// Publish generation: 1 on first publish, +1 per re-publish.
+    pub version: u64,
+    /// The compiled, immutable program image.
+    pub image: Arc<CodeImage>,
+    /// The symbol table the image was compiled against (query
+    /// compilation clones it per session).
+    pub symbols: SymbolTable,
+    /// Per-tenant step budget applied to queries that don't carry their
+    /// own `BUDGET`; `None` defers to the server default.
+    pub step_budget: Option<u64>,
+    /// The tenant's serving counters (shared across versions).
+    pub stats: Arc<TenantStats>,
+}
+
+/// What a publish accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishReceipt {
+    /// The version now serving under the name.
+    pub version: u64,
+    /// The tenant evicted to make room, if the registry was full and the
+    /// name was new.
+    pub evicted: Option<String>,
+}
+
+struct Slot {
+    entry: Arc<Published>,
+    last_used: u64,
+}
+
+/// A bounded registry of named, immutable, compiled programs.
+///
+/// All methods take `&self`; the registry is shared as-is between the
+/// server front end (publish, lookup, snapshot) and the workers (stats
+/// updates through the `Arc<TenantStats>` inside each [`Published`]).
+pub struct ProgramRegistry {
+    capacity: usize,
+    clock: AtomicU64,
+    slots: Mutex<HashMap<String, Slot>>,
+}
+
+impl std::fmt::Debug for ProgramRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramRegistry")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl ProgramRegistry {
+    /// A registry holding at most `capacity` named programs (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> ProgramRegistry {
+        ProgramRegistry {
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many programs are currently published.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("registry lock").len()
+    }
+
+    /// Whether nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Compiles `source` and publishes it under `name`.
+    ///
+    /// Re-publishing an existing name bumps its version and keeps its
+    /// stats; publishing a new name into a full registry evicts the
+    /// least-recently-used tenant first (reported in the receipt).
+    /// Compilation happens *before* the map is touched, so a failed
+    /// publish leaves the registry — including any previous version of
+    /// `name` — exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// Parse or compile errors from the source.
+    pub fn publish(
+        &self,
+        name: &str,
+        source: &str,
+        config: &MachineConfig,
+        step_budget: Option<u64>,
+    ) -> Result<PublishReceipt, KcmError> {
+        let mut kcm = Kcm::with_config(config.clone());
+        kcm.consult(source)?;
+        let image = kcm.shared_image().expect("consult succeeded");
+        let symbols = kcm.symbols().clone();
+        let now = self.tick();
+        let mut slots = self.slots.lock().expect("registry lock");
+        let (version, stats, evicted) = match slots.get(name) {
+            Some(old) => (old.entry.version + 1, Arc::clone(&old.entry.stats), None),
+            None => {
+                let evicted = if slots.len() >= self.capacity {
+                    let lru = slots
+                        .iter()
+                        .min_by_key(|(_, s)| s.last_used)
+                        .map(|(n, _)| n.clone())
+                        .expect("full registry is nonempty");
+                    slots.remove(&lru);
+                    Some(lru)
+                } else {
+                    None
+                };
+                (1, Arc::new(TenantStats::default()), evicted)
+            }
+        };
+        slots.insert(
+            name.to_owned(),
+            Slot {
+                entry: Arc::new(Published {
+                    name: name.to_owned(),
+                    version,
+                    image,
+                    symbols,
+                    step_budget,
+                    stats,
+                }),
+                last_used: now,
+            },
+        );
+        Ok(PublishReceipt { version, evicted })
+    }
+
+    /// Resolves a tenant by name, bumping its recency.
+    ///
+    /// # Errors
+    ///
+    /// [`KcmError::UnknownProgram`] when nothing is published under
+    /// `name` (it may have been evicted).
+    pub fn lookup(&self, name: &str) -> Result<Arc<Published>, KcmError> {
+        let now = self.tick();
+        let mut slots = self.slots.lock().expect("registry lock");
+        match slots.get_mut(name) {
+            Some(slot) => {
+                slot.last_used = now;
+                Ok(Arc::clone(&slot.entry))
+            }
+            None => Err(KcmError::UnknownProgram(name.to_owned())),
+        }
+    }
+
+    /// Every published tenant, sorted by name — the deterministic order
+    /// `STATS` renders in.
+    pub fn tenants(&self) -> Vec<Arc<Published>> {
+        let slots = self.slots.lock().expect("registry lock");
+        let mut entries: Vec<Arc<Published>> =
+            slots.values().map(|s| Arc::clone(&s.entry)).collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryOpts;
+
+    fn registry(capacity: usize) -> ProgramRegistry {
+        ProgramRegistry::new(capacity)
+    }
+
+    fn publish(r: &ProgramRegistry, name: &str, source: &str) -> PublishReceipt {
+        r.publish(name, source, &MachineConfig::default(), None)
+            .expect("publish")
+    }
+
+    #[test]
+    fn publish_then_lookup_serves_the_program() {
+        let r = registry(4);
+        let receipt = publish(&r, "alpha", "p(1). p(2).");
+        assert_eq!(receipt.version, 1);
+        assert_eq!(receipt.evicted, None);
+        let t = r.lookup("alpha").expect("lookup");
+        assert_eq!(t.name, "alpha");
+        assert_eq!(t.version, 1);
+        let job = crate::QueryJob::all_solutions("p(X)");
+        let outcome =
+            crate::pool::run_session(&t.image, &t.symbols, &MachineConfig::default(), &job)
+                .expect("run");
+        assert_eq!(outcome.solutions.len(), 2);
+    }
+
+    #[test]
+    fn unknown_name_is_a_classed_error() {
+        let r = registry(4);
+        match r.lookup("ghost") {
+            Err(KcmError::UnknownProgram(name)) => assert_eq!(name, "ghost"),
+            other => panic!("expected UnknownProgram, got {other:?}"),
+        }
+        assert_eq!(
+            crate::error_class(&KcmError::UnknownProgram("x".into())),
+            "unknown_program"
+        );
+    }
+
+    #[test]
+    fn republish_bumps_version_and_keeps_old_arcs_alive() {
+        let r = registry(4);
+        publish(&r, "kb", "p(old).");
+        let v1 = r.lookup("kb").expect("v1");
+        v1.stats.served.fetch_add(7, Ordering::Relaxed);
+        let receipt = publish(&r, "kb", "p(new1). p(new2).");
+        assert_eq!(receipt.version, 2);
+        let v2 = r.lookup("kb").expect("v2");
+        // Copy-on-write: the in-flight handle still runs the old program…
+        let job = crate::QueryJob::all_solutions("p(X)");
+        let cfg = MachineConfig::default();
+        let old = crate::pool::run_session(&v1.image, &v1.symbols, &cfg, &job).expect("old run");
+        assert_eq!(old.solutions.len(), 1);
+        // …while new lookups see the new one…
+        let new = crate::pool::run_session(&v2.image, &v2.symbols, &cfg, &job).expect("new run");
+        assert_eq!(new.solutions.len(), 2);
+        // …and the tenant's stats survived the deploy.
+        assert_eq!(v2.stats.snapshot().served, 7);
+    }
+
+    #[test]
+    fn failed_publish_leaves_the_registry_untouched() {
+        let r = registry(4);
+        publish(&r, "kb", "p(1).");
+        assert!(r
+            .publish("kb", "p(", &MachineConfig::default(), None)
+            .is_err());
+        let t = r.lookup("kb").expect("still published");
+        assert_eq!(t.version, 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn full_registry_evicts_the_least_recently_used_name() {
+        let r = registry(2);
+        publish(&r, "a", "p(1).");
+        publish(&r, "b", "q(1).");
+        // Touch `a` so `b` is the LRU.
+        r.lookup("a").expect("a");
+        let receipt = publish(&r, "c", "r(1).");
+        assert_eq!(receipt.evicted.as_deref(), Some("b"));
+        assert!(r.lookup("b").is_err());
+        assert!(r.lookup("a").is_ok());
+        assert!(r.lookup("c").is_ok());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn republish_into_a_full_registry_evicts_nothing() {
+        let r = registry(2);
+        publish(&r, "a", "p(1).");
+        publish(&r, "b", "q(1).");
+        let receipt = publish(&r, "a", "p(2).");
+        assert_eq!(receipt.version, 2);
+        assert_eq!(receipt.evicted, None);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn tenant_step_budget_rides_on_the_entry() {
+        let r = registry(2);
+        r.publish(
+            "tight",
+            "loop :- loop.",
+            &MachineConfig::default(),
+            Some(10_000),
+        )
+        .expect("publish");
+        let t = r.lookup("tight").expect("lookup");
+        assert_eq!(t.step_budget, Some(10_000));
+        let job = crate::QueryJob::with_opts(
+            "loop",
+            QueryOpts::first().with_step_budget(t.step_budget.expect("budget")),
+        );
+        let err = crate::pool::run_session(&t.image, &t.symbols, &MachineConfig::default(), &job)
+            .expect_err("budget stop");
+        assert_eq!(crate::error_class(&err), "budget");
+    }
+
+    #[test]
+    fn tenants_listing_is_sorted_by_name() {
+        let r = registry(8);
+        for name in ["zeta", "alpha", "mid"] {
+            publish(&r, name, "p(1).");
+        }
+        let names: Vec<String> = r.tenants().iter().map(|t| t.name.clone()).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn concurrent_lookups_and_republish_stay_consistent() {
+        let r = std::sync::Arc::new(registry(4));
+        publish(&r, "kb", "p(1).");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let t = r.lookup("kb").expect("lookup");
+                        assert!(t.version >= 1);
+                        t.stats.queries.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            let r = std::sync::Arc::clone(&r);
+            scope.spawn(move || {
+                for i in 0..20 {
+                    r.publish("kb", &format!("p({i})."), &MachineConfig::default(), None)
+                        .expect("republish");
+                }
+            });
+        });
+        let t = r.lookup("kb").expect("final");
+        assert_eq!(t.version, 21);
+        assert_eq!(t.stats.snapshot().queries, 800);
+    }
+}
