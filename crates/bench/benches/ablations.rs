@@ -66,6 +66,7 @@ fn in_code_literals(p: &kcm_suite::BenchProgram) -> u64 {
         inline_arith: true,
         deferred_choice_points: true,
         static_ground_literals: false,
+        depth2_facts: true,
     };
     let opts = QueryOpts {
         enumerate_all: p.enumerate,

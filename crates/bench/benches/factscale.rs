@@ -1,0 +1,243 @@
+//! `factscale` — wide fact-base scaling study (10³ → 10⁶ facts).
+//!
+//! The paper's suite tops out at a few dozen clauses per predicate; this
+//! driver measures the regime the link-time hash switch index and the
+//! compiler's depth-2 fact indexing were built for: one flat predicate
+//! `fact(Key, Value)` with `n` integer-keyed clauses, at `n` = 10³, 10⁴,
+//! 10⁵ and 10⁶. Three metrics per size, the middle one per execution
+//! tier:
+//!
+//! * **consult** — host ms to parse + compile + link the whole fact base
+//!   (the switch tables and their hash side tables are built here);
+//! * **point lookup** — host-time p50/p99 of `fact(k, V)` over a spread
+//!   of existing keys. Query compilation happens outside the timed
+//!   window ([`Kcm::prepare`] / [`Kcm::prepare_native`] once per key),
+//!   and the machine runs one untimed warm-up before the timed reps so
+//!   first-touch population of its memory zones — a host allocator
+//!   artifact proportional to nothing we measure — stays out of the
+//!   percentiles. With the hash index the lookup is O(1) in `n` on the
+//!   native tier — the acceptance gate is p50 at 10⁶ within 2× of p50
+//!   at 10³. The cycle tier stays O(n) in *host* time even with the
+//!   hash index: a switch instruction's key table is part of the
+//!   instruction's code words, and the timed tier's instruction fetch
+//!   walks every word through the simulated code cache (a fidelity
+//!   cost of the timing model, deliberately untouched — the simulated
+//!   counters it produces are the byte-identity contract);
+//! * **enumeration** — host throughput of the failure-driven loop
+//!   `fact(K, V), fail`, which visits every clause once.
+//!
+//! Knobs:
+//!
+//! * `KCM_FACTSCALE_SIZES=1000,10000` — comma-separated fact counts (CI
+//!   smoke runs 10³/10⁴; default is the full 10³..10⁶ sweep).
+//! * `KCM_FACTSCALE_REPS=5` — repetitions per measurement; the minimum
+//!   is reported (default 3).
+//! * `KCM_HASH_SWITCH=0` — run with the hash side table disabled (the
+//!   linear reference scan), for before/after comparisons. Simulated
+//!   numbers are byte-identical either way; only host time moves.
+//!
+//! JSONL schema (`BENCH_factscale.jsonl`): one `row` per size with
+//! `facts` and `consult_host_ms`, then one `row` per (size, tier) with
+//! `tier` (`"cycle"` / `"native"`), `facts`, `lookup_p50_us`,
+//! `lookup_p99_us`, `enum_host_ms` and `enum_kfacts_per_s`; one final
+//! `summary` with the native p50 ratio between the largest and smallest
+//! sizes (`p50_ratio_max_vs_min`, the O(1) acceptance number).
+
+use bench::{JsonlWriter, Record};
+use kcm_suite::table::{f2, f3, ratio, Table};
+use kcm_system::Kcm;
+use std::time::Instant;
+
+/// How many distinct keys the point-lookup percentiles are taken over.
+const LOOKUP_KEYS: usize = 64;
+
+fn sizes() -> Vec<usize> {
+    match std::env::var("KCM_FACTSCALE_SIZES") {
+        Ok(list) if !list.trim().is_empty() => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("KCM_FACTSCALE_SIZES: bad size {s:?}"))
+            })
+            .collect(),
+        _ => vec![1_000, 10_000, 100_000, 1_000_000],
+    }
+}
+
+fn reps() -> u32 {
+    std::env::var("KCM_FACTSCALE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(3)
+}
+
+/// The synthetic fact base: `fact(i, 3i + 1).` for `i` in `0..n` —
+/// unique integer first keys, so the consult builds one `n`-entry
+/// constant switch table (hash-indexed at link time).
+fn fact_base(n: usize) -> String {
+    use std::fmt::Write;
+    let mut src = String::with_capacity(n * 24);
+    for i in 0..n {
+        let _ = writeln!(src, "fact({i}, {}).", 3 * i + 1);
+    }
+    src
+}
+
+/// The keys the lookup percentiles sample: `LOOKUP_KEYS` existing keys
+/// spread evenly over `0..n`.
+fn lookup_keys(n: usize) -> Vec<usize> {
+    (0..LOOKUP_KEYS).map(|j| (j * n) / LOOKUP_KEYS).collect()
+}
+
+/// Times one query run on `tier`, compile excluded: the machine is
+/// prepared once, runs one untimed warm-up (populating its memory zones
+/// — first-touch page faults are a property of the host allocator, not
+/// of dispatch), then `reps` timed `run_query` calls on the same
+/// machine. Returns the minimum host seconds and whether the query
+/// succeeded.
+fn time_query(kcm: &mut Kcm, query: &str, tier: Tier, reps: u32) -> (f64, bool) {
+    // The two tiers' machines share the `run_query` signature but not a
+    // trait; the timing loop is tier-independent, so expand it once per
+    // machine type.
+    macro_rules! hot {
+        ($prepared:expr) => {{
+            let (mut m, vars) = $prepared.expect("query compiles");
+            let mut success = m.run_query(&vars, false).expect("query runs").success;
+            let mut best_s = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                success = m.run_query(&vars, false).expect("query runs").success;
+                best_s = best_s.min(t0.elapsed().as_secs_f64());
+            }
+            (best_s, success)
+        }};
+    }
+    match tier {
+        Tier::Cycle => hot!(kcm.prepare(query)),
+        Tier::Native => hot!(kcm.prepare_native(query)),
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Tier {
+    Cycle,
+    Native,
+}
+
+impl Tier {
+    fn name(self) -> &'static str {
+        match self {
+            Tier::Cycle => "cycle",
+            Tier::Native => "native",
+        }
+    }
+}
+
+/// Point-lookup percentiles on one tier: per key, the min over `reps`
+/// timed runs; p50/p99 across the key samples, in microseconds.
+fn lookup_percentiles(kcm: &mut Kcm, n: usize, tier: Tier, reps: u32) -> (f64, f64) {
+    let mut samples: Vec<f64> = lookup_keys(n)
+        .iter()
+        .map(|k| {
+            let query = format!("fact({k}, V)");
+            let (s, ok) = time_query(kcm, &query, tier, reps);
+            assert!(ok, "fact({k}, V) must succeed at n={n}");
+            s * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let p50 = samples[samples.len() / 2];
+    let p99 = samples[(samples.len() - 1) * 99 / 100];
+    (p50, p99)
+}
+
+fn main() {
+    let config = bench::hostperf_config();
+    bench::banner(
+        "factscale: wide fact-base scaling (consult, point lookup, enumeration)",
+        &format!(
+            "host wall-clock, not simulated time; hash switch {}",
+            if config.hash_switch {
+                "ON"
+            } else {
+                "OFF (linear reference)"
+            }
+        ),
+    );
+    let reps = reps();
+    let mut t = Table::new(vec![
+        "Facts",
+        "Tier",
+        "Consult ms",
+        "Lookup p50 us",
+        "Lookup p99 us",
+        "Enum ms",
+        "Enum Kfacts/s",
+    ]);
+    let mut jsonl = JsonlWriter::for_bench("factscale");
+    // (n, native p50) per size, for the O(1) acceptance summary.
+    let mut native_p50s: Vec<(usize, f64)> = Vec::new();
+    for n in sizes() {
+        let src = fact_base(n);
+        let mut kcm = Kcm::with_config(config.clone());
+        let t0 = Instant::now();
+        kcm.consult(&src).expect("fact base consults");
+        let consult_ms = t0.elapsed().as_secs_f64() * 1e3;
+        jsonl.record(
+            &Record::row("factscale", &format!("n={n}"))
+                .u64("facts", n as u64)
+                .f64("consult_host_ms", consult_ms),
+        );
+        for tier in [Tier::Cycle, Tier::Native] {
+            let (p50, p99) = lookup_percentiles(&mut kcm, n, tier, reps);
+            let (enum_s, enum_ok) = time_query(&mut kcm, "fact(K, V), fail", tier, reps);
+            assert!(!enum_ok, "the failure-driven loop must exhaust the facts");
+            let kfacts_per_s = ratio(n as f64 / 1e3, enum_s);
+            if matches!(tier, Tier::Native) {
+                native_p50s.push((n, p50));
+            }
+            t.row(vec![
+                n.to_string(),
+                tier.name().to_owned(),
+                f2(consult_ms),
+                f2(p50),
+                f2(p99),
+                f3(enum_s * 1e3),
+                f2(kfacts_per_s),
+            ]);
+            jsonl.record(
+                &Record::row("factscale", &format!("n={n}/{}", tier.name()))
+                    .str("tier", tier.name())
+                    .u64("facts", n as u64)
+                    .f64("lookup_p50_us", p50)
+                    .f64("lookup_p99_us", p99)
+                    .f64("enum_host_ms", enum_s * 1e3)
+                    .f64("enum_kfacts_per_s", kfacts_per_s),
+            );
+        }
+    }
+    println!("{}", t.render());
+    if let (Some(&(n_min, p50_min)), Some(&(n_max, p50_max))) =
+        (native_p50s.first(), native_p50s.last())
+    {
+        let r = ratio(p50_max, p50_min);
+        println!(
+            "native point-lookup p50: {} us at n={n_min} vs {} us at n={n_max}  ({}x)",
+            f2(p50_min),
+            f2(p50_max),
+            f2(r)
+        );
+        println!("O(1) dispatch holds when that ratio stays within 2x.");
+        jsonl.record(
+            &Record::summary("factscale", "native-p50-scaling")
+                .u64("facts_min", n_min as u64)
+                .u64("facts_max", n_max as u64)
+                .f64("p50_min_us", p50_min)
+                .f64("p50_max_us", p50_max)
+                .f64("p50_ratio_max_vs_min", r),
+        );
+    }
+    jsonl.announce();
+}

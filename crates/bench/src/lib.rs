@@ -13,6 +13,7 @@
 //! | `cache_collision` | §3.2.4's direct-mapped stack-collision experiment |
 //! | `ablations` | §5's "influence of each specialized unit" study |
 //! | `scaling` | working-set scaling beyond the paper's fixed-size suite |
+//! | `factscale` | wide fact-base scaling, 10³–10⁶ facts (hash switch dispatch) |
 //! | `micro` | micro-benchmarks of the simulator itself |
 //!
 //! Every table driver additionally appends machine-readable JSONL to
@@ -78,7 +79,9 @@ pub fn measure_program(p: &BenchProgram) -> ProgramTimes {
 /// The machine configuration the `hostperf` driver runs with: the
 /// default config, with every host fast path switched off when
 /// `KCM_FAST_PATHS` is `0` or `off` (the naive reference interpreter —
-/// same simulated numbers, slower host).
+/// same simulated numbers, slower host), and hash switch dispatch
+/// switched off when `KCM_HASH_SWITCH` is `0` or `off` (the linear
+/// table scan — again same simulated numbers).
 pub fn hostperf_config() -> MachineConfig {
     let mut cfg = MachineConfig::default();
     if matches!(
@@ -87,6 +90,12 @@ pub fn hostperf_config() -> MachineConfig {
     ) {
         cfg.fast_paths = false;
         cfg.mem.fast_paths = false;
+    }
+    if matches!(
+        std::env::var("KCM_HASH_SWITCH").as_deref(),
+        Ok("0") | Ok("off")
+    ) {
+        cfg.hash_switch = false;
     }
     cfg
 }

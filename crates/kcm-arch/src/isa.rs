@@ -429,28 +429,39 @@ pub enum Instr {
         /// Branch target.
         to: CodeAddr,
     },
-    /// Dispatch on the dereferenced type of A1 through the MWAC (§3.1.4).
-    /// Multi-word: 3 words.
+    /// Dispatch on the dereferenced type of the argument register through
+    /// the MWAC (§3.1.4). Historically fixed to A1; the register field
+    /// generalises it so the compiler can switch on deeper arguments
+    /// (matching-tree indexing). Multi-word: 3 words.
     SwitchOnTerm {
-        /// Target when A1 is an unbound variable (`None` = fail).
+        /// The argument register the dispatch dereferences (usually A1).
+        arg: Reg,
+        /// Target when the argument is an unbound variable (`None` = fail).
         on_var: Option<CodeAddr>,
-        /// Target when A1 is a constant.
+        /// Target when the argument is a constant.
         on_const: Option<CodeAddr>,
-        /// Target when A1 is a list.
+        /// Target when the argument is a list.
         on_list: Option<CodeAddr>,
-        /// Target when A1 is a structure.
+        /// Target when the argument is a structure.
         on_struct: Option<CodeAddr>,
     },
-    /// Dispatch on the constant in A1. Multi-word: 1 + 2·n words.
+    /// Dispatch on the constant in the argument register.
+    /// Multi-word: 1 + 2·n words.
     SwitchOnConstant {
+        /// The argument register the dispatch dereferences (usually A1;
+        /// must be one of A1..A16 for the 4-bit encoding field).
+        arg: Reg,
         /// Fall-through when no key matches (`None` = fail).
         default: Option<CodeAddr>,
         /// Key/target table.
         table: Vec<(Word, CodeAddr)>,
     },
-    /// Dispatch on the principal functor of the structure in A1.
-    /// Multi-word: 1 + 2·n words.
+    /// Dispatch on the principal functor of the structure in the argument
+    /// register. Multi-word: 1 + 2·n words.
     SwitchOnStructure {
+        /// The argument register the dispatch dereferences (usually A1;
+        /// must be one of A1..A16 for the 4-bit encoding field).
+        arg: Reg,
         /// Fall-through when no functor matches (`None` = fail).
         default: Option<CodeAddr>,
         /// Functor/target table.
@@ -914,7 +925,9 @@ impl Instr {
     ///
     /// # Panics
     ///
-    /// Panics if a switch table exceeds 65 535 entries (the count field).
+    /// Panics if a switch table exceeds 2²⁴ − 1 entries (the count field)
+    /// or a table switch dispatches on a register outside A1..A16 (the
+    /// 4-bit argument field).
     pub fn encode(&self, out: &mut Vec<u64>) {
         match self {
             Instr::Call { addr, arity } => {
@@ -938,19 +951,26 @@ impl Instr {
             Instr::Fail => out.push(op(OP_FAIL)),
             Instr::Jump { to } => out.push(op(OP_JUMP) | to.value() as u64),
             Instr::SwitchOnTerm {
+                arg,
                 on_var,
                 on_const,
                 on_list,
                 on_struct,
             } => {
-                out.push(op(OP_SWITCH_ON_TERM) | enc_opt_addr(*on_var));
+                out.push(op(OP_SWITCH_ON_TERM) | r1(*arg) | enc_opt_addr(*on_var));
                 out.push(enc_opt_addr(*on_const) | (enc_opt_addr(*on_list) << 28));
                 out.push(enc_opt_addr(*on_struct));
             }
-            Instr::SwitchOnConstant { default, table } => {
-                assert!(table.len() <= u16::MAX as usize, "switch table too large");
+            Instr::SwitchOnConstant {
+                arg,
+                default,
+                table,
+            } => {
+                assert!(table.len() < (1 << 24), "switch table too large");
+                assert!(arg.index() < 16, "switch argument register above A16");
                 out.push(
                     op(OP_SWITCH_ON_CONSTANT)
+                        | ((arg.index() as u64) << 52)
                         | ((table.len() as u64) << 28)
                         | enc_opt_addr(*default),
                 );
@@ -959,10 +979,16 @@ impl Instr {
                     out.push(target.value() as u64);
                 }
             }
-            Instr::SwitchOnStructure { default, table } => {
-                assert!(table.len() <= u16::MAX as usize, "switch table too large");
+            Instr::SwitchOnStructure {
+                arg,
+                default,
+                table,
+            } => {
+                assert!(table.len() < (1 << 24), "switch table too large");
+                assert!(arg.index() < 16, "switch argument register above A16");
                 out.push(
                     op(OP_SWITCH_ON_STRUCTURE)
+                        | ((arg.index() as u64) << 52)
                         | ((table.len() as u64) << 28)
                         | enc_opt_addr(*default),
                 );
@@ -1120,6 +1146,7 @@ impl Instr {
                 let w2 = *words.get(2)?;
                 return Some((
                     Instr::SwitchOnTerm {
+                        arg: dreg(w, 48),
                         on_var: dec_opt_addr(w),
                         on_const: dec_opt_addr(w1),
                         on_list: dec_opt_addr(w1 >> 28),
@@ -1129,7 +1156,8 @@ impl Instr {
                 ));
             }
             OP_SWITCH_ON_CONSTANT | OP_SWITCH_ON_STRUCTURE => {
-                let n = ((w >> 28) & 0xFFFF) as usize;
+                let n = ((w >> 28) & 0xFF_FFFF) as usize;
+                let arg = Reg::new(((w >> 52) & 0xF) as u8);
                 let default = dec_opt_addr(w);
                 if words.len() < 1 + 2 * n {
                     return None;
@@ -1141,7 +1169,14 @@ impl Instr {
                         let target = CodeAddr::new((words[2 + 2 * i] & 0x0FFF_FFFF) as u32);
                         table.push((key, target));
                     }
-                    return Some((Instr::SwitchOnConstant { default, table }, 1 + 2 * n));
+                    return Some((
+                        Instr::SwitchOnConstant {
+                            arg,
+                            default,
+                            table,
+                        },
+                        1 + 2 * n,
+                    ));
                 }
                 let mut table = Vec::with_capacity(n);
                 for i in 0..n {
@@ -1149,7 +1184,14 @@ impl Instr {
                     let target = CodeAddr::new((words[2 + 2 * i] & 0x0FFF_FFFF) as u32);
                     table.push((key, target));
                 }
-                return Some((Instr::SwitchOnStructure { default, table }, 1 + 2 * n));
+                return Some((
+                    Instr::SwitchOnStructure {
+                        arg,
+                        default,
+                        table,
+                    },
+                    1 + 2 * n,
+                ));
             }
             OP_ESCAPE => Instr::Escape {
                 builtin: Builtin::from_bits(f8)?,
@@ -1330,6 +1372,7 @@ impl std::fmt::Display for Instr {
             Instr::Fail => write!(f, "fail"),
             Instr::Jump { to } => write!(f, "jump {to}"),
             Instr::SwitchOnTerm {
+                arg,
                 on_var,
                 on_const,
                 on_list,
@@ -1338,18 +1381,18 @@ impl std::fmt::Display for Instr {
                 let s = |a: &Option<CodeAddr>| a.map_or("fail".to_owned(), |a| a.to_string());
                 write!(
                     f,
-                    "switch_on_term v:{} c:{} l:{} s:{}",
+                    "switch_on_term {arg} v:{} c:{} l:{} s:{}",
                     s(on_var),
                     s(on_const),
                     s(on_list),
                     s(on_struct)
                 )
             }
-            Instr::SwitchOnConstant { table, .. } => {
-                write!(f, "switch_on_constant [{} entries]", table.len())
+            Instr::SwitchOnConstant { arg, table, .. } => {
+                write!(f, "switch_on_constant {arg} [{} entries]", table.len())
             }
-            Instr::SwitchOnStructure { table, .. } => {
-                write!(f, "switch_on_structure [{} entries]", table.len())
+            Instr::SwitchOnStructure { arg, table, .. } => {
+                write!(f, "switch_on_structure {arg} [{} entries]", table.len())
             }
             Instr::Escape { builtin } => write!(f, "escape {builtin:?}"),
             Instr::Halt { success } => write!(f, "halt {success}"),
@@ -1484,12 +1527,21 @@ mod tests {
     #[test]
     fn roundtrip_switches() {
         roundtrip(Instr::SwitchOnTerm {
+            arg: Reg::new(0),
             on_var: Some(CodeAddr::new(1)),
             on_const: None,
             on_list: Some(CodeAddr::new(0x0FFF_FFF0)),
             on_struct: Some(CodeAddr::new(4)),
         });
+        roundtrip(Instr::SwitchOnTerm {
+            arg: Reg::new(1),
+            on_var: None,
+            on_const: Some(CodeAddr::new(2)),
+            on_list: None,
+            on_struct: None,
+        });
         roundtrip(Instr::SwitchOnConstant {
+            arg: Reg::new(0),
             default: None,
             table: vec![
                 (Word::int(5), CodeAddr::new(10)),
@@ -1497,13 +1549,48 @@ mod tests {
                 (Word::atom(crate::AtomId::new(3)), CodeAddr::new(30)),
             ],
         });
+        roundtrip(Instr::SwitchOnConstant {
+            arg: Reg::new(15),
+            default: Some(CodeAddr::new(3)),
+            table: vec![(Word::float(-0.0), CodeAddr::new(40))],
+        });
         roundtrip(Instr::SwitchOnStructure {
+            arg: Reg::new(2),
             default: Some(CodeAddr::new(99)),
             table: vec![
                 (FunctorId::new(0), CodeAddr::new(1)),
                 (FunctorId::new(77), CodeAddr::new(2)),
             ],
         });
+    }
+
+    #[test]
+    fn wide_switch_roundtrips_past_u16() {
+        // Regression: the count field used to be 16 bits wide and the
+        // encoder panicked above 65 535 entries; million-fact predicates
+        // need more. 70 000 keys must encode and decode losslessly.
+        let n = 70_000u32;
+        let table: Vec<(Word, CodeAddr)> = (0..n)
+            .map(|i| (Word::int(i as i32), CodeAddr::new(i + 1)))
+            .collect();
+        let i = Instr::SwitchOnConstant {
+            arg: Reg::new(0),
+            default: None,
+            table,
+        };
+        roundtrip(i);
+    }
+
+    #[test]
+    #[should_panic(expected = "switch argument register above A16")]
+    fn switch_arg_above_a16_rejected() {
+        let mut words = Vec::new();
+        Instr::SwitchOnConstant {
+            arg: Reg::new(16),
+            default: None,
+            table: vec![(Word::int(1), CodeAddr::new(2))],
+        }
+        .encode(&mut words);
     }
 
     #[test]
@@ -1633,6 +1720,7 @@ mod tests {
     fn truncated_switch_decodes_to_none() {
         let mut words = Vec::new();
         Instr::SwitchOnConstant {
+            arg: Reg::new(0),
             default: None,
             table: vec![(Word::int(1), CodeAddr::new(2))],
         }
@@ -1646,6 +1734,7 @@ mod tests {
         // switch_on_term is 3 words; table switches 1 + 2n (§4.1 discussion
         // of multi-word switch instructions).
         let sot = Instr::SwitchOnTerm {
+            arg: Reg::new(0),
             on_var: None,
             on_const: None,
             on_list: None,
@@ -1653,6 +1742,7 @@ mod tests {
         };
         assert_eq!(sot.size_words(), 3);
         let soc = Instr::SwitchOnConstant {
+            arg: Reg::new(0),
             default: None,
             table: vec![(Word::int(1), CodeAddr::new(1)); 5],
         };

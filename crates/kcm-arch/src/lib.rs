@@ -38,6 +38,7 @@
 
 pub mod addr;
 pub mod isa;
+pub mod swindex;
 pub mod symbol;
 pub mod tag;
 pub mod timing;
@@ -46,6 +47,7 @@ pub mod zone;
 
 pub use addr::{CodeAddr, PageNumber, VAddr, PAGE_SIZE_WORDS, VADDR_BITS};
 pub use isa::{Builtin, Cond, Instr, Reg};
+pub use swindex::SwitchIndex;
 pub use symbol::{AtomId, FunctorId, SymbolTable};
 pub use tag::Tag;
 pub use timing::CostModel;

@@ -250,6 +250,23 @@ impl Word {
     pub fn same_constant(self, other: Word) -> bool {
         self.tag_checked() == other.tag_checked() && self.value() == other.value()
     }
+
+    /// A 64-bit dispatch key for hash-indexed switch tables: two words map
+    /// to the same key **iff** [`Word::same_constant`] holds between them.
+    /// Bits 0..32 carry the value part; bits 32.. carry the type class —
+    /// valid tags offset by one so every unpopulated type field (all of
+    /// which compare equal under `same_constant`) collapses to class 0.
+    /// GC and zone bits are ignored, exactly as `same_constant` ignores
+    /// them. Float keys therefore stay bitwise: `-0.0` and `0.0` are
+    /// distinct keys, and a NaN matches only the identical NaN bit pattern.
+    #[inline]
+    pub const fn switch_key(self) -> u64 {
+        let class = match self.tag_checked() {
+            Some(t) => t.bits() as u64 + 1,
+            None => 0,
+        };
+        (class << 32) | self.value() as u64
+    }
 }
 
 impl std::fmt::Debug for Word {
@@ -356,6 +373,36 @@ mod tests {
         assert!(a.same_constant(b));
         assert!(!a.same_constant(Word::int(6)));
         assert!(!Word::int(0).same_constant(Word::nil()));
+    }
+
+    #[test]
+    fn switch_key_agrees_with_same_constant() {
+        let samples = [
+            Word::int(0),
+            Word::int(5),
+            Word::int(-5),
+            Word::nil(),
+            Word::atom(crate::AtomId::new(0)),
+            Word::atom(crate::AtomId::new(5)),
+            Word::float(0.0),
+            Word::float(-0.0),
+            Word::float(f32::NAN),
+            Word::float(f32::from_bits(0x7FC0_0001)), // a different NaN
+            Word::float(5.0),
+            Word::int(5).with_gc_bits(0b10),
+            Word::pack(Tag::Atom, Zone::Global, 5), // zone differs, same constant
+            Word::from_bits((0xF << 48) | 5),       // unpopulated type field
+            Word::from_bits((0xE << 48) | 5),       // another unpopulated type
+        ];
+        for a in samples {
+            for b in samples {
+                assert_eq!(
+                    a.switch_key() == b.switch_key(),
+                    a.same_constant(b),
+                    "switch_key/same_constant disagree for {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

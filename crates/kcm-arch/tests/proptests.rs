@@ -87,12 +87,41 @@ fn switch_tables_roundtrip() {
             None
         };
         let table = rng.vec_of(0, 12, |rng| (arb_const(rng), arb_addr(rng)));
-        let i = Instr::SwitchOnConstant { default, table };
+        let arg = Reg::new(rng.int_in(0, 16) as u8);
+        let i = Instr::SwitchOnConstant {
+            arg,
+            default,
+            table,
+        };
         let mut words = Vec::new();
         i.encode(&mut words);
         let (decoded, used) = Instr::decode(&words).expect("decodes");
         assert_eq!(used, words.len());
         assert_eq!(decoded, i);
+    });
+}
+
+#[test]
+fn switch_index_agrees_with_linear_scan() {
+    use kcm_arch::SwitchIndex;
+    cases(256, |rng| {
+        let table = rng.vec_of(0, 24, |rng| (arb_const(rng), arb_addr(rng)));
+        let idx = SwitchIndex::for_constants(&table);
+        // Every table key plus some fresh probes resolve identically to
+        // the first-match linear scan.
+        let probes: Vec<Word> = table
+            .iter()
+            .map(|(k, _)| *k)
+            .chain((0..8).map(|_| arb_const(rng)))
+            .collect();
+        for probe in probes {
+            let linear = table
+                .iter()
+                .enumerate()
+                .find(|(_, (k, _))| k.same_constant(probe))
+                .map(|(i, (_, t))| (*t, i as u32));
+            assert_eq!(idx.lookup(probe.switch_key()), linear);
+        }
     });
 }
 

@@ -7,7 +7,7 @@
 
 use crate::ir::PredId;
 use kcm_arch::isa::{Cond, Instr};
-use kcm_arch::{CodeAddr, FunctorId, Word};
+use kcm_arch::{CodeAddr, FunctorId, Reg, Word};
 use std::collections::HashMap;
 
 /// One item of symbolic code.
@@ -40,7 +40,9 @@ pub enum AsmItem {
     BranchFail(Cond),
     /// `switch_on_term` with label targets (`None` = fail).
     SwitchOnTermL {
-        /// Target when A1 dereferences to a variable.
+        /// Argument register the dispatch dereferences.
+        arg: Reg,
+        /// Target when the argument dereferences to a variable.
         on_var: Option<usize>,
         /// Target for constants.
         on_const: Option<usize>,
@@ -51,6 +53,8 @@ pub enum AsmItem {
     },
     /// `switch_on_constant` with label targets.
     SwitchOnConstantL {
+        /// Argument register the dispatch dereferences.
+        arg: Reg,
         /// Fall-through target (`None` = fail).
         default: Option<usize>,
         /// Key → label table.
@@ -58,6 +62,8 @@ pub enum AsmItem {
     },
     /// `switch_on_structure` with label targets.
     SwitchOnStructureL {
+        /// Argument register the dispatch dereferences.
+        arg: Reg,
         /// Fall-through target (`None` = fail).
         default: Option<usize>,
         /// Functor → label table.
@@ -175,24 +181,36 @@ pub fn assemble(
                 to: fail_stub,
             },
             AsmItem::SwitchOnTermL {
+                arg,
                 on_var,
                 on_const,
                 on_list,
                 on_struct,
             } => Instr::SwitchOnTerm {
+                arg: *arg,
                 on_var: resolve_opt(on_var)?,
                 on_const: resolve_opt(on_const)?,
                 on_list: resolve_opt(on_list)?,
                 on_struct: resolve_opt(on_struct)?,
             },
-            AsmItem::SwitchOnConstantL { default, table } => Instr::SwitchOnConstant {
+            AsmItem::SwitchOnConstantL {
+                arg,
+                default,
+                table,
+            } => Instr::SwitchOnConstant {
+                arg: *arg,
                 default: resolve_opt(default)?,
                 table: table
                     .iter()
                     .map(|(w, l)| Ok((*w, resolve(l)?)))
                     .collect::<Result<_, AsmError>>()?,
             },
-            AsmItem::SwitchOnStructureL { default, table } => Instr::SwitchOnStructure {
+            AsmItem::SwitchOnStructureL {
+                arg,
+                default,
+                table,
+            } => Instr::SwitchOnStructure {
+                arg: *arg,
                 default: resolve_opt(default)?,
                 table: table
                     .iter()
@@ -242,6 +260,7 @@ mod tests {
     fn multiword_switch_shifts_addresses() {
         let items = vec![
             AsmItem::SwitchOnTermL {
+                arg: Reg::new(0),
                 on_var: Some(0),
                 on_const: None,
                 on_list: None,

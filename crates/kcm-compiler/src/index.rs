@@ -7,14 +7,30 @@
 //! aims at) and narrows try/retry/trust chains otherwise. The paper
 //! attributes `query`'s best-in-table 10.17× ratio over Quintus to "the
 //! efficiency of KCM indexing" (§4.2).
+//!
+//! Wide all-fact predicates additionally get *depth-2* indexing
+//! (B-Prolog's matching-tree shape): under each first-argument constant
+//! bucket, a second `switch_on_term`/`switch_on_constant` pair dispatches
+//! on A2, so a fully keyed `fact(K1, K2)` point lookup reaches its clause
+//! without any try/retry/trust chain.
 
 use crate::asm::AsmItem;
 use crate::clause::compile_clause;
 use crate::ir::Predicate;
 use crate::CompileError;
-use kcm_arch::{FunctorId, SymbolTable, Word};
+use kcm_arch::{FunctorId, Reg, SymbolTable, Word};
 use kcm_prolog::Term;
 use std::collections::HashMap;
+
+/// The register the first-level switch dispatches on (A1).
+const A1: Reg = Reg::new(0);
+/// The register depth-2 fact indexing dispatches on (A2).
+const A2: Reg = Reg::new(1);
+
+/// Minimum clause count before a fact predicate gets depth-2 indexing.
+/// Small predicates gain nothing from the extra switch; wide flat fact
+/// bases (the `fact(K1, K2)` point-lookup shape) are the target.
+const DEPTH2_MIN_CLAUSES: usize = 8;
 
 /// The indexing key of a clause: the shape of its first head argument.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +51,24 @@ fn key_of(first_arg: Option<&Term>, symbols: &mut SymbolTable) -> Key {
         Some(Term::Struct(n, args)) if n == "." && args.len() == 2 => Key::List,
         Some(Term::Struct(n, args)) => Key::Struct(symbols.functor(n, args.len() as u8)),
     }
+}
+
+/// Merges two disjoint ascending index lists, preserving clause order.
+fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 /// Label allocator shared across one predicate's code.
@@ -142,36 +176,124 @@ pub fn compile_predicate(
         let struct_bucket = bucket(&|k| matches!(k, Key::Struct(_)));
         let var_only: Vec<usize> = (0..n).filter(|&i| keys[i] == Key::Var).collect();
 
+        // Depth-2 eligibility: a wide all-fact predicate of arity ≥ 2.
+        // `keys2[i]` is clause i's second-argument constant, when it has
+        // one — the matching-tree dimension the second-level switch uses.
+        let keys2: Option<Vec<Option<Word>>> = if options.depth2_facts
+            && pred.id.arity >= 2
+            && n >= DEPTH2_MIN_CLAUSES
+            && pred.clauses.iter().all(|c| c.goals.is_empty())
+        {
+            Some(
+                pred.clauses
+                    .iter()
+                    .map(|c| match key_of(c.head_args().get(1), symbols) {
+                        Key::Const(w) => Some(w),
+                        _ => None,
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
         // Constant bucket: a key table when several distinct constants
-        // exist, a plain chain otherwise.
-        let distinct_consts: Vec<Word> = {
-            let mut seen: Vec<Word> = Vec::new();
-            for k in &keys {
+        // exist, a plain chain otherwise. One pass groups clauses by key
+        // (first-seen order) so million-fact predicates index in O(n).
+        let const_groups: Vec<(Word, Vec<usize>)> = {
+            let mut groups: Vec<(Word, Vec<usize>)> = Vec::new();
+            let mut group_of: HashMap<u64, usize> = HashMap::new();
+            for (i, k) in keys.iter().enumerate() {
                 if let Key::Const(w) = k {
-                    if !seen.iter().any(|x| x.bits() == w.bits()) {
-                        seen.push(*w);
-                    }
+                    let gi = *group_of.entry(w.switch_key()).or_insert_with(|| {
+                        groups.push((*w, Vec::new()));
+                        groups.len() - 1
+                    });
+                    groups[gi].1.push(i);
                 }
             }
-            seen
+            groups
         };
-        let on_const = if distinct_consts.len() >= 2 {
+        let on_const = if const_groups.len() >= 2 {
             let table_label = labels.fresh();
             let mut table = Vec::new();
-            for w in &distinct_consts {
-                let cands: Vec<usize> = (0..n)
-                    .filter(|&i| {
-                        keys[i] == Key::Var
-                            || matches!(keys[i], Key::Const(x) if x.bits() == w.bits())
-                    })
-                    .collect();
-                let t = chain_target(&cands, &mut labels, &mut chain_blocks, &mut chain_cache)
-                    .expect("non-empty const bucket");
+            for (w, group) in &const_groups {
+                let cands = merge_sorted(group, &var_only);
+                // Depth-2: when every candidate is a fact with a constant
+                // second argument and at least two distinct second keys
+                // exist, dispatch on A2 under this bucket instead of
+                // walking a try/retry/trust chain.
+                let mut target = None;
+                if let Some(keys2) = &keys2 {
+                    if cands.len() >= 2 && cands.iter().all(|&ci| keys2[ci].is_some()) {
+                        let mut groups2: Vec<(Word, Vec<usize>)> = Vec::new();
+                        let mut group2_of: HashMap<u64, usize> = HashMap::new();
+                        for &ci in &cands {
+                            let k2 = keys2[ci].expect("checked above");
+                            let gi = *group2_of.entry(k2.switch_key()).or_insert_with(|| {
+                                groups2.push((k2, Vec::new()));
+                                groups2.len() - 1
+                            });
+                            groups2[gi].1.push(ci);
+                        }
+                        if groups2.len() >= 2 {
+                            let mut table2 = Vec::new();
+                            for (k2, g2) in &groups2 {
+                                let t2 = chain_target(
+                                    g2,
+                                    &mut labels,
+                                    &mut chain_blocks,
+                                    &mut chain_cache,
+                                )
+                                .expect("non-empty depth-2 bucket");
+                                table2.push((*k2, t2));
+                            }
+                            // Unbound A2 falls back to the whole bucket in
+                            // clause order; a constant A2 missing from the
+                            // table can unify with nothing (every second
+                            // argument is a constant), so default fails.
+                            // Lists/structures in A2 likewise fail.
+                            let on_var2 = chain_target(
+                                &cands,
+                                &mut labels,
+                                &mut chain_blocks,
+                                &mut chain_cache,
+                            )
+                            .expect("non-empty const bucket");
+                            let table2_label = labels.fresh();
+                            chain_blocks.push(AsmItem::Label(table2_label));
+                            chain_blocks.push(AsmItem::SwitchOnConstantL {
+                                arg: A2,
+                                default: None,
+                                table: table2,
+                            });
+                            let entry = labels.fresh();
+                            chain_blocks.push(AsmItem::Label(entry));
+                            chain_blocks.push(AsmItem::SwitchOnTermL {
+                                arg: A2,
+                                on_var: Some(on_var2),
+                                on_const: Some(table2_label),
+                                on_list: None,
+                                on_struct: None,
+                            });
+                            target = Some(entry);
+                        }
+                    }
+                }
+                let t = match target {
+                    Some(t) => t,
+                    None => chain_target(&cands, &mut labels, &mut chain_blocks, &mut chain_cache)
+                        .expect("non-empty const bucket"),
+                };
                 table.push((*w, t));
             }
             let default = chain_target(&var_only, &mut labels, &mut chain_blocks, &mut chain_cache);
             chain_blocks.push(AsmItem::Label(table_label));
-            chain_blocks.push(AsmItem::SwitchOnConstantL { default, table });
+            chain_blocks.push(AsmItem::SwitchOnConstantL {
+                arg: A1,
+                default,
+                table,
+            });
             Some(table_label)
         } else {
             chain_target(
@@ -183,31 +305,36 @@ pub fn compile_predicate(
         };
 
         // Structure bucket: same treatment by functor.
-        let distinct_functors: Vec<FunctorId> = {
-            let mut seen: Vec<FunctorId> = Vec::new();
-            for k in &keys {
+        let struct_groups: Vec<(FunctorId, Vec<usize>)> = {
+            let mut groups: Vec<(FunctorId, Vec<usize>)> = Vec::new();
+            let mut group_of: HashMap<usize, usize> = HashMap::new();
+            for (i, k) in keys.iter().enumerate() {
                 if let Key::Struct(f) = k {
-                    if !seen.contains(f) {
-                        seen.push(*f);
-                    }
+                    let gi = *group_of.entry(f.index()).or_insert_with(|| {
+                        groups.push((*f, Vec::new()));
+                        groups.len() - 1
+                    });
+                    groups[gi].1.push(i);
                 }
             }
-            seen
+            groups
         };
-        let on_struct = if distinct_functors.len() >= 2 {
+        let on_struct = if struct_groups.len() >= 2 {
             let table_label = labels.fresh();
             let mut table = Vec::new();
-            for f in &distinct_functors {
-                let cands: Vec<usize> = (0..n)
-                    .filter(|&i| keys[i] == Key::Var || keys[i] == Key::Struct(*f))
-                    .collect();
+            for (f, group) in &struct_groups {
+                let cands = merge_sorted(group, &var_only);
                 let t = chain_target(&cands, &mut labels, &mut chain_blocks, &mut chain_cache)
                     .expect("non-empty struct bucket");
                 table.push((*f, t));
             }
             let default = chain_target(&var_only, &mut labels, &mut chain_blocks, &mut chain_cache);
             chain_blocks.push(AsmItem::Label(table_label));
-            chain_blocks.push(AsmItem::SwitchOnStructureL { default, table });
+            chain_blocks.push(AsmItem::SwitchOnStructureL {
+                arg: A1,
+                default,
+                table,
+            });
             Some(table_label)
         } else {
             chain_target(
@@ -226,6 +353,7 @@ pub fn compile_predicate(
         );
 
         items.push(AsmItem::SwitchOnTermL {
+            arg: A1,
             on_var: Some(var_chain_label),
             on_const,
             on_list,
@@ -303,6 +431,7 @@ mod tests {
                     on_const,
                     on_list,
                     on_struct,
+                    ..
                 } => Some((*on_var, *on_const, *on_list, *on_struct)),
                 _ => None,
             })
@@ -341,7 +470,9 @@ mod tests {
         let table = items
             .iter()
             .find_map(|i| match i {
-                AsmItem::SwitchOnConstantL { table, default } => Some((table.clone(), *default)),
+                AsmItem::SwitchOnConstantL { table, default, .. } => {
+                    Some((table.clone(), *default))
+                }
                 _ => None,
             })
             .expect("constant table emitted");
@@ -355,7 +486,9 @@ mod tests {
         let (table, default) = items
             .iter()
             .find_map(|i| match i {
-                AsmItem::SwitchOnStructureL { table, default } => Some((table.clone(), *default)),
+                AsmItem::SwitchOnStructureL { table, default, .. } => {
+                    Some((table.clone(), *default))
+                }
                 _ => None,
             })
             .expect("structure table emitted");
@@ -383,6 +516,78 @@ mod tests {
                 AsmItem::Plain(kcm_arch::Instr::Neck)
             )),
             2
+        );
+    }
+
+    #[test]
+    fn wide_fact_base_gets_depth2_switch() {
+        // 8 facts, 2 distinct first keys × distinct second keys: each
+        // first-key bucket dispatches again on A2.
+        let src = "f(a,1,x). f(a,2,y). f(a,3,z). f(a,4,w).\n\
+                   f(b,1,x). f(b,2,y). f(b,3,z). f(b,4,w).";
+        let (items, _) = compile(src);
+        let a2_switches: Vec<_> = items
+            .iter()
+            .filter(|i| matches!(i, AsmItem::SwitchOnConstantL { arg, .. } if arg.index() == 1))
+            .collect();
+        assert_eq!(a2_switches.len(), 2, "one A2 table per first-key bucket");
+        let a2_terms = count_matching(
+            &items,
+            |i| matches!(i, AsmItem::SwitchOnTermL { arg, .. } if arg.index() == 1),
+        );
+        assert_eq!(a2_terms, 2, "each A2 table sits behind an A2 type switch");
+        // Fully keyed lookups are deterministic: no try chains at all.
+        assert_eq!(count_matching(&items, |i| matches!(i, AsmItem::TryL(_))), 2);
+        // ^ the two on_var2 fallback chains (one per bucket) still exist.
+    }
+
+    #[test]
+    fn depth2_skipped_below_threshold() {
+        let (items, _) = compile("g(a,1). g(a,2). g(b,1).");
+        assert_eq!(
+            count_matching(
+                &items,
+                |i| matches!(i, AsmItem::SwitchOnConstantL { arg, .. } if arg.index() == 1)
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn depth2_skipped_when_second_arg_not_constant() {
+        // Second args include a variable → bucket must stay a chain.
+        let src = "h(a,1). h(a,X) :- q(X).\n\
+                   h(a,3). h(a,4). h(b,1). h(b,2). h(b,3). h(b,4).";
+        let (items, _) = compile(src);
+        assert_eq!(
+            count_matching(
+                &items,
+                |i| matches!(i, AsmItem::SwitchOnConstantL { arg, .. } if arg.index() == 1)
+            ),
+            0,
+            "a rule clause disables depth-2 for the whole predicate"
+        );
+    }
+
+    #[test]
+    fn depth2_disabled_by_option() {
+        let src = "f(a,1). f(a,2). f(a,3). f(a,4).\n\
+                   f(b,1). f(b,2). f(b,3). f(b,4).";
+        let prog = Program::from_clauses(&read_program(src).unwrap()).unwrap();
+        let mut symbols = SymbolTable::new();
+        let mut statics = crate::link::StaticImage::new(crate::link::STATIC_DATA_BASE);
+        let options = crate::CompileOptions {
+            depth2_facts: false,
+            ..Default::default()
+        };
+        let items =
+            compile_predicate(&prog.predicates[0], &mut symbols, &mut statics, &options).unwrap();
+        assert_eq!(
+            count_matching(
+                &items,
+                |i| matches!(i, AsmItem::SwitchOnConstantL { arg, .. } if arg.index() == 1)
+            ),
+            0
         );
     }
 

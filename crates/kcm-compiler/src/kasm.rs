@@ -344,6 +344,7 @@ pub fn parse_kasm(
             "switch_on_term" => {
                 need(4)?;
                 AsmItem::SwitchOnTermL {
+                    arg: kcm_arch::Reg::new(0),
                     on_var: p.opt_target(ops[0]),
                     on_const: p.opt_target(ops[1]),
                     on_list: p.opt_target(ops[2]),
@@ -684,6 +685,7 @@ mod tests {
                 on_const,
                 on_list,
                 on_struct,
+                ..
             } => {
                 assert!(on_var.is_some());
                 assert!(on_const.is_none());

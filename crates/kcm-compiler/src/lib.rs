@@ -79,6 +79,12 @@ pub struct CompileOptions {
     /// trade-off against PLM's cdr-coding, which encodes such lists *in*
     /// the code at one instruction per cell).
     pub static_ground_literals: bool,
+    /// Depth-2 fact indexing: for wide all-fact predicates whose clauses
+    /// carry constant first *and* second arguments, emit a second-level
+    /// switch on the second argument under each first-argument bucket
+    /// (B-Prolog matching-tree shape), collapsing try/retry/trust chains
+    /// for `fact(K1, K2)` point lookups.
+    pub depth2_facts: bool,
 }
 
 impl Default for CompileOptions {
@@ -87,6 +93,7 @@ impl Default for CompileOptions {
             inline_arith: true,
             deferred_choice_points: true,
             static_ground_literals: true,
+            depth2_facts: true,
         }
     }
 }
@@ -104,6 +111,7 @@ impl CompileOptions {
             inline_arith: false,
             deferred_choice_points: false,
             static_ground_literals: false,
+            depth2_facts: false,
         }
     }
 }

@@ -13,9 +13,10 @@ use crate::index::compile_predicate;
 use crate::ir::{Clause, Goal, PredId, Program};
 use crate::CompileError;
 use kcm_arch::isa::Instr;
-use kcm_arch::{CodeAddr, SymbolTable, Tag, VAddr, Word, Zone};
+use kcm_arch::{CodeAddr, SwitchIndex, SymbolTable, Tag, VAddr, Word, Zone};
 use kcm_prolog::Term;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Static code size of one predicate (a Table 1 row contribution).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,6 +136,11 @@ pub struct CodeImage {
     /// instruction start). Dense because the machine consults it on every
     /// fetch.
     addr_index: Vec<u32>,
+    /// Link-time hash side table, parallel to `instrs`: wide
+    /// `switch_on_constant` / `switch_on_structure` tables get an
+    /// open-addressing index here so dispatch is O(1) instead of a
+    /// linear scan. `Arc` so per-query image clones share the tables.
+    switch_index: Vec<Option<Arc<SwitchIndex>>>,
     words: Vec<u64>,
     entries: HashMap<(String, u8), CodeAddr>,
     sizes: Vec<PredSize>,
@@ -158,6 +164,10 @@ pub const UNKNOWN_STUB: CodeAddr = CodeAddr::new(2);
 pub const CALL_STUB: CodeAddr = CodeAddr::new(4);
 /// First address available for program code.
 const CODE_BASE: u32 = 8;
+/// Switch tables with at least this many entries get a link-time hash
+/// index; below it a linear scan is at worst as many probes as the hash
+/// path would charge, so the side table buys nothing.
+const HASH_INDEX_MIN_ENTRIES: usize = 8;
 /// Base of the ground-literal area in the static data zone (leaving the
 /// low words for system use).
 pub const STATIC_DATA_BASE: VAddr = VAddr::new(Zone::Static.base().value() + 0x100);
@@ -210,6 +220,16 @@ impl CodeImage {
     #[inline]
     pub fn num_instrs(&self) -> usize {
         self.instrs.len()
+    }
+
+    /// The link-time hash index of the switch instruction at stream index
+    /// `idx`, if one was built (only wide `switch_on_constant` /
+    /// `switch_on_structure` tables get one).
+    #[inline]
+    pub fn switch_index(&self, idx: u32) -> Option<&SwitchIndex> {
+        self.switch_index
+            .get(idx as usize)
+            .and_then(|s| s.as_deref())
     }
 
     /// The encoded code words (loader image).
@@ -340,6 +360,7 @@ impl Linker {
             instrs: Vec::new(),
             addrs: Vec::new(),
             addr_index: Vec::new(),
+            switch_index: Vec::new(),
             words: Vec::new(),
             entries: HashMap::new(),
             sizes: Vec::new(),
@@ -422,6 +443,16 @@ impl Linker {
         }
         image.addr_index[at] = image.instrs.len() as u32;
         image.addrs.push(addr.value());
+        let side = match &instr {
+            Instr::SwitchOnConstant { table, .. } if table.len() >= HASH_INDEX_MIN_ENTRIES => {
+                Some(Arc::new(SwitchIndex::for_constants(table)))
+            }
+            Instr::SwitchOnStructure { table, .. } if table.len() >= HASH_INDEX_MIN_ENTRIES => {
+                Some(Arc::new(SwitchIndex::for_structures(table)))
+            }
+            _ => None,
+        };
+        image.switch_index.push(side);
         image.instrs.push(instr);
     }
 
@@ -518,6 +549,7 @@ impl Linker {
             instrs: Vec::new(),
             addrs: Vec::new(),
             addr_index: Vec::new(),
+            switch_index: Vec::new(),
             words: Vec::new(),
             entries: HashMap::new(),
             sizes: Vec::new(),
@@ -692,6 +724,39 @@ mod tests {
             Linker::link_query(&image, &goal, &mut symbols),
             Err(CompileError::TooManyQueryVars(17))
         ));
+    }
+
+    #[test]
+    fn wide_switches_get_a_hash_index() {
+        let src: String = (0..20).map(|i| format!("p(k{i}). ")).collect();
+        let (image, _) = link(&src);
+        let mut seen = false;
+        for idx in 0..image.num_instrs() as u32 {
+            if let Instr::SwitchOnConstant { table, .. } = image.instr_at_index(idx) {
+                let side = image
+                    .switch_index(idx)
+                    .expect("wide constant switch gets an index");
+                for (ord, (key, target)) in table.iter().enumerate() {
+                    assert_eq!(
+                        side.lookup(key.switch_key()),
+                        Some((*target, ord as u32)),
+                        "key #{ord}"
+                    );
+                }
+                seen = true;
+            }
+        }
+        assert!(seen, "expected a switch_on_constant in the image");
+    }
+
+    #[test]
+    fn narrow_switches_skip_the_hash_index() {
+        let (image, _) = link("p(1). p(2).");
+        for idx in 0..image.num_instrs() as u32 {
+            if matches!(image.instr_at_index(idx), Instr::SwitchOnConstant { .. }) {
+                assert!(image.switch_index(idx).is_none());
+            }
+        }
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod termio;
 
 pub use machine::{Machine, MachineConfig, MachineError, Outcome, RunStats, Solution};
 pub use profile::{
-    ClassCounters, InstrClass, MwacCounters, Profile, TraceEvent, Tracer, DEREF_HIST_BUCKETS,
+    ClassCounters, InstrClass, MwacCounters, Profile, SwitchCounters, TraceEvent, Tracer,
+    DEREF_HIST_BUCKETS,
 };
 pub use regfile::RegisterFile;

@@ -83,6 +83,15 @@ pub struct MachineConfig {
     /// profiles) is byte-identical with it on or off; off keeps the naive
     /// reference paths alive for differential testing.
     pub fast_paths: bool,
+    /// O(1) switch dispatch through the linker's hash side table
+    /// ([`CodeImage::switch_index`]). Like [`MachineConfig::fast_paths`]
+    /// this is a pure *host* speed switch: the hash path charges exactly
+    /// the cycles the linear reference scan would have charged (hit at
+    /// table ordinal `k` → `(k + 1) × switch_table_probe`, miss → the
+    /// full table length), so every simulated number is byte-identical
+    /// with it on or off. Off keeps the linear scan alive for
+    /// differential testing (`KCM_HASH_SWITCH=0`).
+    pub hash_switch: bool,
 }
 
 impl Default for MachineConfig {
@@ -98,6 +107,7 @@ impl Default for MachineConfig {
             profile: false,
             event_trace_depth: 0,
             fast_paths: true,
+            hash_switch: true,
         }
     }
 }
@@ -713,7 +723,7 @@ impl<M: DataMem> Machine<M> {
             let packed = resolved[idx as usize];
             let np = packed as u32;
             self.p = CodeAddr::new(np);
-            self.exec_body(instr)?;
+            self.exec_body(instr, image, idx)?;
             if self.stats.instructions - start_instructions > step_budget {
                 return Err(MachineError::BudgetExhausted {
                     steps: self.stats.instructions - start_instructions,
@@ -1533,7 +1543,7 @@ impl<M: DataMem> Machine<M> {
         self.p = addr.offset(words as i64);
         self.ft_addr = self.p.value();
         self.ft_index = idx + 1;
-        let r = self.exec(instr);
+        let r = self.exec(instr, image, idx);
         // The retired-instruction profile attributes every cycle of the
         // step — fetch, overhead and execution — to the opcode's class.
         // Without a clock there is nothing to attribute.
@@ -1551,18 +1561,24 @@ impl<M: DataMem> Machine<M> {
         r
     }
 
-    fn exec(&mut self, instr: &Instr) -> Result<(), MachineError> {
-        self.exec_body(instr)
+    fn exec(&mut self, instr: &Instr, image: &CodeImage, idx: u32) -> Result<(), MachineError> {
+        self.exec_body(instr, image, idx)
     }
 
     /// The instruction dispatch itself. `#[inline(always)]` so the
     /// native tier's resolved loop absorbs it — one fused
     /// fetch/dispatch/execute body with no call per step — while the
     /// simulator's [`Machine::step_in`] keeps its own outlined copy
-    /// behind [`Machine::exec`].
+    /// behind [`Machine::exec`]. `image`/`idx` identify the executing
+    /// instruction so the switch arms can reach its link-time hash index.
     #[allow(clippy::too_many_lines)]
     #[inline(always)]
-    fn exec_body(&mut self, instr: &Instr) -> Result<(), MachineError> {
+    fn exec_body(
+        &mut self,
+        instr: &Instr,
+        image: &CodeImage,
+        idx: u32,
+    ) -> Result<(), MachineError> {
         let cost = self.cfg.cost;
         match instr {
             // ------------------------------------------------- control
@@ -1647,15 +1663,21 @@ impl<M: DataMem> Machine<M> {
                 self.charge(cost.jump);
             }
             Instr::SwitchOnTerm {
+                arg,
                 on_var,
                 on_const,
                 on_list,
                 on_struct,
             } => {
-                let a1 = self.deref(self.regs.arg(0))?;
-                self.regs.set_arg(0, a1);
+                let a = self.deref(self.regs.arg(arg.index()))?;
+                self.regs.set_arg(arg.index(), a);
                 self.charge(cost.switch_on_term);
-                let target = match a1.tag() {
+                if arg.index() > 0 {
+                    // A dispatch on A2+ is an entry into a second-level
+                    // table of depth-2 fact indexing.
+                    self.prof.switches.depth2 += 1;
+                }
+                let target = match a.tag() {
                     Tag::Ref => *on_var,
                     Tag::List => *on_list,
                     Tag::Struct => *on_struct,
@@ -1667,42 +1689,100 @@ impl<M: DataMem> Machine<M> {
                     None => self.fail()?,
                 }
             }
-            Instr::SwitchOnConstant { default, table } => {
-                let a1 = self.deref(self.regs.arg(0))?;
-                self.regs.set_arg(0, a1);
+            Instr::SwitchOnConstant {
+                arg,
+                default,
+                table,
+            } => {
+                let a = self.deref(self.regs.arg(arg.index()))?;
+                self.regs.set_arg(arg.index(), a);
                 self.charge(cost.switch_on_term);
-                let mut target = *default;
-                for (key, t) in table {
-                    self.charge(cost.switch_table_probe);
-                    if key.same_constant(a1) {
-                        target = Some(*t);
-                        break;
+                // The hash path resolves the lookup in O(1) but charges
+                // exactly what the linear reference scan would have: a
+                // hit at table ordinal k probed k + 1 entries, a miss
+                // probed them all. The probe/hit/miss counters are
+                // dispatch outcomes — identical on both paths.
+                let hashed = if self.cfg.hash_switch {
+                    image.switch_index(idx).map(|s| s.lookup(a.switch_key()))
+                } else {
+                    None
+                };
+                let (target, probes) = match hashed {
+                    Some(Some((t, ord))) => (Some(t), ord as u64 + 1),
+                    Some(None) => (None, table.len() as u64),
+                    None => {
+                        let mut found = None;
+                        let mut probes = 0u64;
+                        for (key, t) in table {
+                            probes += 1;
+                            if key.same_constant(a) {
+                                found = Some(*t);
+                                break;
+                            }
+                        }
+                        (found, probes)
                     }
+                };
+                self.charge(probes * cost.switch_table_probe);
+                self.prof.switches.probes += probes;
+                if target.is_some() {
+                    self.prof.switches.hits += 1;
+                } else {
+                    self.prof.switches.misses += 1;
                 }
-                match target {
+                match target.or(*default) {
                     Some(t) => self.p = t,
                     None => self.fail()?,
                 }
             }
-            Instr::SwitchOnStructure { default, table } => {
-                let a1 = self.deref(self.regs.arg(0))?;
-                self.regs.set_arg(0, a1);
+            Instr::SwitchOnStructure {
+                arg,
+                default,
+                table,
+            } => {
+                let a = self.deref(self.regs.arg(arg.index()))?;
+                self.regs.set_arg(arg.index(), a);
                 self.charge(cost.switch_on_term);
-                let functor = match a1.as_addr() {
-                    Some(p) if a1.tag() == Tag::Struct => self.read_data(p)?.as_functor(),
+                let functor = match a.as_addr() {
+                    Some(p) if a.tag() == Tag::Struct => self.read_data(p)?.as_functor(),
                     _ => None,
                 };
-                let mut target = *default;
-                if let Some(f) = functor {
-                    for (key, t) in table {
-                        self.charge(cost.switch_table_probe);
-                        if *key == f {
-                            target = Some(*t);
-                            break;
+                let target = if let Some(f) = functor {
+                    let hashed = if self.cfg.hash_switch {
+                        image.switch_index(idx).map(|s| s.lookup(f.index() as u64))
+                    } else {
+                        None
+                    };
+                    let (target, probes) = match hashed {
+                        Some(Some((t, ord))) => (Some(t), ord as u64 + 1),
+                        Some(None) => (None, table.len() as u64),
+                        None => {
+                            let mut found = None;
+                            let mut probes = 0u64;
+                            for (key, t) in table {
+                                probes += 1;
+                                if *key == f {
+                                    found = Some(*t);
+                                    break;
+                                }
+                            }
+                            (found, probes)
                         }
+                    };
+                    self.charge(probes * cost.switch_table_probe);
+                    self.prof.switches.probes += probes;
+                    if target.is_some() {
+                        self.prof.switches.hits += 1;
+                    } else {
+                        self.prof.switches.misses += 1;
                     }
-                }
-                match target {
+                    target
+                } else {
+                    // A non-structure argument never consults the table:
+                    // zero probes, straight to the default.
+                    None
+                };
+                match target.or(*default) {
                     Some(t) => self.p = t,
                     None => self.fail()?,
                 }

@@ -193,6 +193,29 @@ impl MwacCounters {
     }
 }
 
+/// Clause-indexing switch dispatch counters: how the table switches
+/// (`switch_on_constant` / `switch_on_structure`) resolved their lookups.
+///
+/// Probes count the *charged* table probes of the simulated machine — a
+/// hit at table ordinal `k` charges `k + 1` probes, a miss charges the
+/// full table length. These are dispatch outcomes, determined by program
+/// semantics alone, so the numbers are identical whether the host
+/// resolved the lookup through the link-time hash side table or the
+/// linear reference scan (and identical across execution tiers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchCounters {
+    /// Table probes charged across all table-switch dispatches.
+    pub probes: u64,
+    /// Dispatches that found their key in the table.
+    pub hits: u64,
+    /// Dispatches that missed the table (took the default or failed).
+    pub misses: u64,
+    /// Second-level (depth-2) dispatches: `switch_on_term` on an
+    /// argument register other than A1, i.e. entries into the
+    /// second-level tables of depth-2 fact indexing.
+    pub depth2: u64,
+}
+
 /// Dereference-chain histogram buckets: chains of length 0..=7 links,
 /// plus one overflow bucket for 8 links and longer.
 pub const DEREF_HIST_BUCKETS: usize = 9;
@@ -208,6 +231,8 @@ pub struct Profile {
     pub classes: [ClassCounters; InstrClass::COUNT],
     /// MWAC dispatch outcomes of general unification (§3.1.4).
     pub mwac: MwacCounters,
+    /// Clause-indexing switch dispatch outcomes.
+    pub switches: SwitchCounters,
     /// Failures resolved by shadow-register restore (§3.1.5).
     pub shallow_backtracks: u64,
     /// Failures resolved from a materialised choice point.
@@ -288,6 +313,10 @@ impl Profile {
         self.mwac.descend_list += other.mwac.descend_list;
         self.mwac.descend_struct += other.mwac.descend_struct;
         self.mwac.clash += other.mwac.clash;
+        self.switches.probes += other.switches.probes;
+        self.switches.hits += other.switches.hits;
+        self.switches.misses += other.switches.misses;
+        self.switches.depth2 += other.switches.depth2;
         self.shallow_backtracks += other.shallow_backtracks;
         self.deep_backtracks += other.deep_backtracks;
         self.trail_checks += other.trail_checks;
@@ -324,6 +353,10 @@ impl Profile {
         out.mwac.descend_list -= earlier.mwac.descend_list;
         out.mwac.descend_struct -= earlier.mwac.descend_struct;
         out.mwac.clash -= earlier.mwac.clash;
+        out.switches.probes -= earlier.switches.probes;
+        out.switches.hits -= earlier.switches.hits;
+        out.switches.misses -= earlier.switches.misses;
+        out.switches.depth2 -= earlier.switches.depth2;
         out.shallow_backtracks -= earlier.shallow_backtracks;
         out.deep_backtracks -= earlier.deep_backtracks;
         out.trail_checks -= earlier.trail_checks;
@@ -491,6 +524,8 @@ mod tests {
         a.trail_checks = 5;
         a.trail_pushes = 2;
         a.shallow_backtracks = 1;
+        a.switches.probes = 9;
+        a.switches.hits = 2;
         let snapshot = a;
         let mut b = a;
         b.retire(InstrClass::Unify, 11);
@@ -498,6 +533,9 @@ mod tests {
         b.record_deref_chain(20); // overflow bucket
         b.deep_backtracks += 1;
         b.zone_grow_traps += 1;
+        b.switches.probes += 4;
+        b.switches.misses += 1;
+        b.switches.depth2 += 1;
         let delta = b.delta_since(&snapshot);
         assert_eq!(delta.class(InstrClass::Unify).retired, 1);
         assert_eq!(delta.class(InstrClass::Unify).cycles, 11);
@@ -507,6 +545,10 @@ mod tests {
         assert_eq!(delta.deref_hist[DEREF_HIST_BUCKETS - 1], 1);
         assert_eq!(delta.deep_backtracks, 1);
         assert_eq!(delta.zone_grow_traps, 1);
+        assert_eq!(delta.switches.probes, 4);
+        assert_eq!(delta.switches.hits, 0);
+        assert_eq!(delta.switches.misses, 1);
+        assert_eq!(delta.switches.depth2, 1);
         let mut rebuilt = snapshot;
         rebuilt.merge(&delta);
         assert_eq!(rebuilt, b);

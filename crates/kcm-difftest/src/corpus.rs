@@ -228,6 +228,21 @@ pub const CORPUS: &[CorpusCase] = &[
         query: "p3(X4,X5,X6)",
         enumerate: true,
     },
+    // Float constants are switch keys *bitwise*: -0.0 and 0.0 are
+    // distinct table entries (== would merge them, breaking agreement
+    // with bitwise head unification), and NaN-free misses must fall to
+    // the default. Nine keys make the table wide enough for the
+    // link-time hash index, so this replays the hashed dispatch path
+    // against every oracle.
+    CorpusCase {
+        name: "float_switch_keys_bitwise",
+        source: "fk(0.0, pos). fk(-0.0, neg). fk(1.0, one). fk(2.0, two).\n\
+                 fk(3.0, three). fk(4.0, four). fk(5.0, five). fk(6.0, six).\n\
+                 fk(7.0, seven).\n\
+                 q(A, B, C) :- fk(-0.0, A), fk(0.0, B), \\+ fk(0.5, _), C = ok.\n",
+        query: "q(A, B, C)",
+        enumerate: true,
+    },
 ];
 
 /// Replays every corpus case against `engines`; returns the names of the

@@ -357,6 +357,10 @@ enum PredKind {
     },
     /// Counts an integer first argument down to zero.
     CountRec,
+    /// A wide flat fact base (≥ 8 clauses, constant first keys, constant
+    /// second arguments): the shape that compiles to a hash-indexed
+    /// switch, with repeated first keys forming depth-2 buckets.
+    WideFacts,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -384,18 +388,19 @@ impl<'a> Gen<'a> {
         for i in 0..n_preds {
             // Rules need lower predicates to call; predicate 0 is always a
             // leaf (facts or a self-contained recursive template).
-            let kind =
-                match self
-                    .rng
-                    .pick_weighted(if i == 0 { &[5, 0, 3, 2] } else { &[4, 4, 2, 1] })
-                {
-                    0 => PredKind::Facts,
-                    1 => PredKind::Rules,
-                    2 => PredKind::ListRec {
-                        splittable: self.rng.chance(1, 2),
-                    },
-                    _ => PredKind::CountRec,
-                };
+            let kind = match self.rng.pick_weighted(if i == 0 {
+                &[5, 0, 3, 2, 3]
+            } else {
+                &[4, 4, 2, 1, 2]
+            }) {
+                0 => PredKind::Facts,
+                1 => PredKind::Rules,
+                2 => PredKind::ListRec {
+                    splittable: self.rng.chance(1, 2),
+                },
+                3 => PredKind::CountRec,
+                _ => PredKind::WideFacts,
+            };
             let arity = match kind {
                 PredKind::Facts => self.rng.usize_in(1, 4),
                 PredKind::Rules => self.rng.usize_in(1, 4),
@@ -407,6 +412,7 @@ impl<'a> Gen<'a> {
                     }
                 }
                 PredKind::CountRec => 2,
+                PredKind::WideFacts => self.rng.usize_in(2, 3),
             };
             self.preds.push(PredSig { kind, arity });
             match kind {
@@ -416,6 +422,7 @@ impl<'a> Gen<'a> {
                     self.list_rec(i, arity, splittable, &mut clauses)
                 }
                 PredKind::CountRec => self.count_rec(i, &mut clauses),
+                PredKind::WideFacts => self.wide_facts(i, arity, &mut clauses),
             }
         }
         let query = self.query();
@@ -517,6 +524,31 @@ impl<'a> Gen<'a> {
         }
     }
 
+    /// A wide flat fact base: enough clauses for the compiled switch to
+    /// get a hash index, constant (integer or atom) first keys drawn from
+    /// a small pool so keys repeat (depth-2 bucket fodder) and collide
+    /// with the generic query/call-site term pools (point lookups hit),
+    /// constant second arguments, and occasional exact-duplicate keys so
+    /// first-match-wins ordering is observable.
+    fn wide_facts(&mut self, pred: usize, arity: usize, out: &mut Vec<GClause>) {
+        let n = self.rng.usize_in(8, 20);
+        for _ in 0..n {
+            let first = if self.rng.chance(1, 3) {
+                GTerm::Atom(self.rng.index(ATOMS.len()) as u8)
+            } else {
+                GTerm::Int(self.rng.i32_in(0, 7))
+            };
+            let second = GTerm::Int(self.rng.i32_in(0, 7));
+            let mut args = vec![first, second];
+            args.extend((2..arity).map(|_| self.ground(1)));
+            out.push(GClause {
+                pred,
+                args,
+                body: Vec::new(),
+            });
+        }
+    }
+
     fn rules(&mut self, pred: usize, arity: usize, out: &mut Vec<GClause>) {
         let n = self.rng.usize_in(1, 4);
         for _ in 0..n {
@@ -593,6 +625,16 @@ impl<'a> Gen<'a> {
         let mut args: Vec<GTerm> = (0..sig.arity).map(|_| self.pattern(vars, 1)).collect();
         match sig.kind {
             PredKind::Facts | PredKind::Rules => {}
+            PredKind::WideFacts => {
+                // Often key the call into the fact base's constant pools
+                // so the switch's hit path (not just misses) is fuzzed.
+                if self.rng.chance(2, 3) {
+                    args[0] = GTerm::Int(self.rng.i32_in(0, 7));
+                }
+                if self.rng.chance(1, 2) {
+                    args[1] = GTerm::Int(self.rng.i32_in(0, 7));
+                }
+            }
             PredKind::ListRec { splittable } => {
                 // Ground the structural argument: a bounded list of ground
                 // elements. Append shapes may instead ground the result.
@@ -817,6 +859,16 @@ impl<'a> Gen<'a> {
             .collect();
         match sig.kind {
             PredKind::Facts | PredKind::Rules => {}
+            PredKind::WideFacts => {
+                // Mix point lookups (both keys bound), bucket scans
+                // (first key bound) and full enumeration (all variables).
+                if self.rng.chance(2, 3) {
+                    args[0] = GTerm::Int(self.rng.i32_in(0, 7));
+                    if self.rng.chance(1, 2) {
+                        args[1] = GTerm::Int(self.rng.i32_in(0, 7));
+                    }
+                }
+            }
             PredKind::ListRec { splittable } => {
                 let n = self.rng.usize_in(0, 6);
                 let ground_list = GTerm::list((0..n).map(|_| self.ground(1)).collect());

@@ -134,6 +134,16 @@ pub struct ServeMetrics {
     /// Retired machine instructions across served queries — the
     /// tier-independent work counter (nonzero on both tiers).
     pub steps: u64,
+    /// Clause-indexing switch dispatches that found their key, across
+    /// served queries (tier-independent, like `steps`).
+    pub switch_hits: u64,
+    /// Switch dispatches that missed their table.
+    pub switch_misses: u64,
+    /// Switch table probes charged (the simulated linear-scan cost the
+    /// hash side table avoids paying on the host).
+    pub switch_probes: u64,
+    /// Second-level (depth-2) switch dispatches taken.
+    pub switch_depth2: u64,
 }
 
 impl ServeMetrics {
@@ -141,7 +151,7 @@ impl ServeMetrics {
     /// counter.
     pub fn render(&self) -> String {
         format!(
-            "connections={}\nconsults={}\npublishes={}\nqueries={}\nserved={}\nbusy={}\nbudget_stops={}\nerrors={}\nsolutions={}\ninferences={}\ncycles={}\nsteps={}\n",
+            "connections={}\nconsults={}\npublishes={}\nqueries={}\nserved={}\nbusy={}\nbudget_stops={}\nerrors={}\nsolutions={}\ninferences={}\ncycles={}\nsteps={}\nswitch_hits={}\nswitch_misses={}\nswitch_probes={}\nswitch_depth2={}\n",
             self.connections,
             self.consults,
             self.publishes,
@@ -153,7 +163,11 @@ impl ServeMetrics {
             self.solutions,
             self.inferences,
             self.cycles,
-            self.steps
+            self.steps,
+            self.switch_hits,
+            self.switch_misses,
+            self.switch_probes,
+            self.switch_depth2
         )
     }
 }
@@ -820,6 +834,10 @@ fn account_served(shared: &Shared, tenant: Option<&TenantStats>, outcome: &Outco
         m.inferences += outcome.stats.inferences;
         m.cycles += outcome.stats.cycles;
         m.steps += outcome.stats.instructions;
+        m.switch_hits += outcome.profile.switches.hits;
+        m.switch_misses += outcome.profile.switches.misses;
+        m.switch_probes += outcome.profile.switches.probes;
+        m.switch_depth2 += outcome.profile.switches.depth2;
     }
     if let Some(t) = tenant {
         t.served.fetch_add(1, Ordering::Relaxed);
@@ -832,7 +850,7 @@ fn account_served(shared: &Shared, tenant: Option<&TenantStats>, outcome: &Outco
     }
 }
 
-fn tenant_stats_of<'a>(shared: &'a Shared, name: Option<&str>) -> Option<Arc<TenantStats>> {
+fn tenant_stats_of(shared: &Shared, name: Option<&str>) -> Option<Arc<TenantStats>> {
     let _ = &shared; // keep the signature honest about where stats live
     name.and_then(|n| shared.registry.lookup(n).ok())
         .map(|t| Arc::clone(&t.stats))

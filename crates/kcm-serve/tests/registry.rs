@@ -4,10 +4,9 @@
 //! claim of the nonblocking front end, that idle connections do not
 //! cost threads.
 
-use kcm_serve::protocol::render_outcome;
 use kcm_serve::workload::{direct_body, standard};
 use kcm_serve::{Client, Reply, ServeConfig, Server};
-use kcm_system::{Kcm, QueryOpts, Tier};
+use kcm_system::Tier;
 use std::net::SocketAddr;
 
 fn spawn_server(

@@ -1,0 +1,242 @@
+//! The hash-switch invariant, proved fastpath-style over the whole
+//! suite: resolving `switch_on_constant` / `switch_on_structure` through
+//! the link-time hash side table (`MachineConfig::hash_switch`) is
+//! *speed-only*. Every benchmark run with the hash path on and off must
+//! produce the same bytes everywhere the simulation is observable —
+//! solutions, output, [`RunStats`] (including the memory-system
+//! counters), and the hardware-mechanism profile, whose switch counters
+//! are dispatch outcomes and therefore identical on both paths.
+//!
+//! The wide-fact-base and float-key tests below exercise the paths the
+//! 14-program suite cannot: tables big enough to get a hash index
+//! (≥ 8 entries), depth-2 second-level dispatch, and the bitwise float
+//! key semantics (`-0.0` ≠ `0.0`; dispatch must agree with unification).
+
+use kcm_suite::programs;
+use kcm_suite::runner::{run_suite_pooled, Variant};
+use kcm_system::{Kcm, MachineConfig, QueryOpts, SessionPool, Tier};
+
+/// The two configurations under comparison: identical except for the
+/// host-speed switch.
+fn configs() -> (MachineConfig, MachineConfig) {
+    let hashed = MachineConfig {
+        profile: true,
+        ..MachineConfig::default()
+    };
+    assert!(hashed.hash_switch, "hash switch must default on");
+    let mut linear = hashed.clone();
+    linear.hash_switch = false;
+    (hashed, linear)
+}
+
+#[test]
+fn hash_switch_is_byte_identical_over_the_full_suite() {
+    let suite = programs::suite();
+    let (hashed_cfg, linear_cfg) = configs();
+    for workers in [1usize, 4] {
+        let pool = SessionPool::new(workers);
+        let hashed = run_suite_pooled(&suite, Variant::Timed, &hashed_cfg, &pool);
+        let linear = run_suite_pooled(&suite, Variant::Timed, &linear_cfg, &pool);
+        for ((p, h), l) in suite.iter().zip(&hashed).zip(&linear) {
+            let h = h
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: hashed run failed: {e}", p.name));
+            let l = l
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: linear run failed: {e}", p.name));
+            let (h, l) = (&h.outcome, &l.outcome);
+            assert_eq!(h.success, l.success, "{}: success diverged", p.name);
+            assert_eq!(h.solutions, l.solutions, "{}: solutions diverged", p.name);
+            assert_eq!(h.output, l.output, "{}: output diverged", p.name);
+            assert_eq!(
+                h.stats, l.stats,
+                "{} ({workers} workers): RunStats diverged",
+                p.name
+            );
+            assert_eq!(
+                h.stats.mem, l.stats.mem,
+                "{} ({workers} workers): MemStats diverged",
+                p.name
+            );
+            assert_eq!(
+                h.profile, l.profile,
+                "{} ({workers} workers): hardware profile diverged",
+                p.name
+            );
+        }
+    }
+}
+
+/// Runs one query on a fresh session under `cfg`, returning the outcome.
+fn run_with(cfg: &MachineConfig, src: &str, query: &str) -> kcm_system::Outcome {
+    let mut kcm = Kcm::with_config(cfg.clone());
+    kcm.consult(src).unwrap_or_else(|e| panic!("consult: {e}"));
+    let opts = QueryOpts {
+        enumerate_all: true,
+        ..QueryOpts::default()
+    };
+    kcm.query(query, &opts)
+        .unwrap_or_else(|e| panic!("run: {e}"))
+}
+
+/// Asserts a query's outcome is byte-identical with the hash path on and
+/// off, and returns the (hashed) outcome for content checks.
+fn identical_on_both_paths(src: &str, query: &str) -> kcm_system::Outcome {
+    let (hashed_cfg, linear_cfg) = configs();
+    let h = run_with(&hashed_cfg, src, query);
+    let l = run_with(&linear_cfg, src, query);
+    assert_eq!(h.success, l.success, "{query}: success diverged");
+    assert_eq!(h.solutions, l.solutions, "{query}: solutions diverged");
+    assert_eq!(h.stats, l.stats, "{query}: RunStats diverged");
+    assert_eq!(h.profile, l.profile, "{query}: profile diverged");
+    h
+}
+
+/// A flat fact base wide enough for a hash index: `f(kI, vI)` for
+/// `I` in `0..n` (unique constant first keys).
+fn wide_facts(n: usize) -> String {
+    (0..n).map(|i| format!("f(k{i}, v{i}). ")).collect()
+}
+
+/// A fact base shaped for depth-2 indexing: three first-key groups of
+/// three constant second keys each.
+const PAIRS: &str = "
+    pair(g0, a, 1). pair(g0, b, 2). pair(g0, c, 3).
+    pair(g1, a, 4). pair(g1, b, 5). pair(g1, c, 6).
+    pair(g2, a, 7). pair(g2, b, 8). pair(g2, c, 9).
+";
+
+#[test]
+fn wide_fact_lookup_hits_the_hash_index() {
+    let src = wide_facts(200);
+    let h = identical_on_both_paths(&src, "f(k137, V)");
+    assert!(h.success);
+    assert_eq!(h.solutions.len(), 1);
+    assert_eq!(h.solutions[0][0].1.to_string(), "v137");
+    assert!(
+        h.profile.switches.hits >= 1,
+        "the constant switch must have dispatched through the table"
+    );
+    // A hit at table ordinal k charges k + 1 probes — the linear-scan
+    // cost, preserved exactly by the hash path.
+    assert!(h.profile.switches.probes >= 138 - 1);
+}
+
+#[test]
+fn wide_fact_miss_charges_the_full_table() {
+    let h = identical_on_both_paths(&wide_facts(50), "f(zzz, V)");
+    assert!(!h.success);
+    assert_eq!(h.profile.switches.misses, 1);
+    assert_eq!(h.profile.switches.hits, 0);
+    assert_eq!(h.profile.switches.probes, 50, "a miss probes every entry");
+}
+
+#[test]
+fn depth2_point_lookup_takes_the_second_level_switch() {
+    let h = identical_on_both_paths(PAIRS, "pair(g1, b, X)");
+    assert!(h.success);
+    assert_eq!(h.solutions.len(), 1);
+    assert_eq!(h.solutions[0][0].1.to_string(), "5");
+    assert!(
+        h.profile.switches.depth2 >= 1,
+        "the A2 switch of depth-2 indexing must have executed"
+    );
+}
+
+#[test]
+fn depth2_with_unbound_second_arg_enumerates_the_bucket_in_order() {
+    let h = identical_on_both_paths(PAIRS, "pair(g1, M, X)");
+    assert!(h.success);
+    let got: Vec<String> = h
+        .solutions
+        .iter()
+        .map(|s| format!("{}-{}", s[0].1, s[1].1))
+        .collect();
+    assert_eq!(got, ["a-4", "b-5", "c-6"], "clause order must survive");
+}
+
+#[test]
+fn depth2_with_everything_unbound_enumerates_all_facts() {
+    let h = identical_on_both_paths(PAIRS, "pair(G, M, X)");
+    assert!(h.success);
+    assert_eq!(h.solutions.len(), 9);
+}
+
+#[test]
+fn depth2_rejects_missing_and_mistyped_second_keys() {
+    // A second key absent from every clause is a genuine failure...
+    let missing = identical_on_both_paths(PAIRS, "pair(g1, z, X)");
+    assert!(!missing.success);
+    // ...and so is a compound second argument: a constant head arg can
+    // never unify with a structure or a list.
+    let structure = identical_on_both_paths(PAIRS, "pair(g1, f(a), X)");
+    assert!(!structure.success);
+    let list = identical_on_both_paths(PAIRS, "pair(g1, [a], X)");
+    assert!(!list.success);
+}
+
+/// Nine float-keyed facts — wide enough for a hash index — including the
+/// `0.0` / `-0.0` pair whose keys must stay distinct.
+const FLOATS: &str = "
+    fk(0.0, pos). fk(-0.0, neg). fk(1.0, one). fk(2.0, two). fk(3.0, three).
+    fk(4.0, four). fk(5.0, five). fk(6.0, six). fk(7.0, seven).
+";
+
+#[test]
+fn float_keys_dispatch_bitwise() {
+    let pos = identical_on_both_paths(FLOATS, "fk(0.0, V)");
+    assert_eq!(pos.solutions.len(), 1);
+    assert_eq!(pos.solutions[0][0].1.to_string(), "pos");
+    let neg = identical_on_both_paths(FLOATS, "fk(-0.0, V)");
+    assert_eq!(neg.solutions.len(), 1);
+    assert_eq!(
+        neg.solutions[0][0].1.to_string(),
+        "neg",
+        "-0.0 must select its own table entry, not 0.0's"
+    );
+}
+
+#[test]
+fn switch_counters_are_tier_independent() {
+    // The probe/hit/miss/depth-2 counters are dispatch outcomes,
+    // determined by program semantics alone — the clockless native tier
+    // must report exactly the numbers the cycle tier does.
+    let wide = wide_facts(100);
+    for (src, query) in [
+        (wide.as_str(), "f(k42, V)"),
+        (PAIRS, "pair(g2, c, X)"),
+        (PAIRS, "pair(g9, c, X)"),
+    ] {
+        let run_tier = |tier: Tier| {
+            let mut kcm = Kcm::new();
+            kcm.consult(src).unwrap_or_else(|e| panic!("consult: {e}"));
+            let opts = QueryOpts {
+                enumerate_all: true,
+                tier,
+                ..QueryOpts::default()
+            };
+            kcm.query(query, &opts)
+                .unwrap_or_else(|e| panic!("run: {e}"))
+        };
+        let c = run_tier(Tier::Cycle);
+        let n = run_tier(Tier::Native);
+        assert_eq!(c.solutions, n.solutions, "{query}: solutions diverged");
+        assert_eq!(
+            c.profile.switches, n.profile.switches,
+            "{query}: switch counters diverged across tiers"
+        );
+    }
+}
+
+#[test]
+fn float_dispatch_agrees_with_unification() {
+    // The invariant behind the bitwise keys: table dispatch may only
+    // prune clauses head unification would reject. Unification compares
+    // float constants bitwise (same_constant), so a single-clause
+    // predicate — no switch at all — must make the same distinction the
+    // indexed one does.
+    let single = identical_on_both_paths("p0(0.0).", "p0(-0.0)");
+    assert!(!single.success, "-0.0 must not unify with 0.0");
+    let indexed = identical_on_both_paths(FLOATS, "fk(0.5, V)");
+    assert!(!indexed.success, "an absent float key must fail");
+}

@@ -121,6 +121,16 @@ pub fn profile_summary(profile: &Profile) -> String {
         m.descend_struct,
         m.clash
     );
+    let s = &profile.switches;
+    let _ = writeln!(
+        out,
+        "switch lookups: {:>10}  ({} hits, {} misses, {} probes charged, {} depth-2)",
+        s.hits + s.misses,
+        s.hits,
+        s.misses,
+        s.probes,
+        s.depth2
+    );
     let _ = writeln!(
         out,
         "backtracks    : {:>10} shallow, {} deep",
@@ -175,6 +185,7 @@ mod tests {
         for key in [
             "instruction classes",
             "mwac",
+            "switch lookups",
             "backtracks",
             "trail",
             "deref chains",
