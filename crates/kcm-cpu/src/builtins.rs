@@ -23,6 +23,11 @@ pub enum BuiltinOutcome {
     Succeed,
     /// Backtrack.
     Fail,
+    /// Suspend: hand control back to the host with the just-reported
+    /// solution. The host resumes by driving the ordinary failure path,
+    /// so a suspended enumeration replays exactly the backtrack sequence
+    /// an uninterrupted enumerate-all run would have taken.
+    Yield,
     /// Stop the machine.
     Halt(bool),
     /// Transfer control to a predicate, execute-style (the meta-call).
@@ -177,7 +182,13 @@ pub fn execute<M: DataMem>(m: &mut Machine<M>, b: Builtin) -> Result<BuiltinOutc
                 solution.push((m.query_var_name(i).to_owned(), t));
             }
             m.push_solution(solution);
-            Ok(if m.enumerating() { Fail } else { Succeed })
+            Ok(if m.yielding() {
+                BuiltinOutcome::Yield
+            } else if m.enumerating() {
+                Fail
+            } else {
+                Succeed
+            })
         }
         Builtin::UnifyOccurs => {
             let (a, c) = (m.arg_word(0), m.arg_word(1));

@@ -260,6 +260,23 @@ pub struct Outcome {
     pub trace: Vec<String>,
 }
 
+/// One pulled slice of a suspendable query session (see
+/// [`Machine::begin_query_session`]): the solution the machine suspended
+/// at, plus that slice's execution deltas.
+#[derive(Debug, Clone)]
+pub struct SessionStep {
+    /// The reported solution, or `None` when the session ran to final
+    /// failure (the enumeration is exhausted) instead of suspending.
+    pub solution: Option<Solution>,
+    /// Per-slice counters: this `next_solution` call only. Summed over
+    /// every slice of a session they equal the stats of a one-shot
+    /// enumerate-all [`Machine::run_query`] of the same query.
+    pub stats: RunStats,
+    /// Host output (`write/1`, `nl/0`, `tab/1`) produced during this
+    /// slice.
+    pub output: String,
+}
+
 /// A machine-level error (on the real machine: a trap to the monitor).
 #[derive(Debug, Clone, PartialEq)]
 pub enum MachineError {
@@ -430,6 +447,13 @@ pub struct Machine<M: DataMem = MemorySystem> {
     occurs_stack: Vec<Word>,
     query_vars: Vec<String>,
     enumerate_all: bool,
+    /// Suspendable-session mode: the solution reporter yields control to
+    /// the host instead of failing through to the next answer. See
+    /// [`Machine::begin_query_session`].
+    yield_solutions: bool,
+    /// Set when the machine suspended at a reported solution and the
+    /// pending backtrack (the reporter's `Fail`) has not run yet.
+    yielded: bool,
     halted: Option<bool>,
 
     heap_base: VAddr,
@@ -522,6 +546,8 @@ impl<M: DataMem> Machine<M> {
             occurs_stack: Vec::new(),
             query_vars: Vec::new(),
             enumerate_all: false,
+            yield_solutions: false,
+            yielded: false,
             halted: None,
             heap_base,
             local_base,
@@ -624,6 +650,97 @@ impl<M: DataMem> Machine<M> {
         self.run(entry)
     }
 
+    /// Arms a suspendable query session on the image's `$query/0` entry:
+    /// the machine will run to the next solution each time
+    /// [`Machine::next_solution`] is called, suspend there, and resume
+    /// through the ordinary failure/backtrack path on the next call.
+    ///
+    /// Because suspension happens *inside* the solution reporter — before
+    /// the `Fail` an enumerate-all run would take — the sequence of
+    /// executed instructions over a fully drained session is identical to
+    /// an uninterrupted `run_query(vars, true)`, so solution set, order,
+    /// output and inference counts all match by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::BadCodeAddress`] if the image has no query
+    /// entry.
+    pub fn begin_query_session(&mut self, query_vars: &[String]) -> Result<(), MachineError> {
+        let entry = self
+            .image
+            .query_entry()
+            .ok_or(MachineError::BadCodeAddress(CodeAddr::new(0)))?;
+        if self.query_vars != query_vars {
+            self.query_vars = query_vars.to_vec();
+        }
+        self.enumerate_all = true;
+        self.yield_solutions = true;
+        self.yielded = false;
+        self.halted = None;
+        self.solutions.clear();
+        self.output.clear();
+        self.p = entry;
+        self.cp = kcm_compiler::link::HALT_STUB;
+        Ok(())
+    }
+
+    /// Whether the armed session has run to completion (no further
+    /// solutions will be produced).
+    pub fn session_exhausted(&self) -> bool {
+        self.halted.is_some()
+    }
+
+    /// Runs the armed session to its next solution and suspends there,
+    /// or to final failure. Each call is one budget slice: the cycle fuel
+    /// gauge and the step budget restart from zero, so a per-slice budget
+    /// bounds the work of one pull, not of the whole enumeration.
+    ///
+    /// The decoded solution is handed out (not retained), and host output
+    /// is drained per slice, so a session streaming millions of answers
+    /// holds only the machine state — never the materialized answer set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] on machine faults, including
+    /// [`MachineError::Fuel`] / [`MachineError::BudgetExhausted`] when the
+    /// slice's budget runs out mid-search. After an error the session is
+    /// dead: the machine is mid-backtrack and must not be resumed.
+    pub fn next_solution(&mut self) -> Result<SessionStep, MachineError> {
+        self.budget = self.cfg.max_cycles;
+        let start_cycles = self.cycles;
+        let mut start_stats = self.stats;
+        start_stats.mem = self.mem.stats();
+        start_stats.prefetch = self.prefetch.stats();
+        if self.halted.is_none() {
+            if self.yielded {
+                // Resume: drive the failure path the reporter's `Fail`
+                // outcome would have taken in an enumerate-all run.
+                self.yielded = false;
+                self.fail()?;
+            }
+            if self.halted.is_none() {
+                self.drive()?;
+            }
+        }
+        let mut end_stats = self.stats;
+        end_stats.cycle_ns = self.cfg.cost.cycle_ns;
+        end_stats.cycles = start_stats.cycles + (self.cycles - start_cycles);
+        end_stats.mem = self.mem.stats();
+        end_stats.prefetch = self.prefetch.stats();
+        let stats = end_stats.delta_since(&start_stats);
+        let solution = if self.halted.is_some() {
+            self.solutions.clear();
+            None
+        } else {
+            self.solutions.pop()
+        };
+        Ok(SessionStep {
+            solution,
+            stats,
+            output: std::mem::take(&mut self.output),
+        })
+    }
+
     /// Runs from an arbitrary entry address until halt or final failure.
     ///
     /// All reported statistics are **per-run deltas**: every counter —
@@ -638,48 +755,19 @@ impl<M: DataMem> Machine<M> {
     /// Returns a [`MachineError`] on machine faults.
     pub fn run(&mut self, entry: CodeAddr) -> Result<Outcome, MachineError> {
         self.halted = None;
+        self.yield_solutions = false;
+        self.yielded = false;
         self.solutions.clear();
         self.output.clear();
         self.p = entry;
         self.cp = kcm_compiler::link::HALT_STUB;
         self.budget = self.cfg.max_cycles;
-        let step_budget = self.cfg.step_budget;
-        let start_instructions = self.stats.instructions;
         let start_cycles = self.cycles;
         let mut start_stats = self.stats;
         start_stats.mem = self.mem.stats();
         start_stats.prefetch = self.prefetch.stats();
         let start_profile = self.prof;
-        // One refcount bump for the whole run: the image is never replaced
-        // while the machine is stepping (consulting happens between runs),
-        // so the hot loop can borrow it without per-step `Arc` traffic.
-        let image = Arc::clone(&self.image);
-        if !M::SIMULATED && self.cfg.fast_paths && self.cfg.trace_depth == 0 {
-            // Native tier: the resolved-dispatch loop (pre-computed
-            // instruction sizes and fall-through indices; no clock, no
-            // fuel gauge, no macrocode trace window).
-            self.ensure_resolved_dispatch();
-            let resolved = std::mem::take(&mut self.resolved_next);
-            let r = self.run_resolved(&image, &resolved, start_instructions);
-            self.resolved_next = resolved;
-            r?;
-        } else {
-            while self.halted.is_none() {
-                self.step_in(&image)?;
-                // The fuel gauge meters *cycles*; the native tier has no
-                // clock, so its copy of the check monomorphizes away.
-                if M::SIMULATED && self.cycles - start_cycles > self.budget {
-                    return Err(MachineError::Fuel {
-                        cycles: self.cycles - start_cycles,
-                    });
-                }
-                if self.stats.instructions - start_instructions > step_budget {
-                    return Err(MachineError::BudgetExhausted {
-                        steps: self.stats.instructions - start_instructions,
-                    });
-                }
-            }
-        }
+        self.drive()?;
         let mut end_stats = self.stats;
         end_stats.cycle_ns = self.cfg.cost.cycle_ns;
         end_stats.cycles = start_stats.cycles + (self.cycles - start_cycles);
@@ -696,6 +784,47 @@ impl<M: DataMem> Machine<M> {
             output: std::mem::take(&mut self.output),
             trace: self.trace(),
         })
+    }
+
+    /// Drives the machine until it halts — or, in a suspendable session,
+    /// until it yields at a reported solution. Fuel and step budgets are
+    /// metered from the counters at entry, so each resumed slice of a
+    /// session gets a fresh budget window.
+    fn drive(&mut self) -> Result<(), MachineError> {
+        let step_budget = self.cfg.step_budget;
+        let start_instructions = self.stats.instructions;
+        let start_cycles = self.cycles;
+        // One refcount bump for the whole run: the image is never replaced
+        // while the machine is stepping (consulting happens between runs),
+        // so the hot loop can borrow it without per-step `Arc` traffic.
+        let image = Arc::clone(&self.image);
+        if !M::SIMULATED && self.cfg.fast_paths && self.cfg.trace_depth == 0 {
+            // Native tier: the resolved-dispatch loop (pre-computed
+            // instruction sizes and fall-through indices; no clock, no
+            // fuel gauge, no macrocode trace window).
+            self.ensure_resolved_dispatch();
+            let resolved = std::mem::take(&mut self.resolved_next);
+            let r = self.run_resolved(&image, &resolved, start_instructions);
+            self.resolved_next = resolved;
+            r
+        } else {
+            while self.halted.is_none() && !self.yielded {
+                self.step_in(&image)?;
+                // The fuel gauge meters *cycles*; the native tier has no
+                // clock, so its copy of the check monomorphizes away.
+                if M::SIMULATED && self.cycles - start_cycles > self.budget {
+                    return Err(MachineError::Fuel {
+                        cycles: self.cycles - start_cycles,
+                    });
+                }
+                if self.stats.instructions - start_instructions > step_budget {
+                    return Err(MachineError::BudgetExhausted {
+                        steps: self.stats.instructions - start_instructions,
+                    });
+                }
+            }
+            Ok(())
+        }
     }
 
     /// The native tier's hot loop: enum dispatch over the decoded stream
@@ -729,7 +858,7 @@ impl<M: DataMem> Machine<M> {
                     steps: self.stats.instructions - start_instructions,
                 });
             }
-            if self.halted.is_some() {
+            if self.halted.is_some() || self.yielded {
                 return Ok(());
             }
             idx = if self.p.value() == np {
@@ -1440,6 +1569,9 @@ impl<M: DataMem> Machine<M> {
     pub(crate) fn enumerating(&self) -> bool {
         self.enumerate_all
     }
+    pub(crate) fn yielding(&self) -> bool {
+        self.yield_solutions
+    }
 
     pub(crate) fn cost(&self) -> &CostModel {
         &self.cfg.cost
@@ -1799,6 +1931,7 @@ impl<M: DataMem> Machine<M> {
                 match builtins::execute(self, *builtin)? {
                     BuiltinOutcome::Succeed => {}
                     BuiltinOutcome::Fail => self.fail()?,
+                    BuiltinOutcome::Yield => self.yielded = true,
                     BuiltinOutcome::Halt(success) => self.halted = Some(success),
                     BuiltinOutcome::Execute { addr, arity } => {
                         // Meta-call dispatch: enter the predicate

@@ -16,7 +16,9 @@
 
 use kcm_cpu::MachineConfig;
 use kcm_prolog::Term;
-use kcm_system::{error_class, Kcm, KcmError, QueryJob, QueryOpts, SessionPool};
+use kcm_system::{
+    error_class, open_session, Kcm, KcmError, QueryJob, QueryOpts, SessionPool, Solutions, Tier,
+};
 
 pub use kcm_system::{Engine, EngineOutcome, KcmEngine, NativeEngine};
 
@@ -225,10 +227,122 @@ impl Engine for PooledKcmEngine {
     }
 }
 
+/// Drains a suspendable session to completion and reassembles an
+/// [`kcm_cpu::Outcome`] from the per-slice deltas, so the cursor path can
+/// be compared against materializing engines through the same
+/// [`CaseOutcome`] normalization. The accumulated totals include the
+/// final failing slice, which is exactly what a one-shot enumerate-all
+/// run counts.
+fn drain_session(mut session: Solutions) -> Result<kcm_cpu::Outcome, KcmError> {
+    let mut solutions = Vec::new();
+    while let Some(step) = session.next_step()? {
+        solutions.push(step.solution);
+    }
+    Ok(kcm_cpu::Outcome {
+        success: !solutions.is_empty(),
+        solutions,
+        stats: *session.totals(),
+        profile: kcm_cpu::Profile::default(),
+        output: session.output().to_owned(),
+        trace: Vec::new(),
+    })
+}
+
+/// The cursor path as an oracle engine: every enumerating case is pulled
+/// through a suspendable session ([`Kcm::solutions`]) one answer at a
+/// time instead of materializing, and must agree — solution set, *order*,
+/// output, inference totals — with every other engine. First-solution
+/// cases fall back to the plain query path: pulling one answer stops
+/// before the query wrapper's final `halt` escape, so its inference count
+/// is not the same observable (cursor semantics are enumeration
+/// semantics).
+pub struct CursorEngine {
+    /// Which execution tier the session runs on.
+    pub tier: Tier,
+}
+
+impl Engine for CursorEngine {
+    fn name(&self) -> String {
+        format!(
+            "kcm-cursor({})",
+            match self.tier {
+                Tier::Cycle => "cycle",
+                Tier::Native => "native",
+            }
+        )
+    }
+
+    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome {
+        let name = self.name();
+        let mut kcm = Kcm::with_config(kcm_engine(true).config().clone());
+        if let Err(e) = kcm.consult(source) {
+            return EngineOutcome::new(name, Err(e));
+        }
+        let opts = QueryOpts {
+            tier: self.tier,
+            ..opts.clone()
+        };
+        if !opts.enumerate_all {
+            return EngineOutcome::new(name, kcm.query(query, &opts));
+        }
+        let result = kcm.solutions(query, &opts).and_then(drain_session);
+        EngineOutcome::new(name, result)
+    }
+}
+
+/// The cursor path behind a [`SessionPool`]: several identical sessions
+/// are opened and drained concurrently across the pool's workers (the
+/// serve front end's shape — many independent cursors over one shared
+/// image). The replicas must agree with each other and, through the
+/// oracle, with every materializing engine.
+pub struct PooledCursorEngine {
+    /// Worker thread count.
+    pub workers: usize,
+}
+
+impl Engine for PooledCursorEngine {
+    fn name(&self) -> String {
+        format!("kcm-cursor-pool(workers={})", self.workers)
+    }
+
+    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome {
+        let name = self.name();
+        let mut kcm = Kcm::with_config(kcm_engine(true).config().clone());
+        if let Err(e) = kcm.consult(source) {
+            return EngineOutcome::new(name, Err(e));
+        }
+        if !opts.enumerate_all {
+            return EngineOutcome::new(name, kcm.query(query, opts));
+        }
+        let image = match kcm.shared_image() {
+            Some(image) => image,
+            None => return EngineOutcome::new(name, Err(KcmError::NoProgram)),
+        };
+        let symbols = kcm.symbols().clone();
+        let config = kcm.config().clone();
+        let pool = SessionPool::new(self.workers);
+        let results = pool.map(&[(); POOL_REPLICAS], |_| {
+            open_session(&image, &symbols, &config, query, opts).and_then(drain_session)
+        });
+        let prints: Vec<String> = results.iter().map(replica_fingerprint).collect();
+        if prints.iter().any(|p| p != &prints[0]) {
+            return EngineOutcome::new(
+                name,
+                Err(KcmError::Harness("cursor replicas disagreed".to_owned())),
+            );
+        }
+        let first = results.into_iter().next().expect("POOL_REPLICAS > 0");
+        EngineOutcome::new(name, first)
+    }
+}
+
 /// The full engine roster: KCM fast-paths on and off, the native
 /// execution tier (no cycle model — its equivalence proof *is* this
-/// roster), pooled KCM with 1 and N workers, the generic standard WAM,
-/// the Quintus-class software WAM and the PLM byte-code machine.
+/// roster), pooled KCM with 1 and N workers, the suspendable-session
+/// cursor path (both tiers, plus pooled at 1 and 4 workers — the
+/// enumeration-fidelity oracle for `kcm-serve` cursors), the generic
+/// standard WAM, the Quintus-class software WAM and the PLM byte-code
+/// machine.
 pub fn standard_engines() -> Vec<Box<dyn Engine>> {
     vec![
         Box::new(kcm_engine(true)),
@@ -236,6 +350,10 @@ pub fn standard_engines() -> Vec<Box<dyn Engine>> {
         Box::new(NativeEngine::new()),
         Box::new(PooledKcmEngine { workers: 1 }),
         Box::new(PooledKcmEngine { workers: 4 }),
+        Box::new(CursorEngine { tier: Tier::Cycle }),
+        Box::new(CursorEngine { tier: Tier::Native }),
+        Box::new(PooledCursorEngine { workers: 1 }),
+        Box::new(PooledCursorEngine { workers: 4 }),
         Box::new(wam_baseline::BaselineModel::standard_wam(
             "wam-baseline",
             100.0,

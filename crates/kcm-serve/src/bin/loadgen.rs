@@ -4,6 +4,7 @@
 //! ```text
 //! loadgen <addr> [connections] [queries-per-connection]
 //! loadgen <addr> mt [connections] [active] [queries] [tenants]
+//! loadgen <addr> churn [rounds] [connections-per-round]
 //! loadgen <addr> shutdown                ask the server to drain and stop
 //! ```
 //!
@@ -26,6 +27,20 @@
 //! ([`kcm_serve::workload::direct_body`]); any mismatch or `ERR` reply
 //! is a panic, and `BUSY` is the only retried answer. Defaults: 1000
 //! connections, 8 active, 25 queries each, 4 tenants.
+//!
+//! The `churn` scenario stresses cursor lifecycles under connection
+//! churn: every round opens a fresh wave of connections, each of which
+//! opens a cursor over a 10^6-solution generator tenant, measures the
+//! open-to-first-answer latency, streams a few `NEXT` batches, runs an
+//! interleaved plain tenant query — and then half the wave `CLOSE`s its
+//! cursor while the other half *abandons* it by disconnecting (the
+//! server must reap those). While the wave streams, the main thread
+//! republishes both tenants repeatedly, so live cursors keep serving the
+//! image they opened against. Per-round JSONL rows (`case=churn`) carry
+//! `round`/`connects`/`batches`/`answers`/`closed`/`abandoned`/`busy`
+//! and first-answer percentiles; the summary carries
+//! `rounds`/`connects`/`republishes`. Defaults: 5 rounds × 8
+//! connections.
 //!
 //! Output: a latency table per workload case — per tenant in `mt`
 //! (mean/p50/p90/p99 in µs of the query round trip), a throughput
@@ -88,6 +103,7 @@ fn drive_connection(
             query: case.query.to_owned(),
             enumerate_all: case.enumerate_all,
             step_budget: None,
+            cursor: false,
         };
         loop {
             let t = Instant::now();
@@ -133,6 +149,7 @@ fn drive_tenants(
             query: case.query.to_owned(),
             enumerate_all: case.enumerate_all,
             step_budget: None,
+            cursor: false,
         };
         loop {
             let t = Instant::now();
@@ -257,6 +274,212 @@ fn run_multi_tenant(
     Ok(())
 }
 
+/// The churn generator tenant: ten facts, queried as a six-way
+/// conjunction for 10^6 solutions — far more than any wave pulls, so
+/// every cursor is released mid-enumeration, never by exhaustion.
+const CHURN_GEN_SOURCE: &str = "d(0). d(1). d(2). d(3). d(4). d(5). d(6). d(7). d(8). d(9).";
+const CHURN_GEN_QUERY: &str = "d(A), d(B), d(C), d(D), d(E), d(F)";
+/// The churn key-value tenant for interleaved plain queries.
+const CHURN_KV_SOURCE: &str = "kv(a, 1). kv(b, 2). kv(c, 3).";
+
+#[derive(Default)]
+struct ChurnReport {
+    first_answer_ns: u64,
+    batches: u64,
+    answers: u64,
+    busy: u64,
+    closed: bool,
+}
+
+/// One churn connection: open a cursor on the generator, time the first
+/// answer, stream two more batches, interleave a plain tenant query,
+/// then either close the cursor or abandon it with the connection.
+fn churn_connection(addr: &str, seat: usize) -> std::io::Result<ChurnReport> {
+    let mut client = Client::connect(addr)?;
+    let mut report = ChurnReport::default();
+    let open = Request::Query {
+        tenant: Some("churn_gen".to_owned()),
+        query: CHURN_GEN_QUERY.to_owned(),
+        enumerate_all: false,
+        step_budget: None,
+        cursor: true,
+    };
+    let t = Instant::now();
+    let id = loop {
+        match client.request(&open)? {
+            Reply::Ok { body } => {
+                let id = body
+                    .strip_prefix("cursor=")
+                    .and_then(|rest| rest.trim_end().parse::<u64>().ok());
+                break id.unwrap_or_else(|| panic!("churn: bad cursor-open body {body:?}"));
+            }
+            Reply::Busy => {
+                report.busy += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Reply::Err { class, message } => {
+                panic!("churn: cursor open failed ({class}): {message}")
+            }
+        }
+    };
+    // The first pull carries the suspended machine's first solution;
+    // open-to-here is the first-answer latency.
+    let body = churn_next(&mut client, &mut report, id, 1)?;
+    report.first_answer_ns = t.elapsed().as_nanos() as u64;
+    assert!(
+        body.starts_with(&format!("cursor={id} answers=1 done=false")),
+        "churn: unexpected first batch {body:?}"
+    );
+    assert!(
+        body.contains("A=0,B=0,C=0,D=0,E=0,F=0"),
+        "churn: first answer out of enumeration order: {body:?}"
+    );
+    for _ in 0..2 {
+        churn_next(&mut client, &mut report, id, 100)?;
+    }
+    // An interleaved plain query on the other tenant, on the same
+    // connection, while the cursor sits open.
+    match client.query_tenant("churn_kv", "kv(b, V)")? {
+        Reply::Ok { body } => assert!(body.contains("V=2"), "churn: kv answered {body:?}"),
+        Reply::Busy => report.busy += 1,
+        Reply::Err { class, message } => panic!("churn: kv query failed ({class}): {message}"),
+    }
+    if seat.is_multiple_of(2) {
+        let reply = client.close_cursor(id)?;
+        assert!(reply.is_ok(), "churn: CLOSE answered {reply:?}");
+        report.closed = true;
+    }
+    // Odd seats just drop the connection: the cursor is abandoned and
+    // the server reaps it when the socket closes.
+    Ok(report)
+}
+
+/// One `NEXT` with BUSY backoff; counts the batch and its answers.
+fn churn_next(
+    client: &mut Client,
+    report: &mut ChurnReport,
+    id: u64,
+    count: u64,
+) -> std::io::Result<String> {
+    loop {
+        match client.next(id, Some(count))? {
+            Reply::Ok { body } => {
+                report.batches += 1;
+                let answers = body
+                    .lines()
+                    .next()
+                    .and_then(|l| l.split(' ').find_map(|f| f.strip_prefix("answers=")))
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .unwrap_or_else(|| panic!("churn: unparseable batch head {body:?}"));
+                report.answers += answers;
+                return Ok(body);
+            }
+            Reply::Busy => {
+                report.busy += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Reply::Err { class, message } => panic!("churn: NEXT failed ({class}): {message}"),
+        }
+    }
+}
+
+fn run_churn(addr: &str, rounds: usize, conns: usize) -> std::io::Result<()> {
+    let rounds = rounds.max(1);
+    let conns = conns.max(1);
+    println!("loadgen: churn scenario against {addr}: {rounds} rounds x {conns} connections");
+    let mut publisher = Client::connect(addr)?;
+    for (name, source) in [
+        ("churn_gen", CHURN_GEN_SOURCE),
+        ("churn_kv", CHURN_KV_SOURCE),
+    ] {
+        let reply = publisher.publish(name, source, None)?;
+        assert!(reply.is_ok(), "churn: publish {name} answered {reply:?}");
+    }
+    let mut jsonl = JsonlWriter::for_bench("serve");
+    let wall = Instant::now();
+    let mut republishes = 0u64;
+    let mut total_first_ns: Vec<u64> = Vec::new();
+    let (mut total_answers, mut total_busy) = (0u64, 0u64);
+    for round in 0..rounds {
+        let reports: Vec<ChurnReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..conns)
+                .map(|seat| scope.spawn(move || churn_connection(addr, seat)))
+                .collect();
+            // Republish storm while the wave streams: live cursors keep
+            // serving the image they opened against.
+            for _ in 0..5 {
+                for (name, source) in [
+                    ("churn_gen", CHURN_GEN_SOURCE),
+                    ("churn_kv", CHURN_KV_SOURCE),
+                ] {
+                    let reply = publisher.publish(name, source, None)?;
+                    assert!(reply.is_ok(), "churn: republish {name} answered {reply:?}");
+                    republishes += 1;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("churn connection thread"))
+                .collect::<std::io::Result<_>>()
+        })?;
+        let mut first_ns: Vec<u64> = reports.iter().map(|r| r.first_answer_ns).collect();
+        first_ns.sort_unstable();
+        let batches: u64 = reports.iter().map(|r| r.batches).sum();
+        let answers: u64 = reports.iter().map(|r| r.answers).sum();
+        let busy: u64 = reports.iter().map(|r| r.busy).sum();
+        let closed = reports.iter().filter(|r| r.closed).count() as u64;
+        let abandoned = conns as u64 - closed;
+        println!(
+            "round {round}: {conns} connects, {batches} batches / {answers} answers, {closed} closed, {abandoned} abandoned, first answer p50 {} us p99 {} us",
+            percentile(&first_ns, 0.50) / 1_000,
+            percentile(&first_ns, 0.99) / 1_000
+        );
+        jsonl.record(
+            &Record::row("serve", "churn")
+                .u64("round", round as u64)
+                .u64("connects", conns as u64)
+                .u64("batches", batches)
+                .u64("answers", answers)
+                .u64("closed", closed)
+                .u64("abandoned", abandoned)
+                .u64("busy", busy)
+                .u64("first_answer_p50_us", percentile(&first_ns, 0.50) / 1_000)
+                .u64("first_answer_p99_us", percentile(&first_ns, 0.99) / 1_000),
+        );
+        total_first_ns.extend(first_ns);
+        total_answers += answers;
+        total_busy += busy;
+    }
+    let wall = wall.elapsed();
+    total_first_ns.sort_unstable();
+    println!(
+        "churn: {} cursors over {rounds} rounds in {wall:?}, {total_answers} answers, {total_busy} BUSY backoffs, first answer p50 {} us p99 {} us",
+        rounds * conns,
+        percentile(&total_first_ns, 0.50) / 1_000,
+        percentile(&total_first_ns, 0.99) / 1_000
+    );
+    jsonl.record(
+        &Record::summary("serve", "churn")
+            .u64("rounds", rounds as u64)
+            .u64("connects", (rounds * conns) as u64)
+            .u64("republishes", republishes)
+            .u64("answers", total_answers)
+            .u64("busy", total_busy)
+            .f64("wall_ms", wall.as_secs_f64() * 1_000.0)
+            .u64(
+                "first_answer_p50_us",
+                percentile(&total_first_ns, 0.50) / 1_000,
+            )
+            .u64(
+                "first_answer_p99_us",
+                percentile(&total_first_ns, 0.99) / 1_000,
+            ),
+    );
+    jsonl.announce();
+    Ok(())
+}
+
 /// Prints the per-case latency table and emits one JSONL row per case;
 /// `tenant_field` labels rows with the case name under that key (the
 /// `mt` scenario's per-tenant rows).
@@ -344,7 +567,7 @@ fn main() -> std::io::Result<()> {
     let mut args = std::env::args().skip(1);
     let addr = args.next().unwrap_or_else(|| {
         eprintln!(
-            "usage: loadgen <addr> [connections] [queries-per-connection]\n       loadgen <addr> mt [connections] [active] [queries] [tenants]\n       loadgen <addr> shutdown"
+            "usage: loadgen <addr> [connections] [queries-per-connection]\n       loadgen <addr> mt [connections] [active] [queries] [tenants]\n       loadgen <addr> churn [rounds] [connections-per-round]\n       loadgen <addr> shutdown"
         );
         std::process::exit(2);
     });
@@ -362,6 +585,12 @@ fn main() -> std::io::Result<()> {
             let queries = args.and_parse(25);
             let tenants = args.and_parse(4);
             run_multi_tenant(&addr, connections, active, queries, tenants)
+        }
+        Some("churn") => {
+            args.next();
+            let rounds = args.and_parse(5);
+            let conns = args.and_parse(8);
+            run_churn(&addr, rounds, conns)
         }
         _ => {
             let connections = args.and_parse(4);

@@ -96,6 +96,7 @@ impl Client {
             query: query.to_owned(),
             enumerate_all: false,
             step_budget: None,
+            cursor: false,
         })
     }
 
@@ -111,6 +112,7 @@ impl Client {
             query: query.to_owned(),
             enumerate_all: true,
             step_budget: None,
+            cursor: false,
         })
     }
 
@@ -126,6 +128,7 @@ impl Client {
             query: query.to_owned(),
             enumerate_all: false,
             step_budget: None,
+            cursor: false,
         })
     }
 
@@ -141,7 +144,66 @@ impl Client {
             query: query.to_owned(),
             enumerate_all: true,
             step_budget: None,
+            cursor: false,
         })
+    }
+
+    /// Opens a cursor over `query`'s enumeration and returns its id.
+    /// `tenant` routes to a published program; `step_budget` bounds each
+    /// pull's slice.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus `InvalidData` on a non-`OK` reply or
+    /// an open reply without a `cursor=<id>` line.
+    pub fn open_cursor(
+        &mut self,
+        tenant: Option<&str>,
+        query: &str,
+        step_budget: Option<u64>,
+    ) -> io::Result<u64> {
+        let reply = self.request(&Request::Query {
+            tenant: tenant.map(str::to_owned),
+            query: query.to_owned(),
+            enumerate_all: false,
+            step_budget,
+            cursor: true,
+        })?;
+        match reply {
+            Reply::Ok { body } => body
+                .strip_prefix("cursor=")
+                .and_then(|rest| rest.trim_end().parse().ok())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad cursor-open body {body:?}"),
+                    )
+                }),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("cursor open answered {other:?}"),
+            )),
+        }
+    }
+
+    /// Pulls the next batch from cursor `id` (`count = None` pulls one
+    /// answer). Returns the raw reply — the `OK` body is the
+    /// [`crate::protocol::render_batch`] format.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn next(&mut self, id: u64, count: Option<u64>) -> io::Result<Reply> {
+        self.request(&Request::Next { id, count })
+    }
+
+    /// Releases cursor `id`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn close_cursor(&mut self, id: u64) -> io::Result<Reply> {
+        self.request(&Request::Close { id })
     }
 
     /// Fetches server-wide metrics (the `STATS` body).

@@ -15,12 +15,16 @@
 //! "CONSULT\n" source          consult a program for this connection
 //! "QUERY "    [tenant] [opts] query    run query, first solution
 //! "QUERYALL " [tenant] [opts] query    run query, every solution
+//! "NEXT " id [" " count]      pull the next answer batch from a cursor
+//! "CLOSE " id                 release a cursor
 //! "STATS"                     server-wide and per-tenant metrics
 //! "SHUTDOWN"                  drain and stop the server
 //! tenant  := "@" name " "
 //! name    := [A-Za-z_] [A-Za-z0-9_-]{0,63}
-//! opts    := "BUDGET " steps " "
+//! opts    := ["BUDGET " steps " "] ["CURSOR "]
 //! steps   := plain decimal digits, at least 1, at most u64::MAX
+//! count   := plain decimal digits, at least 1, at most u64::MAX
+//! id      := plain decimal digits, at most u64::MAX
 //! ```
 //!
 //! A query without a `@name` runs against the connection's own
@@ -28,6 +32,21 @@
 //! against the shared program published under that name. `@` cannot
 //! begin a Prolog query term under the reader's grammar, so the form is
 //! unambiguous.
+//!
+//! `QUERY ... CURSOR ` opens a *cursor* instead of running the query: the
+//! reply is `cursor=<id>`, and the enumeration streams on demand through
+//! `NEXT <id> [count]` — each pull resumes the suspended machine through
+//! its normal backtrack path and returns up to `count` answers (default
+//! 1, clamped to the server's batch cap). The `NEXT` reply body starts
+//! `cursor=<id> answers=<k> done=<bool> inferences=<n> cycles=<n>`
+//! followed by one line per answer and the slice's `output=` line; when
+//! `done=true` the enumeration is exhausted and the cursor is already
+//! released. `CLOSE <id>` releases a cursor early. `CURSOR` composes
+//! with `@name` and `BUDGET` (the budget bounds each pull's slice, not
+//! the whole enumeration) but is meaningless on `QUERYALL`, where it is
+//! rejected. Cursor ids are never reused, so a `NEXT` on a closed,
+//! exhausted or reaped cursor is an `ERR protocol` — never someone
+//! else's stream.
 //!
 //! `steps` is deliberately strict: no sign (`+10` is not "10"), no
 //! leading/extra whitespace, no value a u64 cannot hold, and never 0 —
@@ -56,7 +75,7 @@
 //! split across arbitrarily many reads — the slow-client case — is
 //! correct by construction.
 
-use kcm_system::Outcome;
+use kcm_system::{Outcome, RunStats, Solution};
 use std::io::{self, BufRead, Write};
 
 /// Upper bound on one frame's payload; a frame this large is a protocol
@@ -257,8 +276,23 @@ pub enum Request {
         /// Enumerate every solution instead of stopping at the first.
         enumerate_all: bool,
         /// Per-request step budget overriding the tenant and server
-        /// defaults.
+        /// defaults. For a cursor, bounds each pull's slice.
         step_budget: Option<u64>,
+        /// Open a cursor over the enumeration instead of running the
+        /// query (the `CURSOR` option; `QUERY` only).
+        cursor: bool,
+    },
+    /// Pull the next answer batch from an open cursor.
+    Next {
+        /// Cursor id from the `cursor=<id>` open reply.
+        id: u64,
+        /// Batch size; `None` means 1. Clamped to the server's cap.
+        count: Option<u64>,
+    },
+    /// Release an open cursor.
+    Close {
+        /// Cursor id from the `cursor=<id>` open reply.
+        id: u64,
     },
     /// Fetch server-wide aggregate and per-tenant metrics.
     Stats,
@@ -282,6 +316,32 @@ fn parse_budget(steps: &str) -> Result<u64, String> {
     Ok(n)
 }
 
+/// Parses a cursor id: plain decimal digits fitting a u64 (same
+/// strictness as [`parse_budget`]; 0 is syntactically fine — it is just
+/// never allocated, so it resolves to "unknown cursor" downstream).
+fn parse_cursor_id(id: &str) -> Result<u64, String> {
+    if id.is_empty() || !id.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("bad cursor id {id:?}: want decimal digits"));
+    }
+    id.parse()
+        .map_err(|_| format!("bad cursor id {id:?}: exceeds u64"))
+}
+
+/// Parses a `NEXT` batch count: like [`parse_budget`], a zero batch is
+/// always a client bug and therefore a protocol error.
+fn parse_batch_count(count: &str) -> Result<u64, String> {
+    if count.is_empty() || !count.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("bad NEXT count {count:?}: want decimal digits"));
+    }
+    let n: u64 = count
+        .parse()
+        .map_err(|_| format!("bad NEXT count {count:?}: exceeds u64"))?;
+    if n == 0 {
+        return Err("bad NEXT count 0: an empty batch pulls nothing".to_owned());
+    }
+    Ok(n)
+}
+
 impl Request {
     /// Encodes the request as a frame payload.
     pub fn encode(&self) -> String {
@@ -300,6 +360,7 @@ impl Request {
                 query,
                 enumerate_all,
                 step_budget,
+                cursor,
             } => {
                 let verb = if *enumerate_all { "QUERYALL" } else { "QUERY" };
                 let mut s = String::from(verb);
@@ -312,9 +373,17 @@ impl Request {
                 if let Some(steps) = step_budget {
                     s.push_str(&format!("BUDGET {steps} "));
                 }
+                if *cursor {
+                    s.push_str("CURSOR ");
+                }
                 s.push_str(query);
                 s
             }
+            Request::Next { id, count } => match count {
+                Some(n) => format!("NEXT {id} {n}"),
+                None => format!("NEXT {id}"),
+            },
+            Request::Close { id } => format!("CLOSE {id}"),
             Request::Stats => "STATS".to_owned(),
             Request::Shutdown => "SHUTDOWN".to_owned(),
         }
@@ -365,14 +434,25 @@ impl Request {
                 }
                 None => (None, rest),
             };
-            let (step_budget, query) = match rest.strip_prefix("BUDGET ") {
+            let (step_budget, rest) = match rest.strip_prefix("BUDGET ") {
                 Some(after) => {
-                    let (steps, query) = after
+                    let (steps, rest) = after
                         .split_once(' ')
                         .ok_or_else(|| "BUDGET needs a count and a query".to_owned())?;
-                    (Some(parse_budget(steps)?), query)
+                    (Some(parse_budget(steps)?), rest)
                 }
                 None => (None, rest),
+            };
+            let (cursor, query) = match rest.strip_prefix("CURSOR ") {
+                Some(query) => {
+                    if enumerate_all {
+                        return Err(
+                            "CURSOR is a QUERY option (a cursor already enumerates)".to_owned()
+                        );
+                    }
+                    (true, query)
+                }
+                None => (false, rest),
             };
             if query.is_empty() {
                 return Err("empty query".to_owned());
@@ -382,6 +462,22 @@ impl Request {
                 query: query.to_owned(),
                 enumerate_all,
                 step_budget,
+                cursor,
+            });
+        }
+        if let Some(rest) = payload.strip_prefix("NEXT ") {
+            let (id, count) = match rest.split_once(' ') {
+                Some((id, count)) => (id, Some(parse_batch_count(count)?)),
+                None => (rest, None),
+            };
+            return Ok(Request::Next {
+                id: parse_cursor_id(id)?,
+                count,
+            });
+        }
+        if let Some(id) = payload.strip_prefix("CLOSE ") {
+            return Ok(Request::Close {
+                id: parse_cursor_id(id)?,
             });
         }
         match payload {
@@ -474,15 +570,46 @@ pub fn render_outcome(o: &Outcome) -> String {
         o.stats.cycles
     );
     for sol in &o.solutions {
-        let line = sol
-            .iter()
-            .map(|(n, t)| format!("{n}={t}"))
-            .collect::<Vec<_>>()
-            .join(",");
-        s.push_str(&line);
+        s.push_str(&solution_line(sol));
         s.push('\n');
     }
     s.push_str(&format!("output={:?}\n", o.output));
+    s
+}
+
+/// One solution rendered `Var=term,...` — the per-answer line shared by
+/// [`render_outcome`] and [`render_batch`], so a streamed enumeration is
+/// byte-comparable line-by-line against a materialized one.
+pub fn solution_line(sol: &Solution) -> String {
+    sol.iter()
+        .map(|(n, t)| format!("{n}={t}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders one `NEXT` batch as the `OK` reply body: the cursor id, how
+/// many answers follow, whether the enumeration is exhausted (in which
+/// case the cursor is already released), and this batch's slice counters
+/// — then the answer lines (same rendering as [`render_outcome`]) and
+/// the slice's `write/1` output.
+pub fn render_batch(
+    id: u64,
+    answers: &[Solution],
+    done: bool,
+    stats: &RunStats,
+    output: &str,
+) -> String {
+    let mut s = format!(
+        "cursor={id} answers={} done={done} inferences={} cycles={}\n",
+        answers.len(),
+        stats.inferences,
+        stats.cycles
+    );
+    for sol in answers {
+        s.push_str(&solution_line(sol));
+        s.push('\n');
+    }
+    s.push_str(&format!("output={output:?}\n"));
     s
 }
 
@@ -620,24 +747,95 @@ mod tests {
                 query: "p(X)".to_owned(),
                 enumerate_all: false,
                 step_budget: None,
+                cursor: false,
             },
             Request::Query {
                 tenant: Some("alpha".to_owned()),
                 query: "p(X)".to_owned(),
                 enumerate_all: true,
                 step_budget: None,
+                cursor: false,
             },
             Request::Query {
                 tenant: Some("alpha".to_owned()),
                 query: "serialise(\"ABA\", R)".to_owned(),
                 enumerate_all: true,
                 step_budget: Some(10_000),
+                cursor: false,
             },
+            Request::Query {
+                tenant: None,
+                query: "p(X)".to_owned(),
+                enumerate_all: false,
+                step_budget: None,
+                cursor: true,
+            },
+            Request::Query {
+                tenant: Some("alpha".to_owned()),
+                query: "p(X, Y)".to_owned(),
+                enumerate_all: false,
+                step_budget: Some(5_000),
+                cursor: true,
+            },
+            Request::Next { id: 7, count: None },
+            Request::Next {
+                id: 7,
+                count: Some(64),
+            },
+            Request::Close { id: u64::MAX },
             Request::Stats,
             Request::Shutdown,
         ] {
             assert_eq!(Request::parse(&req.encode()).expect("parse"), req);
         }
+    }
+
+    #[test]
+    fn cursor_grammar_is_enforced() {
+        // CURSOR composes after tenant and BUDGET, before the query.
+        assert_eq!(
+            Request::parse("QUERY @kb BUDGET 5 CURSOR p(X)").expect("parse"),
+            Request::Query {
+                tenant: Some("kb".to_owned()),
+                query: "p(X)".to_owned(),
+                enumerate_all: false,
+                step_budget: Some(5),
+                cursor: true,
+            }
+        );
+        // In query position, CURSOR is just an atom — only the option
+        // slot means "open a cursor".
+        assert_eq!(
+            Request::parse("QUERY CURSOR CURSOR").expect("parse"),
+            Request::Query {
+                tenant: None,
+                query: "CURSOR".to_owned(),
+                enumerate_all: false,
+                step_budget: None,
+                cursor: true,
+            }
+        );
+        for bad in [
+            "QUERYALL CURSOR p(X)", // a cursor already enumerates
+            "QUERY CURSOR ",        // no query after the option
+            "NEXT",                 // verb without an id
+            "NEXT x",
+            "NEXT -1",
+            "NEXT 1 0", // empty batch is a client bug
+            "NEXT 1 +2",
+            "NEXT 1 2 3",
+            "NEXT 99999999999999999999999999",
+            "CLOSE",
+            "CLOSE x",
+            "CLOSE 1 2",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+        }
+        // Id 0 is syntactically valid; it is just never allocated.
+        assert_eq!(
+            Request::parse("NEXT 0").expect("parse"),
+            Request::Next { id: 0, count: None }
+        );
     }
 
     #[test]
@@ -675,6 +873,7 @@ mod tests {
                 query: "p(@, X)".to_owned(),
                 enumerate_all: false,
                 step_budget: None,
+                cursor: false,
             }
         );
         // BUDGET composes after the tenant, exactly as in session mode.
@@ -685,6 +884,7 @@ mod tests {
                 query: "p(X)".to_owned(),
                 enumerate_all: true,
                 step_budget: Some(5),
+                cursor: false,
             }
         );
     }
@@ -713,6 +913,7 @@ mod tests {
                 query: "p(X)".to_owned(),
                 enumerate_all: false,
                 step_budget: Some(1),
+                cursor: false,
             }
         );
         assert_eq!(
@@ -722,6 +923,7 @@ mod tests {
                 query: "p(a, b)".to_owned(),
                 enumerate_all: true,
                 step_budget: Some(u64::MAX),
+                cursor: false,
             }
         );
     }

@@ -23,7 +23,21 @@
 //!   pipelining client is flow-controlled by TCP, not by server memory;
 //! * published programs live in a shared [`ProgramRegistry`]; `PUBLISH`
 //!   and `CONSULT` compile on the loop thread (compilation is brief and
-//!   amortized over every query that follows), queries run on workers.
+//!   amortized over every query that follows), queries run on workers;
+//! * **cursors** are suspended [`kcm_system::Solutions`] sessions owned
+//!   by the event loop, keyed by a server-global id that is never
+//!   reused. A `NEXT` ships the boxed session to a worker for one
+//!   bounded batch and the completion carries it back; while the pull is
+//!   in flight the cursor table holds `None`, and the owning connection
+//!   is `busy`, so no second operation can touch the session
+//!   concurrently. A cursor pins its tenant's `Arc<CodeImage>`: a
+//!   republish under an open cursor compiles a new image while the
+//!   cursor keeps streaming the one it opened against. Cursors die four
+//!   ways — `CLOSE`, exhaustion (`done=true` auto-releases), a slice
+//!   error (budget exhaustion kills the session cleanly), and the idle
+//!   reaper that runs on the loop's timed tick; closing a connection
+//!   reaps its cursors by construction, so an abandoned cursor can
+//!   outlive its client by at most `cursor_idle`.
 //!
 //! Shutdown is graceful and self-contained: `SHUTDOWN` is handled on the
 //! loop itself, which stops accepting, closes idle connections, lets
@@ -36,12 +50,16 @@
 //! that replaces it; no self-connect exists to go wrong.
 
 use crate::poll::{Event, Interest, Poller};
-use crate::protocol::{encode_frame, render_outcome, FrameBuf, Reply, Request};
+use crate::protocol::{encode_frame, render_batch, render_outcome, FrameBuf, Reply, Request};
 use kcm_arch::SymbolTable;
 use kcm_compiler::CodeImage;
 use kcm_system::pool::run_session;
 use kcm_system::registry::{ProgramRegistry, Published, TenantStats};
-use kcm_system::{error_class, Kcm, KcmError, MachineConfig, Outcome, QueryJob, QueryOpts, Tier};
+use kcm_system::{
+    error_class, open_session, Kcm, KcmError, MachineConfig, Outcome, QueryJob, QueryOpts,
+    RunStats, Solutions, Tier,
+};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
@@ -49,7 +67,7 @@ use std::os::unix::net::UnixStream;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The event loop's wait tick: bounds how long a missed wake byte can
 /// delay a completion and how stale the drain check can be.
@@ -86,6 +104,21 @@ pub struct ServeConfig {
     pub tier: Tier,
     /// Machine configuration for every session.
     pub machine: MachineConfig,
+    /// Open cursors allowed per connection; the next `QUERY … CURSOR`
+    /// past the cap answers `BUSY` until one is released.
+    pub cursors_per_conn: usize,
+    /// How long a cursor may sit idle (no `NEXT`/`CLOSE`) before the
+    /// loop's tick reaps it. Bounds the suspended-machine memory an
+    /// abandoned-but-connected client can pin.
+    pub cursor_idle: Duration,
+    /// Largest batch one `NEXT` may pull; bigger requests are clamped
+    /// (visible to the client through the reply's `answers=` count).
+    pub cursor_batch_cap: u64,
+    /// In-flight work items (queries, cursor opens, cursor pulls)
+    /// allowed per tenant; past the cap the tenant's requests answer
+    /// `BUSY` while other tenants keep being served. `None` leaves
+    /// tenants to contend for the shared queue.
+    pub tenant_inflight_cap: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +132,10 @@ impl Default for ServeConfig {
             max_programs: 64,
             tier: Tier::Native,
             machine: MachineConfig::default(),
+            cursors_per_conn: 16,
+            cursor_idle: Duration::from_secs(30),
+            cursor_batch_cap: 256,
+            tenant_inflight_cap: None,
         }
     }
 }
@@ -144,6 +181,15 @@ pub struct ServeMetrics {
     pub switch_probes: u64,
     /// Second-level (depth-2) switch dispatches taken.
     pub switch_depth2: u64,
+    /// Cursors opened (`QUERY … CURSOR` that compiled and suspended).
+    pub cursors_opened: u64,
+    /// `NEXT` batches served from cursors.
+    pub cursor_batches: u64,
+    /// Answers streamed across all cursor batches.
+    pub cursor_answers: u64,
+    /// Cursors released by the server rather than the client: idle
+    /// reaping plus connection-close cleanup.
+    pub cursors_reaped: u64,
 }
 
 impl ServeMetrics {
@@ -151,7 +197,7 @@ impl ServeMetrics {
     /// counter.
     pub fn render(&self) -> String {
         format!(
-            "connections={}\nconsults={}\npublishes={}\nqueries={}\nserved={}\nbusy={}\nbudget_stops={}\nerrors={}\nsolutions={}\ninferences={}\ncycles={}\nsteps={}\nswitch_hits={}\nswitch_misses={}\nswitch_probes={}\nswitch_depth2={}\n",
+            "connections={}\nconsults={}\npublishes={}\nqueries={}\nserved={}\nbusy={}\nbudget_stops={}\nerrors={}\nsolutions={}\ninferences={}\ncycles={}\nsteps={}\nswitch_hits={}\nswitch_misses={}\nswitch_probes={}\nswitch_depth2={}\ncursors_opened={}\ncursor_batches={}\ncursor_answers={}\ncursors_reaped={}\n",
             self.connections,
             self.consults,
             self.publishes,
@@ -167,32 +213,72 @@ impl ServeMetrics {
             self.switch_hits,
             self.switch_misses,
             self.switch_probes,
-            self.switch_depth2
+            self.switch_depth2,
+            self.cursors_opened,
+            self.cursor_batches,
+            self.cursor_answers,
+            self.cursors_reaped
         )
     }
 }
 
-/// One queued query: everything a worker needs to run the session, plus
-/// the routing information for the reply.
-struct WorkItem {
-    /// Connection token (index + generation) the reply belongs to.
-    token: u64,
-    image: Arc<CodeImage>,
-    symbols: SymbolTable,
-    config: MachineConfig,
-    job: QueryJob,
-    /// The resolved tenant, when this is a registry query: holding the
-    /// `Arc` keeps the program alive across re-publish/eviction, and the
-    /// worker mirrors its accounting into the tenant's stats.
-    tenant: Option<Arc<Published>>,
+/// One queued unit of work: everything a worker needs, plus the routing
+/// information for the reply. The `tenant` on each variant is the
+/// resolved registry entry, when the request named one: holding the
+/// `Arc` keeps the program alive across re-publish/eviction, the worker
+/// mirrors its accounting into the tenant's stats, and the in-flight
+/// slot claimed at dispatch is released against it.
+enum WorkItem {
+    /// A one-shot query (first solution or enumerate-all).
+    Query {
+        /// Connection token (index + generation) the reply belongs to.
+        token: u64,
+        image: Arc<CodeImage>,
+        symbols: SymbolTable,
+        config: MachineConfig,
+        job: QueryJob,
+        tenant: Option<Arc<Published>>,
+    },
+    /// Compile a query and suspend it as cursor `cursor_id`.
+    CursorOpen {
+        token: u64,
+        cursor_id: u64,
+        image: Arc<CodeImage>,
+        symbols: SymbolTable,
+        config: MachineConfig,
+        query: String,
+        opts: QueryOpts,
+        tenant: Option<Arc<Published>>,
+    },
+    /// Pull up to `count` answers from a suspended session. The session
+    /// travels by value: while it is here the loop's cursor entry holds
+    /// `None`, so nothing else can touch it.
+    CursorNext {
+        token: u64,
+        cursor_id: u64,
+        session: Box<Solutions>,
+        count: u64,
+        tenant: Option<Arc<Published>>,
+    },
 }
 
-/// A finished query on its way back to the event loop.
+/// A finished work item on its way back to the event loop.
 struct Completion {
     token: u64,
     /// The encoded reply payload (rendered on the worker; the loop only
     /// frames and writes it).
     payload: String,
+    /// Present when the item was a cursor operation.
+    cursor: Option<CursorReturn>,
+}
+
+/// The cursor-table update a completion carries: `Some` session means
+/// "park it back under `id`"; `None` means the cursor is finished
+/// (open failed, enumeration exhausted, or a slice error killed it) and
+/// the entry should be removed.
+struct CursorReturn {
+    id: u64,
+    session: Option<Box<Solutions>>,
 }
 
 struct Shared {
@@ -295,6 +381,8 @@ impl Server {
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
+            cursors: HashMap::new(),
+            next_cursor_id: 1,
             shutting_down: false,
             accepting: true,
         };
@@ -355,6 +443,25 @@ fn token_of(index: usize, gen: u32) -> u64 {
     (u64::from(gen) << 32) | (index as u64 + FIRST_CONN)
 }
 
+/// One suspended enumeration owned by the event loop.
+struct Cursor {
+    /// Connection token of the opener; `NEXT`/`CLOSE` from anyone else
+    /// answer "unknown cursor" (ids are unguessable only by volume, but
+    /// the owner check makes cross-connection probing inert).
+    owner: u64,
+    /// The suspended session; `None` while a worker holds it. Because
+    /// the owning connection is `busy` whenever that is the case, and
+    /// only the owner can address the cursor, `None` is never observable
+    /// by a request that passes the owner check — except through a
+    /// closed-then-reused id, which the never-reused id space rules out.
+    session: Option<Box<Solutions>>,
+    /// Pinned tenant entry (keeps the image alive across republish and
+    /// routes per-tenant accounting).
+    tenant: Option<Arc<Published>>,
+    /// Last open/pull touch, for the idle reaper.
+    last_used: Instant,
+}
+
 struct EventLoop {
     listener: TcpListener,
     poller: Poller,
@@ -367,6 +474,12 @@ struct EventLoop {
     slots: Vec<Entry>,
     free: Vec<usize>,
     live: usize,
+    /// Open cursors by id. Entries whose `session` is `None` have their
+    /// pull in flight with a worker.
+    cursors: HashMap<u64, Cursor>,
+    /// Next cursor id; monotonically increasing, never reused, so a
+    /// stale `NEXT` can never address a newer cursor.
+    next_cursor_id: u64,
     shutting_down: bool,
     accepting: bool,
 }
@@ -387,6 +500,7 @@ impl EventLoop {
             // bytes: the timed wait above is the fallback that makes a
             // lost wake a latency blip, not a hang.
             self.drain_completions();
+            self.reap_idle_cursors();
             if self.shutting_down {
                 self.sweep_for_drain();
                 if self.live == 0 {
@@ -479,10 +593,7 @@ impl EventLoop {
     /// or closes it if `keep` is false.
     fn park_conn(&mut self, index: usize, mut conn: Conn, keep: bool) {
         if !keep {
-            let _ = self.poller.remove(conn.stream.as_raw_fd());
-            self.slots[index].gen = self.slots[index].gen.wrapping_add(1);
-            self.free.push(index);
-            self.live -= 1;
+            self.close_slot(index, &conn);
             return;
         }
         let desired = conn.desired_interest();
@@ -494,15 +605,45 @@ impl EventLoop {
                 .is_err()
             {
                 // Can't watch it any more: drop the connection.
-                let _ = self.poller.remove(conn.stream.as_raw_fd());
-                self.slots[index].gen = self.slots[index].gen.wrapping_add(1);
-                self.free.push(index);
-                self.live -= 1;
+                self.close_slot(index, &conn);
                 return;
             }
             conn.interest = desired;
         }
         self.slots[index].conn = Some(conn);
+    }
+
+    /// Closes a connection's slot: unregisters the socket, reaps every
+    /// cursor the connection owned (an in-flight pull's session comes
+    /// back to a missing entry and is dropped there), and retires the
+    /// slot's generation so stale events and completions miss.
+    fn close_slot(&mut self, index: usize, conn: &Conn) {
+        let _ = self.poller.remove(conn.stream.as_raw_fd());
+        // The owner token must be computed before the generation bump.
+        let token = token_of(index, self.slots[index].gen);
+        let before = self.cursors.len();
+        self.cursors.retain(|_, c| c.owner != token);
+        let reaped = (before - self.cursors.len()) as u64;
+        if reaped > 0 {
+            self.shared.metrics.lock().expect("metrics").cursors_reaped += reaped;
+        }
+        self.slots[index].gen = self.slots[index].gen.wrapping_add(1);
+        self.free.push(index);
+        self.live -= 1;
+    }
+
+    /// Reaps cursors idle past the configured deadline. Entries with a
+    /// pull in flight (`session: None`) are skipped — their `last_used`
+    /// refreshes when the session parks back.
+    fn reap_idle_cursors(&mut self) {
+        let idle = self.shared.cfg.cursor_idle;
+        let before = self.cursors.len();
+        self.cursors
+            .retain(|_, c| c.session.is_none() || c.last_used.elapsed() <= idle);
+        let reaped = (before - self.cursors.len()) as u64;
+        if reaped > 0 {
+            self.shared.metrics.lock().expect("metrics").cursors_reaped += reaped;
+        }
     }
 
     fn conn_ready(&mut self, token: u64, ev: Event) {
@@ -615,9 +756,11 @@ impl EventLoop {
                 }
                 Err(e) => error_reply(&e, &self.shared, None),
             },
-            Request::Stats => Reply::Ok {
-                body: stats_body(&self.shared),
-            },
+            Request::Stats => {
+                let mut body = stats_body(&self.shared);
+                body.push_str(&format!("cursors_open={}\n", self.cursors.len()));
+                Reply::Ok { body }
+            }
             Request::Shutdown => {
                 self.shutting_down = true;
                 if self.accepting {
@@ -636,14 +779,141 @@ impl EventLoop {
                 query,
                 enumerate_all,
                 step_budget,
+                cursor,
             } => {
-                match self.dispatch_query(conn, token, tenant, query, enumerate_all, step_budget) {
+                let outcome = if cursor {
+                    self.dispatch_cursor_open(conn, token, tenant, query, step_budget)
+                } else {
+                    self.dispatch_query(conn, token, tenant, query, enumerate_all, step_budget)
+                };
+                match outcome {
                     None => return true, // accepted: the reply comes from a worker
                     Some(reply) => reply,
                 }
             }
+            Request::Next { id, count } => match self.dispatch_next(conn, token, id, count) {
+                None => return true,
+                Some(reply) => reply,
+            },
+            Request::Close { id } => match self.cursors.get(&id) {
+                // The owner gate means the in-flight case is unreachable
+                // here (the owner is busy while its pull is out), so a
+                // matching entry always holds its session and can be
+                // dropped outright.
+                Some(c) if c.owner == token => {
+                    self.cursors.remove(&id);
+                    Reply::Ok {
+                        body: format!("closed={id}\n"),
+                    }
+                }
+                _ => unknown_cursor(id),
+            },
         };
         queue_reply(conn, &reply.encode()).is_ok()
+    }
+
+    /// Resolves the program a query addresses: the registry entry when a
+    /// tenant is named (with the budget priority request > tenant >
+    /// server default), the connection's consulted program otherwise.
+    fn resolve_program(
+        &self,
+        conn: &Conn,
+        tenant: Option<&str>,
+        step_budget: Option<u64>,
+    ) -> Result<Resolved, Reply> {
+        match tenant {
+            Some(name) => match self.shared.registry.lookup(name) {
+                Ok(t) => {
+                    let budget = step_budget
+                        .or(t.step_budget)
+                        .or(self.shared.cfg.default_step_budget);
+                    Ok(Resolved {
+                        image: Arc::clone(&t.image),
+                        symbols: t.symbols.clone(),
+                        config: self.shared.cfg.machine.clone(),
+                        tenant: Some(t),
+                        budget,
+                    })
+                }
+                Err(e) => Err(error_reply(&e, &self.shared, None)),
+            },
+            None => match conn.kcm.shared_image() {
+                Some(image) => Ok(Resolved {
+                    image,
+                    symbols: conn.kcm.symbols().clone(),
+                    config: conn.kcm.config().clone(),
+                    tenant: None,
+                    budget: step_budget.or(self.shared.cfg.default_step_budget),
+                }),
+                None => Err(error_reply(&KcmError::NoProgram, &self.shared, None)),
+            },
+        }
+    }
+
+    /// Claims a per-tenant in-flight slot for a resolved target (a no-op
+    /// `true` for connection-local programs). A `false` return has
+    /// already been accounted as a tenant BUSY.
+    fn claim_tenant(&self, tenant: &Option<Arc<Published>>) -> bool {
+        let Some(t) = tenant else { return true };
+        if t.stats
+            .try_start_inflight(self.shared.cfg.tenant_inflight_cap)
+        {
+            return true;
+        }
+        self.shared.metrics.lock().expect("metrics").busy += 1;
+        t.stats.busy.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Enqueues an item whose tenant slot (if any) is already claimed.
+    /// `None` means in flight; `Some` is an immediate reply, with the
+    /// claim released and (for a pull) the session restored.
+    fn enqueue(&mut self, conn: &mut Conn, item: WorkItem) -> Option<Reply> {
+        // try_send is the backpressure point: a full queue is the
+        // client's problem (retry), never the server's memory.
+        let jobs = self.jobs.as_ref().expect("queue open while looping");
+        match jobs.try_send(item) {
+            Ok(()) => {
+                conn.busy = true;
+                None
+            }
+            Err(e) => {
+                let (full, item) = match e {
+                    TrySendError::Full(item) => (true, item),
+                    TrySendError::Disconnected(item) => (false, item),
+                };
+                let tenant = match item {
+                    WorkItem::Query { tenant, .. } | WorkItem::CursorOpen { tenant, .. } => tenant,
+                    WorkItem::CursorNext {
+                        cursor_id,
+                        session,
+                        tenant,
+                        ..
+                    } => {
+                        // Put the session back so the cursor survives
+                        // the rejected pull.
+                        if let Some(c) = self.cursors.get_mut(&cursor_id) {
+                            c.session = Some(session);
+                        }
+                        tenant
+                    }
+                };
+                release_tenant(&tenant);
+                if full {
+                    self.shared.metrics.lock().expect("metrics").busy += 1;
+                    if let Some(t) = &tenant {
+                        t.stats.busy.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(Reply::Busy)
+                } else {
+                    Some(error_reply(
+                        &KcmError::Harness("server is shutting down".to_owned()),
+                        &self.shared,
+                        None,
+                    ))
+                }
+            }
+        }
     }
 
     /// Resolves and enqueues a query. `None` means the request is in
@@ -658,76 +928,162 @@ impl EventLoop {
         enumerate_all: bool,
         step_budget: Option<u64>,
     ) -> Option<Reply> {
-        let (image, symbols, config, tenant_entry, budget) = match &tenant {
-            Some(name) => match self.shared.registry.lookup(name) {
-                Ok(t) => {
-                    let budget = step_budget
-                        .or(t.step_budget)
-                        .or(self.shared.cfg.default_step_budget);
-                    (
-                        Arc::clone(&t.image),
-                        t.symbols.clone(),
-                        self.shared.cfg.machine.clone(),
-                        Some(t),
-                        budget,
-                    )
-                }
-                Err(e) => return Some(error_reply(&e, &self.shared, None)),
-            },
-            None => match conn.kcm.shared_image() {
-                Some(image) => (
-                    image,
-                    conn.kcm.symbols().clone(),
-                    conn.kcm.config().clone(),
-                    None,
-                    step_budget.or(self.shared.cfg.default_step_budget),
-                ),
-                None => return Some(error_reply(&KcmError::NoProgram, &self.shared, None)),
-            },
+        let resolved = match self.resolve_program(conn, tenant.as_deref(), step_budget) {
+            Ok(r) => r,
+            Err(reply) => return Some(reply),
         };
+        if !self.claim_tenant(&resolved.tenant) {
+            return Some(Reply::Busy);
+        }
         let opts = QueryOpts {
             enumerate_all,
-            step_budget: budget,
+            step_budget: resolved.budget,
             trace: 0,
             tier: self.shared.cfg.tier,
         };
-        let item = WorkItem {
+        let item = WorkItem::Query {
             token,
-            image,
-            symbols,
-            config,
+            image: resolved.image,
+            symbols: resolved.symbols,
+            config: resolved.config,
             job: QueryJob::with_opts(query, opts),
-            tenant: tenant_entry,
+            tenant: resolved.tenant.clone(),
         };
-        // try_send is the backpressure point: a full queue is the
-        // client's problem (retry), never the server's memory.
-        let jobs = self.jobs.as_ref().expect("queue open while looping");
-        match jobs.try_send(item) {
-            Ok(()) => {
-                self.shared.metrics.lock().expect("metrics").queries += 1;
-                if let Some(t) = tenant_stats_of(&self.shared, tenant.as_deref()) {
-                    t.queries.fetch_add(1, Ordering::Relaxed);
-                }
-                conn.busy = true;
-                None
+        let reply = self.enqueue(conn, item);
+        if reply.is_none() {
+            self.shared.metrics.lock().expect("metrics").queries += 1;
+            if let Some(t) = &resolved.tenant {
+                t.stats.queries.fetch_add(1, Ordering::Relaxed);
             }
-            Err(TrySendError::Full(_)) => {
-                self.shared.metrics.lock().expect("metrics").busy += 1;
-                if let Some(t) = tenant_stats_of(&self.shared, tenant.as_deref()) {
-                    t.busy.fetch_add(1, Ordering::Relaxed);
-                }
-                Some(Reply::Busy)
-            }
-            Err(TrySendError::Disconnected(_)) => Some(error_reply(
-                &KcmError::Harness("server is shutting down".to_owned()),
-                &self.shared,
-                None,
-            )),
         }
+        reply
+    }
+
+    /// Opens a cursor: allocates an id, parks a sessionless entry, and
+    /// ships the compilation to a worker. `None` means in flight.
+    fn dispatch_cursor_open(
+        &mut self,
+        conn: &mut Conn,
+        token: u64,
+        tenant: Option<String>,
+        query: String,
+        step_budget: Option<u64>,
+    ) -> Option<Reply> {
+        let open_here = self.cursors.values().filter(|c| c.owner == token).count();
+        if open_here >= self.shared.cfg.cursors_per_conn {
+            self.shared.metrics.lock().expect("metrics").busy += 1;
+            return Some(Reply::Busy);
+        }
+        let resolved = match self.resolve_program(conn, tenant.as_deref(), step_budget) {
+            Ok(r) => r,
+            Err(reply) => return Some(reply),
+        };
+        if !self.claim_tenant(&resolved.tenant) {
+            return Some(Reply::Busy);
+        }
+        let opts = QueryOpts {
+            // A cursor session enumerates by construction; the flag only
+            // matters if the session layer ever consults it.
+            enumerate_all: true,
+            step_budget: resolved.budget,
+            trace: 0,
+            tier: self.shared.cfg.tier,
+        };
+        let cursor_id = self.next_cursor_id;
+        self.next_cursor_id += 1;
+        let item = WorkItem::CursorOpen {
+            token,
+            cursor_id,
+            image: resolved.image,
+            symbols: resolved.symbols,
+            config: resolved.config,
+            query,
+            opts,
+            tenant: resolved.tenant.clone(),
+        };
+        let reply = self.enqueue(conn, item);
+        if reply.is_none() {
+            self.cursors.insert(
+                cursor_id,
+                Cursor {
+                    owner: token,
+                    session: None,
+                    tenant: resolved.tenant.clone(),
+                    last_used: Instant::now(),
+                },
+            );
+            self.shared.metrics.lock().expect("metrics").queries += 1;
+            if let Some(t) = &resolved.tenant {
+                t.stats.queries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        reply
+    }
+
+    /// Ships a cursor's session to a worker for one batch. `None` means
+    /// in flight.
+    fn dispatch_next(
+        &mut self,
+        conn: &mut Conn,
+        token: u64,
+        id: u64,
+        count: Option<u64>,
+    ) -> Option<Reply> {
+        let Some(cursor) = self.cursors.get_mut(&id) else {
+            return Some(unknown_cursor(id));
+        };
+        if cursor.owner != token {
+            return Some(unknown_cursor(id));
+        }
+        let Some(session) = cursor.session.take() else {
+            // Unreachable through the protocol (the owner is busy while
+            // its pull is out); answer BUSY rather than corrupt state.
+            return Some(Reply::Busy);
+        };
+        cursor.last_used = Instant::now();
+        let tenant = cursor.tenant.clone();
+        if !self.claim_tenant(&tenant) {
+            // Re-borrow: claim_tenant released the map borrow.
+            if let Some(c) = self.cursors.get_mut(&id) {
+                c.session = Some(session);
+            }
+            return Some(Reply::Busy);
+        }
+        let count = count
+            .unwrap_or(1)
+            .min(self.shared.cfg.cursor_batch_cap.max(1));
+        let item = WorkItem::CursorNext {
+            token,
+            cursor_id: id,
+            session,
+            count,
+            tenant,
+        };
+        self.enqueue(conn, item)
     }
 
     fn drain_completions(&mut self) {
         while let Ok(done) = self.done_rx.try_recv() {
+            // Settle the cursor table before the connection: even if the
+            // connection is gone, a returning session must be parked or
+            // dropped, never leaked in the channel.
+            if let Some(ret) = done.cursor {
+                match ret.session {
+                    Some(session) => {
+                        if let Some(cursor) = self.cursors.get_mut(&ret.id) {
+                            cursor.session = Some(session);
+                            cursor.last_used = Instant::now();
+                        }
+                        // else: the owner closed; close_slot already
+                        // reaped the entry and the session drops here.
+                    }
+                    None => {
+                        // Open failed, enumeration exhausted, or a slice
+                        // error: the cursor is finished.
+                        self.cursors.remove(&ret.id);
+                    }
+                }
+            }
             let Some((index, mut conn)) = self.take_conn(done.token) else {
                 continue; // the connection went away; the work still counted
             };
@@ -790,6 +1146,32 @@ fn flush(conn: &mut Conn) -> std::io::Result<()> {
     Ok(())
 }
 
+/// The program resolution a dispatch works from.
+struct Resolved {
+    image: Arc<CodeImage>,
+    symbols: SymbolTable,
+    config: MachineConfig,
+    tenant: Option<Arc<Published>>,
+    budget: Option<u64>,
+}
+
+/// The reply for a `NEXT`/`CLOSE` that doesn't address a live cursor the
+/// requester owns — one message for missing, closed, expired, and
+/// someone-else's ids alike.
+fn unknown_cursor(id: u64) -> Reply {
+    Reply::Err {
+        class: "protocol".to_owned(),
+        message: format!("unknown cursor {id}"),
+    }
+}
+
+/// Releases the per-tenant in-flight slot a dispatch claimed.
+fn release_tenant(tenant: &Option<Arc<Published>>) {
+    if let Some(t) = tenant {
+        t.stats.finish_inflight();
+    }
+}
+
 fn worker_loop(
     rx: &Mutex<Receiver<WorkItem>>,
     shared: &Shared,
@@ -802,26 +1184,156 @@ fn worker_loop(
             Ok(item) => item,
             Err(_) => return, // queue closed: drained
         };
-        let outcome = run_session(&item.image, &item.symbols, &item.config, &item.job);
-        let tenant = item.tenant.as_ref().map(|t| t.stats.as_ref());
-        let reply = match outcome {
-            Ok(outcome) => {
-                account_served(shared, tenant, &outcome);
-                Reply::Ok {
-                    body: render_outcome(&outcome),
+        let done = match item {
+            WorkItem::Query {
+                token,
+                image,
+                symbols,
+                config,
+                job,
+                tenant,
+            } => {
+                let outcome = run_session(&image, &symbols, &config, &job);
+                let tstats = tenant.as_ref().map(|t| t.stats.as_ref());
+                let reply = match outcome {
+                    Ok(outcome) => {
+                        account_served(shared, tstats, &outcome);
+                        Reply::Ok {
+                            body: render_outcome(&outcome),
+                        }
+                    }
+                    Err(e) => error_reply(&e, shared, tstats),
+                };
+                release_tenant(&tenant);
+                Completion {
+                    token,
+                    payload: reply.encode(),
+                    cursor: None,
                 }
             }
-            Err(e) => error_reply(&e, shared, tenant),
+            WorkItem::CursorOpen {
+                token,
+                cursor_id,
+                image,
+                symbols,
+                config,
+                query,
+                opts,
+                tenant,
+            } => {
+                let tstats = tenant.as_ref().map(|t| t.stats.as_ref());
+                let (reply, session) = match open_session(&image, &symbols, &config, &query, &opts)
+                {
+                    Ok(session) => {
+                        shared.metrics.lock().expect("metrics").cursors_opened += 1;
+                        (
+                            Reply::Ok {
+                                body: format!("cursor={cursor_id}\n"),
+                            },
+                            Some(Box::new(session)),
+                        )
+                    }
+                    Err(e) => (error_reply(&e, shared, tstats), None),
+                };
+                release_tenant(&tenant);
+                Completion {
+                    token,
+                    payload: reply.encode(),
+                    cursor: Some(CursorReturn {
+                        id: cursor_id,
+                        session,
+                    }),
+                }
+            }
+            WorkItem::CursorNext {
+                token,
+                cursor_id,
+                mut session,
+                count,
+                tenant,
+            } => {
+                let before_stats = *session.totals();
+                let before_output = session.output().len();
+                let mut answers = Vec::new();
+                let mut exhausted = false;
+                let mut failure = None;
+                while (answers.len() as u64) < count {
+                    match session.next_step() {
+                        Ok(Some(step)) => answers.push(step.solution),
+                        Ok(None) => {
+                            exhausted = true;
+                            break;
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                // Deltas come off the session's running totals so the
+                // slice that discovers exhaustion is still charged.
+                let batch_stats = session.totals().delta_since(&before_stats);
+                let batch_output = session.output()[before_output..].to_owned();
+                let tstats = tenant.as_ref().map(|t| t.stats.as_ref());
+                let reply = match &failure {
+                    // A slice error kills the cursor; answers pulled
+                    // earlier in this batch die with it (the client
+                    // never saw them, and the dead session cannot be
+                    // resumed to re-derive them).
+                    Some(e) => error_reply(e, shared, tstats),
+                    None => {
+                        account_batch(shared, tstats, answers.len() as u64, &batch_stats);
+                        Reply::Ok {
+                            body: render_batch(
+                                cursor_id,
+                                &answers,
+                                exhausted,
+                                &batch_stats,
+                                &batch_output,
+                            ),
+                        }
+                    }
+                };
+                let keep = failure.is_none() && !exhausted;
+                release_tenant(&tenant);
+                Completion {
+                    token,
+                    payload: reply.encode(),
+                    cursor: Some(CursorReturn {
+                        id: cursor_id,
+                        session: keep.then_some(session),
+                    }),
+                }
+            }
         };
         // A gone connection is fine — the work was still done and
         // counted; the loop drops completions with stale tokens.
-        let _ = done_tx.send(Completion {
-            token: item.token,
-            payload: reply.encode(),
-        });
+        let _ = done_tx.send(done);
         // Best-effort wake: if the pipe is full a wake is already
         // pending, and the loop's tick catches anything else.
         let _ = (&*wake_tx).write(&[1]);
+    }
+}
+
+/// Accounts one served cursor batch into the aggregate and per-tenant
+/// counters. Cursor batches count work (`solutions`, `inferences`,
+/// `cycles`, `steps`) like queries do, but under the `cursor_*` serving
+/// counters instead of `served`.
+fn account_batch(shared: &Shared, tenant: Option<&TenantStats>, answers: u64, stats: &RunStats) {
+    {
+        let mut m = shared.metrics.lock().expect("metrics");
+        m.cursor_batches += 1;
+        m.cursor_answers += answers;
+        m.solutions += answers;
+        m.inferences += stats.inferences;
+        m.cycles += stats.cycles;
+        m.steps += stats.instructions;
+    }
+    if let Some(t) = tenant {
+        t.solutions.fetch_add(answers, Ordering::Relaxed);
+        t.inferences.fetch_add(stats.inferences, Ordering::Relaxed);
+        t.cycles.fetch_add(stats.cycles, Ordering::Relaxed);
+        t.steps.fetch_add(stats.instructions, Ordering::Relaxed);
     }
 }
 
@@ -848,12 +1360,6 @@ fn account_served(shared: &Shared, tenant: Option<&TenantStats>, outcome: &Outco
         t.steps
             .fetch_add(outcome.stats.instructions, Ordering::Relaxed);
     }
-}
-
-fn tenant_stats_of(shared: &Shared, name: Option<&str>) -> Option<Arc<TenantStats>> {
-    let _ = &shared; // keep the signature honest about where stats live
-    name.and_then(|n| shared.registry.lookup(n).ok())
-        .map(|t| Arc::clone(&t.stats))
 }
 
 fn error_reply(e: &KcmError, shared: &Shared, tenant: Option<&TenantStats>) -> Reply {
@@ -898,6 +1404,10 @@ fn stats_body(shared: &Shared) -> String {
         body.push_str(&format!("tenant.{n}.inferences={}\n", s.inferences));
         body.push_str(&format!("tenant.{n}.cycles={}\n", s.cycles));
         body.push_str(&format!("tenant.{n}.steps={}\n", s.steps));
+        body.push_str(&format!(
+            "tenant.{n}.inflight={}\n",
+            t.stats.inflight.load(Ordering::Relaxed)
+        ));
     }
     body
 }

@@ -1,0 +1,359 @@
+//! Cursor lifecycle tests: a real `Server` on an ephemeral port driven
+//! through every way a cursor can live and die — streamed to
+//! exhaustion, closed, killed by its budget, expired by the idle
+//! reaper, capped per connection, abandoned with its connection, and
+//! kept streaming an old image across a republish.
+
+use kcm_serve::{Client, Reply, Request, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn spawn_server(
+    cfg: ServeConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<std::io::Result<kcm_serve::ServeMetrics>>,
+) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr");
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn shutdown(addr: SocketAddr) {
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+}
+
+/// Splits a batch body into (answers-head fields, answer lines).
+fn parse_batch(body: &str) -> (u64, bool, Vec<String>) {
+    let mut lines = body.lines();
+    let head = lines.next().expect("batch head");
+    let field = |name: &str| {
+        head.split(' ')
+            .find_map(|f| f.strip_prefix(name))
+            .unwrap_or_else(|| panic!("no {name} in {head:?}"))
+            .to_owned()
+    };
+    let answers: u64 = field("answers=").parse().expect("answers count");
+    let done: bool = field("done=").parse().expect("done flag");
+    let solutions: Vec<String> = lines
+        .filter(|l| !l.starts_with("output="))
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(solutions.len() as u64, answers, "{body:?}");
+    (answers, done, solutions)
+}
+
+fn next_ok(client: &mut Client, id: u64, count: u64) -> (u64, bool, Vec<String>) {
+    match client.next(id, Some(count)).expect("NEXT") {
+        Reply::Ok { body } => parse_batch(&body),
+        other => panic!("NEXT {id} answered {other:?}"),
+    }
+}
+
+#[test]
+fn cursor_streams_the_enumeration_in_order_and_auto_releases_on_exhaustion() {
+    let (addr, server) = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client
+        .consult("p(1). p(2). p(3). p(4). p(5).")
+        .expect("consult")
+        .is_ok());
+    let id = client.open_cursor(None, "p(X)", None).expect("open");
+
+    let (n, done, sols) = next_ok(&mut client, id, 2);
+    assert_eq!((n, done), (2, false));
+    assert_eq!(sols, ["X=1", "X=2"]);
+    // A `NEXT <id>` without a count pulls exactly one answer.
+    match client.next(id, None).expect("NEXT") {
+        Reply::Ok { body } => assert_eq!(parse_batch(&body), (1, false, vec!["X=3".to_owned()])),
+        other => panic!("NEXT answered {other:?}"),
+    }
+    // Over-asking past the end: the last answers arrive with done=true
+    // and the cursor is auto-released.
+    let (n, done, sols) = next_ok(&mut client, id, 10);
+    assert_eq!((n, done), (2, true));
+    assert_eq!(sols, ["X=4", "X=5"]);
+    match client.next(id, Some(1)).expect("NEXT after done") {
+        Reply::Err { class, message } => {
+            assert_eq!(class, "protocol");
+            assert!(message.contains("unknown cursor"), "{message}");
+        }
+        other => panic!("NEXT on a released cursor answered {other:?}"),
+    }
+
+    shutdown(addr);
+    let metrics = server.join().expect("server thread").expect("run");
+    assert_eq!(metrics.cursors_opened, 1);
+    assert_eq!(metrics.cursor_batches, 3);
+    assert_eq!(metrics.cursor_answers, 5);
+    assert_eq!(metrics.cursors_reaped, 0, "client-driven release only");
+    // The post-release NEXT was a protocol error answered on the loop,
+    // not a failed query.
+    assert_eq!(metrics.errors, 0);
+}
+
+#[test]
+fn next_and_close_on_missing_closed_or_foreign_cursors_are_protocol_errors() {
+    let (addr, server) = spawn_server(ServeConfig::default());
+    let mut owner = Client::connect(addr).expect("connect owner");
+    assert!(owner.consult("q(a). q(b).").expect("consult").is_ok());
+
+    // Never-issued ids.
+    for request in [
+        Request::Next {
+            id: 999,
+            count: None,
+        },
+        Request::Close { id: 999 },
+    ] {
+        match owner.request(&request).expect("request") {
+            Reply::Err { class, message } => {
+                assert_eq!(class, "protocol");
+                assert!(message.contains("unknown cursor 999"), "{message}");
+            }
+            other => panic!("{request:?} answered {other:?}"),
+        }
+    }
+
+    let id = owner.open_cursor(None, "q(X)", None).expect("open");
+
+    // Another connection can neither pull nor close someone else's
+    // cursor — same indistinguishable error as a missing id.
+    let mut stranger = Client::connect(addr).expect("connect stranger");
+    for reply in [
+        stranger.next(id, Some(1)).expect("foreign NEXT"),
+        stranger.close_cursor(id).expect("foreign CLOSE"),
+    ] {
+        match reply {
+            Reply::Err { class, .. } => assert_eq!(class, "protocol"),
+            other => panic!("foreign access answered {other:?}"),
+        }
+    }
+    // The owner is unaffected by the stranger's probing.
+    assert_eq!(next_ok(&mut owner, id, 1).2, ["X=a"]);
+
+    // Close, then every further touch is the same protocol error.
+    match owner.close_cursor(id).expect("CLOSE") {
+        Reply::Ok { body } => assert_eq!(body, format!("closed={id}\n")),
+        other => panic!("CLOSE answered {other:?}"),
+    }
+    for reply in [
+        owner.next(id, Some(1)).expect("NEXT after close"),
+        owner.close_cursor(id).expect("double CLOSE"),
+    ] {
+        match reply {
+            Reply::Err { class, .. } => assert_eq!(class, "protocol"),
+            other => panic!("closed cursor answered {other:?}"),
+        }
+    }
+
+    shutdown(addr);
+    server.join().expect("server thread").expect("run");
+}
+
+#[test]
+fn budget_exhaustion_kills_the_cursor_cleanly_and_spares_the_connection() {
+    let (addr, server) = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client
+        .consult("loop :- loop. p(1). p(X) :- loop, p(X).")
+        .expect("consult")
+        .is_ok());
+    // Each pull gets a fresh 10k-step slice: enough for the first
+    // answer, nowhere near enough for the divergent second clause.
+    let id = client
+        .open_cursor(None, "p(X)", Some(10_000))
+        .expect("open");
+    assert_eq!(next_ok(&mut client, id, 1).2, ["X=1"]);
+    match client.next(id, Some(1)).expect("NEXT into the loop") {
+        Reply::Err { class, message } => {
+            assert_eq!(class, "budget", "{message}");
+            assert!(message.contains("step budget"), "{message}");
+        }
+        other => panic!("budget-doomed NEXT answered {other:?}"),
+    }
+    // The cursor died with the slice; the connection did not.
+    match client.next(id, Some(1)).expect("NEXT on the corpse") {
+        Reply::Err { class, .. } => assert_eq!(class, "protocol"),
+        other => panic!("dead cursor answered {other:?}"),
+    }
+    match client.query("p(Y)").expect("plain query") {
+        Reply::Ok { body } => assert!(body.contains("Y=1"), "{body}"),
+        other => panic!("follow-up query answered {other:?}"),
+    }
+
+    shutdown(addr);
+    let metrics = server.join().expect("server thread").expect("run");
+    assert_eq!(metrics.budget_stops, 1);
+}
+
+#[test]
+fn idle_cursors_are_reaped_on_the_tick() {
+    let cfg = ServeConfig {
+        cursor_idle: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let (addr, server) = spawn_server(cfg);
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.consult("r(1). r(2).").expect("consult").is_ok());
+    let id = client.open_cursor(None, "r(X)", None).expect("open");
+    assert_eq!(next_ok(&mut client, id, 1).2, ["X=1"]);
+
+    // Park well past the idle deadline plus the 100ms tick.
+    std::thread::sleep(Duration::from_millis(600));
+    match client.next(id, Some(1)).expect("NEXT after expiry") {
+        Reply::Err { class, message } => {
+            assert_eq!(class, "protocol");
+            assert!(message.contains("unknown cursor"), "{message}");
+        }
+        other => panic!("expired cursor answered {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("cursors_reaped=1\n"), "{stats}");
+    assert!(stats.contains("cursors_open=0\n"), "{stats}");
+
+    shutdown(addr);
+    let metrics = server.join().expect("server thread").expect("run");
+    assert_eq!(metrics.cursors_reaped, 1);
+}
+
+#[test]
+fn per_connection_cursor_cap_answers_busy_until_one_is_released() {
+    let cfg = ServeConfig {
+        cursors_per_conn: 2,
+        ..ServeConfig::default()
+    };
+    let (addr, server) = spawn_server(cfg);
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.consult("s(1). s(2).").expect("consult").is_ok());
+    let first = client.open_cursor(None, "s(X)", None).expect("open 1");
+    let _second = client.open_cursor(None, "s(X)", None).expect("open 2");
+
+    let over_cap = Request::Query {
+        tenant: None,
+        query: "s(X)".to_owned(),
+        enumerate_all: false,
+        step_budget: None,
+        cursor: true,
+    };
+    assert!(
+        matches!(client.request(&over_cap).expect("open 3"), Reply::Busy),
+        "third open must answer BUSY"
+    );
+    // The cap is per connection, not per server.
+    let mut other = Client::connect(addr).expect("connect other");
+    assert!(other.consult("s(9).").expect("consult").is_ok());
+    other
+        .open_cursor(None, "s(X)", None)
+        .expect("other conn open");
+
+    // Releasing one frees a slot.
+    assert!(client.close_cursor(first).expect("close").is_ok());
+    client
+        .open_cursor(None, "s(X)", None)
+        .expect("open after close");
+
+    shutdown(addr);
+    let metrics = server.join().expect("server thread").expect("run");
+    assert_eq!(metrics.cursors_opened, 4);
+    assert_eq!(metrics.busy, 1);
+    assert_eq!(
+        metrics.cursors_reaped, 3,
+        "cursors abandoned with their connections are reclaimed"
+    );
+}
+
+#[test]
+fn republish_keeps_an_open_cursor_on_the_image_it_opened_against() {
+    let (addr, server) = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client
+        .publish("kb", "d(1). d(2). d(3).", None)
+        .expect("publish")
+        .is_ok());
+    let id = client.open_cursor(Some("kb"), "d(X)", None).expect("open");
+    assert_eq!(next_ok(&mut client, id, 1).2, ["X=1"]);
+
+    // Republish with disjoint facts while the cursor is mid-stream.
+    assert!(client
+        .publish("kb", "d(10). d(20).", None)
+        .expect("republish")
+        .is_ok());
+
+    // The cursor still enumerates the image it opened against…
+    let (n, done, sols) = next_ok(&mut client, id, 10);
+    assert_eq!((n, done), (2, true));
+    assert_eq!(sols, ["X=2", "X=3"]);
+    // …while new work sees the new program.
+    match client.query_tenant_all("kb", "d(X)").expect("new query") {
+        Reply::Ok { body } => {
+            assert!(body.contains("X=10") && body.contains("X=20"), "{body}");
+            assert!(!body.contains("X=1\n"), "{body}");
+        }
+        other => panic!("post-republish query answered {other:?}"),
+    }
+    let new_cursor = client
+        .open_cursor(Some("kb"), "d(X)", None)
+        .expect("new cursor");
+    assert_eq!(next_ok(&mut client, new_cursor, 1).2, ["X=10"]);
+    assert!(client.close_cursor(new_cursor).expect("close").is_ok());
+
+    shutdown(addr);
+    server.join().expect("server thread").expect("run");
+}
+
+#[test]
+fn million_solution_generator_streams_through_a_cursor() {
+    let (addr, server) = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client
+        .consult("d(0). d(1). d(2). d(3). d(4). d(5). d(6). d(7). d(8). d(9).")
+        .expect("consult")
+        .is_ok());
+
+    // 10^6 solutions; the server never materializes them — each NEXT
+    // resumes the suspended machine for one bounded batch.
+    let query = "d(A), d(B), d(C), d(D), d(E), d(F)";
+    let t = Instant::now();
+    let id = client.open_cursor(None, query, None).expect("open");
+    let (n, done, first) = next_ok(&mut client, id, 1);
+    let first_answer = t.elapsed();
+    assert_eq!((n, done), (1, false));
+    assert_eq!(first, ["A=0,B=0,C=0,D=0,E=0,F=0"]);
+    // The acceptance bar is 10ms on a quiet loopback; the test asserts a
+    // generous multiple so a loaded CI box doesn't flake.
+    assert!(
+        first_answer < Duration::from_millis(500),
+        "open-to-first-answer took {first_answer:?}"
+    );
+
+    // Stream 10k answers in 40 batches and verify every single one: the
+    // facts are consulted in digit order, so the enumeration counts.
+    let mut seen = 1u64;
+    for _ in 0..40 {
+        let (n, done, sols) = next_ok(&mut client, id, 250);
+        assert_eq!((n, done), (250, false));
+        for sol in sols {
+            let digits: Vec<char> = format!("{seen:06}").chars().collect();
+            assert_eq!(
+                sol,
+                format!(
+                    "A={},B={},C={},D={},E={},F={}",
+                    digits[0], digits[1], digits[2], digits[3], digits[4], digits[5]
+                ),
+                "answer {seen} out of enumeration order"
+            );
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, 10_001);
+    assert!(client.close_cursor(id).expect("close").is_ok());
+
+    shutdown(addr);
+    let metrics = server.join().expect("server thread").expect("run");
+    assert_eq!(metrics.cursor_answers, 10_001);
+    assert_eq!(metrics.errors, 0, "{metrics:?}");
+}

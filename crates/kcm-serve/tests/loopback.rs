@@ -115,6 +115,7 @@ fn served_suite_workload_is_byte_identical_to_direct_runs() {
                         query: case.query.to_owned(),
                         enumerate_all: case.enumerate_all,
                         step_budget: None,
+                        cursor: false,
                     };
                     match client.request(&request).expect("query") {
                         Reply::Ok { body } => assert_eq!(
@@ -163,6 +164,7 @@ fn full_queue_answers_busy_instead_of_queueing() {
                         query: "loop".to_owned(),
                         enumerate_all: false,
                         step_budget: Some(2_000_000),
+                        cursor: false,
                     };
                     barrier.wait();
                     client.request(&request).expect("query")
@@ -213,6 +215,7 @@ fn budget_stop_does_not_poison_the_connection_for_the_next_request() {
         query: "loop".to_owned(),
         enumerate_all: false,
         step_budget: Some(10_000),
+        cursor: false,
     };
     match client.request(&runaway).expect("runaway") {
         Reply::Err { class, message } => {
@@ -307,6 +310,81 @@ fn cycle_tier_config_still_reports_simulated_cycles() {
     client.shutdown().expect("shutdown");
     let metrics = server.join().expect("server thread").expect("server run");
     assert!(metrics.cycles > 0, "{metrics:?}");
+}
+
+#[test]
+fn tenant_inflight_cap_keeps_a_saturating_tenant_from_starving_others() {
+    // Tenant A's sole in-flight slot is pinned by a long budget-capped
+    // query. With two workers and a deep queue, the cap — not queue
+    // backpressure — must turn A's second query away immediately, while
+    // tenant B's queries keep being answered the whole time.
+    let (addr, server) = spawn_server(ServeConfig {
+        workers: 2,
+        queue_depth: 64,
+        tenant_inflight_cap: Some(1),
+        ..ServeConfig::default()
+    });
+    let mut publisher = Client::connect(addr).expect("connect publisher");
+    assert!(publisher
+        .publish("a", "loop :- loop. ok(a).", None)
+        .expect("publish a")
+        .is_ok());
+    assert!(publisher
+        .publish("b", "ok(b).", None)
+        .expect("publish b")
+        .is_ok());
+
+    let saturator = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect saturator");
+        let pin = Request::Query {
+            tenant: Some("a".to_owned()),
+            query: "loop".to_owned(),
+            enumerate_all: false,
+            step_budget: Some(100_000_000),
+            cursor: false,
+        };
+        client.request(&pin).expect("pin query")
+    });
+    // Give the pin time to land on a worker.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let mut prober = Client::connect(addr).expect("connect prober");
+    let mut a_busy = 0;
+    for _ in 0..5 {
+        // A is at its cap: immediate BUSY, no queueing behind the pin.
+        match prober.query_tenant("a", "ok(X)").expect("query a") {
+            Reply::Busy => a_busy += 1,
+            Reply::Ok { .. } => break, // the pin finished early; stop probing
+            other => panic!("tenant a answered {other:?}"),
+        }
+        // B answers while A is saturated — no cross-tenant starvation.
+        match prober.query_tenant("b", "ok(X)").expect("query b") {
+            Reply::Ok { body } => assert!(body.contains("X=b"), "{body}"),
+            other => panic!("tenant b answered {other:?}"),
+        }
+    }
+    assert!(a_busy >= 1, "the cap never turned tenant a away");
+
+    // The pin dies on its budget; afterwards A serves again.
+    match saturator.join().expect("saturator thread") {
+        Reply::Err { class, .. } => assert_eq!(class, "budget"),
+        other => panic!("pin query answered {other:?}"),
+    }
+    match prober
+        .query_tenant("a", "ok(X)")
+        .expect("query a after pin")
+    {
+        Reply::Ok { body } => assert!(body.contains("X=a"), "{body}"),
+        other => panic!("tenant a after pin answered {other:?}"),
+    }
+
+    let stats = prober.stats().expect("stats");
+    assert!(stats.contains("tenant.a.inflight=0\n"), "{stats}");
+    assert!(stats.contains("tenant.b.inflight=0\n"), "{stats}");
+    prober.shutdown().expect("shutdown");
+    let metrics = server.join().expect("server thread").expect("server run");
+    assert!(metrics.busy >= a_busy as u64, "{metrics:?}");
+    assert_eq!(metrics.errors, 0, "{metrics:?}");
 }
 
 #[test]

@@ -136,6 +136,79 @@ fn byte_by_byte_client_decodes_identically_to_whole_frames() {
 }
 
 #[test]
+fn byte_by_byte_cursor_pull_decodes_and_keeps_the_session_suspended() {
+    // A cursor's NEXT dribbled one byte at a time, with gaps straddling
+    // the server's tick: the suspended session must sit untouched until
+    // the frame completes, then serve exactly the requested batch, and
+    // the idle reaper must not confuse a slow *frame* with an idle
+    // *cursor* (last_used refreshes when the pull lands).
+    let (addr, server) = spawn_server();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    stream
+        .write_all(&frame("CONSULT\nd(1). d(2). d(3). d(4)."))
+        .expect("consult");
+    assert!(read_reply(&mut reader).is_ok(), "consult");
+    stream
+        .write_all(&frame("QUERY CURSOR d(X)"))
+        .expect("open cursor");
+    let id: u64 = match read_reply(&mut reader) {
+        Reply::Ok { body } => body
+            .strip_prefix("cursor=")
+            .and_then(|rest| rest.trim_end().parse().ok())
+            .unwrap_or_else(|| panic!("bad open body {body:?}")),
+        other => panic!("cursor open answered {other:?}"),
+    };
+
+    // Every byte of `NEXT <id> 2` its own write; two long gaps land
+    // mid-length-line and mid-payload to cross tick boundaries.
+    let next = frame(&format!("NEXT {id} 2"));
+    for (i, byte) in next.iter().enumerate() {
+        stream.write_all(std::slice::from_ref(byte)).expect("byte");
+        match i {
+            1 | 5 => std::thread::sleep(GAP),
+            _ => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    match read_reply(&mut reader) {
+        Reply::Ok { body } => {
+            assert!(
+                body.starts_with(&format!("cursor={id} answers=2 done=false")),
+                "{body:?}"
+            );
+            assert!(body.contains("X=1\n") && body.contains("X=2\n"), "{body:?}");
+        }
+        other => panic!("dribbled NEXT answered {other:?}"),
+    }
+
+    // The stream is still perfectly framed and the cursor still live: a
+    // whole-frame follow-up drains the rest.
+    stream
+        .write_all(&frame(&format!("NEXT {id} 10")))
+        .expect("follow-up NEXT");
+    match read_reply(&mut reader) {
+        Reply::Ok { body } => {
+            assert!(
+                body.starts_with(&format!("cursor={id} answers=2 done=true")),
+                "{body:?}"
+            );
+            assert!(body.contains("X=3\n") && body.contains("X=4\n"), "{body:?}");
+        }
+        other => panic!("follow-up NEXT answered {other:?}"),
+    }
+
+    stream.write_all(&frame("SHUTDOWN")).expect("shutdown");
+    assert!(read_reply(&mut reader).is_ok(), "shutdown");
+    let metrics = server.join().expect("server thread").expect("run");
+    assert_eq!(metrics.cursors_opened, 1);
+    assert_eq!(metrics.cursor_batches, 2);
+    assert_eq!(metrics.cursor_answers, 4);
+    assert_eq!(metrics.errors, 0, "{metrics:?}");
+}
+
+#[test]
 fn pipelined_frames_in_one_write_are_all_answered_in_order() {
     // The inverse of dribbling: many frames in a single write. The
     // decoder must pop them one at a time and the per-connection FIFO

@@ -56,6 +56,7 @@ pub mod pool;
 pub mod prelude;
 pub mod registry;
 pub mod report;
+pub mod session;
 
 pub use answer::Answer;
 pub use engine::{error_class, Engine, EngineOutcome, KcmEngine, NativeEngine};
@@ -65,6 +66,7 @@ pub use kcm_cpu::{
 };
 pub use pool::{QueryJob, SessionPool, SessionResult};
 pub use registry::{ProgramRegistry, PublishReceipt, Published, TenantSnapshot, TenantStats};
+pub use session::{open_session, SolutionStep, Solutions};
 
 use kcm_arch::SymbolTable;
 use kcm_compiler::{CodeImage, CompileError};
@@ -363,6 +365,25 @@ impl Kcm {
                 Ok(machine.run_query(&vars, opts.enumerate_all)?)
             }
         }
+    }
+
+    /// Opens a suspendable session for `query`: a pull-based iterator
+    /// that runs the machine to each solution on demand and suspends in
+    /// between (the paper's §2.1 host interface, where requesting the
+    /// next answer is a command to fail and resume). Each pull is one
+    /// budget slice — `opts.step_budget` bounds the work of a single
+    /// [`Solutions::next_step`], not of the whole enumeration — and
+    /// reports its own delta [`RunStats`]. `opts.enumerate_all` is
+    /// ignored: a session enumerates by construction, the caller decides
+    /// when to stop pulling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcmError::NoProgram`] before the first consult, or query
+    /// parse/compile errors.
+    pub fn solutions(&self, query: &str, opts: &QueryOpts) -> Result<Solutions, KcmError> {
+        let image = self.image.clone().ok_or(KcmError::NoProgram)?;
+        session::open_session(&image, &self.symbols, &self.config, query, opts)
     }
 
     /// Runs a query on a fresh machine. With `enumerate_all` the machine

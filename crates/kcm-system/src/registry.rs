@@ -59,6 +59,11 @@ pub struct TenantStats {
     pub cycles: AtomicU64,
     /// Retired machine instructions across served queries.
     pub steps: AtomicU64,
+    /// Work items currently executing or queued for this tenant —
+    /// maintained by [`TenantStats::try_start_inflight`] /
+    /// [`TenantStats::finish_inflight`], which a server uses to bound how
+    /// much of its worker fleet one hot tenant can occupy.
+    pub inflight: AtomicU64,
 }
 
 /// A point-in-time copy of one tenant's [`TenantStats`].
@@ -99,6 +104,40 @@ impl TenantStats {
             cycles: self.cycles.load(Ordering::Relaxed),
             steps: self.steps.load(Ordering::Relaxed),
         }
+    }
+
+    /// Claims one in-flight slot if fewer than `cap` are taken, lock-free
+    /// (compare-and-swap; never overshoots under contention). `None` is
+    /// unlimited and always claims. A `true` return **must** be balanced
+    /// by exactly one [`TenantStats::finish_inflight`] once the work
+    /// item completes or is rejected downstream.
+    pub fn try_start_inflight(&self, cap: Option<u64>) -> bool {
+        let Some(cap) = cap else {
+            self.inflight.fetch_add(1, Ordering::Relaxed);
+            return true;
+        };
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if current >= cap {
+                return false;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Releases one in-flight slot claimed by a successful
+    /// [`TenantStats::try_start_inflight`].
+    pub fn finish_inflight(&self) {
+        let prev = self.inflight.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "finish_inflight without a matching start");
     }
 }
 
@@ -411,6 +450,63 @@ mod tests {
         }
         let names: Vec<String> = r.tenants().iter().map(|t| t.name.clone()).collect();
         assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn inflight_cap_bounds_concurrent_claims() {
+        let r = registry(4);
+        publish(&r, "kb", "p(1).");
+        let t = r.lookup("kb").expect("lookup");
+
+        // A cap of 2 admits exactly two claims, then refuses until one
+        // finishes.
+        assert!(t.stats.try_start_inflight(Some(2)));
+        assert!(t.stats.try_start_inflight(Some(2)));
+        assert!(!t.stats.try_start_inflight(Some(2)));
+        t.stats.finish_inflight();
+        assert!(t.stats.try_start_inflight(Some(2)));
+        assert!(!t.stats.try_start_inflight(Some(2)));
+        t.stats.finish_inflight();
+        t.stats.finish_inflight();
+
+        // No cap always admits; the counter still tracks.
+        assert!(t.stats.try_start_inflight(None));
+        assert_eq!(t.stats.inflight.load(Ordering::Relaxed), 1);
+        t.stats.finish_inflight();
+        assert_eq!(t.stats.inflight.load(Ordering::Relaxed), 0);
+
+        // Republishing keeps the same stats block, so an in-flight claim
+        // taken against the old Arc is still visible to new lookups.
+        assert!(t.stats.try_start_inflight(Some(1)));
+        publish(&r, "kb", "p(2).");
+        let t2 = r.lookup("kb").expect("relookup");
+        assert!(!t2.stats.try_start_inflight(Some(1)));
+        t.stats.finish_inflight();
+        assert!(t2.stats.try_start_inflight(Some(1)));
+        t2.stats.finish_inflight();
+    }
+
+    #[test]
+    fn inflight_cap_never_overshoots_under_contention() {
+        let r = registry(2);
+        publish(&r, "kb", "p(1).");
+        let t = r.lookup("kb").expect("lookup");
+        let peak = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..500 {
+                        if t.stats.try_start_inflight(Some(3)) {
+                            let now = t.stats.inflight.load(Ordering::Relaxed);
+                            peak.fetch_max(now, Ordering::Relaxed);
+                            t.stats.finish_inflight();
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::Relaxed) <= 3);
+        assert_eq!(t.stats.inflight.load(Ordering::Relaxed), 0);
     }
 
     #[test]
