@@ -36,16 +36,30 @@
 //!   linear reference scan), for before/after comparisons. Simulated
 //!   numbers are byte-identical either way; only host time moves.
 //!
+//! A fourth **cold start** section measures the snapshot path: for each
+//! size, the consulted image is saved with [`Kcm::snapshot`] and
+//! restored into a fresh [`Kcm`] from the bytes — the programmatic
+//! stand-in for a fresh process mapping a snapshot file instead of
+//! re-consulting source. The restored machine answers a point lookup on
+//! both tiers and its solutions are checked against the consulted
+//! original, so the speedup number is only reported for a load that is
+//! provably equivalent. Acceptance: at 10⁶ facts the snapshot load
+//! stays under 100 ms where the consult takes seconds.
+//!
 //! JSONL schema (`BENCH_factscale.jsonl`): one `row` per size with
 //! `facts` and `consult_host_ms`, then one `row` per (size, tier) with
 //! `tier` (`"cycle"` / `"native"`), `facts`, `lookup_p50_us`,
-//! `lookup_p99_us`, `enum_host_ms` and `enum_kfacts_per_s`; one final
-//! `summary` with the native p50 ratio between the largest and smallest
-//! sizes (`p50_ratio_max_vs_min`, the O(1) acceptance number).
+//! `lookup_p99_us`, `enum_host_ms` and `enum_kfacts_per_s`; one
+//! `coldstart/n=<n>` row per size with `facts`, `consult_host_ms`,
+//! `snapshot_save_host_ms`, `snapshot_bytes`, `snapshot_load_host_ms`
+//! and `load_speedup`; one final `summary` with the native p50 ratio
+//! between the largest and smallest sizes (`p50_ratio_max_vs_min`, the
+//! O(1) acceptance number) and one `coldstart` summary with the
+//! largest-size load time (`load_host_ms_at_max`).
 
 use bench::{JsonlWriter, Record};
 use kcm_suite::table::{f2, f3, ratio, Table};
-use kcm_system::Kcm;
+use kcm_system::{Kcm, ProgramSource};
 use std::time::Instant;
 
 /// How many distinct keys the point-lookup percentiles are taken over.
@@ -176,14 +190,24 @@ fn main() {
         "Enum ms",
         "Enum Kfacts/s",
     ]);
+    let mut cold = Table::new(vec![
+        "Facts",
+        "Consult ms",
+        "Save ms",
+        "Load ms",
+        "Snapshot MB",
+        "Speedup",
+    ]);
     let mut jsonl = JsonlWriter::for_bench("factscale");
     // (n, native p50) per size, for the O(1) acceptance summary.
     let mut native_p50s: Vec<(usize, f64)> = Vec::new();
+    // (n, snapshot load ms) per size, for the cold-start summary.
+    let mut cold_loads: Vec<(usize, f64)> = Vec::new();
     for n in sizes() {
         let src = fact_base(n);
         let mut kcm = Kcm::with_config(config.clone());
         let t0 = Instant::now();
-        kcm.consult(&src).expect("fact base consults");
+        kcm.load(&src).expect("fact base consults");
         let consult_ms = t0.elapsed().as_secs_f64() * 1e3;
         jsonl.record(
             &Record::row("factscale", &format!("n={n}"))
@@ -217,8 +241,64 @@ fn main() {
                     .f64("enum_kfacts_per_s", kfacts_per_s),
             );
         }
+        // Cold start: save the consulted image, restore it into a fresh
+        // Kcm from the bytes (the stand-in for a fresh process reading a
+        // snapshot file instead of re-consulting source), and prove the
+        // restored machine equivalent before reporting the speedup.
+        let mut save_s = f64::INFINITY;
+        let mut bytes = Vec::new();
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            bytes = kcm.snapshot().expect("snapshot saves");
+            save_s = save_s.min(t0.elapsed().as_secs_f64());
+        }
+        let mut load_s = f64::INFINITY;
+        let mut restored = Kcm::with_config(config.clone());
+        for _ in 0..reps {
+            let mut fresh = Kcm::with_config(config.clone());
+            let t0 = Instant::now();
+            fresh
+                .load(ProgramSource::Snapshot(&bytes))
+                .expect("snapshot loads");
+            load_s = load_s.min(t0.elapsed().as_secs_f64());
+            restored = fresh;
+        }
+        for probe in [0, n / 2, n - 1] {
+            let query = format!("fact({probe}, V)");
+            for tier in [Tier::Cycle, Tier::Native] {
+                let (_, ok) = time_query(&mut restored, &query, tier, 1);
+                assert!(ok, "restored lookup fact({probe}, V) on {}", tier.name());
+            }
+            assert_eq!(
+                restored.solve_all(&query).expect("restored query"),
+                kcm.solve_all(&query).expect("consulted query"),
+                "snapshot-restored solutions diverged at n={n}"
+            );
+        }
+        let load_ms = load_s * 1e3;
+        let speedup = ratio(consult_ms, load_ms);
+        cold_loads.push((n, load_ms));
+        cold.row(vec![
+            n.to_string(),
+            f2(consult_ms),
+            f3(save_s * 1e3),
+            f3(load_ms),
+            f2(bytes.len() as f64 / 1e6),
+            f2(speedup),
+        ]);
+        jsonl.record(
+            &Record::row("factscale", &format!("coldstart/n={n}"))
+                .u64("facts", n as u64)
+                .f64("consult_host_ms", consult_ms)
+                .f64("snapshot_save_host_ms", save_s * 1e3)
+                .u64("snapshot_bytes", bytes.len() as u64)
+                .f64("snapshot_load_host_ms", load_ms)
+                .f64("load_speedup", speedup),
+        );
     }
     println!("{}", t.render());
+    println!("cold start: consult source vs load snapshot (equivalence-checked)");
+    println!("{}", cold.render());
     if let (Some(&(n_min, p50_min)), Some(&(n_max, p50_max))) =
         (native_p50s.first(), native_p50s.last())
     {
@@ -237,6 +317,17 @@ fn main() {
                 .f64("p50_min_us", p50_min)
                 .f64("p50_max_us", p50_max)
                 .f64("p50_ratio_max_vs_min", r),
+        );
+    }
+    if let Some(&(n_max, load_ms)) = cold_loads.last() {
+        println!(
+            "cold start at n={n_max}: snapshot load {} ms (acceptance: < 100 ms at 10^6)",
+            f3(load_ms)
+        );
+        jsonl.record(
+            &Record::summary("factscale", "coldstart")
+                .u64("facts_max", n_max as u64)
+                .f64("load_host_ms_at_max", load_ms),
         );
     }
     jsonl.announce();

@@ -93,7 +93,7 @@ fn main() {
     let mut total_inferences: u64 = 0;
     for p in &suite {
         let mut kcm = Kcm::with_config(config.clone());
-        kcm.consult(p.source).expect("suite program consults");
+        kcm.load(p.source).expect("suite program consults");
         let mut best_s = f64::INFINITY;
         let mut outcome: Option<Outcome> = None;
         for _ in 0..reps {

@@ -63,7 +63,7 @@ fn main() {
 
     bench_function(&mut jsonl, "consult_and_query", || {
         let mut kcm = Kcm::new();
-        kcm.consult(black_box("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R)."))
+        kcm.load(black_box("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R)."))
             .expect("consult");
         black_box(
             kcm.query("app([1,2,3],[4],X)", &QueryOpts::first())

@@ -11,7 +11,7 @@ use kcm_system::{Kcm, QueryOpts};
 
 fn measure(source: &str, query: &str) -> (u64, f64, f64) {
     let mut kcm = Kcm::new();
-    kcm.consult(source).expect("consult");
+    kcm.load(source).expect("consult");
     let o = kcm.query(query, &QueryOpts::first()).expect("run");
     assert!(o.success);
     (

@@ -20,8 +20,8 @@ fn concat_step_cycles() -> f64 {
     let mut kcm = Kcm::new();
     // The input lists are built at run time (not static literals) so the
     // measurement covers exactly the inner loop between the two lengths.
-    kcm.consult(APP).expect("consult");
-    kcm.consult(
+    kcm.load(APP).expect("consult");
+    kcm.load(
         "mk(0, []). mk(N, [N|T]) :- N > 0, M is N - 1, mk(M, T).
          run(N) :- mk(N, L), app(L, [x], _).",
     )
@@ -40,7 +40,7 @@ fn concat_step_cycles() -> f64 {
         // concatenation step remains.
         - {
             let mut kcm2 = Kcm::new();
-            kcm2.consult("mk(0, []). mk(N, [N|T]) :- N > 0, M is N - 1, mk(M, T).")
+            kcm2.load("mk(0, []). mk(N, [N|T]) :- N > 0, M is N - 1, mk(M, T).")
                 .expect("consult");
             let s = kcm2.query("mk(8, _)", &QueryOpts::first()).expect("short").stats;
             let l = kcm2.query("mk(40, _)", &QueryOpts::first()).expect("long").stats;

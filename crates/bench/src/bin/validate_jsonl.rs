@@ -11,8 +11,40 @@
 //! is nothing to validate at all — so CI catches a driver that silently
 //! stopped emitting.
 
-use bench::jsonl::validate_line;
+use bench::jsonl::{validate_line, Json};
 use std::path::PathBuf;
+
+/// Bench-specific shape checks on top of the generic record schema:
+/// `factscale` cold-start rows must carry every metric the consult-vs-
+/// snapshot comparison is made of — a driver that stops emitting one of
+/// them would otherwise validate while quietly losing the acceptance
+/// number.
+fn check_shape(v: &Json) -> Result<(), String> {
+    let bench = v.get("bench").and_then(Json::as_str).unwrap_or("");
+    let label = v.get("label").and_then(Json::as_str).unwrap_or("");
+    if bench == "factscale" && label.starts_with("coldstart") {
+        let required: &[&str] = if v.get("kind").and_then(Json::as_str) == Some("summary") {
+            &["facts_max", "load_host_ms_at_max"]
+        } else {
+            &[
+                "facts",
+                "consult_host_ms",
+                "snapshot_save_host_ms",
+                "snapshot_bytes",
+                "snapshot_load_host_ms",
+                "load_speedup",
+            ]
+        };
+        for key in required {
+            match v.get(key) {
+                Some(Json::Num(_)) => {}
+                Some(_) => return Err(format!("coldstart `{key}` is not a number")),
+                None => return Err(format!("coldstart record missing `{key}`")),
+            }
+        }
+    }
+    Ok(())
+}
 
 fn default_files() -> Vec<PathBuf> {
     let Some(dir) = bench::jsonl::output_dir() else {
@@ -60,7 +92,7 @@ fn main() {
             if line.trim().is_empty() {
                 continue;
             }
-            match validate_line(line) {
+            match validate_line(line).and_then(|v| check_shape(&v).map(|()| v)) {
                 Ok(_) => file_records += 1,
                 Err(e) => {
                     eprintln!("{}:{}: {e}", path.display(), lineno + 1);

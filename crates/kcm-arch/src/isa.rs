@@ -1330,6 +1330,85 @@ impl Instr {
         Some((instr, 1))
     }
 
+    /// Validates one encoded instruction without materializing it:
+    /// returns the word count it occupies, rejecting exactly the
+    /// malformations [`Instr::decode`] rejects (unknown opcode, truncated
+    /// multi-word instruction, bad builtin/ALU/condition bits, a
+    /// structure-switch key that is not a functor). The snapshot loader
+    /// runs this over the whole stream so lazy per-chunk decode can never
+    /// fail afterwards; `scan_matches_decode` in the tests pins the
+    /// equivalence.
+    #[inline]
+    pub fn scan(words: &[u64]) -> Option<usize> {
+        // Fast path: single-word opcodes whose operand bits need no
+        // validation resolve with one table load — the scan loop over a
+        // million-fact stream is dominated by these.
+        const PLAIN_ONE_WORD: [bool; 256] = {
+            let mut t = [false; 256];
+            let ranges: [(u8, u8); 5] = [
+                (OP_CALL, OP_MARK),
+                (OP_GET_VARIABLE, OP_GET_STRUCTURE),
+                (OP_PUT_VARIABLE, OP_PUT_STRUCTURE),
+                (OP_UNIFY_VARIABLE, OP_UNIFY_TAIL_LIST),
+                (OP_MOVE2, OP_STORE_DIRECT),
+            ];
+            let mut r = 0;
+            while r < ranges.len() {
+                let mut op = ranges[r].0;
+                while op <= ranges[r].1 {
+                    t[op as usize] = true;
+                    op += 1;
+                }
+                r += 1;
+            }
+            // Opcodes whose operands *are* validated take the slow path.
+            t[OP_SWITCH_ON_TERM as usize] = false;
+            t[OP_SWITCH_ON_CONSTANT as usize] = false;
+            t[OP_SWITCH_ON_STRUCTURE as usize] = false;
+            t[OP_ESCAPE as usize] = false;
+            t[OP_ALU as usize] = false;
+            t[OP_BRANCH as usize] = false;
+            t
+        };
+        let w = *words.first()?;
+        let opcode = (w >> 56) as u8;
+        if PLAIN_ONE_WORD[opcode as usize] {
+            return Some(1);
+        }
+        let f8 = ((w >> 48) & 0xFF) as u8;
+        match opcode {
+            OP_SWITCH_ON_TERM => {
+                words.get(2)?;
+                Some(3)
+            }
+            OP_SWITCH_ON_CONSTANT | OP_SWITCH_ON_STRUCTURE => {
+                let n = ((w >> 28) & 0xFF_FFFF) as usize;
+                if words.len() < 1 + 2 * n {
+                    return None;
+                }
+                if opcode == OP_SWITCH_ON_STRUCTURE {
+                    for i in 0..n {
+                        Word::from_bits(words[1 + 2 * i]).as_functor()?;
+                    }
+                }
+                Some(1 + 2 * n)
+            }
+            OP_ESCAPE => {
+                Builtin::from_bits(f8)?;
+                Some(1)
+            }
+            OP_ALU => {
+                AluOp::from_bits(((w >> 8) & 0xFF) as u8)?;
+                Some(1)
+            }
+            OP_BRANCH => {
+                Cond::from_bits(f8)?;
+                Some(1)
+            }
+            _ => None,
+        }
+    }
+
     /// Whether this instruction redirects the instruction prefetch stream
     /// (used by the prefetch unit's predecoding hardware, §3.1.3).
     pub fn is_branching(&self) -> bool {
@@ -1475,6 +1554,39 @@ mod tests {
         let (decoded, consumed) = Instr::decode(&words).unwrap_or_else(|| panic!("decode {i}"));
         assert_eq!(consumed, words.len(), "consumed mismatch for {i}");
         assert_eq!(decoded, i);
+        assert_eq!(Instr::scan(&words), Some(consumed), "scan mismatch for {i}");
+    }
+
+    #[test]
+    fn scan_matches_decode() {
+        // scan must accept exactly what decode accepts and agree on the
+        // word count — for every opcode byte and a spread of field bits,
+        // including the invalid ones. A drift here would let the snapshot
+        // loader's validation pass accept a stream whose lazy decode
+        // later panics (or vice versa).
+        let fills = [
+            0u64,
+            0x00FF_FFFF_FFFF_FFFF,
+            0x0055_AA55_AA55_AA55,
+            0x0000_0000_0000_0001,
+            0x0012_3456_789A_BCDE,
+        ];
+        for opcode in 0..=255u64 {
+            for fill in fills {
+                // One word plus empty padding: multi-word instructions
+                // must agree on rejecting the truncation too.
+                for extra in [0usize, 1, 3] {
+                    let mut words = vec![(opcode << 56) | fill];
+                    words.extend(std::iter::repeat_n(0u64, extra));
+                    let scanned = Instr::scan(&words);
+                    let decoded = Instr::decode(&words).map(|(_, n)| n);
+                    assert_eq!(
+                        scanned, decoded,
+                        "opcode {opcode:#x} fill {fill:#x} extra {extra}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

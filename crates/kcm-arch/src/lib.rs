@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod image;
 pub mod isa;
+pub mod snapshot;
 pub mod swindex;
 pub mod symbol;
 pub mod tag;
@@ -46,7 +48,9 @@ pub mod word;
 pub mod zone;
 
 pub use addr::{CodeAddr, PageNumber, VAddr, PAGE_SIZE_WORDS, VADDR_BITS};
+pub use image::{CodeImage, CompileOptions, PatchError, PredId, PredSize};
 pub use isa::{Builtin, Cond, Instr, Reg};
+pub use snapshot::SnapshotError;
 pub use swindex::SwitchIndex;
 pub use symbol::{AtomId, FunctorId, SymbolTable};
 pub use tag::Tag;

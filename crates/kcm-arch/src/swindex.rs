@@ -36,9 +36,12 @@ struct Slot {
     ordinal: u32,
 }
 
-/// An immutable open-addressing hash map from switch key to
-/// `(target, ordinal)`, shared by both execution tiers.
-#[derive(Debug)]
+/// An open-addressing hash map from switch key to `(target, ordinal)`,
+/// shared by both execution tiers. Built immutably at link time; the
+/// incremental assert path ([`crate::CodeImage::assert_fact_clause`])
+/// clones-and-mutates it through [`SwitchIndex::set_target`] and
+/// [`SwitchIndex::push_key`].
+#[derive(Debug, Clone)]
 pub struct SwitchIndex {
     slots: Box<[Slot]>,
     mask: usize,
@@ -117,6 +120,88 @@ impl SwitchIndex {
         self.len
     }
 
+    /// Redirects an existing key to a new target, keeping its ordinal
+    /// (probe accounting) untouched. No-op if the key is absent.
+    pub fn set_target(&mut self, key: u64, target: CodeAddr) {
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.target == EMPTY {
+                return;
+            }
+            if slot.key == key {
+                slot.target = target.value();
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Appends a key that is new to the underlying linear table (its
+    /// ordinal is the table's previous length), growing and rehashing —
+    /// ordinals preserved — when the ≤ 50% load bound would be exceeded.
+    pub fn push_key(&mut self, key: u64, target: CodeAddr) {
+        let ordinal = self.len;
+        if 2 * (self.len + 1) > self.slots.len() {
+            let mut grown = SwitchIndex::with_capacity(self.len + 1);
+            grown.len = self.len;
+            for slot in self.slots.iter() {
+                if slot.target != EMPTY {
+                    grown.insert_at_ordinal(slot.key, slot.target, slot.ordinal);
+                }
+            }
+            *self = grown;
+        }
+        self.insert_at_ordinal(key, target.value(), ordinal as u32);
+        self.len = ordinal + 1;
+    }
+
+    fn insert_at_ordinal(&mut self, key: u64, target: u32, ordinal: u32) {
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.target == EMPTY {
+                *slot = Slot {
+                    key,
+                    target,
+                    ordinal,
+                };
+                return;
+            }
+            if slot.key == key {
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Every slot — occupied or empty — as `(key, target, ordinal)`
+    /// triples, in slot order. `target == u32::MAX` marks an empty slot.
+    /// Raw access for the snapshot writer, so loading can skip rehashing.
+    pub(crate) fn raw_slots(&self) -> impl Iterator<Item = (u64, u32, u32)> + '_ {
+        self.slots.iter().map(|s| (s.key, s.target, s.ordinal))
+    }
+
+    /// Rebuilds an index from snapshot-restored raw slots. `slots.len()`
+    /// must be a power of two (the writer only ever emits such).
+    pub(crate) fn from_raw(len: usize, slots: Vec<(u64, u32, u32)>) -> SwitchIndex {
+        debug_assert!(slots.len().is_power_of_two());
+        let mask = slots.len() - 1;
+        SwitchIndex {
+            slots: slots
+                .into_iter()
+                .map(|(key, target, ordinal)| Slot {
+                    key,
+                    target,
+                    ordinal,
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            mask,
+            len,
+        }
+    }
+
     /// Looks up a key, returning the branch target and the key's ordinal in
     /// the original linear table (for probe-cost accounting).
     #[inline]
@@ -193,6 +278,43 @@ mod tests {
             assert_eq!(idx.lookup(f.index() as u64), Some((*target, i as u32)));
         }
         assert!(idx.lookup(n as u64).is_none());
+    }
+
+    #[test]
+    fn push_key_grows_and_preserves_ordinals() {
+        let table: Vec<(Word, CodeAddr)> = (0..8)
+            .map(|i| (Word::int(i), CodeAddr::new(100 + i as u32)))
+            .collect();
+        let mut idx = SwitchIndex::for_constants(&table);
+        for i in 8..200i32 {
+            idx.push_key(Word::int(i).switch_key(), CodeAddr::new(100 + i as u32));
+        }
+        assert_eq!(idx.table_len(), 200);
+        for i in 0..200i32 {
+            assert_eq!(
+                idx.lookup(Word::int(i).switch_key()),
+                Some((CodeAddr::new(100 + i as u32), i as u32)),
+            );
+        }
+        idx.set_target(Word::int(7).switch_key(), CodeAddr::new(999));
+        assert_eq!(
+            idx.lookup(Word::int(7).switch_key()),
+            Some((CodeAddr::new(999), 7)),
+        );
+    }
+
+    #[test]
+    fn raw_slot_round_trip_matches() {
+        let table: Vec<(Word, CodeAddr)> = (0..50)
+            .map(|i| (Word::int(i), CodeAddr::new(i as u32 + 1)))
+            .collect();
+        let idx = SwitchIndex::for_constants(&table);
+        let raw: Vec<(u64, u32, u32)> = idx.raw_slots().collect();
+        let back = SwitchIndex::from_raw(idx.table_len(), raw);
+        for (k, t) in &table {
+            assert_eq!(back.lookup(k.switch_key()), idx.lookup(k.switch_key()));
+            assert!(back.lookup(k.switch_key()).is_some_and(|(bt, _)| bt == *t));
+        }
     }
 
     #[test]

@@ -148,6 +148,37 @@ impl SymbolTable {
     pub fn functor_count(&self) -> usize {
         self.functors.len()
     }
+
+    /// The atom spellings in intern order (snapshot writer).
+    pub(crate) fn raw_atoms(&self) -> &[String] {
+        &self.atoms
+    }
+
+    /// The functor (atom, arity) pairs in intern order (snapshot writer).
+    pub(crate) fn raw_functors(&self) -> &[(AtomId, u8)] {
+        &self.functors
+    }
+
+    /// Rebuilds a table from snapshot-restored raw parts, reconstructing
+    /// the intern indices.
+    pub(crate) fn from_raw(atoms: Vec<String>, functors: Vec<(AtomId, u8)>) -> SymbolTable {
+        let atom_index = atoms
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), AtomId::new(i)))
+            .collect();
+        let functor_index = functors
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| (key, FunctorId::new(i)))
+            .collect();
+        SymbolTable {
+            atoms,
+            atom_index,
+            functors,
+            functor_index,
+        }
+    }
 }
 
 #[cfg(test)]

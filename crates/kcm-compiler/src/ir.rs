@@ -15,20 +15,7 @@
 use crate::CompileError;
 use kcm_prolog::Term;
 
-/// A predicate identifier: name and arity.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct PredId {
-    /// Predicate name.
-    pub name: String,
-    /// Predicate arity.
-    pub arity: u8,
-}
-
-impl std::fmt::Display for PredId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}/{}", self.name, self.arity)
-    }
-}
+pub use kcm_arch::PredId;
 
 /// One body goal after normalisation.
 #[derive(Debug, Clone, PartialEq)]

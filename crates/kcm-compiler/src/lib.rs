@@ -56,65 +56,12 @@ pub use builtins::GoalKind;
 pub use clause::MAX_ARITY;
 pub use ir::{Clause, Goal, PredId, Predicate, Program};
 pub use kasm::{parse_kasm, KasmError};
-pub use link::{CodeImage, Linker, PredSize};
+pub use link::{compile_fact_instrs, CodeImage, Linker, PredSize};
 
 use kcm_arch::SymbolTable;
 use kcm_prolog::Term;
 
-/// Target-machine compilation options. KCM's defaults enable everything;
-/// the baseline machine models compile with their own settings.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CompileOptions {
-    /// Compile arithmetic natively onto the ALU/FPU (§4's "integer
-    /// arithmetic" mode). Off for machines whose arithmetic goes through
-    /// the escape mechanism (PLM) or a generic evaluator (Quintus).
-    pub inline_arith: bool,
-    /// Emit the `neck` instruction marking KCM's deferred-choice-point
-    /// boundary (§3.1.5). Off for standard-WAM machines, which create
-    /// choice points eagerly at `try`.
-    pub deferred_choice_points: bool,
-    /// Place ground compound literals in the static data area and refer
-    /// to them with one constant-load — how KCM keeps a statically known
-    /// list out of the code stream (§4.1 discusses the code-space
-    /// trade-off against PLM's cdr-coding, which encodes such lists *in*
-    /// the code at one instruction per cell).
-    pub static_ground_literals: bool,
-    /// Depth-2 fact indexing: for wide all-fact predicates whose clauses
-    /// carry constant first *and* second arguments, emit a second-level
-    /// switch on the second argument under each first-argument bucket
-    /// (B-Prolog matching-tree shape), collapsing try/retry/trust chains
-    /// for `fact(K1, K2)` point lookups.
-    pub depth2_facts: bool,
-}
-
-impl Default for CompileOptions {
-    fn default() -> CompileOptions {
-        CompileOptions {
-            inline_arith: true,
-            deferred_choice_points: true,
-            static_ground_literals: true,
-            depth2_facts: true,
-        }
-    }
-}
-
-impl CompileOptions {
-    /// The KCM configuration (same as [`Default`]).
-    pub fn kcm() -> CompileOptions {
-        CompileOptions::default()
-    }
-
-    /// A standard-WAM configuration: eager choice points, escape-based
-    /// arithmetic.
-    pub fn standard_wam() -> CompileOptions {
-        CompileOptions {
-            inline_arith: false,
-            deferred_choice_points: false,
-            static_ground_literals: false,
-            depth2_facts: false,
-        }
-    }
-}
+pub use kcm_arch::CompileOptions;
 
 /// A compilation error.
 #[derive(Debug, Clone, PartialEq)]

@@ -6,6 +6,10 @@
 //! encodes the final instruction words (the image the loader downloads to
 //! the machine) and records per-predicate sizes for the static code-size
 //! evaluation (Table 1).
+//!
+//! The image type itself lives in `kcm-arch` ([`kcm_arch::image`]) so the
+//! snapshot format and the in-place assert/retract patching need no
+//! compiler dependency; it is re-exported here under its historical paths.
 
 use crate::asm::{assemble, AsmItem};
 use crate::clause::compile_clause;
@@ -13,27 +17,14 @@ use crate::index::compile_predicate;
 use crate::ir::{Clause, Goal, PredId, Program};
 use crate::CompileError;
 use kcm_arch::isa::Instr;
-use kcm_arch::{CodeAddr, SwitchIndex, SymbolTable, Tag, VAddr, Word, Zone};
+use kcm_arch::{SymbolTable, Tag, VAddr, Word};
 use kcm_prolog::Term;
-use std::collections::HashMap;
-use std::sync::Arc;
 
-/// Static code size of one predicate (a Table 1 row contribution).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PredSize {
-    /// The predicate.
-    pub id: PredId,
-    /// Number of instructions.
-    pub instrs: usize,
-    /// Number of 64-bit code words (≥ instrs; switches are multi-word).
-    pub words: usize,
-    /// Whether this is a compiler-generated auxiliary.
-    pub auxiliary: bool,
-    /// First code word of the predicate.
-    pub start: u32,
-    /// One past the last code word of the predicate.
-    pub end: u32,
-}
+use kcm_arch::image::CODE_BASE;
+pub use kcm_arch::image::{
+    CodeImage, PredSize, CALL_STUB, FAIL_STUB, HALT_STUB, STATIC_DATA_BASE, UNKNOWN_STUB,
+};
+use kcm_arch::CodeAddr;
 
 /// The static data area being assembled: ground compound literals live
 /// here, as tagged words in the static zone, and the code refers to them
@@ -122,206 +113,6 @@ impl StaticImage {
     }
 }
 
-/// A linked, loaded code image.
-///
-/// Holds both representations of the code: the encoded 64-bit words (what
-/// the code cache and the size accounting see) and the decoded
-/// instructions at their word addresses (what the simulator executes).
-#[derive(Debug, Clone)]
-pub struct CodeImage {
-    instrs: Vec<Instr>,
-    /// Word address of each instruction in `instrs` (sorted).
-    addrs: Vec<u32>,
-    /// Dense map word address → index into `instrs` (`u32::MAX` = not an
-    /// instruction start). Dense because the machine consults it on every
-    /// fetch.
-    addr_index: Vec<u32>,
-    /// Link-time hash side table, parallel to `instrs`: wide
-    /// `switch_on_constant` / `switch_on_structure` tables get an
-    /// open-addressing index here so dispatch is O(1) instead of a
-    /// linear scan. `Arc` so per-query image clones share the tables.
-    switch_index: Vec<Option<Arc<SwitchIndex>>>,
-    words: Vec<u64>,
-    entries: HashMap<(String, u8), CodeAddr>,
-    sizes: Vec<PredSize>,
-    warnings: Vec<String>,
-    query_vars: Vec<String>,
-    aux_round: u32,
-    options: crate::CompileOptions,
-    static_data: Vec<Word>,
-    static_base: VAddr,
-}
-
-/// Address of the global fail stub.
-pub const FAIL_STUB: CodeAddr = CodeAddr::new(0);
-/// Address of the halt-success stub (initial continuation of a query).
-pub const HALT_STUB: CodeAddr = CodeAddr::new(1);
-/// Address of the unknown-predicate stub (fails, with a link warning).
-pub const UNKNOWN_STUB: CodeAddr = CodeAddr::new(2);
-/// Entry of the `$call/1` meta-call trampoline: an escape that dispatches
-/// the goal term in A1 (execute-style for user predicates, inline for
-/// built-ins) followed by a `proceed` for the inline case.
-pub const CALL_STUB: CodeAddr = CodeAddr::new(4);
-/// First address available for program code.
-const CODE_BASE: u32 = 8;
-/// Switch tables with at least this many entries get a link-time hash
-/// index; below it a linear scan is at worst as many probes as the hash
-/// path would charge, so the side table buys nothing.
-const HASH_INDEX_MIN_ENTRIES: usize = 8;
-/// Base of the ground-literal area in the static data zone (leaving the
-/// low words for system use).
-pub const STATIC_DATA_BASE: VAddr = VAddr::new(Zone::Static.base().value() + 0x100);
-
-impl CodeImage {
-    /// The entry address of a predicate, if linked.
-    pub fn entry(&self, name: &str, arity: u8) -> Option<CodeAddr> {
-        self.entries.get(&(name.to_owned(), arity)).copied()
-    }
-
-    /// The decoded instruction starting at `addr`, if any.
-    #[inline]
-    pub fn instr_at(&self, addr: CodeAddr) -> Option<&Instr> {
-        self.index_of(addr).map(|i| &self.instrs[i as usize])
-    }
-
-    /// Index into the decoded instruction stream of the instruction
-    /// starting at `addr` (the dense `addr_index` lookup behind
-    /// [`CodeImage::instr_at`]).
-    #[inline]
-    pub fn index_of(&self, addr: CodeAddr) -> Option<u32> {
-        match self.addr_index.get(addr.value() as usize) {
-            Some(&i) if i != u32::MAX => Some(i),
-            _ => None,
-        }
-    }
-
-    /// The instruction at stream index `idx` (obtained from
-    /// [`CodeImage::index_of`] or [`CodeImage::addr_at_index`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `idx` is out of range.
-    #[inline]
-    pub fn instr_at_index(&self, idx: u32) -> &Instr {
-        &self.instrs[idx as usize]
-    }
-
-    /// The word address of the instruction at stream index `idx`, if any.
-    /// Instructions are laid out in address order, so the sequential
-    /// successor of index `i` is index `i + 1` — the machine's
-    /// fall-through dispatch validates its hint with this.
-    #[inline]
-    pub fn addr_at_index(&self, idx: u32) -> Option<u32> {
-        self.addrs.get(idx as usize).copied()
-    }
-
-    /// Number of decoded instructions in the stream (valid stream indices
-    /// are `0..num_instrs`).
-    #[inline]
-    pub fn num_instrs(&self) -> usize {
-        self.instrs.len()
-    }
-
-    /// The link-time hash index of the switch instruction at stream index
-    /// `idx`, if one was built (only wide `switch_on_constant` /
-    /// `switch_on_structure` tables get one).
-    #[inline]
-    pub fn switch_index(&self, idx: u32) -> Option<&SwitchIndex> {
-        self.switch_index
-            .get(idx as usize)
-            .and_then(|s| s.as_deref())
-    }
-
-    /// The encoded code words (loader image).
-    pub fn words(&self) -> &[u64] {
-        &self.words
-    }
-
-    /// Total code length in words.
-    pub fn len_words(&self) -> usize {
-        self.words.len()
-    }
-
-    /// Per-predicate static sizes, in layout order.
-    pub fn sizes(&self) -> &[PredSize] {
-        &self.sizes
-    }
-
-    /// Link warnings (calls to undefined predicates, resolved to a stub
-    /// that fails).
-    pub fn warnings(&self) -> &[String] {
-        &self.warnings
-    }
-
-    /// For query images: the reported variable names, in A1..An order.
-    pub fn query_vars(&self) -> &[String] {
-        &self.query_vars
-    }
-
-    /// The `$query/0` entry of a query image.
-    pub fn query_entry(&self) -> Option<CodeAddr> {
-        self.entry("$query", 0)
-    }
-
-    /// The target options this image was compiled with.
-    pub fn options(&self) -> &crate::CompileOptions {
-        &self.options
-    }
-
-    /// The assembled static data area (ground literals) and its base
-    /// address: the loader installs these words before running.
-    pub fn static_data(&self) -> (VAddr, &[Word]) {
-        (self.static_base, &self.static_data)
-    }
-
-    /// The decoded instructions of one predicate (by its size record).
-    pub fn instructions_of(&self, size: &PredSize) -> Vec<Instr> {
-        let mut out = Vec::new();
-        let mut addr = size.start;
-        while addr < size.end {
-            match self.instr_at(CodeAddr::new(addr)) {
-                Some(i) => {
-                    out.push(i.clone());
-                    addr += i.size_words() as u32;
-                }
-                None => addr += 1,
-            }
-        }
-        out
-    }
-
-    /// Disassembles the whole image.
-    pub fn disassemble(&self, symbols: &SymbolTable) -> String {
-        use std::fmt::Write;
-        let mut rev: HashMap<u32, &(String, u8)> = HashMap::new();
-        for (k, v) in &self.entries {
-            rev.insert(v.value(), k);
-        }
-        let mut out = String::new();
-        for (i, instr) in self.instrs.iter().enumerate() {
-            let addr = self.addrs[i];
-            if let Some((name, arity)) = rev.get(&addr) {
-                let _ = writeln!(out, "{name}/{arity}:");
-            }
-            let text = match instr {
-                Instr::GetStructure { f, a } => format!(
-                    "get_structure {}/{}, {a}",
-                    symbols.functor_name(*f),
-                    symbols.functor_arity(*f)
-                ),
-                Instr::PutStructure { f, a } => format!(
-                    "put_structure {}/{}, {a}",
-                    symbols.functor_name(*f),
-                    symbols.functor_arity(*f)
-                ),
-                other => other.to_string(),
-            };
-            let _ = writeln!(out, "  {addr:6}  {text}");
-        }
-        out
-    }
-}
-
 /// The static linker.
 #[derive(Debug, Default)]
 pub struct Linker;
@@ -356,39 +147,33 @@ impl Linker {
         symbols: &mut SymbolTable,
         options: &crate::CompileOptions,
     ) -> Result<CodeImage, CompileError> {
-        let mut image = CodeImage {
-            instrs: Vec::new(),
-            addrs: Vec::new(),
-            addr_index: Vec::new(),
-            switch_index: Vec::new(),
-            words: Vec::new(),
-            entries: HashMap::new(),
-            sizes: Vec::new(),
-            warnings: Vec::new(),
-            query_vars: Vec::new(),
-            aux_round: 0,
-            options: options.clone(),
-            static_data: Vec::new(),
-            static_base: STATIC_DATA_BASE,
-        };
-        // Stubs.
-        Self::place(&mut image, FAIL_STUB, Instr::Fail);
-        Self::place(&mut image, HALT_STUB, Instr::Halt { success: true });
-        Self::place(&mut image, UNKNOWN_STUB, Instr::Fail);
-        Self::place(
-            &mut image,
-            CALL_STUB,
-            Instr::Escape {
-                builtin: kcm_arch::isa::Builtin::CallGoal,
-            },
-        );
-        Self::place(&mut image, CALL_STUB.offset(1), Instr::Proceed);
-        for n in 1..=8u8 {
-            image.entries.insert(("$call".to_owned(), n), CALL_STUB);
-        }
-        image.words.resize(CODE_BASE as usize, 0);
+        let mut image = Self::image_with_stubs(options.clone(), true);
         Self::link_into(&mut image, program, symbols)?;
         Ok(image)
+    }
+
+    /// A fresh image holding only the stubs (and, optionally, the
+    /// `$call/N` trampoline entries).
+    fn image_with_stubs(options: crate::CompileOptions, call_stub: bool) -> CodeImage {
+        let mut image = CodeImage::new(options);
+        image.place(FAIL_STUB, Instr::Fail);
+        image.place(HALT_STUB, Instr::Halt { success: true });
+        image.place(UNKNOWN_STUB, Instr::Fail);
+        if call_stub {
+            image.place(
+                CALL_STUB,
+                Instr::Escape {
+                    builtin: kcm_arch::isa::Builtin::CallGoal,
+                },
+            );
+            image.place(CALL_STUB.offset(1), Instr::Proceed);
+            for n in 1..=8u8 {
+                image.set_entry("$call".to_owned(), n, CALL_STUB);
+            }
+        }
+        // Stub words stay zero: they are never fetched as encoded words.
+        image.pad_words_to(CODE_BASE as usize);
+        image
     }
 
     /// Extends `base` with a `$query/0` predicate for `goal`; returns the
@@ -408,11 +193,11 @@ impl Linker {
             return Err(CompileError::TooManyQueryVars(vars.len()));
         }
         let mut image = base.clone();
-        image.aux_round += 1;
+        let round = image.bump_aux_round();
         // Remove any previous query linkage so re-querying the same image
         // works (entries are replaced; dead code words stay, as in a real
         // incremental loader).
-        image.entries.retain(|(name, _), _| name != "$query");
+        image.retain_entries(|name, _| name != "$query");
 
         let report = if vars.is_empty() {
             Term::Atom("$report".into())
@@ -429,31 +214,11 @@ impl Linker {
                 Term::Struct(",".into(), vec![goal.clone(), report]),
             ],
         );
-        let prefix = format!("$q{}aux", image.aux_round);
+        let prefix = format!("$q{round}aux");
         let program = Program::from_clauses_named(&[query_clause], &prefix)?;
         Self::link_into(&mut image, &program, symbols)?;
-        image.query_vars = vars.clone();
+        image.set_query_vars(vars.clone());
         Ok((image, vars))
-    }
-
-    fn place(image: &mut CodeImage, addr: CodeAddr, instr: Instr) {
-        let at = addr.value() as usize;
-        if image.addr_index.len() <= at {
-            image.addr_index.resize(at + 1, u32::MAX);
-        }
-        image.addr_index[at] = image.instrs.len() as u32;
-        image.addrs.push(addr.value());
-        let side = match &instr {
-            Instr::SwitchOnConstant { table, .. } if table.len() >= HASH_INDEX_MIN_ENTRIES => {
-                Some(Arc::new(SwitchIndex::for_constants(table)))
-            }
-            Instr::SwitchOnStructure { table, .. } if table.len() >= HASH_INDEX_MIN_ENTRIES => {
-                Some(Arc::new(SwitchIndex::for_structures(table)))
-            }
-            _ => None,
-        };
-        image.switch_index.push(side);
-        image.instrs.push(instr);
     }
 
     fn link_into(
@@ -462,18 +227,16 @@ impl Linker {
         symbols: &mut SymbolTable,
     ) -> Result<(), CompileError> {
         // Pass 1: compile each predicate to symbolic code and lay it out.
-        let mut start = image.words.len() as u32;
+        let mut start = image.len_words() as u32;
         let mut compiled: Vec<(&crate::ir::Predicate, Vec<AsmItem>, CodeAddr)> = Vec::new();
-        let options = image.options.clone();
-        let mut statics =
-            StaticImage::resume(image.static_base, std::mem::take(&mut image.static_data));
+        let options = image.options().clone();
+        let (static_base, _) = image.static_data();
+        let mut statics = StaticImage::resume(static_base, image.take_static_data());
         for pred in &program.predicates {
             let items = compile_predicate(pred, symbols, &mut statics, &options)?;
             let size: usize = items.iter().map(AsmItem::size_words).sum();
             let entry = CodeAddr::new(start);
-            image
-                .entries
-                .insert((pred.id.name.clone(), pred.id.arity), entry);
+            image.set_entry(pred.id.name.clone(), pred.id.arity, entry);
             compiled.push((pred, items, entry));
             start += size as u32;
         }
@@ -481,10 +244,9 @@ impl Linker {
         // Pass 2: assemble with full symbol knowledge.
         for (pred, items, entry) in compiled {
             let mut warnings = Vec::new();
-            let entries = &image.entries;
             let mut resolve = |p: &PredId| -> CodeAddr {
-                match entries.get(&(p.name.clone(), p.arity)) {
-                    Some(a) => *a,
+                match image.entry(&p.name, p.arity) {
+                    Some(a) => a,
                     None => {
                         warnings.push(format!(
                             "undefined predicate {p} called from {} (will fail)",
@@ -496,7 +258,9 @@ impl Linker {
             };
             let resolved = assemble(&items, entry, &mut resolve, FAIL_STUB)
                 .expect("compiler emits well-labelled code");
-            image.warnings.extend(warnings);
+            for warning in warnings {
+                image.push_warning(warning);
+            }
             let mut instr_count = 0usize;
             let mut word_count = 0usize;
             for (addr, instr) in resolved {
@@ -506,27 +270,18 @@ impl Linker {
                     instr_count += 1;
                     word_count += instr.size_words();
                 }
-                // Encode into the words image.
-                let at = addr.value() as usize;
-                if image.words.len() < at {
-                    image.words.resize(at, 0);
-                }
-                let mut enc = Vec::new();
-                instr.encode(&mut enc);
-                debug_assert_eq!(image.words.len(), at, "layout must be dense");
-                image.words.extend(enc);
-                Self::place(image, addr, instr);
+                image.emit(addr, instr);
             }
-            image.sizes.push(PredSize {
+            image.push_size(PredSize {
                 id: pred.id.clone(),
                 instrs: instr_count,
                 words: word_count,
                 auxiliary: pred.auxiliary,
                 start: entry.value(),
-                end: image.words.len() as u32,
+                end: image.len_words() as u32,
             });
         }
-        image.static_data = statics.into_words();
+        image.set_static_data(statics.into_words());
         Ok(())
     }
 }
@@ -545,25 +300,7 @@ impl Linker {
         items: &[AsmItem],
         _symbols: &mut SymbolTable,
     ) -> Result<CodeImage, CompileError> {
-        let mut image = CodeImage {
-            instrs: Vec::new(),
-            addrs: Vec::new(),
-            addr_index: Vec::new(),
-            switch_index: Vec::new(),
-            words: Vec::new(),
-            entries: HashMap::new(),
-            sizes: Vec::new(),
-            warnings: Vec::new(),
-            query_vars: Vec::new(),
-            aux_round: 0,
-            options: crate::CompileOptions::default(),
-            static_data: Vec::new(),
-            static_base: STATIC_DATA_BASE,
-        };
-        Self::place(&mut image, FAIL_STUB, Instr::Fail);
-        Self::place(&mut image, HALT_STUB, Instr::Halt { success: true });
-        Self::place(&mut image, UNKNOWN_STUB, Instr::Fail);
-        image.words.resize(CODE_BASE as usize, 0);
+        let mut image = Self::image_with_stubs(crate::CompileOptions::default(), false);
         let entry = CodeAddr::new(CODE_BASE);
         let mut warnings = Vec::new();
         let resolved = assemble(
@@ -576,17 +313,102 @@ impl Linker {
             FAIL_STUB,
         )
         .map_err(|e| CompileError::UnsupportedDirective(e.to_string()))?;
-        image.warnings = warnings;
-        for (addr, instr) in resolved {
-            let mut enc = Vec::new();
-            instr.encode(&mut enc);
-            debug_assert_eq!(image.words.len(), addr.value() as usize);
-            image.words.extend(enc);
-            Self::place(&mut image, addr, instr);
+        for warning in warnings {
+            image.push_warning(warning);
         }
-        image.entries.insert(("main".to_owned(), 0), entry);
+        for (addr, instr) in resolved {
+            image.emit(addr, instr);
+        }
+        image.set_entry("main".to_owned(), 0, entry);
         Ok(image)
     }
+}
+
+impl Linker {
+    /// Recompiles one predicate from `clauses` (its complete new clause
+    /// list, in source order), links the fresh code at the end of the
+    /// image, and repoints every call site from the old entry — the
+    /// fallback behind `assert`/`retract` when the in-place fact patch
+    /// does not apply. An empty clause list unlinks the predicate
+    /// (subsequent calls fail, as for an undefined predicate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors; the image is unchanged on error.
+    pub fn relink_predicate(
+        image: &mut CodeImage,
+        pred: &PredId,
+        clauses: &[Term],
+        symbols: &mut SymbolTable,
+    ) -> Result<(), CompileError> {
+        let old = image.entry(&pred.name, pred.arity);
+        if clauses.is_empty() {
+            if let Some(old) = old {
+                image.remove_entry(&pred.name, pred.arity);
+                image.retarget_calls(old, UNKNOWN_STUB);
+            }
+            return Ok(());
+        }
+        // Freshen auxiliary names so rules with control constructs don't
+        // collide with the image's existing auxiliaries.
+        let round = image.bump_aux_round();
+        let prefix = format!("$r{round}aux");
+        let program = Program::from_clauses_named(clauses, &prefix)?;
+        Self::link_into(image, &program, symbols)?;
+        if let (Some(old), Some(new)) = (old, image.entry(&pred.name, pred.arity)) {
+            if old != new {
+                image.retarget_calls(old, new);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiles one ground fact into the straight-line clause code the
+/// in-place assert patch appends (compiled exactly as a clause of a
+/// multi-clause chain). Returns `None` when the fact does not qualify
+/// for patching — any compound argument would intern into the static
+/// data area, which in-place patching does not extend — in which case
+/// the caller should fall back to [`Linker::relink_predicate`].
+///
+/// # Errors
+///
+/// Propagates clause-compilation errors (bad head, arity overflow).
+pub fn compile_fact_instrs(
+    pred: &PredId,
+    fact: &Term,
+    symbols: &mut SymbolTable,
+    options: &crate::CompileOptions,
+) -> Result<Option<Vec<Instr>>, CompileError> {
+    fn atomic(t: &Term) -> bool {
+        matches!(t, Term::Int(_) | Term::Float(_) | Term::Atom(_))
+    }
+    let args: &[Term] = match fact {
+        Term::Atom(_) => &[],
+        Term::Struct(n, _) if n == ":-" => return Ok(None),
+        Term::Struct(_, args) => args,
+        other => return Err(CompileError::BadClauseHead(other.to_string())),
+    };
+    if !args.iter().all(atomic) {
+        return Ok(None);
+    }
+    let clause = Clause {
+        head: fact.clone(),
+        goals: Vec::new(),
+    };
+    // Atomic arguments never touch the static area, so a throwaway one
+    // is safe here.
+    let mut statics = StaticImage::new(STATIC_DATA_BASE);
+    let items = compile_clause(pred, &clause, true, symbols, &mut statics, options)?;
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            AsmItem::Plain(i) => out.push(i),
+            AsmItem::Label(_) => {}
+            _ => return Ok(None),
+        }
+    }
+    Ok(Some(out))
 }
 
 /// Compiles a single standalone clause (used by tests and by baseline
@@ -675,12 +497,12 @@ mod tests {
         let (image, _) = link("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).");
         // Every decoded instruction must re-decode from the words image at
         // its address.
-        for (addr, &idx) in image.addr_index.iter().enumerate() {
-            if idx == u32::MAX || addr < 8 {
+        for addr in 8..image.len_words() as u32 {
+            let Some(idx) = image.index_of(CodeAddr::new(addr)) else {
                 continue;
-            }
-            let got = Instr::decode(&image.words()[addr..]).map(|(i, _)| i);
-            assert_eq!(got.as_ref(), Some(&image.instrs[idx as usize]), "at {addr}");
+            };
+            let got = Instr::decode(&image.words()[addr as usize..]).map(|(i, _)| i);
+            assert_eq!(got.as_ref(), Some(image.instr_at_index(idx)), "at {addr}");
         }
     }
 

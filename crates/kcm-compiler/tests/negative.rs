@@ -177,7 +177,7 @@ fn bad_arithmetic_is_a_runtime_error_not_a_compile_error() {
     compile("p(R) :- R is foo(1).").expect("escape arithmetic compiles");
     compile("p(R) :- R is bar.").expect("atom RHS compiles");
     let mut kcm = kcm_system::Kcm::new();
-    kcm.consult("p(R) :- R is foo(1).").unwrap();
+    kcm.load("p(R) :- R is foo(1).").unwrap();
     let err = kcm
         .query("p(R)", &kcm_system::QueryOpts::all())
         .unwrap_err();
@@ -196,7 +196,7 @@ fn unlinkable_calls_warn_and_fail_cleanly() {
     // consult succeeds, a warning names the call site, and the query
     // fails rather than faulting.
     let mut kcm = kcm_system::Kcm::new();
-    kcm.consult("p :- missing_helper(1, 2).").unwrap();
+    kcm.load("p :- missing_helper(1, 2).").unwrap();
     let warnings = kcm.warnings();
     assert_eq!(warnings.len(), 1, "{warnings:?}");
     assert!(

@@ -134,6 +134,28 @@ pub const CORPUS: &[CorpusCase] = &[
         query: "sum([5,(-3),11,0], 0, R)",
         enumerate: true,
     },
+    // The two program shapes incremental updates produce: an assertz
+    // appends a duplicate-key clause *after* every original clause of a
+    // wide (hash-switched) fact predicate, and a retract leaves a gap in
+    // the middle of the first-key order. Every engine must enumerate the
+    // flattened forms in the same clause order the incremental machinery
+    // preserves, or incremental-vs-reconsult equivalence is meaningless.
+    CorpusCase {
+        name: "incremental_shape_appended_duplicate_key",
+        source: "f(k0, a). f(k1, b). f(k2, c). f(k3, d). f(k4, e).\n\
+                 f(k5, g). f(k6, h). f(k7, i). f(k8, j). f(k9, l).\n\
+                 f(k3, appended_dup). f(k_new, appended_new).\n",
+        query: "f(k3, V)",
+        enumerate: true,
+    },
+    CorpusCase {
+        name: "incremental_shape_retracted_gap",
+        source: "f(k0, a). f(k1, b). f(k3, d). f(k4, e).\n\
+                 f(k5, g). f(k7, i). f(k8, j). f(k9, l).\n\
+                 probe(X, Y) :- f(X, Y).\n",
+        query: "probe(K, V)",
+        enumerate: true,
+    },
     // -- shrunken fuzzer counterexamples ---------------------------------
     // Inline arithmetic compiled `X is Y` (bare-variable RHS) to a plain
     // unification, silently succeeding where the escape evaluator raises

@@ -17,7 +17,8 @@
 use kcm_cpu::MachineConfig;
 use kcm_prolog::Term;
 use kcm_system::{
-    error_class, open_session, Kcm, KcmError, QueryJob, QueryOpts, SessionPool, Solutions, Tier,
+    error_class, open_session, Kcm, KcmError, ProgramSource, QueryJob, QueryOpts, SessionPool,
+    Solutions, Tier,
 };
 
 pub use kcm_system::{Engine, EngineOutcome, KcmEngine, NativeEngine};
@@ -196,10 +197,10 @@ impl Engine for PooledKcmEngine {
         format!("kcm-pool(workers={})", self.workers)
     }
 
-    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome {
+    fn run_case(&self, source: ProgramSource<'_>, query: &str, opts: &QueryOpts) -> EngineOutcome {
         let name = self.name();
         let mut kcm = Kcm::with_config(kcm_engine(true).config().clone());
-        if let Err(e) = kcm.consult(source) {
+        if let Err(e) = kcm.load(source) {
             return EngineOutcome::new(name, Err(e));
         }
         let jobs = vec![QueryJob::with_opts(query, opts.clone()); POOL_REPLICAS];
@@ -272,10 +273,10 @@ impl Engine for CursorEngine {
         )
     }
 
-    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome {
+    fn run_case(&self, source: ProgramSource<'_>, query: &str, opts: &QueryOpts) -> EngineOutcome {
         let name = self.name();
         let mut kcm = Kcm::with_config(kcm_engine(true).config().clone());
-        if let Err(e) = kcm.consult(source) {
+        if let Err(e) = kcm.load(source) {
             return EngineOutcome::new(name, Err(e));
         }
         let opts = QueryOpts {
@@ -305,10 +306,10 @@ impl Engine for PooledCursorEngine {
         format!("kcm-cursor-pool(workers={})", self.workers)
     }
 
-    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome {
+    fn run_case(&self, source: ProgramSource<'_>, query: &str, opts: &QueryOpts) -> EngineOutcome {
         let name = self.name();
         let mut kcm = Kcm::with_config(kcm_engine(true).config().clone());
-        if let Err(e) = kcm.consult(source) {
+        if let Err(e) = kcm.load(source) {
             return EngineOutcome::new(name, Err(e));
         }
         if !opts.enumerate_all {
@@ -465,7 +466,9 @@ pub fn compare(
         .iter()
         .map(|e| EngineReport {
             engine: e.name(),
-            outcome: CaseOutcome::from_result(e.run_case(source, query, &opts).into_result()),
+            outcome: CaseOutcome::from_result(
+                e.run_case(source.into(), query, &opts).into_result(),
+            ),
         })
         .collect();
     if reports.iter().any(|r| r.outcome.is_budget()) {
@@ -552,10 +555,10 @@ mod tests {
             fn name(&self) -> String {
                 "stub".to_owned()
             }
-            fn run_case(&self, _: &str, _: &str, _: &QueryOpts) -> EngineOutcome {
+            fn run_case(&self, _: ProgramSource<'_>, _: &str, _: &QueryOpts) -> EngineOutcome {
                 // A fabricated single wrong answer.
                 let mut kcm = Kcm::new();
-                kcm.consult("p(999).").expect("consult");
+                kcm.load("p(999).").expect("consult");
                 EngineOutcome::new("stub", kcm.query("p(X)", &QueryOpts::all()))
             }
         }

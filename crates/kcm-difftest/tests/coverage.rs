@@ -20,7 +20,7 @@ use kcm_system::{KcmEngine, QueryOpts};
 /// clean outcomes, so those contribute nothing here.
 fn corpus_profile(source: &str, query: &str, enumerate: bool) -> Option<Profile> {
     let mut kcm = kcm_system::Kcm::new();
-    kcm.consult(source).ok()?;
+    kcm.load(source).ok()?;
     let opts = QueryOpts {
         enumerate_all: enumerate,
         ..QueryOpts::default()

@@ -114,6 +114,7 @@ fn drive_connection(
                         .push((case_ix, t.elapsed().as_nanos() as u64));
                     break;
                 }
+                Reply::Snapshot { .. } => panic!("unexpected snapshot reply"),
                 Reply::Busy => {
                     report.busy += 1;
                     std::thread::sleep(Duration::from_millis(2));
@@ -165,6 +166,7 @@ fn drive_tenants(
                         .push((case_ix, t.elapsed().as_nanos() as u64));
                     break;
                 }
+                Reply::Snapshot { .. } => panic!("unexpected snapshot reply"),
                 Reply::Busy => {
                     report.busy += 1;
                     std::thread::sleep(Duration::from_millis(2));
@@ -313,6 +315,7 @@ fn churn_connection(addr: &str, seat: usize) -> std::io::Result<ChurnReport> {
                     .and_then(|rest| rest.trim_end().parse::<u64>().ok());
                 break id.unwrap_or_else(|| panic!("churn: bad cursor-open body {body:?}"));
             }
+            Reply::Snapshot { .. } => panic!("unexpected snapshot reply"),
             Reply::Busy => {
                 report.busy += 1;
                 std::thread::sleep(Duration::from_millis(2));
@@ -341,6 +344,7 @@ fn churn_connection(addr: &str, seat: usize) -> std::io::Result<ChurnReport> {
     // connection, while the cursor sits open.
     match client.query_tenant("churn_kv", "kv(b, V)")? {
         Reply::Ok { body } => assert!(body.contains("V=2"), "churn: kv answered {body:?}"),
+        Reply::Snapshot { .. } => panic!("churn: unexpected snapshot reply"),
         Reply::Busy => report.busy += 1,
         Reply::Err { class, message } => panic!("churn: kv query failed ({class}): {message}"),
     }
@@ -374,6 +378,7 @@ fn churn_next(
                 report.answers += answers;
                 return Ok(body);
             }
+            Reply::Snapshot { .. } => panic!("unexpected snapshot reply"),
             Reply::Busy => {
                 report.busy += 1;
                 std::thread::sleep(Duration::from_millis(2));

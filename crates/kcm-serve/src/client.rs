@@ -36,7 +36,7 @@ impl Client {
     /// Transport errors, or `InvalidData` when the server's reply doesn't
     /// parse.
     pub fn request(&mut self, request: &Request) -> io::Result<Reply> {
-        self.request_raw(&request.encode())
+        self.request_raw(request.encode())
     }
 
     /// Sends a raw request payload — including payloads [`Request`]
@@ -46,7 +46,7 @@ impl Client {
     /// # Errors
     ///
     /// As [`Client::request`].
-    pub fn request_raw(&mut self, payload: &str) -> io::Result<Reply> {
+    pub fn request_raw(&mut self, payload: impl AsRef<[u8]>) -> io::Result<Reply> {
         write_frame(&mut self.writer, payload)?;
         let reply = read_frame(&mut self.reader)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
@@ -81,6 +81,71 @@ impl Client {
             name: name.to_owned(),
             source: source.to_owned(),
             step_budget,
+        })
+    }
+
+    /// Publishes a binary snapshot artifact into the server's shared
+    /// registry under `name` — the bytes a [`Client::snapshot`] export
+    /// or a local `kcm_arch::snapshot::save` produced.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn publish_snapshot(
+        &mut self,
+        name: &str,
+        snapshot: &[u8],
+        step_budget: Option<u64>,
+    ) -> io::Result<Reply> {
+        self.request(&Request::PublishSnapshot {
+            name: name.to_owned(),
+            snapshot: snapshot.to_vec(),
+            step_budget,
+        })
+    }
+
+    /// Exports the published program `name` as binary snapshot bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus `InvalidData` on a non-snapshot
+    /// reply.
+    pub fn snapshot(&mut self, name: &str) -> io::Result<Vec<u8>> {
+        match self.request(&Request::Snapshot {
+            name: name.to_owned(),
+        })? {
+            Reply::Snapshot { bytes } => Ok(bytes),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("SNAPSHOT answered {other:?}"),
+            )),
+        }
+    }
+
+    /// Adds one clause to the published program `name` (no trailing
+    /// period), copy-on-write.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn assertz(&mut self, name: &str, clause: &str) -> io::Result<Reply> {
+        self.request(&Request::Assert {
+            name: name.to_owned(),
+            clause: clause.to_owned(),
+        })
+    }
+
+    /// Retracts the first clause equal to `clause` from the published
+    /// program `name`, copy-on-write. The reply body carries a
+    /// `removed=` line.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn retract(&mut self, name: &str, clause: &str) -> io::Result<Reply> {
+        self.request(&Request::Retract {
+            name: name.to_owned(),
+            clause: clause.to_owned(),
         })
     }
 

@@ -1,4 +1,5 @@
-//! The wire protocol: length-delimited UTF-8 text frames.
+//! The wire protocol: length-delimited frames, text commands, with two
+//! binary-bodied forms for program artifacts.
 //!
 //! Both directions use the same framing:
 //!
@@ -7,14 +8,24 @@
 //! length  := decimal byte length of payload
 //! ```
 //!
+//! Payloads are UTF-8 text except for the two artifact forms: the body
+//! of a `PUBLISH … SNAPSHOT` request and the body of a `SNAPSHOT`
+//! reply carry raw [`kcm_arch::snapshot`] bytes. A non-UTF-8 payload
+//! anywhere else is a classed protocol error, not a disconnect.
+//!
 //! Request payloads (first word selects the command):
 //!
 //! ```text
 //! "PUBLISH " name [" BUDGET " steps] "\n" source
 //!                             publish source as the named shared program
+//! "PUBLISH " name [" BUDGET " steps] " SNAPSHOT\n" bytes
+//!                             publish a binary snapshot artifact
 //! "CONSULT\n" source          consult a program for this connection
 //! "QUERY "    [tenant] [opts] query    run query, first solution
 //! "QUERYALL " [tenant] [opts] query    run query, every solution
+//! "SNAPSHOT @" name           export the named program as a snapshot
+//! "ASSERT @" name " " clause  add one clause to the named program
+//! "RETRACT @" name " " clause retract the first matching clause
 //! "NEXT " id [" " count]      pull the next answer batch from a cursor
 //! "CLOSE " id                 release a cursor
 //! "STATS"                     server-wide and per-tenant metrics
@@ -26,6 +37,17 @@
 //! count   := plain decimal digits, at least 1, at most u64::MAX
 //! id      := plain decimal digits, at most u64::MAX
 //! ```
+//!
+//! `SNAPSHOT @name` replies with the binary artifact form below; the
+//! bytes are exactly what `PUBLISH … SNAPSHOT` accepts (and what
+//! `kcm_arch::snapshot::load` restores), so a knowledge base round-trips
+//! through the wire without ever reparsing source. A snapshot larger
+//! than [`MAX_FRAME`] cannot be carried — million-fact images ship by
+//! file, not by frame. `ASSERT`/`RETRACT` update the named program
+//! copy-on-write: queries already running keep their image; the next
+//! `QUERY @name` sees the new version (the reply's `version=` line).
+//! The clause text follows the same grammar `CONSULT` accepts, without
+//! the trailing period.
 //!
 //! A query without a `@name` runs against the connection's own
 //! `CONSULT`ed program (the single-host session mode); with one it runs
@@ -59,6 +81,7 @@
 //! "OK\n" body                 consult: empty; publish: name/version
 //!                             lines; query: rendered outcome; stats:
 //!                             "key=value" lines
+//! "SNAPSHOT\n" bytes          binary snapshot artifact (SNAPSHOT @name)
 //! "BUSY\n"                    request queue full — retry later
 //! "ERR " class ": " message   error, classed as in kcm_system::error_class
 //! ```
@@ -124,25 +147,30 @@ pub fn validate_name(name: &str) -> Result<(), String> {
 /// # Errors
 ///
 /// Propagates transport errors.
-pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+pub fn write_frame(w: &mut impl Write, payload: impl AsRef<[u8]>) -> io::Result<()> {
     // One write for the whole frame: a separate length-line write would
     // interact with Nagle + delayed ACK into a ~40ms stall per request.
-    w.write_all(encode_frame(payload).as_bytes())?;
+    w.write_all(&encode_frame(payload))?;
     w.flush()
 }
 
 /// The on-wire bytes of one frame (length line + payload), as written by
 /// [`write_frame`].
-pub fn encode_frame(payload: &str) -> String {
-    let mut frame = String::with_capacity(payload.len() + 12);
-    frame.push_str(&payload.len().to_string());
-    frame.push('\n');
-    frame.push_str(payload);
+pub fn encode_frame(payload: impl AsRef<[u8]>) -> Vec<u8> {
+    let payload = payload.as_ref();
+    let mut frame = Vec::with_capacity(payload.len() + 12);
+    frame.extend_from_slice(payload.len().to_string().as_bytes());
+    frame.push(b'\n');
+    frame.extend_from_slice(payload);
     frame
 }
 
 /// Reads one frame from a **blocking** stream; `Ok(None)` on a clean EOF
 /// before the length line.
+///
+/// The payload comes back as raw bytes: framing is 8-bit clean so binary
+/// snapshot artifacts can travel; UTF-8 is a *command*-level rule,
+/// enforced by [`Request::parse`]/[`Reply::parse`].
 ///
 /// Not safe on a stream with a read timeout: a timeout mid-frame loses
 /// the already-consumed bytes (see the module docs). Nonblocking readers
@@ -151,7 +179,7 @@ pub fn encode_frame(payload: &str) -> String {
 /// # Errors
 ///
 /// Transport errors, oversized or malformed frames, and EOF mid-frame.
-pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Vec<u8>>> {
     let mut line = String::new();
     if r.read_line(&mut line)? == 0 {
         return Ok(None);
@@ -159,9 +187,7 @@ pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
     let len = parse_length_line(&line)?;
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    Ok(Some(buf))
 }
 
 fn parse_length_line(line: &str) -> io::Result<usize> {
@@ -212,15 +238,16 @@ impl FrameBuf {
     }
 
     /// Pops the next complete frame, or `Ok(None)` when more bytes are
-    /// needed.
+    /// needed. Payloads are raw bytes, exactly as [`read_frame`] returns
+    /// them; UTF-8 is enforced per command by [`Request::parse`].
     ///
     /// # Errors
     ///
-    /// Malformed or oversized length lines and invalid UTF-8 payloads,
-    /// with the same classifications as [`read_frame`]. The decoder is
-    /// not usable after an error (framing has no resynchronization
-    /// point — the connection is the unit of failure).
-    pub fn next_frame(&mut self) -> io::Result<Option<String>> {
+    /// Malformed or oversized length lines, with the same
+    /// classifications as [`read_frame`]. The decoder is not usable
+    /// after an error (framing has no resynchronization point — the
+    /// connection is the unit of failure).
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
         if self.pending.is_none() {
             let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
                 if self.buf.len() > MAX_LENGTH_LINE {
@@ -242,9 +269,7 @@ impl FrameBuf {
         }
         let payload: Vec<u8> = self.buf.drain(..len).collect();
         self.pending = None;
-        String::from_utf8(payload)
-            .map(Some)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        Ok(Some(payload))
     }
 }
 
@@ -260,6 +285,41 @@ pub enum Request {
         /// Per-tenant step budget for queries that don't carry their own
         /// `BUDGET`.
         step_budget: Option<u64>,
+    },
+    /// Publish a binary snapshot artifact into the shared registry
+    /// (`PUBLISH <name> SNAPSHOT`): the body is [`kcm_arch::snapshot`]
+    /// bytes instead of source text, restored without recompiling.
+    PublishSnapshot {
+        /// Registry name to publish under.
+        name: String,
+        /// The serialized program artifact.
+        snapshot: Vec<u8>,
+        /// Per-tenant step budget for queries that don't carry their own
+        /// `BUDGET`.
+        step_budget: Option<u64>,
+    },
+    /// Export the named published program as a binary snapshot artifact
+    /// (`SNAPSHOT @name`); the reply is [`Reply::Snapshot`].
+    Snapshot {
+        /// Registry name to export.
+        name: String,
+    },
+    /// Add one clause to the named published program (`ASSERT @name
+    /// <clause>`), copy-on-write: the tenant's version bumps and the
+    /// next query sees the clause without a re-publish.
+    Assert {
+        /// Registry name to update.
+        name: String,
+        /// The clause text, without the trailing period.
+        clause: String,
+    },
+    /// Retract the first clause equal to the given one from the named
+    /// published program (`RETRACT @name <clause>`), copy-on-write.
+    Retract {
+        /// Registry name to update.
+        name: String,
+        /// The clause text, without the trailing period.
+        clause: String,
     },
     /// Consult a program (replacing this connection's program state).
     Consult {
@@ -343,8 +403,10 @@ fn parse_batch_count(count: &str) -> Result<u64, String> {
 }
 
 impl Request {
-    /// Encodes the request as a frame payload.
-    pub fn encode(&self) -> String {
+    /// Encodes the request as a frame payload. Bytes, not a string: the
+    /// `PUBLISH … SNAPSHOT` body is a binary artifact; every other
+    /// request is UTF-8 text.
+    pub fn encode(&self) -> Vec<u8> {
         match self {
             Request::Publish {
                 name,
@@ -354,6 +416,22 @@ impl Request {
                 Some(steps) => format!("PUBLISH {name} BUDGET {steps}\n{source}"),
                 None => format!("PUBLISH {name}\n{source}"),
             },
+            Request::PublishSnapshot {
+                name,
+                snapshot,
+                step_budget,
+            } => {
+                let header = match step_budget {
+                    Some(steps) => format!("PUBLISH {name} BUDGET {steps} SNAPSHOT\n"),
+                    None => format!("PUBLISH {name} SNAPSHOT\n"),
+                };
+                let mut payload = header.into_bytes();
+                payload.extend_from_slice(snapshot);
+                return payload;
+            }
+            Request::Snapshot { name } => format!("SNAPSHOT @{name}"),
+            Request::Assert { name, clause } => format!("ASSERT @{name} {clause}"),
+            Request::Retract { name, clause } => format!("RETRACT @{name} {clause}"),
             Request::Consult { source } => format!("CONSULT\n{source}"),
             Request::Query {
                 tenant,
@@ -387,18 +465,36 @@ impl Request {
             Request::Stats => "STATS".to_owned(),
             Request::Shutdown => "SHUTDOWN".to_owned(),
         }
+        .into_bytes()
     }
 
-    /// Parses a frame payload.
+    /// Parses a frame payload (raw bytes; `&str` coerces through
+    /// `AsRef`). `PUBLISH … SNAPSHOT` keeps its body as bytes; every
+    /// other command must be UTF-8 — a violation is a parse error (and
+    /// so a classed `ERR protocol` reply), never a dropped connection.
     ///
     /// # Errors
     ///
     /// Returns a human-readable description of the malformation.
-    pub fn parse(payload: &str) -> Result<Request, String> {
-        if let Some(rest) = payload.strip_prefix("PUBLISH ") {
-            let (header, source) = rest
-                .split_once('\n')
+    pub fn parse(payload: impl AsRef<[u8]>) -> Result<Request, String> {
+        Request::parse_bytes(payload.as_ref())
+    }
+
+    fn parse_bytes(payload: &[u8]) -> Result<Request, String> {
+        // PUBLISH first, at the byte level: its body may be a binary
+        // artifact, so only the header line is held to UTF-8.
+        if let Some(rest) = payload.strip_prefix(b"PUBLISH ") {
+            let nl = rest
+                .iter()
+                .position(|&b| b == b'\n')
                 .ok_or_else(|| "PUBLISH needs a source body after the name line".to_owned())?;
+            let header = std::str::from_utf8(&rest[..nl])
+                .map_err(|_| "PUBLISH header line is not valid UTF-8".to_owned())?;
+            let body = &rest[nl + 1..];
+            let (header, is_snapshot) = match header.strip_suffix(" SNAPSHOT") {
+                Some(header) => (header, true),
+                None => (header, false),
+            };
             let (name, step_budget) = match header.split_once(' ') {
                 None => (header, None),
                 Some((name, opts)) => {
@@ -409,10 +505,57 @@ impl Request {
                 }
             };
             validate_name(name)?;
+            if is_snapshot {
+                return Ok(Request::PublishSnapshot {
+                    name: name.to_owned(),
+                    snapshot: body.to_vec(),
+                    step_budget,
+                });
+            }
+            let source = std::str::from_utf8(body).map_err(|_| {
+                format!(
+                    "PUBLISH {name} source is not valid UTF-8 \
+                     (binary artifacts go through PUBLISH {name} SNAPSHOT)"
+                )
+            })?;
             return Ok(Request::Publish {
                 name: name.to_owned(),
                 source: source.to_owned(),
                 step_budget,
+            });
+        }
+        let payload =
+            std::str::from_utf8(payload).map_err(|_| "request is not valid UTF-8".to_owned())?;
+        if let Some(name) = payload.strip_prefix("SNAPSHOT @") {
+            validate_name(name)?;
+            return Ok(Request::Snapshot {
+                name: name.to_owned(),
+            });
+        }
+        for (verb, retract) in [("ASSERT @", false), ("RETRACT @", true)] {
+            let Some(rest) = payload.strip_prefix(verb) else {
+                continue;
+            };
+            let (name, clause) = rest.split_once(' ').ok_or_else(|| {
+                format!(
+                    "{} needs a clause after the name",
+                    verb.trim_end_matches(" @")
+                )
+            })?;
+            validate_name(name)?;
+            if clause.is_empty() {
+                return Err("empty clause".to_owned());
+            }
+            return Ok(if retract {
+                Request::Retract {
+                    name: name.to_owned(),
+                    clause: clause.to_owned(),
+                }
+            } else {
+                Request::Assert {
+                    name: name.to_owned(),
+                    clause: clause.to_owned(),
+                }
             });
         }
         if let Some(source) = payload.strip_prefix("CONSULT\n") {
@@ -499,6 +642,14 @@ pub enum Reply {
         /// Rendered outcome, metrics lines, publish receipt, or empty.
         body: String,
     },
+    /// The request succeeded with a binary snapshot artifact (the
+    /// `SNAPSHOT @name` reply). The bytes restore through
+    /// `kcm_arch::snapshot::load` or republish through
+    /// [`Request::PublishSnapshot`].
+    Snapshot {
+        /// The serialized program artifact.
+        bytes: Vec<u8>,
+    },
     /// The request queue was full; the client should back off and retry.
     Busy,
     /// The request failed.
@@ -512,21 +663,40 @@ pub enum Reply {
 }
 
 impl Reply {
-    /// Encodes the reply as a frame payload.
-    pub fn encode(&self) -> String {
+    /// Encodes the reply as a frame payload. Bytes, not a string: a
+    /// [`Reply::Snapshot`] body is a binary artifact; every other reply
+    /// is UTF-8 text.
+    pub fn encode(&self) -> Vec<u8> {
         match self {
-            Reply::Ok { body } => format!("OK\n{body}"),
-            Reply::Busy => "BUSY\n".to_owned(),
-            Reply::Err { class, message } => format!("ERR {class}: {message}\n"),
+            Reply::Ok { body } => format!("OK\n{body}").into_bytes(),
+            Reply::Snapshot { bytes } => {
+                let mut payload = b"SNAPSHOT\n".to_vec();
+                payload.extend_from_slice(bytes);
+                payload
+            }
+            Reply::Busy => b"BUSY\n".to_vec(),
+            Reply::Err { class, message } => format!("ERR {class}: {message}\n").into_bytes(),
         }
     }
 
-    /// Parses a frame payload.
+    /// Parses a frame payload (raw bytes; `&str` coerces through
+    /// `AsRef`).
     ///
     /// # Errors
     ///
     /// Returns a description when the payload fits no reply form.
-    pub fn parse(payload: &str) -> Result<Reply, String> {
+    pub fn parse(payload: impl AsRef<[u8]>) -> Result<Reply, String> {
+        Reply::parse_bytes(payload.as_ref())
+    }
+
+    fn parse_bytes(payload: &[u8]) -> Result<Reply, String> {
+        if let Some(bytes) = payload.strip_prefix(b"SNAPSHOT\n") {
+            return Ok(Reply::Snapshot {
+                bytes: bytes.to_vec(),
+            });
+        }
+        let payload = std::str::from_utf8(payload)
+            .map_err(|_| "non-snapshot reply is not valid UTF-8".to_owned())?;
         if let Some(body) = payload.strip_prefix("OK\n") {
             return Ok(Reply::Ok {
                 body: body.to_owned(),
@@ -626,9 +796,12 @@ mod tests {
         let mut r = BufReader::new(wire.as_slice());
         assert_eq!(
             read_frame(&mut r).expect("read").as_deref(),
-            Some("QUERY p(X)")
+            Some(b"QUERY p(X)".as_slice())
         );
-        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(""));
+        assert_eq!(
+            read_frame(&mut r).expect("read").as_deref(),
+            Some(b"".as_slice())
+        );
         assert_eq!(read_frame(&mut r).expect("read"), None);
     }
 
@@ -638,7 +811,30 @@ mod tests {
         let program = "CONSULT\np(1).\np(2).\n";
         write_frame(&mut wire, program).expect("write");
         let mut r = BufReader::new(wire.as_slice());
-        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(program));
+        assert_eq!(
+            read_frame(&mut r).expect("read").as_deref(),
+            Some(program.as_bytes())
+        );
+    }
+
+    #[test]
+    fn frames_are_8_bit_clean() {
+        // Binary artifact bytes — including bytes that are not UTF-8 and
+        // embedded newlines — pass through both frame decoders intact.
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("write");
+        let mut r = BufReader::new(wire.as_slice());
+        assert_eq!(
+            read_frame(&mut r).expect("read").as_deref(),
+            Some(&payload[..])
+        );
+        let mut fb = FrameBuf::new();
+        fb.feed(&wire);
+        assert_eq!(
+            fb.next_frame().expect("frame").as_deref(),
+            Some(&payload[..])
+        );
     }
 
     #[test]
@@ -654,8 +850,11 @@ mod tests {
         write_frame(&mut wire, "").expect("write");
         let mut fb = FrameBuf::new();
         fb.feed(&wire);
-        assert_eq!(fb.next_frame().expect("a").as_deref(), Some("QUERY p(X)"));
-        assert_eq!(fb.next_frame().expect("b").as_deref(), Some(""));
+        assert_eq!(
+            fb.next_frame().expect("a").as_deref(),
+            Some(b"QUERY p(X)".as_slice())
+        );
+        assert_eq!(fb.next_frame().expect("b").as_deref(), Some(b"".as_slice()));
         assert_eq!(fb.next_frame().expect("c"), None);
         assert!(!fb.has_partial());
     }
@@ -681,8 +880,8 @@ mod tests {
             assert_eq!(
                 got,
                 vec![
-                    "CONSULT\np(1).\np(2).\n".to_owned(),
-                    "QUERYALL p(X)".to_owned()
+                    b"CONSULT\np(1).\np(2).\n".to_vec(),
+                    b"QUERYALL p(X)".to_vec()
                 ],
                 "chunk size {chunk}"
             );
@@ -703,7 +902,7 @@ mod tests {
         fb.feed(b"0123456789");
         assert_eq!(
             fb.next_frame().expect("frame").as_deref(),
-            Some("0123456789")
+            Some(b"0123456789".as_slice())
         );
         assert!(!fb.has_partial());
     }
@@ -785,9 +984,81 @@ mod tests {
             Request::Close { id: u64::MAX },
             Request::Stats,
             Request::Shutdown,
+            Request::PublishSnapshot {
+                name: "alpha".to_owned(),
+                snapshot: vec![0x2a, 0xff, 0x00, b'\n', 0x80, 0x01],
+                step_budget: None,
+            },
+            Request::PublishSnapshot {
+                name: "beta-2".to_owned(),
+                snapshot: (0..=255).collect(),
+                step_budget: Some(9_000),
+            },
+            Request::Snapshot {
+                name: "alpha".to_owned(),
+            },
+            Request::Assert {
+                name: "kb".to_owned(),
+                clause: "f(k9, v1)".to_owned(),
+            },
+            Request::Retract {
+                name: "kb".to_owned(),
+                clause: "f(k9, v1)".to_owned(),
+            },
         ] {
-            assert_eq!(Request::parse(&req.encode()).expect("parse"), req);
+            assert_eq!(Request::parse(req.encode()).expect("parse"), req);
         }
+    }
+
+    #[test]
+    fn artifact_grammar_is_enforced() {
+        // The SNAPSHOT suffix only means "binary body" in option
+        // position; a program named SNAPSHOT still publishes as text.
+        assert_eq!(
+            Request::parse("PUBLISH SNAPSHOT\np(1)."),
+            Ok(Request::Publish {
+                name: "SNAPSHOT".to_owned(),
+                source: "p(1).".to_owned(),
+                step_budget: None,
+            })
+        );
+        // An empty snapshot body is syntactically fine; it fails later
+        // with a classed snapshot error (truncated).
+        assert_eq!(
+            Request::parse(b"PUBLISH kb SNAPSHOT\n".as_slice()),
+            Ok(Request::PublishSnapshot {
+                name: "kb".to_owned(),
+                snapshot: Vec::new(),
+                step_budget: None,
+            })
+        );
+        for bad in [
+            "SNAPSHOT kb",        // export addresses a tenant: needs @
+            "SNAPSHOT @",         // empty name
+            "SNAPSHOT @bad!name", // name grammar
+            "ASSERT @kb",         // no clause
+            "ASSERT @kb ",        // empty clause
+            "ASSERT kb f(1)",     // missing @
+            "RETRACT @kb",
+            "RETRACT @9lives f(1)",
+            "PUBLISH kb BUDGET 0 SNAPSHOT\n", // budget grammar still applies
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn binary_garbage_is_a_parse_error_not_a_panic() {
+        // A non-UTF-8 payload outside the PUBLISH … SNAPSHOT form is a
+        // classed protocol error (the server replies ERR, it does not
+        // drop the connection).
+        assert!(Request::parse(b"QUERY p(\xff\xfe)".as_slice()).is_err());
+        assert!(Request::parse(b"\x00\x01\x02".as_slice()).is_err());
+        // Binary garbage in a text PUBLISH body names the escape hatch.
+        let err = Request::parse(b"PUBLISH kb\n\xde\xad\xbe\xef".as_slice()).unwrap_err();
+        assert!(err.contains("SNAPSHOT"), "{err}");
+        // A non-UTF-8 header line is rejected before name validation.
+        assert!(Request::parse(b"PUBLISH \xffkb\np(1).".as_slice()).is_err());
     }
 
     #[test]
@@ -917,7 +1188,7 @@ mod tests {
             }
         );
         assert_eq!(
-            Request::parse(&format!("QUERYALL BUDGET {} p(a, b)", u64::MAX)).expect("max budget"),
+            Request::parse(format!("QUERYALL BUDGET {} p(a, b)", u64::MAX)).expect("max budget"),
             Request::Query {
                 tenant: None,
                 query: "p(a, b)".to_owned(),
@@ -958,8 +1229,12 @@ mod tests {
                 class: "budget".to_owned(),
                 message: "step budget exhausted after 10001 steps".to_owned(),
             },
+            Reply::Snapshot {
+                bytes: vec![b'K', 0x00, 0xff, b'\n', 0x7f],
+            },
+            Reply::Snapshot { bytes: Vec::new() },
         ] {
-            assert_eq!(Reply::parse(&reply.encode()).expect("parse"), reply);
+            assert_eq!(Reply::parse(reply.encode()).expect("parse"), reply);
         }
     }
 }

@@ -56,8 +56,8 @@ use kcm_compiler::CodeImage;
 use kcm_system::pool::run_session;
 use kcm_system::registry::{ProgramRegistry, Published, TenantStats};
 use kcm_system::{
-    error_class, open_session, Kcm, KcmError, MachineConfig, Outcome, QueryJob, QueryOpts,
-    RunStats, Solutions, Tier,
+    error_class, open_session, Kcm, KcmError, MachineConfig, Outcome, ProgramSource, QueryJob,
+    QueryOpts, RunStats, Solutions, Tier,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -267,7 +267,7 @@ struct Completion {
     token: u64,
     /// The encoded reply payload (rendered on the worker; the loop only
     /// frames and writes it).
-    payload: String,
+    payload: Vec<u8>,
     /// Present when the item was a cursor operation.
     cursor: Option<CursorReturn>,
 }
@@ -708,7 +708,7 @@ impl EventLoop {
 
     /// Handles one request frame. Returns whether the connection stays
     /// open.
-    fn handle_frame(&mut self, conn: &mut Conn, token: u64, payload: &str) -> bool {
+    fn handle_frame(&mut self, conn: &mut Conn, token: u64, payload: &[u8]) -> bool {
         let request = match Request::parse(payload) {
             Ok(request) => request,
             Err(why) => {
@@ -725,7 +725,7 @@ impl EventLoop {
                 // *adds* clauses; a service client re-sending its program
                 // wants idempotence, not accumulation).
                 let mut fresh = Kcm::with_config(self.shared.cfg.machine.clone());
-                match fresh.consult(&source) {
+                match fresh.load(source.as_str()) {
                     Ok(()) => {
                         conn.kcm = fresh;
                         self.shared.metrics.lock().expect("metrics").consults += 1;
@@ -740,22 +740,40 @@ impl EventLoop {
                 name,
                 source,
                 step_budget,
-            } => match self.shared.registry.publish(
-                &name,
-                &source,
-                &self.shared.cfg.machine,
+            } => self.do_publish(&name, ProgramSource::Source(&source), step_budget),
+            Request::PublishSnapshot {
+                name,
+                snapshot,
                 step_budget,
-            ) {
-                Ok(receipt) => {
-                    self.shared.metrics.lock().expect("metrics").publishes += 1;
-                    let mut body = format!("name={name}\nversion={}\n", receipt.version);
-                    if let Some(evicted) = receipt.evicted {
-                        body.push_str(&format!("evicted={evicted}\n"));
-                    }
-                    Reply::Ok { body }
-                }
+            } => self.do_publish(&name, ProgramSource::Snapshot(&snapshot), step_budget),
+            // Artifact export and incremental updates run on the loop
+            // thread like PUBLISH/CONSULT do: serialization and
+            // patch-or-relink are brief next to query execution, and the
+            // registry's copy-on-write update means in-flight queries
+            // never see a half-updated image.
+            Request::Snapshot { name } => match self.shared.registry.snapshot(&name) {
+                Ok(bytes) => Reply::Snapshot { bytes },
                 Err(e) => error_reply(&e, &self.shared, None),
             },
+            Request::Assert { name, clause } => {
+                match self.shared.registry.assertz(&name, &clause) {
+                    Ok(receipt) => Reply::Ok {
+                        body: format!("name={name}\nversion={}\n", receipt.version),
+                    },
+                    Err(e) => error_reply(&e, &self.shared, None),
+                }
+            }
+            Request::Retract { name, clause } => {
+                match self.shared.registry.retract(&name, &clause) {
+                    Ok((receipt, removed)) => Reply::Ok {
+                        body: format!(
+                            "name={name}\nversion={}\nremoved={removed}\n",
+                            receipt.version
+                        ),
+                    },
+                    Err(e) => error_reply(&e, &self.shared, None),
+                }
+            }
             Request::Stats => {
                 let mut body = stats_body(&self.shared);
                 body.push_str(&format!("cursors_open={}\n", self.cursors.len()));
@@ -810,6 +828,26 @@ impl EventLoop {
             },
         };
         queue_reply(conn, &reply.encode()).is_ok()
+    }
+
+    /// Publishes one program artifact — source text or binary snapshot —
+    /// into the shared registry and renders the receipt.
+    fn do_publish(&self, name: &str, source: ProgramSource<'_>, step_budget: Option<u64>) -> Reply {
+        match self
+            .shared
+            .registry
+            .publish(name, source, &self.shared.cfg.machine, step_budget)
+        {
+            Ok(receipt) => {
+                self.shared.metrics.lock().expect("metrics").publishes += 1;
+                let mut body = format!("name={name}\nversion={}\n", receipt.version);
+                if let Some(evicted) = receipt.evicted {
+                    body.push_str(&format!("evicted={evicted}\n"));
+                }
+                Reply::Ok { body }
+            }
+            Err(e) => error_reply(&e, &self.shared, None),
+        }
     }
 
     /// Resolves the program a query addresses: the registry entry when a
@@ -1117,9 +1155,8 @@ impl EventLoop {
 
 /// Appends a framed reply to the connection's write buffer and pushes
 /// as much as the socket will take.
-fn queue_reply(conn: &mut Conn, payload: &str) -> std::io::Result<()> {
-    conn.wbuf
-        .extend_from_slice(encode_frame(payload).as_bytes());
+fn queue_reply(conn: &mut Conn, payload: &[u8]) -> std::io::Result<()> {
+    conn.wbuf.extend_from_slice(&encode_frame(payload));
     flush(conn)
 }
 

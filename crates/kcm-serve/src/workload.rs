@@ -53,7 +53,7 @@ pub fn standard() -> Vec<ServeCase> {
 /// under the server's default budget too.)
 pub fn direct_body(case: &ServeCase, tier: Tier) -> String {
     let mut kcm = Kcm::new();
-    kcm.consult(case.source)
+    kcm.load(case.source)
         .unwrap_or_else(|e| panic!("{}: direct consult: {e}", case.name));
     let opts = QueryOpts {
         enumerate_all: case.enumerate_all,
@@ -74,7 +74,7 @@ mod tests {
     fn every_case_runs_directly_and_succeeds() {
         for case in standard() {
             let mut kcm = Kcm::new();
-            kcm.consult(case.source)
+            kcm.load(case.source)
                 .unwrap_or_else(|e| panic!("{}: consult: {e}", case.name));
             let opts = QueryOpts {
                 enumerate_all: case.enumerate_all,

@@ -27,7 +27,7 @@ fn spawn_server(
 /// against a direct run at the same tier.
 fn direct_body(source: &str, query: &str, enumerate_all: bool) -> String {
     let mut kcm = Kcm::new();
-    kcm.consult(source).expect("consult");
+    kcm.load(source).expect("consult");
     let opts = QueryOpts {
         enumerate_all,
         tier: Tier::Native,
@@ -300,7 +300,7 @@ fn cycle_tier_config_still_reports_simulated_cycles() {
     match client.query_all("p(X)").expect("query") {
         Reply::Ok { body } => {
             let mut kcm = Kcm::new();
-            kcm.consult("p(1). p(2).").expect("consult");
+            kcm.load("p(1). p(2).").expect("consult");
             let want = render_outcome(&kcm.query("p(X)", &QueryOpts::all()).expect("direct query"));
             assert_eq!(body, want, "cycle-tier serving diverged from direct run");
             assert!(!body.contains("cycles=0"), "{body}");

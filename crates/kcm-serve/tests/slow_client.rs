@@ -43,7 +43,7 @@ fn read_reply(reader: &mut BufReader<TcpStream>) -> Reply {
 
 fn direct_body(source: &str, query: &str, enumerate_all: bool) -> String {
     let mut kcm = Kcm::new();
-    kcm.consult(source).expect("consult");
+    kcm.load(source).expect("consult");
     let opts = QueryOpts {
         enumerate_all,
         tier: Tier::Native,

@@ -56,7 +56,9 @@ pub fn run_program(
         enumerate_all: program.enumerate,
         ..QueryOpts::default()
     };
-    let outcome = engine.run_case(program.source, goal, &opts).into_result()?;
+    let outcome = engine
+        .run_case(program.source.into(), goal, &opts)
+        .into_result()?;
     Ok(Measurement {
         name: program.name,
         variant,

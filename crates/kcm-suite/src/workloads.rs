@@ -80,7 +80,7 @@ mod tests {
     fn generated_workloads_run() {
         for (source, query) in [nrev(12), qsort(16, 7), queens(5)] {
             let mut kcm = Kcm::new();
-            kcm.consult(&source).expect("consult");
+            kcm.load(&source).expect("consult");
             let o = kcm.query(&query, &QueryOpts::first()).expect("run");
             assert!(o.success, "{query}");
         }
@@ -98,7 +98,7 @@ mod tests {
         for n in [8usize, 16, 32] {
             let (src, q) = nrev(n);
             let mut kcm = Kcm::new();
-            kcm.consult(&src).expect("consult");
+            kcm.load(&src).expect("consult");
             cycles.push(
                 kcm.query(&q, &QueryOpts::first())
                     .expect("run")

@@ -75,7 +75,7 @@ fn fast_paths_preserve_the_predicate_profile() {
     for p in programs::suite() {
         let run = |cfg: &MachineConfig| {
             let mut kcm = Kcm::with_config(cfg.clone());
-            kcm.consult(p.source)
+            kcm.load(p.source)
                 .unwrap_or_else(|e| panic!("{}: consult: {e}", p.name));
             let (mut machine, vars) = kcm
                 .prepare(p.query)
@@ -103,7 +103,7 @@ fn reused_machines_stay_identical_across_runs() {
     let p = programs::program("nrev1").expect("nrev1 is in the suite");
     let run_twice = |cfg: &MachineConfig| {
         let mut kcm = Kcm::with_config(cfg.clone());
-        kcm.consult(p.source)
+        kcm.load(p.source)
             .unwrap_or_else(|e| panic!("consult: {e}"));
         let (mut machine, vars) = kcm.prepare(p.query).unwrap_or_else(|e| panic!("{e}"));
         let first = machine.run_query(&vars, p.enumerate).expect("first run");

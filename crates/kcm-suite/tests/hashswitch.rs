@@ -70,7 +70,7 @@ fn hash_switch_is_byte_identical_over_the_full_suite() {
 /// Runs one query on a fresh session under `cfg`, returning the outcome.
 fn run_with(cfg: &MachineConfig, src: &str, query: &str) -> kcm_system::Outcome {
     let mut kcm = Kcm::with_config(cfg.clone());
-    kcm.consult(src).unwrap_or_else(|e| panic!("consult: {e}"));
+    kcm.load(src).unwrap_or_else(|e| panic!("consult: {e}"));
     let opts = QueryOpts {
         enumerate_all: true,
         ..QueryOpts::default()
@@ -209,7 +209,7 @@ fn switch_counters_are_tier_independent() {
     ] {
         let run_tier = |tier: Tier| {
             let mut kcm = Kcm::new();
-            kcm.consult(src).unwrap_or_else(|e| panic!("consult: {e}"));
+            kcm.load(src).unwrap_or_else(|e| panic!("consult: {e}"));
             let opts = QueryOpts {
                 enumerate_all: true,
                 tier,

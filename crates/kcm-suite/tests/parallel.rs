@@ -67,7 +67,7 @@ fn session_pool_queries_deterministic_per_program() {
     // a job batch against the consulted program, 1 worker vs 4.
     for p in programs::suite() {
         let mut kcm = Kcm::new();
-        kcm.consult(p.source)
+        kcm.load(p.source)
             .unwrap_or_else(|e| panic!("{}: consult: {e}", p.name));
         let jobs = vec![
             QueryJob::first_solution(p.query),

@@ -11,7 +11,7 @@ use kcm_prolog::Term;
 /// use kcm_system::Kcm;
 /// # fn main() -> Result<(), kcm_system::KcmError> {
 /// let mut kcm = Kcm::new();
-/// kcm.consult("pair(1, a).")?;
+/// kcm.load("pair(1, a).")?;
 /// let answer = kcm.solve_first("pair(X, Y)")?.expect("one solution");
 /// assert_eq!(answer.binding_text("X").as_deref(), Some("1"));
 /// assert_eq!(answer.get("Y").unwrap().to_string(), "a");

@@ -11,18 +11,26 @@
 //! benchmark runner (kcm-suite) and the query service (kcm-serve) all
 //! drive engines through this trait.
 
-use crate::{Kcm, KcmError, MachineConfig, Outcome, QueryOpts, Tier};
+use crate::{Kcm, KcmError, MachineConfig, Outcome, ProgramSource, QueryOpts, Tier};
 
-/// A Prolog engine: consumes source + query, produces an
+/// A Prolog engine: consumes a program artifact + query, produces an
 /// [`EngineOutcome`].
 pub trait Engine: Send + Sync {
     /// Display name, used in divergence reports and benchmark labels.
     fn name(&self) -> String;
 
-    /// Compiles `source`, runs `query` under `opts` on a fresh machine.
-    /// Never panics; all failures come back inside the outcome's
-    /// `result`.
-    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome;
+    /// Loads the program artifact (source text or, for engines that
+    /// support it, a binary snapshot), runs `query` under `opts` on a
+    /// fresh machine. Never panics; all failures come back inside the
+    /// outcome's `result`. Engines without a snapshot loader answer a
+    /// [`ProgramSource::Snapshot`] with a classed `"update"` error.
+    fn run_case(&self, source: ProgramSource<'_>, query: &str, opts: &QueryOpts) -> EngineOutcome;
+}
+
+/// The classed refusal an [`Engine`] without a snapshot loader returns
+/// for a [`ProgramSource::Snapshot`] artifact.
+pub fn snapshot_unsupported(engine: &str) -> KcmError {
+    KcmError::Update(format!("{engine} cannot load binary snapshot artifacts"))
 }
 
 /// What one engine computed for one case: the engine's display name plus
@@ -78,6 +86,8 @@ pub fn error_class(e: &KcmError) -> &'static str {
         KcmError::Compile(_) => "compile",
         KcmError::NoProgram => "no_program",
         KcmError::UnknownProgram(_) => "unknown_program",
+        KcmError::Snapshot(_) => "snapshot",
+        KcmError::Update(_) => "update",
         KcmError::Harness(_) => "harness",
         KcmError::Machine(m) => match m {
             M::Mem(_) => "mem",
@@ -138,14 +148,14 @@ impl Engine for KcmEngine {
         self.label.clone()
     }
 
-    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome {
+    fn run_case(&self, source: ProgramSource<'_>, query: &str, opts: &QueryOpts) -> EngineOutcome {
         let mut kcm = Kcm::with_config(self.config.clone());
-        let result = kcm.consult(source).and_then(|()| kcm.query(query, opts));
+        let result = kcm.load(source).and_then(|()| kcm.query(query, opts));
         EngineOutcome::new(self.label.clone(), result)
     }
 }
 
-/// The native execution tier as an [`Engine`]: the same consult/query
+/// The native execution tier as an [`Engine`]: the same load/query
 /// pipeline as [`KcmEngine`], pinned to [`Tier::Native`] regardless of
 /// the caller's options — which lets a differential roster drive both
 /// tiers with one shared [`QueryOpts`] and still compare them against
@@ -185,13 +195,13 @@ impl Engine for NativeEngine {
         self.label.clone()
     }
 
-    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome {
+    fn run_case(&self, source: ProgramSource<'_>, query: &str, opts: &QueryOpts) -> EngineOutcome {
         let opts = QueryOpts {
             tier: Tier::Native,
             ..opts.clone()
         };
         let mut kcm = Kcm::with_config(self.config.clone());
-        let result = kcm.consult(source).and_then(|()| kcm.query(query, &opts));
+        let result = kcm.load(source).and_then(|()| kcm.query(query, &opts));
         EngineOutcome::new(self.label.clone(), result)
     }
 }
@@ -211,8 +221,8 @@ mod tests {
     #[test]
     fn native_engine_matches_kcm_engine_byte_for_byte() {
         let source = "q(X, Y) :- p(X), p(Y), X \\== Y. p(a). p(b).";
-        let sim = KcmEngine::new().run_case(source, "q(A, B)", &QueryOpts::all());
-        let nat = NativeEngine::new().run_case(source, "q(A, B)", &QueryOpts::all());
+        let sim = KcmEngine::new().run_case(source.into(), "q(A, B)", &QueryOpts::all());
+        let nat = NativeEngine::new().run_case(source.into(), "q(A, B)", &QueryOpts::all());
         let (sim, nat) = (sim.result.unwrap(), nat.result.unwrap());
         assert_eq!(sim.solutions, nat.solutions);
         assert_eq!(sim.output, nat.output);
@@ -224,19 +234,19 @@ mod tests {
     fn native_engine_keeps_error_classes() {
         let nat = NativeEngine::new();
         let budget = nat.run_case(
-            "loop :- loop.",
+            "loop :- loop.".into(),
             "loop",
             &QueryOpts::first().with_step_budget(10_000),
         );
         assert_eq!(budget.class(), "budget");
-        let zero = nat.run_case("d(X) :- X is 1 // 0.", "d(X)", &QueryOpts::first());
+        let zero = nat.run_case("d(X) :- X is 1 // 0.".into(), "d(X)", &QueryOpts::first());
         assert_eq!(zero.class(), "zero_divisor");
     }
 
     #[test]
     fn kcm_engine_runs_a_case() {
         let e = KcmEngine::new();
-        let out = e.run_case("p(1). p(2).", "p(X)", &QueryOpts::all());
+        let out = e.run_case("p(1). p(2).".into(), "p(X)", &QueryOpts::all());
         assert_eq!(out.class(), "ok");
         assert_eq!(out.result.unwrap().solutions.len(), 2);
     }
@@ -244,16 +254,16 @@ mod tests {
     #[test]
     fn outcome_classes_are_stable() {
         let e = KcmEngine::new();
-        let parse = e.run_case("p(", "p(X)", &QueryOpts::first());
+        let parse = e.run_case("p(".into(), "p(X)", &QueryOpts::first());
         assert_eq!(parse.class(), "parse");
         let budget = e.run_case(
-            "loop :- loop.",
+            "loop :- loop.".into(),
             "loop",
             &QueryOpts::first().with_step_budget(10_000),
         );
         assert_eq!(budget.class(), "budget");
         assert!(budget.is_budget());
-        let zero = e.run_case("d(X) :- X is 1 // 0.", "d(X)", &QueryOpts::first());
+        let zero = e.run_case("d(X) :- X is 1 // 0.".into(), "d(X)", &QueryOpts::first());
         assert_eq!(zero.class(), "zero_divisor");
         assert!(!zero.is_budget());
     }

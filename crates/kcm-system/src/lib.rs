@@ -15,7 +15,7 @@
 //!
 //! # fn main() -> Result<(), kcm_system::KcmError> {
 //! let mut kcm = Kcm::new();
-//! kcm.consult("
+//! kcm.load("
 //!     parent(tom, bob).
 //!     parent(bob, ann).
 //!     grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
@@ -23,6 +23,28 @@
 //! let answers = kcm.solve_all("grandparent(G, ann)")?;
 //! assert_eq!(answers.len(), 1);
 //! assert_eq!(answers[0].binding_text("G").as_deref(), Some("tom"));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Program artifacts
+//!
+//! [`Kcm::load`] accepts any [`ProgramSource`]: Prolog source text
+//! (compiled through the full tool chain) or a binary image snapshot
+//! previously exported with [`Kcm::snapshot`] (restored without
+//! recompilation — the fast cold-start path):
+//!
+//! ```
+//! use kcm_system::{Kcm, ProgramSource};
+//!
+//! # fn main() -> Result<(), kcm_system::KcmError> {
+//! let mut kcm = Kcm::new();
+//! kcm.load(ProgramSource::Source("p(1). p(2)."))?;
+//! let bytes = kcm.snapshot()?;
+//!
+//! let mut restored = Kcm::new();
+//! restored.load(ProgramSource::Snapshot(&bytes))?;
+//! assert_eq!(restored.solve_all("p(X)")?.len(), 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -37,8 +59,8 @@
 //!
 //! # fn main() -> Result<(), kcm_system::KcmError> {
 //! let mut kcm = Kcm::new();
-//! kcm.consult("nrev([],[]). nrev([H|T],R) :- nrev(T,RT), app(RT,[H],R).
-//!              app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).")?;
+//! kcm.load("nrev([],[]). nrev([H|T],R) :- nrev(T,RT), app(RT,[H],R).
+//!           app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).")?;
 //! let outcome = kcm.query("nrev([1,2,3,4,5], R)", &Default::default())?;
 //! assert!(outcome.success);
 //! let ms = outcome.stats.ms();
@@ -59,7 +81,9 @@ pub mod report;
 pub mod session;
 
 pub use answer::Answer;
-pub use engine::{error_class, Engine, EngineOutcome, KcmEngine, NativeEngine};
+pub use engine::{
+    error_class, snapshot_unsupported, Engine, EngineOutcome, KcmEngine, NativeEngine,
+};
 pub use kcm_cpu::{
     InstrClass, Machine, MachineConfig, MachineError, Outcome, Profile, RunStats, Solution,
     TraceEvent, Tracer,
@@ -68,8 +92,9 @@ pub use pool::{QueryJob, SessionPool, SessionResult};
 pub use registry::{ProgramRegistry, PublishReceipt, Published, TenantSnapshot, TenantStats};
 pub use session::{open_session, SolutionStep, Solutions};
 
-use kcm_arch::SymbolTable;
-use kcm_compiler::{CodeImage, CompileError};
+use kcm_arch::snapshot::SnapshotError;
+use kcm_arch::{PredId, SymbolTable, Word};
+use kcm_compiler::{CodeImage, CompileError, Linker};
 use kcm_prolog::{ParseError, Term};
 use std::sync::Arc;
 
@@ -87,6 +112,13 @@ pub enum KcmError {
     /// No program is published under this name in a
     /// [`ProgramRegistry`] (never published, or evicted).
     UnknownProgram(String),
+    /// A binary snapshot artifact failed to restore: truncated,
+    /// corrupted, bad magic or an unsupported format version.
+    Snapshot(SnapshotError),
+    /// An incremental update ([`Kcm::assertz`] / [`Kcm::retract`]) could
+    /// not be applied — for example a fallback recompile was needed but
+    /// the program was restored from a snapshot, so no source is held.
+    Update(String),
     /// A fault in the harness around the machine, not in the machine or
     /// the program: replica disagreement in a differential oracle, a
     /// worker lost mid-request in a service, and the like.
@@ -101,6 +133,8 @@ impl std::fmt::Display for KcmError {
             KcmError::Machine(e) => write!(f, "{e}"),
             KcmError::NoProgram => write!(f, "no program consulted"),
             KcmError::UnknownProgram(name) => write!(f, "no program published as {name:?}"),
+            KcmError::Snapshot(e) => write!(f, "{e}"),
+            KcmError::Update(why) => write!(f, "update rejected: {why}"),
             KcmError::Harness(why) => write!(f, "harness fault: {why}"),
         }
     }
@@ -112,10 +146,53 @@ impl std::error::Error for KcmError {
             KcmError::Parse(e) => Some(e),
             KcmError::Compile(e) => Some(e),
             KcmError::Machine(e) => Some(e),
+            KcmError::Snapshot(e) => Some(e),
             KcmError::NoProgram => None,
             KcmError::UnknownProgram(_) => None,
+            KcmError::Update(_) => None,
             KcmError::Harness(_) => None,
         }
+    }
+}
+
+/// A loadable program artifact: the one currency accepted by every
+/// program-loading path in the workspace — [`Kcm::load`],
+/// [`ProgramRegistry::publish`] and [`Engine::run_case`].
+///
+/// Construct it explicitly, or lean on the `From` impls: `&str` becomes
+/// [`ProgramSource::Source`], `&[u8]` / `&Vec<u8>` become
+/// [`ProgramSource::Snapshot`].
+#[derive(Debug, Clone, Copy)]
+pub enum ProgramSource<'a> {
+    /// Prolog source text: parsed, compiled and statically linked on
+    /// load (the paper's batch tool chain, §4).
+    Source(&'a str),
+    /// A binary image snapshot saved by [`Kcm::snapshot`] (format
+    /// [`kcm_arch::snapshot`]): restored without recompilation.
+    Snapshot(&'a [u8]),
+}
+
+impl<'a> From<&'a str> for ProgramSource<'a> {
+    fn from(src: &'a str) -> ProgramSource<'a> {
+        ProgramSource::Source(src)
+    }
+}
+
+impl<'a> From<&'a String> for ProgramSource<'a> {
+    fn from(src: &'a String) -> ProgramSource<'a> {
+        ProgramSource::Source(src)
+    }
+}
+
+impl<'a> From<&'a [u8]> for ProgramSource<'a> {
+    fn from(bytes: &'a [u8]) -> ProgramSource<'a> {
+        ProgramSource::Snapshot(bytes)
+    }
+}
+
+impl<'a> From<&'a Vec<u8>> for ProgramSource<'a> {
+    fn from(bytes: &'a Vec<u8>) -> ProgramSource<'a> {
+        ProgramSource::Snapshot(bytes)
     }
 }
 
@@ -226,6 +303,12 @@ impl From<MachineError> for KcmError {
     }
 }
 
+impl From<SnapshotError> for KcmError {
+    fn from(e: SnapshotError) -> KcmError {
+        KcmError::Snapshot(e)
+    }
+}
+
 /// The KCM Prolog system: workstation-side tool chain plus the back-end
 /// machine.
 ///
@@ -240,6 +323,10 @@ pub struct Kcm {
     /// The linked program image, behind an `Arc` so parallel sessions
     /// ([`SessionPool`]) share one compiled program across threads.
     image: Option<Arc<CodeImage>>,
+    /// Whether the image was restored from a binary snapshot: no clause
+    /// source is held, so updates that need a recompile are refused with
+    /// a classed [`KcmError::Update`].
+    from_snapshot: bool,
     config: MachineConfig,
 }
 
@@ -262,6 +349,7 @@ impl Kcm {
             symbols: SymbolTable::new(),
             clauses: Vec::new(),
             image: None,
+            from_snapshot: false,
             config,
         }
     }
@@ -281,27 +369,253 @@ impl Kcm {
     ///
     /// Propagates compile errors (a bug in the prelude itself).
     pub fn consult_prelude(&mut self) -> Result<(), KcmError> {
-        self.consult(prelude::PRELUDE)
+        self.load(prelude::PRELUDE)
     }
 
-    /// Consults Prolog source: parses, appends to the program and
-    /// recompiles (batch compilation into the data space followed by the
-    /// page hand-over of §3.2.1 on the real machine).
+    /// Loads a program artifact.
+    ///
+    /// * [`ProgramSource::Source`] — parses, appends to the held program
+    ///   and recompiles (batch compilation into the data space followed
+    ///   by the page hand-over of §3.2.1 on the real machine).
+    /// * [`ProgramSource::Snapshot`] — restores a compiled image saved
+    ///   by [`Kcm::snapshot`] without recompilation: the fast cold-start
+    ///   path. The snapshot *replaces* any held program, and no clause
+    ///   source is retained, so a later `load` of source text is refused
+    ///   (nothing to append to) — updates are limited to the in-place
+    ///   fast paths of [`Kcm::assertz`] / [`Kcm::retract`].
+    ///
+    /// # Errors
+    ///
+    /// Parse or compile errors for source, [`KcmError::Snapshot`] for a
+    /// damaged or version-skewed snapshot; the previous program is kept
+    /// intact on error.
+    pub fn load<'a>(&mut self, source: impl Into<ProgramSource<'a>>) -> Result<(), KcmError> {
+        match source.into() {
+            ProgramSource::Source(src) => {
+                let new_clauses = kcm_prolog::read_program(src)?;
+                if self.from_snapshot {
+                    return Err(KcmError::Update(
+                        "program was restored from a snapshot; no clause source is held to \
+                         extend — load the snapshot into a fresh system or reload from source"
+                            .to_owned(),
+                    ));
+                }
+                let mut all = self.clauses.clone();
+                all.extend(new_clauses);
+                let mut symbols = self.symbols.clone();
+                let image = kcm_compiler::compile_program(&all, &mut symbols)?;
+                self.clauses = all;
+                self.symbols = symbols;
+                self.image = Some(Arc::new(image));
+                Ok(())
+            }
+            ProgramSource::Snapshot(bytes) => {
+                let (image, symbols) = kcm_arch::snapshot::load(bytes)?;
+                self.clauses.clear();
+                self.symbols = symbols;
+                self.image = Some(image);
+                self.from_snapshot = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// Consults Prolog source text.
     ///
     /// # Errors
     ///
     /// Returns parse or compile errors; the previous program is kept
     /// intact on error.
+    #[deprecated(since = "0.1.0", note = "use `Kcm::load` with a `ProgramSource`")]
     pub fn consult(&mut self, src: &str) -> Result<(), KcmError> {
-        let new_clauses = kcm_prolog::read_program(src)?;
-        let mut all = self.clauses.clone();
-        all.extend(new_clauses);
+        self.load(ProgramSource::Source(src))
+    }
+
+    /// Serializes the compiled program — code words, symbol table, hash
+    /// side tables, format metadata — into the versioned, checksummed
+    /// binary snapshot format of [`kcm_arch::snapshot`]. Feed the bytes
+    /// back through [`Kcm::load`] (or ship them to a registry /
+    /// `PUBLISH … SNAPSHOT`) to restore the program without recompiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KcmError::NoProgram`] before the first load.
+    pub fn snapshot(&self) -> Result<Vec<u8>, KcmError> {
+        let image = self.image.as_deref().ok_or(KcmError::NoProgram)?;
+        Ok(kcm_arch::snapshot::save(image, &self.symbols))
+    }
+
+    /// Adds one clause at the end of its predicate, visible to the next
+    /// query without a re-consult.
+    ///
+    /// Ground facts over atomic arguments (arity ≥ 1) on an existing
+    /// fact predicate take the incremental fast path: the clause code is
+    /// appended to the image and the predicate's try/retry/trust chain,
+    /// first-level constant switch and depth-2 switch tables are patched
+    /// in place — no recompilation, no downtime for the rest of the
+    /// program. Anything else (rules, compound arguments, brand-new
+    /// predicates, shapes the patcher declines) falls back to
+    /// recompiling just that predicate from the held clause source and
+    /// relinking it into the image.
+    ///
+    /// # Errors
+    ///
+    /// Parse/compile errors for the clause; [`KcmError::Update`] when
+    /// the fast path does not apply and the program was restored from a
+    /// snapshot (no clause source to recompile from).
+    pub fn assertz(&mut self, clause: &str) -> Result<(), KcmError> {
+        let term = kcm_prolog::read_term(clause)?;
+        let pred = clause_pred(&term)?;
+        let Some(image) = self.image.as_ref() else {
+            // Nothing loaded yet: identical to consulting the one clause.
+            let all = vec![term];
+            let mut symbols = self.symbols.clone();
+            let image = kcm_compiler::compile_program(&all, &mut symbols)?;
+            self.clauses = all;
+            self.symbols = symbols;
+            self.image = Some(Arc::new(image));
+            return Ok(());
+        };
+
+        // Fast path: an atomic-argument fact on a predicate that already
+        // has an entry — patch the compiled dispatch in place.
         let mut symbols = self.symbols.clone();
-        let image = kcm_compiler::compile_program(&all, &mut symbols)?;
+        let fast =
+            match kcm_compiler::compile_fact_instrs(&pred, &term, &mut symbols, image.options())? {
+                Some(code) if pred.arity >= 1 => image
+                    .entry(&pred.name, pred.arity)
+                    .map(|entry| (code, entry)),
+                _ => None,
+            };
+        if let Some((code, entry)) = fast {
+            let (key1, key2) = fact_keys(&term, &mut symbols);
+            let image_mut = Arc::make_mut(self.image.as_mut().expect("image present"));
+            match image_mut.assert_fact_clause(entry, key1, key2, &code) {
+                Ok(()) => {
+                    self.symbols = symbols;
+                    if !self.from_snapshot {
+                        self.clauses.push(term);
+                    }
+                    return Ok(());
+                }
+                Err(why) => {
+                    if self.from_snapshot {
+                        return Err(KcmError::Update(format!(
+                            "cannot patch {pred} in place ({why}) and the program was \
+                             restored from a snapshot, so no clause source is held to \
+                             recompile it"
+                        )));
+                    }
+                    // Fall through to the per-predicate recompile below.
+                }
+            }
+        } else if self.from_snapshot {
+            return Err(KcmError::Update(format!(
+                "only ground atomic-argument facts on existing predicates can be asserted \
+                 into a snapshot-restored program; {pred} needs a recompile but no clause \
+                 source is held"
+            )));
+        }
+
+        // Fallback: recompile just this predicate from source clauses and
+        // relink it into the live image.
+        let mut all = self.clauses.clone();
+        all.push(term);
+        let pred_clauses: Vec<Term> = all
+            .iter()
+            .filter(|t| clause_pred(t).ok().as_ref() == Some(&pred))
+            .cloned()
+            .collect();
+        let mut symbols = self.symbols.clone();
+        let mut image = (**self.image.as_ref().expect("image present")).clone();
+        Linker::relink_predicate(&mut image, &pred, &pred_clauses, &mut symbols)?;
         self.clauses = all;
         self.symbols = symbols;
         self.image = Some(Arc::new(image));
         Ok(())
+    }
+
+    /// Removes the first clause equal to `clause` (structural equality,
+    /// variable names included), visible to the next query without a
+    /// re-consult. Returns whether a clause was removed.
+    ///
+    /// Ground atomic-argument facts take the incremental fast path: the
+    /// matching clause's code is tombstoned in place (its chain slot
+    /// fails over to the next clause). Anything else falls back to
+    /// recompiling the predicate from the held clause source.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors for the clause; [`KcmError::Update`] when the fast
+    /// path does not apply and the program was restored from a snapshot.
+    pub fn retract(&mut self, clause: &str) -> Result<bool, KcmError> {
+        let term = kcm_prolog::read_term(clause)?;
+        let pred = clause_pred(&term)?;
+        let Some(image) = self.image.as_ref() else {
+            return Err(KcmError::NoProgram);
+        };
+        if image.entry(&pred.name, pred.arity).is_none() {
+            return Ok(false);
+        }
+
+        // Fast path: compile the fact's clause code and tombstone the
+        // first chain slot whose code matches it exactly.
+        let mut symbols = self.symbols.clone();
+        let fast =
+            match kcm_compiler::compile_fact_instrs(&pred, &term, &mut symbols, image.options())? {
+                Some(code) if pred.arity >= 1 => Some(code),
+                _ => None,
+            };
+        if let Some(code) = fast {
+            let entry = image.entry(&pred.name, pred.arity).expect("entry checked");
+            let image_mut = Arc::make_mut(self.image.as_mut().expect("image present"));
+            match image_mut.retract_fact_clause(entry, &code) {
+                Ok(removed) => {
+                    // A match can only use already-interned symbols, so the
+                    // probe clone of the table is safely dropped either way.
+                    if removed && !self.from_snapshot {
+                        if let Some(at) = self.clauses.iter().position(|t| *t == term) {
+                            self.clauses.remove(at);
+                        }
+                    }
+                    return Ok(removed);
+                }
+                Err(why) => {
+                    if self.from_snapshot {
+                        return Err(KcmError::Update(format!(
+                            "cannot tombstone a clause of {pred} in place ({why}) and the \
+                             program was restored from a snapshot, so no clause source is \
+                             held to recompile it"
+                        )));
+                    }
+                }
+            }
+        } else if self.from_snapshot {
+            return Err(KcmError::Update(format!(
+                "only ground atomic-argument facts can be retracted from a \
+                 snapshot-restored program; {pred} needs a recompile but no clause source \
+                 is held"
+            )));
+        }
+
+        // Fallback: drop the clause from source and recompile the predicate.
+        let Some(at) = self.clauses.iter().position(|t| *t == term) else {
+            return Ok(false);
+        };
+        let mut all = self.clauses.clone();
+        all.remove(at);
+        let pred_clauses: Vec<Term> = all
+            .iter()
+            .filter(|t| clause_pred(t).ok().as_ref() == Some(&pred))
+            .cloned()
+            .collect();
+        let mut symbols = self.symbols.clone();
+        let mut image = (**self.image.as_ref().expect("image present")).clone();
+        Linker::relink_predicate(&mut image, &pred, &pred_clauses, &mut symbols)?;
+        self.clauses = all;
+        self.symbols = symbols;
+        self.image = Some(Arc::new(image));
+        Ok(true)
     }
 
     /// The linked code image, if a program has been consulted.
@@ -465,6 +779,64 @@ impl Kcm {
     }
 }
 
+/// The predicate a clause belongs to: the head's functor for a rule, the
+/// term's own functor for a fact.
+fn clause_pred(term: &Term) -> Result<PredId, KcmError> {
+    let head = match term {
+        Term::Struct(f, args) if f == ":-" && args.len() == 2 => &args[0],
+        t => t,
+    };
+    match head {
+        Term::Atom(name) => Ok(PredId {
+            name: name.clone(),
+            arity: 0,
+        }),
+        Term::Struct(name, args) => {
+            if args.len() > usize::from(u8::MAX) {
+                return Err(KcmError::Compile(CompileError::ArityTooLarge {
+                    pred: name.clone(),
+                    arity: args.len(),
+                }));
+            }
+            Ok(PredId {
+                name: name.clone(),
+                arity: args.len() as u8,
+            })
+        }
+        t => Err(KcmError::Compile(CompileError::BadClauseHead(
+            t.to_string(),
+        ))),
+    }
+}
+
+/// The switch key of one atomic fact argument — mirrors the compiler's
+/// first-argument index key derivation.
+fn const_key(t: &Term, symbols: &mut SymbolTable) -> Option<Word> {
+    match t {
+        Term::Int(v) => Some(Word::int(*v)),
+        Term::Float(v) => Some(Word::float(*v)),
+        Term::Atom(n) if n == "[]" => Some(Word::nil()),
+        Term::Atom(n) => Some(Word::atom(symbols.atom(n))),
+        _ => None,
+    }
+}
+
+/// Dispatch keys for a ground atomic-argument fact of arity ≥ 1: the
+/// first-argument key, plus the second-argument key (used when the
+/// predicate dispatches depth-2 on A2) for arity ≥ 2.
+fn fact_keys(fact: &Term, symbols: &mut SymbolTable) -> (Word, Option<Word>) {
+    let args = match fact {
+        Term::Struct(_, args) => args.as_slice(),
+        _ => &[],
+    };
+    let key1 = args
+        .first()
+        .and_then(|t| const_key(t, symbols))
+        .expect("fact_keys requires a compiled atomic-argument fact");
+    let key2 = args.get(1).and_then(|t| const_key(t, symbols));
+    (key1, key2)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,7 +844,7 @@ mod tests {
     #[test]
     fn consult_then_query() {
         let mut kcm = Kcm::new();
-        kcm.consult("p(1). p(2). p(3).").unwrap();
+        kcm.load("p(1). p(2). p(3).").unwrap();
         let all = kcm.solve_all("p(X)").unwrap();
         assert_eq!(all.len(), 3);
         assert_eq!(all[0].binding_text("X").as_deref(), Some("1"));
@@ -491,7 +863,7 @@ mod tests {
     #[test]
     fn failed_query_is_not_an_error() {
         let mut kcm = Kcm::new();
-        kcm.consult("p(1).").unwrap();
+        kcm.load("p(1).").unwrap();
         let outcome = kcm.query("p(2)", &QueryOpts::first()).unwrap();
         assert!(!outcome.success);
         assert!(outcome.solutions.is_empty());
@@ -500,7 +872,7 @@ mod tests {
     #[test]
     fn deprecated_run_still_matches_query() {
         let mut kcm = Kcm::new();
-        kcm.consult("p(1). p(2).").unwrap();
+        kcm.load("p(1). p(2).").unwrap();
         #[allow(deprecated)]
         let old = kcm.run("p(X)", true).unwrap();
         let new = kcm.query("p(X)", &QueryOpts::all()).unwrap();
@@ -511,7 +883,7 @@ mod tests {
     #[test]
     fn budget_stop_is_distinguishable_from_faults_in_kcm() {
         let mut kcm = Kcm::new();
-        kcm.consult("loop :- loop.\nboom(X) :- X is 1 // 0.\nok(1).")
+        kcm.load("loop :- loop.\nboom(X) :- X is 1 // 0.\nok(1).")
             .unwrap();
         let opts = QueryOpts::first().with_step_budget(10_000);
         // A runaway query stops with BudgetExhausted...
@@ -535,7 +907,7 @@ mod tests {
     #[test]
     fn budget_stop_is_distinguishable_in_pool_results() {
         let mut kcm = Kcm::new();
-        kcm.consult("loop :- loop.\np(1).").unwrap();
+        kcm.load("loop :- loop.\np(1).").unwrap();
         let pool = SessionPool::new(2);
         let jobs = vec![
             QueryJob::with_opts("loop", QueryOpts::first().with_step_budget(10_000)),
@@ -552,7 +924,7 @@ mod tests {
     #[test]
     fn query_opts_trace_window_surfaces_on_outcome() {
         let mut kcm = Kcm::new();
-        kcm.consult("p(1). p(2).").unwrap();
+        kcm.load("p(1). p(2).").unwrap();
         let plain = kcm.query("p(X)", &QueryOpts::all()).unwrap();
         assert!(plain.trace.is_empty());
         let traced = kcm.query("p(X)", &QueryOpts::all().with_trace(16)).unwrap();
@@ -565,16 +937,166 @@ mod tests {
     #[test]
     fn consult_error_keeps_previous_program() {
         let mut kcm = Kcm::new();
-        kcm.consult("p(1).").unwrap();
-        assert!(kcm.consult("q(").is_err());
+        kcm.load("p(1).").unwrap();
+        assert!(kcm.load("q(").is_err());
         assert!(kcm.holds("p(1)").unwrap());
+    }
+
+    #[test]
+    fn deprecated_consult_still_matches_load() {
+        let mut kcm = Kcm::new();
+        #[allow(deprecated)]
+        kcm.consult("p(1). p(2).").unwrap();
+        assert_eq!(kcm.solve_all("p(X)").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trip_matches_fresh_consult_exactly() {
+        let src = "app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).
+                   p(1). p(2). p(a). path(X,Y) :- app([X],[Y],Z), p(X), Z = [X,Y].";
+        let mut fresh = Kcm::new();
+        fresh.load(src).unwrap();
+        let bytes = fresh.snapshot().unwrap();
+
+        let mut restored = Kcm::new();
+        restored.load(ProgramSource::Snapshot(&bytes)).unwrap();
+        for query in ["p(X)", "app(X, Y, [1,2,3])", "path(X, Y)"] {
+            for tier in [Tier::Cycle, Tier::Native] {
+                let opts = QueryOpts::all().with_tier(tier);
+                let a = fresh.query(query, &opts).unwrap();
+                let b = restored.query(query, &opts).unwrap();
+                assert_eq!(a.solutions, b.solutions, "{query}");
+                assert_eq!(a.output, b.output, "{query}");
+                // Same image word-for-word ⇒ same cost model accounting.
+                assert_eq!(a.stats, b.stats, "{query}");
+            }
+        }
+    }
+
+    #[test]
+    fn damaged_snapshot_is_a_classed_error_and_keeps_the_program() {
+        let mut kcm = Kcm::new();
+        kcm.load("p(1).").unwrap();
+        let mut bytes = kcm.snapshot().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        let mut other = Kcm::new();
+        other.load("q(2).").unwrap();
+        match other.load(ProgramSource::Snapshot(&bytes)) {
+            Err(KcmError::Snapshot(_)) => {}
+            other => panic!("expected a snapshot error, got {other:?}"),
+        }
+        assert!(other.holds("q(2)").unwrap(), "previous program kept");
+        assert_eq!(
+            error_class(&KcmError::Snapshot(SnapshotError::Truncated)),
+            "snapshot"
+        );
+    }
+
+    #[test]
+    fn snapshot_before_load_is_no_program() {
+        assert!(matches!(Kcm::new().snapshot(), Err(KcmError::NoProgram)));
+    }
+
+    #[test]
+    fn assertz_fact_is_visible_without_reconsult() {
+        let mut kcm = Kcm::new();
+        let src: String = (0..32).map(|i| format!("f(k{i}, v{}).\n", i % 5)).collect();
+        kcm.load(&src).unwrap();
+        // New first-argument key through the in-place fast path.
+        kcm.assertz("f(k_new, v_new)").unwrap();
+        assert!(kcm.holds("f(k_new, v_new)").unwrap());
+        // Existing key extends that key's chain, last position.
+        kcm.assertz("f(k3, extra)").unwrap();
+        let all = kcm.solve_all("f(k3, V)").unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].binding_text("V").as_deref(), Some("extra"));
+        assert_eq!(kcm.solve_all("f(K, V)").unwrap().len(), 34);
+    }
+
+    #[test]
+    fn assertz_rule_falls_back_to_predicate_recompile() {
+        let mut kcm = Kcm::new();
+        kcm.load("p(1). p(2). q(X) :- p(X).").unwrap();
+        kcm.assertz("q(X) :- p(X), p(X)").unwrap();
+        assert_eq!(kcm.solve_all("q(X)").unwrap().len(), 4);
+        // The untouched predicate still serves.
+        assert_eq!(kcm.solve_all("p(X)").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn assertz_into_empty_system_consults_the_clause() {
+        let mut kcm = Kcm::new();
+        kcm.assertz("p(1)").unwrap();
+        assert!(kcm.holds("p(1)").unwrap());
+    }
+
+    #[test]
+    fn retract_removes_first_match_and_reports() {
+        let mut kcm = Kcm::new();
+        let src: String = (0..32).map(|i| format!("f(k{i}, v{}).\n", i % 5)).collect();
+        kcm.load(&src).unwrap();
+        assert!(kcm.retract("f(k7, v2)").unwrap());
+        assert!(!kcm.holds("f(k7, v2)").unwrap());
+        assert_eq!(kcm.solve_all("f(K, V)").unwrap().len(), 31);
+        // Retracting it again finds nothing.
+        assert!(!kcm.retract("f(k7, v2)").unwrap());
+        // Unknown predicate: no match, not an error.
+        assert!(!kcm.retract("ghost(1)").unwrap());
+    }
+
+    #[test]
+    fn incremental_updates_match_a_full_reconsult() {
+        let base: String = (0..64).map(|i| format!("f(k{i}, v{}).\n", i % 7)).collect();
+        let mut incremental = Kcm::new();
+        incremental.load(&base).unwrap();
+        incremental.assertz("f(k_extra, v0)").unwrap();
+        incremental.assertz("f(k5, v_extra)").unwrap();
+        assert!(incremental.retract("f(k9, v2)").unwrap());
+
+        let reference_src = base.clone() + "f(k_extra, v0).\nf(k5, v_extra).\n";
+        let reference_src = reference_src.replace("f(k9, v2).\n", "");
+        let mut reference = Kcm::new();
+        reference.load(&reference_src).unwrap();
+
+        for query in ["f(K, V)", "f(k5, V)", "f(K, v2)", "f(k_extra, V)"] {
+            let a = incremental.solve_all(query).unwrap();
+            let b = reference.solve_all(query).unwrap();
+            let bind = |answers: &[Answer]| -> Vec<String> {
+                answers.iter().map(|s| format!("{s:?}")).collect::<Vec<_>>()
+            };
+            assert_eq!(bind(&a), bind(&b), "{query}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restored_program_takes_fact_updates_in_place() {
+        let mut origin = Kcm::new();
+        let src: String = (0..32).map(|i| format!("f(k{i}, v{}).\n", i % 5)).collect();
+        origin.load(&src).unwrap();
+        let bytes = origin.snapshot().unwrap();
+
+        let mut kcm = Kcm::new();
+        kcm.load(ProgramSource::Snapshot(&bytes)).unwrap();
+        kcm.assertz("f(k_new, v_new)").unwrap();
+        assert!(kcm.holds("f(k_new, v_new)").unwrap());
+        assert!(kcm.retract("f(k3, v3)").unwrap());
+        assert!(!kcm.holds("f(k3, v3)").unwrap());
+
+        // Updates that need the clause source are refused with a classed
+        // error, and the program survives untouched.
+        let err = kcm.assertz("g(X) :- f(X, _)").unwrap_err();
+        assert_eq!(error_class(&err), "update");
+        let err = kcm.load("h(1).").unwrap_err();
+        assert_eq!(error_class(&err), "update");
+        assert!(kcm.holds("f(k_new, v_new)").unwrap());
     }
 
     #[test]
     fn incremental_consult_extends_program() {
         let mut kcm = Kcm::new();
-        kcm.consult("p(1).").unwrap();
-        kcm.consult("q(X) :- p(X).").unwrap();
+        kcm.load("p(1).").unwrap();
+        kcm.load("q(X) :- p(X).").unwrap();
         assert!(kcm.holds("q(1)").unwrap());
     }
 
@@ -585,7 +1107,7 @@ mod tests {
         // and the native tier must keep matching the simulator on every
         // reuse (no per-tier state leaking between queries).
         let mut kcm = Kcm::new();
-        kcm.consult("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R). p(1). p(2).")
+        kcm.load("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R). p(1). p(2).")
             .unwrap();
         for query in ["p(X)", "app(X, Y, [1,2,3])", "p(X)"] {
             let cyc = kcm.query(query, &QueryOpts::all()).unwrap();
@@ -603,7 +1125,7 @@ mod tests {
     #[test]
     fn native_budget_stop_matches_the_simulator_and_spares_the_session() {
         let mut kcm = Kcm::new();
-        kcm.consult("loop :- loop.\nok(1).").unwrap();
+        kcm.load("loop :- loop.\nok(1).").unwrap();
         let opts = QueryOpts::first().with_step_budget(10_000);
         // Identical error at the identical step count: the budget counts
         // retired instructions, which the tiers execute in lockstep.

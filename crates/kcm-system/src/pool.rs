@@ -22,7 +22,7 @@
 //!
 //! # fn main() -> Result<(), kcm_system::KcmError> {
 //! let mut kcm = Kcm::new();
-//! kcm.consult("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).")?;
+//! kcm.load("app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).")?;
 //! let pool = SessionPool::new(4);
 //! let jobs: Vec<QueryJob> = (1..=8)
 //!     .map(|n| QueryJob::first_solution(format!("app(X, Y, [{n}])")))
@@ -303,7 +303,7 @@ mod tests {
 
     fn consulted() -> Kcm {
         let mut kcm = Kcm::new();
-        kcm.consult(
+        kcm.load(
             "p(1). p(2). p(3).
              double(X, Y) :- Y is X * 2.",
         )

@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn control_predicates() {
         let mut k = prelude_kcm();
-        k.consult("p(1). p(2).").expect("consult");
+        k.load("p(1). p(2).").expect("consult");
         assert_eq!(all(&mut k, "once(p(X))"), ["X = 1"]);
         assert!(k.holds("ignore(p(9))").expect("q"));
         assert!(k.holds("forall(p(X), X < 10)").expect("q"));
@@ -172,7 +172,7 @@ mod tests {
     #[test]
     fn higher_order_through_call_n() {
         let mut k = prelude_kcm();
-        k.consult(
+        k.load(
             "double(X, Y) :- Y is 2 * X.
              add(X, A, B) :- B is A + X.
              small(X) :- X < 3.",

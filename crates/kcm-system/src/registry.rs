@@ -26,9 +26,10 @@
 //!   the registry's handle; in-flight queries on the evicted program
 //!   still hold their `Arc` and complete normally.
 
-use crate::{Kcm, KcmError, MachineConfig};
+use crate::{Kcm, KcmError, MachineConfig, ProgramSource};
 use kcm_arch::SymbolTable;
 use kcm_compiler::CodeImage;
+use kcm_prolog::Term;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -164,6 +165,13 @@ pub struct Published {
     pub step_budget: Option<u64>,
     /// The tenant's serving counters (shared across versions).
     pub stats: Arc<TenantStats>,
+    /// The clause source the image was compiled from — what an
+    /// incremental update's recompile fallback rebuilds a predicate
+    /// from. Empty for snapshot-published tenants.
+    clauses: Arc<Vec<Term>>,
+    /// Whether the tenant was published from a binary snapshot (no
+    /// clause source held; updates are limited to in-place fact paths).
+    from_snapshot: bool,
 }
 
 /// What a publish accomplished.
@@ -231,29 +239,33 @@ impl ProgramRegistry {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Compiles `source` and publishes it under `name`.
+    /// Loads a program artifact — Prolog source or a binary snapshot
+    /// ([`ProgramSource`]) — and publishes it under `name`.
     ///
     /// Re-publishing an existing name bumps its version and keeps its
     /// stats; publishing a new name into a full registry evicts the
     /// least-recently-used tenant first (reported in the receipt).
-    /// Compilation happens *before* the map is touched, so a failed
-    /// publish leaves the registry — including any previous version of
-    /// `name` — exactly as it was.
+    /// Compilation/restore happens *before* the map is touched, so a
+    /// failed publish leaves the registry — including any previous
+    /// version of `name` — exactly as it was.
     ///
     /// # Errors
     ///
-    /// Parse or compile errors from the source.
-    pub fn publish(
+    /// Parse or compile errors from source; [`KcmError::Snapshot`] for a
+    /// damaged or version-skewed snapshot artifact.
+    pub fn publish<'a>(
         &self,
         name: &str,
-        source: &str,
+        source: impl Into<ProgramSource<'a>>,
         config: &MachineConfig,
         step_budget: Option<u64>,
     ) -> Result<PublishReceipt, KcmError> {
         let mut kcm = Kcm::with_config(config.clone());
-        kcm.consult(source)?;
-        let image = kcm.shared_image().expect("consult succeeded");
+        kcm.load(source)?;
+        let image = kcm.shared_image().expect("load succeeded");
         let symbols = kcm.symbols().clone();
+        let clauses = Arc::new(std::mem::take(&mut kcm.clauses));
+        let from_snapshot = kcm.from_snapshot;
         let now = self.tick();
         let mut slots = self.slots.lock().expect("registry lock");
         let (version, stats, evicted) = match slots.get(name) {
@@ -283,11 +295,103 @@ impl ProgramRegistry {
                     symbols,
                     step_budget,
                     stats,
+                    clauses,
+                    from_snapshot,
                 }),
                 last_used: now,
             },
         );
         Ok(PublishReceipt { version, evicted })
+    }
+
+    /// Applies one incremental update to a tenant copy-on-write: builds
+    /// the successor version under the registry lock (serializing
+    /// concurrent updates), bumps the version only when `apply` reports
+    /// a change, and leaves in-flight queries running on the version
+    /// they already resolved.
+    fn update<F>(&self, name: &str, apply: F) -> Result<(PublishReceipt, bool), KcmError>
+    where
+        F: FnOnce(&mut Kcm) -> Result<bool, KcmError>,
+    {
+        let now = self.tick();
+        let mut slots = self.slots.lock().expect("registry lock");
+        let slot = slots
+            .get_mut(name)
+            .ok_or_else(|| KcmError::UnknownProgram(name.to_owned()))?;
+        slot.last_used = now;
+        let old = Arc::clone(&slot.entry);
+        let mut kcm = Kcm {
+            symbols: old.symbols.clone(),
+            clauses: old.clauses.as_ref().clone(),
+            image: Some(Arc::clone(&old.image)),
+            from_snapshot: old.from_snapshot,
+            config: MachineConfig::default(),
+        };
+        let changed = apply(&mut kcm)?;
+        if !changed {
+            let receipt = PublishReceipt {
+                version: old.version,
+                evicted: None,
+            };
+            return Ok((receipt, false));
+        }
+        let version = old.version + 1;
+        slot.entry = Arc::new(Published {
+            name: old.name.clone(),
+            version,
+            image: kcm.image.clone().expect("update kept an image"),
+            symbols: kcm.symbols,
+            step_budget: old.step_budget,
+            stats: Arc::clone(&old.stats),
+            clauses: Arc::new(kcm.clauses),
+            from_snapshot: old.from_snapshot,
+        });
+        let receipt = PublishReceipt {
+            version,
+            evicted: None,
+        };
+        Ok((receipt, true))
+    }
+
+    /// Asserts one clause at the end of its predicate in the named
+    /// tenant's program ([`Kcm::assertz`] semantics: in-place fact patch
+    /// with a per-predicate recompile fallback). The update is
+    /// copy-on-write — a new version serves subsequent lookups while
+    /// in-flight queries finish on the program they started on — and
+    /// visible to the next query without a re-publish.
+    ///
+    /// # Errors
+    ///
+    /// [`KcmError::UnknownProgram`] for an unpublished name, plus every
+    /// [`Kcm::assertz`] condition.
+    pub fn assertz(&self, name: &str, clause: &str) -> Result<PublishReceipt, KcmError> {
+        self.update(name, |kcm| kcm.assertz(clause).map(|()| true))
+            .map(|(receipt, _)| receipt)
+    }
+
+    /// Retracts the first clause equal to `clause` from the named
+    /// tenant's program ([`Kcm::retract`] semantics), copy-on-write.
+    /// Returns the receipt plus whether a clause was removed; when
+    /// nothing matched the version is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`KcmError::UnknownProgram`] for an unpublished name, plus every
+    /// [`Kcm::retract`] condition.
+    pub fn retract(&self, name: &str, clause: &str) -> Result<(PublishReceipt, bool), KcmError> {
+        self.update(name, |kcm| kcm.retract(clause))
+    }
+
+    /// Serializes the named tenant's current program into the binary
+    /// snapshot format — the bytes restore through any
+    /// [`ProgramSource::Snapshot`] path.
+    ///
+    /// # Errors
+    ///
+    /// [`KcmError::UnknownProgram`] for an unpublished name.
+    pub fn snapshot(&self, name: &str) -> Result<Vec<u8>, KcmError> {
+        let tenant = self.lookup(name)?;
+        Ok(kcm_arch::snapshot::save(&tenant.image, &tenant.symbols))
     }
 
     /// Resolves a tenant by name, bumping its recency.
@@ -507,6 +611,84 @@ mod tests {
         });
         assert!(peak.load(Ordering::Relaxed) <= 3);
         assert_eq!(t.stats.inflight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn publish_accepts_a_snapshot_artifact() {
+        let mut kcm = Kcm::new();
+        kcm.load("p(1). p(2). p(3).").expect("load");
+        let bytes = kcm.snapshot().expect("snapshot");
+        let r = registry(4);
+        let receipt = r
+            .publish("kb", &bytes, &MachineConfig::default(), None)
+            .expect("publish snapshot");
+        assert_eq!(receipt.version, 1);
+        let t = r.lookup("kb").expect("lookup");
+        let job = crate::QueryJob::all_solutions("p(X)");
+        let outcome =
+            crate::pool::run_session(&t.image, &t.symbols, &MachineConfig::default(), &job)
+                .expect("run");
+        assert_eq!(outcome.solutions.len(), 3);
+    }
+
+    #[test]
+    fn snapshot_export_round_trips_through_publish() {
+        let r = registry(4);
+        publish(&r, "kb", "p(1). p(2).");
+        let bytes = r.snapshot("kb").expect("export");
+        let receipt = r
+            .publish("copy", &bytes, &MachineConfig::default(), None)
+            .expect("republish bytes");
+        assert_eq!(receipt.version, 1);
+        let t = r.lookup("copy").expect("lookup");
+        let job = crate::QueryJob::all_solutions("p(X)");
+        let outcome =
+            crate::pool::run_session(&t.image, &t.symbols, &MachineConfig::default(), &job)
+                .expect("run");
+        assert_eq!(outcome.solutions.len(), 2);
+        assert!(matches!(
+            r.snapshot("ghost"),
+            Err(KcmError::UnknownProgram(_))
+        ));
+    }
+
+    #[test]
+    fn assertz_and_retract_update_the_tenant_copy_on_write() {
+        let r = registry(4);
+        let src: String = (0..16).map(|i| format!("f(k{i}, v{}).\n", i % 3)).collect();
+        publish(&r, "kb", &src);
+        let before = r.lookup("kb").expect("v1");
+
+        let receipt = r.assertz("kb", "f(k_new, v_new)").expect("assert");
+        assert_eq!(receipt.version, 2);
+        let (receipt, removed) = r.retract("kb", "f(k2, v2)").expect("retract");
+        assert!(removed);
+        assert_eq!(receipt.version, 3);
+        let (receipt, removed) = r.retract("kb", "f(k2, v2)").expect("retract again");
+        assert!(!removed, "second retract finds nothing");
+        assert_eq!(receipt.version, 3, "no-op retract keeps the version");
+
+        let after = r.lookup("kb").expect("v3");
+        let cfg = MachineConfig::default();
+        let job = crate::QueryJob::all_solutions("f(K, V)");
+        let old =
+            crate::pool::run_session(&before.image, &before.symbols, &cfg, &job).expect("old run");
+        let new =
+            crate::pool::run_session(&after.image, &after.symbols, &cfg, &job).expect("new run");
+        // In-flight handles still see the pre-update program…
+        assert_eq!(old.solutions.len(), 16);
+        // …new lookups see the asserted fact and miss the retracted one.
+        assert_eq!(new.solutions.len(), 16);
+        let job = crate::QueryJob::all_solutions("f(k_new, V)");
+        let new =
+            crate::pool::run_session(&after.image, &after.symbols, &cfg, &job).expect("new fact");
+        assert_eq!(new.solutions.len(), 1);
+        // Stats survived the updates (same block across versions).
+        assert!(Arc::ptr_eq(&before.stats, &after.stats));
+        assert!(matches!(
+            r.assertz("ghost", "p(1)"),
+            Err(KcmError::UnknownProgram(_))
+        ));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use kcm_cpu::RunStats;
 /// use kcm_system::{Kcm, report};
 /// # fn main() -> Result<(), kcm_system::KcmError> {
 /// let mut kcm = Kcm::new();
-/// kcm.consult("p(1).")?;
+/// kcm.load("p(1).")?;
 /// let outcome = kcm.run("p(X)", false)?;
 /// let text = report::summary(&outcome.stats);
 /// assert!(text.contains("cycles"));
@@ -74,7 +74,7 @@ pub fn summary(stats: &RunStats) -> String {
 /// use kcm_system::{Kcm, report};
 /// # fn main() -> Result<(), kcm_system::KcmError> {
 /// let mut kcm = Kcm::new();
-/// kcm.consult("p(1).")?;
+/// kcm.load("p(1).")?;
 /// let outcome = kcm.run("p(X)", false)?;
 /// let text = report::profile_summary(&outcome.profile);
 /// assert!(text.contains("mwac"));

@@ -14,7 +14,7 @@ const NREV_Q: &str = "nrev([1,2,3,4,5,6,7,8,9,10], R)";
 
 fn fresh_baseline() -> (RunStats, Profile) {
     let mut kcm = Kcm::new();
-    kcm.consult(NREV).expect("consult");
+    kcm.load(NREV).expect("consult");
     let o = kcm.query(NREV_Q, &QueryOpts::first()).expect("run");
     assert!(o.success);
     (o.stats, o.profile)
@@ -24,7 +24,7 @@ fn fresh_baseline() -> (RunStats, Profile) {
 fn reused_kcm_session_matches_fresh_sessions_exactly() {
     let (base_stats, base_profile) = fresh_baseline();
     let mut kcm = Kcm::new();
-    kcm.consult(NREV).expect("consult");
+    kcm.load(NREV).expect("consult");
     for i in 0..3 {
         let o = kcm.query(NREV_Q, &QueryOpts::first()).expect("run");
         assert!(o.success);
@@ -42,7 +42,7 @@ fn reused_kcm_session_matches_fresh_sessions_exactly() {
 fn reused_pool_worker_matches_fresh_sessions_exactly() {
     let (base_stats, base_profile) = fresh_baseline();
     let mut kcm = Kcm::new();
-    kcm.consult(NREV).expect("consult");
+    kcm.load(NREV).expect("consult");
     // One worker, four identical jobs: the single worker session runs
     // them back to back, which is exactly the reuse the delta bug hit.
     let jobs = vec![QueryJob::first_solution(NREV_Q); 4];
@@ -61,7 +61,7 @@ fn reused_pool_worker_matches_fresh_sessions_exactly() {
 #[test]
 fn merged_pool_profile_is_identical_at_any_worker_count() {
     let mut kcm = Kcm::new();
-    kcm.consult(NREV).expect("consult");
+    kcm.load(NREV).expect("consult");
     let jobs: Vec<QueryJob> = (1..=10)
         .map(|n| QueryJob::first_solution(format!("nrev([{n},2,3,4,5], R)")))
         .collect();
@@ -94,7 +94,7 @@ fn merged_pool_profile_is_identical_at_any_worker_count() {
 #[test]
 fn merged_profile_is_the_sum_of_per_session_profiles() {
     let mut kcm = Kcm::new();
-    kcm.consult(NREV).expect("consult");
+    kcm.load(NREV).expect("consult");
     let jobs = vec![
         QueryJob::first_solution("nrev([1,2,3], R)"),
         QueryJob::first_solution("nrev([1,2,3,4,5,6], R)"),

@@ -18,7 +18,7 @@ const FAMILY: &str = "
 
 fn consulted(src: &str) -> Kcm {
     let mut kcm = Kcm::new();
-    kcm.consult(src).expect("consult");
+    kcm.load(src).expect("consult");
     kcm
 }
 

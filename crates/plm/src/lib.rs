@@ -197,7 +197,7 @@ mod tests {
         let q = "app([1,2,3,4,5,6,7,8,9,10],[0],X)";
         let plm = model().run(src, q, &QueryOpts::first()).unwrap();
         let mut kcm = kcm_system::Kcm::new();
-        kcm.consult(src).unwrap();
+        kcm.load(src).unwrap();
         let k = kcm.query(q, &QueryOpts::first()).unwrap();
         let ratio = plm.stats.ms() / k.stats.ms();
         assert!(ratio > 1.5, "PLM/KCM ratio {ratio}");

@@ -128,7 +128,7 @@ mod tests {
         let q = "nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20], R)";
         let s = model().run(src, q, &QueryOpts::first()).unwrap();
         let mut kcm = kcm_system::Kcm::new();
-        kcm.consult(src).unwrap();
+        kcm.load(src).unwrap();
         let k = kcm.query(q, &QueryOpts::first()).unwrap();
         let ratio = s.stats.ms() / k.stats.ms();
         assert!(ratio > 3.0, "Quintus-class/KCM ratio {ratio}");

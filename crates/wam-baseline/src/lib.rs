@@ -40,7 +40,7 @@ use kcm_arch::CostModel;
 use kcm_compiler::CompileOptions;
 use kcm_cpu::{Machine, MachineConfig, Outcome};
 use kcm_mem::MemConfig;
-use kcm_system::{Engine, EngineOutcome, KcmError, QueryOpts};
+use kcm_system::{snapshot_unsupported, Engine, EngineOutcome, KcmError, ProgramSource, QueryOpts};
 
 /// A baseline machine model: how to compile and how to cost each
 /// micro-operation.
@@ -110,8 +110,15 @@ impl Engine for BaselineModel {
         self.name.to_owned()
     }
 
-    fn run_case(&self, source: &str, query: &str, opts: &QueryOpts) -> EngineOutcome {
-        EngineOutcome::new(self.name, self.run(source, query, opts))
+    fn run_case(&self, source: ProgramSource<'_>, query: &str, opts: &QueryOpts) -> EngineOutcome {
+        // Baseline models recompile per case by design; a binary KCM
+        // snapshot has no source to recompile from, so it is refused
+        // with the classed error every snapshotless engine shares.
+        let result = match source {
+            ProgramSource::Source(source) => self.run(source, query, opts),
+            ProgramSource::Snapshot(_) => Err(snapshot_unsupported(self.name)),
+        };
+        EngineOutcome::new(self.name, result)
     }
 }
 
@@ -196,7 +203,7 @@ mod tests {
         let model = BaselineModel::standard_wam("test", 100.0);
         let base = model.run(src, "s(X)", &QueryOpts::all()).unwrap();
         let mut kcm = kcm_system::Kcm::new();
-        kcm.consult(src).unwrap();
+        kcm.load(src).unwrap();
         let kcm_out = kcm.query("s(X)", &QueryOpts::all()).unwrap();
         let b: Vec<String> = base.solutions.iter().map(|s| s[0].1.to_string()).collect();
         let k: Vec<String> = kcm_out

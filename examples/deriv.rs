@@ -24,7 +24,7 @@ const DERIV: &str = "
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kcm = Kcm::new();
-    kcm.consult(DERIV)?;
+    kcm.load(DERIV)?;
 
     for expr in [
         "x ^ 3 + 2 * x",

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- the compiled artifact -------------------------------------
     let mut kcm = Kcm::new();
-    kcm.consult(bench.source)?;
+    kcm.load(bench.source)?;
     let image = kcm.image().expect("consulted");
     let (static_base, static_words) = image.static_data();
     println!("=== {} ===", bench.name);
@@ -87,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         profile: true,
         ..Default::default()
     });
-    kcm2.consult(bench.source)?;
+    kcm2.load(bench.source)?;
     let (mut machine, vars): (Machine, Vec<String>) = kcm2.prepare(bench.starred_query)?;
     let outcome = machine.run_query(&vars, bench.enumerate)?;
     println!("\n--- cycle profile (Prolog-level monitor) ---");

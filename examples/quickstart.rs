@@ -11,7 +11,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kcm = Kcm::new();
 
     // Consult a small family database.
-    kcm.consult(
+    kcm.load(
         "
         parent(tom, bob).      parent(tom, liz).
         parent(bob, ann).      parent(bob, pat).

@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         if line.starts_with('[') && line.ends_with(']') {
             let src = &line[1..line.len() - 1];
-            match kcm.consult(src) {
+            match kcm.load(src) {
                 Ok(()) => {
                     for w in kcm.warnings() {
                         println!("warning: {w}");

@@ -11,7 +11,7 @@ use kcm_system::{Kcm, QueryJob, SessionPool};
 
 fn main() -> Result<(), kcm_system::KcmError> {
     let mut kcm = Kcm::new();
-    kcm.consult(
+    kcm.load(
         "app([], L, L).
          app([H|T], L, [H|R]) :- app(T, L, R).
          nrev([], []).

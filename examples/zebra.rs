@@ -44,7 +44,7 @@ const PUZZLE: &str = "
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kcm = Kcm::new();
-    kcm.consult(PUZZLE)?;
+    kcm.load(PUZZLE)?;
 
     let outcome = kcm.query("zebra(Owner, Houses)", &QueryOpts::first())?;
     let answer = outcome

@@ -11,7 +11,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut kcm = Kcm::new();
-//! kcm.consult("likes(mary, wine). likes(john, X) :- likes(mary, X).")?;
+//! kcm.load("likes(mary, wine). likes(john, X) :- likes(mary, X).")?;
 //! let solutions = kcm.solve_all("likes(john, What)")?;
 //! assert_eq!(solutions.len(), 1);
 //! assert_eq!(solutions[0].binding_text("What").as_deref(), Some("wine"));

@@ -62,7 +62,7 @@ fn enumeration_order_agrees_across_machines() {
     let model = BaselineModel::standard_wam("ref", 100.0);
     let base = model.run(src, q, &QueryOpts::all()).expect("baseline");
     let mut kcm = Kcm::new();
-    kcm.consult(src).expect("consult");
+    kcm.load(src).expect("consult");
     let k = kcm.query(q, &QueryOpts::all()).expect("kcm");
     assert_eq!(solutions_text(&k), solutions_text(&base));
     assert_eq!(solutions_text(&k), ["P=[a,b,c]", "P=[a,d,c]"]);
@@ -70,7 +70,7 @@ fn enumeration_order_agrees_across_machines() {
 
 fn run_with(cfg: MachineConfig, src: &str, q: &str) -> Vec<String> {
     let mut kcm = Kcm::with_config(cfg);
-    kcm.consult(src).expect("consult");
+    kcm.load(src).expect("consult");
     solutions_text(&kcm.query(q, &QueryOpts::all()).expect("run"))
 }
 
@@ -125,7 +125,7 @@ fn compiler_options_preserve_semantics() {
     ";
     let q = "fib(14, F)";
     let mut kcm = Kcm::new();
-    kcm.consult(src).expect("consult");
+    kcm.load(src).expect("consult");
     let native = solutions_text(&kcm.query(q, &QueryOpts::all()).expect("run"));
     assert_eq!(native, ["F=377"]);
     // Escape-based arithmetic, eager choice points, in-code literals.
@@ -148,7 +148,7 @@ fn shallow_backtracking_only_changes_costs() {
     let q = "run([1, -1, 0, 5, -5, 7, 0, -2])";
     let fast = {
         let mut k = Kcm::new();
-        k.consult(src).expect("consult");
+        k.load(src).expect("consult");
         k.query(q, &QueryOpts::first()).expect("run")
     };
     let slow = {
@@ -156,7 +156,7 @@ fn shallow_backtracking_only_changes_costs() {
             shallow_backtracking: false,
             ..Default::default()
         });
-        k.consult(src).expect("consult");
+        k.load(src).expect("consult");
         k.query(q, &QueryOpts::first()).expect("run")
     };
     assert!(fast.success && slow.success);

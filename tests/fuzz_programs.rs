@@ -82,7 +82,7 @@ fn generated_programs_agree_across_machines() {
         let q = prog.query();
 
         let mut kcm = Kcm::new();
-        kcm.consult(&src).expect("kcm consult");
+        kcm.load(&src).expect("kcm consult");
         let kcm_out = kcm.query(&q, &QueryOpts::all()).expect("kcm run");
 
         let base = BaselineModel::standard_wam("fuzz", 100.0);
@@ -106,13 +106,13 @@ fn generated_programs_are_ablation_stable() {
         let src = prog.source();
         let q = prog.query();
         let mut shallow = Kcm::new();
-        shallow.consult(&src).expect("consult");
+        shallow.load(&src).expect("consult");
         let a = shallow.query(&q, &QueryOpts::all()).expect("run");
         let mut eager = Kcm::with_config(MachineConfig {
             shallow_backtracking: false,
             ..MachineConfig::default()
         });
-        eager.consult(&src).expect("consult");
+        eager.load(&src).expect("consult");
         let b = eager.query(&q, &QueryOpts::all()).expect("run");
         assert_eq!(solutions(&a), solutions(&b));
         // Shallow backtracking never creates *more* choice points.
@@ -167,7 +167,7 @@ fn malformed_clauses_yield_structured_errors_not_panics() {
     for src in MALFORMED_CORPUS {
         let result = std::panic::catch_unwind(|| {
             let mut kcm = Kcm::new();
-            kcm.consult(src).err()
+            kcm.load(*src).err()
         });
         match result {
             Ok(Some(e)) => {
@@ -189,7 +189,7 @@ fn accepted_edge_clauses_never_panic() {
     for src in ACCEPTED_EDGE_CORPUS {
         let result = std::panic::catch_unwind(|| {
             let mut kcm = Kcm::new();
-            kcm.consult(src).expect("edge clause accepted");
+            kcm.load(*src).expect("edge clause accepted");
         });
         assert!(result.is_ok(), "{src:?}: consult panicked");
     }
@@ -207,7 +207,7 @@ fn random_soup_never_panics_consult() {
         let src = rng.string_from(&cs, 0, 80);
         let outcome = std::panic::catch_unwind(|| {
             let mut kcm = Kcm::new();
-            let _ = kcm.consult(&src);
+            let _ = kcm.load(&src);
         });
         assert!(outcome.is_ok(), "consult panicked on {src:?}");
     });

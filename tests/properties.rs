@@ -35,7 +35,7 @@ fn qsort_matches_rust_sort() {
     cases(48, |rng| {
         let xs = rng.vec_of(0, 24, |r| r.i32_in(-100, 100));
         let mut kcm = Kcm::new();
-        kcm.consult(sort_oracle_src()).expect("consult");
+        kcm.load(sort_oracle_src()).expect("consult");
         let q = format!("qsort({}, S)", list_literal(&xs));
         let answer = kcm.solve_first(&q).expect("query").expect("qsort is total");
         let mut expected = xs.clone();
@@ -52,7 +52,7 @@ fn reverse_is_an_involution() {
     cases(48, |rng| {
         let xs = rng.vec_of(0, 20, |r| r.i32_in(-50, 50));
         let mut kcm = Kcm::new();
-        kcm.consult(sort_oracle_src()).expect("consult");
+        kcm.load(sort_oracle_src()).expect("consult");
         let q = format!("rev({}, R), rev(R, RR)", list_literal(&xs));
         let answer = kcm.solve_first(&q).expect("query").expect("rev is total");
         assert_eq!(
@@ -68,7 +68,7 @@ fn append_length_adds() {
         let xs = rng.vec_of(0, 12, |r| r.i32_in(0, 10));
         let ys = rng.vec_of(0, 12, |r| r.i32_in(0, 10));
         let mut kcm = Kcm::new();
-        kcm.consult(sort_oracle_src()).expect("consult");
+        kcm.load(sort_oracle_src()).expect("consult");
         let q = format!(
             "app({}, {}, Z), len(Z, N)",
             list_literal(&xs),
@@ -91,7 +91,7 @@ fn integer_arithmetic_matches_rust() {
         let a = rng.i32_in(-1000, 1000);
         let b = rng.i32_in(-1000, 1000);
         let mut kcm = Kcm::new();
-        kcm.consult("t.").expect("consult");
+        kcm.load("t.").expect("consult");
         let sum = kcm
             .solve_first(&format!("X is {a} + {b}"))
             .expect("q")
@@ -129,7 +129,7 @@ fn unification_is_symmetric_on_ground_terms() {
         let a = arb_ground_term(rng, 3);
         let b = arb_ground_term(rng, 3);
         let mut kcm = Kcm::new();
-        kcm.consult("eq(X, X).").expect("consult");
+        kcm.load("eq(X, X).").expect("consult");
         let ab = kcm.holds(&format!("eq({a}, {b})")).expect("q");
         let ba = kcm.holds(&format!("eq({b}, {a})")).expect("q");
         assert_eq!(ab, ba, "{a} vs {b}");
@@ -158,7 +158,7 @@ fn machine_decode_roundtrip() {
         // variable) and read it back: must print identically.
         let t = arb_ground_term(rng, 3);
         let mut kcm = Kcm::new();
-        kcm.consult("eq(X, X).").expect("consult");
+        kcm.load("eq(X, X).").expect("consult");
         let answer = kcm
             .solve_first(&format!("eq(Out, {t})"))
             .expect("query")
@@ -173,7 +173,7 @@ fn term_ordering_is_total_and_antisymmetric() {
         let a = arb_ground_term(rng, 3);
         let b = arb_ground_term(rng, 3);
         let mut kcm = Kcm::new();
-        kcm.consult("t.").expect("consult");
+        kcm.load("t.").expect("consult");
         let lt = kcm.holds(&format!("{a} @< {b}")).expect("q");
         let gt = kcm.holds(&format!("{a} @> {b}")).expect("q");
         let eq = kcm.holds(&format!("{a} == {b}")).expect("q");

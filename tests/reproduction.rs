@@ -12,7 +12,7 @@ use kcm_repro::kcm_system::{Kcm, KcmEngine, MachineConfig, QueryOpts};
 #[test]
 fn concat_peak_is_fifteen_cycles_per_step() {
     let mut kcm = Kcm::new();
-    kcm.consult(
+    kcm.load(
         "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).
          mk(0, []). mk(N, [N|T]) :- N > 0, M is N - 1, mk(M, T).
          run(N) :- mk(N, L), app(L, [x], _).",

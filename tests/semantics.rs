@@ -5,7 +5,7 @@ use kcm_repro::kcm_system::{Kcm, QueryOpts};
 
 fn kcm(src: &str) -> Kcm {
     let mut k = Kcm::new();
-    k.consult(src).expect("consult");
+    k.load(src).expect("consult");
     k
 }
 
